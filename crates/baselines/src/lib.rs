@@ -1,0 +1,32 @@
+//! # eos-baselines — the large-object stores EOS is compared against
+//!
+//! Reimplementations of the §2 "related work" systems of Biliris 1992,
+//! all behind the [`eos_core::BlobStore`] trait so the benchmark harness
+//! (experiment E7, the \[Bili91b\] comparison) can drive them uniformly:
+//!
+//! * [`ExodusStore`] — the Exodus large object manager \[Care86\]:
+//!   the same positional B-tree as EOS but with **fixed-size** leaf data
+//!   pages, read-modify-written in place, split/merged at half full.
+//! * [`StarburstStore`] — the Starburst long field manager \[Lehm89\]:
+//!   buddy-allocated doubling segments addressed straight from the
+//!   descriptor; fast creates and scans, but inserts and deletes copy
+//!   every segment from the update point to the end.
+//! * [`WissStore`] — WiSS slices \[Chou85\]: ≤ 1-page slices under a
+//!   one-page directory (≈ 400 slices with 4 KiB pages), scattered on
+//!   disk.
+//! * [`SystemRStore`] — System R long fields \[Astr76\]: a linear
+//!   linked list of small segments; no partial updates, reads chase the
+//!   chain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exodus;
+mod starburst;
+mod systemr;
+mod wiss;
+
+pub use exodus::{ExodusObject, ExodusStore};
+pub use starburst::{LongField, StarburstStore};
+pub use systemr::{ChainField, SystemRStore};
+pub use wiss::{SliceDir, WissStore};

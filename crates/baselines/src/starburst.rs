@@ -1,0 +1,454 @@
+//! The Starburst long field manager \[Lehm89\], as described in §2 of the
+//! paper.
+//!
+//! * Extent-based allocation organized as a binary buddy system (we use
+//!   `eos-buddy` — Starburst is where EOS took the idea from).
+//! * Unknown eventual size: "successive segments allocated for storage
+//!   double in size until the maximum segment size is reached; then, a
+//!   sequence of maximum size segments is used". Known size: maximum
+//!   size segments. Either way the last segment is trimmed.
+//! * The long field descriptor holds the segment pointers directly (no
+//!   tree); it lives with the record, so reads cost no index I/O.
+//! * "Starburst does not gracefully handle byte inserts and deletes …
+//!   these operations require all segments to the right of and
+//!   including the segment on which the update is performed to be
+//!   copied into new segments." Implemented with exactly that cost.
+
+use eos_buddy::BuddyManager;
+use eos_core::{BlobStore, Error, Result};
+use eos_pager::{IoStats, SharedVolume};
+
+/// A long field descriptor: the ordered segments of the field.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LongField {
+    /// (first page, byte length) per segment.
+    segments: Vec<(u64, u64)>,
+    /// Allocated pages of the last segment (≥ its used pages): the
+    /// doubling reservation still to be filled by future appends. The
+    /// paper trims it "at the end of these multi-append operations";
+    /// [`StarburstStore::trim`] does so explicitly, and
+    /// [`BlobStore::create`] trims before returning.
+    tail_alloc_pages: u64,
+}
+
+impl LongField {
+    /// Field size in bytes.
+    pub fn len(&self) -> u64 {
+        self.segments.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// True when the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of segments (for experiments).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// The Starburst-style long field store.
+pub struct StarburstStore {
+    volume: SharedVolume,
+    buddy: BuddyManager,
+}
+
+impl StarburstStore {
+    /// Format `num_spaces` buddy spaces of `pages_per_space` pages.
+    pub fn create(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+    ) -> Result<StarburstStore> {
+        let buddy = BuddyManager::create(volume.clone(), num_spaces, pages_per_space)?;
+        Ok(StarburstStore { volume, buddy })
+    }
+
+    fn ps(&self) -> u64 {
+        self.volume.page_size() as u64
+    }
+
+    /// Write `data` as a fresh run of segments under the growth policy.
+    /// The last segment keeps its full (doubling) reservation — trim it
+    /// with [`Self::trim`] when the multi-append phase is over.
+    fn write_fresh(&mut self, data: &[u8], known_size: bool, grow_from: u64) -> Result<LongField> {
+        let ps = self.ps();
+        let max = self.buddy.max_extent_pages();
+        let mut field = LongField::default();
+        let mut rest = data;
+        let mut last_alloc = grow_from;
+        while !rest.is_empty() {
+            let want = if known_size {
+                ((rest.len() as u64).div_ceil(ps)).min(max)
+            } else {
+                (last_alloc * 2).clamp(1, max)
+            };
+            let ext = self.buddy.allocate_up_to(want)?;
+            last_alloc = ext.pages;
+            let take = ((ext.pages * ps) as usize).min(rest.len());
+            let (chunk, r) = rest.split_at(take);
+            rest = r;
+            let used = (take as u64).div_ceil(ps);
+            let mut buf = chunk.to_vec();
+            buf.resize((used * ps) as usize, 0);
+            self.volume.write_pages(ext.start, &buf)?;
+            field.segments.push((ext.start, take as u64));
+            field.tail_alloc_pages = ext.pages;
+        }
+        Ok(field)
+    }
+
+    /// Give the unused pages at the right end of the last segment back
+    /// to the free space ("the last segment is trimmed").
+    pub fn trim(&mut self, h: &mut LongField) -> Result<()> {
+        let ps = self.ps();
+        if let Some(&(start, bytes)) = h.segments.last() {
+            let used = bytes.div_ceil(ps);
+            if used < h.tail_alloc_pages {
+                self.buddy.free(start + used, h.tail_alloc_pages - used)?;
+            }
+            h.tail_alloc_pages = used;
+        }
+        Ok(())
+    }
+
+    fn free_field(&mut self, h: &LongField) -> Result<()> {
+        let ps = self.ps();
+        let n = h.segments.len();
+        for (i, &(start, bytes)) in h.segments.iter().enumerate() {
+            let pages = if i + 1 == n {
+                h.tail_alloc_pages.max(bytes.div_ceil(ps))
+            } else {
+                bytes.div_ceil(ps)
+            };
+            self.buddy.free(start, pages)?;
+        }
+        Ok(())
+    }
+
+    /// Locate the segment holding byte `offset`.
+    fn locate(&self, h: &LongField, offset: u64) -> (usize, u64) {
+        let mut acc = 0;
+        for (i, &(_, b)) in h.segments.iter().enumerate() {
+            if offset < acc + b {
+                return (i, offset - acc);
+            }
+            acc += b;
+        }
+        panic!("offset {offset} beyond field of {acc} bytes");
+    }
+
+    fn bounds(&self, h: &LongField, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|e| e > h.len()) {
+            return Err(Error::OutOfObjectBounds {
+                offset,
+                len,
+                object_size: h.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Free a run of removed segments whose final entry carried the
+    /// tail reservation of `tail_alloc` pages.
+    fn free_segments(&mut self, removed: &[(u64, u64)], tail_alloc: u64) -> Result<()> {
+        let ps = self.ps();
+        let n = removed.len();
+        for (i, &(start, bytes)) in removed.iter().enumerate() {
+            let pages = if i + 1 == n {
+                tail_alloc.max(bytes.div_ceil(ps))
+            } else {
+                bytes.div_ceil(ps)
+            };
+            self.buddy.free(start, pages)?;
+        }
+        Ok(())
+    }
+
+    /// The buddy manager (experiments).
+    pub fn buddy(&self) -> &BuddyManager {
+        &self.buddy
+    }
+}
+
+impl BlobStore for StarburstStore {
+    type Handle = LongField;
+
+    fn name(&self) -> &'static str {
+        "starburst"
+    }
+
+    fn create(&mut self, data: &[u8], known_size: bool) -> Result<LongField> {
+        let mut h = self.write_fresh(data, known_size, 0)?;
+        self.trim(&mut h)?;
+        Ok(h)
+    }
+
+    fn size(&self, h: &LongField) -> u64 {
+        h.len()
+    }
+
+    fn read(&self, h: &LongField, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.bounds(h, offset, len)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let ps = self.ps();
+        let (mut i, mut rel) = self.locate(h, offset);
+        let mut out = Vec::with_capacity(len as usize);
+        let mut remaining = len;
+        while remaining > 0 {
+            let (start, bytes) = h.segments[i];
+            let take = (bytes - rel).min(remaining);
+            let p0 = rel / ps;
+            let p1 = (rel + take - 1) / ps;
+            let buf = self.volume.read_pages(start + p0, p1 - p0 + 1)?;
+            let skip = (rel - p0 * ps) as usize;
+            out.extend_from_slice(&buf[skip..skip + take as usize]);
+            remaining -= take;
+            i += 1;
+            rel = 0;
+        }
+        Ok(out)
+    }
+
+    fn append(&mut self, h: &mut LongField, data: &[u8]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let ps = self.ps();
+        let mut rest = data;
+        // Fill the last segment's reservation in place: the partial page
+        // (read-modify-write) and any still-unfilled allocated pages.
+        if let Some(&(start, bytes)) = h.segments.last() {
+            let cap = h.tail_alloc_pages * ps;
+            if bytes < cap {
+                let fit = ((cap - bytes) as usize).min(rest.len());
+                let p0 = bytes / ps;
+                let sm = (bytes % ps) as usize;
+                let p1 = (bytes + fit as u64 - 1) / ps;
+                let npages = (p1 - p0 + 1) as usize;
+                let mut buf = vec![0u8; npages * ps as usize];
+                if sm != 0 {
+                    let page = self.volume.read_pages(start + p0, 1)?;
+                    buf[..ps as usize].copy_from_slice(&page);
+                }
+                buf[sm..sm + fit].copy_from_slice(&rest[..fit]);
+                self.volume.write_pages(start + p0, &buf)?;
+                h.segments.last_mut().unwrap().1 += fit as u64;
+                rest = &rest[fit..];
+            }
+        }
+        if !rest.is_empty() {
+            let grow_from = h.tail_alloc_pages;
+            let tail = self.write_fresh(rest, false, grow_from)?;
+            h.tail_alloc_pages = tail.tail_alloc_pages;
+            h.segments.extend(tail.segments);
+        }
+        Ok(())
+    }
+
+    fn replace(&mut self, h: &mut LongField, offset: u64, data: &[u8]) -> Result<()> {
+        self.bounds(h, offset, data.len() as u64)?;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let ps = self.ps();
+        let (mut i, mut rel) = self.locate(h, offset);
+        let mut src = data;
+        while !src.is_empty() {
+            let (start, bytes) = h.segments[i];
+            let take = ((bytes - rel) as usize).min(src.len());
+            let p0 = rel / ps;
+            let p1 = (rel + take as u64 - 1) / ps;
+            let npages = p1 - p0 + 1;
+            let mut buf = self.volume.read_pages(start + p0, npages)?;
+            let head = (rel - p0 * ps) as usize;
+            buf[head..head + take].copy_from_slice(&src[..take]);
+            self.volume.write_pages(start + p0, &buf)?;
+            src = &src[take..];
+            i += 1;
+            rel = 0;
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, h: &mut LongField, offset: u64, data: &[u8]) -> Result<()> {
+        let size = h.len();
+        if offset > size {
+            return Err(Error::OutOfObjectBounds {
+                offset,
+                len: data.len() as u64,
+                object_size: size,
+            });
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        if offset == size {
+            return self.append(h, data);
+        }
+        // "All segments to the right of and including the segment on
+        // which the update is performed [are] copied into new segments."
+        let (i, _) = self.locate(h, offset);
+        let seg_start_off: u64 = h.segments[..i].iter().map(|&(_, b)| b).sum();
+        let tail = self.read(h, seg_start_off, size - seg_start_off)?;
+        let mut new_tail = Vec::with_capacity(tail.len() + data.len());
+        let split = (offset - seg_start_off) as usize;
+        new_tail.extend_from_slice(&tail[..split]);
+        new_tail.extend_from_slice(data);
+        new_tail.extend_from_slice(&tail[split..]);
+        let removed: Vec<_> = h.segments.drain(i..).collect();
+        let old_tail_alloc = h.tail_alloc_pages;
+        let mut rewritten = self.write_fresh(&new_tail, true, 0)?;
+        self.trim(&mut rewritten)?;
+        h.tail_alloc_pages = rewritten.tail_alloc_pages;
+        h.segments.extend(rewritten.segments);
+        self.free_segments(&removed, old_tail_alloc)?;
+        Ok(())
+    }
+
+    fn delete(&mut self, h: &mut LongField, offset: u64, len: u64) -> Result<()> {
+        self.bounds(h, offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let size = h.len();
+        if offset == 0 && len == size {
+            self.free_field(&h.clone())?;
+            h.segments.clear();
+            h.tail_alloc_pages = 0;
+            return Ok(());
+        }
+        let (i, _) = self.locate(h, offset);
+        let seg_start_off: u64 = h.segments[..i].iter().map(|&(_, b)| b).sum();
+        // Copy everything right of (and including) the touched segment,
+        // minus the deleted range.
+        let tail = self.read(h, seg_start_off, size - seg_start_off)?;
+        let a = (offset - seg_start_off) as usize;
+        let b = a + len as usize;
+        let mut new_tail = Vec::with_capacity(tail.len() - len as usize);
+        new_tail.extend_from_slice(&tail[..a]);
+        new_tail.extend_from_slice(&tail[b..]);
+        let removed: Vec<_> = h.segments.drain(i..).collect();
+        let old_tail_alloc = h.tail_alloc_pages;
+        if new_tail.is_empty() {
+            // The surviving last segment was never the reserved tail.
+            h.tail_alloc_pages = h
+                .segments
+                .last()
+                .map_or(0, |&(_, b)| b.div_ceil(self.ps()));
+        } else {
+            let mut rewritten = self.write_fresh(&new_tail, true, 0)?;
+            self.trim(&mut rewritten)?;
+            h.tail_alloc_pages = rewritten.tail_alloc_pages;
+            h.segments.extend(rewritten.segments);
+        }
+        self.free_segments(&removed, old_tail_alloc)?;
+        Ok(())
+    }
+
+    fn storage_pages(&self, h: &LongField) -> Result<u64> {
+        let ps = self.ps();
+        Ok(h.segments.iter().map(|&(_, b)| b.div_ceil(ps)).sum())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.volume.stats()
+    }
+
+    fn reset_io(&self) {
+        self.volume.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_pager::{DiskProfile, MemVolume};
+
+    fn store() -> StarburstStore {
+        let vol = MemVolume::with_profile(256, 2100, DiskProfile::FREE).shared();
+        StarburstStore::create(vol, 2, 900).unwrap()
+    }
+
+    fn pattern(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 249) as u8).collect()
+    }
+
+    #[test]
+    fn create_known_size_uses_few_segments() {
+        let mut s = store();
+        let data = pattern(10 * 256);
+        let h = s.create(&data, true).unwrap();
+        assert_eq!(h.segment_count(), 1);
+        assert_eq!(s.read(&h, 0, h.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn create_unknown_size_doubles() {
+        let mut s = store();
+        let mut h = s.create(b"", false).unwrap();
+        for chunk in pattern(15 * 256).chunks(100) {
+            s.append(&mut h, chunk).unwrap();
+        }
+        assert_eq!(s.read(&h, 0, h.len()).unwrap(), pattern(15 * 256));
+        // Far fewer segments than appends.
+        assert!(h.segment_count() <= 6, "{}", h.segment_count());
+    }
+
+    #[test]
+    fn insert_copies_the_tail() {
+        let mut s = store();
+        let data = pattern(5000);
+        let mut h = s.create(&data, true).unwrap();
+        s.reset_io();
+        s.insert(&mut h, 10, b"XX").unwrap();
+        let io = s.io_stats();
+        // Essentially the whole object was read and rewritten.
+        assert!(io.page_reads >= 19, "reads: {}", io.page_reads);
+        assert!(io.page_writes >= 19, "writes: {}", io.page_writes);
+        let mut model = data;
+        model.splice(10..10, *b"XX");
+        assert_eq!(s.read(&h, 0, h.len()).unwrap(), model);
+    }
+
+    #[test]
+    fn delete_and_replace_match_model() {
+        let mut s = store();
+        let mut model = pattern(4000);
+        let mut h = s.create(&model, false).unwrap();
+        s.delete(&mut h, 100, 900).unwrap();
+        model.drain(100..1000);
+        assert_eq!(s.read(&h, 0, h.len()).unwrap(), model);
+        s.replace(&mut h, 50, &[9u8; 500]).unwrap();
+        model[50..550].copy_from_slice(&[9u8; 500]);
+        assert_eq!(s.read(&h, 0, h.len()).unwrap(), model);
+        s.delete(&mut h, 0, model.len() as u64).unwrap();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn no_space_leak_across_rewrites() {
+        let mut s = store();
+        let free0 = s.buddy().total_free_pages();
+        let mut h = s.create(&pattern(3000), false).unwrap();
+        for i in 0..10 {
+            s.insert(&mut h, (i * 97) % 2000, b"abc").unwrap();
+        }
+        let len = h.len();
+        s.delete(&mut h, 0, len).unwrap();
+        assert_eq!(s.buddy().total_free_pages(), free0);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut s = store();
+        let mut h = s.create(&pattern(100), true).unwrap();
+        assert!(s.read(&h, 90, 11).is_err());
+        assert!(s.insert(&mut h, 101, b"x").is_err());
+        assert!(s.delete(&mut h, 0, 101).is_err());
+        assert!(s.replace(&mut h, 100, b"x").is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Model-based property tests for the baseline stores: every store that
+//! claims an operation must match the `Vec<u8>` reference byte for byte.
+
+use eos_baselines::{ExodusStore, StarburstStore, SystemRStore, WissStore};
+use eos_core::BlobStore;
+use eos_pager::{DiskProfile, MemVolume, SharedVolume};
+use proptest::prelude::*;
+
+/// Default case count, overridable via PROPTEST_CASES for deep soaks.
+fn prop_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append { len: usize },
+    Insert { at: u64, len: usize },
+    Delete { at: u64, len: u64 },
+    Replace { at: u64, len: usize },
+    Read { at: u64, len: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..1_200).prop_map(|len| Op::Append { len }),
+            3 => (any::<u64>(), 0usize..900).prop_map(|(at, len)| Op::Insert { at, len }),
+            3 => (any::<u64>(), any::<u64>()).prop_map(|(at, len)| Op::Delete { at, len: len % 2_000 }),
+            2 => (any::<u64>(), 0usize..700).prop_map(|(at, len)| Op::Replace { at, len }),
+            2 => (any::<u64>(), any::<u64>()).prop_map(|(at, len)| Op::Read { at, len: len % 1_500 }),
+        ],
+        1..35,
+    )
+}
+
+fn fill(seed: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add((i % 239) as u8)).collect()
+}
+
+fn vol() -> SharedVolume {
+    MemVolume::with_profile(256, 4 * 902 + 2, DiskProfile::FREE).shared()
+}
+
+/// Drive a store through the op sequence; `partial_updates` gates the
+/// insert/delete checks (System R lacks them).
+fn run<S: BlobStore>(mut store: S, ops: Vec<Op>, partial_updates: bool, cap: usize) {
+    let mut model: Vec<u8> = Vec::new();
+    let mut h = store.create(&[], false).unwrap();
+    for (i, op) in ops.into_iter().enumerate() {
+        let seed = i as u8;
+        let size = model.len() as u64;
+        match op {
+            Op::Append { len } => {
+                if model.len() + len > cap {
+                    continue;
+                }
+                let data = fill(seed, len);
+                store.append(&mut h, &data).unwrap();
+                model.extend_from_slice(&data);
+            }
+            Op::Insert { at, len } => {
+                if !partial_updates || model.len() + len > cap {
+                    continue;
+                }
+                let at = if size == 0 { 0 } else { at % (size + 1) };
+                let data = fill(seed.wrapping_add(7), len);
+                store.insert(&mut h, at, &data).unwrap();
+                model.splice(at as usize..at as usize, data.iter().copied());
+            }
+            Op::Delete { at, len } => {
+                if !partial_updates || size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = len.min(size - at);
+                if len == 0 {
+                    continue;
+                }
+                store.delete(&mut h, at, len).unwrap();
+                model.drain(at as usize..(at + len) as usize);
+            }
+            Op::Replace { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = (len as u64).min(size - at) as usize;
+                let data = fill(seed.wrapping_add(31), len);
+                store.replace(&mut h, at, &data).unwrap();
+                model[at as usize..at as usize + len].copy_from_slice(&data);
+            }
+            Op::Read { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = len.min(size - at);
+                assert_eq!(
+                    store.read(&h, at, len).unwrap(),
+                    &model[at as usize..(at + len) as usize]
+                );
+                continue;
+            }
+        }
+        assert_eq!(store.size(&h), model.len() as u64, "size after op {i}");
+        assert_eq!(
+            store.read(&h, 0, model.len() as u64).unwrap(),
+            model,
+            "content after op {i}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: prop_cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn exodus_leaf1_matches_model(ops in ops()) {
+        run(ExodusStore::create(vol(), 4, 901, 1).unwrap(), ops, true, 30_000);
+    }
+
+    #[test]
+    fn exodus_leaf4_matches_model(ops in ops()) {
+        run(ExodusStore::create(vol(), 4, 901, 4).unwrap(), ops, true, 30_000);
+    }
+
+    #[test]
+    fn starburst_matches_model(ops in ops()) {
+        run(StarburstStore::create(vol(), 4, 901).unwrap(), ops, true, 30_000);
+    }
+
+    #[test]
+    fn wiss_matches_model(ops in ops()) {
+        // WiSS caps at 25 slices × 256 bytes on this geometry; stay low.
+        run(WissStore::create(vol(), 4, 901).unwrap(), ops, true, 4_000);
+    }
+
+    #[test]
+    fn systemr_matches_model(ops in ops()) {
+        run(SystemRStore::create(vol(), 4, 901).unwrap(), ops, false, 30_000);
+    }
+}

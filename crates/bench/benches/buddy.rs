@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the buddy space manager (CPU cost of
+//! the directory algorithms; the I/O cost is experiment E8).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eos_buddy::{Geometry, SpaceDir};
+use std::hint::black_box;
+
+fn bench_alloc_free(c: &mut Criterion) {
+    let g = Geometry::for_page_size(4096);
+    let mut group = c.benchmark_group("buddy");
+    group.sample_size(40);
+
+    for pages in [1u64, 16, 777] {
+        group.bench_function(format!("alloc+free {pages}p"), |b| {
+            b.iter_batched_ref(
+                || SpaceDir::create(g, 16_272),
+                |dir| {
+                    let s = dir.alloc_any(black_box(pages)).unwrap();
+                    dir.free_range(s, pages).unwrap();
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    group.bench_function("fragmented alloc (half-full space)", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut dir = SpaceDir::create(g, 16_272);
+                // Fragment: allocate 512 runs of 16, free every other.
+                let mut held = Vec::new();
+                for _ in 0..512 {
+                    held.push(dir.alloc_any(16).unwrap());
+                }
+                for s in held.iter().step_by(2) {
+                    dir.free_range(*s, 16).unwrap();
+                }
+                dir
+            },
+            |dir| {
+                let s = dir.alloc_any(black_box(16)).unwrap();
+                dir.free_range(s, 16).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("coalescing cascade 1..8192", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut dir = SpaceDir::create(g, 8192);
+                // Allocate everything as single pages.
+                let mut pages = Vec::with_capacity(8192);
+                for _ in 0..8192 {
+                    pages.push(dir.alloc_any(1).unwrap());
+                }
+                (dir, pages)
+            },
+            |(dir, pages)| {
+                // Freeing them all forces the full coalescing cascade
+                // back to one 8192-page segment.
+                for &p in pages.iter() {
+                    dir.free_range(p, 1).unwrap();
+                }
+                black_box(dir.count(13));
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("directory serialize+parse", |b| {
+        let mut dir = SpaceDir::create(g, 16_272);
+        for i in 0..200 {
+            dir.alloc_any(1 + i % 37).unwrap();
+        }
+        b.iter(|| {
+            let page = dir.to_page();
+            black_box(SpaceDir::from_page(g, 16_272, &page).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_free);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion cross-store microbenchmarks: the E7 shape at wall-clock
+//! granularity (CPU + in-memory volume).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eos_bench::stores::{eos, exodus, starburst, Sizing};
+use eos_bench::workload::payload;
+use eos_core::{BlobStore, Threshold};
+use std::hint::black_box;
+
+const OBJ: usize = 1 << 20;
+
+fn bench_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compare");
+    group.sample_size(20);
+    let sizing = Sizing::mb(16);
+    let data = payload(1, OBJ);
+
+    // Sequential scan.
+    {
+        let mut s = eos(sizing, Threshold::Fixed(8));
+        let h = s.create(&data, true).unwrap();
+        group.bench_function("scan/eos", |b| {
+            b.iter(|| black_box(s.read(&h, 0, OBJ as u64).unwrap()));
+        });
+    }
+    {
+        let mut s = exodus(sizing, 1);
+        let h = s.create(&data, true).unwrap();
+        group.bench_function("scan/exodus-leaf1", |b| {
+            b.iter(|| black_box(s.read(&h, 0, OBJ as u64).unwrap()));
+        });
+    }
+    {
+        let mut s = starburst(sizing);
+        let h = s.create(&data, true).unwrap();
+        group.bench_function("scan/starburst", |b| {
+            b.iter(|| black_box(s.read(&h, 0, OBJ as u64).unwrap()));
+        });
+    }
+
+    // Random small insert.
+    group.bench_function("insert/eos", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut s = eos(sizing, Threshold::Fixed(8));
+                let h = s.create(&data, true).unwrap();
+                (s, h)
+            },
+            |(s, h)| s.insert(h, (OBJ / 3) as u64, &[1u8; 100]).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("insert/exodus-leaf1", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut s = exodus(sizing, 1);
+                let h = s.create(&data, true).unwrap();
+                (s, h)
+            },
+            |(s, h)| s.insert(h, (OBJ / 3) as u64, &[1u8; 100]).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("insert/starburst", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut s = starburst(sizing);
+                let h = s.create(&data, true).unwrap();
+                (s, h)
+            },
+            |(s, h)| s.insert(h, (OBJ / 3) as u64, &[1u8; 100]).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Criterion benchmarks for the §4 operations on EOS (end-to-end CPU +
+//! simulated volume work, in-memory).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use eos_bench::stores::{eos, Sizing};
+use eos_bench::workload::payload;
+use eos_core::{ObjectStore, Threshold};
+use std::hint::black_box;
+
+const OBJ: usize = 4 << 20;
+
+fn prepared() -> (ObjectStore, eos_core::LargeObject) {
+    let mut store = eos(Sizing::mb(32), Threshold::Fixed(8));
+    let data = payload(1, OBJ);
+    let obj = store.create_with(&data, Some(OBJ as u64)).unwrap();
+    (store, obj)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eos-ops");
+    group.sample_size(30);
+
+    let (store, obj) = prepared();
+    group.bench_function("read 4K @random", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let off = i % (obj.size() - 4096);
+            black_box(store.read(&obj, off, 4096).unwrap());
+        });
+    });
+    group.bench_function("scan 4MB", |b| {
+        b.iter(|| black_box(store.read_all(&obj).unwrap()));
+    });
+    drop((store, obj));
+
+    group.bench_function("create 4MB (hinted)", |b| {
+        let data = payload(1, OBJ);
+        b.iter_batched_ref(
+            || eos(Sizing::mb(32), Threshold::Fixed(8)),
+            |store| {
+                black_box(store.create_with(&data, Some(OBJ as u64)).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("insert 100B @random", |b| {
+        b.iter_batched_ref(
+            prepared,
+            |(store, obj)| {
+                store.insert(obj, obj.size() / 3, &[7u8; 100]).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("delete 100B @random", |b| {
+        b.iter_batched_ref(
+            prepared,
+            |(store, obj)| {
+                store.delete(obj, obj.size() / 3, 100).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("replace 512B @random", |b| {
+        b.iter_batched_ref(
+            prepared,
+            |(store, obj)| {
+                store.replace(obj, obj.size() / 3, &[9u8; 512]).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("append 8K", |b| {
+        b.iter_batched_ref(
+            prepared,
+            |(store, obj)| {
+                store.append(obj, &[5u8; 8192]).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(15);
+
+    // A shattered 2 MiB object (T=1 wedge inserts).
+    let shattered = || {
+        let mut store = eos(Sizing::mb(24), Threshold::Fixed(1));
+        let data = payload(2, 2 << 20);
+        let mut obj = store.create_with(&data, Some(data.len() as u64)).unwrap();
+        for i in 0..200u64 {
+            let off = (i * 10_223) % obj.size();
+            store.insert(&mut obj, off, b"wedge").unwrap();
+        }
+        obj.set_threshold(Threshold::Fixed(16));
+        (store, obj)
+    };
+
+    group.bench_function("consolidate shattered 2MB", |b| {
+        b.iter_batched_ref(
+            shattered,
+            |(store, obj)| {
+                black_box(store.consolidate(obj).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("compact shattered 2MB", |b| {
+        b.iter_batched_ref(
+            shattered,
+            |(store, obj)| {
+                black_box(store.compact(obj).unwrap());
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("verify_object 2MB", |b| {
+        let (store, obj) = shattered();
+        b.iter(|| store.verify_object(&obj).unwrap());
+    });
+
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    use eos_core::wal::Wal;
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(30);
+
+    group.bench_function("logged_replace 512B", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut store = eos(Sizing::mb(16), Threshold::Fixed(8));
+                let data = payload(1, 1 << 20);
+                let obj = store.create_with(&data, Some(data.len() as u64)).unwrap();
+                (store, obj, Wal::new())
+            },
+            |(store, obj, wal)| {
+                wal.logged_replace(store, obj, 100_000, &[7u8; 512]).unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("wal serialize 100 records", |b| {
+        let mut store = eos(Sizing::mb(16), Threshold::Fixed(8));
+        let mut obj = store.create_with(&payload(1, 1 << 20), None).unwrap();
+        let mut wal = Wal::new();
+        for i in 0..100u64 {
+            wal.logged_replace(&mut store, &mut obj, i * 1000, &[1u8; 64]).unwrap();
+        }
+        b.iter(|| black_box(wal.to_bytes()));
+    });
+
+    group.bench_function("reshuffle planner", |b| {
+        b.iter(|| {
+            black_box(eos_core::reshuffle(
+                black_box(123_456),
+                black_box(789),
+                black_box(456_123),
+                4096,
+                8,
+                8192,
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_maintenance, bench_wal);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the positional tree: node
+//! serialization and descent over multi-level objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eos_bench::stores::{eos, Sizing};
+use eos_bench::workload::payload;
+use eos_core::{Entry, Node, Threshold};
+use std::hint::black_box;
+
+fn bench_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node");
+    group.sample_size(60);
+
+    let node = Node {
+        level: 1,
+        entries: (0..255)
+            .map(|i| Entry {
+                bytes: 1000 + i,
+                ptr: 7 * i + 3,
+            })
+            .collect(),
+    };
+    group.bench_function("to_page 255 entries", |b| {
+        b.iter(|| black_box(node.to_page(4096)));
+    });
+    let page = node.to_page(4096);
+    group.bench_function("from_page 255 entries", |b| {
+        b.iter(|| black_box(Node::from_page(&page).unwrap()));
+    });
+    group.bench_function("find_child", |b| {
+        b.iter(|| black_box(node.find_child(black_box(200_000))));
+    });
+    group.finish();
+}
+
+fn bench_descent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descend");
+    group.sample_size(30);
+
+    // A multi-level object: many small segments via small-T inserts.
+    let mut store = eos(Sizing::mb(64), Threshold::Fixed(1));
+    let bytes = 8 << 20;
+    let data = payload(3, bytes);
+    let mut obj = store.create_with(&data, Some(bytes as u64)).unwrap();
+    for i in 0..600u64 {
+        let off = (i * 7919 * 13) % obj.size();
+        store.insert(&mut obj, off, b"fragmentation-wedge").unwrap();
+    }
+    let stats = store.object_stats(&obj).unwrap();
+    assert!(stats.segments > 500);
+
+    group.bench_function(
+        format!("read 1B @random ({} segs, h={})", stats.segments, stats.height),
+        |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i * 6364136223846793005).wrapping_add(1442695040888963407);
+                let off = i % obj.size();
+                black_box(store.read(&obj, off, 1).unwrap());
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_nodes, bench_descent);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E7 — the \[Bili91b\]-style comparison: EOS vs Exodus (two leaf sizes),
+//! Starburst, WiSS and System R on the same simulated disk.
+//!
+//! ```text
+//! cargo run --release -p eos-bench --bin compare            # 4 MiB objects
+//! cargo run --release -p eos-bench --bin compare -- 16      # 16 MiB objects
+//! ```
+//!
+//! Expected shape (paper §2 and §5): Starburst wins or ties creates and
+//! scans but is catastrophic on inserts/deletes (it copies the tail);
+//! small-leaf Exodus has good utilization but pays a seek per leaf on
+//! scans; large-leaf Exodus scans well but wastes space after updates;
+//! WiSS pays a seek per page everywhere and caps object size; System R
+//! cannot do partial updates at all; EOS matches the best of each
+//! column.
+
+use eos_bench::stores::{eos, exodus, starburst, systemr, wiss, Sizing};
+use eos_bench::table::{pct, Table};
+use eos_bench::workload::{comparison_run, ComparisonRun, Cost};
+use eos_core::Threshold;
+
+fn main() {
+    let mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let excluded = run_comparison(mb);
+    if excluded {
+        println!();
+        println!("re-running at 1 MiB so every store participates:");
+        println!();
+        run_comparison(1);
+    }
+}
+
+/// Returns true when some store could not hold the object.
+fn run_comparison(mb: u64) -> bool {
+    let object_bytes = mb * 1024 * 1024;
+    let sizing = Sizing::mb((4 * mb).max(16));
+    let reads = 200;
+    let updates = 100;
+
+    println!(
+        "== E7: store comparison — {mb} MiB objects, {reads} reads, {updates} updates ==\n"
+    );
+
+    let mut runs: Vec<ComparisonRun> = Vec::new();
+    let mut too_large: Vec<&'static str> = Vec::new();
+    let mut push = |r: Result<ComparisonRun, eos_core::Error>, name: &'static str| match r {
+        Ok(run) => runs.push(run),
+        Err(_) => too_large.push(name),
+    };
+    push(
+        comparison_run("eos (T=8)", object_bytes, reads, updates, || {
+            eos(sizing, Threshold::Fixed(8))
+        }),
+        "eos (T=8)",
+    );
+    push(
+        comparison_run("exodus leaf=1", object_bytes, reads, updates, || {
+            exodus(sizing, 1)
+        }),
+        "exodus leaf=1",
+    );
+    push(
+        comparison_run("exodus leaf=8", object_bytes, reads, updates, || {
+            exodus(sizing, 8)
+        }),
+        "exodus leaf=8",
+    );
+    push(
+        comparison_run("starburst", object_bytes, reads, updates, || {
+            starburst(sizing)
+        }),
+        "starburst",
+    );
+    push(
+        comparison_run("wiss", object_bytes, reads, updates, || wiss(sizing)),
+        "wiss",
+    );
+    push(
+        comparison_run("system-r", object_bytes, reads, updates, || {
+            systemr(sizing)
+        }),
+        "system-r",
+    );
+
+    let ms = |c: &Cost| format!("{:.2}", c.ms_per_op());
+    let opt = |c: &Option<Cost>| c.as_ref().map_or("unsupported".to_string(), ms);
+
+    let mut t = Table::new(vec![
+        "store",
+        "create(hint) ms",
+        "create(app) ms/chunk",
+        "scan ms",
+        "scan seeks",
+        "rd 4K ms/op",
+        "repl ms/op",
+        "ins ms/op",
+        "del ms/op",
+        "util",
+    ]);
+    for r in &runs {
+        t.row(vec![
+            r.name.to_string(),
+            ms(&r.create_known),
+            opt(&r.create_unknown),
+            ms(&r.scan),
+            format!("{}", r.scan.io.seeks),
+            ms(&r.random_reads),
+            ms(&r.replaces),
+            opt(&r.inserts),
+            opt(&r.deletes),
+            pct(r.utilization),
+        ]);
+    }
+    t.print();
+
+    for name in &too_large {
+        println!("{name}: cannot hold a {mb} MiB object (creation refused)");
+    }
+    println!("\nnotes:");
+    println!("- wiss caps objects at ~400 slices x page (1.6 MB at 4 KiB): larger objects fail to create;");
+    println!("- system-r supports no byte inserts/deletes; its reads chase the page chain;");
+    println!("- starburst inserts/deletes copy every byte right of the update point;");
+    println!("- utilization is object bytes over allocated pages (incl. index) after the update phase.");
+    !too_large.is_empty()
+}

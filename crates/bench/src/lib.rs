@@ -1,0 +1,17 @@
+//! # eos-bench — harness regenerating the paper's figures and studies
+//!
+//! Shared infrastructure for the experiment binaries (see
+//! `EXPERIMENTS.md` for the index):
+//!
+//! * [`table`] — fixed-width table rendering for experiment output.
+//! * [`workload`] — deterministic workload generation (seeded RNG) and
+//!   the generic measurement driver over any [`eos_core::BlobStore`].
+//! * [`stores`] — factories building every store on identically sized
+//!   volumes so comparisons are apples to apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stores;
+pub mod table;
+pub mod workload;

@@ -1,0 +1,122 @@
+//! Store factories: every store under comparison gets an identically
+//! sized in-memory volume with the same disk profile, so seek/transfer
+//! counts and simulated times are directly comparable.
+
+use eos_baselines::{ExodusStore, StarburstStore, SystemRStore, WissStore};
+use eos_buddy::Geometry;
+use eos_core::{ObjectStore, StoreConfig, Threshold};
+use eos_pager::{DiskProfile, MemVolume, SharedVolume};
+
+/// Default page size for the comparison experiments (the paper's 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Volume + space sizing shared by all stores in an experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizing {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Total data pages.
+    pub data_pages: u64,
+    /// Disk timing profile.
+    pub profile: DiskProfile,
+}
+
+impl Sizing {
+    /// Sizing with `mb` megabytes of 4 KiB pages on the 1992 profile.
+    pub fn mb(mb: u64) -> Sizing {
+        Sizing {
+            page_size: PAGE_SIZE,
+            data_pages: mb * 1024 * 1024 / PAGE_SIZE as u64,
+            profile: DiskProfile::VINTAGE_1992,
+        }
+    }
+
+    /// Buddy-space layout for this sizing: (spaces, pages per space).
+    pub fn layout(&self) -> (usize, u64) {
+        let g = Geometry::for_page_size(self.page_size);
+        let pps = g.max_space_pages.min(self.data_pages.max(16));
+        let spaces = self.data_pages.div_ceil(pps).max(1) as usize;
+        (spaces, pps)
+    }
+
+    /// A fresh volume big enough for the layout.
+    pub fn volume(&self) -> SharedVolume {
+        let (spaces, pps) = self.layout();
+        MemVolume::with_profile(
+            self.page_size,
+            (pps + 1) * spaces as u64 + 2,
+            self.profile,
+        )
+        .shared()
+    }
+}
+
+/// An EOS store with the given threshold.
+pub fn eos(sizing: Sizing, threshold: Threshold) -> ObjectStore {
+    let (spaces, pps) = sizing.layout();
+    ObjectStore::create(
+        sizing.volume(),
+        spaces,
+        pps,
+        StoreConfig {
+            threshold,
+            ..StoreConfig::default()
+        },
+    )
+    .expect("eos store")
+}
+
+/// An Exodus store with `leaf_pages`-block data pages.
+pub fn exodus(sizing: Sizing, leaf_pages: u64) -> ExodusStore {
+    let (spaces, pps) = sizing.layout();
+    ExodusStore::create(sizing.volume(), spaces, pps, leaf_pages).expect("exodus store")
+}
+
+/// A Starburst long field store.
+pub fn starburst(sizing: Sizing) -> StarburstStore {
+    let (spaces, pps) = sizing.layout();
+    StarburstStore::create(sizing.volume(), spaces, pps).expect("starburst store")
+}
+
+/// A WiSS slice store.
+pub fn wiss(sizing: Sizing) -> WissStore {
+    let (spaces, pps) = sizing.layout();
+    WissStore::create(sizing.volume(), spaces, pps).expect("wiss store")
+}
+
+/// A System R chained long field store.
+pub fn systemr(sizing: Sizing) -> SystemRStore {
+    let (spaces, pps) = sizing.layout();
+    SystemRStore::create(sizing.volume(), spaces, pps).expect("system-r store")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_core::BlobStore;
+
+    #[test]
+    fn all_stores_come_up_with_identical_geometry() {
+        let sizing = Sizing::mb(8);
+        let mut e = eos(sizing, Threshold::Fixed(8));
+        let mut x = exodus(sizing, 4);
+        let mut s = starburst(sizing);
+        let mut w = wiss(sizing);
+        let mut r = systemr(sizing);
+        let data = vec![42u8; 100_000];
+        let he = e.create(&data, true).unwrap();
+        let hx = x.create(&data, true).unwrap();
+        let hs = s.create(&data, true).unwrap();
+        let hw = w.create(&data, true).unwrap();
+        let hr = r.create(&data, true).unwrap();
+        for (name, got) in [
+            ("eos", e.read(&he, 50_000, 100).unwrap()),
+            ("exodus", x.read(&hx, 50_000, 100).unwrap()),
+            ("starburst", s.read(&hs, 50_000, 100).unwrap()),
+            ("wiss", w.read(&hw, 50_000, 100).unwrap()),
+            ("system-r", r.read(&hr, 50_000, 100).unwrap()),
+        ] {
+            assert_eq!(got, vec![42u8; 100], "{name}");
+        }
+    }
+}

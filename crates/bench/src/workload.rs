@@ -1,0 +1,259 @@
+//! Deterministic workload generation and the generic measurement driver.
+
+use eos_core::{BlobStore, Error};
+use eos_pager::IoStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed seed so every run of the harness prints the same numbers.
+pub const SEED: u64 = 0x0E05_1992;
+
+/// A seeded RNG for workloads.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(SEED)
+}
+
+/// Deterministic content of `len` bytes.
+pub fn payload(seed: u64, len: usize) -> Vec<u8> {
+    let mut r = StdRng::seed_from_u64(SEED ^ seed);
+    (0..len).map(|_| r.gen()).collect()
+}
+
+/// Measured cost of one phase of a workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cost {
+    /// Number of operations measured.
+    pub ops: u64,
+    /// I/O delta over the phase.
+    pub io: IoStats,
+}
+
+impl Cost {
+    /// Seeks per operation.
+    pub fn seeks_per_op(&self) -> f64 {
+        self.io.seeks as f64 / self.ops.max(1) as f64
+    }
+
+    /// Page transfers per operation.
+    pub fn transfers_per_op(&self) -> f64 {
+        self.io.transfers() as f64 / self.ops.max(1) as f64
+    }
+
+    /// Simulated milliseconds per operation.
+    pub fn ms_per_op(&self) -> f64 {
+        self.io.elapsed_ms() / self.ops.max(1) as f64
+    }
+}
+
+/// Run `ops` operations against `store`, measuring the I/O delta.
+pub fn measure<S: BlobStore, F>(store: &mut S, ops: u64, mut f: F) -> Cost
+where
+    F: FnMut(&mut S, u64),
+{
+    store.reset_io();
+    let before = store.io_stats();
+    for i in 0..ops {
+        f(store, i);
+    }
+    let io = store.io_stats() - before;
+    Cost { ops, io }
+}
+
+/// The standard comparison workload phases (experiment E7), generic
+/// over the store. Unsupported operations surface as `None`.
+pub struct ComparisonRun {
+    /// Store name.
+    pub name: &'static str,
+    /// Object size used.
+    pub object_bytes: u64,
+    /// Cost of creating the object with a size hint.
+    pub create_known: Cost,
+    /// Cost of creating via 8 KiB appends without a hint.
+    pub create_unknown: Option<Cost>,
+    /// Full sequential scan.
+    pub scan: Cost,
+    /// Random 4 KiB range reads.
+    pub random_reads: Cost,
+    /// Random 100-byte inserts.
+    pub inserts: Option<Cost>,
+    /// Random 100-byte deletes.
+    pub deletes: Option<Cost>,
+    /// Random 512-byte in-place replaces.
+    pub replaces: Cost,
+    /// Pages occupied at the end (leaf + index).
+    pub storage_pages: u64,
+    /// Storage utilization at the end.
+    pub utilization: f64,
+}
+
+/// Drive the full comparison workload against one store.
+///
+/// `fresh` builds a new store each phase so earlier phases cannot
+/// pollute later ones.
+pub fn comparison_run<S, F>(
+    name: &'static str,
+    object_bytes: u64,
+    reads: u64,
+    updates: u64,
+    mut fresh: F,
+) -> Result<ComparisonRun, Error>
+where
+    S: BlobStore,
+    F: FnMut() -> S,
+{
+    let data = payload(1, object_bytes as usize);
+    let page = 4096u64;
+
+    // Create with a known size. A store that cannot hold the object at
+    // all (WiSS beyond its directory cap) reports that instead.
+    let mut s = fresh();
+    s.reset_io();
+    let before = s.io_stats();
+    s.create(&data, true)?;
+    let create_known = Cost {
+        ops: 1,
+        io: s.io_stats() - before,
+    };
+
+    // Create by appending 8 KiB chunks, size unknown.
+    let mut s = fresh();
+    let create_unknown = {
+        let mut h = s.create(&[], false).unwrap();
+        let before = {
+            s.reset_io();
+            s.io_stats()
+        };
+        let chunks: Vec<&[u8]> = data.chunks(8192).collect();
+        let failed = s.append_many(&mut h, &chunks).is_err();
+        let io = s.io_stats() - before;
+        (!failed).then_some(Cost {
+            ops: data.len().div_ceil(8192) as u64,
+            io,
+        })
+    };
+
+    // The remaining phases run on one object created with a hint.
+    let mut s = fresh();
+    let mut h = s.create(&data, true)?;
+
+    let scan = measure(&mut s, 1, |s, _| {
+        let got = s.read(&h, 0, object_bytes).unwrap();
+        assert_eq!(got.len() as u64, object_bytes);
+    });
+
+    let mut r = rng();
+    let offsets: Vec<u64> = (0..reads)
+        .map(|_| r.gen_range(0..object_bytes.saturating_sub(page).max(1)))
+        .collect();
+    let scan_h = &h;
+    let random_reads = measure(&mut s, reads, |s, i| {
+        let _ = s.read(scan_h, offsets[i as usize], page).unwrap();
+    });
+
+    // Random replaces (in place everywhere).
+    let mut r = rng();
+    let roff: Vec<u64> = (0..updates)
+        .map(|_| r.gen_range(0..object_bytes - 512))
+        .collect();
+    let rdata = payload(7, 512);
+    let replaces = measure(&mut s, updates, |s, i| {
+        s.replace(&mut h, roff[i as usize], &rdata).unwrap();
+    });
+
+    // Random small inserts.
+    let mut r = rng();
+    let idata = payload(9, 100);
+    let inserts = {
+        s.reset_io();
+        let before = s.io_stats();
+        let mut ok = true;
+        for _ in 0..updates {
+            let size = s.size(&h);
+            let off = r.gen_range(0..=size);
+            match s.insert(&mut h, off, &idata) {
+                Ok(()) => {}
+                Err(Error::Unsupported { .. }) => {
+                    ok = false;
+                    break;
+                }
+                Err(e) => panic!("insert failed: {e}"),
+            }
+        }
+        let io = s.io_stats() - before;
+        ok.then_some(Cost { ops: updates, io })
+    };
+
+    // Random small deletes.
+    let mut r = rng();
+    let deletes = {
+        s.reset_io();
+        let before = s.io_stats();
+        let mut ok = true;
+        for _ in 0..updates {
+            let size = s.size(&h);
+            if size < 200 {
+                break;
+            }
+            let off = r.gen_range(0..size - 100);
+            match s.delete(&mut h, off, 100) {
+                Ok(()) => {}
+                Err(Error::Unsupported { .. }) => {
+                    ok = false;
+                    break;
+                }
+                Err(e) => panic!("delete failed: {e}"),
+            }
+        }
+        let io = s.io_stats() - before;
+        ok.then_some(Cost { ops: updates, io })
+    };
+
+    let storage_pages = s.storage_pages(&h).unwrap_or(0);
+    let utilization = if storage_pages == 0 {
+        1.0
+    } else {
+        s.size(&h) as f64 / (storage_pages * page) as f64
+    };
+
+    Ok(ComparisonRun {
+        name,
+        object_bytes,
+        create_known,
+        create_unknown,
+        scan,
+        random_reads,
+        inserts,
+        deletes,
+        replaces,
+        storage_pages,
+        utilization,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(payload(3, 100), payload(3, 100));
+        assert_ne!(payload(3, 100), payload(4, 100));
+    }
+
+    #[test]
+    fn cost_ratios() {
+        let c = Cost {
+            ops: 4,
+            io: IoStats {
+                seeks: 8,
+                page_reads: 12,
+                page_writes: 4,
+                elapsed_us: 8000,
+                ..IoStats::default()
+            },
+        };
+        assert_eq!(c.seeks_per_op(), 2.0);
+        assert_eq!(c.transfers_per_op(), 4.0);
+        assert_eq!(c.ms_per_op(), 2.0);
+    }
+}

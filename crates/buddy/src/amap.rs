@@ -1,0 +1,424 @@
+//! The page allocation map (*amap*) byte encoding of Figure 2.
+//!
+//! Each byte `B` of the map describes the four pages `4B .. 4B+3`:
+//!
+//! * **Big form** (`1·s·tttttt`): a segment of size `2^t ≥ 4` pages starts
+//!   at page `4B`; bit 6 (`s`) is its status (1 = allocated, 0 = free) and
+//!   the low six bits are its type `t`. Every subsequent byte covered by
+//!   the segment is all-zero.
+//! * **Individual form** (`0···abcd`): the status of pages `4B..4B+3` is
+//!   given by the last four bits, one per page (bit 3 = page `4B`,
+//!   1 = allocated). Segments of size 1 and 2 live in this form; their
+//!   size needs no explicit type because (a) frees pass an explicit page
+//!   range and (b) a *free* page's segment size is implied by the buddy
+//!   coalescing invariant.
+//! * **Continuation** (`00000000`): the four pages belong to a big
+//!   segment described "in the first nonzero byte on the left" (§3.1).
+//!
+//! The map maintains the invariant that free space is always maximally
+//! coalesced, which is also what makes the encoding unambiguous: four
+//! aligned free pages can never sit in individual form (they would be a
+//! free big segment), so an individual byte always has at least one
+//! allocated page and can never collide with the all-zero continuation
+//! byte.
+
+/// Bit 7: the byte is a big-segment header.
+pub const BIG_FLAG: u8 = 0x80;
+/// Bit 6 of a big header: segment is allocated.
+pub const ALLOC_FLAG: u8 = 0x40;
+/// Low six bits of a big header: the segment type.
+pub const TYPE_MASK: u8 = 0x3F;
+
+/// Allocation state of a segment or page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegState {
+    /// The pages are free.
+    Free,
+    /// The pages are allocated.
+    Allocated,
+}
+
+/// A decoded segment: `pages` physically contiguous pages starting at
+/// data page `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegDesc {
+    /// First data page of the segment.
+    pub start: u64,
+    /// Length in pages (a power of two).
+    pub pages: u64,
+    /// Allocation state.
+    pub state: SegState,
+}
+
+/// The allocation map over `data_pages` pages.
+///
+/// This type performs raw encode/decode and marking; the directory
+/// ([`crate::dir::SpaceDir`]) layers the count array, the free-segment
+/// search and buddy coalescing on top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AMap {
+    bytes: Vec<u8>,
+    data_pages: u64,
+}
+
+impl AMap {
+    /// Create a map in which every existing page is marked allocated
+    /// (individual form). [`crate::dir::SpaceDir::create`] then frees the
+    /// whole range through the regular coalescing path, which yields the
+    /// canonical initial state. Trailing pages of a partial final byte
+    /// (when `data_pages` is not a multiple of 4) stay permanently
+    /// "allocated" so they can never be handed out.
+    pub fn new_all_allocated(data_pages: u64) -> AMap {
+        let nbytes = data_pages.div_ceil(4) as usize;
+        AMap {
+            bytes: vec![0x0F; nbytes],
+            data_pages,
+        }
+    }
+
+    /// Rehydrate a map from directory-page bytes.
+    pub fn from_bytes(bytes: Vec<u8>, data_pages: u64) -> AMap {
+        assert!(bytes.len() as u64 * 4 >= data_pages);
+        AMap { bytes, data_pages }
+    }
+
+    /// Raw map bytes (for directory serialization).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Number of data pages covered.
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages
+    }
+
+    #[inline]
+    fn bit_of(page: u64) -> u8 {
+        1u8 << (3 - (page % 4) as u8)
+    }
+
+    /// Raw byte `i` of the map (used by the Fig 3 reproduction).
+    pub fn byte(&self, i: usize) -> u8 {
+        self.bytes[i]
+    }
+
+    /// Is `page` allocated? (Interior pages of big segments inherit the
+    /// segment's state.)
+    pub fn page_allocated(&self, page: u64) -> bool {
+        self.seg_containing(page).state == SegState::Allocated
+    }
+
+    /// Decode the segment that *starts* at `page`.
+    ///
+    /// # Panics
+    /// In debug builds, if `page` is the interior of a big segment.
+    pub fn seg_at_start(&self, page: u64) -> SegDesc {
+        debug_assert!(page < self.data_pages);
+        let b = self.bytes[(page / 4) as usize];
+        if b & BIG_FLAG != 0 {
+            debug_assert_eq!(page % 4, 0, "big segments start at their header byte");
+            let t = b & TYPE_MASK;
+            let state = if b & ALLOC_FLAG != 0 {
+                SegState::Allocated
+            } else {
+                SegState::Free
+            };
+            return SegDesc {
+                start: page,
+                pages: 1u64 << t,
+                state,
+            };
+        }
+        debug_assert_ne!(b, 0, "segment start cannot be a continuation byte");
+        // Individual form.
+        if b & Self::bit_of(page) != 0 {
+            return SegDesc {
+                start: page,
+                pages: 1,
+                state: SegState::Allocated,
+            };
+        }
+        // Free page: a canonical free 2-segment iff the page is even and
+        // its pair partner is also free.
+        let pages = if page.is_multiple_of(2)
+            && page + 1 < self.data_pages
+            && b & Self::bit_of(page + 1) == 0
+        {
+            2
+        } else {
+            1
+        };
+        SegDesc {
+            start: page,
+            pages,
+            state: SegState::Free,
+        }
+    }
+
+    /// Decode the segment *containing* `page`, following continuation
+    /// bytes left to the nearest header ("the first nonzero byte on the
+    /// left of B", §3.1).
+    pub fn seg_containing(&self, page: u64) -> SegDesc {
+        assert!(page < self.data_pages, "page out of space");
+        let bi = (page / 4) as usize;
+        let b = self.bytes[bi];
+        if b & BIG_FLAG != 0 {
+            let d = self.seg_at_start(4 * bi as u64);
+            debug_assert!(page < d.start + d.pages);
+            return d;
+        }
+        if b == 0 {
+            // Continuation: scan left for the header.
+            let mut i = bi;
+            loop {
+                assert!(i > 0, "continuation byte with no header on the left");
+                i -= 1;
+                if self.bytes[i] != 0 {
+                    break;
+                }
+            }
+            let hb = self.bytes[i];
+            assert!(
+                hb & BIG_FLAG != 0,
+                "continuation must belong to a big segment"
+            );
+            let d = self.seg_at_start(4 * i as u64);
+            assert!(
+                page < d.start + d.pages,
+                "page {page} past the end of covering segment"
+            );
+            return d;
+        }
+        // Individual form: find the start of the (1- or 2-page) segment.
+        if b & Self::bit_of(page) != 0 {
+            return SegDesc {
+                start: page,
+                pages: 1,
+                state: SegState::Allocated,
+            };
+        }
+        // Free page: part of a pair iff its 2-aligned partner is free.
+        if page % 2 == 1 && b & Self::bit_of(page - 1) == 0 {
+            return SegDesc {
+                start: page - 1,
+                pages: 2,
+                state: SegState::Free,
+            };
+        }
+        self.seg_at_start(page)
+    }
+
+    /// Zero the marking of a segment of `2^t` pages at `start` (big
+    /// header + continuations, or individual bits).
+    pub fn erase(&mut self, start: u64, t: u8) {
+        let pages = 1u64 << t;
+        debug_assert!(start.is_multiple_of(pages), "segments are size-aligned");
+        debug_assert!(start + pages <= self.data_pages);
+        if t >= 2 {
+            let first = (start / 4) as usize;
+            let last = ((start + pages - 1) / 4) as usize;
+            for b in &mut self.bytes[first..=last] {
+                *b = 0;
+            }
+        } else {
+            for p in start..start + pages {
+                self.bytes[(p / 4) as usize] &= !Self::bit_of(p);
+            }
+        }
+    }
+
+    /// Mark a segment of `2^t` pages at `start` with the given state.
+    ///
+    /// The range's current marking must be all-zero (freshly erased);
+    /// for `t < 2` a free marking is therefore a no-op (free individual
+    /// bits are zero).
+    pub fn mark(&mut self, start: u64, t: u8, state: SegState) {
+        let pages = 1u64 << t;
+        debug_assert!(start.is_multiple_of(pages), "segments are size-aligned");
+        debug_assert!(start + pages <= self.data_pages);
+        if t >= 2 {
+            let header = BIG_FLAG
+                | if state == SegState::Allocated {
+                    ALLOC_FLAG
+                } else {
+                    0
+                }
+                | t;
+            let first = (start / 4) as usize;
+            debug_assert_eq!(self.bytes[first], 0, "marking over live bytes");
+            self.bytes[first] = header;
+            // Continuation bytes are already zero.
+        } else if state == SegState::Allocated {
+            for p in start..start + pages {
+                self.bytes[(p / 4) as usize] |= Self::bit_of(p);
+            }
+        }
+    }
+
+    /// Is there a *free* segment of exactly `2^t` pages starting at
+    /// `start`? Used for the buddy check during coalescing.
+    ///
+    /// For `t < 2` the buddy always lies in the same 4-page quad as the
+    /// segment being freed, where a continuation byte cannot occur (big
+    /// segments are quad-aligned and cover whole bytes), so an all-zero
+    /// byte simply means "all four pages free" mid-rebuild and the bit
+    /// test alone is decisive.
+    pub fn is_free_exact(&self, start: u64, t: u8) -> bool {
+        if start + (1u64 << t) > self.data_pages {
+            return false;
+        }
+        let b = self.bytes[(start / 4) as usize];
+        match t {
+            0 => b & BIG_FLAG == 0 && b & Self::bit_of(start) == 0,
+            1 => {
+                b & BIG_FLAG == 0
+                    && b & Self::bit_of(start) == 0
+                    && b & Self::bit_of(start + 1) == 0
+            }
+            _ => b == BIG_FLAG | t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the Figure 3 map by hand and check the exact byte values
+    /// and decodes the paper gives.
+    fn fig3_map() -> AMap {
+        let mut m = AMap::new_all_allocated(80);
+        for b in 0..20 {
+            m.bytes[b] = 0; // start from a blank slate
+        }
+        m.mark(0, 6, SegState::Allocated); // allocated 64-seg at page 0
+        m.mark(65, 0, SegState::Allocated); // pages 65, 66 allocated
+        m.mark(66, 0, SegState::Allocated); // (64 and 67 stay free bits)
+        m.mark(68, 2, SegState::Free); // free 4-seg at page 68
+        m.mark(72, 3, SegState::Free); // free 8-seg at page 72
+        m
+    }
+
+    #[test]
+    fn figure3_byte_values() {
+        let m = fig3_map();
+        // Byte 0: big, allocated, type 6.
+        assert_eq!(m.byte(0), BIG_FLAG | ALLOC_FLAG | 6);
+        // Bytes 1..=15: continuation of the 64-page segment.
+        for i in 1..=15 {
+            assert_eq!(m.byte(i), 0, "byte {i}");
+        }
+        // Byte 16: pages 64 free, 65 alloc, 66 alloc, 67 free → 0110.
+        assert_eq!(m.byte(16), 0b0000_0110);
+        // Byte 17: free 4-seg (big, free, type 2).
+        assert_eq!(m.byte(17), BIG_FLAG | 2);
+        // Byte 18: free 8-seg (big, free, type 3).
+        assert_eq!(m.byte(18), BIG_FLAG | 3);
+        // Byte 19: continuation of the 8-seg.
+        assert_eq!(m.byte(19), 0);
+    }
+
+    #[test]
+    fn figure3_decodes() {
+        let m = fig3_map();
+        assert_eq!(
+            m.seg_at_start(0),
+            SegDesc {
+                start: 0,
+                pages: 64,
+                state: SegState::Allocated
+            }
+        );
+        // Interior page resolves through continuation bytes.
+        assert_eq!(m.seg_containing(63).start, 0);
+        assert_eq!(m.seg_containing(63).pages, 64);
+        // Individual pages.
+        assert_eq!(m.seg_at_start(64).pages, 1);
+        assert_eq!(m.seg_at_start(64).state, SegState::Free);
+        assert_eq!(m.seg_at_start(65).state, SegState::Allocated);
+        assert_eq!(m.seg_at_start(67).state, SegState::Free);
+        assert_eq!(m.seg_at_start(67).pages, 1);
+        // Free 4- and 8-segments.
+        assert_eq!(m.seg_at_start(68).pages, 4);
+        assert_eq!(m.seg_at_start(68).state, SegState::Free);
+        assert_eq!(m.seg_at_start(72).pages, 8);
+        assert_eq!(m.seg_containing(79).start, 72);
+    }
+
+    #[test]
+    fn free_pair_decodes_as_two_page_segment() {
+        let mut m = AMap::new_all_allocated(8);
+        m.bytes[0] = 0;
+        m.bytes[1] = 0;
+        m.mark(0, 0, SegState::Allocated);
+        m.mark(1, 0, SegState::Allocated);
+        // pages 2,3 free → canonical free 2-seg at 2.
+        m.mark(4, 2, SegState::Allocated);
+        assert_eq!(
+            m.seg_at_start(2),
+            SegDesc {
+                start: 2,
+                pages: 2,
+                state: SegState::Free
+            }
+        );
+        assert_eq!(m.seg_containing(3).start, 2);
+        assert_eq!(m.seg_containing(3).pages, 2);
+    }
+
+    #[test]
+    fn odd_free_page_is_a_one_segment() {
+        let mut m = AMap::new_all_allocated(4);
+        m.bytes[0] = 0;
+        m.mark(0, 0, SegState::Allocated);
+        m.mark(2, 0, SegState::Allocated);
+        m.mark(3, 0, SegState::Allocated);
+        // Page 1 free, pair partner (page 0) allocated.
+        let d = m.seg_at_start(1);
+        assert_eq!(d.pages, 1);
+        assert_eq!(d.state, SegState::Free);
+    }
+
+    #[test]
+    fn erase_and_remark_roundtrip() {
+        let mut m = AMap::new_all_allocated(16);
+        for b in 0..4 {
+            m.bytes[b] = 0;
+        }
+        m.mark(0, 4, SegState::Free);
+        assert!(m.is_free_exact(0, 4));
+        m.erase(0, 4);
+        m.mark(0, 3, SegState::Allocated);
+        m.mark(8, 3, SegState::Free);
+        assert!(!m.is_free_exact(0, 3));
+        assert!(m.is_free_exact(8, 3));
+        assert_eq!(m.seg_containing(5).start, 0);
+        assert_eq!(m.seg_containing(12).start, 8);
+    }
+
+    #[test]
+    fn is_free_exact_rejects_wrong_sizes() {
+        let mut m = AMap::new_all_allocated(16);
+        for b in 0..4 {
+            m.bytes[b] = 0;
+        }
+        m.mark(0, 2, SegState::Free);
+        m.mark(4, 2, SegState::Allocated);
+        m.mark(8, 3, SegState::Free);
+        assert!(m.is_free_exact(0, 2));
+        assert!(!m.is_free_exact(0, 3), "type mismatch");
+        assert!(!m.is_free_exact(4, 2), "allocated");
+        assert!(m.is_free_exact(8, 3));
+        assert!(!m.is_free_exact(8, 2), "type mismatch");
+        // Out of bounds is simply "no".
+        assert!(!m.is_free_exact(12, 3));
+    }
+
+    #[test]
+    fn trailing_partial_byte_pages_stay_allocated() {
+        let m = AMap::new_all_allocated(6);
+        // Pages 6,7 do not exist; their bits were initialized allocated
+        // so nothing will ever coalesce into them.
+        assert_eq!(m.byte(1) & 0b0011, 0b0011);
+    }
+}

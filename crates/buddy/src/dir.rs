@@ -1,0 +1,632 @@
+//! The buddy-space directory: count array + allocation map (Fig 1), and
+//! the allocation/deallocation algorithms of §3.1–§3.2.
+//!
+//! "The entire process of allocating and deallocating segments is
+//! performed on the directory page only." [`SpaceDir`] is the decoded
+//! in-memory image of that one page; [`crate::space::BuddySpace`] reads
+//! it once and writes it back after each mutation, so the volume-level
+//! I/O counters show exactly the one-page cost the paper claims (§3.3).
+
+use crate::amap::{AMap, SegDesc, SegState};
+use crate::error::{Error, Result};
+use crate::geometry::Geometry;
+
+/// Decoded directory of one buddy space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceDir {
+    geometry: Geometry,
+    /// `count[t]` = number of free segments of type `t` (size `2^t`).
+    counts: Vec<u16>,
+    amap: AMap,
+    /// Largest type a segment in this space may have
+    /// (`min(geometry.max_type, ⌊log₂ data_pages⌋)`).
+    space_max_type: u8,
+}
+
+impl SpaceDir {
+    /// Create a directory for a fresh space of `data_pages` pages, all
+    /// free. The initial state is produced by marking everything
+    /// allocated and then freeing the whole range through the regular
+    /// coalescing path, which yields the canonical decomposition.
+    pub fn create(geometry: Geometry, data_pages: u64) -> SpaceDir {
+        assert!(data_pages > 0, "empty buddy space");
+        assert!(
+            data_pages <= geometry.max_space_pages,
+            "space of {data_pages} pages exceeds the {} the directory page can map",
+            geometry.max_space_pages
+        );
+        assert!(
+            data_pages <= u16::MAX as u64,
+            "count entries are 2 bytes (paper §3); space too large"
+        );
+        let space_max_type = std::cmp::min(geometry.max_type, data_pages.ilog2() as u8);
+        let mut dir = SpaceDir {
+            geometry,
+            counts: vec![0; geometry.count_entries()],
+            amap: AMap::new_all_allocated(data_pages),
+            space_max_type,
+        };
+        // Free the whole range: erase the individual "allocated" bits and
+        // lay down the canonical aligned decomposition.
+        let mut cursor = 0u64;
+        let mut remaining = data_pages;
+        while remaining > 0 {
+            let t = dir.chunk_type(cursor, remaining);
+            dir.amap.erase(cursor, t); // clear the init bits
+            dir.free_pow2(cursor, t);
+            cursor += 1 << t;
+            remaining -= 1 << t;
+        }
+        dir
+    }
+
+    /// Largest power-of-two chunk that starts aligned at `cursor`, fits
+    /// in `remaining` pages and respects the space's maximum type.
+    fn chunk_type(&self, cursor: u64, remaining: u64) -> u8 {
+        debug_assert!(remaining > 0);
+        let align = if cursor == 0 {
+            u8::MAX
+        } else {
+            cursor.trailing_zeros() as u8
+        };
+        let fit = remaining.ilog2() as u8;
+        align.min(fit).min(self.space_max_type)
+    }
+
+    /// The geometry this directory was created with.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Number of data pages managed.
+    pub fn data_pages(&self) -> u64 {
+        self.amap.data_pages()
+    }
+
+    /// Largest segment type possible in this space.
+    pub fn space_max_type(&self) -> u8 {
+        self.space_max_type
+    }
+
+    /// `count[t]`: free segments of size `2^t`.
+    pub fn count(&self, t: u8) -> u16 {
+        self.counts[t as usize]
+    }
+
+    /// The full count array (Fig 1).
+    pub fn counts(&self) -> &[u16] {
+        &self.counts
+    }
+
+    /// Read-only view of the allocation map.
+    pub fn amap(&self) -> &AMap {
+        &self.amap
+    }
+
+    /// Type of the largest free segment, or `None` if the space is full.
+    pub fn largest_free_type(&self) -> Option<u8> {
+        (0..=self.space_max_type).rev().find(|&t| self.counts[t as usize] > 0)
+    }
+
+    /// Total free pages (Σ count\[t\]·2ᵗ).
+    pub fn free_pages(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| (c as u64) << t)
+            .sum()
+    }
+
+    /// Locate a free segment of size `2^t` with the §3.1 walk: start at
+    /// segment 0 and hop `S ← S + max(n, m)` until the desired segment
+    /// is found, never touching map bytes between segment starts.
+    ///
+    /// Returns the start page and the number of map probes the walk made
+    /// (the probe count feeds experiment E8).
+    pub fn find_free(&self, t: u8) -> Option<(u64, u32)> {
+        let n = 1u64 << t;
+        let mut s = 0u64;
+        let mut probes = 0u32;
+        while s < self.data_pages() {
+            probes += 1;
+            let d = self.amap.seg_at_start(s);
+            if d.state == SegState::Free && d.pages == n {
+                return Some((s, probes));
+            }
+            s += n.max(d.pages);
+        }
+        None
+    }
+
+    /// Allocate a segment of exactly `2^t` pages (§3.2): take a free
+    /// segment of that size if one exists, otherwise split the smallest
+    /// larger free segment in half recursively.
+    pub fn alloc_pow2(&mut self, t: u8) -> Result<u64> {
+        if t > self.space_max_type {
+            return Err(Error::NoSpace {
+                requested_pages: 1u64 << t,
+            });
+        }
+        if self.counts[t as usize] > 0 {
+            let (s, _) = self
+                .find_free(t)
+                .expect("count[t] > 0 but no free segment found");
+            self.amap.erase(s, t);
+            self.amap.mark(s, t, SegState::Allocated);
+            self.counts[t as usize] -= 1;
+            return Ok(s);
+        }
+        // Find the smallest j > t with a free segment and split.
+        let j = ((t + 1)..=self.space_max_type)
+            .find(|&j| self.counts[j as usize] > 0)
+            .ok_or(Error::NoSpace {
+                requested_pages: 1u64 << t,
+            })?;
+        let (s, _) = self
+            .find_free(j)
+            .expect("count[j] > 0 but no free segment found");
+        self.amap.erase(s, j);
+        self.counts[j as usize] -= 1;
+        // Keep the left half at each level; free the right halves.
+        for l in (t..j).rev() {
+            let half = s + (1u64 << l);
+            self.amap.mark(half, l, SegState::Free);
+            self.counts[l as usize] += 1;
+        }
+        self.amap.mark(s, t, SegState::Allocated);
+        Ok(s)
+    }
+
+    /// Free a segment of `2^t` pages at `start`, coalescing with free
+    /// buddies iteratively (§3.2, Fig 4.d). The range's map marking must
+    /// already be erased; this lays down the final free marking.
+    fn free_pow2(&mut self, start: u64, mut t: u8) {
+        let mut s = start;
+        while t < self.space_max_type {
+            let buddy = s ^ (1u64 << t);
+            if !self.amap.is_free_exact(buddy, t) {
+                break;
+            }
+            self.amap.erase(buddy, t);
+            self.counts[t as usize] -= 1;
+            s = s.min(buddy);
+            t += 1;
+        }
+        self.amap.mark(s, t, SegState::Free);
+        self.counts[t as usize] += 1;
+    }
+
+    /// Allocate `pages` physically contiguous pages, any size (§3.2,
+    /// Fig 4): take a free segment of the next power of two, mark the
+    /// binary decomposition of `pages` allocated from the left, and give
+    /// the remainder back as free segments (low types first).
+    pub fn alloc_any(&mut self, pages: u64) -> Result<u64> {
+        if pages == 0 {
+            return Err(Error::ZeroPages);
+        }
+        let t = self.geometry.type_for(pages);
+        if pages == 1u64 << t {
+            return self.alloc_pow2(t);
+        }
+        let s = self.alloc_pow2(t)?;
+        self.amap.erase(s, t);
+        // Allocated chunks: high bits of `pages`, left to right.
+        let mut cursor = s;
+        for b in (0..64u8).rev() {
+            if pages & (1u64 << b) != 0 {
+                self.amap.mark(cursor, b, SegState::Allocated);
+                cursor += 1u64 << b;
+            }
+        }
+        // Remainder: low bits first ("in reverse order", Fig 4.b).
+        let rem = (1u64 << t) - pages;
+        for b in 0..64u8 {
+            if rem & (1u64 << b) != 0 {
+                self.free_pow2(cursor, b);
+                cursor += 1u64 << b;
+            }
+        }
+        Ok(s)
+    }
+
+    /// Allocate a *specific* page range `[start, start+pages)`, which
+    /// must currently be free (used to claim fixed-location structures
+    /// like a boot page). The inverse of [`Self::free_range`]: free
+    /// fringes of the covered segments stay free, the range itself is
+    /// marked allocated with the aligned decomposition.
+    pub fn alloc_at(&mut self, start: u64, pages: u64) -> Result<()> {
+        if pages == 0 {
+            return Err(Error::ZeroPages);
+        }
+        let end = start
+            .checked_add(pages)
+            .filter(|&e| e <= self.data_pages())
+            .ok_or(Error::OutOfSpaceBounds { start, pages })?;
+        // Collect the free segments overlapping the range.
+        let mut segs: Vec<SegDesc> = Vec::new();
+        let mut p = start;
+        while p < end {
+            let d = self.amap.seg_containing(p);
+            if d.state == SegState::Allocated {
+                return Err(Error::NoSpace {
+                    requested_pages: pages,
+                });
+            }
+            p = d.start + d.pages;
+            segs.push(d);
+        }
+        for d in segs {
+            let t = d.pages.ilog2() as u8;
+            self.amap.erase(d.start, t);
+            self.counts[t as usize] -= 1;
+            let seg_end = d.start + d.pages;
+            // The range itself becomes allocated.
+            self.mark_alloc_decomp(start.max(d.start), end.min(seg_end));
+            // Free fringes go back through the coalescing path.
+            for (a, b) in [(d.start, start.max(d.start)), (end.min(seg_end), seg_end)] {
+                let mut cursor = a;
+                while cursor < b {
+                    let ct = self.chunk_type(cursor, b - cursor);
+                    self.free_pow2(cursor, ct);
+                    cursor += 1u64 << ct;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Free an arbitrary page range `[start, start+pages)`, which may
+    /// cover several marked segments and/or parts of them ("a client may
+    /// selectively free any portion of a previously allocated segment",
+    /// §3.2). Remaining allocated fringes are re-marked with the aligned
+    /// binary decomposition; freed chunks coalesce with their buddies.
+    pub fn free_range(&mut self, start: u64, pages: u64) -> Result<()> {
+        if pages == 0 {
+            return Err(Error::ZeroPages);
+        }
+        let end = start
+            .checked_add(pages)
+            .filter(|&e| e <= self.data_pages())
+            .ok_or(Error::OutOfSpaceBounds { start, pages })?;
+        // Collect the marked segments overlapping the range; all must be
+        // allocated.
+        let mut segs: Vec<SegDesc> = Vec::new();
+        let mut p = start;
+        while p < end {
+            let d = self.amap.seg_containing(p);
+            if d.state == SegState::Free {
+                return Err(Error::DoubleFree { page: p });
+            }
+            p = d.start + d.pages;
+            segs.push(d);
+        }
+        for d in segs {
+            self.amap.erase(d.start, d.pages.ilog2() as u8);
+            let seg_end = d.start + d.pages;
+            // Left fringe stays allocated.
+            self.mark_alloc_decomp(d.start, start.max(d.start));
+            // Right fringe stays allocated.
+            self.mark_alloc_decomp(end.min(seg_end), seg_end);
+            // Interior is freed with coalescing.
+            let f0 = start.max(d.start);
+            let f1 = end.min(seg_end);
+            let mut cursor = f0;
+            while cursor < f1 {
+                let t = self.chunk_type(cursor, f1 - cursor);
+                self.free_pow2(cursor, t);
+                cursor += 1u64 << t;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark `[a, b)` allocated as a sequence of aligned power-of-two
+    /// segments (the canonical decomposition).
+    fn mark_alloc_decomp(&mut self, a: u64, b: u64) {
+        let mut cursor = a;
+        while cursor < b {
+            let t = self.chunk_type(cursor, b - cursor);
+            self.amap.mark(cursor, t, SegState::Allocated);
+            cursor += 1u64 << t;
+        }
+    }
+
+    /// Serialize to directory-page bytes: the count array (2-byte
+    /// entries) followed by the allocation map (Fig 1).
+    pub fn to_page(&self) -> Vec<u8> {
+        let mut page = vec![0u8; self.geometry.page_size];
+        for (i, &c) in self.counts.iter().enumerate() {
+            page[2 * i..2 * i + 2].copy_from_slice(&c.to_le_bytes());
+        }
+        let off = 2 * self.counts.len();
+        let map = self.amap.as_bytes();
+        page[off..off + map.len()].copy_from_slice(map);
+        page
+    }
+
+    /// Decode a directory page written by [`Self::to_page`].
+    pub fn from_page(geometry: Geometry, data_pages: u64, page: &[u8]) -> Result<SpaceDir> {
+        if page.len() != geometry.page_size {
+            return Err(Error::CorruptDirectory {
+                reason: "directory page has wrong length".into(),
+            });
+        }
+        let entries = geometry.count_entries();
+        let mut counts = Vec::with_capacity(entries);
+        for i in 0..entries {
+            counts.push(u16::from_le_bytes([page[2 * i], page[2 * i + 1]]));
+        }
+        let off = 2 * entries;
+        let nbytes = data_pages.div_ceil(4) as usize;
+        if off + nbytes > geometry.page_size {
+            return Err(Error::CorruptDirectory {
+                reason: "map does not fit the directory page".into(),
+            });
+        }
+        let amap = AMap::from_bytes(page[off..off + nbytes].to_vec(), data_pages);
+        let space_max_type = std::cmp::min(geometry.max_type, data_pages.ilog2() as u8);
+        let dir = SpaceDir {
+            geometry,
+            counts,
+            amap,
+            space_max_type,
+        };
+        dir.check_invariants()?;
+        Ok(dir)
+    }
+
+    /// Exhaustively verify the directory invariants: the map decodes into
+    /// non-overlapping, size-aligned segments covering every page; free
+    /// space is maximally coalesced; the count array matches the map.
+    /// Used by property tests after every operation and when opening a
+    /// directory page from disk.
+    pub fn check_invariants(&self) -> Result<()> {
+        let mut counted = vec![0u64; self.counts.len()];
+        let mut s = 0u64;
+        while s < self.data_pages() {
+            let d = self.amap.seg_at_start(s);
+            if !d.start.is_multiple_of(d.pages) {
+                return Err(Error::CorruptDirectory {
+                    reason: format!("segment at {s} not aligned to its size {}", d.pages),
+                });
+            }
+            if d.state == SegState::Free {
+                let t = d.pages.ilog2() as u8;
+                if t > self.space_max_type {
+                    return Err(Error::CorruptDirectory {
+                        reason: format!("free segment of type {t} too large"),
+                    });
+                }
+                counted[t as usize] += 1;
+                // Maximal coalescing: the buddy must not be free of the
+                // same size.
+                if t < self.space_max_type {
+                    let buddy = d.start ^ d.pages;
+                    if self.amap.is_free_exact(buddy, t) {
+                        return Err(Error::CorruptDirectory {
+                            reason: format!(
+                                "free buddies {} and {buddy} of size {} not coalesced",
+                                d.start, d.pages
+                            ),
+                        });
+                    }
+                }
+            }
+            s += d.pages;
+        }
+        if s != self.data_pages() {
+            return Err(Error::CorruptDirectory {
+                reason: format!("segments cover {s} pages, space has {}", self.data_pages()),
+            });
+        }
+        for (t, (&have, &want)) in self.counts.iter().zip(counted.iter()).enumerate() {
+            if have as u64 != want {
+                return Err(Error::CorruptDirectory {
+                    reason: format!("count[{t}] = {have}, map has {want}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir16() -> SpaceDir {
+        SpaceDir::create(Geometry::for_page_size(4096), 16)
+    }
+
+    #[test]
+    fn create_coalesces_to_one_segment() {
+        let d = dir16();
+        d.check_invariants().unwrap();
+        assert_eq!(d.count(4), 1);
+        assert_eq!(d.free_pages(), 16);
+        assert_eq!(d.largest_free_type(), Some(4));
+    }
+
+    #[test]
+    fn create_non_power_of_two_space() {
+        let d = SpaceDir::create(Geometry::for_page_size(4096), 13);
+        d.check_invariants().unwrap();
+        // 13 = 8 + 4 + 1.
+        assert_eq!(d.count(3), 1);
+        assert_eq!(d.count(2), 1);
+        assert_eq!(d.count(0), 1);
+        assert_eq!(d.free_pages(), 13);
+    }
+
+    #[test]
+    fn alloc_pow2_splits_larger_segments() {
+        let mut d = dir16();
+        let s = d.alloc_pow2(1).unwrap();
+        assert_eq!(s, 0);
+        d.check_invariants().unwrap();
+        // 16 split → halves freed at 8(t3), 4(t2), 2(t1); 2@0 allocated.
+        assert_eq!(d.count(3), 1);
+        assert_eq!(d.count(2), 1);
+        assert_eq!(d.count(1), 1);
+        assert_eq!(d.free_pages(), 14);
+    }
+
+    #[test]
+    fn alloc_then_free_restores_one_segment() {
+        let mut d = dir16();
+        let s = d.alloc_pow2(2).unwrap();
+        d.free_range(s, 4).unwrap();
+        d.check_invariants().unwrap();
+        assert_eq!(d.count(4), 1);
+        assert_eq!(d.free_pages(), 16);
+    }
+
+    #[test]
+    fn figure4_walkthrough() {
+        // (a) A free segment of size 16 exists.
+        let mut d = dir16();
+        assert_eq!(d.count(4), 1);
+
+        // (b) Allocate 11 pages: allocated 8@0, 2@8, 1@10;
+        //     free 1@11 and 4@12.
+        let s = d.alloc_any(11).unwrap();
+        assert_eq!(s, 0);
+        d.check_invariants().unwrap();
+        assert_eq!(d.count(0), 1);
+        assert_eq!(d.count(2), 1);
+        assert_eq!(d.free_pages(), 5);
+        let m = d.amap();
+        assert_eq!(m.seg_at_start(0).pages, 8);
+        assert_eq!(m.seg_at_start(0).state, SegState::Allocated);
+        assert_eq!(m.seg_at_start(8).pages, 1); // individual bits
+        assert_eq!(m.seg_at_start(8).state, SegState::Allocated);
+        assert_eq!(m.seg_at_start(11).pages, 1);
+        assert_eq!(m.seg_at_start(11).state, SegState::Free);
+        assert_eq!(m.seg_at_start(12).pages, 4);
+        assert_eq!(m.seg_at_start(12).state, SegState::Free);
+
+        // (c) Free 7 pages starting from page 3.
+        d.free_range(3, 7).unwrap();
+        d.check_invariants().unwrap();
+        // Allocated left: pages 0-2 (as 2@0 + 1@2) and page 10.
+        let m = d.amap();
+        assert!(m.page_allocated(0));
+        assert!(m.page_allocated(1));
+        assert!(m.page_allocated(2));
+        assert!(!m.page_allocated(3));
+        assert_eq!(m.seg_at_start(4).pages, 4);
+        assert_eq!(m.seg_at_start(4).state, SegState::Free);
+        assert_eq!(m.seg_at_start(8).pages, 2);
+        assert_eq!(m.seg_at_start(8).state, SegState::Free);
+        assert!(m.page_allocated(10));
+        assert!(!m.page_allocated(11));
+        assert_eq!(d.free_pages(), 12);
+
+        // (d) Free page 10: iterative coalescing 10+11 → 2@10,
+        //     2@10+2@8 → 4@8, 4@8+4@12 → 8@8. Segment 0 of size 8 is not
+        //     free, so coalescing stops there.
+        d.free_range(10, 1).unwrap();
+        d.check_invariants().unwrap();
+        let m = d.amap();
+        assert_eq!(m.seg_at_start(8).pages, 8);
+        assert_eq!(m.seg_at_start(8).state, SegState::Free);
+        assert_eq!(d.count(3), 1);
+        assert_eq!(d.free_pages(), 13);
+        assert!(m.page_allocated(0));
+        assert!(m.page_allocated(2));
+        assert!(!m.page_allocated(3));
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut d = dir16();
+        let s = d.alloc_pow2(2).unwrap();
+        d.free_range(s, 4).unwrap();
+        assert!(matches!(
+            d.free_range(s, 4),
+            Err(Error::DoubleFree { .. })
+        ));
+        // Freeing a range that straddles free space also fails.
+        let s2 = d.alloc_pow2(1).unwrap();
+        assert!(matches!(
+            d.free_range(s2, 4),
+            Err(Error::DoubleFree { .. })
+        ));
+    }
+
+    #[test]
+    fn no_space_is_reported() {
+        let mut d = dir16();
+        assert!(matches!(
+            d.alloc_pow2(5),
+            Err(Error::NoSpace { .. })
+        ));
+        d.alloc_pow2(4).unwrap();
+        assert!(matches!(
+            d.alloc_pow2(0),
+            Err(Error::NoSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn walk_probe_counts_match_figure3_example() {
+        // §3.1: searching for the free 8-segment in the Fig 3 map starts
+        // at segment 0 (64 pages), hops to 64, then to 72 — three probes.
+        let g = Geometry::for_page_size(4096);
+        let mut d = SpaceDir::create(g, 128);
+        // Carve the Fig 3 layout: alloc 64@0, pages 65,66; leave 68..72
+        // and 72..80 free; allocate the rest (80..128 = 48 pages).
+        assert_eq!(d.alloc_pow2(6).unwrap(), 0);
+        assert_eq!(d.alloc_any(4).unwrap(), 64); // 64..68 temporarily
+        d.free_range(64, 1).unwrap();
+        d.free_range(67, 1).unwrap();
+        assert_eq!(d.alloc_pow2(4).unwrap(), 80);
+        assert_eq!(d.alloc_pow2(5).unwrap(), 96);
+        d.check_invariants().unwrap();
+        let (s, probes) = d.find_free(3).unwrap();
+        assert_eq!(s, 72);
+        assert_eq!(probes, 3, "visits segments 0, 64(..65,66,67?), ...");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let g = Geometry::for_page_size(512);
+        let mut d = SpaceDir::create(g, 300);
+        d.alloc_any(37).unwrap();
+        d.alloc_pow2(3).unwrap();
+        d.free_range(5, 20).unwrap();
+        let page = d.to_page();
+        assert_eq!(page.len(), 512);
+        let d2 = SpaceDir::from_page(g, 300, &page).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn from_page_rejects_corruption() {
+        let g = Geometry::for_page_size(512);
+        let d = SpaceDir::create(g, 64);
+        let mut page = d.to_page();
+        page[0] = page[0].wrapping_add(1); // corrupt count[0]
+        assert!(matches!(
+            SpaceDir::from_page(g, 64, &page),
+            Err(Error::CorruptDirectory { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaust_space_and_refill() {
+        let mut d = SpaceDir::create(Geometry::for_page_size(4096), 64);
+        let mut got = Vec::new();
+        for _ in 0..16 {
+            got.push(d.alloc_pow2(2).unwrap());
+        }
+        assert_eq!(d.free_pages(), 0);
+        assert_eq!(d.largest_free_type(), None);
+        d.check_invariants().unwrap();
+        for s in got {
+            d.free_range(s, 4).unwrap();
+        }
+        d.check_invariants().unwrap();
+        assert_eq!(d.count(6), 1, "everything coalesced back");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the buddy space manager.
+
+use std::fmt;
+
+/// Result alias used throughout `eos-buddy`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by buddy spaces and the multi-space manager.
+#[derive(Debug)]
+pub enum Error {
+    /// No free segment large enough for the request exists (in this
+    /// space, or in any space for manager-level allocation).
+    NoSpace {
+        /// Pages the caller asked for.
+        requested_pages: u64,
+    },
+    /// A zero-page allocation or free was requested.
+    ZeroPages,
+    /// A page in the freed range was already free.
+    DoubleFree {
+        /// First already-free page encountered.
+        page: u64,
+    },
+    /// A page range fell outside the space.
+    OutOfSpaceBounds {
+        /// First page of the range.
+        start: u64,
+        /// Length of the range.
+        pages: u64,
+    },
+    /// The directory page failed validation on load.
+    CorruptDirectory {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// The requested space index does not exist.
+    NoSuchSpace {
+        /// Space index asked for.
+        space: usize,
+    },
+    /// An underlying volume error.
+    Pager(eos_pager::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSpace { requested_pages } => {
+                write!(f, "no free segment of {requested_pages} pages available")
+            }
+            Error::ZeroPages => write!(f, "zero-page request"),
+            Error::DoubleFree { page } => write!(f, "page {page} is already free"),
+            Error::OutOfSpaceBounds { start, pages } => {
+                write!(f, "range [{start}, {}) outside the space", start + pages)
+            }
+            Error::CorruptDirectory { reason } => {
+                write!(f, "corrupt buddy directory: {reason}")
+            }
+            Error::NoSuchSpace { space } => write!(f, "no buddy space #{space}"),
+            Error::Pager(e) => write!(f, "volume error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eos_pager::Error> for Error {
+    fn from(e: eos_pager::Error) -> Self {
+        Error::Pager(e)
+    }
+}

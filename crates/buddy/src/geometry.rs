@@ -1,0 +1,119 @@
+//! Buddy-space geometry derived from the page size (paper §3).
+//!
+//! "Since the directory is always 1 page, the maximum buddy space size,
+//! as well as the maximum segment size within the buddy space, depend on
+//! the page size. For a given page size PS the maximum segment size is
+//! 2·PS pages." With 4 KiB pages this gives segment types 0..=13 (max
+//! segment 2¹³ pages = 32 MB), a 4096 − 2·14 = 4068-byte allocation map,
+//! and buddy spaces of at most 4068·4 = 16,272 pages (≈ 63.5 MB).
+
+/// Derived sizing constants for buddy spaces with a given page size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Disk page size in bytes.
+    pub page_size: usize,
+    /// Maximum segment type `k`: segments range from 2⁰ to 2ᵏ pages.
+    pub max_type: u8,
+    /// Bytes available for the allocation map in the 1-page directory.
+    pub amap_len: usize,
+    /// Maximum number of data pages one buddy space can manage.
+    pub max_space_pages: u64,
+}
+
+impl Geometry {
+    /// Compute the geometry for a page size, per §3 of the paper.
+    ///
+    /// `max_type = ⌊log₂(2·PS)⌋`, the count array has `max_type + 1`
+    /// two-byte entries, and the allocation map gets the rest of the
+    /// directory page, each byte covering 4 pages.
+    ///
+    /// # Panics
+    /// If the page size is too small to hold a count array and a
+    /// non-empty map (anything ≥ 32 bytes is fine).
+    pub fn for_page_size(page_size: usize) -> Geometry {
+        assert!(page_size >= 32, "page size too small for a directory");
+        let max_type = (2 * page_size as u64).ilog2() as u8;
+        let count_bytes = 2 * (max_type as usize + 1);
+        assert!(page_size > count_bytes, "page size too small");
+        let amap_len = page_size - count_bytes;
+        Geometry {
+            page_size,
+            max_type,
+            amap_len,
+            max_space_pages: 4 * amap_len as u64,
+        }
+    }
+
+    /// Largest segment size in pages (2^max_type).
+    #[inline]
+    pub fn max_seg_pages(&self) -> u64 {
+        1u64 << self.max_type
+    }
+
+    /// Number of entries in the directory's count array.
+    #[inline]
+    pub fn count_entries(&self) -> usize {
+        self.max_type as usize + 1
+    }
+
+    /// Smallest segment type whose size is ≥ `pages`
+    /// (i.e. `⌈log₂ pages⌉`), used when an any-size request must be
+    /// carved out of one power-of-two segment (§3.2, Fig 4).
+    #[inline]
+    pub fn type_for(&self, pages: u64) -> u8 {
+        debug_assert!(pages > 0);
+        if pages == 1 {
+            0
+        } else {
+            (64 - (pages - 1).leading_zeros()) as u8
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Geometry;
+
+    #[test]
+    fn paper_numbers_for_4k_pages() {
+        // §3: "with 4K-byte disk pages, the maximum segment size that can
+        // be supported is 2¹³ pages (32 megabytes) ... the allocation map
+        // can be at most 4096−2×14=4068 bytes long; this allows the
+        // support of buddy spaces of at most 4068×4=16,272 pages".
+        let g = Geometry::for_page_size(4096);
+        assert_eq!(g.max_type, 13);
+        assert_eq!(g.max_seg_pages(), 8192);
+        assert_eq!(g.max_seg_pages() * 4096, 32 << 20); // 32 MB
+        assert_eq!(g.amap_len, 4068);
+        assert_eq!(g.max_space_pages, 16_272);
+        assert_eq!(g.count_entries(), 14);
+    }
+
+    #[test]
+    fn didactic_100_byte_pages() {
+        // The paper's Fig 5 examples use 100-byte pages.
+        let g = Geometry::for_page_size(100);
+        assert_eq!(g.max_type, 7); // ⌊log₂ 200⌋
+        assert_eq!(g.amap_len, 100 - 16);
+        assert_eq!(g.max_space_pages, 336);
+    }
+
+    #[test]
+    fn type_for_rounds_up_to_power_of_two() {
+        let g = Geometry::for_page_size(4096);
+        assert_eq!(g.type_for(1), 0);
+        assert_eq!(g.type_for(2), 1);
+        assert_eq!(g.type_for(3), 2);
+        assert_eq!(g.type_for(4), 2);
+        assert_eq!(g.type_for(5), 3);
+        assert_eq!(g.type_for(11), 4); // Fig 4: 11 pages carved from a 16
+        assert_eq!(g.type_for(16), 4);
+        assert_eq!(g.type_for(8192), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size too small")]
+    fn tiny_pages_rejected() {
+        Geometry::for_page_size(8);
+    }
+}

@@ -1,0 +1,481 @@
+//! Multi-space buddy manager: lays out a sequence of buddy spaces on a
+//! volume, routes allocations through the superdirectory, and provides
+//! the deferred-free ("release lock", §4.5) mechanism.
+
+use eos_pager::{PageId, SharedVolume};
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::geometry::Geometry;
+use crate::space::BuddySpace;
+use crate::superdir::{SuperDirStats, SuperDirectory};
+
+/// A run of physically contiguous allocated pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First volume page of the run.
+    pub start: PageId,
+    /// Length in pages.
+    pub pages: u64,
+}
+
+impl Extent {
+    /// One-past-the-last volume page.
+    #[inline]
+    pub fn end(&self) -> PageId {
+        self.start + self.pages
+    }
+}
+
+/// Token identifying a batch of deferred frees (one per transaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FreeBatch(u64);
+
+/// The disk space manager: several buddy spaces on one volume plus the
+/// superdirectory.
+pub struct BuddyManager {
+    spaces: Vec<BuddySpace>,
+    superdir: SuperDirectory,
+    use_superdir: bool,
+    geometry: Geometry,
+    pages_per_space: u64,
+    pending: Mutex<PendingFrees>,
+}
+
+#[derive(Debug, Default)]
+struct PendingFrees {
+    next_batch: u64,
+    batches: Vec<(u64, Vec<Extent>)>,
+}
+
+impl BuddyManager {
+    /// Format `num_spaces` spaces of `pages_per_space` data pages each,
+    /// laid out back to back from volume page 0 (each space owns
+    /// `pages_per_space + 1` volume pages, the first being its
+    /// directory).
+    pub fn create(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+    ) -> Result<BuddyManager> {
+        let geometry = Geometry::for_page_size(volume.page_size());
+        assert!(num_spaces > 0, "need at least one buddy space");
+        let span = pages_per_space + 1;
+        assert!(
+            span * num_spaces as u64 <= volume.num_pages(),
+            "volume too small for {num_spaces} spaces of {pages_per_space} pages"
+        );
+        let mut spaces = Vec::with_capacity(num_spaces);
+        for i in 0..num_spaces {
+            spaces.push(BuddySpace::create(
+                volume.clone(),
+                i as u64 * span,
+                pages_per_space,
+            )?);
+        }
+        let optimistic = spaces[0].dir().space_max_type();
+        Ok(BuddyManager {
+            spaces,
+            superdir: SuperDirectory::new(num_spaces, optimistic),
+            use_superdir: true,
+            geometry,
+            pages_per_space,
+            pending: Mutex::new(PendingFrees::default()),
+        })
+    }
+
+    /// Reopen a previously formatted manager by reading every space
+    /// directory. The superdirectory starts optimistic, exactly as the
+    /// paper describes for start-up (§3.3).
+    pub fn open(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+    ) -> Result<BuddyManager> {
+        let geometry = Geometry::for_page_size(volume.page_size());
+        let span = pages_per_space + 1;
+        let mut spaces = Vec::with_capacity(num_spaces);
+        for i in 0..num_spaces {
+            spaces.push(BuddySpace::open(
+                volume.clone(),
+                i as u64 * span,
+                pages_per_space,
+            )?);
+        }
+        let optimistic = spaces[0].dir().space_max_type();
+        Ok(BuddyManager {
+            spaces,
+            superdir: SuperDirectory::new(num_spaces, optimistic),
+            use_superdir: true,
+            geometry,
+            pages_per_space,
+            pending: Mutex::new(PendingFrees::default()),
+        })
+    }
+
+    /// Disable the superdirectory (every allocation probes each space in
+    /// turn) — the baseline of experiment E8.
+    pub fn set_use_superdirectory(&mut self, on: bool) {
+        self.use_superdir = on;
+    }
+
+    /// Geometry shared by all spaces.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Largest segment (in pages) this manager can ever hand out.
+    pub fn max_extent_pages(&self) -> u64 {
+        self.geometry
+            .max_seg_pages()
+            .min(self.pages_per_space)
+    }
+
+    /// Allocate `pages` physically contiguous pages from some space.
+    pub fn allocate(&mut self, pages: u64) -> Result<Extent> {
+        if pages == 0 {
+            return Err(Error::ZeroPages);
+        }
+        if pages > self.max_extent_pages() {
+            return Err(Error::NoSpace {
+                requested_pages: pages,
+            });
+        }
+        let t = self.geometry.type_for(pages);
+        for i in 0..self.spaces.len() {
+            if self.use_superdir {
+                if !self.superdir.should_probe(i, t) {
+                    continue;
+                }
+            } else {
+                // Count the probe for the E8 baseline.
+                self.superdir.count_probe();
+            }
+            match self.spaces[i].allocate(pages) {
+                Ok(start) => {
+                    self.superdir.record(i, self.spaces[i].largest_free_type());
+                    return Ok(Extent { start, pages });
+                }
+                Err(Error::NoSpace { .. }) => {
+                    self.superdir.record(i, self.spaces[i].largest_free_type());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::NoSpace {
+            requested_pages: pages,
+        })
+    }
+
+    /// Allocate at most `pages`, falling back to successively halved
+    /// requests (used by the object growth policy when the database is
+    /// nearly full). Returns the extent actually obtained.
+    pub fn allocate_up_to(&mut self, pages: u64) -> Result<Extent> {
+        let mut want = pages.min(self.max_extent_pages());
+        loop {
+            match self.allocate(want) {
+                Ok(e) => return Ok(e),
+                Err(Error::NoSpace { .. }) if want > 1 => want /= 2,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Allocate a specific free range (fixed-location structures such
+    /// as a boot page). The range must lie inside one space.
+    pub fn allocate_at(&mut self, start: PageId, pages: u64) -> Result<Extent> {
+        let span = self.pages_per_space + 1;
+        let i = (start / span) as usize;
+        if i >= self.spaces.len() {
+            return Err(Error::NoSuchSpace { space: i });
+        }
+        self.spaces[i].allocate_at(start, pages)?;
+        self.superdir.record(i, self.spaces[i].largest_free_type());
+        Ok(Extent { start, pages })
+    }
+
+    /// Free part or all of an allocated extent immediately.
+    pub fn free(&mut self, start: PageId, pages: u64) -> Result<()> {
+        let span = self.pages_per_space + 1;
+        let i = (start / span) as usize;
+        if i >= self.spaces.len() {
+            return Err(Error::NoSuchSpace { space: i });
+        }
+        self.spaces[i].free(start, pages)?;
+        self.superdir.record(i, self.spaces[i].largest_free_type());
+        Ok(())
+    }
+
+    /// Open a new batch of deferred frees. Segments freed into a batch
+    /// stay allocated on disk — the §4.5 "release lock": nobody can
+    /// reuse them — until the batch is committed.
+    pub fn begin_free_batch(&self) -> FreeBatch {
+        let mut g = self.pending.lock();
+        g.next_batch += 1;
+        let id = g.next_batch;
+        g.batches.push((id, Vec::new()));
+        FreeBatch(id)
+    }
+
+    /// Defer freeing an extent until `batch` commits.
+    pub fn defer_free(&self, batch: FreeBatch, extent: Extent) {
+        let mut g = self.pending.lock();
+        let slot = g
+            .batches
+            .iter_mut()
+            .find(|(id, _)| *id == batch.0)
+            .expect("unknown free batch");
+        slot.1.push(extent);
+    }
+
+    /// Apply every deferred free in the batch (transaction commit).
+    pub fn commit_frees(&mut self, batch: FreeBatch) -> Result<()> {
+        let extents = {
+            let mut g = self.pending.lock();
+            let idx = g
+                .batches
+                .iter()
+                .position(|(id, _)| *id == batch.0)
+                .expect("unknown free batch");
+            g.batches.remove(idx).1
+        };
+        for e in extents {
+            self.free(e.start, e.pages)?;
+        }
+        Ok(())
+    }
+
+    /// Drop the batch without freeing anything (transaction abort — the
+    /// segments remain allocated, which undoes the logical free).
+    pub fn abort_frees(&self, batch: FreeBatch) {
+        let mut g = self.pending.lock();
+        if let Some(idx) = g.batches.iter().position(|(id, _)| *id == batch.0) {
+            g.batches.remove(idx);
+        }
+    }
+
+    /// Total free pages across all spaces.
+    pub fn total_free_pages(&self) -> u64 {
+        self.spaces.iter().map(|s| s.free_pages()).sum()
+    }
+
+    /// Total data pages across all spaces.
+    pub fn total_data_pages(&self) -> u64 {
+        self.pages_per_space * self.spaces.len() as u64
+    }
+
+    /// Superdirectory probe counters (experiment E8).
+    pub fn superdir_stats(&self) -> SuperDirStats {
+        self.superdir.stats()
+    }
+
+    /// Zero the superdirectory probe counters.
+    pub fn reset_superdir_stats(&self) {
+        self.superdir.reset_stats()
+    }
+
+    /// Access a space for inspection.
+    pub fn space(&self, i: usize) -> &BuddySpace {
+        &self.spaces[i]
+    }
+
+    /// Number of spaces.
+    pub fn num_spaces(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Verify every space directory (test/diagnostic hook).
+    pub fn check_invariants(&self) -> Result<()> {
+        for s in &self.spaces {
+            s.dir().check_invariants()?;
+        }
+        Ok(())
+    }
+
+    /// External-fragmentation summary across all spaces: the free-space
+    /// histogram by segment type, the largest allocatable run, and the
+    /// fraction of free space usable for a maximum-size request. (EOS
+    /// has no internal fragmentation by construction — "the unused
+    /// portion of an allocated segment is always less than a page" —
+    /// so external fragmentation is the quantity worth watching.)
+    pub fn fragmentation(&self) -> Fragmentation {
+        let entries = self.geometry.count_entries();
+        let mut by_type = vec![0u64; entries];
+        let mut largest = 0u64;
+        for s in &self.spaces {
+            for (t, &c) in s.dir().counts().iter().enumerate() {
+                by_type[t] += c as u64;
+                if c > 0 {
+                    largest = largest.max(1u64 << t);
+                }
+            }
+        }
+        let free_pages: u64 = by_type
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| c << t)
+            .sum();
+        Fragmentation {
+            free_pages,
+            largest_free_run: largest,
+            free_segments_by_type: by_type,
+        }
+    }
+}
+
+/// Snapshot of free-space shape (see [`BuddyManager::fragmentation`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragmentation {
+    /// Total free pages.
+    pub free_pages: u64,
+    /// Largest contiguous power-of-two run available.
+    pub largest_free_run: u64,
+    /// `free_segments_by_type[t]` = free segments of `2^t` pages.
+    pub free_segments_by_type: Vec<u64>,
+}
+
+impl Fragmentation {
+    /// Fraction of free space sitting in runs of at least `pages`
+    /// (1.0 = perfectly coalesced for such requests).
+    pub fn usable_for(&self, pages: u64) -> f64 {
+        if self.free_pages == 0 {
+            return 1.0;
+        }
+        let usable: u64 = self
+            .free_segments_by_type
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| (1u64 << t) >= pages)
+            .map(|(t, &c)| c << t)
+            .sum();
+        usable as f64 / self.free_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_pager::{DiskProfile, MemVolume};
+
+    fn manager(spaces: usize, pages: u64) -> BuddyManager {
+        let vol =
+            MemVolume::with_profile(512, (pages + 1) * spaces as u64 + 8, DiskProfile::FREE)
+                .shared();
+        BuddyManager::create(vol, spaces, pages).unwrap()
+    }
+
+    #[test]
+    fn allocations_spill_to_later_spaces() {
+        let mut m = manager(3, 64);
+        let a = m.allocate(64).unwrap();
+        let b = m.allocate(64).unwrap();
+        let c = m.allocate(64).unwrap();
+        assert_eq!(a.start, 1);
+        assert_eq!(b.start, 66); // space 1: dir at 65
+        assert_eq!(c.start, 131);
+        assert!(matches!(m.allocate(1), Err(Error::NoSpace { .. })));
+        m.free(b.start, b.pages).unwrap();
+        let d = m.allocate(32).unwrap();
+        assert_eq!(d.start, 66);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn superdirectory_learns_and_avoids_probes() {
+        let mut m = manager(4, 64);
+        // Fill spaces 0 and 1.
+        m.allocate(64).unwrap();
+        m.allocate(64).unwrap();
+        m.reset_superdir_stats();
+        // A fresh 64-page request should skip spaces 0 and 1 entirely.
+        m.allocate(64).unwrap();
+        let s = m.superdir_stats();
+        assert_eq!(s.probes_avoided, 2);
+        assert_eq!(s.probes_made, 1);
+    }
+
+    #[test]
+    fn without_superdirectory_every_space_is_probed() {
+        let mut m = manager(4, 64);
+        m.set_use_superdirectory(false);
+        m.allocate(64).unwrap();
+        m.allocate(64).unwrap();
+        m.reset_superdir_stats();
+        m.allocate(64).unwrap();
+        let s = m.superdir_stats();
+        assert_eq!(s.probes_made, 3, "spaces 0, 1 and 2 all probed");
+        assert_eq!(s.probes_avoided, 0);
+    }
+
+    #[test]
+    fn allocate_up_to_halves_on_pressure() {
+        let mut m = manager(1, 64);
+        m.allocate(48).unwrap(); // leaves 16 free
+        let e = m.allocate_up_to(64).unwrap();
+        assert_eq!(e.pages, 16);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected() {
+        let mut m = manager(1, 64);
+        assert!(matches!(m.allocate(65), Err(Error::NoSpace { .. })));
+        assert!(matches!(m.allocate(0), Err(Error::ZeroPages)));
+    }
+
+    #[test]
+    fn deferred_frees_hold_space_until_commit() {
+        let mut m = manager(1, 64);
+        let e = m.allocate(64).unwrap();
+        let batch = m.begin_free_batch();
+        m.defer_free(batch, e);
+        // The pages are still held: release locks block reallocation.
+        assert!(matches!(m.allocate(1), Err(Error::NoSpace { .. })));
+        m.commit_frees(batch).unwrap();
+        assert_eq!(m.total_free_pages(), 64);
+        m.allocate(1).unwrap();
+    }
+
+    #[test]
+    fn aborted_batch_keeps_segments_allocated() {
+        let mut m = manager(1, 64);
+        let e = m.allocate(32).unwrap();
+        let batch = m.begin_free_batch();
+        m.defer_free(batch, e);
+        m.abort_frees(batch);
+        assert_eq!(m.total_free_pages(), 32, "the free never happened");
+        // The extent is still valid and can be freed for real later.
+        m.free(e.start, e.pages).unwrap();
+        assert_eq!(m.total_free_pages(), 64);
+    }
+
+    #[test]
+    fn fragmentation_reports_free_shape() {
+        let mut m = manager(1, 64);
+        let f = m.fragmentation();
+        assert_eq!(f.free_pages, 64);
+        assert_eq!(f.largest_free_run, 64);
+        assert_eq!(f.usable_for(64), 1.0);
+        // Punch holes: allocate 32, then 8, free the 32.
+        let a = m.allocate(32).unwrap();
+        let _b = m.allocate(8).unwrap();
+        m.free(a.start, a.pages).unwrap();
+        let f = m.fragmentation();
+        assert_eq!(f.free_pages, 56);
+        assert_eq!(f.largest_free_run, 32);
+        assert!(f.usable_for(64) == 0.0);
+        assert!(f.usable_for(32) > 0.5);
+        assert_eq!(f.usable_for(1), 1.0);
+    }
+
+    #[test]
+    fn free_routes_to_the_right_space() {
+        let mut m = manager(2, 64);
+        let a = m.allocate(10).unwrap();
+        let b = m.allocate(64).unwrap();
+        assert!(b.start > 64);
+        m.free(b.start, 64).unwrap();
+        m.free(a.start, 10).unwrap();
+        assert_eq!(m.total_free_pages(), 128);
+        m.check_invariants().unwrap();
+    }
+}

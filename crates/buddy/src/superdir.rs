@@ -1,0 +1,142 @@
+//! The in-memory superdirectory (§3.3).
+//!
+//! "To avoid [visiting the directory block of each buddy space], we make
+//! use of a superdirectory that contains the size of the largest free
+//! segment in each buddy space. … Initially, it indicates that each
+//! buddy space contains a free segment of the maximum size possible.
+//! This information may be erroneous; the first wrong guess will
+//! correct it." The structure is protected by a short-duration latch —
+//! not a transaction lock — exactly as the paper prescribes.
+
+use parking_lot::Mutex;
+
+/// Effectiveness counters for experiment E8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperDirStats {
+    /// Space directories that were probed.
+    pub probes_made: u64,
+    /// Space directories skipped thanks to the superdirectory.
+    pub probes_avoided: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Optimistic upper bound on the largest free segment type per
+    /// space; `None` means "known full".
+    max_type: Vec<Option<u8>>,
+    stats: SuperDirStats,
+}
+
+/// Latch-protected cache of the largest free segment type per space.
+#[derive(Debug)]
+pub struct SuperDirectory {
+    inner: Mutex<Inner>,
+}
+
+impl SuperDirectory {
+    /// Create a superdirectory for `spaces` buddy spaces, optimistically
+    /// assuming each holds a free segment of type `optimistic_max`.
+    pub fn new(spaces: usize, optimistic_max: u8) -> SuperDirectory {
+        SuperDirectory {
+            inner: Mutex::new(Inner {
+                max_type: vec![Some(optimistic_max); spaces],
+                stats: SuperDirStats::default(),
+            }),
+        }
+    }
+
+    /// Number of spaces tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().max_type.len()
+    }
+
+    /// True when no spaces are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Register one more space (e.g. a volume extension).
+    pub fn add_space(&self, optimistic_max: u8) {
+        self.inner.lock().max_type.push(Some(optimistic_max));
+    }
+
+    /// Would space `space` possibly satisfy a type-`t` request? Counts a
+    /// probe (if `true`) or an avoided probe (if `false`) for E8.
+    pub fn should_probe(&self, space: usize, t: u8) -> bool {
+        let mut g = self.inner.lock();
+        let possible = g.max_type[space].is_some_and(|m| m >= t);
+        if possible {
+            g.stats.probes_made += 1;
+        } else {
+            g.stats.probes_avoided += 1;
+        }
+        possible
+    }
+
+    /// Unconditionally count one probe — used when the superdirectory is
+    /// disabled so the E8 baseline still reports how many directories
+    /// were examined.
+    pub fn count_probe(&self) {
+        self.inner.lock().stats.probes_made += 1;
+    }
+
+    /// Record the true largest free type observed while a space's
+    /// directory was in hand (allocation or deallocation path).
+    pub fn record(&self, space: usize, largest_free: Option<u8>) {
+        self.inner.lock().max_type[space] = largest_free;
+    }
+
+    /// Current belief about a space.
+    pub fn belief(&self, space: usize) -> Option<u8> {
+        self.inner.lock().max_type[space]
+    }
+
+    /// Probe counters.
+    pub fn stats(&self) -> SuperDirStats {
+        self.inner.lock().stats
+    }
+
+    /// Zero the probe counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = SuperDirStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_optimistic_and_learns() {
+        let sd = SuperDirectory::new(3, 13);
+        assert!(sd.should_probe(0, 13), "initially everything looks big");
+        sd.record(0, Some(4));
+        assert!(!sd.should_probe(0, 5));
+        assert!(sd.should_probe(0, 4));
+        assert!(sd.should_probe(0, 3));
+        sd.record(0, None); // space is full
+        assert!(!sd.should_probe(0, 0));
+    }
+
+    #[test]
+    fn probe_stats_accumulate() {
+        let sd = SuperDirectory::new(2, 10);
+        sd.record(0, Some(2));
+        assert!(!sd.should_probe(0, 8));
+        assert!(sd.should_probe(1, 8));
+        let s = sd.stats();
+        assert_eq!(s.probes_avoided, 1);
+        assert_eq!(s.probes_made, 1);
+        sd.reset_stats();
+        assert_eq!(sd.stats(), SuperDirStats::default());
+    }
+
+    #[test]
+    fn add_space_extends_tracking() {
+        let sd = SuperDirectory::new(1, 5);
+        assert_eq!(sd.len(), 1);
+        sd.add_space(5);
+        assert_eq!(sd.len(), 2);
+        assert_eq!(sd.belief(1), Some(5));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the buddy space manager: after every operation the
+//! directory must satisfy the full invariant set (canonical coalescing,
+//! count-array consistency, full coverage), allocations must never
+//! overlap, and freeing everything must coalesce the space back to its
+//! initial decomposition.
+
+use eos_buddy::{Error, Geometry, SpaceDir};
+use proptest::prelude::*;
+
+/// Default case count, overridable via PROPTEST_CASES for deep soaks.
+fn prop_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { pages: u64 },
+    AllocAt { at: u64, pages: u64 },
+    FreeOne { idx: usize },
+    FreePartial { idx: usize, skip: u64, len: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (1u64..200).prop_map(|pages| Op::Alloc { pages }),
+            1 => (any::<u64>(), 1u64..32).prop_map(|(at, pages)| Op::AllocAt { at, pages }),
+            3 => any::<usize>().prop_map(|idx| Op::FreeOne { idx }),
+            2 => (any::<usize>(), any::<u64>(), 1u64..64).prop_map(|(idx, skip, len)| {
+                Op::FreePartial { idx, skip, len }
+            }),
+        ],
+        1..80,
+    )
+}
+
+/// Shadow model: the set of live allocations as (start, len) pairs.
+fn run(space_pages: u64, page_size: usize, ops: Vec<Op>) {
+    let g = Geometry::for_page_size(page_size);
+    let mut dir = SpaceDir::create(g, space_pages);
+    dir.check_invariants().unwrap();
+    let initial_counts: Vec<u16> = dir.counts().to_vec();
+    let mut live: Vec<(u64, u64)> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Alloc { pages } => match dir.alloc_any(pages) {
+                Ok(start) => {
+                    // Never overlapping any live allocation.
+                    for &(s, l) in &live {
+                        assert!(
+                            start + pages <= s || s + l <= start,
+                            "overlap: new [{start},+{pages}) vs live [{s},+{l})"
+                        );
+                    }
+                    assert!(start + pages <= space_pages);
+                    live.push((start, pages));
+                }
+                Err(Error::NoSpace { .. }) => {
+                    // Legal under fragmentation; nothing changed.
+                }
+                Err(e) => panic!("unexpected alloc error: {e}"),
+            },
+            Op::AllocAt { at, pages } => {
+                let at = at % space_pages;
+                let pages = pages.min(space_pages - at);
+                // Succeeds iff the whole range is free in the model.
+                let free_in_model = live
+                    .iter()
+                    .all(|&(s, l)| at + pages <= s || s + l <= at);
+                match dir.alloc_at(at, pages) {
+                    Ok(()) => {
+                        assert!(free_in_model, "alloc_at granted an occupied range");
+                        live.push((at, pages));
+                    }
+                    Err(Error::NoSpace { .. }) => {
+                        assert!(!free_in_model, "alloc_at refused a free range");
+                    }
+                    Err(e) => panic!("unexpected alloc_at error: {e}"),
+                }
+            }
+            Op::FreeOne { idx } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (s, l) = live.remove(idx % live.len());
+                dir.free_range(s, l).unwrap();
+            }
+            Op::FreePartial { idx, skip, len } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let i = idx % live.len();
+                let (s, l) = live[i];
+                let skip = skip % l;
+                let len = len.min(l - skip);
+                // Free a middle slice of a live allocation; keep both
+                // fringes in the model.
+                dir.free_range(s + skip, len).unwrap();
+                live.remove(i);
+                if skip > 0 {
+                    live.push((s, skip));
+                }
+                if skip + len < l {
+                    live.push((s + skip + len, l - skip - len));
+                }
+            }
+        }
+        dir.check_invariants()
+            .unwrap_or_else(|e| panic!("invariants after {op:?}: {e}"));
+        let used: u64 = live.iter().map(|&(_, l)| l).sum();
+        assert_eq!(
+            dir.free_pages(),
+            space_pages - used,
+            "free-page accounting drifted"
+        );
+    }
+
+    // Free everything: the map must coalesce back to the initial state.
+    for (s, l) in live {
+        dir.free_range(s, l).unwrap();
+    }
+    dir.check_invariants().unwrap();
+    assert_eq!(dir.free_pages(), space_pages);
+    assert_eq!(dir.counts(), &initial_counts[..], "not fully coalesced");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: prop_cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn power_of_two_space(ops in ops()) {
+        run(256, 512, ops);
+    }
+
+    #[test]
+    fn odd_sized_space(ops in ops()) {
+        run(301, 512, ops);
+    }
+
+    #[test]
+    fn paper_4k_geometry(ops in ops()) {
+        run(1000, 4096, ops);
+    }
+
+    #[test]
+    fn serialization_survives_any_state(ops in ops()) {
+        let g = Geometry::for_page_size(512);
+        let mut dir = SpaceDir::create(g, 300);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { pages } => {
+                    if let Ok(s) = dir.alloc_any(pages) {
+                        live.push((s, pages));
+                    }
+                }
+                Op::AllocAt { .. } => {}
+                Op::FreeOne { idx } | Op::FreePartial { idx, .. } => {
+                    if !live.is_empty() {
+                        let (s, l) = live.remove(idx % live.len());
+                        dir.free_range(s, l).unwrap();
+                    }
+                }
+            }
+            let page = dir.to_page();
+            let back = SpaceDir::from_page(g, 300, &page).unwrap();
+            prop_assert_eq!(&back, &dir);
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! # eos-cli — command-line access to EOS volumes
+//!
+//! A small tool over the library: format a file-backed volume, store and
+//! retrieve named large objects through the boot-record catalog, edit
+//! byte ranges in place, and inspect or verify the store.
+//!
+//! ```text
+//! eos init db.eos --mb 64            # format a 64 MiB volume
+//! eos put db.eos photo.jpg photo.jpg # store a file under a name
+//! eos ls db.eos                      # list objects
+//! eos cat db.eos photo.jpg 0 128     # read a byte range (hex to stdout)
+//! eos splice db.eos doc.txt 100 patch.bin   # insert bytes at offset
+//! eos cut db.eos doc.txt 100 64      # delete a byte range
+//! eos get db.eos photo.jpg out.jpg   # read an object into a file
+//! eos rm db.eos photo.jpg            # delete object + catalog entry
+//! eos stat db.eos [name]             # store / object statistics
+//! eos verify db.eos                  # full invariant check
+//! eos compact db.eos doc.txt         # rewrite into maximal segments
+//! ```
+//!
+//! CLI volumes always use 4 KiB pages; the buddy-space layout is derived
+//! from the file length, so a volume file is fully self-describing
+//! (geometry from size, objects from the boot-record catalog).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use eos::buddy::Geometry;
+use eos::catalog::Catalog;
+use eos::core::{ObjectStore, StoreConfig};
+use eos::pager::{DiskProfile, FileVolume};
+
+/// Page size every CLI volume uses.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+type Result<T> = std::result::Result<T, CliError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(CliError(msg.into()))
+}
+
+macro_rules! bail {
+    ($($arg:tt)*) => { return err(format!($($arg)*)) };
+}
+
+fn map_err<E: std::fmt::Display>(e: E) -> CliError {
+    CliError(e.to_string())
+}
+
+/// Buddy-space layout for a volume of `total_pages` 4 KiB pages —
+/// the same deterministic formula `init` uses, so any file length maps
+/// back to its geometry.
+pub fn layout_for(total_pages: u64) -> (usize, u64) {
+    let g = Geometry::for_page_size(PAGE_SIZE);
+    // Spaces of the maximum size until the remainder, which must still
+    // fit its directory; derive the count from the span.
+    let span = g.max_space_pages + 1;
+    let spaces = (total_pages / span).max(1) as usize;
+    let pps = if total_pages / span == 0 {
+        total_pages.saturating_sub(1).max(16)
+    } else {
+        g.max_space_pages
+    };
+    (spaces, pps)
+}
+
+fn open_store(path: &Path) -> Result<ObjectStore> {
+    let meta = std::fs::metadata(path)
+        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let total_pages = meta.len() / PAGE_SIZE as u64;
+    let (spaces, pps) = layout_for(total_pages);
+    let vol = FileVolume::open(path, PAGE_SIZE, DiskProfile::MODERN_HDD)
+        .map_err(map_err)?
+        .shared();
+    ObjectStore::open(vol, spaces, pps, StoreConfig::default(), next_id_hint())
+        .map_err(map_err)
+}
+
+/// Object ids for CLI-created objects only need to be unique per volume
+/// lifetime of this process; derive from time.
+fn next_id_hint() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        | 1
+}
+
+/// Run one CLI invocation; returns the text to print.
+pub fn run(args: &[String]) -> Result<String> {
+    let mut out = String::new();
+    match args {
+        [] => return err(USAGE),
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("init", [file, opts @ ..]) => {
+                let mut mb = 64u64;
+                let mut it = opts.iter();
+                while let Some(o) = it.next() {
+                    match o.as_str() {
+                        "--mb" => {
+                            mb = it
+                                .next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or(CliError("--mb needs a number".into()))?
+                        }
+                        other => bail!("unknown option {other}"),
+                    }
+                }
+                let total_pages = (mb << 20) / PAGE_SIZE as u64;
+                let (spaces, pps) = layout_for(total_pages);
+                let vol = FileVolume::create(
+                    Path::new(file),
+                    PAGE_SIZE,
+                    (pps + 1) * spaces as u64,
+                    DiskProfile::MODERN_HDD,
+                )
+                .map_err(map_err)?
+                .shared();
+                let mut store =
+                    ObjectStore::create(vol, spaces, pps, StoreConfig::default())
+                        .map_err(map_err)?;
+                Catalog::new().save(&mut store).map_err(map_err)?;
+                writeln!(
+                    out,
+                    "formatted {file}: {spaces} buddy space(s) × {pps} pages ({:.1} MiB data)",
+                    (spaces as u64 * pps * PAGE_SIZE as u64) as f64 / (1 << 20) as f64
+                )
+                .unwrap();
+            }
+            ("put", [file, name, input]) => {
+                let data = std::fs::read(input).map_err(map_err)?;
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                if let Ok(mut old) = cat.get(name) {
+                    store.delete_object(&mut old).map_err(map_err)?;
+                }
+                let obj = store
+                    .create_with(&data, Some(data.len() as u64))
+                    .map_err(map_err)?;
+                cat.put(name, &obj);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(out, "stored {name}: {} bytes", data.len()).unwrap();
+            }
+            ("get", [file, name, output]) => {
+                let store = open_store(Path::new(file))?;
+                let cat = Catalog::load(&store).map_err(map_err)?;
+                let obj = cat.get(name).map_err(map_err)?;
+                let data = store.read_all(&obj).map_err(map_err)?;
+                std::fs::write(output, &data).map_err(map_err)?;
+                writeln!(out, "wrote {} bytes to {output}", data.len()).unwrap();
+            }
+            ("cat", [file, name, offset, len]) => {
+                let store = open_store(Path::new(file))?;
+                let cat = Catalog::load(&store).map_err(map_err)?;
+                let obj = cat.get(name).map_err(map_err)?;
+                let offset: u64 = offset.parse().map_err(map_err)?;
+                let len: u64 = len.parse().map_err(map_err)?;
+                let data = store.read(&obj, offset, len).map_err(map_err)?;
+                for chunk in data.chunks(16) {
+                    for b in chunk {
+                        write!(out, "{b:02x} ").unwrap();
+                    }
+                    writeln!(out).unwrap();
+                }
+            }
+            ("ls", [file]) => {
+                let store = open_store(Path::new(file))?;
+                let cat = Catalog::load(&store).map_err(map_err)?;
+                if cat.is_empty() {
+                    writeln!(out, "(empty)").unwrap();
+                }
+                for name in cat.names() {
+                    let obj = cat.get(name).map_err(map_err)?;
+                    let stats = store.object_stats(&obj).map_err(map_err)?;
+                    writeln!(
+                        out,
+                        "{name}\t{} bytes\t{} segment(s)\theight {}",
+                        obj.size(),
+                        stats.segments,
+                        stats.height
+                    )
+                    .unwrap();
+                }
+            }
+            ("rm", [file, name]) => {
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                let mut obj = cat.get(name).map_err(map_err)?;
+                store.delete_object(&mut obj).map_err(map_err)?;
+                cat.remove(name);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(out, "removed {name}").unwrap();
+            }
+            ("splice", [file, name, offset, input]) => {
+                let data = std::fs::read(input).map_err(map_err)?;
+                let offset: u64 = offset.parse().map_err(map_err)?;
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                let mut obj = cat.get(name).map_err(map_err)?;
+                store.insert(&mut obj, offset, &data).map_err(map_err)?;
+                cat.put(name, &obj);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(
+                    out,
+                    "inserted {} bytes at {offset}; {name} is now {} bytes",
+                    data.len(),
+                    obj.size()
+                )
+                .unwrap();
+            }
+            ("cut", [file, name, offset, len]) => {
+                let offset: u64 = offset.parse().map_err(map_err)?;
+                let len: u64 = len.parse().map_err(map_err)?;
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                let mut obj = cat.get(name).map_err(map_err)?;
+                store.delete(&mut obj, offset, len).map_err(map_err)?;
+                cat.put(name, &obj);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(out, "cut [{offset}, {}); {name} is now {} bytes", offset + len, obj.size())
+                    .unwrap();
+            }
+            ("append", [file, name, input]) => {
+                let data = std::fs::read(input).map_err(map_err)?;
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                let mut obj = cat.get(name).map_err(map_err)?;
+                store.append(&mut obj, &data).map_err(map_err)?;
+                cat.put(name, &obj);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(out, "appended {} bytes; {name} is now {} bytes", data.len(), obj.size())
+                    .unwrap();
+            }
+            ("compact", [file, name]) => {
+                let mut store = open_store(Path::new(file))?;
+                let mut cat = Catalog::load(&store).map_err(map_err)?;
+                let mut obj = cat.get(name).map_err(map_err)?;
+                let stats = store.compact(&mut obj).map_err(map_err)?;
+                cat.put(name, &obj);
+                cat.save(&mut store).map_err(map_err)?;
+                writeln!(
+                    out,
+                    "compacted {name}: {} -> {} segment(s)",
+                    stats.segments_before, stats.segments_after
+                )
+                .unwrap();
+            }
+            ("stat", [file]) => {
+                let store = open_store(Path::new(file))?;
+                let frag = store.buddy().fragmentation();
+                let total = store.buddy().total_data_pages();
+                writeln!(
+                    out,
+                    "{} / {total} pages free; largest contiguous run {} pages",
+                    frag.free_pages, frag.largest_free_run
+                )
+                .unwrap();
+            }
+            ("stat", [file, name]) => {
+                let store = open_store(Path::new(file))?;
+                let cat = Catalog::load(&store).map_err(map_err)?;
+                let obj = cat.get(name).map_err(map_err)?;
+                let s = store.object_stats(&obj).map_err(map_err)?;
+                writeln!(out, "{name}: {} bytes", s.size).unwrap();
+                writeln!(
+                    out,
+                    "  {} segment(s) over {} leaf pages ({}..{} pages each)",
+                    s.segments, s.leaf_pages, s.min_seg_pages, s.max_seg_pages
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "  tree height {}, {} index page(s), {:.1}% leaf utilization",
+                    s.height,
+                    s.index_pages,
+                    100.0 * s.leaf_utilization(PAGE_SIZE)
+                )
+                .unwrap();
+            }
+            ("verify", [file]) => {
+                let store = open_store(Path::new(file))?;
+                store.buddy().check_invariants().map_err(map_err)?;
+                let cat = Catalog::load(&store).map_err(map_err)?;
+                let mut objects = 0;
+                for name in cat.names() {
+                    let obj = cat.get(name).map_err(map_err)?;
+                    store
+                        .verify_object(&obj)
+                        .map_err(|e| CliError(format!("{name}: {e}")))?;
+                    objects += 1;
+                }
+                writeln!(
+                    out,
+                    "ok: buddy maps consistent, {objects} object(s) verified"
+                )
+                .unwrap();
+            }
+            ("help", _) => return err(USAGE),
+            (other, _) => bail!("unknown or malformed command `{other}`\n{USAGE}"),
+        },
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: eos <command> ...
+  init <file> [--mb N]            format a volume (default 64 MiB)
+  put <file> <name> <input>       store a file as a named object
+  get <file> <name> <output>      read an object into a file
+  cat <file> <name> <off> <len>   hex-dump a byte range
+  ls <file>                       list objects
+  rm <file> <name>                delete an object
+  splice <file> <name> <off> <input>  insert bytes at an offset
+  cut <file> <name> <off> <len>   delete a byte range
+  append <file> <name> <input>    append bytes
+  compact <file> <name>           rewrite into maximal segments
+  stat <file> [name]              store or object statistics
+  verify <file>                   check every invariant";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("eos-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn call(args: &[&str]) -> Result<String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn full_session() {
+        let db = tmp("a.eos");
+        let dbs = db.to_str().unwrap();
+        let input = tmp("in.bin");
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&input, &data).unwrap();
+        let ins = input.to_str().unwrap();
+
+        assert!(call(&["init", dbs, "--mb", "16"]).unwrap().contains("formatted"));
+        assert!(call(&["put", dbs, "blob", ins]).unwrap().contains("100000 bytes"));
+        let ls = call(&["ls", dbs]).unwrap();
+        assert!(ls.contains("blob") && ls.contains("100000 bytes"), "{ls}");
+
+        // Byte-range edits.
+        let patch = tmp("patch.bin");
+        std::fs::write(&patch, b"PATCH").unwrap();
+        call(&["splice", dbs, "blob", "10", patch.to_str().unwrap()]).unwrap();
+        call(&["cut", dbs, "blob", "0", "10"]).unwrap();
+        call(&["append", dbs, "blob", patch.to_str().unwrap()]).unwrap();
+
+        let outp = tmp("out.bin");
+        call(&["get", dbs, "blob", outp.to_str().unwrap()]).unwrap();
+        let got = std::fs::read(&outp).unwrap();
+        let mut want = data.clone();
+        want.splice(10..10, *b"PATCH");
+        want.drain(0..10);
+        want.extend(*b"PATCH");
+        assert_eq!(got, want);
+
+        // cat prints hex of the patch at its post-cut position (offset 0).
+        let hex = call(&["cat", dbs, "blob", "0", "5"]).unwrap();
+        assert!(hex.contains("50 41 54 43 48"), "{hex}");
+
+        assert!(call(&["stat", dbs]).unwrap().contains("pages free"));
+        assert!(call(&["stat", dbs, "blob"]).unwrap().contains("segment(s)"));
+        assert!(call(&["verify", dbs]).unwrap().contains("ok:"));
+        assert!(call(&["compact", dbs, "blob"]).unwrap().contains("->"));
+        assert!(call(&["verify", dbs]).unwrap().contains("1 object(s)"));
+        assert!(call(&["rm", dbs, "blob"]).unwrap().contains("removed"));
+        assert!(call(&["ls", dbs]).unwrap().contains("(empty)"));
+
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(call(&[]).is_err());
+        assert!(call(&["bogus"]).is_err());
+        assert!(call(&["get", "/nonexistent.eos", "x", "/tmp/y"]).is_err());
+        let db = tmp("err.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        assert!(call(&["get", dbs, "missing", "/tmp/nope"]).is_err());
+        assert!(call(&["init", dbs, "--mb", "oops"]).is_err());
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn put_replaces_and_reclaims() {
+        let db = tmp("repl.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("big.bin");
+        std::fs::write(&input, vec![7u8; 2_000_000]).unwrap();
+        let small = tmp("small.bin");
+        std::fs::write(&small, b"tiny").unwrap();
+        call(&["put", dbs, "x", input.to_str().unwrap()]).unwrap();
+        let before = call(&["stat", dbs]).unwrap();
+        call(&["put", dbs, "x", small.to_str().unwrap()]).unwrap();
+        let after = call(&["stat", dbs]).unwrap();
+        let free = |s: &str| -> u64 {
+            s.split_whitespace().next().unwrap().parse().unwrap()
+        };
+        assert!(free(&after) > free(&before), "{before} -> {after}");
+        std::fs::remove_file(&db).ok();
+    }
+}

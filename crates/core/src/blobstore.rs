@@ -1,0 +1,126 @@
+//! A common interface over large-object stores, so the benchmark
+//! harness can drive EOS and the §2 baselines (Exodus, Starburst, WiSS,
+//! System R) through one code path.
+
+use eos_pager::IoStats;
+
+use crate::error::Result;
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+
+/// Everything a large-object store must offer for the \[Bili91b\]-style
+/// comparison: the piece-wise operations of §1 plus cost introspection.
+///
+/// Stores that lack an operation (Starburst has no cheap insert/delete,
+/// System R has no partial operations at all) return
+/// [`Error::Unsupported`](crate::Error::Unsupported) — or implement it
+/// with the copy costs their papers describe, which is what the
+/// baselines crate does.
+pub trait BlobStore {
+    /// The client-held object handle (descriptor).
+    type Handle;
+
+    /// Short name for experiment tables ("eos", "exodus", …).
+    fn name(&self) -> &'static str;
+
+    /// Create an object holding `data`. With `known_size`, the eventual
+    /// size is given to the allocator up front (§4.1).
+    fn create(&mut self, data: &[u8], known_size: bool) -> Result<Self::Handle>;
+
+    /// Object size in bytes.
+    fn size(&self, h: &Self::Handle) -> u64;
+
+    /// Read a byte range.
+    fn read(&self, h: &Self::Handle, offset: u64, len: u64) -> Result<Vec<u8>>;
+
+    /// Append bytes at the end.
+    fn append(&mut self, h: &mut Self::Handle, data: &[u8]) -> Result<()>;
+
+    /// Append a sequence of chunks as one multi-append operation (§4.1:
+    /// "smaller but sizable chunks successively appended"). The default
+    /// loops over [`Self::append`]; EOS overrides it with a single
+    /// append session so the growth policy and final trim span the whole
+    /// sequence, as the paper describes.
+    fn append_many(&mut self, h: &mut Self::Handle, chunks: &[&[u8]]) -> Result<()> {
+        for c in chunks {
+            self.append(h, c)?;
+        }
+        Ok(())
+    }
+
+    /// Overwrite a byte range in place.
+    fn replace(&mut self, h: &mut Self::Handle, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Insert bytes at an arbitrary position.
+    fn insert(&mut self, h: &mut Self::Handle, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Delete a byte range.
+    fn delete(&mut self, h: &mut Self::Handle, offset: u64, len: u64) -> Result<()>;
+
+    /// Pages the object occupies (leaf + index), for utilization tables.
+    fn storage_pages(&self, h: &Self::Handle) -> Result<u64>;
+
+    /// Cumulative I/O counters of the underlying volume.
+    fn io_stats(&self) -> IoStats;
+
+    /// Zero the I/O counters.
+    fn reset_io(&self);
+}
+
+impl BlobStore for ObjectStore {
+    type Handle = LargeObject;
+
+    fn name(&self) -> &'static str {
+        "eos"
+    }
+
+    fn create(&mut self, data: &[u8], known_size: bool) -> Result<LargeObject> {
+        let hint = known_size.then_some(data.len() as u64);
+        self.create_with(data, hint)
+    }
+
+    fn size(&self, h: &LargeObject) -> u64 {
+        h.size()
+    }
+
+    fn read(&self, h: &LargeObject, offset: u64, len: u64) -> Result<Vec<u8>> {
+        ObjectStore::read(self, h, offset, len)
+    }
+
+    fn append(&mut self, h: &mut LargeObject, data: &[u8]) -> Result<()> {
+        ObjectStore::append(self, h, data)
+    }
+
+    fn append_many(&mut self, h: &mut LargeObject, chunks: &[&[u8]]) -> Result<()> {
+        let mut s = self.open_append(h, None)?;
+        for c in chunks {
+            s.append(c)?;
+        }
+        s.close()
+    }
+
+    fn replace(&mut self, h: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        ObjectStore::replace(self, h, offset, data)
+    }
+
+    fn insert(&mut self, h: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        ObjectStore::insert(self, h, offset, data)
+    }
+
+    fn delete(&mut self, h: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
+        ObjectStore::delete(self, h, offset, len)
+    }
+
+    fn storage_pages(&self, h: &LargeObject) -> Result<u64> {
+        let s = self.object_stats(h)?;
+        Ok(s.leaf_pages + s.index_pages)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.io_stats()
+    }
+
+    fn reset_io(&self) {
+        self.reset_io_stats()
+    }
+}

@@ -1,0 +1,107 @@
+//! Store configuration: the segment-size threshold policy (§4.4) and
+//! recovery-related switches.
+
+/// The segment size threshold *T* (§4.4).
+///
+/// "It can not be the case that a number of bytes are kept in two
+/// (logically) adjacent segments, one of which has less than T pages, if
+/// they can be stored in one." Larger T improves storage utilization and
+/// read performance at some insert/delete cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threshold {
+    /// A fixed number of pages. `Fixed(1)` disables page reshuffling
+    /// entirely (every segment of ≥1 page is "safe"), which is the
+    /// configuration that degenerates to 1-page leaves under heavy
+    /// updates — the problem §4.4 opens with.
+    Fixed(u32),
+    /// Adaptive T from the parent index node's fan-out (\[Bili91a\]): the
+    /// closer the parent is to splitting, the larger T becomes. With a
+    /// parent holding `n` of `cap` entries, `T = base · 2^(4·n/cap)` —
+    /// T grows from `base` on an empty node to `16·base` on the verge of
+    /// a split.
+    Adaptive {
+        /// T used when the parent node is empty.
+        base: u32,
+    },
+}
+
+impl Threshold {
+    /// Effective T given the fan-out of the parent index node of the
+    /// leaf being updated.
+    pub fn effective(&self, parent_entries: usize, parent_cap: usize) -> u32 {
+        match *self {
+            Threshold::Fixed(t) => t.max(1),
+            Threshold::Adaptive { base } => {
+                let cap = parent_cap.max(1);
+                let step = (4 * parent_entries / cap).min(4) as u32;
+                (base.max(1)) << step
+            }
+        }
+    }
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Threshold::Fixed(8)
+    }
+}
+
+/// Configuration of an [`crate::ObjectStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Default segment-size threshold for new objects. Objects can
+    /// override it each time they are opened for update ("the threshold
+    /// value does not have to be constant during the lifetime of a large
+    /// object", §4.4).
+    pub threshold: Threshold,
+    /// Maximum number of entries the in-descriptor root may hold before
+    /// the tree grows a level. The paper lets clients bound the root
+    /// size; `None` uses the same capacity as an index page.
+    pub max_root_entries: Option<usize>,
+    /// Shadow index pages on update (§4.5): modified internal nodes are
+    /// written to freshly allocated pages and the old pages freed, so an
+    /// interrupted update never corrupts the committed tree. Turning
+    /// this off updates index pages in place (fewer allocator calls,
+    /// no crash safety).
+    pub shadow_index_pages: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            threshold: Threshold::default(),
+            max_root_entries: None,
+            shadow_index_pages: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_threshold_is_constant() {
+        let t = Threshold::Fixed(8);
+        assert_eq!(t.effective(0, 100), 8);
+        assert_eq!(t.effective(99, 100), 8);
+        assert_eq!(Threshold::Fixed(0).effective(0, 10), 1, "clamped to 1");
+    }
+
+    #[test]
+    fn adaptive_threshold_grows_with_fanout() {
+        let t = Threshold::Adaptive { base: 4 };
+        assert_eq!(t.effective(0, 100), 4);
+        assert_eq!(t.effective(25, 100), 8);
+        assert_eq!(t.effective(50, 100), 16);
+        assert_eq!(t.effective(75, 100), 32);
+        assert_eq!(t.effective(100, 100), 64, "about to split → largest T");
+    }
+
+    #[test]
+    fn default_config_shadow_on() {
+        let c = StoreConfig::default();
+        assert!(c.shadow_index_pages);
+        assert_eq!(c.threshold, Threshold::Fixed(8));
+    }
+}

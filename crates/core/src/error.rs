@@ -1,0 +1,95 @@
+//! Error type for the large object manager.
+
+use std::fmt;
+
+/// Result alias used throughout `eos-core`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the EOS large object manager.
+#[derive(Debug)]
+pub enum Error {
+    /// A byte offset or range fell outside the object.
+    OutOfObjectBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Current object size.
+        object_size: u64,
+    },
+    /// The database has no room for the requested growth.
+    NoSpace {
+        /// Pages that could not be allocated.
+        requested_pages: u64,
+    },
+    /// An object descriptor or index page failed validation.
+    CorruptObject {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The operation is not supported by this store (used by baselines
+    /// that lack, e.g., byte inserts).
+    Unsupported {
+        /// The operation name.
+        op: &'static str,
+        /// Why it is unsupported.
+        reason: String,
+    },
+    /// A transaction token was used after commit/abort.
+    StaleTransaction,
+    /// An underlying buddy-allocator error.
+    Buddy(eos_buddy::Error),
+    /// An underlying volume error.
+    Pager(eos_pager::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfObjectBounds {
+                offset,
+                len,
+                object_size,
+            } => write!(
+                f,
+                "range [{offset}, {}) outside object of {object_size} bytes",
+                offset + len
+            ),
+            Error::NoSpace { requested_pages } => {
+                write!(f, "no space for {requested_pages} more pages")
+            }
+            Error::CorruptObject { reason } => write!(f, "corrupt object: {reason}"),
+            Error::Unsupported { op, reason } => {
+                write!(f, "operation `{op}` unsupported: {reason}")
+            }
+            Error::StaleTransaction => write!(f, "transaction already finished"),
+            Error::Buddy(e) => write!(f, "space manager: {e}"),
+            Error::Pager(e) => write!(f, "volume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Buddy(e) => Some(e),
+            Error::Pager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eos_buddy::Error> for Error {
+    fn from(e: eos_buddy::Error) -> Self {
+        match e {
+            eos_buddy::Error::NoSpace { requested_pages } => Error::NoSpace { requested_pages },
+            other => Error::Buddy(other),
+        }
+    }
+}
+
+impl From<eos_pager::Error> for Error {
+    fn from(e: eos_pager::Error) -> Self {
+        Error::Pager(e)
+    }
+}

@@ -1,0 +1,98 @@
+//! Experiment fixtures: build objects with an explicit tree shape.
+//!
+//! The paper's worked examples (Fig 5.c, the §4.2 read-cost walkthrough)
+//! assume a specific arrangement of segments and index nodes that would
+//! be tedious to reproduce through update histories. This constructor
+//! lays the tree out directly — through the same allocator and node
+//! writer as the real operations — so the figure-reproduction harness
+//! (`eos-bench`, experiments E3/E4) can measure exactly the object the
+//! paper describes.
+
+use crate::error::Result;
+use crate::node::{Entry, Node};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+
+impl ObjectStore {
+    /// Build an object whose level-1 nodes hold segments of exactly the
+    /// given byte sizes: one inner `Vec` per level-1 node, one number
+    /// per segment. With a single group the root points directly at the
+    /// segments (Fig 5.a/b); with several groups the root points at one
+    /// index node per group (Fig 5.c).
+    ///
+    /// Segment contents are the byte pattern `(object_offset % 251)`.
+    pub fn assemble_object(&mut self, groups: &[Vec<u64>]) -> Result<LargeObject> {
+        let ps = self.ps();
+        let mut obj = self.create_object();
+        let mut offset = 0u64;
+        let mut group_entries: Vec<Entry> = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut entries = Vec::with_capacity(group.len());
+            for &bytes in group {
+                assert!(bytes > 0, "zero-byte segment");
+                let pages = bytes.div_ceil(ps);
+                let ext = self.alloc_extent(pages)?;
+                let mut buf: Vec<u8> = (offset..offset + bytes)
+                    .map(|i| (i % 251) as u8)
+                    .collect();
+                buf.resize((pages * ps) as usize, 0);
+                self.volume().write_pages(ext.start, &buf)?;
+                entries.push(Entry {
+                    bytes,
+                    ptr: ext.start,
+                });
+                offset += bytes;
+            }
+            group_entries.push(Entry {
+                bytes: entries.iter().map(|e| e.bytes).sum(),
+                ptr: 0, // patched below for multi-group objects
+            });
+            if groups.len() == 1 {
+                obj.root = Node { level: 1, entries };
+                return Ok(obj);
+            }
+            let node = Node { level: 1, entries };
+            let page = self.write_node(None, &node)?;
+            group_entries.last_mut().unwrap().ptr = page;
+        }
+        obj.root = Node {
+            level: 2,
+            entries: group_entries,
+        };
+        Ok(obj)
+    }
+
+    /// The deterministic content [`Self::assemble_object`] wrote for a
+    /// byte range (for read verification in experiments).
+    pub fn assembled_pattern(offset: u64, len: u64) -> Vec<u8> {
+        (offset..offset + len).map(|i| (i % 251) as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5c_shape() {
+        let mut store = ObjectStore::in_memory(100, 336);
+        let obj = store
+            .assemble_object(&[vec![520, 500], vec![280, 430, 90]])
+            .unwrap();
+        assert_eq!(obj.size(), 1820);
+        assert_eq!(obj.height(), 2);
+        assert_eq!(obj.root_entries(), 2);
+        store.verify_object(&obj).unwrap();
+        let got = store.read(&obj, 1470, 320).unwrap();
+        assert_eq!(got, ObjectStore::assembled_pattern(1470, 320));
+    }
+
+    #[test]
+    fn single_group_is_flat() {
+        let mut store = ObjectStore::in_memory(100, 336);
+        let obj = store.assemble_object(&[vec![1820]]).unwrap();
+        assert_eq!(obj.height(), 1);
+        assert_eq!(obj.root_entries(), 1);
+        store.verify_object(&obj).unwrap();
+    }
+}

@@ -1,0 +1,58 @@
+//! # eos-core — the EOS large object manager
+//!
+//! Implements §4 of Biliris, *"An Efficient Database Storage Structure
+//! for Large Dynamic Objects"* (ICDE 1992): general-purpose large
+//! unstructured objects stored in a sequence of **variable-size
+//! segments** of physically contiguous disk pages, indexed by a
+//! positional B-tree keyed on byte counts.
+//!
+//! * [`ObjectStore`] — create/open objects and run the §4 operations:
+//!   append (with the §4.1 growth policy), read, replace, insert,
+//!   delete, truncate.
+//! * [`LargeObject`] — the client-held root descriptor.
+//! * [`Threshold`] — the §4.4 segment-size threshold (fixed or
+//!   adaptive) that preserves physical clustering under updates.
+//! * [`reshuffle`] — the pure L/N/R byte- and page-reshuffle planner.
+//!
+//! ## Example
+//!
+//! ```
+//! use eos_core::ObjectStore;
+//!
+//! let mut store = ObjectStore::in_memory(4096, 4000);
+//! let mut obj = store.create_with(b"hello large world", None).unwrap();
+//! store.insert(&mut obj, 5, b",").unwrap();
+//! store.delete(&mut obj, 0, 7).unwrap();
+//! assert_eq!(store.read_all(&obj).unwrap(), b"large world");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blobstore;
+mod config;
+mod consolidate;
+mod error;
+mod fixtures;
+pub mod locks;
+mod node;
+mod object;
+mod ops;
+mod reshuffle;
+mod store;
+mod stream;
+mod tree;
+mod verify;
+pub mod wal;
+
+pub use blobstore::BlobStore;
+pub use config::{StoreConfig, Threshold};
+pub use consolidate::ConsolidateStats;
+pub use error::{Error, Result};
+pub use node::{node_capacity, node_min, Entry, Node};
+pub use object::LargeObject;
+pub use ops::append::AppendSession;
+pub use reshuffle::{pages, reshuffle, ReshufflePlan};
+pub use store::ObjectStore;
+pub use stream::{CompactStats, ObjectReader};
+pub use verify::ObjectStats;

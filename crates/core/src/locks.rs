@@ -1,0 +1,232 @@
+//! Byte-range locking (§4.5).
+//!
+//! "Concurrency can be handled either by locking the root of the large
+//! object or, for finer granularity, the byte range affected by each
+//! operation \[Care86\]." [`RangeLockManager`] implements the
+//! finer-granularity option: shared/exclusive locks on byte ranges of
+//! an object, held by transactions until explicitly released (strict
+//! two-phase locking). Operations that shift offsets (insert, delete,
+//! append) lock from their start offset **to the end of the object**
+//! (`start..MAX`), since every byte to the right logically moves —
+//! the standard treatment for positional data.
+//!
+//! The manager is a standalone component: the single-writer
+//! [`ObjectStore`](crate::ObjectStore) does not call it internally
+//! (the paper's prototype "runs on a single process, with no support
+//! for transactions"); a multi-client layer acquires locks before
+//! invoking operations, as the tests demonstrate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lock mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared — byte-range reads.
+    Shared,
+    /// Exclusive — replace/insert/delete/append.
+    Exclusive,
+}
+
+/// A transaction identity.
+pub type TxnId = u64;
+
+#[derive(Debug, Clone, Copy)]
+struct Held {
+    txn: TxnId,
+    lo: u64,
+    hi: u64, // exclusive; u64::MAX = to end of object
+    mode: LockMode,
+}
+
+fn overlaps(a: &Held, lo: u64, hi: u64) -> bool {
+    a.lo < hi && lo < a.hi
+}
+
+fn compatible(a: &Held, txn: TxnId, lo: u64, hi: u64, mode: LockMode) -> bool {
+    a.txn == txn
+        || !overlaps(a, lo, hi)
+        || (a.mode == LockMode::Shared && mode == LockMode::Shared)
+}
+
+#[derive(Default)]
+struct State {
+    /// Held locks per object.
+    held: HashMap<u64, Vec<Held>>,
+}
+
+/// A shared/exclusive byte-range lock manager with blocking acquisition
+/// and deadlock-avoiding try-acquire.
+///
+/// ```
+/// use eos_core::locks::{LockMode, RangeLockManager};
+///
+/// let lm = RangeLockManager::new();
+/// lm.lock(1, 42, 0, 100, LockMode::Shared);          // txn 1 reads
+/// assert!(lm.try_lock(2, 42, 50, 60, LockMode::Shared));
+/// assert!(!lm.try_lock(3, 42, 10, 20, LockMode::Exclusive));
+/// lm.release_all(1);
+/// lm.release_all(2);
+/// assert!(lm.try_lock(3, 42, 10, 20, LockMode::Exclusive));
+/// ```
+#[derive(Clone, Default)]
+pub struct RangeLockManager {
+    inner: Arc<(Mutex<State>, Condvar)>,
+}
+
+impl RangeLockManager {
+    /// An empty lock manager.
+    pub fn new() -> RangeLockManager {
+        RangeLockManager::default()
+    }
+
+    /// Try to acquire a lock without blocking. Returns `false` on
+    /// conflict.
+    pub fn try_lock(&self, txn: TxnId, object: u64, lo: u64, hi: u64, mode: LockMode) -> bool {
+        assert!(lo < hi, "empty lock range");
+        let (m, _) = &*self.inner;
+        let mut st = m.lock();
+        let held = st.held.entry(object).or_default();
+        if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
+            held.push(Held { txn, lo, hi, mode });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Acquire a lock, blocking until it is grantable.
+    pub fn lock(&self, txn: TxnId, object: u64, lo: u64, hi: u64, mode: LockMode) {
+        assert!(lo < hi, "empty lock range");
+        let (m, cv) = &*self.inner;
+        let mut st = m.lock();
+        loop {
+            let held = st.held.entry(object).or_default();
+            if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
+                held.push(Held { txn, lo, hi, mode });
+                return;
+            }
+            cv.wait(&mut st);
+        }
+    }
+
+    /// Lock the whole object (the coarse option the paper mentions).
+    pub fn lock_object(&self, txn: TxnId, object: u64, mode: LockMode) {
+        self.lock(txn, object, 0, u64::MAX, mode);
+    }
+
+    /// Lock `start..end-of-object` — what the offset-shifting
+    /// operations (insert/delete/append) need.
+    pub fn lock_tail(&self, txn: TxnId, object: u64, start: u64, mode: LockMode) {
+        self.lock(txn, object, start, u64::MAX, mode);
+    }
+
+    /// Release every lock the transaction holds (commit or abort —
+    /// strict 2PL releases at the end).
+    pub fn release_all(&self, txn: TxnId) {
+        let (m, cv) = &*self.inner;
+        let mut st = m.lock();
+        for held in st.held.values_mut() {
+            held.retain(|h| h.txn != txn);
+        }
+        st.held.retain(|_, v| !v.is_empty());
+        cv.notify_all();
+    }
+
+    /// Locks currently held on an object (diagnostics).
+    pub fn held_count(&self, object: u64) -> usize {
+        let (m, _) = &*self.inner;
+        m.lock().held.get(&object).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn shared_locks_coexist_exclusive_do_not() {
+        let lm = RangeLockManager::new();
+        assert!(lm.try_lock(1, 7, 0, 100, LockMode::Shared));
+        assert!(lm.try_lock(2, 7, 50, 150, LockMode::Shared));
+        assert!(!lm.try_lock(3, 7, 50, 60, LockMode::Exclusive));
+        // Disjoint exclusive is fine.
+        assert!(lm.try_lock(3, 7, 150, 200, LockMode::Exclusive));
+        // Other objects are independent.
+        assert!(lm.try_lock(3, 8, 0, 100, LockMode::Exclusive));
+        lm.release_all(1);
+        lm.release_all(2);
+        assert!(lm.try_lock(3, 7, 50, 60, LockMode::Exclusive));
+    }
+
+    #[test]
+    fn reacquire_by_same_txn_is_compatible() {
+        let lm = RangeLockManager::new();
+        assert!(lm.try_lock(1, 7, 0, 100, LockMode::Exclusive));
+        assert!(lm.try_lock(1, 7, 50, 150, LockMode::Exclusive));
+        assert_eq!(lm.held_count(7), 2);
+        lm.release_all(1);
+        assert_eq!(lm.held_count(7), 0);
+    }
+
+    #[test]
+    fn tail_locks_conflict_with_everything_to_the_right() {
+        let lm = RangeLockManager::new();
+        lm.lock_tail(1, 7, 1000, LockMode::Exclusive);
+        assert!(!lm.try_lock(2, 7, 5000, 5001, LockMode::Shared));
+        assert!(lm.try_lock(2, 7, 0, 1000, LockMode::Shared));
+    }
+
+    #[test]
+    fn blocking_lock_wakes_on_release() {
+        let lm = RangeLockManager::new();
+        lm.lock(1, 7, 0, 100, LockMode::Exclusive);
+        let lm2 = lm.clone();
+        let acquired = Arc::new(AtomicU64::new(0));
+        let acquired2 = acquired.clone();
+        let t = std::thread::spawn(move || {
+            lm2.lock(2, 7, 0, 10, LockMode::Exclusive);
+            acquired2.store(1, Ordering::SeqCst);
+            lm2.release_all(2);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(acquired.load(Ordering::SeqCst), 0, "still blocked");
+        lm.release_all(1);
+        t.join().unwrap();
+        assert_eq!(acquired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_one_writer_stress() {
+        let lm = RangeLockManager::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+        for txn in 0..8u64 {
+            let lm = lm.clone();
+            let counter = counter.clone();
+            threads.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let lo = (txn * 37 + i * 13) % 1000;
+                    let hi = lo + 1 + (i % 50);
+                    let mode = if (txn + i) % 4 == 0 {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
+                    lm.lock(txn, 1, lo, hi, mode);
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    lm.release_all(txn);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 200);
+        assert_eq!(lm.held_count(1), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Index nodes of the positional tree (§4).
+//!
+//! "Each node N of the tree contains a sequence of (c\[i\], p\[i\])
+//! pairs, one for each child of N, where p\[i\] is the page number of
+//! the i-th child. The number of bytes stored in the subtree rooted at
+//! p\[i\] is c\[i\]−c\[i−1\]." On disk the counts are cumulative exactly
+//! as in the paper; in memory each entry carries its own span, which
+//! makes splicing during inserts and deletes straightforward.
+
+use crate::error::{Error, Result};
+
+/// Magic tag identifying an index page ("EOSN").
+pub const NODE_MAGIC: u32 = 0x454F_534E;
+/// On-page header: magic (4) + level (2) + entry count (2).
+pub const NODE_HEADER: usize = 8;
+/// On-page entry: cumulative count (8) + child pointer (8).
+pub const ENTRY_SIZE: usize = 16;
+
+/// One `(count, pointer)` pair. `bytes` is the *span* of the child (the
+/// paper's `c[i] − c[i−1]`); `ptr` is the child's page number — an index
+/// page for levels > 1, the first page of a leaf segment for level 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Bytes stored below this child.
+    pub bytes: u64,
+    /// Page number of the child.
+    pub ptr: u64,
+}
+
+/// An index node. `level` 1 means the children are leaf segments;
+/// higher levels point to other index nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Distance to the leaves (≥ 1).
+    pub level: u16,
+    /// Child entries in byte order.
+    pub entries: Vec<Entry>,
+}
+
+/// Maximum entries an index page of `page_size` bytes can hold.
+#[inline]
+pub fn node_capacity(page_size: usize) -> usize {
+    (page_size - NODE_HEADER) / ENTRY_SIZE
+}
+
+/// Minimum entries for a non-root index node ("from half full to
+/// completely full").
+#[inline]
+pub fn node_min(page_size: usize) -> usize {
+    (node_capacity(page_size) / 2).max(2)
+}
+
+impl Node {
+    /// An empty node at `level`.
+    pub fn new(level: u16) -> Node {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total bytes stored below this node (the rightmost cumulative
+    /// count).
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Find the child holding byte `b` (0-based): the smallest `c[i]`
+    /// with `c[i] > b`, per the §4.2 search. Returns the child index and
+    /// `b` rebased to the child. `b` must be < [`Self::total_bytes`].
+    pub fn find_child(&self, b: u64) -> (usize, u64) {
+        let mut acc = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            if b < acc + e.bytes {
+                return (i, b - acc);
+            }
+            acc += e.bytes;
+        }
+        panic!("byte {b} beyond node total {acc}");
+    }
+
+    /// Byte offset (within this node) where child `i` starts.
+    pub fn child_offset(&self, i: usize) -> u64 {
+        self.entries[..i].iter().map(|e| e.bytes).sum()
+    }
+
+    /// Serialize to a page image with cumulative counts (paper layout).
+    pub fn to_page(&self, page_size: usize) -> Vec<u8> {
+        assert!(
+            self.entries.len() <= node_capacity(page_size),
+            "node with {} entries exceeds page capacity {}",
+            self.entries.len(),
+            node_capacity(page_size)
+        );
+        let mut page = vec![0u8; page_size];
+        page[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
+        page[4..6].copy_from_slice(&self.level.to_le_bytes());
+        page[6..8].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut acc = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            acc += e.bytes;
+            let off = NODE_HEADER + i * ENTRY_SIZE;
+            page[off..off + 8].copy_from_slice(&acc.to_le_bytes());
+            page[off + 8..off + 16].copy_from_slice(&e.ptr.to_le_bytes());
+        }
+        page
+    }
+
+    /// Decode a page image written by [`Self::to_page`].
+    pub fn from_page(page: &[u8]) -> Result<Node> {
+        let corrupt = |reason: &str| Error::CorruptObject {
+            reason: reason.to_string(),
+        };
+        if page.len() < NODE_HEADER {
+            return Err(corrupt("index page too small"));
+        }
+        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        if magic != NODE_MAGIC {
+            return Err(corrupt("bad index page magic"));
+        }
+        let level = u16::from_le_bytes(page[4..6].try_into().unwrap());
+        let n = u16::from_le_bytes(page[6..8].try_into().unwrap()) as usize;
+        if level == 0 {
+            return Err(corrupt("index node with level 0"));
+        }
+        if NODE_HEADER + n * ENTRY_SIZE > page.len() {
+            return Err(corrupt("entry count exceeds page"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let off = NODE_HEADER + i * ENTRY_SIZE;
+            let c = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
+            let ptr = u64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap());
+            if c <= prev {
+                return Err(corrupt("cumulative counts not strictly increasing"));
+            }
+            entries.push(Entry {
+                bytes: c - prev,
+                ptr,
+            });
+            prev = c;
+        }
+        Ok(Node { level, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(level: u16, spans: &[(u64, u64)]) -> Node {
+        Node {
+            level,
+            entries: spans
+                .iter()
+                .map(|&(bytes, ptr)| Entry { bytes, ptr })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(node_capacity(4096), 255);
+        assert_eq!(node_capacity(100), 5);
+        assert_eq!(node_min(4096), 127);
+        assert_eq!(node_min(100), 2);
+    }
+
+    #[test]
+    fn find_child_matches_paper_example() {
+        // Fig 5.c root: c[0]=1020, c[1]=1820. Byte 1470 → child 1,
+        // rebased to 1470−1020=450.
+        let root = node(2, &[(1020, 10), (800, 20)]);
+        assert_eq!(root.find_child(1470), (1, 450));
+        // Fig 5.c right child: counts 280, 710, 800. Byte 450 → child 1,
+        // rebased to 450−280=170.
+        let child = node(1, &[(280, 30), (430, 40), (90, 50)]);
+        assert_eq!(child.find_child(450), (1, 170));
+        assert_eq!(child.find_child(0), (0, 0));
+        assert_eq!(child.find_child(279), (0, 279));
+        assert_eq!(child.find_child(280), (1, 0));
+        assert_eq!(child.find_child(799), (2, 89));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond node total")]
+    fn find_child_past_end_panics() {
+        node(1, &[(10, 1)]).find_child(10);
+    }
+
+    #[test]
+    fn roundtrip_through_page() {
+        let n = node(3, &[(123, 7), (1, 9), (u32::MAX as u64, 11)]);
+        let page = n.to_page(256);
+        assert_eq!(Node::from_page(&page).unwrap(), n);
+    }
+
+    #[test]
+    fn cumulative_encoding_on_disk() {
+        let n = node(1, &[(280, 30), (430, 40), (90, 50)]);
+        let page = n.to_page(100);
+        // First cumulative count is 280, second 710, third 800 — the
+        // exact numbers of Fig 5.c.
+        let c0 = u64::from_le_bytes(page[8..16].try_into().unwrap());
+        let c1 = u64::from_le_bytes(page[24..32].try_into().unwrap());
+        let c2 = u64::from_le_bytes(page[40..48].try_into().unwrap());
+        assert_eq!((c0, c1, c2), (280, 710, 800));
+    }
+
+    #[test]
+    fn from_page_rejects_garbage() {
+        assert!(Node::from_page(&[0u8; 4]).is_err());
+        let mut page = node(1, &[(5, 1)]).to_page(64);
+        page[0] ^= 0xFF;
+        assert!(Node::from_page(&page).is_err());
+        // Non-increasing counts.
+        let mut page = node(1, &[(5, 1), (6, 2)]).to_page(64);
+        page[NODE_HEADER..NODE_HEADER + 8].copy_from_slice(&100u64.to_le_bytes());
+        assert!(Node::from_page(&page).is_err());
+    }
+
+    #[test]
+    fn totals_and_offsets() {
+        let n = node(1, &[(100, 1), (250, 2), (3, 9)]);
+        assert_eq!(n.total_bytes(), 353);
+        assert_eq!(n.child_offset(0), 0);
+        assert_eq!(n.child_offset(2), 350);
+    }
+}

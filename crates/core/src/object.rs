@@ -1,0 +1,214 @@
+//! The large-object handle: the tree root plus per-object settings.
+//!
+//! "Although EOS manages the internals of the large object root, the
+//! placement of the root on a database page is left to the client" (§4).
+//! [`LargeObject`] is therefore an ordinary value the caller keeps —
+//! e.g. inside a small record to implement long fields — and
+//! [`LargeObject::to_bytes`] / [`LargeObject::from_bytes`] give it a
+//! compact, validated serialization with the paper's cumulative-count
+//! layout.
+
+use crate::config::Threshold;
+use crate::error::{Error, Result};
+use crate::node::{Entry, Node};
+
+/// Magic tag identifying a serialized object descriptor ("EOSR").
+const ROOT_MAGIC: u32 = 0x454F_5352;
+
+/// A handle to one large object: the root node of its positional tree,
+/// its identity, its segment-size threshold, and the LSN of the last
+/// update (§4.5: "the log sequence number of the update must be placed
+/// in the root page of the object").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LargeObject {
+    /// Store-assigned object identity (used in log records).
+    pub(crate) id: u64,
+    /// The root node. `level == 1` with no entries means an empty
+    /// object; the root may point directly at segments (Fig 5.a/b) or
+    /// at index nodes (Fig 5.c).
+    pub(crate) root: Node,
+    /// Segment-size threshold in force (§4.4). May be changed between
+    /// operations via [`LargeObject::set_threshold`].
+    pub(crate) threshold: Threshold,
+    /// LSN of the last logged update.
+    pub(crate) lsn: u64,
+}
+
+impl LargeObject {
+    /// A fresh, empty object.
+    pub(crate) fn new(id: u64, threshold: Threshold) -> LargeObject {
+        LargeObject {
+            id,
+            root: Node::new(1),
+            threshold,
+            lsn: 0,
+        }
+    }
+
+    /// Total object size in bytes — the count of the rightmost root
+    /// pair, exactly as in the paper.
+    pub fn size(&self) -> u64 {
+        self.root.total_bytes()
+    }
+
+    /// True when the object holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.root.entries.is_empty()
+    }
+
+    /// Store-assigned identity.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Height of the tree: 1 when the root points directly at segments.
+    pub fn height(&self) -> u16 {
+        self.root.level
+    }
+
+    /// LSN of the last update applied to this object.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// The threshold currently in force.
+    pub fn threshold(&self) -> Threshold {
+        self.threshold
+    }
+
+    /// Change the segment-size threshold. "Applications … are allowed
+    /// to change the T value every time the object is opened for
+    /// updates" (§4.4). Takes effect on subsequent operations; existing
+    /// segments are reorganized lazily as updates touch them.
+    pub fn set_threshold(&mut self, t: Threshold) {
+        self.threshold = t;
+    }
+
+    /// Number of entries in the root (diagnostics; Fig 5 reproduction).
+    pub fn root_entries(&self) -> usize {
+        self.root.entries.len()
+    }
+
+    /// Serialize the descriptor for client-controlled placement.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + 16 * self.root.entries.len());
+        out.extend_from_slice(&ROOT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&self.lsn.to_le_bytes());
+        let (tag, val): (u8, u32) = match self.threshold {
+            Threshold::Fixed(t) => (0, t),
+            Threshold::Adaptive { base } => (1, base),
+        };
+        out.push(tag);
+        out.extend_from_slice(&val.to_le_bytes());
+        out.extend_from_slice(&self.root.level.to_le_bytes());
+        out.extend_from_slice(&(self.root.entries.len() as u16).to_le_bytes());
+        let mut acc = 0u64;
+        for e in &self.root.entries {
+            acc += e.bytes;
+            out.extend_from_slice(&acc.to_le_bytes());
+            out.extend_from_slice(&e.ptr.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a descriptor written by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<LargeObject> {
+        let corrupt = |reason: &str| Error::CorruptObject {
+            reason: reason.to_string(),
+        };
+        if data.len() < 29 {
+            return Err(corrupt("descriptor too short"));
+        }
+        if u32::from_le_bytes(data[0..4].try_into().unwrap()) != ROOT_MAGIC {
+            return Err(corrupt("bad descriptor magic"));
+        }
+        let id = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        let lsn = u64::from_le_bytes(data[12..20].try_into().unwrap());
+        let tval = u32::from_le_bytes(data[21..25].try_into().unwrap());
+        let threshold = match data[20] {
+            0 => Threshold::Fixed(tval),
+            1 => Threshold::Adaptive { base: tval },
+            _ => return Err(corrupt("unknown threshold tag")),
+        };
+        let level = u16::from_le_bytes(data[25..27].try_into().unwrap());
+        let n = u16::from_le_bytes(data[27..29].try_into().unwrap()) as usize;
+        if level == 0 {
+            return Err(corrupt("descriptor root level 0"));
+        }
+        if data.len() < 29 + 16 * n {
+            return Err(corrupt("descriptor truncated"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let off = 29 + 16 * i;
+            let c = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+            let ptr = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap());
+            if c <= prev {
+                return Err(corrupt("descriptor counts not increasing"));
+            }
+            entries.push(Entry {
+                bytes: c - prev,
+                ptr,
+            });
+            prev = c;
+        }
+        Ok(LargeObject {
+            id,
+            root: Node { level, entries },
+            threshold,
+            lsn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_object_is_empty() {
+        let o = LargeObject::new(7, Threshold::Fixed(4));
+        assert!(o.is_empty());
+        assert_eq!(o.size(), 0);
+        assert_eq!(o.height(), 1);
+        assert_eq!(o.id(), 7);
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let mut o = LargeObject::new(42, Threshold::Adaptive { base: 2 });
+        o.lsn = 99;
+        o.root = Node {
+            level: 2,
+            entries: vec![
+                Entry { bytes: 1020, ptr: 5 },
+                Entry { bytes: 800, ptr: 9 },
+            ],
+        };
+        let bytes = o.to_bytes();
+        let back = LargeObject::from_bytes(&bytes).unwrap();
+        assert_eq!(back, o);
+        assert_eq!(back.size(), 1820);
+    }
+
+    #[test]
+    fn descriptor_rejects_corruption() {
+        let o = LargeObject::new(1, Threshold::Fixed(8));
+        let mut b = o.to_bytes();
+        b[0] ^= 1;
+        assert!(LargeObject::from_bytes(&b).is_err());
+        assert!(LargeObject::from_bytes(&[0u8; 4]).is_err());
+        let mut b = o.to_bytes();
+        b[20] = 9; // bogus threshold tag
+        assert!(LargeObject::from_bytes(&b).is_err());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let o = LargeObject::new(3, Threshold::Fixed(8));
+        let back = LargeObject::from_bytes(&o.to_bytes()).unwrap();
+        assert_eq!(back, o);
+    }
+}

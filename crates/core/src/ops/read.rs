@@ -1,0 +1,112 @@
+//! The search (byte-range read) operation, §4.2.
+//!
+//! Descend the tree to the leaf segment holding the first byte, read the
+//! covered pages of that segment **in one multi-page call** (one seek),
+//! then "use the stack to obtain the rest of the bytes": advance the
+//! saved path to the logically next segment without re-descending from
+//! the root.
+//!
+//! Page runs whose bytes are needed in full are read straight into the
+//! output buffer (no intermediate copy); only the partial first/last
+//! pages of the range go through a one-page scratch buffer.
+
+use crate::error::{Error, Result};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+use crate::tree::{descend, leaf_entry, PathStep};
+
+pub(crate) fn run(
+    store: &ObjectStore,
+    obj: &LargeObject,
+    offset: u64,
+    len: u64,
+) -> Result<Vec<u8>> {
+    let size = obj.size();
+    if offset.checked_add(len).is_none_or(|end| end > size) {
+        return Err(Error::OutOfObjectBounds {
+            offset,
+            len,
+            object_size: size,
+        });
+    }
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let ps = store.ps();
+    let psz = ps as usize;
+    let (mut path, mut rel) = descend(store, obj, offset)?;
+    let mut out = vec![0u8; len as usize];
+    let mut written = 0usize;
+    let mut scratch = vec![0u8; psz];
+    let mut remaining = len;
+    loop {
+        let e = leaf_entry(&path);
+        let take = (e.bytes - rel).min(remaining) as usize;
+        let p0 = rel / ps;
+        let skip = (rel - p0 * ps) as usize;
+
+        // The segment contributes bytes [rel, rel+take). Split into a
+        // partial head page, a run of whole pages, and a partial tail
+        // page; the whole-page run lands directly in `out`.
+        let mut seg_written = 0usize;
+        let mut page = p0;
+        if skip > 0 {
+            store.volume().read_into(e.ptr + page, 1, &mut scratch)?;
+            let n = (psz - skip).min(take);
+            out[written..written + n].copy_from_slice(&scratch[skip..skip + n]);
+            seg_written += n;
+            page += 1;
+        }
+        let whole_pages = (take - seg_written) / psz;
+        if whole_pages > 0 {
+            let n = whole_pages * psz;
+            store.volume().read_into(
+                e.ptr + page,
+                whole_pages as u64,
+                &mut out[written + seg_written..written + seg_written + n],
+            )?;
+            seg_written += n;
+            page += whole_pages as u64;
+        }
+        if seg_written < take {
+            store.volume().read_into(e.ptr + page, 1, &mut scratch)?;
+            let n = take - seg_written;
+            out[written + seg_written..written + take].copy_from_slice(&scratch[..n]);
+            seg_written = take;
+        }
+        debug_assert_eq!(seg_written, take);
+        written += take;
+        remaining -= take as u64;
+        if remaining == 0 {
+            return Ok(out);
+        }
+        advance(store, &mut path)?;
+        rel = 0;
+    }
+}
+
+/// Move the saved path to the next leaf segment in byte order.
+pub(crate) fn advance(store: &ObjectStore, path: &mut Vec<PathStep>) -> Result<()> {
+    loop {
+        let top = path.last_mut().ok_or_else(|| Error::CorruptObject {
+            reason: "advanced past the last segment".into(),
+        })?;
+        if top.child + 1 < top.node.entries.len() {
+            top.child += 1;
+            break;
+        }
+        path.pop();
+    }
+    // Descend leftmost back to level 1.
+    while path.last().expect("non-empty").node.level > 1 {
+        let top = path.last().unwrap();
+        let ptr = top.node.entries[top.child].ptr;
+        let node = store.read_node(ptr)?;
+        path.push(PathStep {
+            page: Some(ptr),
+            node,
+            child: 0,
+        });
+    }
+    Ok(())
+}

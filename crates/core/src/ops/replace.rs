@@ -1,0 +1,65 @@
+//! The byte-range replace operation (§4.2).
+//!
+//! Replace locates the range with the search algorithm and overwrites
+//! leaf pages **in place** — it is the one update that modifies leaf
+//! pages and leaves the index untouched, so it is protected by logging
+//! rather than shadowing (§4.5). Only partially overwritten boundary
+//! pages need to be read first.
+
+use crate::error::{Error, Result};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+use crate::tree::{descend, leaf_entry};
+
+pub(crate) fn run(
+    store: &mut ObjectStore,
+    obj: &mut LargeObject,
+    offset: u64,
+    data: &[u8],
+) -> Result<()> {
+    let size = obj.size();
+    let len = data.len() as u64;
+    if offset.checked_add(len).is_none_or(|end| end > size) {
+        return Err(Error::OutOfObjectBounds {
+            offset,
+            len,
+            object_size: size,
+        });
+    }
+    if data.is_empty() {
+        return Ok(());
+    }
+    let ps = store.ps();
+    let (mut path, mut rel) = descend(store, obj, offset)?;
+    let mut src = data;
+    loop {
+        let e = leaf_entry(&path);
+        let take = (e.bytes - rel).min(src.len() as u64);
+        let p0 = rel / ps;
+        let p1 = (rel + take - 1) / ps;
+        let npages = p1 - p0 + 1;
+        let mut buf = vec![0u8; (npages * ps) as usize];
+        let head = (rel - p0 * ps) as usize; // bytes kept before the range
+        // Bytes of the last covered page that survive past the range.
+        // The page may be the segment's partial last page.
+        let page_end = ((p1 + 1) * ps).min(e.bytes);
+        let tail = (page_end - (rel + take)) as usize;
+        if head > 0 {
+            let page = store.volume().read_pages(e.ptr + p0, 1)?;
+            buf[..ps as usize].copy_from_slice(&page);
+        }
+        if tail > 0 && (p1 > p0 || head == 0) {
+            let page = store.volume().read_pages(e.ptr + p1, 1)?;
+            let off = ((npages - 1) * ps) as usize;
+            buf[off..].copy_from_slice(&page);
+        }
+        buf[head..head + take as usize].copy_from_slice(&src[..take as usize]);
+        store.volume().write_pages(e.ptr + p0, &buf)?;
+        src = &src[take as usize..];
+        if src.is_empty() {
+            return Ok(());
+        }
+        super::read::advance(store, &mut path)?;
+        rel = 0;
+    }
+}

@@ -1,0 +1,406 @@
+//! The reshuffle algorithm of §4.3–§4.4, as pure arithmetic.
+//!
+//! Inserts and deletes conceptually split the affected segment(s) into a
+//! left segment **L**, a brand-new segment **N**, and a right segment
+//! **R** (Figs 6 and 7). Before N is written, bytes and whole pages are
+//! shuffled between the three to (a) keep every segment "safe" with
+//! respect to the size threshold *T* — **page reshuffling**, steps
+//! 3.1–3.3 — and (b) minimize the free space wasted in the last pages of
+//! L and N — **byte reshuffling**, step 3.4.
+//!
+//! The functions here are pure: they take the three byte counts and
+//! return the new counts plus how many bytes crossed each boundary. The
+//! operation executors in [`crate::ops`] turn the plan into reads,
+//! writes and buddy-allocator calls. Keeping the arithmetic free of I/O
+//! is what lets the property tests hammer every branch cheaply.
+
+/// Outcome of reshuffling the L/N/R trio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshufflePlan {
+    /// Final bytes in L (0 = L disappeared).
+    pub l: u64,
+    /// Final bytes in N.
+    pub n: u64,
+    /// Final bytes in R (0 = R disappeared).
+    pub r: u64,
+    /// Bytes moved from the tail of L into the head of N.
+    pub from_l: u64,
+    /// Bytes moved from the head of R into the tail of N.
+    pub from_r: u64,
+}
+
+impl ReshufflePlan {
+    /// Plan that leaves everything in place.
+    fn unchanged(l: u64, n: u64, r: u64) -> ReshufflePlan {
+        ReshufflePlan {
+            l,
+            n,
+            r,
+            from_l: 0,
+            from_r: 0,
+        }
+    }
+}
+
+/// Pages needed for `c` bytes with no holes.
+#[inline]
+pub fn pages(c: u64, ps: u64) -> u64 {
+    c.div_ceil(ps)
+}
+
+/// Is a segment of `c` bytes *unsafe* for threshold `t`? ("A segment S
+/// is unsafe if its size is greater than zero and less than T pages.")
+#[inline]
+fn is_unsafe(c: u64, ps: u64, t: u64) -> bool {
+    c > 0 && pages(c, ps) < t
+}
+
+/// Reshuffle segments L, N, R (steps 3.1–3.4 of §4.4).
+///
+/// * `l0`, `n0`, `r0` — byte counts of the three conceptual segments.
+/// * `ps` — page size; `t` — segment size threshold in pages;
+///   `max_seg_pages` — the largest segment the buddy system can hand out.
+///
+/// When `n0` is zero (a delete that ends exactly on a page boundary)
+/// nothing moves: the paper goes straight to count propagation.
+pub fn reshuffle(l0: u64, n0: u64, r0: u64, ps: u64, t: u64, max_seg_pages: u64) -> ReshufflePlan {
+    debug_assert!(ps > 0 && t >= 1 && max_seg_pages >= 1);
+    if n0 == 0 {
+        return ReshufflePlan::unchanged(l0, n0, r0);
+    }
+    let max_bytes = max_seg_pages * ps;
+    let mut plan = ReshufflePlan::unchanged(l0, n0, r0);
+
+    // ---- Page reshuffling: steps 3.1–3.3 -------------------------------
+    // Each iteration either empties a segment into N, grows N by whole
+    // pages, or breaks; the explicit cap is belt and braces.
+    for _ in 0..8 {
+        let l_unsafe = is_unsafe(plan.l, ps, t);
+        let n_unsafe = is_unsafe(plan.n, ps, t);
+        let r_unsafe = is_unsafe(plan.r, ps, t);
+
+        // 3.1.a — all three safe (empty counts as safe here: "size
+        // greater than zero" is part of unsafe-ness).
+        let all_safe = !l_unsafe && !n_unsafe && !r_unsafe;
+        // 3.1.b — L and R both empty.
+        let both_empty = plan.l == 0 && plan.r == 0;
+        // 3.1.c — an unsafe L/R exists but even the smallest could not
+        // be merged with N inside one maximum-size segment.
+        let smallest_unsafe = match (l_unsafe, r_unsafe) {
+            (true, true) => Some(plan.l.min(plan.r)),
+            (true, false) => Some(plan.l),
+            (false, true) => Some(plan.r),
+            (false, false) => None,
+        };
+        let cannot_fit = smallest_unsafe.is_some_and(|s| s + plan.n > max_bytes);
+        if all_safe || both_empty || cannot_fit {
+            break;
+        }
+
+        // 3.2 — merge the smaller unsafe neighbour entirely into N,
+        // regardless of N's own size.
+        if l_unsafe || r_unsafe {
+            let take_l = match (l_unsafe, r_unsafe) {
+                (true, true) => plan.l <= plan.r,
+                (l, _) => l,
+            };
+            if take_l && plan.l + plan.n <= max_bytes {
+                plan.from_l += plan.l;
+                plan.n += plan.l;
+                plan.l = 0;
+                continue;
+            }
+            if !take_l && plan.n + plan.r <= max_bytes {
+                plan.from_r += plan.r;
+                plan.n += plan.r;
+                plan.r = 0;
+                continue;
+            }
+            // The chosen merge does not fit; try the byte phase.
+            break;
+        }
+
+        // 3.3 — N itself is unsafe: borrow whole pages from the smaller
+        // non-empty neighbour until N is safe (or the donor runs dry).
+        debug_assert!(n_unsafe);
+        let take_l = match (plan.l > 0, plan.r > 0) {
+            (true, true) => plan.l <= plan.r,
+            (l, _) => l,
+        };
+        let need = t - pages(plan.n, ps);
+        let room = max_seg_pages.saturating_sub(pages(plan.n, ps));
+        let want = need.min(room);
+        if want == 0 {
+            break; // N is already at the maximum segment size
+        }
+        let moved = if take_l {
+            // Take pages from L's tail (its partial last page first).
+            let have = pages(plan.l, ps);
+            let k = want.min(have);
+            let keep_pages = have - k;
+            let taken = plan.l - keep_pages * ps;
+            plan.l -= taken;
+            plan.from_l += taken;
+            plan.n += taken;
+            taken
+        } else {
+            // Take pages from R's head (always full pages, except when R
+            // is consumed entirely).
+            let have = pages(plan.r, ps);
+            let k = want.min(have);
+            let taken = if k >= have { plan.r } else { k * ps };
+            plan.r -= taken;
+            plan.from_r += taken;
+            plan.n += taken;
+            taken
+        };
+        if moved == 0 {
+            break;
+        }
+    }
+
+    // ---- Byte reshuffling: step 3.4 ------------------------------------
+    let nm = plan.n % ps; // bytes in N's (partial) last page; 0 = full
+    if nm != 0 {
+        let lm = plan.l % ps; // bytes in L's last page; 0 = full or empty
+        // Moving L's partial last page frees that page; refuse the move
+        // when it would push a currently-safe L below the threshold
+        // (the §4.4 constraint outranks the byte optimization).
+        let l_keeps_safe = plan.l == lm
+            || !is_unsafe(plan.l - lm, ps, t)
+            || is_unsafe(plan.l, ps, t);
+        let l_cand = plan.l > 0 && lm != 0 && lm + nm <= ps && l_keeps_safe;
+        let r_cand = plan.r > 0 && pages(plan.r, ps) == 1 && plan.r + nm <= ps;
+        if l_cand && r_cand && lm + plan.r + nm <= ps {
+            // Move both groups.
+            plan.from_l += lm;
+            plan.n += lm;
+            plan.l -= lm;
+            plan.from_r += plan.r;
+            plan.n += plan.r;
+            plan.r = 0;
+        } else if l_cand && r_cand {
+            // Take the group living in the segment with more free space
+            // in its last page (R is a single page here, so its free
+            // space is ps − r).
+            if ps - lm >= ps - plan.r {
+                plan.from_l += lm;
+                plan.n += lm;
+                plan.l -= lm;
+            } else {
+                plan.from_r += plan.r;
+                plan.n += plan.r;
+                plan.r = 0;
+            }
+        } else if l_cand {
+            plan.from_l += lm;
+            plan.n += lm;
+            plan.l -= lm;
+        } else if r_cand {
+            plan.from_r += plan.r;
+            plan.n += plan.r;
+            plan.r = 0;
+        }
+
+        // Balance the free space of L's and N's last pages by borrowing
+        // from L.
+        let lm = plan.l % ps;
+        let nm = plan.n % ps;
+        if plan.l > 0 && lm != 0 && nm != 0 && lm > nm {
+            let x = (lm - nm) / 2;
+            plan.from_l += x;
+            plan.l -= x;
+            plan.n += x;
+        }
+    }
+
+    debug_assert_eq!(plan.l + plan.n + plan.r, l0 + n0 + r0, "bytes conserved");
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: u64 = 100;
+    const MAX: u64 = 128;
+
+    /// No thresholding (T=1): only byte reshuffling can act.
+    #[test]
+    fn t1_byte_reshuffle_eliminates_partial_last_page_of_l() {
+        // L ends with a 30-byte last page; N's last page has 30 bytes;
+        // 30+30 ≤ 100 → L's last page is absorbed ("eliminating the last
+        // page of L"), then balance is a no-op.
+        let p = reshuffle(230, 130, 500, PS, 1, MAX);
+        assert_eq!(p.from_l, 30);
+        assert_eq!(p.l, 200);
+        assert_eq!(p.n, 160);
+        assert_eq!(p.r, 500);
+        assert_eq!(p.from_r, 0, "R has 5 pages — not a candidate");
+    }
+
+    #[test]
+    fn t1_one_page_r_is_absorbed() {
+        // R is exactly one page with 40 bytes; N's last page holds 20.
+        let p = reshuffle(0, 120, 40, PS, 1, MAX);
+        assert_eq!(p.from_r, 40);
+        assert_eq!(p.r, 0);
+        assert_eq!(p.n, 160);
+    }
+
+    #[test]
+    fn t1_both_groups_move_when_they_fit_together() {
+        // Lm=20, R=30 (1 page), Nm=40 → 20+30+40 ≤ 100: both move.
+        let p = reshuffle(120, 140, 30, PS, 1, MAX);
+        assert_eq!(p.from_l, 20);
+        assert_eq!(p.from_r, 30);
+        assert_eq!(p.l, 100);
+        assert_eq!(p.n, 190);
+        assert_eq!(p.r, 0);
+    }
+
+    #[test]
+    fn t1_larger_free_space_wins_when_both_do_not_fit() {
+        // Lm=45, R=50, Nm=30: together 125 > 100. L's last page free
+        // space 55, R's 50 → take L's group.
+        let p = reshuffle(145, 130, 50, PS, 1, MAX);
+        assert_eq!(p.from_l, 45);
+        assert_eq!(p.from_r, 0);
+        // Balance afterwards: lm=0 → nothing further.
+        assert_eq!(p.l, 100);
+        assert_eq!(p.n, 175);
+        assert_eq!(p.r, 50);
+    }
+
+    #[test]
+    fn t1_balance_splits_free_space() {
+        // Lm=80, Nm=20: groups can't merge (80+20=100 ≤ 100!) — they can:
+        // 80+20=100 fits exactly, so the whole last page moves.
+        let p = reshuffle(180, 120, 900, PS, 1, MAX);
+        assert_eq!(p.from_l, 80);
+        assert_eq!(p.n, 200);
+
+        // Lm=90, Nm=20 → 110 > 100: no group move; balance x=(90-20)/2=35.
+        let p = reshuffle(190, 120, 900, PS, 1, MAX);
+        assert_eq!(p.from_l, 35);
+        assert_eq!(p.l, 155);
+        assert_eq!(p.n, 155);
+    }
+
+    #[test]
+    fn full_n_skips_byte_phase() {
+        let p = reshuffle(150, 200, 300, PS, 1, MAX);
+        assert_eq!(p, ReshufflePlan::unchanged(150, 200, 300));
+    }
+
+    #[test]
+    fn zero_n_is_untouched() {
+        let p = reshuffle(199, 0, 301, PS, 8, MAX);
+        assert_eq!(p, ReshufflePlan::unchanged(199, 0, 301));
+    }
+
+    #[test]
+    fn unsafe_neighbour_merges_into_n_regardless_of_n() {
+        // T=8: L has 2 pages (unsafe), N is big and safe.
+        let p = reshuffle(150, 900, 2000, PS, 8, MAX);
+        assert_eq!(p.from_l, 150);
+        assert_eq!(p.l, 0);
+        assert_eq!(p.n, 1050);
+        assert_eq!(p.r, 2000);
+    }
+
+    #[test]
+    fn smaller_unsafe_neighbour_is_merged_first() {
+        // Both unsafe: L=500 (5p), R=300 (3p), T=8. R is smaller → merged
+        // first; loop continues: L is still unsafe → merged too.
+        let p = reshuffle(500, 900, 300, PS, 8, MAX);
+        assert_eq!(p.from_r, 300);
+        assert_eq!(p.from_l, 500);
+        assert_eq!(p.l, 0);
+        assert_eq!(p.r, 0);
+        assert_eq!(p.n, 1700);
+    }
+
+    #[test]
+    fn unsafe_n_borrows_whole_pages() {
+        // T=8, N=1 page, L=20 pages, R=30 pages. N needs 7 more pages;
+        // L is smaller → take 7 pages from L's tail. L's last page is
+        // partial (1950 % 100 = 50): the 7 tail pages hold 650 bytes.
+        let p = reshuffle(1950, 80, 3000, PS, 8, MAX);
+        assert_eq!(p.from_l, 650);
+        assert_eq!(p.l, 1300);
+        assert_eq!(p.n, 730);
+        assert_eq!(pages(p.n, PS), 8, "N became safe");
+        // Byte phase: Nm = 30, Lm = 0 → nothing more from L; R is huge.
+        assert_eq!(p.from_r, 0);
+    }
+
+    #[test]
+    fn threshold_one_and_a_half_pages_stays_small() {
+        // §4.4: "with T=8, a large object that is 1 page and a half long
+        // is kept in two pages, not in 8" — here L and R are empty, so
+        // 3.1.b exits immediately.
+        let p = reshuffle(0, 150, 0, PS, 8, MAX);
+        assert_eq!(p, ReshufflePlan::unchanged(0, 150, 0));
+        assert_eq!(pages(p.n, PS), 2);
+    }
+
+    #[test]
+    fn oversized_merge_is_refused() {
+        // L unsafe but L+N would exceed the maximum segment.
+        let max = 10; // pages
+        let p = reshuffle(300, 900, 0, PS, 8, max);
+        // 300+900 = 1200 > 1000 → 3.1.c exits; byte phase: L's last page
+        // is full (300 % 100 = 0) → nothing happens.
+        assert_eq!(p, ReshufflePlan::unchanged(300, 900, 0));
+    }
+
+    #[test]
+    fn bytes_always_conserved() {
+        for l in [0u64, 1, 99, 100, 101, 450, 799, 1000] {
+            for n in [1u64, 50, 100, 399, 640] {
+                for r in [0u64, 1, 100, 250, 777] {
+                    for t in [1u64, 2, 4, 8] {
+                        let p = reshuffle(l, n, r, PS, t, MAX);
+                        assert_eq!(p.l + p.n + p.r, l + n + r, "{l},{n},{r},T={t}");
+                        assert_eq!(l - p.l, p.from_l.min(l), "L only shrinks");
+                        assert!(p.r <= r, "R only shrinks");
+                        assert!(pages(p.n, PS) <= MAX);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn post_conditions_under_threshold() {
+        // Whenever reshuffle finishes with L and N (or N and R) both
+        // nonempty and one unsafe, their merge must not have fit in one
+        // maximum segment.
+        let max = 16;
+        for l in [0u64, 120, 350, 900, 1590] {
+            for n in [40u64, 150, 420] {
+                for r in [0u64, 80, 260, 1400] {
+                    let t = 8;
+                    let p = reshuffle(l, n, r, PS, t, max);
+                    if p.l > 0 && is_unsafe(p.l, PS, t) && p.n > 0 {
+                        assert!(
+                            p.l + p.n > max * PS,
+                            "unsafe L={} left beside N={} (from {l},{n},{r})",
+                            p.l,
+                            p.n
+                        );
+                    }
+                    if p.r > 0 && is_unsafe(p.r, PS, t) && p.n > 0 {
+                        assert!(
+                            p.r + p.n > max * PS,
+                            "unsafe R={} left beside N={} (from {l},{n},{r})",
+                            p.r,
+                            p.n
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

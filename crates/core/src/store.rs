@@ -1,0 +1,457 @@
+//! The EOS object store: a volume formatted into buddy spaces plus the
+//! large-object operations of §4.
+
+use eos_buddy::{BuddyManager, Extent};
+use eos_pager::{IoStats, PageId, SharedVolume};
+
+use crate::config::{StoreConfig, Threshold};
+use crate::error::{Error, Result};
+use crate::node::{node_capacity, Node};
+use crate::object::LargeObject;
+use crate::ops;
+use crate::verify::ObjectStats;
+
+/// The large object manager: owns the disk space (through the buddy
+/// system of §3) and implements create/append, read, replace, insert,
+/// delete and truncate on [`LargeObject`]s.
+pub struct ObjectStore {
+    volume: SharedVolume,
+    buddy: BuddyManager,
+    config: StoreConfig,
+    next_id: u64,
+    txn: Option<TxnState>,
+}
+
+/// Book-keeping for an open transaction scope (§4.5): frees are
+/// deferred behind release locks, and the scope's own allocations are
+/// remembered so an abort can return them.
+struct TxnState {
+    batch: eos_buddy::FreeBatch,
+    allocs: Vec<Extent>,
+}
+
+impl ObjectStore {
+    /// Format `num_spaces` buddy spaces of `pages_per_space` data pages
+    /// on the volume and return an empty store.
+    pub fn create(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+        config: StoreConfig,
+    ) -> Result<ObjectStore> {
+        let mut buddy = BuddyManager::create(volume.clone(), num_spaces, pages_per_space)?;
+        // Claim the boot-record page (the very first data page), so
+        // reopened stores find it at a deterministic address.
+        buddy.allocate_at(buddy.space(0).data_base(), 1)?;
+        Ok(ObjectStore {
+            volume,
+            buddy,
+            config,
+            next_id: 1,
+            txn: None,
+        })
+    }
+
+    /// Reopen a previously formatted store by reading every buddy-space
+    /// directory back from the volume. Objects are reattached by
+    /// deserializing their client-held descriptors
+    /// ([`LargeObject::from_bytes`]).
+    pub fn open(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+        config: StoreConfig,
+        next_object_id: u64,
+    ) -> Result<ObjectStore> {
+        let buddy = BuddyManager::open(volume.clone(), num_spaces, pages_per_space)?;
+        Ok(ObjectStore {
+            volume,
+            buddy,
+            config,
+            next_id: next_object_id,
+            txn: None,
+        })
+    }
+
+    /// Convenience: an in-memory store of at least `data_pages` pages,
+    /// split into as many buddy spaces as the directory geometry
+    /// requires. For tests and examples.
+    pub fn in_memory(page_size: usize, data_pages: u64) -> ObjectStore {
+        Self::in_memory_with(page_size, data_pages, StoreConfig::default())
+    }
+
+    /// [`Self::in_memory`] with an explicit configuration.
+    pub fn in_memory_with(
+        page_size: usize,
+        data_pages: u64,
+        config: StoreConfig,
+    ) -> ObjectStore {
+        use eos_pager::{DiskProfile, MemVolume};
+        let geometry = eos_buddy::Geometry::for_page_size(page_size);
+        let pps = geometry.max_space_pages.min(data_pages.max(16));
+        let spaces = data_pages.div_ceil(pps).max(1) as usize;
+        let vol = MemVolume::with_profile(
+            page_size,
+            (pps + 1) * spaces as u64 + 2,
+            DiskProfile::VINTAGE_1992,
+        )
+        .shared();
+        ObjectStore::create(vol, spaces, pps, config)
+            .expect("in-memory store creation cannot fail")
+    }
+
+    // ---- geometry & accessors ------------------------------------------
+
+    /// Page size of the underlying volume.
+    pub fn page_size(&self) -> usize {
+        self.volume.page_size()
+    }
+
+    /// Page size as u64 (the planners work in u64).
+    pub(crate) fn ps(&self) -> u64 {
+        self.volume.page_size() as u64
+    }
+
+    /// Largest segment the space manager can hand out, in pages.
+    pub fn max_seg_pages(&self) -> u64 {
+        self.buddy.max_extent_pages()
+    }
+
+    /// Entry capacity of an index page.
+    pub fn node_cap(&self) -> usize {
+        node_capacity(self.page_size())
+    }
+
+    /// Entry capacity of the root (client-bounded, §4 footnote 3).
+    pub fn root_cap(&self) -> usize {
+        self.config
+            .max_root_entries
+            .map_or_else(|| self.node_cap(), |m| m.clamp(2, self.node_cap()))
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        self.config_ref()
+    }
+
+    pub(crate) fn config_ref(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The underlying volume (for I/O statistics in experiments).
+    pub fn volume(&self) -> &SharedVolume {
+        &self.volume
+    }
+
+    /// The buddy space manager (for utilization experiments).
+    pub fn buddy(&self) -> &BuddyManager {
+        &self.buddy
+    }
+
+    /// Mutable access to the buddy manager (experiments only).
+    pub fn buddy_mut(&mut self) -> &mut BuddyManager {
+        &mut self.buddy
+    }
+
+    /// Cumulative volume I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.volume.stats()
+    }
+
+    /// Zero the volume I/O counters.
+    pub fn reset_io_stats(&self) {
+        self.volume.reset_stats()
+    }
+
+    // ---- object lifecycle ----------------------------------------------
+
+    /// Create an empty object with the store's default threshold.
+    pub fn create_object(&mut self) -> LargeObject {
+        let id = self.next_id;
+        self.next_id += 1;
+        LargeObject::new(id, self.config.threshold)
+    }
+
+    /// Create an empty object with a caller-chosen identity — used when
+    /// replaying a log onto a replica (see [`crate::wal`]).
+    pub fn create_object_with_id(&mut self, id: u64) -> LargeObject {
+        self.next_id = self.next_id.max(id + 1);
+        LargeObject::new(id, self.config.threshold)
+    }
+
+    // ---- boot record -------------------------------------------------------
+
+    /// Write the boot record: up to one page of client bytes at a fixed,
+    /// well-known location (the first data page of the first buddy
+    /// space). The paper leaves root placement to the client; the boot
+    /// record is the conventional spot for the descriptor of a root
+    /// catalog object, making a volume fully self-describing.
+    pub fn write_boot_record(&mut self, data: &[u8]) -> Result<()> {
+        let ps = self.page_size();
+        if data.len() + 4 > ps {
+            return Err(Error::Unsupported {
+                op: "write_boot_record",
+                reason: format!("boot record of {} bytes exceeds one page", data.len()),
+            });
+        }
+        let mut page = vec![0u8; ps];
+        page[0..4].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        page[4..4 + data.len()].copy_from_slice(data);
+        self.volume.write_pages(self.boot_page(), &page)?;
+        Ok(())
+    }
+
+    /// Read the boot record written by [`Self::write_boot_record`]
+    /// (empty if none was ever written).
+    pub fn read_boot_record(&self) -> Result<Vec<u8>> {
+        let page = self.volume.read_pages(self.boot_page(), 1)?;
+        let len = u32::from_le_bytes(page[0..4].try_into().unwrap()) as usize;
+        if len + 4 > page.len() {
+            return Err(Error::CorruptObject {
+                reason: "boot record length exceeds the page".into(),
+            });
+        }
+        Ok(page[4..4 + len].to_vec())
+    }
+
+    /// The fixed volume page of the boot record: data page 0 of buddy
+    /// space 0 (volume page 1, right after the first directory).
+    fn boot_page(&self) -> PageId {
+        self.buddy.space(0).data_base()
+    }
+
+    // ---- transaction scope (§4.5) ----------------------------------------
+
+    /// Open a transaction scope. Until [`Self::commit_txn`]:
+    ///
+    /// * every free is **deferred** behind a release lock (§4.5 /
+    ///   \[Lehm89\]) — freed segments cannot be reallocated, and
+    /// * insert/delete/append write only freshly allocated pages
+    ///   (shadowed index pages, brand-new leaf segments),
+    ///
+    /// so the committed tree image stays fully intact on disk: a crash
+    /// that loses the in-flight descriptor loses no committed data.
+    /// `replace` is the exception — it writes leaf pages in place and
+    /// must be protected with [`crate::wal::Wal::logged_replace`].
+    ///
+    /// # Panics
+    /// If a transaction scope is already open (single-writer store).
+    pub fn begin_txn(&mut self) {
+        assert!(self.txn.is_none(), "nested transactions are not supported");
+        self.txn = Some(TxnState {
+            batch: self.buddy.begin_free_batch(),
+            allocs: Vec::new(),
+        });
+    }
+
+    /// Commit the open scope: apply every deferred free. The caller
+    /// makes the new descriptor durable (that write is the commit
+    /// point, since the root is client-placed).
+    pub fn commit_txn(&mut self) -> Result<()> {
+        let txn = self.txn.take().expect("no open transaction");
+        self.buddy.commit_frees(txn.batch)?;
+        Ok(())
+    }
+
+    /// Abort the open scope: drop the deferred frees (the logical frees
+    /// never happen) and return every page the scope allocated. The
+    /// caller goes back to its pre-transaction descriptor copy.
+    pub fn abort_txn(&mut self) -> Result<()> {
+        let txn = self.txn.take().expect("no open transaction");
+        self.buddy.abort_frees(txn.batch);
+        for e in txn.allocs {
+            self.buddy.free(e.start, e.pages)?;
+        }
+        Ok(())
+    }
+
+    /// Is a transaction scope open?
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Create an object pre-filled with `data`, optionally telling the
+    /// store the eventual size in advance ("if the size is known a
+    /// priori, it is provided as a hint", §4.1).
+    pub fn create_with(&mut self, data: &[u8], size_hint: Option<u64>) -> Result<LargeObject> {
+        let mut obj = self.create_object();
+        if !data.is_empty() || size_hint.is_some() {
+            let mut s = self.open_append(&mut obj, size_hint)?;
+            s.append(data)?;
+            s.close()?;
+        }
+        Ok(obj)
+    }
+
+    /// Delete an object: free every leaf segment and index page. The
+    /// handle becomes an empty object.
+    pub fn delete_object(&mut self, obj: &mut LargeObject) -> Result<()> {
+        let size = obj.size();
+        if size > 0 {
+            ops::delete::run(self, obj, 0, size)?;
+        }
+        Ok(())
+    }
+
+    // ---- the §4 operations ----------------------------------------------
+
+    /// Read `len` bytes starting at byte `offset` (§4.2).
+    pub fn read(&self, obj: &LargeObject, offset: u64, len: u64) -> Result<Vec<u8>> {
+        ops::read::run(self, obj, offset, len)
+    }
+
+    /// Read the whole object.
+    pub fn read_all(&self, obj: &LargeObject) -> Result<Vec<u8>> {
+        ops::read::run(self, obj, 0, obj.size())
+    }
+
+    /// Overwrite `data.len()` bytes in place starting at `offset`
+    /// (§4.2: "the search algorithm can also be used for the byte range
+    /// replace operation").
+    pub fn replace(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        ops::replace::run(self, obj, offset, data)
+    }
+
+    /// Append bytes at the end of the object (§4.1).
+    pub fn append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
+        let mut s = self.open_append(obj, None)?;
+        s.append(data)?;
+        s.close()
+    }
+
+    /// Open a multi-append session (§4.1). While the session is open,
+    /// successive segment allocations double in size (or, with a size
+    /// hint, maximum-size segments are used); the final segment is
+    /// trimmed when the session closes.
+    pub fn open_append<'a>(
+        &'a mut self,
+        obj: &'a mut LargeObject,
+        size_hint: Option<u64>,
+    ) -> Result<ops::append::AppendSession<'a>> {
+        ops::append::AppendSession::open(self, obj, size_hint)
+    }
+
+    /// Insert `data` at byte `offset`, shifting the tail of the object
+    /// right (§4.3.1, with the §4.4 reshuffling).
+    pub fn insert(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        ops::insert::run(self, obj, offset, data)
+    }
+
+    /// Delete `len` bytes starting at `offset`, shifting the tail left
+    /// (§4.3.2, with the §4.4 reshuffling).
+    pub fn delete(&mut self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
+        ops::delete::run(self, obj, offset, len)
+    }
+
+    /// Truncate the object to `new_size` bytes — the special case of
+    /// delete that never touches a leaf segment.
+    pub fn truncate(&mut self, obj: &mut LargeObject, new_size: u64) -> Result<()> {
+        let size = obj.size();
+        if new_size > size {
+            return Err(Error::OutOfObjectBounds {
+                offset: new_size,
+                len: 0,
+                object_size: size,
+            });
+        }
+        if new_size == size {
+            return Ok(());
+        }
+        ops::delete::run(self, obj, new_size, size - new_size)
+    }
+
+    /// Walk the whole tree and return structural statistics
+    /// (segment count, page counts, utilization).
+    pub fn object_stats(&self, obj: &LargeObject) -> Result<ObjectStats> {
+        crate::verify::object_stats(self, obj)
+    }
+
+    /// Exhaustively check the object's structural invariants; used by
+    /// the property tests after every operation.
+    pub fn verify_object(&self, obj: &LargeObject) -> Result<()> {
+        crate::verify::verify_object(self, obj)
+    }
+
+    // ---- internal helpers shared by the ops modules ----------------------
+
+    /// Effective threshold (in pages) for an update whose leaf parent
+    /// holds `parent_entries` entries.
+    pub(crate) fn effective_threshold(
+        &self,
+        obj: &LargeObject,
+        parent_entries: usize,
+    ) -> u64 {
+        let cap = self.node_cap();
+        u64::from(obj.threshold.effective(parent_entries, cap))
+    }
+
+    /// Default threshold value for fresh objects (experiments tweak it
+    /// via [`StoreConfig`]).
+    pub fn default_threshold(&self) -> Threshold {
+        self.config.threshold
+    }
+
+    /// Allocate a fresh extent of exactly `pages` pages.
+    pub(crate) fn alloc_extent(&mut self, pages: u64) -> Result<Extent> {
+        let e = self.buddy.allocate(pages)?;
+        if let Some(txn) = &mut self.txn {
+            txn.allocs.push(e);
+        }
+        Ok(e)
+    }
+
+    /// Allocate at most `pages`, taking what is available.
+    pub(crate) fn alloc_up_to(&mut self, pages: u64) -> Result<Extent> {
+        let e = self.buddy.allocate_up_to(pages)?;
+        if let Some(txn) = &mut self.txn {
+            txn.allocs.push(e);
+        }
+        Ok(e)
+    }
+
+    /// Free `pages` pages starting at `start` — deferred behind a
+    /// release lock while a transaction scope is open.
+    pub(crate) fn free_pages(&mut self, start: PageId, pages: u64) -> Result<()> {
+        match &self.txn {
+            Some(txn) => {
+                self.buddy
+                    .defer_free(txn.batch, Extent { start, pages });
+            }
+            None => self.buddy.free(start, pages)?,
+        }
+        Ok(())
+    }
+
+    /// Read an index node from its page.
+    pub(crate) fn read_node(&self, page: PageId) -> Result<Node> {
+        let buf = self.volume.read_pages(page, 1)?;
+        Node::from_page(&buf)
+    }
+
+    /// Write an index node, shadowing it if configured: the node goes to
+    /// a freshly allocated page and the old page is freed, so the
+    /// committed tree is never overwritten (§4.5). Returns the page the
+    /// node now lives on.
+    pub(crate) fn write_node(&mut self, old: Option<PageId>, node: &Node) -> Result<PageId> {
+        let image = node.to_page(self.page_size());
+        match old {
+            Some(page) if !self.config.shadow_index_pages => {
+                self.volume.write_pages(page, &image)?;
+                Ok(page)
+            }
+            old => {
+                let ext = self.alloc_extent(1)?;
+                self.volume.write_pages(ext.start, &image)?;
+                if let Some(page) = old {
+                    self.free_pages(page, 1)?;
+                }
+                Ok(ext.start)
+            }
+        }
+    }
+
+    /// Free the page of a dropped index node.
+    pub(crate) fn free_node(&mut self, page: PageId) -> Result<()> {
+        self.free_pages(page, 1)
+    }
+}

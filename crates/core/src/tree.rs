@@ -1,0 +1,320 @@
+//! Positional-tree plumbing: descent with a saved path (the paper's
+//! "stack"), bottom-up count propagation, node splits, and root
+//! grow/collapse.
+
+use eos_pager::PageId;
+
+use crate::error::{Error, Result};
+use crate::node::{Entry, Node};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+
+/// One step of a root-to-leaf-parent path. `page` is `None` for the
+/// root (which lives in the client-held descriptor, not on a page).
+#[derive(Debug, Clone)]
+pub(crate) struct PathStep {
+    pub page: Option<PageId>,
+    pub node: Node,
+    pub child: usize,
+}
+
+/// Descend from the root to the level-1 node whose child segment holds
+/// byte `b`, saving the path ("save the address of S on the stack",
+/// §4.2). Returns the path and `b` rebased to the leaf segment.
+pub(crate) fn descend(
+    store: &ObjectStore,
+    obj: &LargeObject,
+    b: u64,
+) -> Result<(Vec<PathStep>, u64)> {
+    if b >= obj.size() {
+        return Err(Error::OutOfObjectBounds {
+            offset: b,
+            len: 1,
+            object_size: obj.size(),
+        });
+    }
+    let mut path = Vec::with_capacity(obj.root.level as usize);
+    let mut node = obj.root.clone();
+    let mut page = None;
+    let mut rel = b;
+    loop {
+        let (child, inner) = node.find_child(rel);
+        let level = node.level;
+        let ptr = node.entries[child].ptr;
+        path.push(PathStep { page, node, child });
+        if level == 1 {
+            return Ok((path, inner));
+        }
+        node = store.read_node(ptr)?;
+        if node.level != level - 1 {
+            return Err(Error::CorruptObject {
+                reason: format!(
+                    "child at page {ptr} has level {}, expected {}",
+                    node.level,
+                    level - 1
+                ),
+            });
+        }
+        page = Some(ptr);
+        rel = inner;
+    }
+}
+
+/// The leaf segment a finished descent points at.
+pub(crate) fn leaf_entry(path: &[PathStep]) -> Entry {
+    let last = path.last().expect("empty path");
+    last.node.entries[last.child]
+}
+
+/// Rewrite every node on `path` bottom-up after its bottom node's
+/// entries were edited in place, splitting overflowing nodes and
+/// growing/collapsing the root as needed.
+pub(crate) fn propagate(
+    store: &mut ObjectStore,
+    obj: &mut LargeObject,
+    mut path: Vec<PathStep>,
+) -> Result<()> {
+    let mut step = path.pop().expect("empty path");
+    while step.page.is_some() {
+        let repl = finalize_node(store, step)?;
+        step = path.pop().expect("path must end at the root");
+        let child = step.child;
+        step.node.entries.splice(child..child + 1, repl);
+    }
+    debug_assert!(path.is_empty());
+    obj.root = step.node;
+    normalize_root(store, obj)
+}
+
+/// Write one non-root node back, splitting it if it overflows. Returns
+/// the parent entries that now describe it (empty if the node vanished).
+fn finalize_node(store: &mut ObjectStore, step: PathStep) -> Result<Vec<Entry>> {
+    write_split(store, step.page, &step.node)
+}
+
+/// Write a node to disk, splitting it into evenly sized (≥ half full)
+/// chunks when it exceeds the page capacity. Returns the entries the
+/// parent should hold for it (empty if the node had no entries).
+pub(crate) fn write_split(
+    store: &mut ObjectStore,
+    old: Option<PageId>,
+    node: &Node,
+) -> Result<Vec<Entry>> {
+    let cap = store.node_cap();
+    if node.entries.is_empty() {
+        if let Some(p) = old {
+            store.free_node(p)?;
+        }
+        return Ok(Vec::new());
+    }
+    if node.entries.len() <= cap {
+        let page = store.write_node(old, node)?;
+        return Ok(vec![Entry {
+            bytes: node.total_bytes(),
+            ptr: page,
+        }]);
+    }
+    let chunks = chunk_entries(&node.entries, cap);
+    let mut out = Vec::with_capacity(chunks.len());
+    let mut first = true;
+    for chunk in chunks {
+        let n = Node {
+            level: node.level,
+            entries: chunk,
+        };
+        let page = store.write_node(if first { old } else { None }, &n)?;
+        first = false;
+        out.push(Entry {
+            bytes: n.total_bytes(),
+            ptr: page,
+        });
+    }
+    Ok(out)
+}
+
+/// Split `entries` into `ceil(len/cap)` runs of nearly equal length, so
+/// every resulting node is at least half full.
+pub(crate) fn chunk_entries(entries: &[Entry], cap: usize) -> Vec<Vec<Entry>> {
+    split_even(entries, entries.len().div_ceil(cap))
+}
+
+/// Split `entries` into exactly `chunks` runs of nearly equal length.
+pub(crate) fn split_even(entries: &[Entry], chunks: usize) -> Vec<Vec<Entry>> {
+    let n = entries.len();
+    debug_assert!(chunks >= 1 && chunks <= n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut it = entries.iter().copied();
+    for i in 0..chunks {
+        let take = base + usize::from(i < extra);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
+}
+
+/// Enforce the root rules: grow a level while the root exceeds its
+/// (client-bounded) capacity; collapse while it has exactly one child
+/// that is an index node ("Fix Root", §4.3.2 step 6).
+pub(crate) fn normalize_root(store: &mut ObjectStore, obj: &mut LargeObject) -> Result<()> {
+    let root_cap = store.root_cap();
+    let node_cap = store.node_cap();
+    while obj.root.entries.len() > root_cap {
+        let level = obj.root.level;
+        let n = obj.root.entries.len();
+        // At least two children, else the collapse rule would undo this.
+        let num = n.div_ceil(node_cap).max(2).min(n);
+        let chunks = split_even(&obj.root.entries, num);
+        let mut entries = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let n = Node { level, entries: chunk };
+            let page = store.write_node(None, &n)?;
+            entries.push(Entry {
+                bytes: n.total_bytes(),
+                ptr: page,
+            });
+        }
+        obj.root = Node {
+            level: level + 1,
+            entries,
+        };
+    }
+    while obj.root.level > 1 && obj.root.entries.len() == 1 {
+        let ptr = obj.root.entries[0].ptr;
+        let child = store.read_node(ptr)?;
+        store.free_node(ptr)?;
+        obj.root = child;
+    }
+    Ok(())
+}
+
+/// Append `new_entries` leaf segments at the end of the object, first
+/// shrinking the current last segment by `shrink_last_by` bytes (the
+/// partial-page absorption of §4.1; the caller already freed the page).
+/// Bulk-builds index levels when the object was empty.
+pub(crate) fn append_entries(
+    store: &mut ObjectStore,
+    obj: &mut LargeObject,
+    new_entries: Vec<Entry>,
+    shrink_last_by: u64,
+) -> Result<()> {
+    if obj.is_empty() {
+        debug_assert_eq!(shrink_last_by, 0);
+        obj.root = Node {
+            level: 1,
+            entries: new_entries,
+        };
+        return normalize_root(store, obj);
+    }
+    let (mut path, _) = descend(store, obj, obj.size() - 1)?;
+    let bottom = path.last_mut().expect("empty path");
+    debug_assert_eq!(bottom.child, bottom.node.entries.len() - 1);
+    if shrink_last_by > 0 {
+        let last = bottom.node.entries.last_mut().unwrap();
+        debug_assert!(last.bytes >= shrink_last_by);
+        last.bytes -= shrink_last_by;
+        if last.bytes == 0 {
+            bottom.node.entries.pop();
+        }
+    }
+    bottom.node.entries.extend(new_entries);
+    propagate(store, obj, path)
+}
+
+/// Post-delete seam repair. A range delete can leave under-filled nodes
+/// along the two boundary paths; the in-recursion repair fixes them
+/// against siblings *within their parent*, but a node that was its
+/// parent's only child escapes — its parent gets merged a level up and
+/// the deficiency survives under the merged node. This pass descends
+/// along the deletion seam from the root, and whenever a child within
+/// one hop of the seam is below half full, merges or rotates it with an
+/// adjacent sibling and restarts. Counts never change, so only pointers
+/// propagate.
+pub(crate) fn repair_seam(store: &mut ObjectStore, obj: &mut LargeObject, seam: u64) -> Result<()> {
+    let min = crate::node::node_min(store.page_size());
+    let cap = store.node_cap();
+    'outer: loop {
+        normalize_root(store, obj)?;
+        let size = obj.size();
+        if size == 0 || obj.root.level == 1 {
+            return Ok(());
+        }
+        let b = seam.min(size - 1);
+        let mut path: Vec<PathStep> = Vec::new();
+        let mut node = obj.root.clone();
+        let mut page: Option<PageId> = None;
+        let mut rel = b;
+        while node.level > 1 {
+            let (i, inner) = node.find_child(rel);
+            // Examine the seam child and its immediate neighbours.
+            let lo = i.saturating_sub(1);
+            let hi = (i + 1).min(node.entries.len() - 1);
+            for j in lo..=hi {
+                let child = store.read_node(node.entries[j].ptr)?;
+                if child.entries.len() >= min || node.entries.len() < 2 {
+                    continue;
+                }
+                // Merge/rotate child j with an adjacent sibling.
+                let k = if j + 1 < node.entries.len() { j + 1 } else { j - 1 };
+                let (a, b2) = (j.min(k), j.max(k));
+                let left_ptr = node.entries[a].ptr;
+                let right_ptr = node.entries[b2].ptr;
+                let left = store.read_node(left_ptr)?;
+                let right = store.read_node(right_ptr)?;
+                let level = left.level;
+                let mut combined = left.entries;
+                combined.extend(right.entries);
+                let new_entries: Vec<Entry> = if combined.len() <= cap {
+                    store.free_node(right_ptr)?;
+                    let n = Node { level, entries: combined };
+                    let p = store.write_node(Some(left_ptr), &n)?;
+                    vec![Entry { bytes: n.total_bytes(), ptr: p }]
+                } else {
+                    let mut halves = split_even(&combined, 2).into_iter();
+                    let n1 = Node { level, entries: halves.next().unwrap() };
+                    let n2 = Node { level, entries: halves.next().unwrap() };
+                    let p1 = store.write_node(Some(left_ptr), &n1)?;
+                    let p2 = store.write_node(Some(right_ptr), &n2)?;
+                    vec![
+                        Entry { bytes: n1.total_bytes(), ptr: p1 },
+                        Entry { bytes: n2.total_bytes(), ptr: p2 },
+                    ]
+                };
+                let mut fixed = node;
+                fixed.entries.splice(a..=b2, new_entries);
+                path.push(PathStep {
+                    page,
+                    node: fixed,
+                    child: 0, // unused by propagate for the bottom node
+                });
+                propagate(store, obj, path)?;
+                continue 'outer;
+            }
+            let ptr = node.entries[i].ptr;
+            path.push(PathStep { page, node, child: i });
+            node = store.read_node(ptr)?;
+            page = Some(ptr);
+            rel = inner;
+        }
+        return Ok(());
+    }
+}
+
+/// Free every index page and leaf segment below `node` without reading
+/// a single leaf page ("deletion of entire subtrees … can be completed
+/// without touching a single leaf segment").
+pub(crate) fn free_subtree(store: &mut ObjectStore, node: &Node) -> Result<()> {
+    let ps = store.ps();
+    if node.level == 1 {
+        for e in &node.entries {
+            store.free_pages(e.ptr, e.bytes.div_ceil(ps))?;
+        }
+        return Ok(());
+    }
+    for e in &node.entries {
+        let child = store.read_node(e.ptr)?;
+        free_subtree(store, &child)?;
+        store.free_node(e.ptr)?;
+    }
+    Ok(())
+}

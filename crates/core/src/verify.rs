@@ -1,0 +1,223 @@
+//! Structural validation and statistics for large objects.
+//!
+//! [`verify_object`] is the test oracle: it walks the entire tree and
+//! checks every invariant the paper states (counts, node fill, level
+//! monotonicity, the no-holes rule for segments, and that every page an
+//! object references is actually allocated in the buddy maps).
+//! [`object_stats`] collects the numbers the experiments report —
+//! segment counts, page counts, tree height and storage utilization.
+
+use crate::error::{Error, Result};
+use crate::node::{node_min, Node};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+
+/// Structural statistics of one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectStats {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Number of leaf segments.
+    pub segments: u64,
+    /// Pages occupied by leaf segments.
+    pub leaf_pages: u64,
+    /// Index pages (excluding the client-held root).
+    pub index_pages: u64,
+    /// Tree height (1 = root points straight at segments).
+    pub height: u16,
+    /// Pages of the smallest leaf segment.
+    pub min_seg_pages: u64,
+    /// Pages of the largest leaf segment.
+    pub max_seg_pages: u64,
+}
+
+impl ObjectStats {
+    /// Leaf storage utilization: object bytes over leaf-page bytes.
+    pub fn leaf_utilization(&self, page_size: usize) -> f64 {
+        if self.leaf_pages == 0 {
+            return 1.0;
+        }
+        self.size as f64 / (self.leaf_pages * page_size as u64) as f64
+    }
+
+    /// Utilization counting index pages too.
+    pub fn total_utilization(&self, page_size: usize) -> f64 {
+        let pages = self.leaf_pages + self.index_pages;
+        if pages == 0 {
+            return 1.0;
+        }
+        self.size as f64 / (pages * page_size as u64) as f64
+    }
+}
+
+/// Collect [`ObjectStats`] by walking the tree.
+pub(crate) fn object_stats(store: &ObjectStore, obj: &LargeObject) -> Result<ObjectStats> {
+    let ps = store.ps();
+    let mut stats = ObjectStats {
+        size: obj.size(),
+        segments: 0,
+        leaf_pages: 0,
+        index_pages: 0,
+        height: obj.root.level,
+        min_seg_pages: u64::MAX,
+        max_seg_pages: 0,
+    };
+    walk(store, &obj.root, &mut |node| {
+        if node.level == 1 {
+            for e in &node.entries {
+                let pages = e.bytes.div_ceil(ps);
+                stats.segments += 1;
+                stats.leaf_pages += pages;
+                stats.min_seg_pages = stats.min_seg_pages.min(pages);
+                stats.max_seg_pages = stats.max_seg_pages.max(pages);
+            }
+        }
+    })?;
+    // Count index pages: every node except the root lives on a page.
+    let mut index_pages = 0u64;
+    walk(store, &obj.root, &mut |node| {
+        if node.level > 1 {
+            index_pages += node.entries.len() as u64;
+        }
+    })?;
+    stats.index_pages = index_pages;
+    if stats.segments == 0 {
+        stats.min_seg_pages = 0;
+    }
+    Ok(stats)
+}
+
+fn walk(
+    store: &ObjectStore,
+    node: &Node,
+    f: &mut impl FnMut(&Node),
+) -> Result<()> {
+    f(node);
+    if node.level > 1 {
+        for e in &node.entries {
+            let child = store.read_node(e.ptr)?;
+            walk(store, &child, f)?;
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verify the object's structural invariants.
+pub(crate) fn verify_object(store: &ObjectStore, obj: &LargeObject) -> Result<()> {
+    let root_cap = store.root_cap();
+    if obj.root.entries.len() > root_cap {
+        return Err(Error::CorruptObject {
+            reason: format!(
+                "root has {} entries, cap is {root_cap}",
+                obj.root.entries.len()
+            ),
+        });
+    }
+    if obj.root.level > 1 && obj.root.entries.len() < 2 {
+        return Err(Error::CorruptObject {
+            reason: "non-leaf root with fewer than two pairs".into(),
+        });
+    }
+    verify_node(store, &obj.root, NodePos::Root)?;
+    Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum NodePos {
+    Root,
+    /// Direct child of the root: exempt from the half-full minimum when
+    /// the client bounds the root below a full page (§4 footnote 3 —
+    /// splitting such a root cannot produce half-full children).
+    RootChild,
+    Inner,
+}
+
+fn verify_node(store: &ObjectStore, node: &Node, pos: NodePos) -> Result<u64> {
+    let ps = store.ps();
+    let cap = store.node_cap();
+    let min = node_min(store.page_size());
+    if pos != NodePos::Root {
+        if node.entries.len() > cap {
+            return Err(Error::CorruptObject {
+                reason: format!("node with {} entries over cap {cap}", node.entries.len()),
+            });
+        }
+        let exempt = pos == NodePos::RootChild && store.root_cap() < cap;
+        if node.entries.len() < min && !exempt {
+            return Err(Error::CorruptObject {
+                reason: format!(
+                    "node with {} entries below half-full minimum {min}",
+                    node.entries.len()
+                ),
+            });
+        }
+    }
+    let mut total = 0u64;
+    for e in &node.entries {
+        if e.bytes == 0 {
+            return Err(Error::CorruptObject {
+                reason: "zero-byte entry".into(),
+            });
+        }
+        if node.level == 1 {
+            // Leaf segment: every page must be allocated in the buddy
+            // maps; the page count is ⌈bytes/PS⌉ by the no-holes rule.
+            let pages = e.bytes.div_ceil(ps);
+            check_allocated(store, e.ptr, pages)?;
+        } else {
+            let child = store.read_node(e.ptr)?;
+            if child.level != node.level - 1 {
+                return Err(Error::CorruptObject {
+                    reason: format!(
+                        "level skew: child {} under node {}",
+                        child.level, node.level
+                    ),
+                });
+            }
+            check_allocated(store, e.ptr, 1)?;
+            let child_pos = if pos == NodePos::Root {
+                NodePos::RootChild
+            } else {
+                NodePos::Inner
+            };
+            let child_total = verify_node(store, &child, child_pos)?;
+            if child_total != e.bytes {
+                return Err(Error::CorruptObject {
+                    reason: format!(
+                        "count mismatch: entry says {}, subtree holds {child_total}",
+                        e.bytes
+                    ),
+                });
+            }
+        }
+        total += e.bytes;
+    }
+    Ok(total)
+}
+
+/// Check that `pages` pages from `start` are marked allocated.
+fn check_allocated(store: &ObjectStore, start: u64, pages: u64) -> Result<()> {
+    for space_idx in 0..store.buddy().num_spaces() {
+        let space = store.buddy().space(space_idx);
+        let base = space.data_base();
+        let end = base + space.dir().data_pages();
+        if start >= base && start < end {
+            if start + pages > end {
+                return Err(Error::CorruptObject {
+                    reason: format!("extent [{start},+{pages}) crosses a space boundary"),
+                });
+            }
+            for p in start..start + pages {
+                if !space.dir().amap().page_allocated(p - base) {
+                    return Err(Error::CorruptObject {
+                        reason: format!("page {p} referenced but free in the buddy map"),
+                    });
+                }
+            }
+            return Ok(());
+        }
+    }
+    Err(Error::CorruptObject {
+        reason: format!("page {start} outside every buddy space"),
+    })
+}

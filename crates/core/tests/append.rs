@@ -1,0 +1,208 @@
+//! Directed edge-case tests for the §4.1 append/create path: hint
+//! accuracy, tail-page absorption, trim behaviour, growth under space
+//! pressure, and threshold changes between sessions.
+
+use eos_core::{ObjectStore, StoreConfig, Threshold};
+
+fn store(pages: u64) -> ObjectStore {
+    ObjectStore::in_memory(512, pages)
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+#[test]
+fn exact_hint_gives_exact_pages() {
+    let mut s = store(4000);
+    let data = pattern(10 * 512);
+    let obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
+    let stats = s.object_stats(&obj).unwrap();
+    assert_eq!(stats.leaf_pages, 10);
+    assert_eq!(stats.segments, 1);
+    assert_eq!(stats.leaf_utilization(512), 1.0);
+}
+
+#[test]
+fn hint_too_small_still_works() {
+    // The hint is advisory: promising 1 KiB but appending 100 KiB must
+    // still produce a correct object (just with more segments).
+    let mut s = store(4000);
+    let data = pattern(100_000);
+    let mut obj = s.create_object();
+    let mut sess = s.open_append(&mut obj, Some(1024)).unwrap();
+    for chunk in data.chunks(10_000) {
+        sess.append(chunk).unwrap();
+    }
+    sess.close().unwrap();
+    assert_eq!(s.read_all(&obj).unwrap(), data);
+    s.verify_object(&obj).unwrap();
+}
+
+#[test]
+fn hint_too_large_is_trimmed() {
+    // Promising 1 MiB but writing 5 KiB: the close() trim returns the
+    // over-allocation, so no pages leak.
+    let mut s = store(4000);
+    let free0 = s.buddy().total_free_pages();
+    let data = pattern(5_000);
+    let mut obj = s.create_object();
+    let mut sess = s.open_append(&mut obj, Some(1 << 20)).unwrap();
+    sess.append(&data).unwrap();
+    sess.close().unwrap();
+    let stats = s.object_stats(&obj).unwrap();
+    assert_eq!(stats.leaf_pages, 5_000u64.div_ceil(512));
+    assert_eq!(
+        free0 - s.buddy().total_free_pages(),
+        stats.leaf_pages,
+        "everything beyond ⌈5000/512⌉ pages was trimmed"
+    );
+    assert_eq!(s.read_all(&obj).unwrap(), data);
+}
+
+#[test]
+fn empty_session_is_a_noop() {
+    let mut s = store(1000);
+    let free0 = s.buddy().total_free_pages();
+    let mut obj = s.create_object();
+    let sess = s.open_append(&mut obj, None).unwrap();
+    sess.close().unwrap();
+    assert!(obj.is_empty());
+    assert_eq!(s.buddy().total_free_pages(), free0);
+
+    // Also on a non-empty object with a partial tail: absorption must
+    // not lose bytes even when nothing is appended.
+    let mut obj = s.create_with(&pattern(700), None).unwrap();
+    let sess = s.open_append(&mut obj, None).unwrap();
+    sess.close().unwrap();
+    assert_eq!(s.read_all(&obj).unwrap(), pattern(700));
+    s.verify_object(&obj).unwrap();
+}
+
+#[test]
+fn zero_byte_appends_are_harmless() {
+    let mut s = store(1000);
+    let mut obj = s.create_with(&pattern(100), None).unwrap();
+    let mut sess = s.open_append(&mut obj, None).unwrap();
+    sess.append(b"").unwrap();
+    sess.append(b"x").unwrap();
+    sess.append(b"").unwrap();
+    sess.close().unwrap();
+    assert_eq!(obj.size(), 101);
+}
+
+#[test]
+fn appended_counter_tracks_session_bytes() {
+    let mut s = store(2000);
+    let mut obj = s.create_with(&pattern(700), None).unwrap(); // partial tail
+    let mut sess = s.open_append(&mut obj, None).unwrap();
+    assert_eq!(sess.appended(), 0, "absorbed bytes don't count");
+    sess.append(&pattern(1000)).unwrap();
+    assert_eq!(sess.appended(), 1000);
+    sess.append(&pattern(24)).unwrap();
+    assert_eq!(sess.appended(), 1024);
+    sess.close().unwrap();
+    assert_eq!(obj.size(), 700 + 1024);
+}
+
+#[test]
+fn doubling_sequence_is_exact() {
+    // Small appends, unknown size: allocations go 1, 2, 4, 8, ... pages.
+    let mut s = store(4000);
+    let mut obj = s.create_object();
+    let mut sess = s.open_append(&mut obj, None).unwrap();
+    // 31 pages of content = 1+2+4+8+16 fully used.
+    sess.append(&pattern(31 * 512)).unwrap();
+    sess.close().unwrap();
+    let segs = s.segments(&obj).unwrap();
+    let sizes: Vec<u64> = segs.iter().map(|&(b, _)| b.div_ceil(512)).collect();
+    assert_eq!(sizes, vec![1, 2, 4, 8, 16]);
+}
+
+#[test]
+fn growth_falls_back_under_space_pressure() {
+    // Fill the store so only scattered small runs remain; the doubling
+    // allocation falls back to whatever is available.
+    let mut s = store(256);
+    let hog = s.create_with(&pattern(100 * 512), Some(100 * 512)).unwrap();
+    let _hog2 = s.create_with(&pattern(100 * 512), Some(100 * 512)).unwrap();
+    // ~55 pages left (minus boot page). Append 20 pages with doubling.
+    let data = pattern(20 * 512);
+    let mut obj = s.create_object();
+    let mut sess = s.open_append(&mut obj, None).unwrap();
+    for chunk in data.chunks(512) {
+        sess.append(chunk).unwrap();
+    }
+    sess.close().unwrap();
+    assert_eq!(s.read_all(&obj).unwrap(), data);
+    s.verify_object(&obj).unwrap();
+    s.verify_object(&hog).unwrap();
+}
+
+#[test]
+fn store_exhaustion_surfaces_as_no_space() {
+    let mut s = store(64);
+    let data = pattern(200 * 512);
+    let err = s.create_with(&data, None).unwrap_err();
+    assert!(matches!(err, eos_core::Error::NoSpace { .. }), "{err}");
+}
+
+#[test]
+fn threshold_can_change_between_sessions() {
+    // "Applications … are allowed to change the T value every time the
+    // object is opened for updates" (§4.4). Run the same second phase
+    // of edits once at T=1 and once at T=16: the raised threshold stops
+    // the shattering where T=1 keeps fragmenting.
+    let phase2 = |t: Threshold| -> (u64, u64) {
+        let mut s = ObjectStore::in_memory_with(
+            512,
+            8000,
+            StoreConfig {
+                threshold: Threshold::Fixed(1),
+                ..StoreConfig::default()
+            },
+        );
+        let mut obj = s.create_with(&pattern(100_000), Some(100_000)).unwrap();
+        let mut model = pattern(100_000);
+        for i in 0..30u64 {
+            let off = (i * 3001) % (model.len() as u64);
+            s.insert(&mut obj, off, b"ab").unwrap();
+            model.splice(off as usize..off as usize, *b"ab");
+        }
+        let shattered = s.object_stats(&obj).unwrap().segments;
+        obj.set_threshold(t);
+        for i in 0..60u64 {
+            let off = (i * 2003) % (model.len() as u64);
+            s.insert(&mut obj, off, b"cd").unwrap();
+            model.splice(off as usize..off as usize, *b"cd");
+        }
+        assert_eq!(s.read_all(&obj).unwrap(), model);
+        s.verify_object(&obj).unwrap();
+        (shattered, s.object_stats(&obj).unwrap().segments)
+    };
+    let (base1, keep1) = phase2(Threshold::Fixed(1));
+    let (base16, keep16) = phase2(Threshold::Fixed(16));
+    assert_eq!(base1, base16, "identical first phases");
+    assert!(
+        keep16 < keep1,
+        "raised T must shatter less: T=1 -> {keep1}, T=16 -> {keep16}"
+    );
+}
+
+#[test]
+fn absorption_frees_the_old_tail_page() {
+    let mut s = store(2000);
+    // A hinted create gives one 2-page segment with 188 bytes in the
+    // partial last page.
+    let mut obj = s.create_with(&pattern(700), Some(700)).unwrap();
+    let (bytes0, ptr0) = s.segments(&obj).unwrap()[0];
+    assert_eq!(bytes0, 700);
+    s.append(&mut obj, &pattern(300)).unwrap();
+    let segs = s.segments(&obj).unwrap();
+    // The old segment kept only its full page; the absorbed partial page
+    // moved into the new segment along with the appended bytes.
+    assert_eq!(segs[0], (512, ptr0));
+    assert_eq!(segs.len(), 2);
+    assert_eq!(segs.iter().map(|&(b, _)| b).sum::<u64>(), 1000);
+    s.verify_object(&obj).unwrap();
+}

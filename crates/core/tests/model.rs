@@ -1,0 +1,239 @@
+//! Model-based property tests: arbitrary operation sequences are applied
+//! both to an [`ObjectStore`] object and to a plain `Vec<u8>` reference
+//! model; after every step the object must decode to exactly the model
+//! bytes and pass the full structural verifier (tree counts, node fill,
+//! buddy-map consistency, no-holes rule).
+
+use eos_core::{ObjectStore, StoreConfig, Threshold};
+use eos_pager::{DiskProfile, MemVolume};
+#[allow(unused_imports)]
+use eos_buddy::Geometry;
+use proptest::prelude::*;
+
+/// Default case count, overridable via PROPTEST_CASES for deep soaks.
+fn prop_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append { len: usize },
+    Insert { at: u64, len: usize },
+    Delete { at: u64, len: u64 },
+    Replace { at: u64, len: usize },
+    Truncate { at: u64 },
+    Read { at: u64, len: u64 },
+    Compact,
+    Consolidate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0usize..2_000).prop_map(|len| Op::Append { len }),
+        3 => (any::<u64>(), 0usize..1_500).prop_map(|(at, len)| Op::Insert { at, len }),
+        3 => (any::<u64>(), any::<u64>()).prop_map(|(at, len)| Op::Delete {
+            at,
+            len: len % 3_000
+        }),
+        2 => (any::<u64>(), 0usize..1_000).prop_map(|(at, len)| Op::Replace { at, len }),
+        1 => any::<u64>().prop_map(|at| Op::Truncate { at }),
+        2 => (any::<u64>(), any::<u64>()).prop_map(|(at, len)| Op::Read {
+            at,
+            len: len % 2_000
+        }),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Consolidate),
+    ]
+}
+
+fn fill(seed: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| seed.wrapping_add((i % 241) as u8)).collect()
+}
+
+/// Run one op sequence against the store and the model.
+fn run_model(page_size: usize, threshold: Threshold, ops: Vec<Op>) {
+    // Enough pages for 60 KB of content plus index pages and slack,
+    // split into as many buddy spaces as the directory page can map.
+    let data_pages = (200_000 / page_size as u64).max(64);
+    let geometry = eos_buddy::Geometry::for_page_size(page_size);
+    let pps = geometry.max_space_pages.min(data_pages);
+    let spaces = data_pages.div_ceil(pps) as usize;
+    let vol = MemVolume::with_profile(
+        page_size,
+        (pps + 1) * spaces as u64 + 4,
+        DiskProfile::FREE,
+    )
+    .shared();
+    let mut store = ObjectStore::create(
+        vol,
+        spaces,
+        pps,
+        StoreConfig {
+            threshold,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let free0 = store.buddy().total_free_pages();
+    let mut obj = store.create_object();
+    let mut model: Vec<u8> = Vec::new();
+
+    for (i, op) in ops.into_iter().enumerate() {
+        let seed = i as u8;
+        let size = model.len() as u64;
+        match op {
+            Op::Append { len } => {
+                // Cap growth so the tiny volume never fills up.
+                if model.len() + len > 60_000 {
+                    continue;
+                }
+                let data = fill(seed, len);
+                store.append(&mut obj, &data).unwrap();
+                model.extend_from_slice(&data);
+            }
+            Op::Insert { at, len } => {
+                if model.len() + len > 60_000 {
+                    continue;
+                }
+                let at = if size == 0 { 0 } else { at % (size + 1) };
+                let data = fill(seed.wrapping_add(101), len);
+                store.insert(&mut obj, at, &data).unwrap();
+                model.splice(at as usize..at as usize, data.iter().copied());
+            }
+            Op::Delete { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = len.min(size - at);
+                if len == 0 {
+                    continue;
+                }
+                store.delete(&mut obj, at, len).unwrap();
+                model.drain(at as usize..(at + len) as usize);
+            }
+            Op::Replace { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = (len as u64).min(size - at) as usize;
+                let data = fill(seed.wrapping_add(53), len);
+                store.replace(&mut obj, at, &data).unwrap();
+                model[at as usize..at as usize + len].copy_from_slice(&data);
+            }
+            Op::Truncate { at } => {
+                let at = if size == 0 { 0 } else { at % (size + 1) };
+                store.truncate(&mut obj, at).unwrap();
+                model.truncate(at as usize);
+            }
+            Op::Read { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = len.min(size - at);
+                let got = store.read(&obj, at, len).unwrap();
+                assert_eq!(got, &model[at as usize..(at + len) as usize]);
+                continue; // nothing structural changed
+            }
+            Op::Compact => {
+                store.compact(&mut obj).unwrap();
+            }
+            Op::Consolidate => {
+                store.consolidate(&mut obj).unwrap();
+            }
+        }
+        store.verify_object(&obj).unwrap();
+        assert_eq!(obj.size(), model.len() as u64, "size after op {i}");
+        let all = store.read_all(&obj).unwrap();
+        assert_eq!(all, model, "content after op {i}");
+    }
+
+    // The streaming reader agrees with the random-access path.
+    let mut streamed = Vec::new();
+    for chunk in store.reader(&obj).unwrap() {
+        streamed.extend(chunk.unwrap());
+    }
+    assert_eq!(streamed, model, "reader/read_all divergence");
+
+    // Deleting the object must return every page (no leaks).
+    store.delete_object(&mut obj).unwrap();
+    assert_eq!(store.buddy().total_free_pages(), free0, "page leak");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: prop_cases(),
+        ..ProptestConfig::default()
+    })]
+
+    /// Small pages, tiny nodes, aggressive thresholding: exercises tree
+    /// growth/collapse, splits, merges, and page reshuffling constantly.
+    #[test]
+    fn model_small_pages_t4(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_model(128, Threshold::Fixed(4), ops);
+    }
+
+    /// No page reshuffling (T=1): pure §4.3 byte reshuffling.
+    #[test]
+    fn model_small_pages_t1(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_model(128, Threshold::Fixed(1), ops);
+    }
+
+    /// The paper's didactic 100-byte pages with adaptive threshold.
+    #[test]
+    fn model_adaptive_threshold(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        run_model(100, Threshold::Adaptive { base: 2 }, ops);
+    }
+
+    /// Realistic 1 KiB pages.
+    #[test]
+    fn model_1k_pages(ops in proptest::collection::vec(op_strategy(), 1..25)) {
+        run_model(1024, Threshold::Fixed(8), ops);
+    }
+}
+
+/// A long deterministic soak with a fixed seed — cheap to run, deep
+/// coverage of interleavings the shorter proptest cases may miss.
+#[test]
+fn deterministic_soak() {
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ops = Vec::new();
+    for _ in 0..300 {
+        let r = next();
+        let op = match r % 6 {
+            0 => Op::Append {
+                len: (next() % 1500) as usize,
+            },
+            1 => Op::Insert {
+                at: next(),
+                len: (next() % 900) as usize,
+            },
+            2 => Op::Delete {
+                at: next(),
+                len: next() % 2_000,
+            },
+            3 => Op::Replace {
+                at: next(),
+                len: (next() % 700) as usize,
+            },
+            4 => Op::Truncate { at: next() },
+            _ => Op::Read {
+                at: next(),
+                len: next() % 1_000,
+            },
+        };
+        ops.push(op);
+    }
+    run_model(128, Threshold::Fixed(4), ops);
+}

@@ -1,0 +1,253 @@
+//! Recovery tests (§4.5): WAL-protected replace, logical logging of the
+//! index-modifying operations, idempotent redo/undo keyed on the LSN in
+//! the object root, the transaction scope with deferred frees ("release
+//! locks"), and the shadowing guarantee that a crashed transaction
+//! leaves the committed image intact.
+
+use eos_core::wal::{redo, undo, LogOp, Wal};
+use eos_core::{LargeObject, ObjectStore};
+
+fn store() -> ObjectStore {
+    ObjectStore::in_memory(512, 3000)
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 253) as u8).collect()
+}
+
+#[test]
+fn logged_replace_stamps_lsn() {
+    let mut store = store();
+    let mut wal = Wal::new();
+    let mut obj = store.create_with(&pattern(4000), None).unwrap();
+    assert_eq!(obj.lsn(), 0);
+    wal.logged_replace(&mut store, &mut obj, 100, b"XYZ").unwrap();
+    assert_eq!(obj.lsn(), 1);
+    assert_eq!(store.read(&obj, 100, 3).unwrap(), b"XYZ");
+    // The record carries the operation and its parameters, §4.5.
+    match &wal.records()[0].op {
+        LogOp::Replace {
+            offset,
+            before,
+            after,
+        } => {
+            assert_eq!(*offset, 100);
+            assert_eq!(before, &pattern(4000)[100..103].to_vec());
+            assert_eq!(after, b"XYZ");
+        }
+        other => panic!("wrong op logged: {other:?}"),
+    }
+}
+
+#[test]
+fn redo_is_idempotent() {
+    let mut store = store();
+    let mut wal = Wal::new();
+    let mut obj = store.create_with(&pattern(2000), None).unwrap();
+    wal.logged_insert(&mut store, &mut obj, 500, b"hello").unwrap();
+    wal.logged_delete(&mut store, &mut obj, 0, 100).unwrap();
+    wal.logged_replace(&mut store, &mut obj, 10, b"zz").unwrap();
+    let want = store.read_all(&obj).unwrap();
+
+    // Re-applying the whole log to the final state changes nothing:
+    // every record has lsn ≤ obj.lsn.
+    let records: Vec<_> = wal.records().to_vec();
+    for r in &records {
+        redo(&mut store, &mut obj, r).unwrap();
+    }
+    assert_eq!(store.read_all(&obj).unwrap(), want);
+    assert_eq!(obj.lsn(), 3);
+}
+
+#[test]
+fn undo_rolls_back_in_reverse_order() {
+    let mut store = store();
+    let mut wal = Wal::new();
+    let base = pattern(3000);
+    let mut obj = store.create_with(&base, None).unwrap();
+    wal.logged_append(&mut store, &mut obj, b"tail-bytes").unwrap();
+    wal.logged_insert(&mut store, &mut obj, 7, b"mid").unwrap();
+    wal.logged_delete(&mut store, &mut obj, 100, 50).unwrap();
+    wal.logged_replace(&mut store, &mut obj, 0, b"QQQQ").unwrap();
+
+    let records: Vec<_> = wal.records().to_vec();
+    for r in records.iter().rev() {
+        undo(&mut store, &mut obj, r).unwrap();
+    }
+    assert_eq!(obj.lsn(), 0);
+    assert_eq!(store.read_all(&obj).unwrap(), base);
+
+    // Undo is idempotent too: running it again is a no-op.
+    for r in records.iter().rev() {
+        undo(&mut store, &mut obj, r).unwrap();
+    }
+    assert_eq!(store.read_all(&obj).unwrap(), base);
+}
+
+#[test]
+fn crashed_txn_leaves_committed_image_intact() {
+    // The core §4.5 property: insert/delete/append "modify only the
+    // internal nodes of the large object tree without overwriting
+    // existing leaf pages", and with frees deferred behind release
+    // locks, an uncommitted transaction cannot damage the committed
+    // tree. Crash = discard the in-flight descriptor; the previously
+    // committed descriptor must still read perfectly.
+    let mut store = store();
+    let committed_content = pattern(20_000);
+    let obj = store.create_with(&committed_content, None).unwrap();
+    let committed = obj.to_bytes(); // client makes the root durable
+
+    // An uncommitted transaction mutates the object heavily.
+    store.begin_txn();
+    let mut inflight = obj;
+    store.insert(&mut inflight, 5_000, &pattern(3000)).unwrap();
+    store.delete(&mut inflight, 100, 2_000).unwrap();
+    store.append(&mut inflight, &pattern(1000)).unwrap();
+    store.delete(&mut inflight, 0, 50).unwrap();
+
+    // CRASH: the in-flight descriptor and txn state evaporate. (abort
+    // returns the txn's allocations; a real recovery would scavenge
+    // them from the log.)
+    store.abort_txn().unwrap();
+    drop(inflight);
+
+    let recovered = LargeObject::from_bytes(&committed).unwrap();
+    assert_eq!(
+        store.read_all(&recovered).unwrap(),
+        committed_content,
+        "committed image was damaged by the uncommitted transaction"
+    );
+    store.verify_object(&recovered).unwrap();
+}
+
+#[test]
+fn commit_applies_deferred_frees() {
+    let mut store = store();
+    let mut obj = store.create_with(&pattern(30_000), None).unwrap();
+    let free_before = store.buddy().total_free_pages();
+    store.begin_txn();
+    store.delete(&mut obj, 0, 25_000).unwrap();
+    // Release locks: the deleted pages are not reusable yet.
+    assert!(
+        store.buddy().total_free_pages() <= free_before,
+        "deferred frees must not release pages early"
+    );
+    store.commit_txn().unwrap();
+    assert!(
+        store.buddy().total_free_pages() > free_before + 20,
+        "commit must apply the deferred frees"
+    );
+    store.verify_object(&obj).unwrap();
+    assert_eq!(store.read_all(&obj).unwrap(), &pattern(30_000)[25_000..]);
+}
+
+#[test]
+fn abort_returns_transaction_allocations() {
+    let mut store = store();
+    let obj = store.create_with(&pattern(10_000), None).unwrap();
+    let free_before = store.buddy().total_free_pages();
+    let committed = obj.to_bytes();
+
+    store.begin_txn();
+    let mut inflight = obj;
+    store.insert(&mut inflight, 500, &pattern(8_000)).unwrap();
+    store.append(&mut inflight, &pattern(4_000)).unwrap();
+    store.abort_txn().unwrap();
+
+    assert_eq!(
+        store.buddy().total_free_pages(),
+        free_before,
+        "abort must free exactly the transaction's allocations"
+    );
+    let back = LargeObject::from_bytes(&committed).unwrap();
+    assert_eq!(store.read_all(&back).unwrap(), pattern(10_000));
+    store.verify_object(&back).unwrap();
+}
+
+#[test]
+fn log_shipping_replay_rebuilds_replica() {
+    // recover()-style replay: apply the full log of an object onto a
+    // fresh store (the log contains every operation with parameters,
+    // §4.5). The replica ends up byte-identical.
+    let mut primary = store();
+    let mut wal = Wal::new();
+    let mut obj = primary.create_object();
+    wal.logged_append(&mut primary, &mut obj, &pattern(6_000)).unwrap();
+    wal.logged_insert(&mut primary, &mut obj, 123, b"abcdef").unwrap();
+    wal.logged_delete(&mut primary, &mut obj, 4_000, 1_500).unwrap();
+    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR!").unwrap();
+    wal.logged_append(&mut primary, &mut obj, b"fin").unwrap();
+    let want = primary.read_all(&obj).unwrap();
+
+    let mut replica = store();
+    let mut robj = replica.create_object_with_id(obj.id());
+    for r in wal.records() {
+        redo(&mut replica, &mut robj, r).unwrap();
+    }
+    assert_eq!(replica.read_all(&robj).unwrap(), want);
+    assert_eq!(robj.lsn(), obj.lsn());
+    replica.verify_object(&robj).unwrap();
+}
+
+#[test]
+fn wal_serialization_roundtrip_and_replay() {
+    // Make the log durable as bytes, "restart", and replay it onto a
+    // fresh replica — full log shipping across process boundaries.
+    let mut primary = store();
+    let mut wal = Wal::new();
+    let mut obj = primary.create_object();
+    wal.logged_append(&mut primary, &mut obj, &pattern(3_000)).unwrap();
+    wal.logged_insert(&mut primary, &mut obj, 700, b"0123456789").unwrap();
+    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR").unwrap();
+    wal.logged_delete(&mut primary, &mut obj, 2_000, 400).unwrap();
+    let want = primary.read_all(&obj).unwrap();
+
+    let shipped = wal.to_bytes();
+    let restored = Wal::from_bytes(&shipped).unwrap();
+    assert_eq!(restored.records(), wal.records());
+
+    let mut replica = store();
+    let mut robj = replica.create_object_with_id(obj.id());
+    for r in restored.records() {
+        redo(&mut replica, &mut robj, r).unwrap();
+    }
+    assert_eq!(replica.read_all(&robj).unwrap(), want);
+
+    // New records appended after a reload keep increasing LSNs.
+    let mut w2 = Wal::from_bytes(&shipped).unwrap();
+    let mut p2 = store();
+    let mut o2 = p2.create_with(&pattern(100), None).unwrap();
+    w2.logged_replace(&mut p2, &mut o2, 0, b"z").unwrap();
+    assert!(w2.records().last().unwrap().lsn > wal.records().last().unwrap().lsn);
+}
+
+#[test]
+fn wal_rejects_corruption() {
+    let mut store = store();
+    let mut wal = Wal::new();
+    let mut obj = store.create_with(&pattern(100), None).unwrap();
+    wal.logged_replace(&mut store, &mut obj, 0, b"x").unwrap();
+    let mut bytes = wal.to_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(Wal::from_bytes(&bytes).is_err());
+    let bytes = wal.to_bytes();
+    assert!(Wal::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+}
+
+#[test]
+fn records_filter_by_object() {
+    let mut store = store();
+    let mut wal = Wal::new();
+    let mut a = store.create_with(&pattern(100), None).unwrap();
+    let mut b = store.create_with(&pattern(100), None).unwrap();
+    wal.logged_replace(&mut store, &mut a, 0, b"x").unwrap();
+    wal.logged_replace(&mut store, &mut b, 0, b"y").unwrap();
+    wal.logged_replace(&mut store, &mut a, 1, b"z").unwrap();
+    assert_eq!(wal.records_for(a.id()).count(), 2);
+    assert_eq!(wal.records_for(b.id()).count(), 1);
+    // Redo of a foreign record is a no-op.
+    let foreign = wal.records_for(b.id()).next().unwrap().clone();
+    let before = store.read_all(&a).unwrap();
+    redo(&mut store, &mut a, &foreign).unwrap();
+    assert_eq!(store.read_all(&a).unwrap(), before);
+}

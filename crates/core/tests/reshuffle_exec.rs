@@ -1,0 +1,143 @@
+//! Directed executor-level tests of the §4.4 page-reshuffling steps:
+//! each test drives the store into a specific 3.1–3.4 branch and checks
+//! the resulting physical layout, not just the bytes.
+
+use eos_core::{ObjectStore, StoreConfig, Threshold};
+
+const PS: usize = 512;
+
+fn store(t: u32) -> ObjectStore {
+    ObjectStore::in_memory_with(
+        PS,
+        8_000,
+        StoreConfig {
+            threshold: Threshold::Fixed(t),
+            ..StoreConfig::default()
+        },
+    )
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+/// Pages of each segment, in order.
+fn seg_pages(s: &ObjectStore, obj: &eos_core::LargeObject) -> Vec<u64> {
+    s.segments(obj)
+        .unwrap()
+        .iter()
+        .map(|&(b, _)| b.div_ceil(PS as u64))
+        .collect()
+}
+
+#[test]
+fn step32_unsafe_l_and_r_merge_into_n() {
+    // Insert into a small segment with T much larger than the segment:
+    // both the prefix L and the suffix R are unsafe, so 3.2 merges them
+    // into N — the object ends up as a single segment.
+    let mut s = store(16);
+    let data = pattern(6 * PS); // 6 pages < T
+    let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
+    s.insert(&mut obj, 3 * PS as u64 + 17, &pattern(100)).unwrap();
+    let segs = seg_pages(&s, &obj);
+    assert_eq!(segs.len(), 1, "L and R absorbed: {segs:?}");
+    s.verify_object(&obj).unwrap();
+    let mut model = data;
+    model.splice(
+        3 * PS + 17..3 * PS + 17,
+        pattern(100),
+    );
+    assert_eq!(s.read_all(&obj).unwrap(), model);
+}
+
+#[test]
+fn step33_unsafe_n_borrows_whole_pages() {
+    // A small insert into a big segment at T=8: N alone would be 1–2
+    // pages (unsafe); 3.3 must grow it to T pages by borrowing from the
+    // smaller neighbour.
+    let mut s = store(8);
+    let data = pattern(100 * PS);
+    let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
+    // Insert near the left edge: L (3 pages) is the smaller donor.
+    s.insert(&mut obj, 3 * PS as u64 + 10, &pattern(50)).unwrap();
+    let segs = seg_pages(&s, &obj);
+    // Every resulting segment is safe (≥ T) or the object's only one.
+    for (i, &p) in segs.iter().enumerate() {
+        assert!(
+            p >= 8 || segs.len() == 1,
+            "segment {i} of {p} pages unsafe: {segs:?}"
+        );
+    }
+    s.verify_object(&obj).unwrap();
+}
+
+#[test]
+fn step31c_oversized_merge_is_skipped() {
+    // L is unsafe but L+N cannot fit one maximum segment: 3.1.c must
+    // fall through to byte reshuffling instead of merging.
+    let mut s = store(u32::MAX); // everything is "unsafe"
+    let max = s.max_seg_pages();
+    let data = pattern((max as usize + 100) * PS);
+    let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
+    let size = obj.size();
+    // Insert in the middle of the second (max-size) segment.
+    s.insert(&mut obj, size - 50 * PS as u64, &pattern(30)).unwrap();
+    s.verify_object(&obj).unwrap();
+    let mut model = data;
+    let at = model.len() - 50 * PS;
+    model.splice(at..at, pattern(30));
+    assert_eq!(s.read_all(&obj).unwrap(), model);
+}
+
+#[test]
+fn step34_byte_reshuffle_eliminates_partial_l_page() {
+    // T=1 (no page phase): inserting right after a partially filled page
+    // boundary lets 3.4 absorb L's partial last page into N, leaving L
+    // page-aligned.
+    let mut s = store(1);
+    let data = pattern(10 * PS + 100); // last page holds 100 bytes
+    let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
+    // Insert at the very end of page 4 + 60 bytes: L's last page is
+    // partial (60 bytes), N's last page has room.
+    s.insert(&mut obj, 4 * PS as u64 + 60, &pattern(80)).unwrap();
+    let segs = s.segments(&obj).unwrap();
+    // L must be a whole number of pages (its partial tail moved to N).
+    assert_eq!(
+        segs[0].0 % PS as u64,
+        0,
+        "L's last page was not eliminated: {segs:?}"
+    );
+    s.verify_object(&obj).unwrap();
+}
+
+#[test]
+fn delete_reshuffle_spans_two_parents() {
+    // Force a delete whose L and R boundary segments live under
+    // different leaf-parents (tree of height ≥ 2), exercising the
+    // two-stack shape of Fig 7.
+    let mut s = store(2);
+    let mut obj = s.create_object();
+    {
+        // Many small appends → many segments → multi-level tree
+        // (node cap at 512-byte pages is 31 entries).
+        let mut sess = s.open_append(&mut obj, None).unwrap();
+        for chunk in pattern(300 * PS).chunks(PS + 37) {
+            sess.append(chunk).unwrap();
+        }
+        sess.close().unwrap();
+    }
+    // Shatter hard so the tree needs two levels.
+    let mut model = pattern(300 * PS);
+    for i in 0..80u64 {
+        let off = (i * 1979) % (model.len() as u64);
+        s.insert(&mut obj, off, b"xx").unwrap();
+        model.splice(off as usize..off as usize, *b"xx");
+    }
+    assert!(obj.height() >= 2, "need a multi-level tree");
+    // A wide unaligned delete spanning many segments.
+    let (d0, len) = (11 * PS as u64 + 13, 150 * PS as u64 + 29);
+    s.delete(&mut obj, d0, len).unwrap();
+    model.drain(d0 as usize..(d0 + len) as usize);
+    assert_eq!(s.read_all(&obj).unwrap(), model);
+    s.verify_object(&obj).unwrap();
+}

@@ -1,0 +1,100 @@
+//! Property tests for the pure reshuffle planner (§4.3–4.4): byte
+//! conservation, monotonic donor shrinkage, maximum-segment respect,
+//! and the threshold postcondition that an unsafe neighbour only
+//! survives next to N when their merge could not fit one segment.
+
+use eos_core::{pages, reshuffle};
+use proptest::prelude::*;
+
+fn prop_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: prop_cases(), ..ProptestConfig::default() })]
+
+    #[test]
+    fn reshuffle_invariants(
+        l in 0u64..200_000,
+        n in 1u64..150_000,
+        r in 0u64..200_000,
+        ps in prop_oneof![Just(100u64), Just(128), Just(512), Just(4096)],
+        t in 1u64..65,
+        max in prop_oneof![Just(16u64), Just(128), Just(8192)],
+    ) {
+        let plan = reshuffle(l, n, r, ps, t, max);
+
+        // Bytes are conserved and donors only shrink.
+        prop_assert_eq!(plan.l + plan.n + plan.r, l + n + r);
+        prop_assert!(plan.l <= l);
+        prop_assert!(plan.r <= r);
+        prop_assert_eq!(l - plan.l, plan.from_l);
+        prop_assert_eq!(r - plan.r, plan.from_r);
+        prop_assert!(plan.n >= n);
+
+        // Reshuffling never grows N past the maximum segment (when the
+        // insert itself is already oversized, the executor chunks N into
+        // several segments — reshuffle must not make it bigger still).
+        prop_assert!(
+            pages(plan.n, ps) <= max.max(pages(n, ps)),
+            "N grew to {} pages",
+            pages(plan.n, ps)
+        );
+
+        // Threshold postcondition: a surviving unsafe neighbour beside a
+        // nonempty N means the merge could not fit one max segment.
+        let unsafe_ = |c: u64| c > 0 && pages(c, ps) < t;
+        if plan.n > 0 && unsafe_(plan.l) {
+            prop_assert!(
+                plan.l + plan.n > max * ps,
+                "unsafe L={} kept beside N={} (T={t}, max={max})",
+                plan.l, plan.n
+            );
+        }
+        if plan.n > 0 && unsafe_(plan.r) {
+            prop_assert!(
+                plan.r + plan.n > max * ps,
+                "unsafe R={} kept beside N={} (T={t}, max={max})",
+                plan.r, plan.n
+            );
+        }
+    }
+
+    #[test]
+    fn zero_n_is_identity(
+        l in 0u64..100_000,
+        r in 0u64..100_000,
+        ps in 64u64..8192,
+        t in 1u64..65,
+    ) {
+        let plan = reshuffle(l, 0, r, ps, t, 8192);
+        prop_assert_eq!(plan.l, l);
+        prop_assert_eq!(plan.n, 0);
+        prop_assert_eq!(plan.r, r);
+        prop_assert_eq!(plan.from_l, 0);
+        prop_assert_eq!(plan.from_r, 0);
+    }
+
+    #[test]
+    fn t1_never_does_page_moves(
+        l in 0u64..50_000,
+        n in 1u64..50_000,
+        r in 0u64..50_000,
+        ps in prop_oneof![Just(100u64), Just(512)],
+    ) {
+        // With T=1 every nonempty segment is safe: only the §4.3 byte
+        // phase may move bytes, which is bounded by one page from each
+        // side.
+        let plan = reshuffle(l, n, r, ps, 1, 8192);
+        prop_assert!(plan.from_l < ps, "byte phase moves < one page from L");
+        prop_assert!(plan.from_r <= ps, "R moves only as a single page");
+        // If R donated, R must have been a single page.
+        if plan.from_r > 0 {
+            prop_assert!(r <= ps);
+            prop_assert_eq!(plan.r, 0);
+        }
+    }
+}

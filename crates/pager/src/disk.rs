@@ -1,0 +1,201 @@
+//! Deterministic disk cost model.
+//!
+//! The paper's performance arguments are entirely in terms of *disk
+//! seeks* and *page transfers*: good sequential access means "I/O rates
+//! close to transfer rates" because "disk seek delays are minimized"
+//! (§1). The model below is the substitution (see `DESIGN.md` §6) for
+//! the raw disks of the paper's testbed: it tracks the head position,
+//! counts a seek whenever an access does not continue where the previous
+//! one ended, and charges parametric time per seek and per transferred
+//! page.
+
+use crate::stats::IoStats;
+use crate::PageId;
+
+/// Timing parameters of the simulated disk.
+///
+/// Defaults approximate an early-1990s SCSI disk of the kind the paper's
+/// SparcStation testbed used (~14 ms average seek + rotational delay,
+/// ~2 MB/s sustained transfer, so a 4 KiB page moves in ~2 ms). Absolute
+/// values only scale the simulated clock; orderings between algorithms
+/// depend only on seek and transfer *counts*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskProfile {
+    /// Cost of one head seek (including average rotational delay), µs.
+    pub seek_us: u64,
+    /// Cost of transferring one page, µs.
+    pub transfer_us_per_page: u64,
+}
+
+impl DiskProfile {
+    /// An early-1990s disk: 14 ms seek+rotation, 2 ms per 4 KiB page.
+    pub const VINTAGE_1992: DiskProfile = DiskProfile {
+        seek_us: 14_000,
+        transfer_us_per_page: 2_000,
+    };
+
+    /// A modern 7200 rpm disk: 8 ms seek+rotation, 25 µs per 4 KiB page.
+    pub const MODERN_HDD: DiskProfile = DiskProfile {
+        seek_us: 8_000,
+        transfer_us_per_page: 25,
+    };
+
+    /// Free I/O — useful for pure-correctness tests.
+    pub const FREE: DiskProfile = DiskProfile {
+        seek_us: 0,
+        transfer_us_per_page: 0,
+    };
+
+    /// Simulated time for an access of `pages` contiguous pages that
+    /// requires `seek` head movement.
+    #[inline]
+    pub fn access_us(&self, seek: bool, pages: u64) -> u64 {
+        let seek_cost = if seek { self.seek_us } else { 0 };
+        seek_cost + pages * self.transfer_us_per_page
+    }
+}
+
+impl Default for DiskProfile {
+    fn default() -> Self {
+        DiskProfile::VINTAGE_1992
+    }
+}
+
+/// Head-position tracker and seek/transfer accountant.
+///
+/// A *seek* is charged when an access does not begin at the page right
+/// after the previous access's last page. Accesses of physically
+/// contiguous page runs — the whole point of the paper's variable-size
+/// segments — therefore cost one seek regardless of length, while
+/// page-at-a-time scattered layouts (System R, WiSS) pay one seek per
+/// page.
+#[derive(Debug)]
+pub struct DiskModel {
+    profile: DiskProfile,
+    /// Page the head would read next with zero movement, if any.
+    head: Option<PageId>,
+    stats: IoStats,
+}
+
+impl DiskModel {
+    /// Create a model with the given timing profile. The head starts
+    /// "parked": the first access always seeks.
+    pub fn new(profile: DiskProfile) -> Self {
+        DiskModel {
+            profile,
+            head: None,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Record a read of `pages` pages starting at `start`.
+    pub fn record_read(&mut self, start: PageId, pages: u64) {
+        let seek = self.access(start, pages);
+        self.stats.page_reads += pages;
+        self.stats.read_calls += 1;
+        self.stats.elapsed_us += self.profile.access_us(seek, pages);
+    }
+
+    /// Record a write of `pages` pages starting at `start`.
+    pub fn record_write(&mut self, start: PageId, pages: u64) {
+        let seek = self.access(start, pages);
+        self.stats.page_writes += pages;
+        self.stats.write_calls += 1;
+        self.stats.elapsed_us += self.profile.access_us(seek, pages);
+    }
+
+    fn access(&mut self, start: PageId, pages: u64) -> bool {
+        let seek = self.head != Some(start);
+        if seek {
+            self.stats.seeks += 1;
+        }
+        self.head = Some(start + pages);
+        seek
+    }
+
+    /// Cumulative counters since construction (or the last reset).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zero all counters and park the head.
+    pub fn reset(&mut self) {
+        self.stats = IoStats::default();
+        self.head = None;
+    }
+
+    /// The timing profile in force.
+    pub fn profile(&self) -> DiskProfile {
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_seek_once() {
+        let mut d = DiskModel::new(DiskProfile::VINTAGE_1992);
+        d.record_read(100, 4);
+        d.record_read(104, 4); // continues where the last ended
+        d.record_read(108, 1);
+        let s = d.stats();
+        assert_eq!(s.seeks, 1);
+        assert_eq!(s.page_reads, 9);
+        assert_eq!(s.read_calls, 3);
+    }
+
+    #[test]
+    fn scattered_reads_seek_each_time() {
+        let mut d = DiskModel::new(DiskProfile::VINTAGE_1992);
+        for p in [5u64, 900, 17, 300] {
+            d.record_read(p, 1);
+        }
+        assert_eq!(d.stats().seeks, 4);
+    }
+
+    #[test]
+    fn write_after_read_at_head_is_seekless() {
+        let mut d = DiskModel::new(DiskProfile::VINTAGE_1992);
+        d.record_read(0, 2);
+        d.record_write(2, 2);
+        assert_eq!(d.stats().seeks, 1);
+    }
+
+    #[test]
+    fn elapsed_time_matches_profile() {
+        let p = DiskProfile {
+            seek_us: 1000,
+            transfer_us_per_page: 10,
+        };
+        let mut d = DiskModel::new(p);
+        d.record_read(0, 5); // seek + 5 transfers
+        d.record_read(5, 5); // 5 transfers
+        assert_eq!(d.stats().elapsed_us, 1000 + 10 * 10);
+    }
+
+    #[test]
+    fn reset_parks_head() {
+        let mut d = DiskModel::new(DiskProfile::FREE);
+        d.record_read(0, 1);
+        d.record_read(1, 1);
+        assert_eq!(d.stats().seeks, 1);
+        d.reset();
+        assert_eq!(d.stats(), IoStats::default());
+        d.record_read(2, 1);
+        assert_eq!(d.stats().seeks, 1, "first access after reset seeks");
+    }
+
+    #[test]
+    fn profile_constants_are_sane() {
+        const { assert!(DiskProfile::VINTAGE_1992.seek_us > DiskProfile::MODERN_HDD.seek_us) };
+        assert_eq!(DiskProfile::FREE.access_us(true, 100), 0);
+        // A 19-page sequential segment read (Fig 5.a object) is cheaper
+        // than 19 scattered single-page reads.
+        let p = DiskProfile::VINTAGE_1992;
+        let contiguous = p.access_us(true, 19);
+        let scattered = 19 * p.access_us(true, 1);
+        assert!(contiguous < scattered / 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fault injection: a volume wrapper that starts failing after a
+//! configurable number of operations. Used by the failure-injection
+//! tests to prove that a mid-operation I/O error surfaces as an error
+//! (never a panic) and that, under a transaction scope, the committed
+//! state survives (§4.5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::stats::IoStats;
+use crate::volume::{SharedVolume, Volume};
+use crate::PageId;
+
+/// A volume that injects an I/O error after `budget` successful
+/// operations (reads and writes both count). Further operations keep
+/// failing until [`FaultyVolume::heal`] is called.
+pub struct FaultyVolume {
+    inner: SharedVolume,
+    remaining: AtomicU64,
+}
+
+impl FaultyVolume {
+    /// Wrap `inner`; the first `budget` operations succeed.
+    pub fn new(inner: SharedVolume, budget: u64) -> Arc<FaultyVolume> {
+        Arc::new(FaultyVolume {
+            inner,
+            remaining: AtomicU64::new(budget),
+        })
+    }
+
+    /// Allow `budget` more operations.
+    pub fn heal(&self, budget: u64) {
+        self.remaining.store(budget, Ordering::SeqCst);
+    }
+
+    /// Operations left before the next failure.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::SeqCst)
+    }
+
+    fn charge(&self) -> Result<()> {
+        // Decrement-if-positive; at zero every operation fails.
+        let mut cur = self.remaining.load(Ordering::SeqCst);
+        loop {
+            if cur == 0 {
+                return Err(Error::Io(std::io::Error::other(
+                    "injected fault: I/O budget exhausted",
+                )));
+            }
+            match self.remaining.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Volume for FaultyVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
+        self.charge()?;
+        self.inner.read_into(start, pages, buf)
+    }
+
+    fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
+        self.charge()?;
+        self.inner.write_pages(start, data)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+    use crate::DiskProfile;
+
+    #[test]
+    fn fails_after_budget_and_heals() {
+        let inner = MemVolume::with_profile(128, 16, DiskProfile::FREE).shared();
+        let f = FaultyVolume::new(inner, 2);
+        f.write_pages(0, &[1u8; 128]).unwrap();
+        assert_eq!(f.read_pages(0, 1).unwrap()[0], 1);
+        assert!(f.read_pages(0, 1).is_err(), "budget exhausted");
+        assert!(f.write_pages(0, &[2u8; 128]).is_err());
+        f.heal(1);
+        assert_eq!(f.read_pages(0, 1).unwrap()[0], 1, "healed");
+        assert!(f.read_pages(0, 1).is_err());
+    }
+}

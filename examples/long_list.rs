@@ -1,0 +1,153 @@
+//! The "insertable array" scenario (§1: large objects support
+//! "general-purpose advanced data modeling constructs such as long
+//! lists or insertable arrays"): a list of fixed-width records layered
+//! on one large object, with positional get/insert/remove — element
+//! 5,000,000-ish positions deep costs the same as element 0.
+//!
+//! ```text
+//! cargo run --release --example long_list
+//! ```
+
+use eos::core::{LargeObject, ObjectStore, Result, StoreConfig, Threshold};
+use eos::pager::{DiskProfile, MemVolume};
+
+/// A long list of fixed-width records stored in one large object.
+struct LongList {
+    obj: LargeObject,
+    width: u64,
+}
+
+impl LongList {
+    fn new(store: &mut ObjectStore, width: u64) -> LongList {
+        LongList {
+            obj: store.create_object(),
+            width,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.obj.size() / self.width
+    }
+
+    fn get(&self, store: &ObjectStore, i: u64) -> Result<Vec<u8>> {
+        store.read(&self.obj, i * self.width, self.width)
+    }
+
+    fn push(&mut self, store: &mut ObjectStore, rec: &[u8]) -> Result<()> {
+        assert_eq!(rec.len() as u64, self.width);
+        store.append(&mut self.obj, rec)
+    }
+
+    fn insert(&mut self, store: &mut ObjectStore, i: u64, rec: &[u8]) -> Result<()> {
+        assert_eq!(rec.len() as u64, self.width);
+        store.insert(&mut self.obj, i * self.width, rec)
+    }
+
+    fn remove(&mut self, store: &mut ObjectStore, i: u64) -> Result<()> {
+        store.delete(&mut self.obj, i * self.width, self.width)
+    }
+
+    fn set(&mut self, store: &mut ObjectStore, i: u64, rec: &[u8]) -> Result<()> {
+        assert_eq!(rec.len() as u64, self.width);
+        store.replace(&mut self.obj, i * self.width, rec)
+    }
+}
+
+fn record(tag: u64) -> Vec<u8> {
+    let mut r = vec![0u8; 64];
+    r[..8].copy_from_slice(&tag.to_le_bytes());
+    r[8..16].copy_from_slice(&(!tag).to_le_bytes());
+    r
+}
+
+fn tag_of(rec: &[u8]) -> u64 {
+    u64::from_le_bytes(rec[..8].try_into().unwrap())
+}
+
+fn main() -> Result<()> {
+    let volume = MemVolume::with_profile(4096, 16_274, DiskProfile::MODERN_HDD).shared();
+    let mut store = ObjectStore::create(
+        volume,
+        1,
+        16_272,
+        StoreConfig {
+            threshold: Threshold::Fixed(8),
+            ..StoreConfig::default()
+        },
+    )?;
+
+    // Build a 200k-element list (12.8 MB) by appending.
+    let mut list = LongList::new(&mut store, 64);
+    {
+        let mut sess = store.open_append(&mut list.obj, None)?;
+        let mut batch = Vec::with_capacity(64 * 1000);
+        for i in 0..200_000u64 {
+            batch.extend(record(i));
+            if batch.len() == 64 * 1000 {
+                sess.append(&batch)?;
+                batch.clear();
+            }
+        }
+        sess.close()?;
+    }
+    // A few one-at-a-time appends on top of the bulk load.
+    for i in 200_000u64..200_003 {
+        list.push(&mut store, &record(i))?;
+    }
+    println!("built a {}-element list ({} bytes)", list.len(), list.obj.size());
+
+    // Random access anywhere costs one descent + one segment read.
+    store.reset_io_stats();
+    assert_eq!(tag_of(&list.get(&store, 0)?), 0);
+    let head_io = store.io_stats();
+    store.reset_io_stats();
+    assert_eq!(tag_of(&list.get(&store, 200_002)?), 200_002);
+    let tail_io = store.io_stats();
+    println!(
+        "get(0): {} seeks / get(200_002): {} seeks — independent of position",
+        head_io.seeks, tail_io.seeks
+    );
+
+    // Insert/remove in the middle: only the touched segment reorganizes.
+    store.reset_io_stats();
+    list.insert(&mut store, 100_000, &record(999_999))?;
+    println!("insert @100k: {}", store.io_stats());
+    assert_eq!(tag_of(&list.get(&store, 100_000)?), 999_999);
+    assert_eq!(tag_of(&list.get(&store, 100_001)?), 100_000);
+
+    store.reset_io_stats();
+    list.remove(&mut store, 100_000)?;
+    println!("remove @100k: {}", store.io_stats());
+    assert_eq!(tag_of(&list.get(&store, 100_000)?), 100_000);
+
+    // In-place update.
+    list.set(&mut store, 42, &record(424_242))?;
+    assert_eq!(tag_of(&list.get(&store, 42)?), 424_242);
+
+    // Heavier churn: 1,000 random inserts/removes, list stays correct.
+    let mut expected_len = list.len();
+    let mut x = 0x1234_5678u64;
+    for k in 0..1000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let i = x % list.len();
+        if k % 2 == 0 {
+            list.insert(&mut store, i, &record(7_000_000 + k))?;
+            expected_len += 1;
+        } else {
+            list.remove(&mut store, i)?;
+            expected_len -= 1;
+        }
+    }
+    assert_eq!(list.len(), expected_len);
+    store.verify_object(&list.obj)?;
+    let stats = store.object_stats(&list.obj)?;
+    println!(
+        "after 1,000 random edits: {} elements in {} segments, {:.1}% utilization",
+        list.len(),
+        stats.segments,
+        100.0 * stats.leaf_utilization(store.page_size())
+    );
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! A named-object catalog, dogfooded on the store itself.
+//!
+//! The paper leaves root placement to the client ("the client may
+//! choose to place the root on a page along with roots of other large
+//! objects", §4). [`Catalog`] is that client: a name → descriptor map
+//! which is *itself* persisted as a large object, whose (tiny) root
+//! descriptor lives in the store's fixed boot record. The result is a
+//! fully self-describing volume:
+//!
+//! ```text
+//! boot page ── catalog descriptor ── catalog object ── {name: descriptor}
+//! ```
+//!
+//! ```
+//! use eos::catalog::Catalog;
+//! use eos::core::ObjectStore;
+//!
+//! let mut store = ObjectStore::in_memory(1024, 4000);
+//! let mut cat = Catalog::new();
+//!
+//! let photo = store.create_with(b"...pixels...", None).unwrap();
+//! cat.put("photos/cat.jpg", &photo);
+//! cat.save(&mut store).unwrap();
+//!
+//! // Later (or after reopening the volume):
+//! let cat = Catalog::load(&store).unwrap();
+//! let photo = cat.get("photos/cat.jpg").unwrap();
+//! assert_eq!(store.read_all(&photo).unwrap(), b"...pixels...");
+//! ```
+
+use std::collections::BTreeMap;
+
+use eos_core::{Error, LargeObject, ObjectStore, Result};
+
+const CATALOG_MAGIC: u32 = 0x454F_5343; // "EOSC"
+
+/// A persistent name → object-descriptor map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    entries: BTreeMap<String, Vec<u8>>,
+    /// The catalog object of the previous save, replaced on each save.
+    previous: Option<Vec<u8>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) an object under `name`.
+    pub fn put(&mut self, name: &str, obj: &LargeObject) {
+        self.entries.insert(name.to_string(), obj.to_bytes());
+    }
+
+    /// Look up an object by name.
+    pub fn get(&self, name: &str) -> Result<LargeObject> {
+        let bytes = self.entries.get(name).ok_or_else(|| Error::CorruptObject {
+            reason: format!("no catalog entry named {name:?}"),
+        })?;
+        LargeObject::from_bytes(bytes)
+    }
+
+    /// Remove a name (the object itself is not deleted).
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// All names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&CATALOG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, desc) in &self.entries {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(desc.len() as u32).to_le_bytes());
+            out.extend_from_slice(desc);
+        }
+        out
+    }
+
+    fn decode(data: &[u8]) -> Result<Catalog> {
+        let corrupt = |reason: &str| Error::CorruptObject {
+            reason: format!("catalog: {reason}"),
+        };
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            if at + n > data.len() {
+                return Err(corrupt("truncated"));
+            }
+            let s = &data[at..at + n];
+            at += n;
+            Ok(s)
+        };
+        if u32::from_le_bytes(take(4)?.try_into().unwrap()) != CATALOG_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let n = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let nl = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(nl)?.to_vec())
+                .map_err(|_| corrupt("name not UTF-8"))?;
+            let dl = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            entries.insert(name, take(dl)?.to_vec());
+        }
+        Ok(Catalog {
+            entries,
+            previous: None,
+        })
+    }
+
+    /// Persist the catalog: write it as a fresh large object and stamp
+    /// its descriptor into the boot record. The previous catalog object
+    /// (if any) is deleted afterwards, so a crash between the two steps
+    /// leaves at least one intact catalog reachable from the boot page.
+    pub fn save(&mut self, store: &mut ObjectStore) -> Result<()> {
+        let bytes = self.encode();
+        let obj = store.create_with(&bytes, Some(bytes.len() as u64))?;
+        store.write_boot_record(&obj.to_bytes())?;
+        if let Some(prev) = self.previous.take() {
+            let mut old = LargeObject::from_bytes(&prev)?;
+            store.delete_object(&mut old)?;
+        }
+        self.previous = Some(obj.to_bytes());
+        Ok(())
+    }
+
+    /// Load the catalog a previous [`Catalog::save`] stamped into the
+    /// boot record. An empty boot record yields an empty catalog.
+    pub fn load(store: &ObjectStore) -> Result<Catalog> {
+        let boot = store.read_boot_record()?;
+        if boot.is_empty() {
+            return Ok(Catalog::new());
+        }
+        let obj = LargeObject::from_bytes(&boot)?;
+        let bytes = store.read_all(&obj)?;
+        let mut cat = Catalog::decode(&bytes)?;
+        cat.previous = Some(boot);
+        Ok(cat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_the_boot_record() {
+        let mut store = ObjectStore::in_memory(1024, 4000);
+        let a = store.create_with(b"object a", None).unwrap();
+        let b = store.create_with(&vec![7u8; 50_000], None).unwrap();
+        let mut cat = Catalog::new();
+        cat.put("a", &a);
+        cat.put("big/b", &b);
+        cat.save(&mut store).unwrap();
+
+        let loaded = Catalog::load(&store).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.names().collect::<Vec<_>>(),
+            vec!["a", "big/b"]
+        );
+        let b2 = loaded.get("big/b").unwrap();
+        assert_eq!(store.read_all(&b2).unwrap(), vec![7u8; 50_000]);
+        assert!(loaded.get("missing").is_err());
+    }
+
+    #[test]
+    fn resave_replaces_without_leaking() {
+        let mut store = ObjectStore::in_memory(1024, 4000);
+        let mut cat = Catalog::new();
+        let a = store.create_with(b"first", None).unwrap();
+        cat.put("a", &a);
+        cat.save(&mut store).unwrap();
+        let free_after_first = store.buddy().total_free_pages();
+        for i in 0..10 {
+            let o = store.create_with(format!("obj {i}").as_bytes(), None).unwrap();
+            cat.put(&format!("obj/{i}"), &o);
+            cat.save(&mut store).unwrap();
+        }
+        let loaded = Catalog::load(&store).unwrap();
+        assert_eq!(loaded.len(), 11);
+        // The old catalog objects were deleted on each save: free space
+        // shrank only by the 10 small objects plus catalog growth.
+        assert!(free_after_first - store.buddy().total_free_pages() < 40);
+    }
+
+    #[test]
+    fn empty_boot_record_is_an_empty_catalog() {
+        let store = ObjectStore::in_memory(1024, 100);
+        let cat = Catalog::load(&store).unwrap();
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn remove_forgets_the_name() {
+        let mut store = ObjectStore::in_memory(1024, 1000);
+        let a = store.create_with(b"x", None).unwrap();
+        let mut cat = Catalog::new();
+        cat.put("a", &a);
+        assert!(cat.remove("a"));
+        assert!(!cat.remove("a"));
+        assert!(cat.is_empty());
+    }
+}

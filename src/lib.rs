@@ -1,0 +1,23 @@
+//! # eos — facade crate for the EOS large object storage system
+//!
+//! Reproduction of A. Biliris, *"An Efficient Database Storage Structure
+//! for Large Dynamic Objects"*, ICDE 1992. Re-exports the workspace
+//! crates under one roof:
+//!
+//! * [`pager`] — paged volumes and the simulated disk cost model.
+//! * [`buddy`] — the binary buddy disk space manager (paper §3).
+//! * [`core`] — the large object manager (paper §4).
+//! * [`baselines`] — the stores EOS is compared against (Exodus,
+//!   Starburst, WiSS, System R).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the experiment inventory.
+
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+
+pub use eos_baselines as baselines;
+pub use eos_buddy as buddy;
+pub use eos_core as core;
+pub use eos_pager as pager;

@@ -1,0 +1,272 @@
+//! Workspace-level integration tests: the full stack (pager → buddy →
+//! object manager) on file-backed volumes, persistence across process
+//! "restarts", and cross-store agreement on identical workloads.
+
+use eos::baselines::{ExodusStore, StarburstStore};
+use eos::buddy::Geometry;
+use eos::core::{BlobStore, LargeObject, ObjectStore, StoreConfig, Threshold};
+use eos::pager::{DiskProfile, FileVolume, MemVolume};
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 7) % 253) as u8).collect()
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "eos-it-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn file_backed_store_survives_reopen() {
+    let dir = tmpdir();
+    let path = dir.join("db.eos");
+    let (spaces, pps) = (2usize, 1000u64);
+    let descriptor;
+    let content = pattern(300_000);
+    {
+        let vol = FileVolume::create(&path, 1024, (pps + 1) * spaces as u64, DiskProfile::FREE)
+            .unwrap()
+            .shared();
+        let mut store =
+            ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
+        let mut obj = store.create_with(&content, None).unwrap();
+        store.insert(&mut obj, 1000, b"persisted-marker").unwrap();
+        store.verify_object(&obj).unwrap();
+        descriptor = obj.to_bytes();
+        // Store and volume drop: everything must be on "disk".
+    }
+    {
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
+        let mut store =
+            ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 100).unwrap();
+        let obj = LargeObject::from_bytes(&descriptor).unwrap();
+        store.verify_object(&obj).unwrap();
+        let got = store.read(&obj, 1000, 16).unwrap();
+        assert_eq!(got, b"persisted-marker");
+        assert_eq!(obj.size(), content.len() as u64 + 16);
+        // The reopened store can keep allocating without trampling the
+        // old object.
+        let mut fresh = store.create_with(&pattern(50_000), None).unwrap();
+        store.verify_object(&obj).unwrap();
+        store.verify_object(&fresh).unwrap();
+        store.delete_object(&mut fresh).unwrap();
+        assert_eq!(store.read(&obj, 1000, 16).unwrap(), b"persisted-marker");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn self_describing_volume_via_catalog_and_boot_record() {
+    // The full adoption story: everything needed to reopen the database
+    // lives on the volume itself (boot record -> catalog -> objects).
+    let dir = tmpdir();
+    let path = dir.join("library.eos");
+    let (spaces, pps) = (1usize, 1900u64);
+    {
+        let vol = FileVolume::create(&path, 1024, (pps + 1) * spaces as u64, DiskProfile::FREE)
+            .unwrap()
+            .shared();
+        let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
+        let mut cat = eos::catalog::Catalog::new();
+        for (name, size) in [("alpha", 10_000usize), ("beta", 250_000), ("gamma", 64)] {
+            let obj = store.create_with(&pattern(size), None).unwrap();
+            cat.put(name, &obj);
+        }
+        cat.save(&mut store).unwrap();
+    }
+    {
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
+        let mut store =
+            ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 1000).unwrap();
+        let mut cat = eos::catalog::Catalog::load(&store).unwrap();
+        assert_eq!(cat.len(), 3);
+        let beta = cat.get("beta").unwrap();
+        assert_eq!(store.read_all(&beta).unwrap(), pattern(250_000));
+        // Edit an object and re-register it.
+        let mut gamma = cat.get("gamma").unwrap();
+        store.append(&mut gamma, b" more").unwrap();
+        cat.put("gamma", &gamma);
+        cat.save(&mut store).unwrap();
+    }
+    {
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
+        let store = ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 2000).unwrap();
+        let cat = eos::catalog::Catalog::load(&store).unwrap();
+        let gamma = cat.get("gamma").unwrap();
+        assert_eq!(gamma.size(), 64 + 5);
+        store.verify_object(&gamma).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_stores_agree_on_the_same_edit_script() {
+    // Run one deterministic edit script through EOS, Exodus and
+    // Starburst via the common BlobStore trait; all three must end with
+    // byte-identical objects.
+    let page = 512usize;
+    let g = Geometry::for_page_size(page);
+    let pps = g.max_space_pages.min(1800);
+    let spaces = 3usize;
+    let mk_vol =
+        || MemVolume::with_profile(page, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE).shared();
+
+    let mut eos_store = ObjectStore::create(
+        mk_vol(),
+        spaces,
+        pps,
+        StoreConfig {
+            threshold: Threshold::Fixed(4),
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let mut exo = ExodusStore::create(mk_vol(), spaces, pps, 2).unwrap();
+    let mut star = StarburstStore::create(mk_vol(), spaces, pps).unwrap();
+
+    let base = pattern(60_000);
+    let mut he = BlobStore::create(&mut eos_store, &base, false).unwrap();
+    let mut hx = exo.create(&base, false).unwrap();
+    let mut hs = star.create(&base, false).unwrap();
+    let mut model = base;
+
+    let mut x = 0xDEAD_BEEFu64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for k in 0..60 {
+        let size = model.len() as u64;
+        match next() % 4 {
+            0 => {
+                let data = pattern((next() % 3000) as usize);
+                let at = next() % (size + 1);
+                BlobStore::insert(&mut eos_store, &mut he, at, &data).unwrap();
+                exo.insert(&mut hx, at, &data).unwrap();
+                star.insert(&mut hs, at, &data).unwrap();
+                model.splice(at as usize..at as usize, data);
+            }
+            1 => {
+                let at = next() % size;
+                let len = (next() % 4000).min(size - at);
+                if len == 0 {
+                    continue;
+                }
+                BlobStore::delete(&mut eos_store, &mut he, at, len).unwrap();
+                exo.delete(&mut hx, at, len).unwrap();
+                star.delete(&mut hs, at, len).unwrap();
+                model.drain(at as usize..(at + len) as usize);
+            }
+            2 => {
+                let at = next() % size;
+                let len = ((next() % 800).min(size - at)) as usize;
+                let data = pattern(len);
+                BlobStore::replace(&mut eos_store, &mut he, at, &data).unwrap();
+                exo.replace(&mut hx, at, &data).unwrap();
+                star.replace(&mut hs, at, &data).unwrap();
+                model[at as usize..at as usize + len].copy_from_slice(&data);
+            }
+            _ => {
+                let data = pattern((next() % 2000) as usize);
+                BlobStore::append(&mut eos_store, &mut he, &data).unwrap();
+                exo.append(&mut hx, &data).unwrap();
+                star.append(&mut hs, &data).unwrap();
+                model.extend(data);
+            }
+        }
+        assert_eq!(
+            BlobStore::read(&eos_store, &he, 0, model.len() as u64).unwrap(),
+            model,
+            "eos diverged at step {k}"
+        );
+        assert_eq!(
+            exo.read(&hx, 0, model.len() as u64).unwrap(),
+            model,
+            "exodus diverged at step {k}"
+        );
+        assert_eq!(
+            star.read(&hs, 0, model.len() as u64).unwrap(),
+            model,
+            "starburst diverged at step {k}"
+        );
+    }
+    eos_store.verify_object(&he).unwrap();
+}
+
+#[test]
+fn many_objects_share_one_store() {
+    let mut store = ObjectStore::in_memory(1024, 8_000);
+    let mut objs = Vec::new();
+    for i in 0..40usize {
+        let data = pattern(1000 + i * 777);
+        objs.push((store.create_with(&data, Some(data.len() as u64)).unwrap(), data));
+    }
+    // Interleaved edits.
+    for (i, (obj, model)) in objs.iter_mut().enumerate() {
+        let at = (i * 131) as u64 % obj.size();
+        store.insert(obj, at, b"~interleaved~").unwrap();
+        model.splice(at as usize..at as usize, *b"~interleaved~");
+    }
+    for (obj, model) in &objs {
+        assert_eq!(&store.read_all(obj).unwrap(), model);
+        store.verify_object(obj).unwrap();
+    }
+    // Delete every other object; the rest stay intact.
+    let free_before = store.buddy().total_free_pages();
+    for (i, (obj, _)) in objs.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            store.delete_object(obj).unwrap();
+        }
+    }
+    assert!(store.buddy().total_free_pages() > free_before);
+    for (i, (obj, model)) in objs.iter().enumerate() {
+        if i % 2 == 1 {
+            assert_eq!(&store.read_all(obj).unwrap(), model);
+        }
+    }
+}
+
+#[test]
+fn unlimited_size_within_volume_bounds() {
+    // Objective 1 of the paper: objects bounded only by physical
+    // storage. Grow one object to ~56 MiB across four buddy spaces
+    // (beyond any single space / maximum segment).
+    let g = Geometry::for_page_size(4096);
+    let spaces = 4usize;
+    let pps = g.max_space_pages; // 16272 pages each
+    let vol = MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE)
+        .shared();
+    let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
+    let mut obj = store.create_object();
+    let chunk = vec![0xC3u8; 4 << 20];
+    {
+        let mut s = store.open_append(&mut obj, None).unwrap();
+        for _ in 0..14 {
+            s.append(&chunk).unwrap();
+        }
+        s.close().unwrap();
+    }
+    assert_eq!(obj.size(), 14 * (4 << 20) as u64);
+    let stats = store.object_stats(&obj).unwrap();
+    assert!(
+        stats.max_seg_pages <= store.max_seg_pages(),
+        "segments obey the §3 maximum"
+    );
+    assert!(stats.segments >= 2, "object spans several max segments");
+    // Random access at the far end still works and is cheap.
+    store.reset_io_stats();
+    let got = store.read(&obj, obj.size() - 5, 5).unwrap();
+    assert_eq!(got, vec![0xC3u8; 5]);
+    assert!(store.io_stats().seeks <= 3);
+    store.verify_object(&obj).unwrap();
+}

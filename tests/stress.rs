@@ -1,0 +1,120 @@
+//! Heavy soak tests, `#[ignore]`d by default. Run with:
+//!
+//! ```text
+//! cargo test --release -p eos --test stress -- --ignored
+//! ```
+
+use eos::core::{ObjectStore, StoreConfig, Threshold};
+use eos::pager::{DiskProfile, MemVolume};
+
+#[test]
+#[ignore = "heavy: ~100 MB object, thousands of operations"]
+fn hundred_megabyte_churn() {
+    let g = eos::buddy::Geometry::for_page_size(4096);
+    let spaces = 4usize;
+    let pps = g.max_space_pages;
+    let vol = MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE)
+        .shared();
+    let mut store = ObjectStore::create(
+        vol,
+        spaces,
+        pps,
+        StoreConfig {
+            threshold: Threshold::Fixed(16),
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Build ~100 MB via an append session.
+    let chunk: Vec<u8> = (0..1_048_576).map(|i| (i % 251) as u8).collect();
+    let mut obj = store.create_object();
+    {
+        let mut s = store.open_append(&mut obj, Some(100 << 20)).unwrap();
+        for _ in 0..100 {
+            s.append(&chunk).unwrap();
+        }
+        s.close().unwrap();
+    }
+    assert_eq!(obj.size(), 100 << 20);
+    store.verify_object(&obj).unwrap();
+
+    // Churn: 2,000 mixed operations with spot checks.
+    let mut x = 0x1357_9BDFu64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut expected_size = obj.size();
+    for i in 0..2_000u64 {
+        let size = obj.size();
+        match next() % 10 {
+            0..=3 => {
+                let off = next() % size;
+                let len = (next() % 8_192).max(1);
+                store.insert(&mut obj, off, &chunk[..len as usize]).unwrap();
+                expected_size += len;
+            }
+            4..=7 => {
+                let off = next() % size;
+                let len = (next() % 8_192).min(size - off).max(1);
+                store.delete(&mut obj, off, len).unwrap();
+                expected_size -= len;
+            }
+            8 => {
+                let off = next() % (size - 4_096);
+                store.replace(&mut obj, off, &chunk[..4_096]).unwrap();
+            }
+            _ => {
+                let off = next() % (size - 1);
+                let len = (next() % 65_536).min(size - off);
+                let got = store.read(&obj, off, len).unwrap();
+                assert_eq!(got.len() as u64, len);
+            }
+        }
+        assert_eq!(obj.size(), expected_size, "size drift at op {i}");
+        if i % 500 == 499 {
+            store.verify_object(&obj).unwrap();
+        }
+    }
+    store.verify_object(&obj).unwrap();
+
+    // Compact and confirm the content length one last time.
+    let stats = store.compact(&mut obj).unwrap();
+    assert!(stats.segments_after <= stats.segments_before);
+    assert_eq!(store.read(&obj, 0, 1).unwrap().len(), 1);
+    store.verify_object(&obj).unwrap();
+
+    // Tear down: no page leaks at 100 MB scale.
+    let free_before_delete = store.buddy().total_free_pages();
+    store.delete_object(&mut obj).unwrap();
+    assert!(store.buddy().total_free_pages() > free_before_delete);
+    assert_eq!(
+        store.buddy().total_free_pages(),
+        store.buddy().total_data_pages() - 1, // the boot page
+    );
+}
+
+#[test]
+#[ignore = "heavy: thousands of small objects"]
+fn ten_thousand_small_objects() {
+    let mut store = ObjectStore::in_memory(1024, 60_000);
+    let mut objs = Vec::new();
+    for i in 0..10_000usize {
+        let data = vec![(i % 251) as u8; 1 + (i % 4_000)];
+        objs.push((store.create_with(&data, None).unwrap(), data.len()));
+    }
+    for (i, (obj, len)) in objs.iter().enumerate() {
+        assert_eq!(obj.size() as usize, *len, "object {i}");
+    }
+    // Delete all; perfect reclamation.
+    for (mut obj, _) in objs {
+        store.delete_object(&mut obj).unwrap();
+    }
+    assert_eq!(
+        store.buddy().total_free_pages(),
+        store.buddy().total_data_pages() - 1,
+    );
+}

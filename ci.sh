@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — the same sequence .github/workflows/ci.yml runs.
+# Everything is offline: dependencies are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test (workspace) =="
+cargo test --workspace --offline -q
+
+echo "CI gate passed."

@@ -197,7 +197,7 @@ impl ExodusStore {
     fn propagate(&mut self, obj: &mut ExodusObject, mut path: Vec<Step>) -> Result<()> {
         let mut step = path.pop().expect("empty path");
         while let Some(page) = step.page {
-            let repl = self.finalize(page, step.node)?;
+            let repl = self.finalize(page, &step.node)?;
             step = path.pop().expect("path ends at the root");
             let child = step.child;
             step.node.entries.splice(child..child + 1, repl);
@@ -206,14 +206,14 @@ impl ExodusStore {
         self.normalize_root(obj)
     }
 
-    fn finalize(&mut self, page: PageId, node: Node) -> Result<Vec<Entry>> {
+    fn finalize(&mut self, page: PageId, node: &Node) -> Result<Vec<Entry>> {
         let cap = self.node_cap();
         if node.entries.is_empty() {
             self.buddy.free(page, 1)?;
             return Ok(Vec::new());
         }
         if node.entries.len() <= cap {
-            self.write_node(page, &node)?;
+            self.write_node(page, node)?;
             return Ok(vec![Entry {
                 bytes: node.total_bytes(),
                 ptr: page,
@@ -547,7 +547,7 @@ impl BlobStore for ExodusStore {
     }
 
     fn reset_io(&self) {
-        self.volume.reset_stats()
+        self.volume.reset_stats();
     }
 }
 
@@ -598,7 +598,10 @@ impl ExodusStore {
                 if child.entries.is_empty() {
                     self.buddy.free(e.ptr, 1)?;
                 } else {
-                    slots.push(Slot::Pending { page: e.ptr, node: child });
+                    slots.push(Slot::Pending {
+                        page: e.ptr,
+                        node: child,
+                    });
                 }
             }
         }
@@ -616,7 +619,7 @@ impl ExodusStore {
             match s {
                 Slot::Done(e) => entries.push(e),
                 Slot::Pending { page, node: n } => {
-                    entries.extend(self.finalize(page, n)?);
+                    entries.extend(self.finalize(page, &n)?);
                 }
             }
         }
@@ -686,7 +689,8 @@ impl ExodusStore {
             if slots.len() == 1 {
                 break;
             }
-            let j = if i > 0 && (i + 1 >= slots.len() || matches!(slots[i - 1], Slot::Pending { .. }))
+            let j = if i > 0
+                && (i + 1 >= slots.len() || matches!(slots[i - 1], Slot::Pending { .. }))
             {
                 i - 1
             } else {

@@ -335,10 +335,7 @@ impl BlobStore for StarburstStore {
         let old_tail_alloc = h.tail_alloc_pages;
         if new_tail.is_empty() {
             // The surviving last segment was never the reserved tail.
-            h.tail_alloc_pages = h
-                .segments
-                .last()
-                .map_or(0, |&(_, b)| b.div_ceil(self.ps()));
+            h.tail_alloc_pages = h.segments.last().map_or(0, |&(_, b)| b.div_ceil(self.ps()));
         } else {
             let mut rewritten = self.write_fresh(&new_tail, true, 0)?;
             self.trim(&mut rewritten)?;
@@ -359,7 +356,7 @@ impl BlobStore for StarburstStore {
     }
 
     fn reset_io(&self) {
-        self.volume.reset_stats()
+        self.volume.reset_stats();
     }
 }
 

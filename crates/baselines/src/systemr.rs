@@ -180,7 +180,10 @@ impl BlobStore for SystemRStore {
     }
 
     fn replace(&mut self, h: &mut ChainField, offset: u64, data: &[u8]) -> Result<()> {
-        if offset.checked_add(data.len() as u64).is_none_or(|e| e > h.len) {
+        if offset
+            .checked_add(data.len() as u64)
+            .is_none_or(|e| e > h.len)
+        {
             return Err(Error::OutOfObjectBounds {
                 offset,
                 len: data.len() as u64,
@@ -248,7 +251,7 @@ impl BlobStore for SystemRStore {
     }
 
     fn reset_io(&self) {
-        self.volume.reset_stats()
+        self.volume.reset_stats();
     }
 }
 

@@ -294,7 +294,7 @@ impl BlobStore for WissStore {
     }
 
     fn reset_io(&self) {
-        self.volume.reset_stats()
+        self.volume.reset_stats();
     }
 }
 

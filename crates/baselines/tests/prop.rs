@@ -37,7 +37,9 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 fn fill(seed: u8, len: usize) -> Vec<u8> {
-    (0..len).map(|i| seed.wrapping_add((i % 239) as u8)).collect()
+    (0..len)
+        .map(|i| seed.wrapping_add((i % 239) as u8))
+        .collect()
 }
 
 fn vol() -> SharedVolume {

@@ -147,7 +147,8 @@ fn bench_wal(c: &mut Criterion) {
                 (store, obj, Wal::new())
             },
             |(store, obj, wal)| {
-                wal.logged_replace(store, obj, 100_000, &[7u8; 512]).unwrap();
+                wal.logged_replace(store, obj, 100_000, &[7u8; 512])
+                    .unwrap();
             },
             BatchSize::SmallInput,
         );
@@ -158,7 +159,8 @@ fn bench_wal(c: &mut Criterion) {
         let mut obj = store.create_with(&payload(1, 1 << 20), None).unwrap();
         let mut wal = Wal::new();
         for i in 0..100u64 {
-            wal.logged_replace(&mut store, &mut obj, i * 1000, &[1u8; 64]).unwrap();
+            wal.logged_replace(&mut store, &mut obj, i * 1000, &[1u8; 64])
+                .unwrap();
         }
         b.iter(|| black_box(wal.to_bytes()));
     });

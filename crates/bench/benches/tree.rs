@@ -50,7 +50,10 @@ fn bench_descent(c: &mut Criterion) {
     assert!(stats.segments > 500);
 
     group.bench_function(
-        format!("read 1B @random ({} segs, h={})", stats.segments, stats.height),
+        format!(
+            "read 1B @random ({} segs, h={})",
+            stats.segments, stats.height
+        ),
         |b| {
             let mut i = 0u64;
             b.iter(|| {

@@ -31,8 +31,8 @@ fn main() {
 /// allocated segment is always less than a page"), so what remains is
 /// external fragmentation, which coalescing keeps in check.
 fn long_run_fragmentation() {
-    println!("== E8d: free-space shape after sustained churn ==");
     use rand::{Rng, SeedableRng};
+    println!("== E8d: free-space shape after sustained churn ==");
     let vol = MemVolume::with_profile(4096, 17000, DiskProfile::VINTAGE_1992).shared();
     let mut mgr = BuddyManager::create(vol, 1, 16272).unwrap();
     let mut r = rand::rngs::StdRng::seed_from_u64(0xF4A6);
@@ -47,7 +47,7 @@ fn long_run_fragmentation() {
     for round in 1..=5u32 {
         for _ in 0..10_000 {
             if r.gen_bool(0.55) || held.is_empty() {
-                let want = 1 << r.gen_range(0..9); // 1..256 pages
+                let want = 1u64 << r.gen_range(0..9); // 1..256 pages
                 if let Ok(e) = mgr.allocate(want) {
                     held.push(e);
                 }
@@ -158,8 +158,6 @@ fn superdirectory() {
 /// the affected node — cost grows with fragmentation, unlike the
 /// one-page buddy directory.
 fn freelist_ablation() {
-    println!("== E8c: ablation — buddy directory vs on-disk first-fit free list ==");
-
     struct FreeList {
         vol: eos_pager::SharedVolume,
         /// (start, len) runs, each conceptually on its own list page.
@@ -221,6 +219,8 @@ fn freelist_ablation() {
         }
     }
 
+    println!("== E8c: ablation — buddy directory vs on-disk first-fit free list ==");
+
     let profile = DiskProfile::VINTAGE_1992;
     let pages = 16272u64;
 
@@ -228,7 +228,9 @@ fn freelist_ablation() {
     let script: Vec<(bool, u64)> = {
         use rand::{Rng, SeedableRng};
         let mut r = rand::rngs::StdRng::seed_from_u64(0xA110C);
-        (0..2000).map(|_| (r.gen_bool(0.55), r.gen_range(1..64))).collect()
+        (0..2000)
+            .map(|_| (r.gen_bool(0.55), r.gen_range(1..64)))
+            .collect()
     };
 
     let mut t = Table::new(vec![

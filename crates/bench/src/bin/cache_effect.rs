@@ -32,8 +32,8 @@ fn main() {
     for cache_pages in [0usize, 64, 1024] {
         let inner: SharedVolume =
             MemVolume::with_profile(4096, 4 * 16_273 + 2, DiskProfile::VINTAGE_1992).shared();
-        let cached: Option<Arc<CachedVolume>> = (cache_pages > 0)
-            .then(|| Arc::new(CachedVolume::new(inner.clone(), cache_pages)));
+        let cached: Option<Arc<CachedVolume>> =
+            (cache_pages > 0).then(|| Arc::new(CachedVolume::new(inner.clone(), cache_pages)));
         let volume: SharedVolume = match &cached {
             Some(c) => c.clone(),
             None => inner.clone(),
@@ -82,11 +82,9 @@ fn main() {
             f2(io.seeks as f64 / reads as f64),
             f2(io.transfers() as f64 / reads as f64),
             f2(io.elapsed_ms() / reads as f64),
-            cached
-                .as_ref()
-                .map_or("-".to_string(), |c| {
-                    format!("{:.0}%", 100.0 * c.cache_stats().hit_ratio())
-                }),
+            cached.as_ref().map_or("-".to_string(), |c| {
+                format!("{:.0}%", 100.0 * c.cache_stats().hit_ratio())
+            }),
         ]);
     }
     t.print();

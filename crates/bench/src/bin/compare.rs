@@ -40,9 +40,7 @@ fn run_comparison(mb: u64) -> bool {
     let reads = 200;
     let updates = 100;
 
-    println!(
-        "== E7: store comparison — {mb} MiB objects, {reads} reads, {updates} updates ==\n"
-    );
+    println!("== E7: store comparison — {mb} MiB objects, {reads} reads, {updates} updates ==\n");
 
     let mut runs: Vec<ComparisonRun> = Vec::new();
     let mut too_large: Vec<&'static str> = Vec::new();
@@ -79,9 +77,7 @@ fn run_comparison(mb: u64) -> bool {
         "wiss",
     );
     push(
-        comparison_run("system-r", object_bytes, reads, updates, || {
-            systemr(sizing)
-        }),
+        comparison_run("system-r", object_bytes, reads, updates, || systemr(sizing)),
         "system-r",
     );
 
@@ -123,6 +119,8 @@ fn run_comparison(mb: u64) -> bool {
     println!("- wiss caps objects at ~400 slices x page (1.6 MB at 4 KiB): larger objects fail to create;");
     println!("- system-r supports no byte inserts/deletes; its reads chase the page chain;");
     println!("- starburst inserts/deletes copy every byte right of the update point;");
-    println!("- utilization is object bytes over allocated pages (incl. index) after the update phase.");
+    println!(
+        "- utilization is object bytes over allocated pages (incl. index) after the update phase."
+    );
     !too_large.is_empty()
 }

@@ -49,7 +49,11 @@ fn render_segments(dir: &SpaceDir) -> String {
     let mut s = 0u64;
     while s < dir.data_pages() {
         let d = dir.amap().seg_at_start(s);
-        let tag = if d.state == SegState::Allocated { 'A' } else { 'F' };
+        let tag = if d.state == SegState::Allocated {
+            'A'
+        } else {
+            'F'
+        };
         out.push_str(&format!("[{}{}@{}]", tag, d.pages, d.start));
         s += d.pages;
     }
@@ -74,10 +78,16 @@ fn limits() {
             format!("{ps}"),
             format!("{}", g.max_type),
             format!("{}", g.max_seg_pages()),
-            format!("{:.1}", (g.max_seg_pages() * ps as u64) as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                (g.max_seg_pages() * ps as u64) as f64 / (1 << 20) as f64
+            ),
             format!("{}", g.amap_len),
             format!("{}", g.max_space_pages),
-            format!("{:.1}", (g.max_space_pages * ps as u64) as f64 / (1 << 20) as f64),
+            format!(
+                "{:.1}",
+                (g.max_space_pages * ps as u64) as f64 / (1 << 20) as f64
+            ),
         ]);
     }
     t.print();
@@ -136,9 +146,7 @@ fn fig4() {
     d.free_range(10, 1).unwrap();
     println!("(d) after freeing page 10:     {}", render_segments(&d));
     d.check_invariants().unwrap();
-    println!(
-        "paper (d): 10+11 -> 2@10; +2@8 -> 4@8; +4@12 -> 8@8; segment 0 not free, stop"
-    );
+    println!("paper (d): 10+11 -> 2@10; +2@8 -> 4@8; +4@12 -> 8@8; segment 0 not free, stop");
     println!(
         "(allocated 1- and 2-page runs are individual page bits in the map, so\n\
          [A1@8][A1@9] above is the figure's 2-page allocated segment at 8)\n"
@@ -211,8 +219,11 @@ fn fig5() {
         format!("{}..{}", sc.min_seg_pages, sc.max_seg_pages),
     ]);
     t.print();
-    for (name, store, obj) in [("5.a", &store, &a), ("5.b", &store_b, &b), ("5.c", &store_c, &c)]
-    {
+    for (name, store, obj) in [
+        ("5.a", &store, &a),
+        ("5.b", &store_b, &b),
+        ("5.c", &store_c, &c),
+    ] {
         store.verify_object(obj).unwrap();
         assert_eq!(store.read_all(obj).unwrap(), data, "{name} content");
     }
@@ -368,7 +379,8 @@ fn recovery() {
 
     // WAL-protected replace: undo/redo idempotence via the root LSN.
     let mut obj = recovered;
-    wal.logged_replace(&mut store, &mut obj, 10, b"JOURNALED").unwrap();
+    wal.logged_replace(&mut store, &mut obj, 10, b"JOURNALED")
+        .unwrap();
     let r = wal.records().last().unwrap().clone();
     eos_core::wal::redo(&mut store, &mut obj, &r).unwrap(); // no-op: lsn equal
     let after_redo = store.read(&obj, 10, 9).unwrap();

@@ -37,12 +37,7 @@ fn main() {
 /// shattered object is restored to clustered form.
 fn consolidate() {
     println!("== E6c: group reallocation and compaction of a shattered object ==");
-    let mut t = Table::new(vec![
-        "state",
-        "segments",
-        "scan seeks",
-        "leaf util",
-    ]);
+    let mut t = Table::new(vec!["state", "segments", "scan seeks", "leaf util"]);
     let bytes = 2usize << 20;
     let mut store = eos(Sizing::mb(24), Threshold::Fixed(1));
     let data = payload(5, bytes);
@@ -52,7 +47,10 @@ fn consolidate() {
         let off = r.gen_range(0..obj.size() - 100);
         store.insert(&mut obj, off, b"tiny-wedge").unwrap();
     }
-    let row = |store: &mut eos_core::ObjectStore, obj: &eos_core::LargeObject, name: &str, t: &mut Table| {
+    let row = |store: &mut eos_core::ObjectStore,
+               obj: &eos_core::LargeObject,
+               name: &str,
+               t: &mut Table| {
         let stats = store.object_stats(obj).unwrap();
         let size = obj.size();
         store.reset_io_stats();
@@ -73,7 +71,10 @@ fn consolidate() {
     row(&mut store, &obj, "after compact (max segments)", &mut t);
     store.verify_object(&obj).unwrap();
     t.print();
-    println!("consolidation merged {} unsafe runs; compaction leaves maximal segments\n", c.runs_merged);
+    println!(
+        "consolidation merged {} unsafe runs; compaction leaves maximal segments\n",
+        c.runs_merged
+    );
 }
 
 /// E5 — §4.4: "for segments of size T, the utilization per segment will

@@ -42,12 +42,8 @@ impl Sizing {
     /// A fresh volume big enough for the layout.
     pub fn volume(&self) -> SharedVolume {
         let (spaces, pps) = self.layout();
-        MemVolume::with_profile(
-            self.page_size,
-            (pps + 1) * spaces as u64 + 2,
-            self.profile,
-        )
-        .shared()
+        MemVolume::with_profile(self.page_size, (pps + 1) * spaces as u64 + 2, self.profile)
+            .shared()
     }
 }
 

@@ -105,7 +105,9 @@ impl SpaceDir {
 
     /// Type of the largest free segment, or `None` if the space is full.
     pub fn largest_free_type(&self) -> Option<u8> {
-        (0..=self.space_max_type).rev().find(|&t| self.counts[t as usize] > 0)
+        (0..=self.space_max_type)
+            .rev()
+            .find(|&t| self.counts[t as usize] > 0)
     }
 
     /// Total free pages (Σ count\[t\]·2ᵗ).
@@ -375,6 +377,43 @@ impl SpaceDir {
         Ok(dir)
     }
 
+    /// Decode a directory page *without* validating its invariants —
+    /// the loader for offline analysis (`eos-check`), which must be
+    /// able to hold a corrupt directory in memory in order to report
+    /// exactly what is wrong with it. Only the geometry is checked
+    /// (page length, map fits the page).
+    pub fn from_page_unchecked(
+        geometry: Geometry,
+        data_pages: u64,
+        page: &[u8],
+    ) -> Result<SpaceDir> {
+        if page.len() != geometry.page_size {
+            return Err(Error::CorruptDirectory {
+                reason: "directory page has wrong length".into(),
+            });
+        }
+        let entries = geometry.count_entries();
+        let mut counts = Vec::with_capacity(entries);
+        for i in 0..entries {
+            counts.push(u16::from_le_bytes([page[2 * i], page[2 * i + 1]]));
+        }
+        let off = 2 * entries;
+        let nbytes = data_pages.div_ceil(4) as usize;
+        if off + nbytes > geometry.page_size {
+            return Err(Error::CorruptDirectory {
+                reason: "map does not fit the directory page".into(),
+            });
+        }
+        let amap = AMap::from_bytes(page[off..off + nbytes].to_vec(), data_pages);
+        let space_max_type = std::cmp::min(geometry.max_type, data_pages.ilog2() as u8);
+        Ok(SpaceDir {
+            geometry,
+            counts,
+            amap,
+            space_max_type,
+        })
+    }
+
     /// Exhaustively verify the directory invariants: the map decodes into
     /// non-overlapping, size-aligned segments covering every page; free
     /// space is maximally coalesced; the count array matches the map.
@@ -542,30 +581,18 @@ mod tests {
         let mut d = dir16();
         let s = d.alloc_pow2(2).unwrap();
         d.free_range(s, 4).unwrap();
-        assert!(matches!(
-            d.free_range(s, 4),
-            Err(Error::DoubleFree { .. })
-        ));
+        assert!(matches!(d.free_range(s, 4), Err(Error::DoubleFree { .. })));
         // Freeing a range that straddles free space also fails.
         let s2 = d.alloc_pow2(1).unwrap();
-        assert!(matches!(
-            d.free_range(s2, 4),
-            Err(Error::DoubleFree { .. })
-        ));
+        assert!(matches!(d.free_range(s2, 4), Err(Error::DoubleFree { .. })));
     }
 
     #[test]
     fn no_space_is_reported() {
         let mut d = dir16();
-        assert!(matches!(
-            d.alloc_pow2(5),
-            Err(Error::NoSpace { .. })
-        ));
+        assert!(matches!(d.alloc_pow2(5), Err(Error::NoSpace { .. })));
         d.alloc_pow2(4).unwrap();
-        assert!(matches!(
-            d.alloc_pow2(0),
-            Err(Error::NoSpace { .. })
-        ));
+        assert!(matches!(d.alloc_pow2(0), Err(Error::NoSpace { .. })));
     }
 
     #[test]

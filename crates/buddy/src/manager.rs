@@ -53,6 +53,9 @@ impl BuddyManager {
     /// laid out back to back from volume page 0 (each space owns
     /// `pages_per_space + 1` volume pages, the first being its
     /// directory).
+    // Constructors take the volume handle by value: callers hand over
+    // their clone even though internally each space gets its own.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn create(
         volume: SharedVolume,
         num_spaces: usize,
@@ -87,6 +90,7 @@ impl BuddyManager {
     /// Reopen a previously formatted manager by reading every space
     /// directory. The superdirectory starts optimistic, exactly as the
     /// paper describes for start-up (§3.3).
+    #[allow(clippy::needless_pass_by_value)]
     pub fn open(
         volume: SharedVolume,
         num_spaces: usize,
@@ -126,9 +130,7 @@ impl BuddyManager {
 
     /// Largest segment (in pages) this manager can ever hand out.
     pub fn max_extent_pages(&self) -> u64 {
-        self.geometry
-            .max_seg_pages()
-            .min(self.pages_per_space)
+        self.geometry.max_seg_pages().min(self.pages_per_space)
     }
 
     /// Allocate `pages` physically contiguous pages from some space.
@@ -256,7 +258,10 @@ impl BuddyManager {
 
     /// Total free pages across all spaces.
     pub fn total_free_pages(&self) -> u64 {
-        self.spaces.iter().map(|s| s.free_pages()).sum()
+        self.spaces
+            .iter()
+            .map(super::space::BuddySpace::free_pages)
+            .sum()
     }
 
     /// Total data pages across all spaces.
@@ -269,9 +274,35 @@ impl BuddyManager {
         self.superdir.stats()
     }
 
+    /// The superdirectory's cached belief about the largest free
+    /// segment type in space `i` (§3.2: optimistic, possibly stale —
+    /// exposed so `eos-check` can compare it against recomputed truth).
+    pub fn superdir_belief(&self, i: usize) -> Option<u8> {
+        self.superdir.belief(i)
+    }
+
+    /// Every extent sitting in an open (uncommitted) free batch. These
+    /// are logically free but still allocated on disk (§4.5 release
+    /// locks), so a consistency census must not count them as leaked.
+    pub fn pending_free_extents(&self) -> Vec<Extent> {
+        let g = self.pending.lock();
+        g.batches
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect()
+    }
+
     /// Zero the superdirectory probe counters.
     pub fn reset_superdir_stats(&self) {
-        self.superdir.reset_stats()
+        self.superdir.reset_stats();
+    }
+
+    /// Mutable access to a space, *bypassing* the superdirectory (its
+    /// belief about the space goes stale). A fault-injection hook for
+    /// consistency-check tests; regular allocation must go through the
+    /// manager.
+    pub fn space_mut(&mut self, i: usize) -> &mut BuddySpace {
+        &mut self.spaces[i]
     }
 
     /// Access a space for inspection.
@@ -310,11 +341,7 @@ impl BuddyManager {
                 }
             }
         }
-        let free_pages: u64 = by_type
-            .iter()
-            .enumerate()
-            .map(|(t, &c)| c << t)
-            .sum();
+        let free_pages: u64 = by_type.iter().enumerate().map(|(t, &c)| c << t).sum();
         Fragmentation {
             free_pages,
             largest_free_run: largest,
@@ -358,9 +385,8 @@ mod tests {
     use eos_pager::{DiskProfile, MemVolume};
 
     fn manager(spaces: usize, pages: u64) -> BuddyManager {
-        let vol =
-            MemVolume::with_profile(512, (pages + 1) * spaces as u64 + 8, DiskProfile::FREE)
-                .shared();
+        let vol = MemVolume::with_profile(512, (pages + 1) * spaces as u64 + 8, DiskProfile::FREE)
+            .shared();
         BuddyManager::create(vol, spaces, pages).unwrap()
     }
 

@@ -56,7 +56,8 @@ impl BuddySpace {
 
     /// Write the directory page back to the volume.
     pub fn flush(&mut self) -> Result<()> {
-        self.volume.write_pages(self.dir_page, &self.dir.to_page())?;
+        self.volume
+            .write_pages(self.dir_page, &self.dir.to_page())?;
         Ok(())
     }
 
@@ -88,9 +89,7 @@ impl BuddySpace {
 
     /// Translate a volume page into this space's data-page numbering.
     fn to_data_page(&self, volume_page: PageId) -> Result<u64> {
-        if volume_page < self.data_base
-            || volume_page >= self.data_base + self.dir.data_pages()
-        {
+        if volume_page < self.data_base || volume_page >= self.data_base + self.dir.data_pages() {
             return Err(Error::OutOfSpaceBounds {
                 start: volume_page,
                 pages: 1,
@@ -191,10 +190,7 @@ mod tests {
     fn free_of_foreign_page_is_rejected() {
         let vol = mem(200);
         let mut s = BuddySpace::create(vol.clone(), 10, 64).unwrap();
-        assert!(matches!(
-            s.free(5, 1),
-            Err(Error::OutOfSpaceBounds { .. })
-        ));
+        assert!(matches!(s.free(5, 1), Err(Error::OutOfSpaceBounds { .. })));
         assert!(matches!(
             s.free(10, 1), // the directory page itself
             Err(Error::OutOfSpaceBounds { .. })

@@ -68,9 +68,7 @@ fn run(space_pages: u64, page_size: usize, ops: Vec<Op>) {
                 let at = at % space_pages;
                 let pages = pages.min(space_pages - at);
                 // Succeeds iff the whole range is free in the model.
-                let free_in_model = live
-                    .iter()
-                    .all(|&(s, l)| at + pages <= s || s + l <= at);
+                let free_in_model = live.iter().all(|&(s, l)| at + pages <= s || s + l <= at);
                 match dir.alloc_at(at, pages) {
                     Ok(()) => {
                         assert!(free_in_model, "alloc_at granted an occupied range");

@@ -1,0 +1,247 @@
+//! Tolerant decoding and audit of one buddy-space directory.
+//!
+//! [`SpaceDir::check_invariants`] stops at the first problem and the
+//! [`AMap`] decoders assert on malformed maps; an analyzer must instead
+//! survive arbitrary bytes and report *everything* wrong. This module
+//! re-decodes the Fig 2 byte encoding from scratch over the raw map
+//! bytes, collecting findings as it goes, and recomputes the free
+//! counts and a per-page allocation bitmap for the downstream checks.
+
+use eos_buddy::{SpaceDir, ALLOC_FLAG, BIG_FLAG, TYPE_MASK};
+
+use crate::{Finding, Layer, Severity};
+
+/// The result of tolerantly decoding one space's directory.
+pub struct SpaceAudit {
+    /// Everything wrong with the directory.
+    pub findings: Vec<Finding>,
+    /// Free segments per type, recomputed from the map — the truth the
+    /// `count[]` array and the superdirectory are compared against.
+    pub free_counts: Vec<u64>,
+    /// Per data page: is it allocated? Interior pages of big segments
+    /// inherit the header's state; undecodable quads count as
+    /// allocated so the census does not double-report them as leaks.
+    pub allocated: Vec<bool>,
+}
+
+/// A segment recovered from the raw map.
+#[derive(Debug, Clone, Copy)]
+struct RawSeg {
+    start: u64,
+    pages: u64,
+    free: bool,
+}
+
+/// Audit one directory: tolerant map decode, count-array comparison,
+/// alignment, overlap, orphan continuations, maximal coalescing.
+pub fn audit_dir(dir: &SpaceDir, space: usize) -> SpaceAudit {
+    let mut findings = Vec::new();
+    let dp = dir.data_pages();
+    let max_type = dir.space_max_type();
+    let (segs, mut allocated) = decode(dir, space, &mut findings);
+
+    // Recompute the free counts and check maximal coalescing: a free
+    // segment whose buddy is also free at the same size should have
+    // been coalesced (§3.2) — and the encoding relies on it.
+    let mut free_counts = vec![0u64; dir.counts().len()];
+    for s in &segs {
+        if !s.free {
+            continue;
+        }
+        let t = s.pages.ilog2() as u8;
+        if (t as usize) < free_counts.len() {
+            free_counts[t as usize] += 1;
+        }
+        if t > max_type {
+            findings.push(Finding {
+                severity: Severity::Error,
+                layer: Layer::Buddy,
+                location: format!("space {space} page {}", s.start),
+                detail: format!("free segment of type {t} exceeds the space maximum {max_type}"),
+            });
+        }
+        if t < max_type {
+            let buddy = s.start ^ s.pages;
+            if segs
+                .iter()
+                .any(|b| b.free && b.start == buddy && b.pages == s.pages)
+                && s.start < buddy
+            {
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    layer: Layer::Buddy,
+                    location: format!("space {space} page {}", s.start),
+                    detail: format!(
+                        "free buddies {} and {buddy} of size {} not coalesced",
+                        s.start, s.pages
+                    ),
+                });
+            }
+        }
+    }
+
+    // Coverage: decoded segments must tile the space exactly. (The
+    // decoder already reports the specific overlap/orphan bytes; a
+    // total mismatch is the summary symptom.)
+    let covered: u64 = segs.iter().map(|s| s.pages).sum();
+    if covered != dp {
+        findings.push(Finding {
+            severity: Severity::Error,
+            layer: Layer::Buddy,
+            location: format!("space {space}"),
+            detail: format!("decoded segments cover {covered} pages, space has {dp}"),
+        });
+    }
+
+    // The count array (Fig 1) must agree with the map.
+    for (t, &have) in dir.counts().iter().enumerate() {
+        let want = free_counts.get(t).copied().unwrap_or(0);
+        if u64::from(have) != want {
+            findings.push(Finding {
+                severity: Severity::Error,
+                layer: Layer::Buddy,
+                location: format!("space {space} count[{t}]"),
+                detail: format!("count array says {have} free, map holds {want}"),
+            });
+        }
+    }
+
+    allocated.truncate(dp as usize);
+    SpaceAudit {
+        findings,
+        free_counts,
+        allocated,
+    }
+}
+
+/// Decode the raw map bytes into segments, reporting malformed
+/// encodings and never panicking. Returns the recovered segments and a
+/// per-page allocation bitmap.
+fn decode(dir: &SpaceDir, space: usize, findings: &mut Vec<Finding>) -> (Vec<RawSeg>, Vec<bool>) {
+    let bytes = dir.amap().as_bytes();
+    let dp = dir.data_pages();
+    // Undecodable regions default to "allocated": a page we cannot
+    // account for must not also be reported as a leak.
+    let mut allocated = vec![true; dp as usize];
+    let mut segs = Vec::new();
+    let mut page = 0u64;
+    while page < dp {
+        let bi = (page / 4) as usize;
+        let b = bytes[bi];
+        if b & BIG_FLAG != 0 {
+            let t = b & TYPE_MASK;
+            let pages = 1u64 << t.min(63);
+            let free = b & ALLOC_FLAG == 0;
+            if t < 2 {
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    layer: Layer::Buddy,
+                    location: format!("space {space} page {page}"),
+                    detail: format!(
+                        "big-form header for a type-{t} segment (only segments \
+                         of 4+ pages use the big form)"
+                    ),
+                });
+                // Treat as covering its quad so the walk advances.
+                page = (bi as u64 + 1) * 4;
+                continue;
+            }
+            if !page.is_multiple_of(4) || !page.is_multiple_of(pages) {
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    layer: Layer::Buddy,
+                    location: format!("space {space} page {page}"),
+                    detail: format!("segment of size {pages} not aligned to its size"),
+                });
+            }
+            if page + pages > dp {
+                findings.push(Finding {
+                    severity: Severity::Error,
+                    layer: Layer::Buddy,
+                    location: format!("space {space} page {page}"),
+                    detail: format!(
+                        "segment of size {pages} runs past the end of the space ({dp} pages)"
+                    ),
+                });
+                segs.push(RawSeg {
+                    start: page,
+                    pages: dp - page,
+                    free,
+                });
+                break;
+            }
+            // Every byte under the segment after the header must be a
+            // continuation (zero); a non-zero byte is a second segment
+            // overlapping this one.
+            let last_bi = ((page + pages - 1) / 4) as usize;
+            for (i, &cb) in bytes[bi + 1..=last_bi.min(bytes.len() - 1)]
+                .iter()
+                .enumerate()
+            {
+                if cb != 0 {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        layer: Layer::Buddy,
+                        location: format!("space {space} page {}", (bi + 1 + i) as u64 * 4),
+                        detail: format!(
+                            "map byte {cb:#04x} inside the segment at page {page} \
+                             (segments overlap; continuation bytes must be zero)"
+                        ),
+                    });
+                }
+            }
+            for p in page..page + pages {
+                allocated[p as usize] = !free;
+            }
+            segs.push(RawSeg {
+                start: page,
+                pages,
+                free,
+            });
+            page += pages;
+        } else if b == 0 {
+            // A zero byte where a segment must start: an orphan
+            // continuation with no big header on its left.
+            findings.push(Finding {
+                severity: Severity::Error,
+                layer: Layer::Buddy,
+                location: format!("space {space} page {page}"),
+                detail: "continuation byte with no big-segment header on the left".into(),
+            });
+            page = (bi as u64 + 1) * 4;
+        } else {
+            // Individual form: four pages, one status bit each; free
+            // even/odd pairs form canonical 2-page segments.
+            let quad_end = ((bi as u64 + 1) * 4).min(dp);
+            let mut p = page;
+            while p < quad_end {
+                let bit = 1u8 << (3 - (p % 4) as u8);
+                if b & bit != 0 {
+                    allocated[p as usize] = true;
+                    segs.push(RawSeg {
+                        start: p,
+                        pages: 1,
+                        free: false,
+                    });
+                    p += 1;
+                } else {
+                    let pair = p.is_multiple_of(2)
+                        && p + 1 < quad_end
+                        && b & (1u8 << (3 - ((p + 1) % 4) as u8)) == 0;
+                    let pages = if pair { 2 } else { 1 };
+                    for q in p..p + pages {
+                        allocated[q as usize] = false;
+                    }
+                    segs.push(RawSeg {
+                        start: p,
+                        pages,
+                        free: true,
+                    });
+                    p += pages;
+                }
+            }
+            page = quad_end;
+        }
+    }
+    (segs, allocated)
+}

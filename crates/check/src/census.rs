@@ -1,0 +1,112 @@
+//! The whole-volume allocation census.
+//!
+//! Walks every object's positional tree, claims each referenced page in
+//! a volume-wide ownership table, then sweeps the allocation bitmaps
+//! for pages nobody claims. Cross-object overlaps are errors; allocated
+//! pages with no owner are leaks (warnings) unless they are the boot
+//! record or sitting in an uncommitted deferred-free batch (§4.5
+//! release locks, where "freed" segments legitimately stay allocated
+//! until commit).
+
+use std::collections::HashMap;
+
+use eos_core::{LargeObject, ObjectStore};
+
+use crate::amap_audit::SpaceAudit;
+use crate::{Finding, Layer, Severity};
+
+pub(crate) fn run(
+    store: &ObjectStore,
+    objects: &[(String, LargeObject)],
+    audits: &[SpaceAudit],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let buddy = store.buddy();
+
+    // Volume page → index into `objects` (usize::MAX = the boot record).
+    let mut owner: HashMap<u64, usize> = HashMap::new();
+    let boot = buddy.space(0).data_base();
+    owner.insert(boot, usize::MAX);
+
+    let owner_name = |idx: usize, objects: &[(String, LargeObject)]| -> String {
+        if idx == usize::MAX {
+            "the boot record".into()
+        } else {
+            format!("object {:?}", objects[idx].0)
+        }
+    };
+
+    for (idx, (name, obj)) in objects.iter().enumerate() {
+        // Structural invariants of the tree itself (§4): every
+        // violation, not just the first.
+        for v in store.verify_object_report(obj) {
+            findings.push(Finding {
+                severity: Severity::Error,
+                layer: Layer::Object,
+                location: format!("object {name:?} {}", v.location),
+                detail: v.reason,
+            });
+        }
+        // Claim every page the object references.
+        for (start, pages) in store.object_page_extents(obj) {
+            for p in start..start + pages {
+                if let Some(&prev) = owner.get(&p) {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        layer: Layer::Census,
+                        location: format!("volume page {p}"),
+                        detail: format!(
+                            "referenced by object {name:?} but already owned by {}",
+                            owner_name(prev, objects)
+                        ),
+                    });
+                } else {
+                    owner.insert(p, idx);
+                }
+            }
+        }
+    }
+
+    // Pages in uncommitted free batches are allocated on disk but
+    // logically free — not leaks.
+    let mut pending: HashMap<u64, ()> = HashMap::new();
+    for e in buddy.pending_free_extents() {
+        for p in e.start..e.end() {
+            pending.insert(p, ());
+        }
+    }
+
+    // Sweep each space's allocation bitmap for unclaimed pages,
+    // reporting leaks as coalesced runs.
+    for (i, audit) in audits.iter().enumerate() {
+        let base = buddy.space(i).data_base();
+        let mut run_start: Option<u64> = None;
+        let flush = |from: &mut Option<u64>, end: u64, findings: &mut Vec<Finding>| {
+            if let Some(s) = from.take() {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    layer: Layer::Census,
+                    location: format!("space {i} volume pages {s}..{end}"),
+                    detail: format!(
+                        "{} allocated page(s) referenced by no object \
+                         (leaked by an interrupted update?)",
+                        end - s
+                    ),
+                });
+            }
+        };
+        for (off, &alloc) in audit.allocated.iter().enumerate() {
+            let p = base + off as u64;
+            let leaked = alloc && !owner.contains_key(&p) && !pending.contains_key(&p);
+            if leaked {
+                run_start.get_or_insert(p);
+            } else {
+                flush(&mut run_start, p, &mut findings);
+            }
+        }
+        let end = base + audit.allocated.len() as u64;
+        flush(&mut run_start, end, &mut findings);
+    }
+
+    findings
+}

@@ -1,0 +1,161 @@
+//! Property test: no sequence of legitimate operations produces findings.
+//!
+//! Random op sequences are applied to several objects in one store;
+//! after the sequence the whole-volume analyzer must report a clean
+//! volume — every page owned by exactly one object, every directory
+//! self-consistent, the superdirectory coherent.
+
+use eos_check::check_store;
+use eos_core::{LargeObject, ObjectStore, StoreConfig, Threshold};
+use proptest::prelude::*;
+
+const PS: usize = 512;
+
+fn prop_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append { obj: usize, len: usize },
+    Insert { obj: usize, at: u64, len: usize },
+    Delete { obj: usize, at: u64, len: u64 },
+    Replace { obj: usize, at: u64, len: usize },
+    Truncate { obj: usize, at: u64 },
+    Compact { obj: usize },
+    DeleteObject { obj: usize },
+}
+
+const NUM_OBJS: usize = 3;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let o = 0usize..NUM_OBJS;
+    prop_oneof![
+        4 => (o.clone(), 0usize..3_000).prop_map(|(obj, len)| Op::Append { obj, len }),
+        3 => (o.clone(), any::<u64>(), 0usize..2_000)
+            .prop_map(|(obj, at, len)| Op::Insert { obj, at, len }),
+        3 => (o.clone(), any::<u64>(), any::<u64>())
+            .prop_map(|(obj, at, len)| Op::Delete { obj, at, len: len % 4_000 }),
+        2 => (o.clone(), any::<u64>(), 0usize..1_500)
+            .prop_map(|(obj, at, len)| Op::Replace { obj, at, len }),
+        1 => (o.clone(), any::<u64>()).prop_map(|(obj, at)| Op::Truncate { obj, at }),
+        1 => o.clone().prop_map(|obj| Op::Compact { obj }),
+        1 => o.prop_map(|obj| Op::DeleteObject { obj }),
+    ]
+}
+
+fn fill(seed: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| seed.wrapping_add((i % 251) as u8))
+        .collect()
+}
+
+fn run_clean(ops: Vec<Op>) {
+    let mut store = ObjectStore::in_memory_with(
+        PS,
+        4000,
+        StoreConfig {
+            threshold: Threshold::Fixed(2),
+            ..StoreConfig::default()
+        },
+    );
+    let mut objs: Vec<LargeObject> = (0..NUM_OBJS).map(|_| store.create_object()).collect();
+
+    for (i, op) in ops.into_iter().enumerate() {
+        let seed = i as u8;
+        match op {
+            Op::Append { obj, len } => {
+                if objs[obj].size() as usize + len > 80_000 {
+                    continue;
+                }
+                let data = fill(seed, len);
+                store.append(&mut objs[obj], &data).unwrap();
+            }
+            Op::Insert { obj, at, len } => {
+                let size = objs[obj].size();
+                if size as usize + len > 80_000 {
+                    continue;
+                }
+                let at = if size == 0 { 0 } else { at % (size + 1) };
+                let data = fill(seed.wrapping_add(101), len);
+                store.insert(&mut objs[obj], at, &data).unwrap();
+            }
+            Op::Delete { obj, at, len } => {
+                let size = objs[obj].size();
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = len.min(size - at);
+                if len == 0 {
+                    continue;
+                }
+                store.delete(&mut objs[obj], at, len).unwrap();
+            }
+            Op::Replace { obj, at, len } => {
+                let size = objs[obj].size();
+                if size == 0 {
+                    continue;
+                }
+                let at = at % size;
+                let len = (len as u64).min(size - at) as usize;
+                let data = fill(seed.wrapping_add(53), len);
+                store.replace(&mut objs[obj], at, &data).unwrap();
+            }
+            Op::Truncate { obj, at } => {
+                let size = objs[obj].size();
+                let at = if size == 0 { 0 } else { at % (size + 1) };
+                store.truncate(&mut objs[obj], at).unwrap();
+            }
+            Op::Compact { obj } => {
+                store.compact(&mut objs[obj]).unwrap();
+            }
+            Op::DeleteObject { obj } => {
+                store.delete_object(&mut objs[obj]).unwrap();
+                objs[obj] = store.create_object();
+            }
+        }
+    }
+
+    let named: Vec<(String, LargeObject)> = objs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (format!("obj{i}"), o.clone()))
+        .collect();
+    let report = check_store(&store, &named, None);
+    assert!(
+        report.findings.is_empty(),
+        "legitimate ops produced findings: {:#?}",
+        report.findings
+    );
+    assert!(report.is_clean());
+
+    // And after freeing everything the volume is still clean — no
+    // stranded pages, no stale superdirectory entries.
+    for obj in &mut objs {
+        store.delete_object(obj).unwrap();
+    }
+    let report = check_store(&store, &[], None);
+    assert!(
+        report.findings.is_empty(),
+        "post-delete findings: {:#?}",
+        report.findings
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: prop_cases(),
+        ..ProptestConfig::default()
+    })]
+
+    /// Random multi-object op sequences leave a volume the analyzer
+    /// considers clean, before and after tearing everything down.
+    #[test]
+    fn random_ops_yield_zero_findings(ops in proptest::collection::vec(op_strategy(), 1..35)) {
+        run_clean(ops);
+    }
+}

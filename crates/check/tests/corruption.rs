@@ -1,0 +1,366 @@
+//! Corruption seeding: each test plants one class of damage in an
+//! otherwise healthy store/directory and asserts the analyzer reports
+//! it with the right severity at the right location — and nothing
+//! panics, whatever the bytes look like.
+
+use eos_buddy::{Geometry, SpaceDir};
+use eos_check::{audit_dir, check_store, Layer, Severity};
+use eos_core::wal::Wal;
+use eos_core::{LargeObject, ObjectStore, StoreConfig, Threshold};
+
+const PS: usize = 4096;
+
+fn small_store() -> ObjectStore {
+    ObjectStore::in_memory(PS, 2000)
+}
+
+/// A store whose objects grow real index pages quickly.
+fn indexed_store() -> ObjectStore {
+    ObjectStore::in_memory_with(
+        PS,
+        4000,
+        StoreConfig {
+            threshold: Threshold::Fixed(1),
+            max_root_entries: Some(4),
+            ..StoreConfig::default()
+        },
+    )
+}
+
+fn no_objects() -> Vec<(String, LargeObject)> {
+    Vec::new()
+}
+
+// ---- class 1: count[] array disagrees with the allocation map --------
+
+#[test]
+fn detects_count_amap_mismatch() {
+    let g = Geometry::for_page_size(PS);
+    let mut dir = SpaceDir::create(g, 256);
+    dir.alloc_any(5).unwrap();
+    dir.check_invariants().unwrap();
+
+    let mut page = dir.to_page();
+    // Inflate count[0] (first two little-endian bytes) by one.
+    let c0 = u16::from_le_bytes([page[0], page[1]]);
+    page[..2].copy_from_slice(&(c0 + 1).to_le_bytes());
+
+    let corrupt = SpaceDir::from_page_unchecked(g, 256, &page).unwrap();
+    let audit = audit_dir(&corrupt, 0);
+    let f = audit
+        .findings
+        .iter()
+        .find(|f| f.location == "space 0 count[0]")
+        .expect("count mismatch reported");
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.layer, Layer::Buddy);
+    assert!(f.detail.contains("count array"), "{}", f.detail);
+}
+
+// ---- class 2: torn index page (unreadable node) ----------------------
+
+#[test]
+fn detects_torn_index_page() {
+    let mut store = indexed_store();
+    let data = vec![0xA5u8; 40 * PS];
+    let mut obj = store.create_with(&data, None).unwrap();
+    // Churn until the tree has real index pages.
+    for i in 0..30 {
+        let at = (i * 97) % obj.size();
+        store.insert(&mut obj, at, &[7u8; 700]).unwrap();
+    }
+    assert!(
+        obj.height() >= 2,
+        "need index pages, got height {}",
+        obj.height()
+    );
+    store.verify_object(&obj).unwrap();
+
+    // The extent walk emits an index page before its subtree; tear it.
+    let (index_page, _) = store.object_page_extents(&obj)[0];
+    store
+        .volume()
+        .write_pages(index_page, &vec![0xFFu8; PS])
+        .unwrap();
+
+    let report = check_store(&store, &[("torn".into(), obj)], None);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.layer == Layer::Object && f.detail.contains("unreadable index page"))
+        .expect("torn page reported");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.location.contains("\"torn\""), "{}", f.location);
+    // One torn page must not cascade into count mismatches up the path.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.detail.contains("count mismatch")),
+        "torn page cascaded: {:#?}",
+        report.findings
+    );
+}
+
+// ---- class 3: two objects own the same pages -------------------------
+
+#[test]
+fn detects_overlapping_objects() {
+    let mut store = small_store();
+    let obj = store.create_with(&vec![1u8; 9 * PS], None).unwrap();
+    // A forged descriptor pointing at the same segments.
+    let twin = LargeObject::from_bytes(&obj.to_bytes()).unwrap();
+
+    let report = check_store(&store, &[("a".into(), obj), ("b".into(), twin)], None);
+    let overlaps: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.layer == Layer::Census && f.severity == Severity::Error)
+        .collect();
+    assert!(!overlaps.is_empty(), "{:#?}", report.findings);
+    assert!(overlaps[0].detail.contains("already owned by object \"a\""));
+    assert!(overlaps[0].location.starts_with("volume page"));
+    // Every one of the nine pages is double-claimed.
+    assert_eq!(overlaps.len(), 9);
+}
+
+// ---- class 4: allocated pages no object references (leak) ------------
+
+#[test]
+fn detects_leaked_pages() {
+    let mut store = small_store();
+    let obj = store.create_with(b"healthy", None).unwrap();
+    // Allocate behind the object manager's back and lose the extent.
+    let leaked = store.buddy_mut().allocate(8).unwrap();
+
+    let report = check_store(&store, &[("ok".into(), obj)], None);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.layer == Layer::Census && f.severity == Severity::Warning)
+        .expect("leak reported");
+    assert!(f.detail.contains("8 allocated page(s)"), "{}", f.detail);
+    assert!(
+        f.location
+            .contains(&format!("{}..{}", leaked.start, leaked.end())),
+        "{}",
+        f.location
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn pending_deferred_frees_are_not_leaks() {
+    let mut store = small_store();
+    let obj = store.create_with(&vec![3u8; 4 * PS], None).unwrap();
+    // A §4.5 release lock: freed under an open batch, still allocated
+    // on disk — legitimately unowned, not a leak.
+    let ext = store.buddy_mut().allocate(4).unwrap();
+    let batch = store.buddy().begin_free_batch();
+    store.buddy().defer_free(batch, ext);
+
+    let report = check_store(&store, &[("o".into(), obj)], None);
+    assert!(report.is_clean(), "{:#?}", report.findings);
+}
+
+// ---- class 5: stale superdirectory -----------------------------------
+
+#[test]
+fn detects_superdir_under_promise() {
+    // A 64-page space: after the boot page claim the largest free
+    // segment is the 32-page half, and there is exactly one of it.
+    let mut store = ObjectStore::in_memory(PS, 64);
+    let t = store.buddy().space(0).largest_free_type().unwrap();
+    // Take the unique largest segment through the manager so its
+    // belief drops…
+    let big = store.buddy_mut().allocate(1u64 << t).unwrap();
+    assert!(store.buddy().superdir_belief(0) < Some(t));
+    // …then free behind the superdirectory's back: truth recovers, the
+    // cache still believes the space is nearly full.
+    store
+        .buddy_mut()
+        .space_mut(0)
+        .free(big.start, big.pages)
+        .unwrap();
+
+    let report = check_store(&store, &no_objects(), None);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.layer == Layer::Superdir)
+        .expect("stale superdir reported");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.detail.contains("under-promise"), "{}", f.detail);
+    assert_eq!(f.location, "space 0");
+}
+
+#[test]
+fn superdir_over_promise_is_informational() {
+    // Allocate behind the superdirectory's back: the cache now believes
+    // more is free than there is — the by-design optimistic case ("the
+    // first wrong guess will correct it"), so only Info.
+    let mut store = ObjectStore::in_memory(PS, 64);
+    let t = store.buddy().space(0).largest_free_type().unwrap();
+    // Take the unique largest free segment; truth drops, belief stays.
+    store.buddy_mut().space_mut(0).allocate(1u64 << t).unwrap();
+    assert!(store.buddy().space(0).largest_free_type() < Some(t));
+
+    let report = check_store(&store, &no_objects(), None);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.layer == Layer::Superdir)
+        .expect("over-promise noted");
+    assert_eq!(f.severity, Severity::Info);
+    assert!(f.detail.contains("over-promise"), "{}", f.detail);
+    // The bypass allocation itself is correctly a leak *warning*; the
+    // superdirectory layer must stay informational.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.layer != Layer::Superdir || f.severity == Severity::Info));
+}
+
+// ---- map-level damage: overlap / orphan continuation / misalignment --
+
+#[test]
+fn detects_overlapping_map_segments() {
+    let g = Geometry::for_page_size(PS);
+    let dir = SpaceDir::create(g, 256);
+    let mut page = dir.to_page();
+    let amap_off = 2 * g.count_entries();
+    // Free 256-seg header at page 0, then a bogus allocated 4-seg
+    // header inside its continuation run.
+    page[amap_off + 2] = 0x80 | 0x40 | 2;
+    let corrupt = SpaceDir::from_page_unchecked(g, 256, &page).unwrap();
+    let audit = audit_dir(&corrupt, 3);
+    assert!(
+        audit
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Error && f.detail.contains("overlap")),
+        "{:#?}",
+        audit.findings
+    );
+    // Location names the offending quad's first page in space 3.
+    assert!(audit
+        .findings
+        .iter()
+        .any(|f| f.location == "space 3 page 8"));
+}
+
+#[test]
+fn detects_orphan_continuation() {
+    let g = Geometry::for_page_size(PS);
+    let dir = SpaceDir::create(g, 16);
+    let mut page = dir.to_page();
+    let amap_off = 2 * g.count_entries();
+    // Zero the free-16-seg header: its continuations are now orphans.
+    page[amap_off] = 0;
+    let corrupt = SpaceDir::from_page_unchecked(g, 16, &page).unwrap();
+    let audit = audit_dir(&corrupt, 0);
+    assert!(
+        audit
+            .findings
+            .iter()
+            .any(|f| f.detail.contains("no big-segment header")),
+        "{:#?}",
+        audit.findings
+    );
+}
+
+#[test]
+fn detects_uncoalesced_buddies() {
+    let g = Geometry::for_page_size(PS);
+    let dir = SpaceDir::create(g, 16);
+    let mut page = dir.to_page();
+    let amap_off = 2 * g.count_entries();
+    // Replace the free 16-seg with two free 8-seg buddies (and fix the
+    // counts so only the coalescing violation fires).
+    page[amap_off] = 0x80 | 3;
+    page[amap_off + 2] = 0x80 | 3;
+    page[..2 * g.count_entries()].fill(0);
+    page[2 * 3..2 * 3 + 2].copy_from_slice(&2u16.to_le_bytes()); // count[3] = 2
+    let corrupt = SpaceDir::from_page_unchecked(g, 16, &page).unwrap();
+    let audit = audit_dir(&corrupt, 0);
+    assert!(
+        audit
+            .findings
+            .iter()
+            .any(|f| f.detail.contains("not coalesced")),
+        "{:#?}",
+        audit.findings
+    );
+}
+
+// ---- WAL / LSN sanity -------------------------------------------------
+
+#[test]
+fn detects_root_lsn_ahead_of_log() {
+    let mut store = small_store();
+    let mut obj = store.create_with(b"logged", None).unwrap();
+    let mut wal = Wal::new();
+    wal.logged_append(&mut store, &mut obj, b"x").unwrap();
+    assert!(obj.lsn() > 0);
+
+    // Against its own log the object is fine…
+    let report = check_store(&store, &[("o".into(), obj.clone())], Some(&wal));
+    assert!(
+        !report.findings.iter().any(|f| f.layer == Layer::Wal),
+        "{:#?}",
+        report.findings
+    );
+
+    // …against a truncated (lost-tail) log it is ahead.
+    let empty = Wal::new();
+    let report = check_store(&store, &[("o".into(), obj)], Some(&empty));
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.layer == Layer::Wal)
+        .expect("lost log tail reported");
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.detail.contains("log tail"), "{}", f.detail);
+}
+
+// ---- clean stores produce clean reports ------------------------------
+
+#[test]
+fn clean_store_reports_zero_findings() {
+    let mut store = indexed_store();
+    let mut objs = Vec::new();
+    for i in 0..3 {
+        let mut obj = store
+            .create_with(&vec![i as u8; (i + 1) * 3000], None)
+            .unwrap();
+        store.insert(&mut obj, 100, &[9u8; 500]).unwrap();
+        store.delete(&mut obj, 0, 50).unwrap();
+        objs.push((format!("obj{i}"), obj));
+    }
+    let report = check_store(&store, &objs, None);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert!(report.is_clean());
+    assert_eq!(report.objects_checked, 3);
+    assert!(report.pages_scanned > 0);
+}
+
+#[test]
+fn paranoid_checks_pass_on_healthy_operations() {
+    let mut store = ObjectStore::in_memory_with(
+        PS,
+        2000,
+        StoreConfig {
+            paranoid_checks: true,
+            ..StoreConfig::default()
+        },
+    );
+    let mut obj = store.create_with(&vec![5u8; 3 * PS], None).unwrap();
+    store.insert(&mut obj, 10, b"abc").unwrap();
+    store.replace(&mut obj, 0, b"zz").unwrap();
+    store.delete(&mut obj, 5, 100).unwrap();
+    store.append(&mut obj, &vec![6u8; PS]).unwrap();
+    store.truncate(&mut obj, 1000).unwrap();
+    store.compact(&mut obj).unwrap();
+    store.consolidate(&mut obj).unwrap();
+    store.delete_object(&mut obj).unwrap();
+}

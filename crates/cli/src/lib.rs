@@ -15,6 +15,7 @@
 //! eos rm db.eos photo.jpg            # delete object + catalog entry
 //! eos stat db.eos [name]             # store / object statistics
 //! eos verify db.eos                  # full invariant check
+//! eos check db.eos [--json]          # static analysis of every structure
 //! eos compact db.eos doc.txt         # rewrite into maximal segments
 //! ```
 //!
@@ -27,7 +28,7 @@ use std::path::Path;
 
 use eos::buddy::Geometry;
 use eos::catalog::Catalog;
-use eos::core::{ObjectStore, StoreConfig};
+use eos::core::{LargeObject, ObjectStore, StoreConfig};
 use eos::pager::{DiskProfile, FileVolume};
 
 /// Page size every CLI volume uses.
@@ -77,15 +78,13 @@ pub fn layout_for(total_pages: u64) -> (usize, u64) {
 }
 
 fn open_store(path: &Path) -> Result<ObjectStore> {
-    let meta = std::fs::metadata(path)
-        .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+    let meta = std::fs::metadata(path).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     let total_pages = meta.len() / PAGE_SIZE as u64;
     let (spaces, pps) = layout_for(total_pages);
     let vol = FileVolume::open(path, PAGE_SIZE, DiskProfile::MODERN_HDD)
         .map_err(map_err)?
         .shared();
-    ObjectStore::open(vol, spaces, pps, StoreConfig::default(), next_id_hint())
-        .map_err(map_err)
+    ObjectStore::open(vol, spaces, pps, StoreConfig::default(), next_id_hint()).map_err(map_err)
 }
 
 /// Object ids for CLI-created objects only need to be unique per volume
@@ -96,6 +95,41 @@ fn next_id_hint() -> u64 {
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(1)
         | 1
+}
+
+/// Static whole-volume analysis: open the store and run the full
+/// `eos-check` suite over every cataloged object *plus* the catalog
+/// object itself (it owns pages too — without it the census would
+/// report its pages as leaks). Falls back to a raw directory audit
+/// when the volume is too damaged to open.
+fn run_check(path: &Path) -> Result<eos_check::Report> {
+    match open_store(path) {
+        Ok(store) => {
+            let mut objects: Vec<(String, LargeObject)> = Vec::new();
+            let boot = store.read_boot_record().map_err(map_err)?;
+            if !boot.is_empty() {
+                let cat_obj = LargeObject::from_bytes(&boot).map_err(map_err)?;
+                objects.push(("<catalog>".into(), cat_obj));
+            }
+            let cat = Catalog::load(&store).map_err(map_err)?;
+            for name in cat.names() {
+                objects.push((name.to_string(), cat.get(name).map_err(map_err)?));
+            }
+            Ok(eos_check::check_store(&store, &objects, None))
+        }
+        Err(_) => {
+            // The store refused to open (torn directory, bad boot
+            // record, …): audit the raw directory pages instead.
+            let meta = std::fs::metadata(path)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            let total_pages = meta.len() / PAGE_SIZE as u64;
+            let (spaces, pps) = layout_for(total_pages);
+            let vol = FileVolume::open(path, PAGE_SIZE, DiskProfile::MODERN_HDD)
+                .map_err(map_err)?
+                .shared();
+            Ok(eos_check::audit_volume(&vol, spaces, pps))
+        }
+    }
 }
 
 /// Run one CLI invocation; returns the text to print.
@@ -113,7 +147,7 @@ pub fn run(args: &[String]) -> Result<String> {
                             mb = it
                                 .next()
                                 .and_then(|v| v.parse().ok())
-                                .ok_or(CliError("--mb needs a number".into()))?
+                                .ok_or(CliError("--mb needs a number".into()))?;
                         }
                         other => bail!("unknown option {other}"),
                     }
@@ -128,9 +162,8 @@ pub fn run(args: &[String]) -> Result<String> {
                 )
                 .map_err(map_err)?
                 .shared();
-                let mut store =
-                    ObjectStore::create(vol, spaces, pps, StoreConfig::default())
-                        .map_err(map_err)?;
+                let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default())
+                    .map_err(map_err)?;
                 Catalog::new().save(&mut store).map_err(map_err)?;
                 writeln!(
                     out,
@@ -229,8 +262,13 @@ pub fn run(args: &[String]) -> Result<String> {
                 store.delete(&mut obj, offset, len).map_err(map_err)?;
                 cat.put(name, &obj);
                 cat.save(&mut store).map_err(map_err)?;
-                writeln!(out, "cut [{offset}, {}); {name} is now {} bytes", offset + len, obj.size())
-                    .unwrap();
+                writeln!(
+                    out,
+                    "cut [{offset}, {}); {name} is now {} bytes",
+                    offset + len,
+                    obj.size()
+                )
+                .unwrap();
             }
             ("append", [file, name, input]) => {
                 let data = std::fs::read(input).map_err(map_err)?;
@@ -240,8 +278,13 @@ pub fn run(args: &[String]) -> Result<String> {
                 store.append(&mut obj, &data).map_err(map_err)?;
                 cat.put(name, &obj);
                 cat.save(&mut store).map_err(map_err)?;
-                writeln!(out, "appended {} bytes; {name} is now {} bytes", data.len(), obj.size())
-                    .unwrap();
+                writeln!(
+                    out,
+                    "appended {} bytes; {name} is now {} bytes",
+                    data.len(),
+                    obj.size()
+                )
+                .unwrap();
             }
             ("compact", [file, name]) => {
                 let mut store = open_store(Path::new(file))?;
@@ -307,6 +350,30 @@ pub fn run(args: &[String]) -> Result<String> {
                 )
                 .unwrap();
             }
+            ("check", [file, opts @ ..]) => {
+                let mut json = false;
+                for o in opts {
+                    match o.as_str() {
+                        "--json" => json = true,
+                        other => bail!("unknown option {other}"),
+                    }
+                }
+                let report = run_check(Path::new(file))?;
+                let rendered = if json {
+                    let mut j = report.to_json();
+                    j.push('\n');
+                    j
+                } else {
+                    report.render_table()
+                };
+                // fsck semantics: findings worse than informational fail
+                // the command (non-zero exit) but still print the report.
+                if report.is_clean() {
+                    out.push_str(&rendered);
+                } else {
+                    return Err(CliError(rendered));
+                }
+            }
             ("help", _) => return err(USAGE),
             (other, _) => bail!("unknown or malformed command `{other}`\n{USAGE}"),
         },
@@ -328,7 +395,10 @@ usage: eos <command> ...
   append <file> <name> <input>    append bytes
   compact <file> <name>           rewrite into maximal segments
   stat <file> [name]              store or object statistics
-  verify <file>                   check every invariant";
+  verify <file>                   check every invariant (first failure)
+  check <file> [--json]           full static analysis: audit every
+                                  buddy directory, census every page,
+                                  report all findings (fsck)";
 
 #[cfg(test)]
 mod tests {
@@ -341,7 +411,7 @@ mod tests {
     }
 
     fn call(args: &[&str]) -> Result<String> {
-        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let v: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
         run(&v)
     }
 
@@ -354,8 +424,12 @@ mod tests {
         std::fs::write(&input, &data).unwrap();
         let ins = input.to_str().unwrap();
 
-        assert!(call(&["init", dbs, "--mb", "16"]).unwrap().contains("formatted"));
-        assert!(call(&["put", dbs, "blob", ins]).unwrap().contains("100000 bytes"));
+        assert!(call(&["init", dbs, "--mb", "16"])
+            .unwrap()
+            .contains("formatted"));
+        assert!(call(&["put", dbs, "blob", ins])
+            .unwrap()
+            .contains("100000 bytes"));
         let ls = call(&["ls", dbs]).unwrap();
         assert!(ls.contains("blob") && ls.contains("100000 bytes"), "{ls}");
 
@@ -404,6 +478,53 @@ mod tests {
     }
 
     #[test]
+    fn check_reports_clean_volume() {
+        let db = tmp("check.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("check-in.bin");
+        std::fs::write(&input, vec![42u8; 50_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+
+        let table = call(&["check", dbs]).unwrap();
+        assert!(table.contains("0 error(s)"), "{table}");
+        assert!(table.contains("object(s)"), "{table}");
+
+        // A fresh volume may carry Info-level superdirectory optimism
+        // (by design) but must be clean: no warnings, no errors.
+        let json = call(&["check", dbs, "--json"]).unwrap();
+        assert!(json.starts_with("{\"clean\":true"), "{json}");
+        assert!(!json.contains("\"error\""), "{json}");
+        assert!(!json.contains("\"warning\""), "{json}");
+
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn check_flags_corrupt_volume() {
+        use std::io::{Seek, SeekFrom, Write};
+        let db = tmp("check-bad.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        // Smash the first space directory page: the analyzer must fall
+        // back to the raw audit, report damage, and exit non-zero —
+        // without panicking.
+        let mut f = std::fs::OpenOptions::new().write(true).open(&db).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&vec![0xFFu8; 4096]).unwrap();
+        drop(f);
+
+        let err = call(&["check", dbs]).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("error(s)") || text.contains("ERROR"),
+            "{text}"
+        );
+
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
     fn put_replaces_and_reclaims() {
         let db = tmp("repl.eos");
         let dbs = db.to_str().unwrap();
@@ -416,9 +537,7 @@ mod tests {
         let before = call(&["stat", dbs]).unwrap();
         call(&["put", dbs, "x", small.to_str().unwrap()]).unwrap();
         let after = call(&["stat", dbs]).unwrap();
-        let free = |s: &str| -> u64 {
-            s.split_whitespace().next().unwrap().parse().unwrap()
-        };
+        let free = |s: &str| -> u64 { s.split_whitespace().next().unwrap().parse().unwrap() };
         assert!(free(&after) > free(&before), "{before} -> {after}");
         std::fs::remove_file(&db).ok();
     }

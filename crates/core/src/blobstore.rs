@@ -121,6 +121,6 @@ impl BlobStore for ObjectStore {
     }
 
     fn reset_io(&self) {
-        self.reset_io_stats()
+        self.reset_io_stats();
     }
 }

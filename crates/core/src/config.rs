@@ -64,6 +64,13 @@ pub struct StoreConfig {
     /// this off updates index pages in place (fewer allocator calls,
     /// no crash safety).
     pub shadow_index_pages: bool,
+    /// Re-verify invariants at every operation boundary: after each
+    /// mutating operation the whole object tree is re-walked
+    /// ([`crate::ObjectStore::verify_object`]) and the buddy directories
+    /// are re-audited. Catches corruption at the operation that caused
+    /// it rather than at the next `eos check`, at a large cost in time —
+    /// meant for tests and debugging, like RocksDB's `paranoid_checks`.
+    pub paranoid_checks: bool,
 }
 
 impl Default for StoreConfig {
@@ -72,6 +79,7 @@ impl Default for StoreConfig {
             threshold: Threshold::default(),
             max_root_entries: None,
             shadow_index_pages: true,
+            paranoid_checks: false,
         }
     }
 }

@@ -102,6 +102,7 @@ impl ObjectStore {
             crate::tree::normalize_root(self, obj)?;
         }
         let _ = cap;
+        self.paranoid_check(obj)?;
         Ok(total)
     }
 
@@ -133,9 +134,7 @@ impl ObjectStore {
         let min = crate::node::node_min(self.page_size());
         let cap = self.node_cap();
         loop {
-            let pos = slots
-                .iter()
-                .position(|(_, n, _)| n.entries.len() < min);
+            let pos = slots.iter().position(|(_, n, _)| n.entries.len() < min);
             let Some(i) = pos else { break };
             if slots.len() == 1 {
                 break; // the root collapse will absorb it
@@ -150,16 +149,40 @@ impl ObjectStore {
             any = true;
             if combined.len() <= cap {
                 self.free_node(eb.ptr)?;
-                slots.insert(a, (ea, Node { level, entries: combined }, true));
+                slots.insert(
+                    a,
+                    (
+                        ea,
+                        Node {
+                            level,
+                            entries: combined,
+                        },
+                        true,
+                    ),
+                );
             } else {
                 let mut halves = crate::tree::split_even(&combined, 2).into_iter();
                 slots.insert(
                     a,
-                    (ea, Node { level, entries: halves.next().unwrap() }, true),
+                    (
+                        ea,
+                        Node {
+                            level,
+                            entries: halves.next().unwrap(),
+                        },
+                        true,
+                    ),
                 );
                 slots.insert(
                     a + 1,
-                    (eb, Node { level, entries: halves.next().unwrap() }, true),
+                    (
+                        eb,
+                        Node {
+                            level,
+                            entries: halves.next().unwrap(),
+                        },
+                        true,
+                    ),
                 );
             }
         }
@@ -229,11 +252,9 @@ mod tests {
     fn consolidation_frees_what_it_replaces() {
         let (mut store, mut obj, _) = shattered(Threshold::Fixed(1));
         obj.set_threshold(Threshold::Fixed(8));
-        let used_before =
-            store.buddy().total_data_pages() - store.buddy().total_free_pages();
+        let used_before = store.buddy().total_data_pages() - store.buddy().total_free_pages();
         store.consolidate(&mut obj).unwrap();
-        let used_after =
-            store.buddy().total_data_pages() - store.buddy().total_free_pages();
+        let used_after = store.buddy().total_data_pages() - store.buddy().total_free_pages();
         assert!(
             used_after <= used_before,
             "consolidation may only reduce used pages ({used_before} -> {used_after})"

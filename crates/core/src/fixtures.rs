@@ -32,9 +32,7 @@ impl ObjectStore {
                 assert!(bytes > 0, "zero-byte segment");
                 let pages = bytes.div_ceil(ps);
                 let ext = self.alloc_extent(pages)?;
-                let mut buf: Vec<u8> = (offset..offset + bytes)
-                    .map(|i| (i % 251) as u8)
-                    .collect();
+                let mut buf: Vec<u8> = (offset..offset + bytes).map(|i| (i % 251) as u8).collect();
                 buf.resize((pages * ps) as usize, 0);
                 self.volume().write_pages(ext.start, &buf)?;
                 entries.push(Entry {

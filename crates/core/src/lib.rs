@@ -55,4 +55,4 @@ pub use ops::append::AppendSession;
 pub use reshuffle::{pages, reshuffle, ReshufflePlan};
 pub use store::ObjectStore;
 pub use stream::{CompactStats, ObjectReader};
-pub use verify::ObjectStats;
+pub use verify::{ObjectStats, Violation};

@@ -46,9 +46,7 @@ fn overlaps(a: &Held, lo: u64, hi: u64) -> bool {
 }
 
 fn compatible(a: &Held, txn: TxnId, lo: u64, hi: u64, mode: LockMode) -> bool {
-    a.txn == txn
-        || !overlaps(a, lo, hi)
-        || (a.mode == LockMode::Shared && mode == LockMode::Shared)
+    a.txn == txn || !overlaps(a, lo, hi) || (a.mode == LockMode::Shared && mode == LockMode::Shared)
 }
 
 #[derive(Default)]

@@ -183,7 +183,10 @@ mod tests {
         o.root = Node {
             level: 2,
             entries: vec![
-                Entry { bytes: 1020, ptr: 5 },
+                Entry {
+                    bytes: 1020,
+                    ptr: 5,
+                },
                 Entry { bytes: 800, ptr: 9 },
             ],
         };

@@ -177,7 +177,8 @@ impl<'a> AppendSession<'a> {
         if done.is_empty() && self.shrink_last_by == 0 {
             return Ok(());
         }
-        tree::append_entries(self.store, self.obj, done, self.shrink_last_by)
+        tree::append_entries(self.store, self.obj, done, self.shrink_last_by)?;
+        self.store.paranoid_check(self.obj)
     }
 
     /// Allocate the next segment under the §4.1 growth policy.

@@ -85,7 +85,12 @@ pub(crate) fn run(
                 (0, e.bytes - keep, q, true)
             } else {
                 let page_q_bytes = (e.bytes - q * ps).min(ps);
-                (page_q_bytes - qb, e.bytes.saturating_sub((q + 1) * ps), q, false)
+                (
+                    page_q_bytes - qb,
+                    e.bytes.saturating_sub((q + 1) * ps),
+                    q,
+                    false,
+                )
             }
         }
     };
@@ -304,8 +309,7 @@ fn delete_in_node(
             break; // No sibling; the root collapse handles the rest.
         }
         // Prefer a sibling already in memory.
-        let j = if i > 0 && (i + 1 >= slots.len() || matches!(slots[i - 1], Slot::Pending { .. }))
-        {
+        let j = if i > 0 && (i + 1 >= slots.len() || matches!(slots[i - 1], Slot::Pending { .. })) {
             i - 1
         } else {
             i + 1

@@ -99,7 +99,11 @@ pub(crate) fn run(
         plan.from_r / ps
     };
     let free_lo = keep_l_pages;
-    let free_hi = if r0 > 0 { p + 1 + donated_r_pages } else { s_pages };
+    let free_hi = if r0 > 0 {
+        p + 1 + donated_r_pages
+    } else {
+        s_pages
+    };
     if free_hi > free_lo {
         store.free_pages(s_ptr + free_lo, free_hi - free_lo)?;
     }

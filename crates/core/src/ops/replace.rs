@@ -40,8 +40,8 @@ pub(crate) fn run(
         let npages = p1 - p0 + 1;
         let mut buf = vec![0u8; (npages * ps) as usize];
         let head = (rel - p0 * ps) as usize; // bytes kept before the range
-        // Bytes of the last covered page that survive past the range.
-        // The page may be the segment's partial last page.
+                                             // Bytes of the last covered page that survive past the range.
+                                             // The page may be the segment's partial last page.
         let page_end = ((p1 + 1) * ps).min(e.bytes);
         let tail = (page_end - (rel + take)) as usize;
         if head > 0 {

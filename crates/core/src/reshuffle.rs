@@ -163,12 +163,11 @@ pub fn reshuffle(l0: u64, n0: u64, r0: u64, ps: u64, t: u64, max_seg_pages: u64)
     let nm = plan.n % ps; // bytes in N's (partial) last page; 0 = full
     if nm != 0 {
         let lm = plan.l % ps; // bytes in L's last page; 0 = full or empty
-        // Moving L's partial last page frees that page; refuse the move
-        // when it would push a currently-safe L below the threshold
-        // (the §4.4 constraint outranks the byte optimization).
-        let l_keeps_safe = plan.l == lm
-            || !is_unsafe(plan.l - lm, ps, t)
-            || is_unsafe(plan.l, ps, t);
+                              // Moving L's partial last page frees that page; refuse the move
+                              // when it would push a currently-safe L below the threshold
+                              // (the §4.4 constraint outranks the byte optimization).
+        let l_keeps_safe =
+            plan.l == lm || !is_unsafe(plan.l - lm, ps, t) || is_unsafe(plan.l, ps, t);
         let l_cand = plan.l > 0 && lm != 0 && lm + nm <= ps && l_keeps_safe;
         let r_cand = plan.r > 0 && pages(plan.r, ps) == 1 && plan.r + nm <= ps;
         if l_cand && r_cand && lm + plan.r + nm <= ps {

@@ -9,7 +9,7 @@ use crate::error::{Error, Result};
 use crate::node::{node_capacity, Node};
 use crate::object::LargeObject;
 use crate::ops;
-use crate::verify::ObjectStats;
+use crate::verify::{ObjectStats, Violation};
 
 /// The large object manager: owns the disk space (through the buddy
 /// system of §3) and implements create/append, read, replace, insert,
@@ -81,11 +81,7 @@ impl ObjectStore {
     }
 
     /// [`Self::in_memory`] with an explicit configuration.
-    pub fn in_memory_with(
-        page_size: usize,
-        data_pages: u64,
-        config: StoreConfig,
-    ) -> ObjectStore {
+    pub fn in_memory_with(page_size: usize, data_pages: u64, config: StoreConfig) -> ObjectStore {
         use eos_pager::{DiskProfile, MemVolume};
         let geometry = eos_buddy::Geometry::for_page_size(page_size);
         let pps = geometry.max_space_pages.min(data_pages.max(16));
@@ -96,8 +92,7 @@ impl ObjectStore {
             DiskProfile::VINTAGE_1992,
         )
         .shared();
-        ObjectStore::create(vol, spaces, pps, config)
-            .expect("in-memory store creation cannot fail")
+        ObjectStore::create(vol, spaces, pps, config).expect("in-memory store creation cannot fail")
     }
 
     // ---- geometry & accessors ------------------------------------------
@@ -160,7 +155,7 @@ impl ObjectStore {
 
     /// Zero the volume I/O counters.
     pub fn reset_io_stats(&self) {
-        self.volume.reset_stats()
+        self.volume.reset_stats();
     }
 
     // ---- object lifecycle ----------------------------------------------
@@ -290,7 +285,7 @@ impl ObjectStore {
         if size > 0 {
             ops::delete::run(self, obj, 0, size)?;
         }
-        Ok(())
+        self.paranoid_check(obj)
     }
 
     // ---- the §4 operations ----------------------------------------------
@@ -309,7 +304,8 @@ impl ObjectStore {
     /// (§4.2: "the search algorithm can also be used for the byte range
     /// replace operation").
     pub fn replace(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
-        ops::replace::run(self, obj, offset, data)
+        ops::replace::run(self, obj, offset, data)?;
+        self.paranoid_check(obj)
     }
 
     /// Append bytes at the end of the object (§4.1).
@@ -334,13 +330,15 @@ impl ObjectStore {
     /// Insert `data` at byte `offset`, shifting the tail of the object
     /// right (§4.3.1, with the §4.4 reshuffling).
     pub fn insert(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
-        ops::insert::run(self, obj, offset, data)
+        ops::insert::run(self, obj, offset, data)?;
+        self.paranoid_check(obj)
     }
 
     /// Delete `len` bytes starting at `offset`, shifting the tail left
     /// (§4.3.2, with the §4.4 reshuffling).
     pub fn delete(&mut self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
-        ops::delete::run(self, obj, offset, len)
+        ops::delete::run(self, obj, offset, len)?;
+        self.paranoid_check(obj)
     }
 
     /// Truncate the object to `new_size` bytes — the special case of
@@ -357,7 +355,8 @@ impl ObjectStore {
         if new_size == size {
             return Ok(());
         }
-        ops::delete::run(self, obj, new_size, size - new_size)
+        ops::delete::run(self, obj, new_size, size - new_size)?;
+        self.paranoid_check(obj)
     }
 
     /// Walk the whole tree and return structural statistics
@@ -372,15 +371,41 @@ impl ObjectStore {
         crate::verify::verify_object(self, obj)
     }
 
+    /// Like [`ObjectStore::verify_object`] but collects *every*
+    /// violation in the tree instead of failing on the first — the
+    /// entry point `eos-check` builds its census on.
+    pub fn verify_object_report(&self, obj: &LargeObject) -> Vec<Violation> {
+        crate::verify::verify_object_report(self, obj)
+    }
+
+    /// Every page extent `(start_page, pages)` the object references:
+    /// index pages and leaf segments. Tolerant of unreadable index
+    /// pages (their subtrees are skipped), so a whole-volume page
+    /// census can still run on a damaged tree.
+    pub fn object_page_extents(&self, obj: &LargeObject) -> Vec<(u64, u64)> {
+        crate::verify::object_page_extents(self, obj)
+    }
+
+    /// When [`StoreConfig::paranoid_checks`] is set, re-walk `obj` and
+    /// re-audit the buddy directories, escalating any violation to an
+    /// error at the operation boundary that introduced it.
+    pub(crate) fn paranoid_check(&self, obj: &LargeObject) -> Result<()> {
+        if !self.config.paranoid_checks {
+            return Ok(());
+        }
+        self.verify_object(obj)?;
+        self.buddy
+            .check_invariants()
+            .map_err(|e| Error::CorruptObject {
+                reason: format!("buddy invariant after operation: {e}"),
+            })
+    }
+
     // ---- internal helpers shared by the ops modules ----------------------
 
     /// Effective threshold (in pages) for an update whose leaf parent
     /// holds `parent_entries` entries.
-    pub(crate) fn effective_threshold(
-        &self,
-        obj: &LargeObject,
-        parent_entries: usize,
-    ) -> u64 {
+    pub(crate) fn effective_threshold(&self, obj: &LargeObject, parent_entries: usize) -> u64 {
         let cap = self.node_cap();
         u64::from(obj.threshold.effective(parent_entries, cap))
     }
@@ -414,8 +439,7 @@ impl ObjectStore {
     pub(crate) fn free_pages(&mut self, start: PageId, pages: u64) -> Result<()> {
         match &self.txn {
             Some(txn) => {
-                self.buddy
-                    .defer_free(txn.batch, Extent { start, pages });
+                self.buddy.defer_free(txn.batch, Extent { start, pages });
             }
             None => self.buddy.free(start, pages)?,
         }

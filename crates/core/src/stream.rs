@@ -153,6 +153,7 @@ impl ObjectStore {
             entries: new_entries,
         };
         normalize_root(self, obj)?;
+        self.paranoid_check(obj)?;
         Ok(CompactStats {
             segments_before: stats_before,
             segments_after: self.segments(obj)?.len() as u64,

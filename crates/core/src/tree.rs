@@ -76,7 +76,7 @@ pub(crate) fn propagate(
 ) -> Result<()> {
     let mut step = path.pop().expect("empty path");
     while step.page.is_some() {
-        let repl = finalize_node(store, step)?;
+        let repl = finalize_node(store, &step)?;
         step = path.pop().expect("path must end at the root");
         let child = step.child;
         step.node.entries.splice(child..child + 1, repl);
@@ -88,7 +88,7 @@ pub(crate) fn propagate(
 
 /// Write one non-root node back, splitting it if it overflows. Returns
 /// the parent entries that now describe it (empty if the node vanished).
-fn finalize_node(store: &mut ObjectStore, step: PathStep) -> Result<Vec<Entry>> {
+fn finalize_node(store: &mut ObjectStore, step: &PathStep) -> Result<Vec<Entry>> {
     write_split(store, step.page, &step.node)
 }
 
@@ -167,7 +167,10 @@ pub(crate) fn normalize_root(store: &mut ObjectStore, obj: &mut LargeObject) -> 
         let chunks = split_even(&obj.root.entries, num);
         let mut entries = Vec::with_capacity(chunks.len());
         for chunk in chunks {
-            let n = Node { level, entries: chunk };
+            let n = Node {
+                level,
+                entries: chunk,
+            };
             let page = store.write_node(None, &n)?;
             entries.push(Entry {
                 bytes: n.total_bytes(),
@@ -255,7 +258,11 @@ pub(crate) fn repair_seam(store: &mut ObjectStore, obj: &mut LargeObject, seam: 
                     continue;
                 }
                 // Merge/rotate child j with an adjacent sibling.
-                let k = if j + 1 < node.entries.len() { j + 1 } else { j - 1 };
+                let k = if j + 1 < node.entries.len() {
+                    j + 1
+                } else {
+                    j - 1
+                };
                 let (a, b2) = (j.min(k), j.max(k));
                 let left_ptr = node.entries[a].ptr;
                 let right_ptr = node.entries[b2].ptr;
@@ -266,18 +273,36 @@ pub(crate) fn repair_seam(store: &mut ObjectStore, obj: &mut LargeObject, seam: 
                 combined.extend(right.entries);
                 let new_entries: Vec<Entry> = if combined.len() <= cap {
                     store.free_node(right_ptr)?;
-                    let n = Node { level, entries: combined };
+                    let n = Node {
+                        level,
+                        entries: combined,
+                    };
                     let p = store.write_node(Some(left_ptr), &n)?;
-                    vec![Entry { bytes: n.total_bytes(), ptr: p }]
+                    vec![Entry {
+                        bytes: n.total_bytes(),
+                        ptr: p,
+                    }]
                 } else {
                     let mut halves = split_even(&combined, 2).into_iter();
-                    let n1 = Node { level, entries: halves.next().unwrap() };
-                    let n2 = Node { level, entries: halves.next().unwrap() };
+                    let n1 = Node {
+                        level,
+                        entries: halves.next().unwrap(),
+                    };
+                    let n2 = Node {
+                        level,
+                        entries: halves.next().unwrap(),
+                    };
                     let p1 = store.write_node(Some(left_ptr), &n1)?;
                     let p2 = store.write_node(Some(right_ptr), &n2)?;
                     vec![
-                        Entry { bytes: n1.total_bytes(), ptr: p1 },
-                        Entry { bytes: n2.total_bytes(), ptr: p2 },
+                        Entry {
+                            bytes: n1.total_bytes(),
+                            ptr: p1,
+                        },
+                        Entry {
+                            bytes: n2.total_bytes(),
+                            ptr: p2,
+                        },
                     ]
                 };
                 let mut fixed = node;
@@ -291,7 +316,11 @@ pub(crate) fn repair_seam(store: &mut ObjectStore, obj: &mut LargeObject, seam: 
                 continue 'outer;
             }
             let ptr = node.entries[i].ptr;
-            path.push(PathStep { page, node, child: i });
+            path.push(PathStep {
+                page,
+                node,
+                child: i,
+            });
             node = store.read_node(ptr)?;
             page = Some(ptr);
             rel = inner;

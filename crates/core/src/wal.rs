@@ -115,6 +115,12 @@ impl Wal {
         self.records.iter().filter(move |r| r.object == object)
     }
 
+    /// The highest LSN handed out so far (the log tail); 0 if nothing
+    /// was ever logged. No object root may carry an LSN beyond this.
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
     fn log(&mut self, object: u64, op: LogOp) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
@@ -330,10 +336,7 @@ impl Wal {
         let mut max_lsn = 0;
         for _ in 0..n {
             let body = r.bytes()?;
-            let mut rr = Reader {
-                data: &body,
-                at: 0,
-            };
+            let mut rr = Reader { data: &body, at: 0 };
             let rec = LogRecord::read_from(&mut rr)?;
             max_lsn = max_lsn.max(rec.lsn);
             records.push(rec);
@@ -374,7 +377,7 @@ pub fn undo(store: &mut ObjectStore, obj: &mut LargeObject, record: &LogRecord) 
         LogOp::Delete { offset, bytes } => store.insert(obj, *offset, bytes)?,
         LogOp::Append { bytes } => {
             let size = obj.size();
-            store.truncate(obj, size - bytes.len() as u64)?
+            store.truncate(obj, size - bytes.len() as u64)?;
         }
     }
     obj.lsn = record.lsn - 1;

@@ -32,7 +32,10 @@ fn random_read_cost_is_height_plus_one_seeks() {
         s.reset_io_stats();
         let _ = s.read(&obj, off, 100).unwrap();
         let io = s.io_stats();
-        assert_eq!(io.seeks, 1, "height-1: descend costs nothing, 1 segment seek");
+        assert_eq!(
+            io.seeks, 1,
+            "height-1: descend costs nothing, 1 segment seek"
+        );
         assert!(io.page_reads <= 2);
     }
 }
@@ -57,7 +60,11 @@ fn sequential_scan_seeks_once_per_segment() {
     // seek at all. A segment's partial tail page is fetched by its own
     // (seek-free, physically sequential) call, hence ≤ 2 calls each.
     assert!(io.read_calls <= 2 * segments);
-    assert!(io.seeks <= segments, "{} seeks > {segments} segments", io.seeks);
+    assert!(
+        io.seeks <= segments,
+        "{} seeks > {segments} segments",
+        io.seeks
+    );
     assert_eq!(io.page_reads, 500_000u64.div_ceil(PS as u64));
 }
 
@@ -104,7 +111,8 @@ fn aligned_delete_touches_no_leaf_page() {
     let data = pattern(400 * PS);
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
     s.reset_io_stats();
-    s.delete(&mut obj, 13 * PS as u64 + 7, 7 * PS as u64 - 7).unwrap();
+    s.delete(&mut obj, 13 * PS as u64 + 7, 7 * PS as u64 - 7)
+        .unwrap();
     let io = s.io_stats();
     assert_eq!(io.page_reads, 0, "no leaf or index page read");
     s.verify_object(&obj).unwrap();
@@ -120,7 +128,8 @@ fn unaligned_delete_reads_one_leaf_page() {
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
     s.reset_io_stats();
     // Ends mid-page; starts page-aligned, so L needs no byte shuffling.
-    s.delete(&mut obj, 13 * PS as u64, 5 * PS as u64 + 100).unwrap();
+    s.delete(&mut obj, 13 * PS as u64, 5 * PS as u64 + 100)
+        .unwrap();
     let io = s.io_stats();
     assert!(
         io.page_reads <= 2,
@@ -151,14 +160,16 @@ fn replace_reads_only_partial_boundary_pages() {
 
     // Fully page-aligned replace: zero reads, one write call.
     s.reset_io_stats();
-    s.replace(&mut obj, 10 * PS as u64, &pattern(5 * PS)).unwrap();
+    s.replace(&mut obj, 10 * PS as u64, &pattern(5 * PS))
+        .unwrap();
     let io = s.io_stats();
     assert_eq!(io.page_reads, 0);
     assert_eq!(io.write_calls, 1);
 
     // Misaligned on both ends: two boundary pages read.
     s.reset_io_stats();
-    s.replace(&mut obj, 10 * PS as u64 + 100, &pattern(5 * PS)).unwrap();
+    s.replace(&mut obj, 10 * PS as u64 + 100, &pattern(5 * PS))
+        .unwrap();
     let io = s.io_stats();
     assert_eq!(io.page_reads, 2);
 }
@@ -167,13 +178,17 @@ fn replace_reads_only_partial_boundary_pages() {
 fn append_never_rereads_old_full_pages() {
     let mut s = store(8);
     // Object whose size is a page multiple: append reads nothing.
-    let mut obj = s.create_with(&pattern(64 * PS), Some(64 * PS as u64)).unwrap();
+    let mut obj = s
+        .create_with(&pattern(64 * PS), Some(64 * PS as u64))
+        .unwrap();
     s.reset_io_stats();
     s.append(&mut obj, &pattern(3 * PS)).unwrap();
     assert_eq!(s.io_stats().page_reads, 0, "no partial tail to absorb");
 
     // Partial tail: exactly one page (the partial one) is read.
-    let mut obj = s.create_with(&pattern(64 * PS + 9), Some(64 * PS as u64 + 9)).unwrap();
+    let mut obj = s
+        .create_with(&pattern(64 * PS + 9), Some(64 * PS as u64 + 9))
+        .unwrap();
     s.reset_io_stats();
     s.append(&mut obj, &pattern(3 * PS)).unwrap();
     assert_eq!(s.io_stats().page_reads, 1, "only the absorbed partial page");

@@ -31,7 +31,10 @@ fn every_op_returns_err_when_io_fails() {
     assert!(store.insert(&mut obj, 10, b"x").is_err());
     assert!(store.delete(&mut obj, 10, 5).is_err());
     assert!(store.append(&mut obj, b"x").is_err());
-    assert!(store.object_stats(&obj).is_ok(), "stats on height-1 need no I/O");
+    assert!(
+        store.object_stats(&obj).is_ok(),
+        "stats on height-1 need no I/O"
+    );
 
     // Heal: the store is usable again (the failed ops may have torn the
     // in-flight object, but fresh objects work).
@@ -94,8 +97,7 @@ fn buddy_directory_fault_does_not_corrupt_on_reopen() {
     let inner = MemVolume::with_profile(512, 2002, DiskProfile::FREE).shared();
     let f = FaultyVolume::new(inner.clone(), u64::MAX);
     {
-        let mut store =
-            ObjectStore::create(f.clone(), 1, 1960, StoreConfig::default()).unwrap();
+        let mut store = ObjectStore::create(f.clone(), 1, 1960, StoreConfig::default()).unwrap();
         let _keep = store.create_with(&pattern(10_000), None).unwrap();
         f.heal(2);
         let _ = store.create_with(&pattern(50_000), None); // dies mid-way

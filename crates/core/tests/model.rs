@@ -4,10 +4,10 @@
 //! bytes and pass the full structural verifier (tree counts, node fill,
 //! buddy-map consistency, no-holes rule).
 
-use eos_core::{ObjectStore, StoreConfig, Threshold};
-use eos_pager::{DiskProfile, MemVolume};
 #[allow(unused_imports)]
 use eos_buddy::Geometry;
+use eos_core::{ObjectStore, StoreConfig, Threshold};
+use eos_pager::{DiskProfile, MemVolume};
 use proptest::prelude::*;
 
 /// Default case count, overridable via PROPTEST_CASES for deep soaks.
@@ -50,7 +50,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn fill(seed: u8, len: usize) -> Vec<u8> {
-    (0..len).map(|i| seed.wrapping_add((i % 241) as u8)).collect()
+    (0..len)
+        .map(|i| seed.wrapping_add((i % 241) as u8))
+        .collect()
 }
 
 /// Run one op sequence against the store and the model.
@@ -61,12 +63,8 @@ fn run_model(page_size: usize, threshold: Threshold, ops: Vec<Op>) {
     let geometry = eos_buddy::Geometry::for_page_size(page_size);
     let pps = geometry.max_space_pages.min(data_pages);
     let spaces = data_pages.div_ceil(pps) as usize;
-    let vol = MemVolume::with_profile(
-        page_size,
-        (pps + 1) * spaces as u64 + 4,
-        DiskProfile::FREE,
-    )
-    .shared();
+    let vol = MemVolume::with_profile(page_size, (pps + 1) * spaces as u64 + 4, DiskProfile::FREE)
+        .shared();
     let mut store = ObjectStore::create(
         vol,
         spaces,

@@ -21,7 +21,8 @@ fn logged_replace_stamps_lsn() {
     let mut wal = Wal::new();
     let mut obj = store.create_with(&pattern(4000), None).unwrap();
     assert_eq!(obj.lsn(), 0);
-    wal.logged_replace(&mut store, &mut obj, 100, b"XYZ").unwrap();
+    wal.logged_replace(&mut store, &mut obj, 100, b"XYZ")
+        .unwrap();
     assert_eq!(obj.lsn(), 1);
     assert_eq!(store.read(&obj, 100, 3).unwrap(), b"XYZ");
     // The record carries the operation and its parameters, §4.5.
@@ -44,7 +45,8 @@ fn redo_is_idempotent() {
     let mut store = store();
     let mut wal = Wal::new();
     let mut obj = store.create_with(&pattern(2000), None).unwrap();
-    wal.logged_insert(&mut store, &mut obj, 500, b"hello").unwrap();
+    wal.logged_insert(&mut store, &mut obj, 500, b"hello")
+        .unwrap();
     wal.logged_delete(&mut store, &mut obj, 0, 100).unwrap();
     wal.logged_replace(&mut store, &mut obj, 10, b"zz").unwrap();
     let want = store.read_all(&obj).unwrap();
@@ -65,10 +67,12 @@ fn undo_rolls_back_in_reverse_order() {
     let mut wal = Wal::new();
     let base = pattern(3000);
     let mut obj = store.create_with(&base, None).unwrap();
-    wal.logged_append(&mut store, &mut obj, b"tail-bytes").unwrap();
+    wal.logged_append(&mut store, &mut obj, b"tail-bytes")
+        .unwrap();
     wal.logged_insert(&mut store, &mut obj, 7, b"mid").unwrap();
     wal.logged_delete(&mut store, &mut obj, 100, 50).unwrap();
-    wal.logged_replace(&mut store, &mut obj, 0, b"QQQQ").unwrap();
+    wal.logged_replace(&mut store, &mut obj, 0, b"QQQQ")
+        .unwrap();
 
     let records: Vec<_> = wal.records().to_vec();
     for r in records.iter().rev() {
@@ -172,10 +176,14 @@ fn log_shipping_replay_rebuilds_replica() {
     let mut primary = store();
     let mut wal = Wal::new();
     let mut obj = primary.create_object();
-    wal.logged_append(&mut primary, &mut obj, &pattern(6_000)).unwrap();
-    wal.logged_insert(&mut primary, &mut obj, 123, b"abcdef").unwrap();
-    wal.logged_delete(&mut primary, &mut obj, 4_000, 1_500).unwrap();
-    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR!").unwrap();
+    wal.logged_append(&mut primary, &mut obj, &pattern(6_000))
+        .unwrap();
+    wal.logged_insert(&mut primary, &mut obj, 123, b"abcdef")
+        .unwrap();
+    wal.logged_delete(&mut primary, &mut obj, 4_000, 1_500)
+        .unwrap();
+    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR!")
+        .unwrap();
     wal.logged_append(&mut primary, &mut obj, b"fin").unwrap();
     let want = primary.read_all(&obj).unwrap();
 
@@ -196,10 +204,14 @@ fn wal_serialization_roundtrip_and_replay() {
     let mut primary = store();
     let mut wal = Wal::new();
     let mut obj = primary.create_object();
-    wal.logged_append(&mut primary, &mut obj, &pattern(3_000)).unwrap();
-    wal.logged_insert(&mut primary, &mut obj, 700, b"0123456789").unwrap();
-    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR").unwrap();
-    wal.logged_delete(&mut primary, &mut obj, 2_000, 400).unwrap();
+    wal.logged_append(&mut primary, &mut obj, &pattern(3_000))
+        .unwrap();
+    wal.logged_insert(&mut primary, &mut obj, 700, b"0123456789")
+        .unwrap();
+    wal.logged_replace(&mut primary, &mut obj, 0, b"HDR")
+        .unwrap();
+    wal.logged_delete(&mut primary, &mut obj, 2_000, 400)
+        .unwrap();
     let want = primary.read_all(&obj).unwrap();
 
     let shipped = wal.to_bytes();

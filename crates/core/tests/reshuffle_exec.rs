@@ -38,15 +38,13 @@ fn step32_unsafe_l_and_r_merge_into_n() {
     let mut s = store(16);
     let data = pattern(6 * PS); // 6 pages < T
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
-    s.insert(&mut obj, 3 * PS as u64 + 17, &pattern(100)).unwrap();
+    s.insert(&mut obj, 3 * PS as u64 + 17, &pattern(100))
+        .unwrap();
     let segs = seg_pages(&s, &obj);
     assert_eq!(segs.len(), 1, "L and R absorbed: {segs:?}");
     s.verify_object(&obj).unwrap();
     let mut model = data;
-    model.splice(
-        3 * PS + 17..3 * PS + 17,
-        pattern(100),
-    );
+    model.splice(3 * PS + 17..3 * PS + 17, pattern(100));
     assert_eq!(s.read_all(&obj).unwrap(), model);
 }
 
@@ -59,7 +57,8 @@ fn step33_unsafe_n_borrows_whole_pages() {
     let data = pattern(100 * PS);
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
     // Insert near the left edge: L (3 pages) is the smaller donor.
-    s.insert(&mut obj, 3 * PS as u64 + 10, &pattern(50)).unwrap();
+    s.insert(&mut obj, 3 * PS as u64 + 10, &pattern(50))
+        .unwrap();
     let segs = seg_pages(&s, &obj);
     // Every resulting segment is safe (≥ T) or the object's only one.
     for (i, &p) in segs.iter().enumerate() {
@@ -81,7 +80,8 @@ fn step31c_oversized_merge_is_skipped() {
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
     let size = obj.size();
     // Insert in the middle of the second (max-size) segment.
-    s.insert(&mut obj, size - 50 * PS as u64, &pattern(30)).unwrap();
+    s.insert(&mut obj, size - 50 * PS as u64, &pattern(30))
+        .unwrap();
     s.verify_object(&obj).unwrap();
     let mut model = data;
     let at = model.len() - 50 * PS;
@@ -99,7 +99,8 @@ fn step34_byte_reshuffle_eliminates_partial_l_page() {
     let mut obj = s.create_with(&data, Some(data.len() as u64)).unwrap();
     // Insert at the very end of page 4 + 60 bytes: L's last page is
     // partial (60 bytes), N's last page has room.
-    s.insert(&mut obj, 4 * PS as u64 + 60, &pattern(80)).unwrap();
+    s.insert(&mut obj, 4 * PS as u64 + 60, &pattern(80))
+        .unwrap();
     let segs = s.segments(&obj).unwrap();
     // L must be a whole number of pages (its partial tail moved to N).
     assert_eq!(

@@ -171,7 +171,7 @@ impl Volume for CachedVolume {
     }
 
     fn reset_stats(&self) {
-        self.inner.reset_stats()
+        self.inner.reset_stats();
     }
 }
 

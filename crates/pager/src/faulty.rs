@@ -48,12 +48,10 @@ impl FaultyVolume {
                     "injected fault: I/O budget exhausted",
                 )));
             }
-            match self.remaining.compare_exchange(
-                cur,
-                cur - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .remaining
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }
@@ -85,7 +83,7 @@ impl Volume for FaultyVolume {
     }
 
     fn reset_stats(&self) {
-        self.inner.reset_stats()
+        self.inner.reset_stats();
     }
 }
 

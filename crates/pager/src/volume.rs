@@ -53,7 +53,10 @@ pub trait Volume: Send + Sync {
 }
 
 fn check_access(start: PageId, pages: u64, volume_pages: u64) -> Result<()> {
-    if start.checked_add(pages).is_none_or(|end| end > volume_pages) {
+    if start
+        .checked_add(pages)
+        .is_none_or(|end| end > volume_pages)
+    {
         return Err(Error::OutOfBounds {
             start,
             pages,
@@ -193,11 +196,7 @@ impl FileVolume {
     }
 
     /// Open an existing volume file with known geometry.
-    pub fn open<P: AsRef<Path>>(
-        path: P,
-        page_size: usize,
-        profile: DiskProfile,
-    ) -> Result<Self> {
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize, profile: DiskProfile) -> Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
         let num_pages = len / page_size as u64;
@@ -275,10 +274,7 @@ mod tests {
     #[test]
     fn mem_volume_rejects_out_of_bounds() {
         let v = MemVolume::new(128, 4);
-        assert!(matches!(
-            v.read_pages(3, 2),
-            Err(Error::OutOfBounds { .. })
-        ));
+        assert!(matches!(v.read_pages(3, 2), Err(Error::OutOfBounds { .. })));
         assert!(matches!(
             v.write_pages(4, &[0u8; 128]),
             Err(Error::OutOfBounds { .. })

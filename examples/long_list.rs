@@ -94,7 +94,11 @@ fn main() -> Result<()> {
     for i in 200_000u64..200_003 {
         list.push(&mut store, &record(i))?;
     }
-    println!("built a {}-element list ({} bytes)", list.len(), list.obj.size());
+    println!(
+        "built a {}-element list ({} bytes)",
+        list.len(),
+        list.obj.size()
+    );
 
     // Random access anywhere costs one descent + one segment read.
     store.reset_io_stats();

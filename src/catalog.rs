@@ -114,8 +114,8 @@ impl Catalog {
         let mut entries = BTreeMap::new();
         for _ in 0..n {
             let nl = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
-            let name = String::from_utf8(take(nl)?.to_vec())
-                .map_err(|_| corrupt("name not UTF-8"))?;
+            let name =
+                String::from_utf8(take(nl)?.to_vec()).map_err(|_| corrupt("name not UTF-8"))?;
             let dl = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
             entries.insert(name, take(dl)?.to_vec());
         }
@@ -172,10 +172,7 @@ mod tests {
 
         let loaded = Catalog::load(&store).unwrap();
         assert_eq!(loaded.len(), 2);
-        assert_eq!(
-            loaded.names().collect::<Vec<_>>(),
-            vec!["a", "big/b"]
-        );
+        assert_eq!(loaded.names().collect::<Vec<_>>(), vec!["a", "big/b"]);
         let b2 = loaded.get("big/b").unwrap();
         assert_eq!(store.read_all(&b2).unwrap(), vec![7u8; 50_000]);
         assert!(loaded.get("missing").is_err());
@@ -190,7 +187,9 @@ mod tests {
         cat.save(&mut store).unwrap();
         let free_after_first = store.buddy().total_free_pages();
         for i in 0..10 {
-            let o = store.create_with(format!("obj {i}").as_bytes(), None).unwrap();
+            let o = store
+                .create_with(format!("obj {i}").as_bytes(), None)
+                .unwrap();
             cat.put(&format!("obj/{i}"), &o);
             cat.save(&mut store).unwrap();
         }

@@ -28,7 +28,9 @@ fn parallel_readers_share_the_store() {
     let mut obj = store.create_with(&data, Some(data.len() as u64)).unwrap();
     // Fragment a little so descents hit real index pages.
     for i in 0..30u64 {
-        store.insert(&mut obj, (i * 65_537) % 1_900_000, b"wedge").unwrap();
+        store
+            .insert(&mut obj, (i * 65_537) % 1_900_000, b"wedge")
+            .unwrap();
     }
     let model = store.read_all(&obj).unwrap();
 

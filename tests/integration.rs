@@ -35,8 +35,7 @@ fn file_backed_store_survives_reopen() {
         let vol = FileVolume::create(&path, 1024, (pps + 1) * spaces as u64, DiskProfile::FREE)
             .unwrap()
             .shared();
-        let mut store =
-            ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
+        let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
         let mut obj = store.create_with(&content, None).unwrap();
         store.insert(&mut obj, 1000, b"persisted-marker").unwrap();
         store.verify_object(&obj).unwrap();
@@ -44,9 +43,10 @@ fn file_backed_store_survives_reopen() {
         // Store and volume drop: everything must be on "disk".
     }
     {
-        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
-        let mut store =
-            ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 100).unwrap();
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE)
+            .unwrap()
+            .shared();
+        let mut store = ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 100).unwrap();
         let obj = LargeObject::from_bytes(&descriptor).unwrap();
         store.verify_object(&obj).unwrap();
         let got = store.read(&obj, 1000, 16).unwrap();
@@ -83,9 +83,10 @@ fn self_describing_volume_via_catalog_and_boot_record() {
         cat.save(&mut store).unwrap();
     }
     {
-        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
-        let mut store =
-            ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 1000).unwrap();
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE)
+            .unwrap()
+            .shared();
+        let mut store = ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 1000).unwrap();
         let mut cat = eos::catalog::Catalog::load(&store).unwrap();
         assert_eq!(cat.len(), 3);
         let beta = cat.get("beta").unwrap();
@@ -97,7 +98,9 @@ fn self_describing_volume_via_catalog_and_boot_record() {
         cat.save(&mut store).unwrap();
     }
     {
-        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE).unwrap().shared();
+        let vol = FileVolume::open(&path, 1024, DiskProfile::FREE)
+            .unwrap()
+            .shared();
         let store = ObjectStore::open(vol, spaces, pps, StoreConfig::default(), 2000).unwrap();
         let cat = eos::catalog::Catalog::load(&store).unwrap();
         let gamma = cat.get("gamma").unwrap();
@@ -209,7 +212,10 @@ fn many_objects_share_one_store() {
     let mut objs = Vec::new();
     for i in 0..40usize {
         let data = pattern(1000 + i * 777);
-        objs.push((store.create_with(&data, Some(data.len() as u64)).unwrap(), data));
+        objs.push((
+            store.create_with(&data, Some(data.len() as u64)).unwrap(),
+            data,
+        ));
     }
     // Interleaved edits.
     for (i, (obj, model)) in objs.iter_mut().enumerate() {
@@ -244,8 +250,8 @@ fn unlimited_size_within_volume_bounds() {
     let g = Geometry::for_page_size(4096);
     let spaces = 4usize;
     let pps = g.max_space_pages; // 16272 pages each
-    let vol = MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE)
-        .shared();
+    let vol =
+        MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE).shared();
     let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default()).unwrap();
     let mut obj = store.create_object();
     let chunk = vec![0xC3u8; 4 << 20];

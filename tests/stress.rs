@@ -13,8 +13,8 @@ fn hundred_megabyte_churn() {
     let g = eos::buddy::Geometry::for_page_size(4096);
     let spaces = 4usize;
     let pps = g.max_space_pages;
-    let vol = MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE)
-        .shared();
+    let vol =
+        MemVolume::with_profile(4096, (pps + 1) * spaces as u64 + 2, DiskProfile::FREE).shared();
     let mut store = ObjectStore::create(
         vol,
         spaces,

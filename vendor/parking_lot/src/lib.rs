@@ -1,0 +1,187 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access, so this crate provides
+//! the subset of the `parking_lot` API the workspace uses, implemented
+//! on `std::sync`. Semantics match `parking_lot` where it matters:
+//! `lock()` never returns a poison error (a poisoned `std` mutex is
+//! recovered with `into_inner`), and `Condvar::wait` takes the guard by
+//! `&mut` reference.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual exclusion primitive (see [`parking_lot::Mutex`]).
+///
+/// [`parking_lot::Mutex`]: https://docs.rs/parking_lot
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard
+    // out, block on it, and put the re-acquired guard back.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. Unlike
+    /// `std::sync::Mutex`, panics in other threads do not poison the
+    /// lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// A condition variable (see [`parking_lot::Condvar`]).
+///
+/// [`parking_lot::Condvar`]: https://docs.rs/parking_lot
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing `guard` while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard already waiting");
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A reader-writer lock (see [`parking_lot::RwLock`]).
+///
+/// [`parking_lot::RwLock`]: https://docs.rs/parking_lot
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock holding `value`.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_shared_and_exclusive() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
+    }
+}

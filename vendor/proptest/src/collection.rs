@@ -1,0 +1,89 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive-exclusive length bounds for collection strategies.
+///
+/// Mirrors `proptest::collection::SizeRange`: `vec` takes the length as
+/// `impl Into<SizeRange>`, which is what lets a bare `1..35` literal
+/// infer `usize` at call sites.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end().saturating_add(1),
+        }
+    }
+}
+
+/// Strategy for vectors whose length is drawn from `len` and whose
+/// elements are drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+/// `vec(element, 1..80)`: a vector of `element`-generated values with a
+/// length drawn uniformly from the given bounds.
+pub fn vec<S>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S>
+where
+    S: Strategy,
+{
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+impl<S> Strategy for VecStrategy<S>
+where
+    S: Strategy,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.hi.saturating_sub(self.len.lo).max(1) as u64;
+        let n = self.len.lo + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let s = vec(0u64..100, 1..10);
+        let mut rng = TestRng::new(5, 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 10);
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+}

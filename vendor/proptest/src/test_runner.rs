@@ -1,0 +1,103 @@
+//! Deterministic RNG and run configuration for the proptest stand-in.
+
+/// Run configuration. Only `cases` is interpreted; the struct accepts
+/// functional-update syntax (`..ProptestConfig::default()`) like the
+/// real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Derive the base seed for a test: FNV-1a of the test path, XORed with
+/// `PROPTEST_SEED` when set (so a soak can explore fresh streams).
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    match std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(s) => h ^ s,
+        None => h,
+    }
+}
+
+/// The deterministic generator handed to strategies: xoshiro256**
+/// seeded from `(seed, case)` through splitmix64.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Generator for one `(seed, case)` pair.
+    pub fn new(seed: u64, case: u64) -> TestRng {
+        let mut x = seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_test_and_case() {
+        assert_ne!(seed_for("a::b"), seed_for("a::c"));
+        let mut r1 = TestRng::new(1, 0);
+        let mut r2 = TestRng::new(1, 1);
+        assert_ne!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::new(99, 5);
+        let mut b = TestRng::new(99, 5);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -16,4 +16,12 @@ cargo build --release --offline
 echo "== test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== crash sweep (release, pinned seed) =="
+# Exhaustive crash-point sweep: every write I/O point of the scripted
+# workload, clean and torn, plus crashes during recovery itself. Release
+# mode keeps the sweep fast; the pinned seed makes the differential
+# companion reproducible. --nocapture surfaces the I/O-point count.
+PROPTEST_SEED=3735928559 \
+    cargo test --release --offline --test crash_sweep --test differential -- --nocapture
+
 echo "CI gate passed."

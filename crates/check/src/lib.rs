@@ -193,9 +193,13 @@ pub fn check_store(
     // Whole-volume allocation census over the tolerantly decoded maps.
     findings.extend(census::run(store, objects, &audits));
 
-    // WAL / LSN sanity (§4.5).
-    if let Some(wal) = wal {
-        let tail = wal.last_lsn();
+    // WAL / LSN sanity (§4.5) — against the caller-held in-memory log
+    // or, on a durable store, its own on-disk log.
+    let lsn_view: Option<(u64, &[eos_core::wal::LogRecord])> = match wal {
+        Some(w) => Some((w.last_lsn(), w.records())),
+        None => store.durable_wal().map(|w| (w.last_lsn(), w.records())),
+    };
+    if let Some((tail, records)) = lsn_view {
         for (name, obj) in objects {
             if obj.lsn() > tail {
                 findings.push(Finding {
@@ -210,7 +214,7 @@ pub fn check_store(
                 });
             }
         }
-        for w in wal.records().windows(2) {
+        for w in records.windows(2) {
             if w[1].lsn <= w[0].lsn {
                 findings.push(Finding {
                     severity: Severity::Error,

@@ -17,22 +17,36 @@
 //! eos verify db.eos                  # full invariant check
 //! eos check db.eos [--json]          # static analysis of every structure
 //! eos compact db.eos doc.txt         # rewrite into maximal segments
+//! eos recover db.eos                 # restart recovery + catalog GC
 //! ```
 //!
 //! CLI volumes always use 4 KiB pages; the buddy-space layout is derived
 //! from the file length, so a volume file is fully self-describing
 //! (geometry from size, objects from the boot-record catalog).
+//!
+//! Volumes are **durable**: the last [`WAL_PAGES`] pages of the file
+//! hold a write-ahead log, every command's mutations commit through it,
+//! and every open runs restart recovery — so a `kill -9` (or power
+//! loss) mid-command never corrupts the volume. `eos recover` runs
+//! recovery explicitly, reports what it found, and reconciles the
+//! catalog with the committed object set.
 
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::path::Path;
 
 use eos::buddy::Geometry;
 use eos::catalog::Catalog;
-use eos::core::{LargeObject, ObjectStore, StoreConfig};
-use eos::pager::{DiskProfile, FileVolume};
+use eos::core::{LargeObject, ObjectStore, RecoveryReport, StoreConfig};
+use eos::pager::{DiskProfile, FileVolume, SharedVolume};
 
 /// Page size every CLI volume uses.
 pub const PAGE_SIZE: usize = 4096;
+
+/// Pages reserved at the end of every CLI volume for the write-ahead
+/// log (1 MiB at 4 KiB pages: two ~508 KiB halves — CLI log records are
+/// descriptor-sized, so each half holds thousands of them).
+pub const WAL_PAGES: u64 = 256;
 
 /// Errors surfaced to the user.
 #[derive(Debug)]
@@ -65,36 +79,39 @@ fn map_err<E: std::fmt::Display>(e: E) -> CliError {
 /// back to its geometry.
 pub fn layout_for(total_pages: u64) -> (usize, u64) {
     let g = Geometry::for_page_size(PAGE_SIZE);
-    // Spaces of the maximum size until the remainder, which must still
-    // fit its directory; derive the count from the span.
+    // The trailing log region comes off the top; buddy spaces of the
+    // maximum size fill the rest. Derive the count from the span.
+    let data_pages = total_pages.saturating_sub(WAL_PAGES);
     let span = g.max_space_pages + 1;
-    let spaces = (total_pages / span).max(1) as usize;
-    let pps = if total_pages / span == 0 {
-        total_pages.saturating_sub(1).max(16)
+    let spaces = (data_pages / span).max(1) as usize;
+    let pps = if data_pages / span == 0 {
+        data_pages.saturating_sub(1).max(16)
     } else {
         g.max_space_pages
     };
     (spaces, pps)
 }
 
-fn open_store(path: &Path) -> Result<ObjectStore> {
+fn open_volume(path: &Path) -> Result<(SharedVolume, usize, u64)> {
     let meta = std::fs::metadata(path).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
     let total_pages = meta.len() / PAGE_SIZE as u64;
     let (spaces, pps) = layout_for(total_pages);
     let vol = FileVolume::open(path, PAGE_SIZE, DiskProfile::MODERN_HDD)
         .map_err(map_err)?
         .shared();
-    ObjectStore::open(vol, spaces, pps, StoreConfig::default(), next_id_hint()).map_err(map_err)
+    Ok((vol, spaces, pps))
 }
 
-/// Object ids for CLI-created objects only need to be unique per volume
-/// lifetime of this process; derive from time.
-fn next_id_hint() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(1)
-        | 1
+/// Open a CLI volume, running restart recovery (a no-op on a cleanly
+/// closed volume). Every command goes through here, so a volume left
+/// behind by a crashed command heals on its next use.
+fn open_store_recover(path: &Path) -> Result<(ObjectStore, RecoveryReport)> {
+    let (vol, spaces, pps) = open_volume(path)?;
+    ObjectStore::open_durable(vol, spaces, pps, StoreConfig::default(), WAL_PAGES).map_err(map_err)
+}
+
+fn open_store(path: &Path) -> Result<ObjectStore> {
+    open_store_recover(path).map(|(store, _)| store)
 }
 
 /// Static whole-volume analysis: open the store and run the full
@@ -153,17 +170,26 @@ pub fn run(args: &[String]) -> Result<String> {
                     }
                 }
                 let total_pages = (mb << 20) / PAGE_SIZE as u64;
+                if total_pages < WAL_PAGES + 32 {
+                    bail!("--mb {mb} is too small: the volume needs room for the log region");
+                }
                 let (spaces, pps) = layout_for(total_pages);
                 let vol = FileVolume::create(
                     Path::new(file),
                     PAGE_SIZE,
-                    (pps + 1) * spaces as u64,
+                    (pps + 1) * spaces as u64 + WAL_PAGES,
                     DiskProfile::MODERN_HDD,
                 )
                 .map_err(map_err)?
                 .shared();
-                let mut store = ObjectStore::create(vol, spaces, pps, StoreConfig::default())
-                    .map_err(map_err)?;
+                let mut store = ObjectStore::create_durable(
+                    vol,
+                    spaces,
+                    pps,
+                    StoreConfig::default(),
+                    WAL_PAGES,
+                )
+                .map_err(map_err)?;
                 Catalog::new().save(&mut store).map_err(map_err)?;
                 writeln!(
                     out,
@@ -374,6 +400,121 @@ pub fn run(args: &[String]) -> Result<String> {
                     return Err(CliError(rendered));
                 }
             }
+            ("recover", [file]) => {
+                let path = Path::new(file);
+                let (mut store, report) = open_store_recover(path)?;
+                writeln!(
+                    out,
+                    "recovered {file}: {} log record(s) scanned{}",
+                    report.records_scanned,
+                    if report.torn_tail {
+                        ", torn tail cut"
+                    } else {
+                        ""
+                    }
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "  rolled back {} uncommitted op(s), restored {} page(s) from before-images",
+                    report.rolled_back_ops, report.restored_pages
+                )
+                .unwrap();
+                writeln!(
+                    out,
+                    "  {} committed object(s), log tail LSN {}",
+                    report.objects.len(),
+                    report.max_lsn
+                )
+                .unwrap();
+
+                // Reconcile the catalog with the committed object set —
+                // the log is authoritative, the boot record is only a
+                // pointer. A crash between a commit and the catalog
+                // save can leave stale names or orphaned objects.
+                let committed: BTreeSet<u64> = report.objects.iter().map(LargeObject::id).collect();
+                // A zeroed boot page is indistinguishable from a
+                // never-saved catalog (both read back empty), so an
+                // empty result with committed objects present also
+                // takes the salvage path.
+                let loaded = Catalog::load(&store);
+                let needs_salvage = match &loaded {
+                    Ok(c) => c.is_empty() && !report.objects.is_empty(),
+                    Err(_) => true,
+                };
+                let mut cat = match loaded {
+                    Ok(c) if !needs_salvage => c,
+                    _ => {
+                        // The boot record (a raw, unlogged page) did not
+                        // survive. The catalog object itself is committed
+                        // through the log — find it and re-point the boot
+                        // record at it.
+                        let salvaged = report.objects.iter().find(|obj| {
+                            store
+                                .read_all(obj)
+                                .is_ok_and(|bytes| Catalog::parse(&bytes).is_ok())
+                        });
+                        match salvaged {
+                            Some(obj) => {
+                                store.write_boot_record(&obj.to_bytes()).map_err(map_err)?;
+                                writeln!(
+                                    out,
+                                    "  boot record rebuilt from committed catalog object {}",
+                                    obj.id()
+                                )
+                                .unwrap();
+                                Catalog::load(&store).map_err(map_err)?
+                            }
+                            None => {
+                                writeln!(out, "  catalog lost; starting empty").unwrap();
+                                Catalog::new()
+                            }
+                        }
+                    }
+                };
+                let catalog_obj_id = store
+                    .read_boot_record()
+                    .ok()
+                    .filter(|b| !b.is_empty())
+                    .and_then(|b| LargeObject::from_bytes(&b).ok())
+                    .map(|o| o.id());
+
+                // Drop names whose objects did not survive recovery.
+                let names: Vec<String> = cat.names().map(str::to_string).collect();
+                let mut dropped = 0usize;
+                for name in names {
+                    let live = cat.get(&name).is_ok_and(|o| committed.contains(&o.id()));
+                    if !live {
+                        cat.remove(&name);
+                        dropped += 1;
+                    }
+                }
+                // Collect committed objects no name (and no boot pointer)
+                // reaches — garbage from a crash between commit and
+                // catalog save.
+                let named_ids: BTreeSet<u64> = cat
+                    .names()
+                    .filter_map(|n| cat.get(n).ok())
+                    .map(|o| o.id())
+                    .collect();
+                let mut collected = 0usize;
+                for obj in &report.objects {
+                    if Some(obj.id()) != catalog_obj_id && !named_ids.contains(&obj.id()) {
+                        let mut o = obj.clone();
+                        store.delete_object(&mut o).map_err(map_err)?;
+                        collected += 1;
+                    }
+                }
+                if dropped > 0 || collected > 0 {
+                    cat.save(&mut store).map_err(map_err)?;
+                }
+                writeln!(
+                    out,
+                    "  catalog: {} name(s) kept, {dropped} dropped, {collected} orphan object(s) collected",
+                    cat.len()
+                )
+                .unwrap();
+            }
             ("help", _) => return err(USAGE),
             (other, _) => bail!("unknown or malformed command `{other}`\n{USAGE}"),
         },
@@ -396,6 +537,8 @@ usage: eos <command> ...
   compact <file> <name>           rewrite into maximal segments
   stat <file> [name]              store or object statistics
   verify <file>                   check every invariant (first failure)
+  recover <file>                  run restart recovery, report what it
+                                  found, reconcile the catalog
   check <file> [--json]           full static analysis: audit every
                                   buddy directory, census every page,
                                   report all findings (fsck)";
@@ -506,12 +649,21 @@ mod tests {
         let db = tmp("check-bad.eos");
         let dbs = db.to_str().unwrap();
         call(&["init", dbs, "--mb", "16"]).unwrap();
-        // Smash the first space directory page: the analyzer must fall
-        // back to the raw audit, report damage, and exit non-zero —
-        // without panicking.
+        let input = tmp("check-bad-in.bin");
+        std::fs::write(&input, vec![11u8; 30_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+        // Smashing a buddy directory is no longer enough: restart
+        // recovery rebuilds the directories from the log on every open.
+        // Smash both log superblock slots instead — recovery then sees a
+        // virgin log and rebuilds *empty* maps, and the census must flag
+        // every cataloged object's pages as referenced-but-free and exit
+        // non-zero, without panicking.
+        let total_pages = std::fs::metadata(&db).unwrap().len() / PAGE_SIZE as u64;
+        let (spaces, pps) = layout_for(total_pages);
+        let sb_base = (pps + 1) * spaces as u64;
         let mut f = std::fs::OpenOptions::new().write(true).open(&db).unwrap();
-        f.seek(SeekFrom::Start(0)).unwrap();
-        f.write_all(&vec![0xFFu8; 4096]).unwrap();
+        f.seek(SeekFrom::Start(sb_base * PAGE_SIZE as u64)).unwrap();
+        f.write_all(&vec![0xFFu8; 2 * 4096]).unwrap();
         drop(f);
 
         let err = call(&["check", dbs]).unwrap_err();
@@ -521,6 +673,83 @@ mod tests {
             "{text}"
         );
 
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn recover_on_a_healthy_volume_is_a_no_op() {
+        let db = tmp("rec-clean.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("rec-in.bin");
+        std::fs::write(&input, vec![3u8; 20_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+
+        let report = call(&["recover", dbs]).unwrap();
+        assert!(report.contains("rolled back 0 uncommitted"), "{report}");
+        assert!(report.contains("0 dropped, 0 orphan"), "{report}");
+        // The volume still checks out and the object is intact.
+        assert!(call(&["check", dbs]).is_ok());
+        let outp = tmp("rec-out.bin");
+        call(&["get", dbs, "blob", outp.to_str().unwrap()]).unwrap();
+        assert_eq!(std::fs::read(&outp).unwrap(), vec![3u8; 20_000]);
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn recover_collects_orphans_and_stale_names() {
+        let db = tmp("rec-gc.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("rec-gc-in.bin");
+        std::fs::write(&input, vec![5u8; 9_000]).unwrap();
+        call(&["put", dbs, "keep", input.to_str().unwrap()]).unwrap();
+
+        // Simulate a command that crashed between committing an object
+        // and saving the catalog: commit straight through the library
+        // without a catalog entry.
+        {
+            let (mut store, _) = open_store_recover(Path::new(dbs)).unwrap();
+            store.create_with(&[9u8; 5000], None).unwrap();
+            // dropped here: committed but unnamed — an orphan
+        }
+
+        let report = call(&["recover", dbs]).unwrap();
+        assert!(report.contains("1 orphan object(s) collected"), "{report}");
+        assert!(report.contains("1 name(s) kept"), "{report}");
+        // `check` agrees nothing leaks afterwards.
+        assert!(call(&["check", dbs]).is_ok());
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn recover_salvages_catalog_after_boot_page_loss() {
+        use std::io::{Seek, SeekFrom, Write};
+        let db = tmp("rec-boot.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("rec-boot-in.bin");
+        std::fs::write(&input, vec![8u8; 14_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+
+        // Zero the boot page (volume page 1): a torn catalog-save. The
+        // boot record reads back *empty* — indistinguishable from a
+        // never-saved catalog — so salvage must kick in anyway and
+        // re-point it at the committed catalog object instead of
+        // collecting everything as orphans.
+        let mut f = std::fs::OpenOptions::new().write(true).open(&db).unwrap();
+        f.seek(SeekFrom::Start(PAGE_SIZE as u64)).unwrap();
+        f.write_all(&vec![0u8; PAGE_SIZE]).unwrap();
+        drop(f);
+
+        let report = call(&["recover", dbs]).unwrap();
+        assert!(report.contains("boot record rebuilt"), "{report}");
+        assert!(report.contains("1 name(s) kept"), "{report}");
+        assert!(report.contains("0 orphan object(s) collected"), "{report}");
+        let outp = tmp("rec-boot-out.bin");
+        call(&["get", dbs, "blob", outp.to_str().unwrap()]).unwrap();
+        assert_eq!(std::fs::read(&outp).unwrap(), vec![8u8; 14_000]);
+        assert!(call(&["check", dbs]).is_ok());
         std::fs::remove_file(&db).ok();
     }
 

@@ -71,6 +71,12 @@ pub struct StoreConfig {
     /// it rather than at the next `eos check`, at a large cost in time —
     /// meant for tests and debugging, like RocksDB's `paranoid_checks`.
     pub paranoid_checks: bool,
+    /// On a durable store (one with an attached on-disk log), force the
+    /// log to stable storage (`fsync`) when a transaction commits —
+    /// the commit point of §4.5. Turning this off trades the durability
+    /// guarantee for speed on volumes where syncs cost real time;
+    /// in-memory volumes ignore it (they are trivially stable).
+    pub sync_on_commit: bool,
 }
 
 impl Default for StoreConfig {
@@ -80,6 +86,7 @@ impl Default for StoreConfig {
             max_root_entries: None,
             shadow_index_pages: true,
             paranoid_checks: false,
+            sync_on_commit: true,
         }
     }
 }

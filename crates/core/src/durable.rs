@@ -1,0 +1,918 @@
+//! The durable write-ahead log (§4.5, made persistent).
+//!
+//! [`crate::wal::Wal`] implements the paper's *logical* logging and
+//! idempotent redo/undo in memory; this module puts the log on the
+//! volume itself so it survives a power loss. A store formatted with
+//! [`crate::ObjectStore::create_durable`] reserves a **log region** of
+//! pages right after the buddy spaces:
+//!
+//! ```text
+//! page base+0   superblock slot A ─┐ dual slots, epoch-versioned,
+//! page base+1   superblock slot B ─┘ CRC-sealed (torn-write safe)
+//! page base+2 …          log half 0 ─┐ records live in one half; a
+//! page base+2+H …        log half 1 ─┘ checkpoint flips to the other
+//! ```
+//!
+//! Records are framed `[len u32][crc32 u32][payload]` and terminated by
+//! a zero length word. The scan cuts the log at the first frame whose
+//! length overruns the half, whose CRC mismatches, or whose payload
+//! fails to parse — that is the **torn tail**: the prefix before it is
+//! exactly the set of records whose writes completed before the power
+//! died, because every append goes to disk before [`DurableWal::append`]
+//! returns (pages are written front to back, so a power loss always
+//! leaves a record prefix plus at most one torn frame).
+//!
+//! The **commit point** is the append (plus fsync) of a
+//! [`WalEntry::Commit`] record carrying the serialized root descriptors
+//! of every object the transaction touched and tombstones for the ones
+//! it deleted. Everything else on the volume — leaf segments, shadowed
+//! index pages, buddy directories — is reconstructible from those
+//! descriptors, which is what restart recovery
+//! ([`crate::ObjectStore::open_durable`]) does.
+//!
+//! Checkpointing uses the classic dual-half scheme: the live root map is
+//! written as a single [`WalEntry::Checkpoint`] record at the start of
+//! the *inactive* half (followed by any still-pending uncommitted
+//! records, which must survive the flip), and then the superblock is
+//! rewritten with a bumped epoch to point at it. A crash anywhere in
+//! between leaves the old superblock — and therefore the old, complete
+//! half — in force.
+
+use std::collections::BTreeMap;
+
+use eos_pager::{PageId, SharedVolume};
+
+use crate::error::{Error, Result};
+use crate::wal::{put_bytes, LogRecord, Reader};
+
+/// Magic tag of a log superblock ("EOSW").
+const SB_MAGIC: u32 = 0x454F_5357;
+/// On-disk format version of the log region.
+const SB_VERSION: u32 = 1;
+/// Serialized superblock length: magic 4 + version 4 + epoch 8 +
+/// active 1 + crc 4.
+const SB_LEN: usize = 21;
+/// Frame header: length (4) + CRC-32 (4).
+const FRAME_HEADER: u64 = 8;
+
+// ---- CRC-32 (IEEE 802.3) ------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum sealing every log record and
+/// superblock.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- log entries --------------------------------------------------------
+
+/// One durable log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalEntry {
+    /// A logged §4 operation: the logical record (operation +
+    /// parameters, as the paper requires since leaf segments carry no
+    /// control information), the object's serialized root *after* the
+    /// operation, and — for `replace` only, which writes leaf pages in
+    /// place — the physical before-images of every page it overwrites,
+    /// so an uncommitted replace can be rolled back byte-exactly no
+    /// matter where in the operation the power died.
+    Op {
+        /// The logical operation record (assigns the LSN).
+        record: LogRecord,
+        /// Serialized [`crate::LargeObject`] descriptor after the op.
+        root_after: Vec<u8>,
+        /// `(first_page, page_bytes)` before-images of the in-place
+        /// writes; empty for the shadowed operations.
+        page_images: Vec<(PageId, Vec<u8>)>,
+    },
+    /// A structural update with no logical payload worth logging —
+    /// compaction, consolidation, object deletion. Shadowing makes it
+    /// invisible until commit; the entry exists to stamp the LSN and
+    /// carry the new root for the commit record.
+    Touch {
+        /// LSN of the update.
+        lsn: u64,
+        /// Object the update applied to.
+        object: u64,
+        /// Serialized descriptor after the update.
+        root_after: Vec<u8>,
+    },
+    /// The commit point of a transaction scope: the descriptors of
+    /// every object the scope touched and tombstones for the ones it
+    /// deleted. Once this record is on stable storage the transaction
+    /// is durable; until then it never happened.
+    Commit {
+        /// Highest LSN the transaction logged.
+        lsn: u64,
+        /// `(object id, serialized descriptor)` for each touched object.
+        touched: Vec<(u64, Vec<u8>)>,
+        /// Ids of objects the transaction deleted.
+        deleted: Vec<u64>,
+    },
+    /// An explicit rollback: the records since the previous
+    /// commit/abort are void (their effects were already reversed by
+    /// the time this is written).
+    Abort {
+        /// Highest LSN the aborted scope logged.
+        lsn: u64,
+    },
+    /// A checkpoint: the complete committed root map at the moment the
+    /// log flipped halves. Starts every half.
+    Checkpoint {
+        /// Highest LSN assigned before the checkpoint.
+        max_lsn: u64,
+        /// The full `(object id, serialized descriptor)` map.
+        roots: Vec<(u64, Vec<u8>)>,
+    },
+}
+
+fn put_roots(out: &mut Vec<u8>, roots: &[(u64, Vec<u8>)]) {
+    out.extend_from_slice(&(roots.len() as u32).to_le_bytes());
+    for (id, desc) in roots {
+        out.extend_from_slice(&id.to_le_bytes());
+        put_bytes(out, desc);
+    }
+}
+
+fn read_roots(r: &mut Reader<'_>) -> Result<Vec<(u64, Vec<u8>)>> {
+    let n = r.u32()? as usize;
+    let mut roots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u64()?;
+        let desc = r.bytes()?;
+        roots.push((id, desc));
+    }
+    Ok(roots)
+}
+
+impl WalEntry {
+    /// Serialize to the frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalEntry::Op {
+                record,
+                root_after,
+                page_images,
+            } => {
+                out.push(1);
+                put_bytes(&mut out, &record.to_bytes());
+                put_bytes(&mut out, root_after);
+                out.extend_from_slice(&(page_images.len() as u32).to_le_bytes());
+                for (page, bytes) in page_images {
+                    out.extend_from_slice(&page.to_le_bytes());
+                    put_bytes(&mut out, bytes);
+                }
+            }
+            WalEntry::Touch {
+                lsn,
+                object,
+                root_after,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&lsn.to_le_bytes());
+                out.extend_from_slice(&object.to_le_bytes());
+                put_bytes(&mut out, root_after);
+            }
+            WalEntry::Commit {
+                lsn,
+                touched,
+                deleted,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&lsn.to_le_bytes());
+                put_roots(&mut out, touched);
+                out.extend_from_slice(&(deleted.len() as u32).to_le_bytes());
+                for id in deleted {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            WalEntry::Abort { lsn } => {
+                out.push(4);
+                out.extend_from_slice(&lsn.to_le_bytes());
+            }
+            WalEntry::Checkpoint { max_lsn, roots } => {
+                out.push(5);
+                out.extend_from_slice(&max_lsn.to_le_bytes());
+                put_roots(&mut out, roots);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload written by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<WalEntry> {
+        let mut r = Reader { data, at: 0 };
+        let tag = r.take(1)?[0];
+        let entry = match tag {
+            1 => {
+                let body = r.bytes()?;
+                let mut rr = Reader { data: &body, at: 0 };
+                let record = LogRecord::read_from(&mut rr)?;
+                let root_after = r.bytes()?;
+                let n = r.u32()? as usize;
+                let mut page_images = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let page = r.u64()?;
+                    let bytes = r.bytes()?;
+                    page_images.push((page, bytes));
+                }
+                WalEntry::Op {
+                    record,
+                    root_after,
+                    page_images,
+                }
+            }
+            2 => WalEntry::Touch {
+                lsn: r.u64()?,
+                object: r.u64()?,
+                root_after: r.bytes()?,
+            },
+            3 => {
+                let lsn = r.u64()?;
+                let touched = read_roots(&mut r)?;
+                let n = r.u32()? as usize;
+                let mut deleted = Vec::with_capacity(n);
+                for _ in 0..n {
+                    deleted.push(r.u64()?);
+                }
+                WalEntry::Commit {
+                    lsn,
+                    touched,
+                    deleted,
+                }
+            }
+            4 => WalEntry::Abort { lsn: r.u64()? },
+            5 => WalEntry::Checkpoint {
+                max_lsn: r.u64()?,
+                roots: read_roots(&mut r)?,
+            },
+            _ => {
+                return Err(Error::CorruptObject {
+                    reason: format!("unknown log entry tag {tag}"),
+                })
+            }
+        };
+        Ok(entry)
+    }
+
+    /// The LSN this entry carries (the record LSN for ops, the scope's
+    /// highest LSN otherwise).
+    pub fn lsn(&self) -> u64 {
+        match self {
+            WalEntry::Op { record, .. } => record.lsn,
+            WalEntry::Touch { lsn, .. } => *lsn,
+            WalEntry::Commit { lsn, .. } => *lsn,
+            WalEntry::Abort { lsn } => *lsn,
+            WalEntry::Checkpoint { max_lsn, .. } => *max_lsn,
+        }
+    }
+}
+
+// ---- superblock ---------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Superblock {
+    epoch: u64,
+    active: u8,
+}
+
+impl Superblock {
+    fn to_page(self, page_size: usize) -> Vec<u8> {
+        let mut page = vec![0u8; page_size];
+        page[0..4].copy_from_slice(&SB_MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&SB_VERSION.to_le_bytes());
+        page[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        page[16] = self.active;
+        let crc = crc32(&page[0..17]);
+        page[17..SB_LEN].copy_from_slice(&crc.to_le_bytes());
+        page
+    }
+
+    fn from_page(page: &[u8]) -> Option<Superblock> {
+        if page.len() < SB_LEN {
+            return None;
+        }
+        if u32::from_le_bytes(page[0..4].try_into().unwrap()) != SB_MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(page[4..8].try_into().unwrap()) != SB_VERSION {
+            return None;
+        }
+        if crc32(&page[0..17]) != u32::from_le_bytes(page[17..SB_LEN].try_into().unwrap()) {
+            return None;
+        }
+        let active = page[16];
+        if active > 1 {
+            return None;
+        }
+        Some(Superblock {
+            epoch: u64::from_le_bytes(page[8..16].try_into().unwrap()),
+            active,
+        })
+    }
+}
+
+// ---- the durable log ----------------------------------------------------
+
+/// The persistent write-ahead log of a durable [`crate::ObjectStore`].
+/// See the [module docs](self) for the on-disk layout and protocol.
+pub struct DurableWal {
+    volume: SharedVolume,
+    base: PageId,
+    half_pages: u64,
+    active: u8,
+    epoch: u64,
+    /// Byte offset within the active half where the next frame goes.
+    head: u64,
+    next_lsn: u64,
+    /// Committed object id → serialized root descriptor.
+    committed: BTreeMap<u64, Vec<u8>>,
+    /// Op/Touch entries since the last commit/abort — the uncommitted
+    /// tail a restart must roll back.
+    pending: Vec<WalEntry>,
+    /// Every logical op record seen (scan + appends), in LSN order —
+    /// the view `eos-check` audits.
+    ops: Vec<LogRecord>,
+    /// Highest object id mentioned anywhere in the log.
+    max_object_id: u64,
+    records_scanned: u64,
+    torn_tail: bool,
+    checkpoints_taken: u64,
+}
+
+impl DurableWal {
+    fn half_bytes(&self) -> u64 {
+        self.half_pages * self.volume.page_size() as u64
+    }
+
+    fn half_base(&self, half: u8) -> PageId {
+        self.base + 2 + u64::from(half) * self.half_pages
+    }
+
+    fn sb_for(volume: &SharedVolume, base: PageId, slot: u8) -> Option<Superblock> {
+        volume
+            .read_pages(base + u64::from(slot), 1)
+            .ok()
+            .and_then(|p| Superblock::from_page(&p))
+    }
+
+    fn check_region(volume: &SharedVolume, base: PageId, pages: u64) -> Result<u64> {
+        if pages < 4 || base + pages > volume.num_pages() {
+            return Err(Error::Unsupported {
+                op: "durable_wal",
+                reason: format!(
+                    "log region [{base}, +{pages}) needs ≥ 4 pages inside the \
+                     {}-page volume",
+                    volume.num_pages()
+                ),
+            });
+        }
+        Ok((pages - 2) / 2)
+    }
+
+    /// Format a fresh, empty log region of `pages` pages starting at
+    /// volume page `base`.
+    pub fn format(volume: SharedVolume, base: PageId, pages: u64) -> Result<DurableWal> {
+        let half_pages = Self::check_region(&volume, base, pages)?;
+        let ps = volume.page_size();
+        // Terminate half 0 (a zero length word) before pointing the
+        // superblock at it.
+        volume.write_pages(base + 2, &vec![0u8; ps])?;
+        let sb = Superblock {
+            epoch: 1,
+            active: 0,
+        };
+        volume.write_pages(base, &sb.to_page(ps))?;
+        volume.write_pages(base + 1, &vec![0u8; ps])?;
+        Ok(DurableWal {
+            volume,
+            base,
+            half_pages,
+            active: 0,
+            epoch: 1,
+            head: 0,
+            next_lsn: 1,
+            committed: BTreeMap::new(),
+            pending: Vec::new(),
+            ops: Vec::new(),
+            max_object_id: 0,
+            records_scanned: 0,
+            torn_tail: false,
+            checkpoints_taken: 0,
+        })
+    }
+
+    /// Attach to an existing log region: pick the valid superblock with
+    /// the highest epoch (a torn superblock write leaves the other slot
+    /// in force) and scan its half up to the torn tail. A region with
+    /// no valid superblock is formatted fresh.
+    pub fn attach(volume: SharedVolume, base: PageId, pages: u64) -> Result<DurableWal> {
+        let half_pages = Self::check_region(&volume, base, pages)?;
+        let best = match (
+            Self::sb_for(&volume, base, 0),
+            Self::sb_for(&volume, base, 1),
+        ) {
+            (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        let Some(sb) = best else {
+            return Self::format(volume, base, pages);
+        };
+        let mut wal = DurableWal {
+            volume,
+            base,
+            half_pages,
+            active: sb.active,
+            epoch: sb.epoch,
+            head: 0,
+            next_lsn: 1,
+            committed: BTreeMap::new(),
+            pending: Vec::new(),
+            ops: Vec::new(),
+            max_object_id: 0,
+            records_scanned: 0,
+            torn_tail: false,
+            checkpoints_taken: 0,
+        };
+        wal.scan()?;
+        Ok(wal)
+    }
+
+    /// Replay the active half into the in-memory state, cutting at the
+    /// torn tail.
+    fn scan(&mut self) -> Result<()> {
+        let half = self
+            .volume
+            .read_pages(self.half_base(self.active), self.half_pages)?;
+        let limit = half.len() as u64;
+        let mut at = 0u64;
+        loop {
+            if at + FRAME_HEADER > limit {
+                break; // full to the brim; still a clean prefix
+            }
+            let h = &half[at as usize..(at + FRAME_HEADER) as usize];
+            let len = u64::from(u32::from_le_bytes(h[0..4].try_into().unwrap()));
+            let crc = u32::from_le_bytes(h[4..8].try_into().unwrap());
+            if len == 0 {
+                break; // clean tail
+            }
+            if at + FRAME_HEADER + len > limit {
+                self.torn_tail = true;
+                break;
+            }
+            let payload = &half[(at + FRAME_HEADER) as usize..(at + FRAME_HEADER + len) as usize];
+            if crc32(payload) != crc {
+                self.torn_tail = true;
+                break;
+            }
+            let Ok(entry) = WalEntry::from_bytes(payload) else {
+                self.torn_tail = true;
+                break;
+            };
+            self.absorb(entry);
+            self.records_scanned += 1;
+            at += FRAME_HEADER + len;
+        }
+        self.head = at;
+        Ok(())
+    }
+
+    /// Fold one entry into the in-memory state — shared by the scan and
+    /// by live appends, so a reopened log always agrees with the one
+    /// that wrote it.
+    fn absorb(&mut self, entry: WalEntry) {
+        self.next_lsn = self.next_lsn.max(entry.lsn() + 1);
+        match entry {
+            WalEntry::Op { .. } | WalEntry::Touch { .. } => {
+                if let WalEntry::Op { ref record, .. } = entry {
+                    self.ops.push(record.clone());
+                    self.max_object_id = self.max_object_id.max(record.object);
+                }
+                if let WalEntry::Touch { object, .. } = entry {
+                    self.max_object_id = self.max_object_id.max(object);
+                }
+                self.pending.push(entry);
+            }
+            WalEntry::Commit {
+                touched, deleted, ..
+            } => {
+                for (id, desc) in touched {
+                    self.max_object_id = self.max_object_id.max(id);
+                    self.committed.insert(id, desc);
+                }
+                for id in deleted {
+                    self.max_object_id = self.max_object_id.max(id);
+                    self.committed.remove(&id);
+                }
+                self.pending.clear();
+            }
+            WalEntry::Abort { .. } => self.pending.clear(),
+            WalEntry::Checkpoint { roots, .. } => {
+                self.committed = roots
+                    .into_iter()
+                    .inspect(|(id, _)| self.max_object_id = self.max_object_id.max(*id))
+                    .collect();
+                self.pending.clear();
+            }
+        }
+    }
+
+    /// Append one entry durably: the frame (and a fresh terminator
+    /// behind it) reaches the volume before this returns. Flips to a
+    /// checkpoint automatically when the active half is full.
+    pub fn append(&mut self, entry: WalEntry) -> Result<()> {
+        let payload = entry.to_bytes();
+        let frame = FRAME_HEADER + payload.len() as u64;
+        if self.head + frame + FRAME_HEADER > self.half_bytes() {
+            self.checkpoint()?;
+            if self.head + frame + FRAME_HEADER > self.half_bytes() {
+                return Err(Error::LogFull {
+                    needed: frame,
+                    available: self.half_bytes().saturating_sub(self.head + FRAME_HEADER),
+                });
+            }
+        }
+        self.write_frame(&payload)?;
+        self.absorb(entry);
+        Ok(())
+    }
+
+    /// Write `payload` as a frame at `head` of the active half,
+    /// followed by a zero terminator, and advance `head`.
+    fn write_frame(&mut self, payload: &[u8]) -> Result<()> {
+        let ps = self.volume.page_size() as u64;
+        let frame = FRAME_HEADER + payload.len() as u64;
+        let end = self.head + frame + FRAME_HEADER; // include terminator
+        let first_page = self.head / ps;
+        let last_page = (end - 1) / ps;
+        let npages = last_page - first_page + 1;
+        let mut buf = vec![0u8; (npages * ps) as usize];
+        let within = (self.head - first_page * ps) as usize;
+        if within > 0 {
+            // Preserve the committed bytes sharing the first page.
+            let existing = self
+                .volume
+                .read_pages(self.half_base(self.active) + first_page, 1)?;
+            buf[..ps as usize].copy_from_slice(&existing);
+            // Everything from `within` on is rewritten below; stale
+            // bytes past the old terminator must not survive as a
+            // plausible frame.
+            for b in &mut buf[within..ps as usize] {
+                *b = 0;
+            }
+        }
+        buf[within..within + 4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf[within + 4..within + 8].copy_from_slice(&crc32(payload).to_le_bytes());
+        buf[within + 8..within + 8 + payload.len()].copy_from_slice(payload);
+        // The 8 zero bytes after the payload are already zero: the
+        // terminator.
+        self.volume
+            .write_pages(self.half_base(self.active) + first_page, &buf)?;
+        self.head += frame;
+        Ok(())
+    }
+
+    /// Flip halves: write the committed root map as a checkpoint record
+    /// at the start of the inactive half, re-append any uncommitted
+    /// pending records behind it (an open scope must survive the flip),
+    /// then publish the new half by bumping the superblock epoch. A
+    /// crash at any point leaves one complete, consistent half in
+    /// force.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let roots: Vec<(u64, Vec<u8>)> = self
+            .committed
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let cp = WalEntry::Checkpoint {
+            max_lsn: self.next_lsn - 1,
+            roots,
+        };
+        let carry: Vec<Vec<u8>> = self.pending.iter().map(WalEntry::to_bytes).collect();
+
+        let old_active = self.active;
+        let old_head = self.head;
+        self.active = 1 - self.active;
+        self.head = 0;
+        let mut write_all = || -> Result<()> {
+            let cp_bytes = cp.to_bytes();
+            let mut need = FRAME_HEADER + cp_bytes.len() as u64;
+            for c in &carry {
+                need += FRAME_HEADER + c.len() as u64;
+            }
+            if need + FRAME_HEADER > self.half_bytes() {
+                return Err(Error::LogFull {
+                    needed: need,
+                    available: self.half_bytes() - FRAME_HEADER,
+                });
+            }
+            self.write_frame(&cp_bytes)?;
+            for c in &carry {
+                self.write_frame(c)?;
+            }
+            Ok(())
+        };
+        if let Err(e) = write_all() {
+            // Nothing published: the old half is still the log.
+            self.active = old_active;
+            self.head = old_head;
+            return Err(e);
+        }
+        // Barrier: the new half must be stable before it is published.
+        self.volume.sync()?;
+        let sb = Superblock {
+            epoch: self.epoch + 1,
+            active: self.active,
+        };
+        let slot = (self.epoch + 1) % 2;
+        self.volume
+            .write_pages(self.base + slot, &sb.to_page(self.volume.page_size()))?;
+        self.volume.sync()?;
+        self.epoch += 1;
+        self.checkpoints_taken += 1;
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage — the commit
+    /// barrier.
+    pub fn sync(&self) -> Result<()> {
+        self.volume.sync()?;
+        Ok(())
+    }
+
+    /// Hand out the next LSN (monotonically increasing, starting at 1).
+    pub fn allocate_lsn(&mut self) -> u64 {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        lsn
+    }
+
+    /// The highest LSN handed out so far; 0 if none.
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Committed object id → serialized root descriptor.
+    pub fn committed(&self) -> &BTreeMap<u64, Vec<u8>> {
+        &self.committed
+    }
+
+    /// The uncommitted tail: Op/Touch entries not covered by a commit.
+    pub fn pending(&self) -> &[WalEntry] {
+        &self.pending
+    }
+
+    /// Drop the uncommitted tail from the in-memory view (recovery
+    /// calls this after rolling it back; the next checkpoint drops it
+    /// from disk too).
+    pub(crate) fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Every logical op record seen, in log order — the same view the
+    /// in-memory [`crate::wal::Wal`] offers, for `eos-check`.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.ops
+    }
+
+    /// Highest object id mentioned anywhere in the log.
+    pub fn max_object_id(&self) -> u64 {
+        self.max_object_id
+    }
+
+    /// Number of records the attach scan replayed.
+    pub fn records_scanned(&self) -> u64 {
+        self.records_scanned
+    }
+
+    /// Did the attach scan cut a torn tail?
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// Checkpoints taken since attach/format.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    /// Bytes of the active half already used by records.
+    pub fn bytes_used(&self) -> u64 {
+        self.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::LogOp;
+    use eos_pager::{DiskProfile, MemVolume};
+
+    fn vol(pages: u64) -> SharedVolume {
+        MemVolume::with_profile(256, pages, DiskProfile::FREE).shared()
+    }
+
+    fn op_entry(lsn: u64, object: u64, bytes: &[u8]) -> WalEntry {
+        WalEntry::Op {
+            record: LogRecord {
+                lsn,
+                object,
+                op: LogOp::Append {
+                    bytes: bytes.to_vec(),
+                },
+            },
+            root_after: vec![1, 2, 3],
+            page_images: vec![],
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = [
+            op_entry(7, 3, b"hello"),
+            WalEntry::Op {
+                record: LogRecord {
+                    lsn: 8,
+                    object: 3,
+                    op: LogOp::Replace {
+                        offset: 10,
+                        before: vec![0; 4],
+                        after: vec![1; 4],
+                    },
+                },
+                root_after: vec![9; 40],
+                page_images: vec![(12, vec![5; 256]), (19, vec![6; 512])],
+            },
+            WalEntry::Touch {
+                lsn: 9,
+                object: 4,
+                root_after: vec![1],
+            },
+            WalEntry::Commit {
+                lsn: 9,
+                touched: vec![(3, vec![9; 40]), (4, vec![1])],
+                deleted: vec![17],
+            },
+            WalEntry::Abort { lsn: 11 },
+            WalEntry::Checkpoint {
+                max_lsn: 11,
+                roots: vec![(3, vec![9; 40])],
+            },
+        ];
+        for e in &entries {
+            let bytes = e.to_bytes();
+            assert_eq!(&WalEntry::from_bytes(&bytes).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip_with_commit() {
+        let v = vol(64);
+        {
+            let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+            wal.append(op_entry(1, 5, b"aaa")).unwrap();
+            wal.append(op_entry(2, 5, b"bbb")).unwrap();
+            wal.append(WalEntry::Commit {
+                lsn: 2,
+                touched: vec![(5, vec![1, 2, 3])],
+                deleted: vec![],
+            })
+            .unwrap();
+            wal.append(op_entry(3, 6, b"uncommitted")).unwrap();
+        }
+        let wal = DurableWal::attach(v, 0, 64).unwrap();
+        assert_eq!(wal.records_scanned(), 4);
+        assert!(!wal.torn_tail());
+        assert_eq!(wal.last_lsn(), 3);
+        assert_eq!(wal.committed().len(), 1);
+        assert_eq!(wal.committed()[&5], vec![1, 2, 3]);
+        assert_eq!(wal.pending().len(), 1, "op 3 is the uncommitted tail");
+        assert_eq!(wal.records().len(), 3);
+        assert_eq!(wal.max_object_id(), 6);
+    }
+
+    #[test]
+    fn torn_tail_is_cut() {
+        let v = vol(64);
+        let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+        wal.append(op_entry(1, 5, b"aaa")).unwrap();
+        wal.append(WalEntry::Commit {
+            lsn: 1,
+            touched: vec![(5, vec![1])],
+            deleted: vec![],
+        })
+        .unwrap();
+        let keep = wal.bytes_used();
+        wal.append(op_entry(2, 5, b"torn victim")).unwrap();
+        // Corrupt one payload byte of the last record on disk.
+        let page = v.read_pages(2, 1).unwrap();
+        let mut page = page;
+        page[(keep + FRAME_HEADER) as usize + 2] ^= 0xFF;
+        v.write_pages(2, &page).unwrap();
+
+        let wal = DurableWal::attach(v, 0, 64).unwrap();
+        assert!(wal.torn_tail());
+        assert_eq!(wal.records_scanned(), 2, "prefix survives");
+        assert_eq!(wal.committed().len(), 1);
+        assert!(wal.pending().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_flips_halves_and_carries_pending() {
+        let v = vol(64);
+        let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+        wal.append(op_entry(1, 5, b"committed")).unwrap();
+        wal.append(WalEntry::Commit {
+            lsn: 1,
+            touched: vec![(5, vec![1])],
+            deleted: vec![],
+        })
+        .unwrap();
+        wal.append(op_entry(2, 6, b"in flight")).unwrap();
+        wal.checkpoint().unwrap();
+        assert_eq!(wal.pending().len(), 1, "pending survives the flip");
+
+        let wal2 = DurableWal::attach(v, 0, 64).unwrap();
+        assert_eq!(wal2.committed().len(), 1);
+        assert_eq!(wal2.pending().len(), 1);
+        assert_eq!(wal2.last_lsn(), 2);
+        assert_eq!(
+            wal2.records_scanned(),
+            2,
+            "checkpoint + carried pending record"
+        );
+    }
+
+    #[test]
+    fn half_overflow_checkpoints_automatically() {
+        let v = vol(64);
+        // 64 pages of 256 B: halves of 31 pages = 7936 bytes each.
+        let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+        for i in 0..100u64 {
+            wal.append(op_entry(i + 1, 5, &[7u8; 150])).unwrap();
+            wal.append(WalEntry::Commit {
+                lsn: i + 1,
+                touched: vec![(5, vec![8u8; 30])],
+                deleted: vec![],
+            })
+            .unwrap();
+        }
+        assert!(wal.checkpoints_taken() > 0, "the log wrapped");
+        let wal2 = DurableWal::attach(v, 0, 64).unwrap();
+        assert_eq!(wal2.committed().len(), 1);
+        assert_eq!(wal2.last_lsn(), 100);
+    }
+
+    #[test]
+    fn oversized_record_reports_log_full() {
+        let v = vol(8);
+        let mut wal = DurableWal::format(v, 0, 8).unwrap();
+        let err = wal.append(op_entry(1, 5, &[0u8; 4096])).unwrap_err();
+        assert!(matches!(err, Error::LogFull { .. }), "got {err}");
+    }
+
+    #[test]
+    fn attach_on_virgin_region_formats_fresh() {
+        let v = vol(16);
+        let wal = DurableWal::attach(v.clone(), 4, 12).unwrap();
+        assert_eq!(wal.last_lsn(), 0);
+        assert!(wal.committed().is_empty());
+        // And it is immediately reattachable.
+        drop(wal);
+        let wal = DurableWal::attach(v, 4, 12).unwrap();
+        assert_eq!(wal.records_scanned(), 0);
+    }
+}

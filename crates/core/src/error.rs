@@ -37,6 +37,15 @@ pub enum Error {
     },
     /// A transaction token was used after commit/abort.
     StaleTransaction,
+    /// A durable log record does not fit in the reserved log region,
+    /// even after checkpointing (the region is too small for the
+    /// transaction's footprint).
+    LogFull {
+        /// Bytes the record needs.
+        needed: u64,
+        /// Bytes one log half can hold.
+        available: u64,
+    },
     /// An underlying buddy-allocator error.
     Buddy(eos_buddy::Error),
     /// An underlying volume error.
@@ -63,6 +72,10 @@ impl fmt::Display for Error {
                 write!(f, "operation `{op}` unsupported: {reason}")
             }
             Error::StaleTransaction => write!(f, "transaction already finished"),
+            Error::LogFull { needed, available } => write!(
+                f,
+                "log record of {needed} bytes exceeds the {available}-byte log half"
+            ),
             Error::Buddy(e) => write!(f, "space manager: {e}"),
             Error::Pager(e) => write!(f, "volume: {e}"),
         }

@@ -32,6 +32,7 @@
 mod blobstore;
 mod config;
 mod consolidate;
+pub mod durable;
 mod error;
 mod fixtures;
 pub mod locks;
@@ -53,6 +54,6 @@ pub use node::{node_capacity, node_min, Entry, Node};
 pub use object::LargeObject;
 pub use ops::append::AppendSession;
 pub use reshuffle::{pages, reshuffle, ReshufflePlan};
-pub use store::ObjectStore;
+pub use store::{ObjectStore, RecoveryReport};
 pub use stream::{CompactStats, ObjectReader};
 pub use verify::{ObjectStats, Violation};

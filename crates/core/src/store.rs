@@ -1,15 +1,23 @@
 //! The EOS object store: a volume formatted into buddy spaces plus the
 //! large-object operations of §4.
 
+use std::collections::BTreeMap;
+
 use eos_buddy::{BuddyManager, Extent};
 use eos_pager::{IoStats, PageId, SharedVolume};
 
 use crate::config::{StoreConfig, Threshold};
+use crate::durable::{DurableWal, WalEntry};
 use crate::error::{Error, Result};
 use crate::node::{node_capacity, Node};
 use crate::object::LargeObject;
 use crate::ops;
 use crate::verify::{ObjectStats, Violation};
+
+mod logged;
+mod recovery;
+
+pub use recovery::RecoveryReport;
 
 /// The large object manager: owns the disk space (through the buddy
 /// system of §3) and implements create/append, read, replace, insert,
@@ -20,14 +28,22 @@ pub struct ObjectStore {
     config: StoreConfig,
     next_id: u64,
     txn: Option<TxnState>,
+    /// The on-disk log of a durable store ([`Self::create_durable`] /
+    /// [`Self::open_durable`]); `None` for the classic in-memory-logged
+    /// store, whose mutating ops then skip the logging path entirely.
+    wal: Option<DurableWal>,
 }
 
 /// Book-keeping for an open transaction scope (§4.5): frees are
 /// deferred behind release locks, and the scope's own allocations are
-/// remembered so an abort can return them.
+/// remembered so an abort can return them. On a durable store the
+/// scope also accumulates the commit record: the latest serialized
+/// root of every object it touched and tombstones for deletions.
 struct TxnState {
     batch: eos_buddy::FreeBatch,
     allocs: Vec<Extent>,
+    touched: BTreeMap<u64, Vec<u8>>,
+    deleted: Vec<u64>,
 }
 
 impl ObjectStore {
@@ -49,6 +65,7 @@ impl ObjectStore {
             config,
             next_id: 1,
             txn: None,
+            wal: None,
         })
     }
 
@@ -70,6 +87,7 @@ impl ObjectStore {
             config,
             next_id: next_object_id,
             txn: None,
+            wal: None,
         })
     }
 
@@ -146,6 +164,11 @@ impl ObjectStore {
     /// Mutable access to the buddy manager (experiments only).
     pub fn buddy_mut(&mut self) -> &mut BuddyManager {
         &mut self.buddy
+    }
+
+    /// The on-disk log of a durable store, if this store has one.
+    pub fn durable_wal(&self) -> Option<&DurableWal> {
+        self.wal.as_ref()
     }
 
     /// Cumulative volume I/O counters.
@@ -236,26 +259,75 @@ impl ObjectStore {
         self.txn = Some(TxnState {
             batch: self.buddy.begin_free_batch(),
             allocs: Vec::new(),
+            touched: BTreeMap::new(),
+            deleted: Vec::new(),
         });
     }
 
-    /// Commit the open scope: apply every deferred free. The caller
-    /// makes the new descriptor durable (that write is the commit
-    /// point, since the root is client-placed).
+    /// Commit the open scope: apply every deferred free. On a durable
+    /// store the **commit point** comes first — a [`WalEntry::Commit`]
+    /// record carrying the new root of every touched object is appended
+    /// to the on-disk log and (with [`StoreConfig::sync_on_commit`])
+    /// forced to stable storage; only then are the deferred frees
+    /// applied. A crash on either side of that append recovers cleanly:
+    /// before it, the transaction never happened; after it, restart
+    /// recovery rebuilds the allocator state from the committed roots.
+    /// On a non-durable store the caller makes the new descriptor
+    /// durable (that write is the commit point, since the root is
+    /// client-placed).
+    ///
+    /// If the commit append itself fails the scope is closed and an
+    /// error returned — the transaction is then *in limbo*: depending on
+    /// how much of the record reached the disk, recovery will land on
+    /// either the pre- or the post-transaction state (but nothing in
+    /// between).
     pub fn commit_txn(&mut self) -> Result<()> {
         let txn = self.txn.take().expect("no open transaction");
+        if let Some(wal) = &mut self.wal {
+            let worth_logging =
+                !txn.touched.is_empty() || !txn.deleted.is_empty() || !wal.pending().is_empty();
+            if worth_logging {
+                let entry = WalEntry::Commit {
+                    lsn: wal.last_lsn(),
+                    touched: txn.touched.into_iter().collect(),
+                    deleted: txn.deleted,
+                };
+                let sync = self.config.sync_on_commit;
+                let committed = wal
+                    .append(entry)
+                    .and_then(|()| if sync { wal.sync() } else { Ok(()) });
+                if let Err(e) = committed {
+                    self.buddy.abort_frees(txn.batch);
+                    return Err(e);
+                }
+            }
+        }
         self.buddy.commit_frees(txn.batch)?;
         Ok(())
     }
 
     /// Abort the open scope: drop the deferred frees (the logical frees
     /// never happen) and return every page the scope allocated. The
-    /// caller goes back to its pre-transaction descriptor copy.
+    /// caller goes back to its pre-transaction descriptor copy. On a
+    /// durable store the in-place writes of any logged `replace` are
+    /// first reversed from their before-images, and an
+    /// [`WalEntry::Abort`] record closes the scope in the log (written
+    /// *after* the reversal — if the abort itself is interrupted,
+    /// restart recovery simply rolls the scope back again).
     pub fn abort_txn(&mut self) -> Result<()> {
         let txn = self.txn.take().expect("no open transaction");
+        if self.wal.is_some() {
+            self.rollback_pending_images()?;
+        }
         self.buddy.abort_frees(txn.batch);
         for e in txn.allocs {
             self.buddy.free(e.start, e.pages)?;
+        }
+        if let Some(wal) = &mut self.wal {
+            if !wal.pending().is_empty() {
+                let lsn = wal.last_lsn();
+                wal.append(WalEntry::Abort { lsn })?;
+            }
         }
         Ok(())
     }
@@ -269,6 +341,9 @@ impl ObjectStore {
     /// store the eventual size in advance ("if the size is known a
     /// priori, it is provided as a hint", §4.1).
     pub fn create_with(&mut self, data: &[u8], size_hint: Option<u64>) -> Result<LargeObject> {
+        if self.wal.is_some() {
+            return self.logged_create_with(data, size_hint);
+        }
         let mut obj = self.create_object();
         if !data.is_empty() || size_hint.is_some() {
             let mut s = self.open_append(&mut obj, size_hint)?;
@@ -279,8 +354,12 @@ impl ObjectStore {
     }
 
     /// Delete an object: free every leaf segment and index page. The
-    /// handle becomes an empty object.
+    /// handle becomes an empty object. On a durable store the commit
+    /// record carries a tombstone, so the deletion survives restart.
     pub fn delete_object(&mut self, obj: &mut LargeObject) -> Result<()> {
+        if self.wal.is_some() {
+            return self.logged_delete_object(obj);
+        }
         let size = obj.size();
         if size > 0 {
             ops::delete::run(self, obj, 0, size)?;
@@ -304,12 +383,18 @@ impl ObjectStore {
     /// (§4.2: "the search algorithm can also be used for the byte range
     /// replace operation").
     pub fn replace(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        if self.wal.is_some() {
+            return self.logged_replace(obj, offset, data);
+        }
         ops::replace::run(self, obj, offset, data)?;
         self.paranoid_check(obj)
     }
 
     /// Append bytes at the end of the object (§4.1).
     pub fn append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
+        if self.wal.is_some() {
+            return self.logged_append(obj, data);
+        }
         let mut s = self.open_append(obj, None)?;
         s.append(data)?;
         s.close()
@@ -330,6 +415,9 @@ impl ObjectStore {
     /// Insert `data` at byte `offset`, shifting the tail of the object
     /// right (§4.3.1, with the §4.4 reshuffling).
     pub fn insert(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        if self.wal.is_some() {
+            return self.logged_insert(obj, offset, data);
+        }
         ops::insert::run(self, obj, offset, data)?;
         self.paranoid_check(obj)
     }
@@ -337,6 +425,9 @@ impl ObjectStore {
     /// Delete `len` bytes starting at `offset`, shifting the tail left
     /// (§4.3.2, with the §4.4 reshuffling).
     pub fn delete(&mut self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
+        if self.wal.is_some() {
+            return self.logged_delete(obj, offset, len);
+        }
         ops::delete::run(self, obj, offset, len)?;
         self.paranoid_check(obj)
     }
@@ -354,6 +445,9 @@ impl ObjectStore {
         }
         if new_size == size {
             return Ok(());
+        }
+        if self.wal.is_some() {
+            return self.logged_delete(obj, new_size, size - new_size);
         }
         ops::delete::run(self, obj, new_size, size - new_size)?;
         self.paranoid_check(obj)

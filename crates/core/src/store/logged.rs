@@ -1,0 +1,257 @@
+//! The logged (durable-store) variants of the §4 operations.
+//!
+//! On a store with an attached [`DurableWal`] every mutating operation
+//! runs inside a transaction scope — the caller's own, or an implicit
+//! per-operation scope ([`ObjectStore::with_autocommit`]) — and leaves
+//! a trail in the on-disk log:
+//!
+//! * **`replace`** follows the WAL rule: it writes leaf pages in place,
+//!   so the before-images of every page it will touch are made durable
+//!   *first* ([`WalEntry::Op`]), then the pages are overwritten. A
+//!   crash mid-replace is rolled back byte-exactly from the images.
+//! * **Everything else** (append, insert, delete, truncate, compaction)
+//!   is *shadowed* (§4.5): it writes only freshly allocated pages and
+//!   defers its frees, so the committed image on disk stays intact and
+//!   nothing needs undoing. These log a [`WalEntry::Touch`] after the
+//!   fact, purely to stamp the LSN and feed the eventual commit record
+//!   — the log stays small no matter how many bytes the operation
+//!   moved.
+//!
+//! The commit record ([`WalEntry::Commit`], written by
+//! [`ObjectStore::commit_txn`]) then carries the new serialized root of
+//! every touched object plus tombstones for deletions; it is the single
+//! durable commit point of the scope.
+
+use crate::durable::WalEntry;
+use crate::error::Result;
+use crate::object::LargeObject;
+use crate::ops;
+use crate::wal::{LogOp, LogRecord};
+use eos_pager::PageId;
+
+use super::ObjectStore;
+
+impl ObjectStore {
+    /// Run `f` inside the caller's open transaction scope, or — on a
+    /// durable store with no scope open — inside an implicit
+    /// per-operation scope that commits on success and aborts on error.
+    /// Without this, a committed operation's deferred frees would be
+    /// applied immediately and a *later* crash could find those pages
+    /// reallocated and overwritten while the log still considers their
+    /// old contents committed.
+    pub(crate) fn with_autocommit<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        if self.txn.is_some() || self.wal.is_none() {
+            return f(self);
+        }
+        self.begin_txn();
+        match f(self) {
+            Ok(v) => {
+                self.commit_txn()?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Best effort: the abort itself can fail (e.g. the
+                // volume died); recovery handles that case on restart.
+                let _ = self.abort_txn();
+                Err(e)
+            }
+        }
+    }
+
+    /// Record `obj`'s current root in the open scope's commit set.
+    pub(crate) fn note_touched(&mut self, obj: &LargeObject) {
+        if let Some(txn) = &mut self.txn {
+            txn.touched.insert(obj.id, obj.to_bytes());
+            txn.deleted.retain(|&d| d != obj.id);
+        }
+    }
+
+    /// Stamp the next LSN on `obj`, append a [`WalEntry::Touch`] for it
+    /// and add it to the scope's commit set — the post-hoc trail of
+    /// every shadowed operation.
+    pub(crate) fn log_touch(&mut self, obj: &mut LargeObject) -> Result<()> {
+        let wal = self.wal.as_mut().expect("log_touch on a non-durable store");
+        let lsn = wal.allocate_lsn();
+        obj.lsn = lsn;
+        let entry = WalEntry::Touch {
+            lsn,
+            object: obj.id,
+            root_after: obj.to_bytes(),
+        };
+        self.wal.as_mut().unwrap().append(entry)?;
+        self.note_touched(obj);
+        Ok(())
+    }
+
+    /// The physical image of every page `replace(obj, offset, len)`
+    /// will overwrite, grouped exactly as [`ops::replace`] groups its
+    /// writes: one `(first_page, bytes)` run per touched leaf segment.
+    pub(crate) fn range_page_images(
+        &self,
+        obj: &LargeObject,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<(PageId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return Ok(out);
+        }
+        let ps = self.ps();
+        let (mut path, mut rel) = crate::tree::descend(self, obj, offset)?;
+        let mut remaining = len;
+        loop {
+            let e = crate::tree::leaf_entry(&path);
+            let take = (e.bytes - rel).min(remaining);
+            let p0 = rel / ps;
+            let p1 = (rel + take - 1) / ps;
+            let npages = p1 - p0 + 1;
+            out.push((e.ptr + p0, self.volume.read_pages(e.ptr + p0, npages)?));
+            remaining -= take;
+            if remaining == 0 {
+                return Ok(out);
+            }
+            ops::read::advance(self, &mut path)?;
+            rel = 0;
+        }
+    }
+
+    /// Reverse the in-place writes of the scope's uncommitted `replace`
+    /// operations, newest first, from the before-images in the log.
+    pub(crate) fn rollback_pending_images(&mut self) -> Result<()> {
+        let images: Vec<(PageId, Vec<u8>)> = self
+            .wal
+            .as_ref()
+            .map(|w| {
+                w.pending()
+                    .iter()
+                    .rev()
+                    .flat_map(|e| match e {
+                        WalEntry::Op { page_images, .. } => {
+                            page_images.iter().rev().cloned().collect::<Vec<_>>()
+                        }
+                        _ => Vec::new(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (page, bytes) in images {
+            self.volume.write_pages(page, &bytes)?;
+        }
+        Ok(())
+    }
+
+    // ---- the logged operations -------------------------------------------
+
+    pub(crate) fn logged_replace(
+        &mut self,
+        obj: &mut LargeObject,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.with_autocommit(|s| {
+            // WAL rule: the undo information must be durable before the
+            // first in-place byte lands. The logical record's `before`
+            // field stays empty — the physical page images *are* the
+            // undo, and duplicating the bytes would double the record.
+            let images = s.range_page_images(obj, offset, data.len() as u64)?;
+            let wal = s.wal.as_mut().expect("durable store");
+            let lsn = wal.allocate_lsn();
+            obj.lsn = lsn;
+            let entry = WalEntry::Op {
+                record: LogRecord {
+                    lsn,
+                    object: obj.id,
+                    op: LogOp::Replace {
+                        offset,
+                        before: Vec::new(),
+                        after: data.to_vec(),
+                    },
+                },
+                root_after: obj.to_bytes(),
+                page_images: images,
+            };
+            s.wal.as_mut().unwrap().append(entry)?;
+            ops::replace::run(s, obj, offset, data)?;
+            s.note_touched(obj);
+            s.paranoid_check(obj)
+        })
+    }
+
+    pub(crate) fn logged_append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
+        self.with_autocommit(|s| {
+            {
+                let mut session = ops::append::AppendSession::open(s, obj, None)?;
+                session.append(data)?;
+                session.close()?;
+            }
+            s.log_touch(obj)?;
+            s.paranoid_check(obj)
+        })
+    }
+
+    pub(crate) fn logged_insert(
+        &mut self,
+        obj: &mut LargeObject,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.with_autocommit(|s| {
+            ops::insert::run(s, obj, offset, data)?;
+            s.log_touch(obj)?;
+            s.paranoid_check(obj)
+        })
+    }
+
+    pub(crate) fn logged_delete(
+        &mut self,
+        obj: &mut LargeObject,
+        offset: u64,
+        len: u64,
+    ) -> Result<()> {
+        self.with_autocommit(|s| {
+            ops::delete::run(s, obj, offset, len)?;
+            s.log_touch(obj)?;
+            s.paranoid_check(obj)
+        })
+    }
+
+    pub(crate) fn logged_create_with(
+        &mut self,
+        data: &[u8],
+        size_hint: Option<u64>,
+    ) -> Result<LargeObject> {
+        self.with_autocommit(|s| {
+            let mut obj = s.create_object();
+            if !data.is_empty() || size_hint.is_some() {
+                let mut session = ops::append::AppendSession::open(s, &mut obj, size_hint)?;
+                session.append(data)?;
+                session.close()?;
+            }
+            s.log_touch(&mut obj)?;
+            s.paranoid_check(&obj)?;
+            Ok(obj)
+        })
+    }
+
+    pub(crate) fn logged_delete_object(&mut self, obj: &mut LargeObject) -> Result<()> {
+        self.with_autocommit(|s| {
+            let size = obj.size();
+            if size > 0 {
+                ops::delete::run(s, obj, 0, size)?;
+            }
+            // No log entry: deletion is fully shadowed (frees are
+            // deferred), and the commit record's tombstone is what makes
+            // it durable.
+            if let Some(txn) = &mut s.txn {
+                txn.touched.remove(&obj.id);
+                if !txn.deleted.contains(&obj.id) {
+                    txn.deleted.push(obj.id);
+                }
+            }
+            s.paranoid_check(obj)
+        })
+    }
+}

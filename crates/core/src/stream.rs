@@ -106,8 +106,21 @@ impl ObjectStore {
     /// Rewrite the object into a minimal run of maximum-size segments
     /// (the §4.4 "the larger the segment size the better" layout for
     /// static objects). Needs transient space for the new copy before
-    /// the old segments are freed.
+    /// the old segments are freed. On a durable store the rewrite is
+    /// shadowed like any structural update and becomes visible at
+    /// commit.
     pub fn compact(&mut self, obj: &mut LargeObject) -> Result<CompactStats> {
+        if self.durable_wal().is_some() {
+            return self.with_autocommit(|s| {
+                let stats = s.compact_inner(obj)?;
+                s.log_touch(obj)?;
+                Ok(stats)
+            });
+        }
+        self.compact_inner(obj)
+    }
+
+    fn compact_inner(&mut self, obj: &mut LargeObject) -> Result<CompactStats> {
         let ps = self.ps();
         let max_bytes = (self.max_seg_pages() * ps) as usize;
         let old_segments = self.segments(obj)?;

@@ -210,18 +210,18 @@ impl Wal {
 
 const WAL_MAGIC: u32 = 0x454F_534C; // "EOSL"
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
     out.extend_from_slice(b);
 }
 
-struct Reader<'a> {
-    data: &'a [u8],
-    at: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) at: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.at + n > self.data.len() {
             return Err(crate::Error::CorruptObject {
                 reason: "truncated log".into(),
@@ -232,15 +232,15 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn bytes(&mut self) -> Result<Vec<u8>> {
+    pub(crate) fn bytes(&mut self) -> Result<Vec<u8>> {
         let n = self.u32()? as usize;
         Ok(self.take(n)?.to_vec())
     }
@@ -281,7 +281,7 @@ impl LogRecord {
         out
     }
 
-    fn read_from(r: &mut Reader<'_>) -> Result<LogRecord> {
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Result<LogRecord> {
         let lsn = r.u64()?;
         let object = r.u64()?;
         let tag = r.take(1)?[0];

@@ -173,6 +173,11 @@ impl Volume for CachedVolume {
     fn reset_stats(&self) {
         self.inner.reset_stats();
     }
+
+    fn sync(&self) -> Result<()> {
+        // Write-through cache: nothing buffered here, delegate.
+        self.inner.sync()
+    }
 }
 
 #[cfg(test)]

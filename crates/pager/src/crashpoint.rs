@@ -1,0 +1,273 @@
+//! Deterministic crash-point injection.
+//!
+//! [`CrashPointVolume`] generalizes [`crate::FaultyVolume`] from "fail
+//! after a budget" to "simulate a power loss after exactly *k* write
+//! I/Os": it records every write call, and when armed it lets the first
+//! `k` write calls through, then cuts power — the `k`-th write either
+//! vanishes entirely or is **torn** (only a prefix of its first page
+//! reaches the platter, modelling a sector-granular power loss mid
+//! page write). After the crash every read, write and sync fails, and
+//! [`CrashPointVolume::image`] hands back the disk image exactly as it
+//! stood at the crash, ready to be rehydrated with
+//! [`crate::MemVolume::from_bytes`] and reopened through recovery.
+//!
+//! The crash-sweep harness runs a scripted workload once unarmed to
+//! count its writes `N`, then replays it `N` times armed at every
+//! `k ∈ [0, N)`, proving that recovery holds at *every* I/O point.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::stats::IoStats;
+use crate::volume::{SharedVolume, Volume};
+use crate::PageId;
+
+/// One recorded write call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// First page of the write.
+    pub start: PageId,
+    /// Number of pages written.
+    pub pages: u64,
+}
+
+#[derive(Debug)]
+struct CrashState {
+    /// Write calls that fully reached the inner volume.
+    writes_seen: u64,
+    /// When `Some(k)`: the `k`-th write call (0-based) hits the power
+    /// loss.
+    crash_after: Option<u64>,
+    /// Whether the crashing write tears (half of its first page is
+    /// applied) or vanishes.
+    torn: bool,
+    /// Power is out; all subsequent I/O fails.
+    crashed: bool,
+    log: Vec<WriteRecord>,
+    read_faults: u64,
+    write_faults: u64,
+}
+
+/// A volume wrapper that simulates power loss after exactly *k* write
+/// calls. See the [module docs](self).
+pub struct CrashPointVolume {
+    inner: SharedVolume,
+    state: Mutex<CrashState>,
+}
+
+impl CrashPointVolume {
+    /// Wrap `inner`, unarmed: all I/O passes through, every write call
+    /// is recorded (use [`Self::writes_seen`] to size a sweep).
+    pub fn new(inner: SharedVolume) -> Arc<CrashPointVolume> {
+        Arc::new(CrashPointVolume {
+            inner,
+            state: Mutex::new(CrashState {
+                writes_seen: 0,
+                crash_after: None,
+                torn: false,
+                crashed: false,
+                log: Vec::new(),
+                read_faults: 0,
+                write_faults: 0,
+            }),
+        })
+    }
+
+    /// Arm the crash point: the next `k` write calls succeed, the one
+    /// after hits the power loss. With `torn`, that write applies only
+    /// the first half of its first page before power dies; without, it
+    /// applies nothing. Also clears the write counter and log.
+    pub fn arm(&self, k: u64, torn: bool) {
+        let mut st = self.state.lock();
+        st.writes_seen = 0;
+        st.crash_after = Some(k);
+        st.torn = torn;
+        st.crashed = false;
+        st.log.clear();
+    }
+
+    /// Disarm and clear the crash flag; the write counter and log keep
+    /// recording.
+    pub fn disarm(&self) {
+        let mut st = self.state.lock();
+        st.crash_after = None;
+        st.crashed = false;
+    }
+
+    /// Write calls that fully reached the inner volume since the last
+    /// [`Self::arm`] (or construction).
+    pub fn writes_seen(&self) -> u64 {
+        self.state.lock().writes_seen
+    }
+
+    /// Has the armed crash point fired?
+    pub fn has_crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// The recorded write calls, in order.
+    pub fn write_log(&self) -> Vec<WriteRecord> {
+        self.state.lock().log.clone()
+    }
+
+    /// The full disk image as it stands right now — after a crash, the
+    /// "disk as of power loss". Bypasses the crash gate (it models an
+    /// operator pulling the platters, not the dead machine reading).
+    pub fn image(&self) -> Result<Vec<u8>> {
+        self.inner.read_pages(0, self.inner.num_pages())
+    }
+
+    fn power_failure() -> Error {
+        Error::Io(std::io::Error::other(
+            "simulated power failure: volume is offline",
+        ))
+    }
+}
+
+impl Volume for CrashPointVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
+        {
+            let mut st = self.state.lock();
+            if st.crashed {
+                st.read_faults += 1;
+                return Err(Self::power_failure());
+            }
+        }
+        self.inner.read_into(start, pages, buf)
+    }
+
+    fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.crashed {
+            st.write_faults += 1;
+            return Err(Self::power_failure());
+        }
+        if st.crash_after == Some(st.writes_seen) {
+            // Power loss on this very write.
+            st.crashed = true;
+            st.write_faults += 1;
+            if st.torn && !data.is_empty() {
+                // A torn write: the first half of the first page makes
+                // it to the platter, the rest of the call does not.
+                // (Writes are applied front to back, so a power loss
+                // always leaves a prefix.)
+                let ps = self.inner.page_size();
+                let half = ps / 2;
+                let mut page = self.inner.read_pages(start, 1)?;
+                page[..half].copy_from_slice(&data[..half]);
+                self.inner.write_pages(start, &page)?;
+            }
+            return Err(Self::power_failure());
+        }
+        st.writes_seen += 1;
+        st.log.push(WriteRecord {
+            start,
+            pages: (data.len() / self.inner.page_size().max(1)) as u64,
+        });
+        drop(st);
+        self.inner.write_pages(start, data)
+    }
+
+    fn stats(&self) -> IoStats {
+        let mut s = self.inner.stats();
+        let st = self.state.lock();
+        s.read_faults += st.read_faults;
+        s.write_faults += st.write_faults;
+        s
+    }
+
+    fn reset_stats(&self) {
+        {
+            let mut st = self.state.lock();
+            st.read_faults = 0;
+            st.write_faults = 0;
+        }
+        self.inner.reset_stats();
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.state.lock().crashed {
+            return Err(Self::power_failure());
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+    use crate::DiskProfile;
+
+    fn vol() -> SharedVolume {
+        MemVolume::with_profile(128, 16, DiskProfile::FREE).shared()
+    }
+
+    #[test]
+    fn unarmed_records_and_passes_through() {
+        let c = CrashPointVolume::new(vol());
+        c.write_pages(3, &[1u8; 128]).unwrap();
+        c.write_pages(5, &[2u8; 256]).unwrap();
+        assert_eq!(c.writes_seen(), 2);
+        assert_eq!(
+            c.write_log(),
+            vec![
+                WriteRecord { start: 3, pages: 1 },
+                WriteRecord { start: 5, pages: 2 }
+            ]
+        );
+        assert_eq!(c.read_pages(3, 1).unwrap()[0], 1);
+        assert!(!c.has_crashed());
+    }
+
+    #[test]
+    fn armed_crash_drops_the_kth_write_and_all_io_after() {
+        let c = CrashPointVolume::new(vol());
+        c.arm(1, false);
+        c.write_pages(0, &[1u8; 128]).unwrap(); // write 0: survives
+        assert!(c.write_pages(1, &[2u8; 128]).is_err()); // write 1: power loss
+        assert!(c.has_crashed());
+        assert!(c.read_pages(0, 1).is_err(), "device is offline");
+        assert!(c.write_pages(2, &[3u8; 128]).is_err());
+        assert!(c.sync().is_err());
+        let image = c.image().unwrap();
+        assert_eq!(image[0], 1, "write 0 is on the platter");
+        assert!(image[128..256].iter().all(|&b| b == 0), "write 1 is not");
+        assert_eq!(c.stats().write_faults, 2);
+    }
+
+    #[test]
+    fn torn_write_applies_half_the_first_page() {
+        let c = CrashPointVolume::new(vol());
+        c.arm(0, true);
+        assert!(c.write_pages(4, &[9u8; 256]).is_err());
+        let image = c.image().unwrap();
+        let page = &image[4 * 128..5 * 128];
+        assert!(page[..64].iter().all(|&b| b == 9), "first half applied");
+        assert!(page[64..].iter().all(|&b| b == 0), "second half lost");
+        assert!(
+            image[5 * 128..6 * 128].iter().all(|&b| b == 0),
+            "second page of the call never written"
+        );
+    }
+
+    #[test]
+    fn disarm_restores_service_for_the_next_pass() {
+        let c = CrashPointVolume::new(vol());
+        c.arm(0, false);
+        assert!(c.write_pages(0, &[1u8; 128]).is_err());
+        c.disarm();
+        c.write_pages(0, &[1u8; 128]).unwrap();
+        assert_eq!(c.read_pages(0, 1).unwrap()[0], 1);
+    }
+}

@@ -3,6 +3,13 @@
 //! tests to prove that a mid-operation I/O error surfaces as an error
 //! (never a panic) and that, under a transaction scope, the committed
 //! state survives (§4.5).
+//!
+//! Reads and writes can share one budget ([`FaultyVolume::new`], the
+//! historical behaviour) or be budgeted independently
+//! ([`FaultyVolume::with_budgets`]) — the crash sweep needs a volume
+//! that keeps serving reads while refusing writes. Every rejected call
+//! is counted and surfaced through [`IoStats::read_faults`] /
+//! [`IoStats::write_faults`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,50 +19,107 @@ use crate::stats::IoStats;
 use crate::volume::{SharedVolume, Volume};
 use crate::PageId;
 
-/// A volume that injects an I/O error after `budget` successful
-/// operations (reads and writes both count). Further operations keep
-/// failing until [`FaultyVolume::heal`] is called.
+/// A volume that injects I/O errors once an operation budget is
+/// exhausted. Further operations keep failing until
+/// [`FaultyVolume::heal`] (or [`FaultyVolume::heal_rw`]) is called.
 pub struct FaultyVolume {
     inner: SharedVolume,
-    remaining: AtomicU64,
+    /// One combined counter (historical behaviour) or two independent
+    /// ones. Fixed at construction.
+    shared_budget: bool,
+    reads_left: AtomicU64,
+    writes_left: AtomicU64,
+    read_faults: AtomicU64,
+    write_faults: AtomicU64,
 }
 
 impl FaultyVolume {
-    /// Wrap `inner`; the first `budget` operations succeed.
+    /// Wrap `inner` with a single combined budget: the first `budget`
+    /// operations (reads and writes both count) succeed.
     pub fn new(inner: SharedVolume, budget: u64) -> Arc<FaultyVolume> {
         Arc::new(FaultyVolume {
             inner,
-            remaining: AtomicU64::new(budget),
+            shared_budget: true,
+            reads_left: AtomicU64::new(0),
+            writes_left: AtomicU64::new(budget),
+            read_faults: AtomicU64::new(0),
+            write_faults: AtomicU64::new(0),
         })
     }
 
-    /// Allow `budget` more operations.
+    /// Wrap `inner` with independent budgets: the first `reads` read
+    /// calls and the first `writes` write calls succeed.
+    pub fn with_budgets(inner: SharedVolume, reads: u64, writes: u64) -> Arc<FaultyVolume> {
+        Arc::new(FaultyVolume {
+            inner,
+            shared_budget: false,
+            reads_left: AtomicU64::new(reads),
+            writes_left: AtomicU64::new(writes),
+            read_faults: AtomicU64::new(0),
+            write_faults: AtomicU64::new(0),
+        })
+    }
+
+    /// Allow `budget` more operations (both directions on a
+    /// combined-budget volume, each direction on a split one).
     pub fn heal(&self, budget: u64) {
-        self.remaining.store(budget, Ordering::SeqCst);
+        self.reads_left.store(budget, Ordering::SeqCst);
+        self.writes_left.store(budget, Ordering::SeqCst);
     }
 
-    /// Operations left before the next failure.
+    /// Set the two budgets independently. On a combined-budget volume
+    /// only `writes` takes effect (it is the shared counter).
+    pub fn heal_rw(&self, reads: u64, writes: u64) {
+        self.reads_left.store(reads, Ordering::SeqCst);
+        self.writes_left.store(writes, Ordering::SeqCst);
+    }
+
+    /// Operations left before the next failure: the shared counter on a
+    /// combined-budget volume, the sum of both otherwise.
     pub fn remaining(&self) -> u64 {
-        self.remaining.load(Ordering::SeqCst)
+        if self.shared_budget {
+            self.writes_left.load(Ordering::SeqCst)
+        } else {
+            self.reads_left.load(Ordering::SeqCst) + self.writes_left.load(Ordering::SeqCst)
+        }
     }
 
-    fn charge(&self) -> Result<()> {
+    /// Injected fault counts so far, as `(read_faults, write_faults)`.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        (
+            self.read_faults.load(Ordering::SeqCst),
+            self.write_faults.load(Ordering::SeqCst),
+        )
+    }
+
+    fn charge(counter: &AtomicU64, faults: &AtomicU64, what: &str) -> Result<()> {
         // Decrement-if-positive; at zero every operation fails.
-        let mut cur = self.remaining.load(Ordering::SeqCst);
+        let mut cur = counter.load(Ordering::SeqCst);
         loop {
             if cur == 0 {
-                return Err(Error::Io(std::io::Error::other(
-                    "injected fault: I/O budget exhausted",
-                )));
+                faults.fetch_add(1, Ordering::SeqCst);
+                return Err(Error::Io(std::io::Error::other(format!(
+                    "injected fault: {what} budget exhausted"
+                ))));
             }
-            match self
-                .remaining
-                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
-            {
+            match counter.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return Ok(()),
                 Err(actual) => cur = actual,
             }
         }
+    }
+
+    fn charge_read(&self) -> Result<()> {
+        let counter = if self.shared_budget {
+            &self.writes_left
+        } else {
+            &self.reads_left
+        };
+        Self::charge(counter, &self.read_faults, "I/O")
+    }
+
+    fn charge_write(&self) -> Result<()> {
+        Self::charge(&self.writes_left, &self.write_faults, "I/O")
     }
 }
 
@@ -69,21 +133,30 @@ impl Volume for FaultyVolume {
     }
 
     fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
-        self.charge()?;
+        self.charge_read()?;
         self.inner.read_into(start, pages, buf)
     }
 
     fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
-        self.charge()?;
+        self.charge_write()?;
         self.inner.write_pages(start, data)
     }
 
     fn stats(&self) -> IoStats {
-        self.inner.stats()
+        let mut s = self.inner.stats();
+        s.read_faults += self.read_faults.load(Ordering::SeqCst);
+        s.write_faults += self.write_faults.load(Ordering::SeqCst);
+        s
     }
 
     fn reset_stats(&self) {
+        self.read_faults.store(0, Ordering::SeqCst);
+        self.write_faults.store(0, Ordering::SeqCst);
         self.inner.reset_stats();
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
     }
 }
 
@@ -104,5 +177,38 @@ mod tests {
         f.heal(1);
         assert_eq!(f.read_pages(0, 1).unwrap()[0], 1, "healed");
         assert!(f.read_pages(0, 1).is_err());
+        assert_eq!(f.fault_counts(), (2, 1));
+    }
+
+    #[test]
+    fn split_budgets_are_independent() {
+        let inner = MemVolume::with_profile(128, 16, DiskProfile::FREE).shared();
+        let f = FaultyVolume::with_budgets(inner, u64::MAX, 1);
+        f.write_pages(0, &[7u8; 128]).unwrap();
+        assert!(f.write_pages(1, &[7u8; 128]).is_err(), "writes exhausted");
+        // Reads keep working — exactly what a crashed-then-reopened
+        // volume needs.
+        for _ in 0..10 {
+            assert_eq!(f.read_pages(0, 1).unwrap()[0], 7);
+        }
+        assert!(f.write_pages(1, &[7u8; 128]).is_err());
+        assert_eq!(f.fault_counts(), (0, 2));
+        let s = f.stats();
+        assert_eq!(s.read_faults, 0);
+        assert_eq!(s.write_faults, 2);
+        f.heal_rw(0, 5);
+        assert!(f.read_pages(0, 1).is_err(), "reads now exhausted");
+        f.write_pages(1, &[8u8; 128]).unwrap();
+    }
+
+    #[test]
+    fn reset_stats_clears_fault_counters() {
+        let inner = MemVolume::with_profile(128, 16, DiskProfile::FREE).shared();
+        let f = FaultyVolume::with_budgets(inner, 0, 0);
+        assert!(f.read_pages(0, 1).is_err());
+        assert!(f.write_pages(0, &[0u8; 128]).is_err());
+        assert_eq!(f.stats().faults(), 2);
+        f.reset_stats();
+        assert_eq!(f.stats().faults(), 0);
     }
 }

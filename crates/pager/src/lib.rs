@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod crashpoint;
 mod disk;
 mod error;
 mod faulty;
@@ -48,6 +49,7 @@ mod stats;
 mod volume;
 
 pub use cache::{CacheStats, CachedVolume};
+pub use crashpoint::{CrashPointVolume, WriteRecord};
 pub use disk::{DiskModel, DiskProfile};
 pub use error::{Error, Result};
 pub use faulty::FaultyVolume;

@@ -27,6 +27,13 @@ pub struct IoStats {
     pub write_calls: u64,
     /// Simulated elapsed microseconds under the volume's disk profile.
     pub elapsed_us: u64,
+    /// Read calls rejected by a fault-injection layer
+    /// ([`FaultyVolume`](crate::FaultyVolume) /
+    /// [`CrashPointVolume`](crate::CrashPointVolume)); zero on real
+    /// volumes.
+    pub read_faults: u64,
+    /// Write calls rejected by a fault-injection layer.
+    pub write_faults: u64,
 }
 
 impl IoStats {
@@ -40,6 +47,12 @@ impl IoStats {
     #[inline]
     pub fn calls(&self) -> u64 {
         self.read_calls + self.write_calls
+    }
+
+    /// Total injected faults in either direction.
+    #[inline]
+    pub fn faults(&self) -> u64 {
+        self.read_faults + self.write_faults
     }
 
     /// Simulated elapsed time in milliseconds (floating point).
@@ -60,6 +73,8 @@ impl Sub for IoStats {
             read_calls: self.read_calls - rhs.read_calls,
             write_calls: self.write_calls - rhs.write_calls,
             elapsed_us: self.elapsed_us - rhs.elapsed_us,
+            read_faults: self.read_faults - rhs.read_faults,
+            write_faults: self.write_faults - rhs.write_faults,
         }
     }
 }
@@ -90,6 +105,8 @@ mod tests {
             read_calls: 3,
             write_calls: 1,
             elapsed_us: 5000,
+            read_faults: 1,
+            write_faults: 0,
         };
         let b = IoStats {
             seeks: 5,
@@ -98,12 +115,15 @@ mod tests {
             read_calls: 5,
             write_calls: 3,
             elapsed_us: 9000,
+            read_faults: 2,
+            write_faults: 2,
         };
         let d = b - a;
         assert_eq!(d.seeks, 3);
         assert_eq!(d.transfers(), 11);
         assert_eq!(d.calls(), 4);
         assert_eq!(d.elapsed_us, 4000);
+        assert_eq!(d.faults(), 3);
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub trait Volume: Send + Sync {
     /// Zero the I/O counters and park the simulated head.
     fn reset_stats(&self);
 
+    /// Force all completed writes to stable storage (the commit-point
+    /// barrier of a write-ahead log). In-memory volumes are trivially
+    /// stable, so the default is a no-op; [`FileVolume`] issues a real
+    /// fsync.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// Read `pages` contiguous pages starting at `start` into a fresh
     /// buffer.
     fn read_pages(&self, start: PageId, pages: u64) -> Result<Vec<u8>> {
@@ -104,6 +112,27 @@ impl MemVolume {
             num_pages,
             inner: Mutex::new(MemInner {
                 data: vec![0u8; bytes as usize],
+                disk: DiskModel::new(profile),
+            }),
+        }
+    }
+
+    /// Rebuild a volume from a raw byte image (e.g. the disk image a
+    /// [`crate::CrashPointVolume`] captured at its crash point). The
+    /// image length must be a whole number of pages.
+    pub fn from_bytes(page_size: usize, image: Vec<u8>, profile: DiskProfile) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        assert!(
+            image.len().is_multiple_of(page_size),
+            "image of {} bytes is not a whole number of {page_size}-byte pages",
+            image.len()
+        );
+        let num_pages = (image.len() / page_size) as u64;
+        MemVolume {
+            page_size,
+            num_pages,
+            inner: Mutex::new(MemInner {
+                data: image,
                 disk: DiskModel::new(profile),
             }),
         }
@@ -256,6 +285,11 @@ impl Volume for FileVolume {
 
     fn reset_stats(&self) {
         self.inner.lock().disk.reset();
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.lock().file.sync_all()?;
+        Ok(())
     }
 }
 

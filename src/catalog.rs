@@ -125,6 +125,14 @@ impl Catalog {
         })
     }
 
+    /// Decode a catalog from the raw bytes of a catalog object — used
+    /// by crash recovery to salvage the name map when the boot record
+    /// itself did not survive (the catalog *object* is committed via
+    /// the WAL; only the boot page pointing at it is written raw).
+    pub fn parse(data: &[u8]) -> Result<Catalog> {
+        Self::decode(data)
+    }
+
     /// Persist the catalog: write it as a fresh large object and stamp
     /// its descriptor into the boot record. The previous catalog object
     /// (if any) is deleted afterwards, so a crash between the two steps

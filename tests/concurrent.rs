@@ -5,7 +5,7 @@
 use eos::core::locks::{LockMode, RangeLockManager};
 use eos::core::{ObjectStore, StoreConfig, Threshold};
 use eos::pager::{DiskProfile, MemVolume};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
 
 fn pattern(len: usize) -> Vec<u8> {
     (0..len).map(|i| ((i * 11) % 251) as u8).collect()
@@ -111,4 +111,138 @@ fn locked_writers_serialize_correctly() {
     let o = obj.lock().unwrap();
     assert_eq!(o.size(), 100_000 + 6 * 50 * 16);
     s.verify_object(&o).unwrap();
+}
+
+/// Readers during open writer transactions (§4.5 deferred deallocation).
+///
+/// Shadowed updates (insert/delete/append/truncate) never overwrite
+/// committed pages, and the pages an update supersedes are only freed
+/// when the transaction commits. So a reader holding the last
+/// *committed* descriptor must see byte-exact committed contents even
+/// while a writer transaction has already shadow-updated the object.
+///
+/// The schedule is deterministic (barrier-stepped, fixed xorshift
+/// seed): each round the writer opens a transaction and applies a few
+/// shadowed ops, then parks while every reader hammers the previous
+/// committed descriptor — concurrently with the open, uncommitted
+/// transaction — then the writer commits (or aborts, every 5th round)
+/// and publishes. A torn read or a reused-too-early page shows up as a
+/// byte mismatch.
+#[test]
+fn readers_see_committed_state_during_writer_txns() {
+    const ROUNDS: usize = 24;
+    const READERS: usize = 4;
+    const READS_PER_ROUND: usize = 16;
+
+    let store = Arc::new(RwLock::new(ObjectStore::in_memory(1024, 8_000)));
+    // (descriptor bytes, expected contents) of the last committed state.
+    let published = {
+        let mut s = store.write().unwrap();
+        let data = pattern(120_000);
+        let o = s.create_with(&data, None).unwrap();
+        Arc::new(Mutex::new((o, data)))
+    };
+    // Three rendezvous per round: A = txn open, readers go; B = readers
+    // done, writer may commit; C = published, next round.
+    let barrier = Arc::new(Barrier::new(READERS + 1));
+
+    let mut threads = Vec::new();
+    for t in 0..READERS as u64 {
+        let store = store.clone();
+        let published = published.clone();
+        let barrier = barrier.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut x = 0x2545_F491_4F6C_DD1Du64 ^ (t + 1);
+            for _ in 0..ROUNDS {
+                barrier.wait(); // A: txn is open, shadows in place
+                let (obj, expected) = published.lock().unwrap().clone();
+                let s = store.read().unwrap();
+                assert!(s.in_txn(), "writer transaction should be open");
+                for _ in 0..READS_PER_ROUND {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let size = obj.size();
+                    let off = x % size;
+                    let len = ((x >> 33) % 7_000).min(size - off);
+                    let got = s.read(&obj, off, len).unwrap();
+                    assert_eq!(
+                        got,
+                        &expected[off as usize..(off + len) as usize],
+                        "torn read at {off}+{len} during open txn"
+                    );
+                }
+                drop(s);
+                barrier.wait(); // B: readers done
+                barrier.wait(); // C: writer published
+            }
+        }));
+    }
+
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut step = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for round in 0..ROUNDS {
+        let (mut obj, mut model) = published.lock().unwrap().clone();
+        {
+            let mut s = store.write().unwrap();
+            s.begin_txn();
+            for _ in 0..3 {
+                let size = model.len() as u64;
+                match step() % 4 {
+                    0 => {
+                        let at = step() % (size + 1);
+                        let data = pattern(1 + (step() % 4_000) as usize);
+                        s.insert(&mut obj, at, &data).unwrap();
+                        model.splice(at as usize..at as usize, data.iter().copied());
+                    }
+                    1 if size > 1 => {
+                        let at = step() % size;
+                        let len = (step() % 3_000).min(size - at).max(1);
+                        s.delete(&mut obj, at, len).unwrap();
+                        model.drain(at as usize..(at + len) as usize);
+                    }
+                    2 => {
+                        let data = pattern(1 + (step() % 5_000) as usize);
+                        s.append(&mut obj, &data).unwrap();
+                        model.extend_from_slice(&data);
+                    }
+                    _ if size > 1 => {
+                        let to = size - (step() % (size / 2)).max(1);
+                        s.truncate(&mut obj, to).unwrap();
+                        model.truncate(to as usize);
+                    }
+                    _ => {}
+                }
+            }
+        } // drop write guard: txn stays open, deferred frees pending
+        barrier.wait(); // A — readers verify the *previous* commit
+        barrier.wait(); // B — readers done
+        {
+            let mut s = store.write().unwrap();
+            if round % 5 == 4 {
+                // Abort: shadow pages are freed, the committed state
+                // (what readers just verified) remains the truth.
+                s.abort_txn().unwrap();
+            } else {
+                s.commit_txn().unwrap();
+                *published.lock().unwrap() = (obj, model);
+            }
+        }
+        barrier.wait(); // C
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let s = store.read().unwrap();
+    let (obj, model) = published.lock().unwrap().clone();
+    assert_eq!(s.read_all(&obj).unwrap(), model);
+    let named = vec![("obj".to_string(), obj.clone())];
+    let report = eos_check::check_store(&s, &named, None);
+    assert!(report.is_clean(), "{}", report.render_table());
 }

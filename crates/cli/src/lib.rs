@@ -134,9 +134,11 @@ fn run_check(path: &Path) -> Result<eos_check::Report> {
             }
             Ok(eos_check::check_store(&store, &objects, None))
         }
-        Err(_) => {
-            // The store refused to open (torn directory, bad boot
-            // record, …): audit the raw directory pages instead.
+        Err(open_err) => {
+            // The store refused to open (corrupt log superblocks, torn
+            // directory, bad boot record, …): audit the raw directory
+            // pages instead, and surface the refusal itself as an
+            // error — a volume whose store cannot open is never clean.
             let meta = std::fs::metadata(path)
                 .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
             let total_pages = meta.len() / PAGE_SIZE as u64;
@@ -144,7 +146,17 @@ fn run_check(path: &Path) -> Result<eos_check::Report> {
             let vol = FileVolume::open(path, PAGE_SIZE, DiskProfile::MODERN_HDD)
                 .map_err(map_err)?
                 .shared();
-            Ok(eos_check::audit_volume(&vol, spaces, pps))
+            let mut report = eos_check::audit_volume(&vol, spaces, pps);
+            report.findings.insert(
+                0,
+                eos_check::Finding {
+                    severity: eos_check::Severity::Error,
+                    layer: eos_check::Layer::Wal,
+                    location: path.display().to_string(),
+                    detail: format!("store failed to open: {open_err}"),
+                },
+            );
+            Ok(report)
         }
     }
 }
@@ -654,10 +666,11 @@ mod tests {
         call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
         // Smashing a buddy directory is no longer enough: restart
         // recovery rebuilds the directories from the log on every open.
-        // Smash both log superblock slots instead — recovery then sees a
-        // virgin log and rebuilds *empty* maps, and the census must flag
-        // every cataloged object's pages as referenced-but-free and exit
-        // non-zero, without panicking.
+        // Smash both log superblock slots instead — attach refuses to
+        // open a non-virgin region with no valid superblock (silently
+        // reformatting would be data loss), and `check` must surface
+        // that refusal as an error and exit non-zero, without
+        // panicking.
         let total_pages = std::fs::metadata(&db).unwrap().len() / PAGE_SIZE as u64;
         let (spaces, pps) = layout_for(total_pages);
         let sb_base = (pps + 1) * spaces as u64;

@@ -71,11 +71,14 @@ pub struct StoreConfig {
     /// it rather than at the next `eos check`, at a large cost in time —
     /// meant for tests and debugging, like RocksDB's `paranoid_checks`.
     pub paranoid_checks: bool,
-    /// On a durable store (one with an attached on-disk log), force the
-    /// log to stable storage (`fsync`) when a transaction commits —
-    /// the commit point of §4.5. Turning this off trades the durability
-    /// guarantee for speed on volumes where syncs cost real time;
-    /// in-memory volumes ignore it (they are trivially stable).
+    /// On a durable store (one with an attached on-disk log), enforce
+    /// the write-ordering barriers (`fsync`) of §4.5: shadowed pages
+    /// before the commit record, the commit record itself, `replace`
+    /// undo images before the in-place overwrite, and rollback restores
+    /// before the abort record. Turning this off trades the whole
+    /// crash-consistency guarantee for speed on volumes where syncs
+    /// cost real time; in-memory volumes ignore it (they are trivially
+    /// stable).
     pub sync_on_commit: bool,
 }
 

@@ -13,14 +13,21 @@
 //! page base+2+H …        log half 1 ─┘ checkpoint flips to the other
 //! ```
 //!
-//! Records are framed `[len u32][crc32 u32][payload]` and terminated by
-//! a zero length word. The scan cuts the log at the first frame whose
-//! length overruns the half, whose CRC mismatches, or whose payload
-//! fails to parse — that is the **torn tail**: the prefix before it is
-//! exactly the set of records whose writes completed before the power
-//! died, because every append goes to disk before [`DurableWal::append`]
-//! returns (pages are written front to back, so a power loss always
-//! leaves a record prefix plus at most one torn frame).
+//! Records are framed `[len u32][epoch u32][crc32 u32][payload]` and
+//! terminated by a zero length word. The epoch stamp is the half's
+//! occupancy epoch: after a flip the inactive half still holds
+//! CRC-valid frames from its previous occupancy, and without the stamp
+//! a crash that persists a new frame's leading pages but not its
+//! terminator could let the scan run off the new frame onto a stale
+//! one, replaying a phantom record. The scan cuts the log at the first
+//! frame whose length overruns the half, whose epoch is not the active
+//! half's, whose CRC (sealing epoch + payload) mismatches, or whose
+//! payload fails to parse — that is the **torn tail**: the prefix
+//! before it is exactly the set of records whose writes completed
+//! before the power died, because every append goes to disk before
+//! [`DurableWal::append`] returns (pages are written front to back, so
+//! a power loss always leaves a record prefix plus at most one torn
+//! frame).
 //!
 //! The **commit point** is the append (plus fsync) of a
 //! [`WalEntry::Commit`] record carrying the serialized root descriptors
@@ -47,13 +54,14 @@ use crate::wal::{put_bytes, LogRecord, Reader};
 
 /// Magic tag of a log superblock ("EOSW").
 const SB_MAGIC: u32 = 0x454F_5357;
-/// On-disk format version of the log region.
-const SB_VERSION: u32 = 1;
+/// On-disk format version of the log region (v2 added the epoch stamp
+/// to every frame header).
+const SB_VERSION: u32 = 2;
 /// Serialized superblock length: magic 4 + version 4 + epoch 8 +
 /// active 1 + crc 4.
 const SB_LEN: usize = 21;
-/// Frame header: length (4) + CRC-32 (4).
-const FRAME_HEADER: u64 = 8;
+/// Frame header: length (4) + epoch (4) + CRC-32 (4).
+const FRAME_HEADER: u64 = 12;
 
 // ---- CRC-32 (IEEE 802.3) ------------------------------------------------
 
@@ -79,14 +87,23 @@ const fn crc32_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = crc32_table();
 
-/// CRC-32 (IEEE) of `data` — the checksum sealing every log record and
-/// superblock.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+fn crc32_feed(mut c: u32, data: &[u8]) -> u32 {
     for &b in data {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    c
+}
+
+/// CRC-32 (IEEE) of `data` — the checksum sealing every log record and
+/// superblock.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_feed(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// CRC of a log frame: seals the epoch stamp *and* the payload, so a
+/// frame whose epoch field was damaged cannot validate either.
+fn frame_crc(epoch: u32, payload: &[u8]) -> u32 {
+    crc32_feed(crc32_feed(0xFFFF_FFFF, &epoch.to_le_bytes()), payload) ^ 0xFFFF_FFFF
 }
 
 // ---- log entries --------------------------------------------------------
@@ -348,6 +365,10 @@ pub struct DurableWal {
     half_pages: u64,
     active: u8,
     epoch: u64,
+    /// Which superblock slot holds the epoch currently in force. A
+    /// checkpoint always publishes to the *other* slot, so a torn
+    /// superblock write leaves this one intact.
+    sb_slot: u8,
     /// Byte offset within the active half where the next frame goes.
     head: u64,
     next_lsn: u64,
@@ -373,13 +394,6 @@ impl DurableWal {
 
     fn half_base(&self, half: u8) -> PageId {
         self.base + 2 + u64::from(half) * self.half_pages
-    }
-
-    fn sb_for(volume: &SharedVolume, base: PageId, slot: u8) -> Option<Superblock> {
-        volume
-            .read_pages(base + u64::from(slot), 1)
-            .ok()
-            .and_then(|p| Superblock::from_page(&p))
     }
 
     fn check_region(volume: &SharedVolume, base: PageId, pages: u64) -> Result<u64> {
@@ -410,12 +424,14 @@ impl DurableWal {
         };
         volume.write_pages(base, &sb.to_page(ps))?;
         volume.write_pages(base + 1, &vec![0u8; ps])?;
+        volume.sync()?;
         Ok(DurableWal {
             volume,
             base,
             half_pages,
             active: 0,
             epoch: 1,
+            sb_slot: 0,
             head: 0,
             next_lsn: 1,
             committed: BTreeMap::new(),
@@ -430,21 +446,33 @@ impl DurableWal {
 
     /// Attach to an existing log region: pick the valid superblock with
     /// the highest epoch (a torn superblock write leaves the other slot
-    /// in force) and scan its half up to the torn tail. A region with
-    /// no valid superblock is formatted fresh.
+    /// in force) and scan its half up to the torn tail. A *virgin*
+    /// region — both superblock pages all zero — is formatted fresh; a
+    /// region where neither slot validates but bytes are present is
+    /// refused, so detectable corruption never silently reformats away
+    /// committed state.
     pub fn attach(volume: SharedVolume, base: PageId, pages: u64) -> Result<DurableWal> {
         let half_pages = Self::check_region(&volume, base, pages)?;
-        let best = match (
-            Self::sb_for(&volume, base, 0),
-            Self::sb_for(&volume, base, 1),
-        ) {
-            (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { a } else { b }),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
+        let slot0 = volume.read_pages(base, 1)?;
+        let slot1 = volume.read_pages(base + 1, 1)?;
+        let best = match (Superblock::from_page(&slot0), Superblock::from_page(&slot1)) {
+            (Some(a), Some(b)) => Some(if a.epoch >= b.epoch { (a, 0) } else { (b, 1) }),
+            (Some(a), None) => Some((a, 0)),
+            (None, Some(b)) => Some((b, 1)),
             (None, None) => None,
         };
-        let Some(sb) = best else {
-            return Self::format(volume, base, pages);
+        let Some((sb, slot)) = best else {
+            let virgin = slot0.iter().all(|&b| b == 0) && slot1.iter().all(|&b| b == 0);
+            if virgin {
+                return Self::format(volume, base, pages);
+            }
+            return Err(Error::CorruptObject {
+                reason: format!(
+                    "log region at page {base}: neither superblock slot validates \
+                     and the region is not virgin — refusing to reformat \
+                     (run explicit salvage)"
+                ),
+            });
         };
         let mut wal = DurableWal {
             volume,
@@ -452,6 +480,7 @@ impl DurableWal {
             half_pages,
             active: sb.active,
             epoch: sb.epoch,
+            sb_slot: slot,
             head: 0,
             next_lsn: 1,
             committed: BTreeMap::new(),
@@ -480,16 +509,24 @@ impl DurableWal {
             }
             let h = &half[at as usize..(at + FRAME_HEADER) as usize];
             let len = u64::from(u32::from_le_bytes(h[0..4].try_into().unwrap()));
-            let crc = u32::from_le_bytes(h[4..8].try_into().unwrap());
+            let epoch = u32::from_le_bytes(h[4..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(h[8..12].try_into().unwrap());
             if len == 0 {
                 break; // clean tail
+            }
+            if epoch != self.epoch as u32 {
+                // A CRC-valid frame left over from this half's previous
+                // occupancy — reachable only when the current occupant's
+                // terminator was lost to a partial persist.
+                self.torn_tail = true;
+                break;
             }
             if at + FRAME_HEADER + len > limit {
                 self.torn_tail = true;
                 break;
             }
             let payload = &half[(at + FRAME_HEADER) as usize..(at + FRAME_HEADER + len) as usize];
-            if crc32(payload) != crc {
+            if frame_crc(epoch, payload) != crc {
                 self.torn_tail = true;
                 break;
             }
@@ -589,10 +626,12 @@ impl DurableWal {
                 *b = 0;
             }
         }
+        let epoch = self.epoch as u32;
         buf[within..within + 4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf[within + 4..within + 8].copy_from_slice(&crc32(payload).to_le_bytes());
-        buf[within + 8..within + 8 + payload.len()].copy_from_slice(payload);
-        // The 8 zero bytes after the payload are already zero: the
+        buf[within + 4..within + 8].copy_from_slice(&epoch.to_le_bytes());
+        buf[within + 8..within + 12].copy_from_slice(&frame_crc(epoch, payload).to_le_bytes());
+        buf[within + 12..within + 12 + payload.len()].copy_from_slice(payload);
+        // The zero bytes after the payload are already zero: the
         // terminator.
         self.volume
             .write_pages(self.half_base(self.active) + first_page, &buf)?;
@@ -620,8 +659,13 @@ impl DurableWal {
 
         let old_active = self.active;
         let old_head = self.head;
+        let old_epoch = self.epoch;
         self.active = 1 - self.active;
         self.head = 0;
+        // Frames in the new half carry the epoch under which the half
+        // will be scanned, distinguishing them from any CRC-valid
+        // leftovers of its previous occupancy.
+        self.epoch += 1;
         let mut write_all = || -> Result<()> {
             let cp_bytes = cp.to_bytes();
             let mut need = FRAME_HEADER + cp_bytes.len() as u64;
@@ -644,19 +688,25 @@ impl DurableWal {
             // Nothing published: the old half is still the log.
             self.active = old_active;
             self.head = old_head;
+            self.epoch = old_epoch;
             return Err(e);
         }
         // Barrier: the new half must be stable before it is published.
         self.volume.sync()?;
         let sb = Superblock {
-            epoch: self.epoch + 1,
+            epoch: self.epoch,
             active: self.active,
         };
-        let slot = (self.epoch + 1) % 2;
-        self.volume
-            .write_pages(self.base + slot, &sb.to_page(self.volume.page_size()))?;
+        // Always publish into the slot *not* holding the epoch in
+        // force, so a torn superblock write loses at most this
+        // checkpoint, never the log it supersedes.
+        let slot = 1 - self.sb_slot;
+        self.volume.write_pages(
+            self.base + u64::from(slot),
+            &sb.to_page(self.volume.page_size()),
+        )?;
         self.volume.sync()?;
-        self.epoch += 1;
+        self.sb_slot = slot;
         self.checkpoints_taken += 1;
         Ok(())
     }
@@ -902,6 +952,85 @@ mod tests {
         let mut wal = DurableWal::format(v, 0, 8).unwrap();
         let err = wal.append(op_entry(1, 5, &[0u8; 4096])).unwrap_err();
         assert!(matches!(err, Error::LogFull { .. }), "got {err}");
+    }
+
+    #[test]
+    fn checkpoints_alternate_superblock_slots() {
+        let v = vol(64);
+        let ps = 256usize;
+        let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+        wal.append(op_entry(1, 5, b"aaa")).unwrap();
+        wal.append(WalEntry::Commit {
+            lsn: 1,
+            touched: vec![(5, vec![1])],
+            deleted: vec![],
+        })
+        .unwrap();
+        let epoch_of = |page: Vec<u8>| Superblock::from_page(&page).map(|sb| sb.epoch);
+        assert_eq!(epoch_of(v.read_pages(0, 1).unwrap()), Some(1));
+        assert_eq!(epoch_of(v.read_pages(1, 1).unwrap()), None, "slot 1 zeroed");
+
+        // The first checkpoint must publish into the *other* slot —
+        // overwriting slot 0 here would leave a torn superblock write
+        // with zero valid slots.
+        wal.checkpoint().unwrap();
+        assert_eq!(epoch_of(v.read_pages(0, 1).unwrap()), Some(1));
+        assert_eq!(epoch_of(v.read_pages(1, 1).unwrap()), Some(2));
+        wal.checkpoint().unwrap();
+        assert_eq!(epoch_of(v.read_pages(0, 1).unwrap()), Some(3));
+        assert_eq!(epoch_of(v.read_pages(1, 1).unwrap()), Some(2));
+
+        // A torn write of the newest superblock loses only that
+        // checkpoint: attach falls back to the other slot and still
+        // sees the committed state.
+        v.write_pages(0, &vec![0xAAu8; ps]).unwrap();
+        let wal2 = DurableWal::attach(v, 0, 64).unwrap();
+        assert_eq!(wal2.epoch, 2);
+        assert_eq!(wal2.committed()[&5], vec![1]);
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_rejected() {
+        let v = vol(64);
+        {
+            let wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+            drop(wal);
+        }
+        // Forge a CRC-valid frame stamped with a *different* epoch at
+        // the head of the active half — the disk state a lost
+        // terminator write would leave behind after a half flip.
+        let payload = op_entry(9, 5, b"phantom").to_bytes();
+        let mut page = vec![0u8; 256];
+        page[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        page[4..8].copy_from_slice(&7u32.to_le_bytes());
+        page[8..12].copy_from_slice(&frame_crc(7, &payload).to_le_bytes());
+        page[12..12 + payload.len()].copy_from_slice(&payload);
+        v.write_pages(2, &page).unwrap();
+
+        let wal = DurableWal::attach(v, 0, 64).unwrap();
+        assert!(wal.torn_tail(), "stale frame is cut, not replayed");
+        assert_eq!(wal.records_scanned(), 0);
+        assert!(wal.pending().is_empty());
+    }
+
+    #[test]
+    fn corrupt_superblocks_refuse_to_reformat() {
+        let v = vol(64);
+        {
+            let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+            wal.append(WalEntry::Commit {
+                lsn: 1,
+                touched: vec![(5, vec![1])],
+                deleted: vec![],
+            })
+            .unwrap();
+        }
+        // Smash both superblock slots: detectable corruption must be
+        // surfaced, not silently formatted over.
+        v.write_pages(0, &vec![0x55u8; 256]).unwrap();
+        v.write_pages(1, &vec![0x55u8; 256]).unwrap();
+        let err = DurableWal::attach(v, 0, 64).map(|_| ()).unwrap_err();
+        assert!(matches!(err, Error::CorruptObject { .. }), "got {err}");
     }
 
     #[test]

@@ -265,13 +265,17 @@ impl ObjectStore {
     }
 
     /// Commit the open scope: apply every deferred free. On a durable
-    /// store the **commit point** comes first — a [`WalEntry::Commit`]
-    /// record carrying the new root of every touched object is appended
-    /// to the on-disk log and (with [`StoreConfig::sync_on_commit`])
-    /// forced to stable storage; only then are the deferred frees
-    /// applied. A crash on either side of that append recovers cleanly:
-    /// before it, the transaction never happened; after it, restart
-    /// recovery rebuilds the allocator state from the committed roots.
+    /// store the **commit point** comes first — the volume is synced so
+    /// every shadowed page the scope wrote is durable (the
+    /// data-before-log barrier: the commit record must never point at
+    /// pages the OS could still be holding back), then a
+    /// [`WalEntry::Commit`] record carrying the new root of every
+    /// touched object is appended to the on-disk log and forced to
+    /// stable storage; only then are the deferred frees applied. Both
+    /// barriers are gated on [`StoreConfig::sync_on_commit`]. A crash
+    /// on either side of that append recovers cleanly: before it, the
+    /// transaction never happened; after it, restart recovery rebuilds
+    /// the allocator state from the committed roots.
     /// On a non-durable store the caller makes the new descriptor
     /// durable (that write is the commit point, since the root is
     /// client-placed).
@@ -293,8 +297,8 @@ impl ObjectStore {
                     deleted: txn.deleted,
                 };
                 let sync = self.config.sync_on_commit;
-                let committed = wal
-                    .append(entry)
+                let committed = (if sync { wal.sync() } else { Ok(()) })
+                    .and_then(|()| wal.append(entry))
                     .and_then(|()| if sync { wal.sync() } else { Ok(()) });
                 if let Err(e) = committed {
                     self.buddy.abort_frees(txn.batch);
@@ -310,12 +314,20 @@ impl ObjectStore {
     /// never happen) and return every page the scope allocated. The
     /// caller goes back to its pre-transaction descriptor copy. On a
     /// durable store the in-place writes of any logged `replace` are
-    /// first reversed from their before-images, and an
-    /// [`WalEntry::Abort`] record closes the scope in the log (written
-    /// *after* the reversal — if the abort itself is interrupted,
-    /// restart recovery simply rolls the scope back again).
+    /// first reversed from their before-images, the restores are synced
+    /// to stable storage, and only then does an [`WalEntry::Abort`]
+    /// record close the scope in the log — without that barrier the
+    /// Abort frame could persist ahead of the restores, and recovery
+    /// (trusting the Abort) would skip the undo. If the abort itself is
+    /// interrupted before the record lands, restart recovery simply
+    /// rolls the scope back again.
     pub fn abort_txn(&mut self) -> Result<()> {
         let txn = self.txn.take().expect("no open transaction");
+        let restored_images = self.wal.as_ref().is_some_and(|w| {
+            w.pending()
+                .iter()
+                .any(|e| matches!(e, WalEntry::Op { page_images, .. } if !page_images.is_empty()))
+        });
         if self.wal.is_some() {
             self.rollback_pending_images()?;
         }
@@ -325,6 +337,10 @@ impl ObjectStore {
         }
         if let Some(wal) = &mut self.wal {
             if !wal.pending().is_empty() {
+                if restored_images && self.config.sync_on_commit {
+                    // Restores-before-Abort barrier.
+                    wal.sync()?;
+                }
                 let lsn = wal.last_lsn();
                 wal.append(WalEntry::Abort { lsn })?;
             }

@@ -174,6 +174,14 @@ impl ObjectStore {
                 page_images: images,
             };
             s.wal.as_mut().unwrap().append(entry)?;
+            if s.config.sync_on_commit {
+                // The append only hands the frame to the OS; the sync
+                // is what makes the undo images durable. Without it the
+                // page cache could persist the in-place overwrites
+                // below ahead of the log frame, and a power loss would
+                // leave committed bytes with no durable undo.
+                s.wal.as_ref().unwrap().sync()?;
+            }
             ops::replace::run(s, obj, offset, data)?;
             s.note_touched(obj);
             s.paranoid_check(obj)

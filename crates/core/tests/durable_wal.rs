@@ -173,6 +173,152 @@ fn reopen_is_idempotent() {
     );
 }
 
+// ---- write-ordering barriers --------------------------------------------
+//
+// The crash sweep cannot catch a missing fsync barrier: its injected
+// volume persists writes in order, while a real OS page cache may
+// reorder them. These tests pin the barrier protocol itself by
+// recording the interleaving of write and sync calls.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Write { start: u64, pages: u64 },
+    Sync,
+}
+
+struct EventVolume {
+    inner: SharedVolume,
+    events: std::sync::Mutex<Vec<Event>>,
+}
+
+impl EventVolume {
+    fn new(inner: SharedVolume) -> std::sync::Arc<EventVolume> {
+        std::sync::Arc::new(EventVolume {
+            inner,
+            events: std::sync::Mutex::new(Vec::new()),
+        })
+    }
+
+    fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+}
+
+impl eos_pager::Volume for EventVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+    fn read_into(&self, start: u64, pages: u64, buf: &mut [u8]) -> eos_pager::Result<()> {
+        self.inner.read_into(start, pages, buf)
+    }
+    fn write_pages(&self, start: u64, data: &[u8]) -> eos_pager::Result<()> {
+        self.events.lock().unwrap().push(Event::Write {
+            start,
+            pages: (data.len() / self.inner.page_size()) as u64,
+        });
+        self.inner.write_pages(start, data)
+    }
+    fn stats(&self) -> eos_pager::IoStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+    fn sync(&self) -> eos_pager::Result<()> {
+        self.events.lock().unwrap().push(Event::Sync);
+        self.inner.sync()
+    }
+}
+
+const WAL_BASE: u64 = (PPS + 1) * SPACES as u64;
+
+fn is_log_write(e: &Event) -> bool {
+    matches!(e, Event::Write { start, .. } if *start >= WAL_BASE)
+}
+
+fn is_data_write(e: &Event) -> bool {
+    matches!(e, Event::Write { start, .. } if *start < WAL_BASE)
+}
+
+/// Index of the first sync strictly after `from`, if any.
+fn sync_after(events: &[Event], from: usize) -> Option<usize> {
+    events[from + 1..]
+        .iter()
+        .position(|e| *e == Event::Sync)
+        .map(|i| from + 1 + i)
+}
+
+#[test]
+fn replace_barriers_order_undo_data_and_commit() {
+    let recorder = EventVolume::new(fresh_volume());
+    let vol: SharedVolume = recorder.clone();
+    let mut store = create(vol);
+    let mut a = store.create_with(&pattern(4 * PAGE, 1), None).unwrap();
+    recorder.take();
+
+    store.replace(&mut a, 100, &pattern(900, 2)).unwrap();
+    let events = recorder.take();
+
+    // WAL rule: the Op frame (undo images) is written and *synced*
+    // before the first in-place data write.
+    let first_log = events.iter().position(is_log_write).expect("an Op frame");
+    let first_data = events
+        .iter()
+        .position(is_data_write)
+        .expect("in-place writes");
+    assert!(first_log < first_data, "undo frame precedes the overwrite");
+    let barrier = sync_after(&events, first_log).expect("a sync after the Op frame");
+    assert!(
+        barrier < first_data,
+        "undo images must be durable before the first in-place byte: {events:?}"
+    );
+
+    // Data-before-log: every data write is synced before the Commit
+    // frame (the last log write) lands.
+    let last_log = events.iter().rposition(is_log_write).unwrap();
+    let last_data = events.iter().rposition(is_data_write).unwrap();
+    assert!(last_data < last_log, "commit frame is the final frame");
+    let commit_barrier = sync_after(&events, last_data).expect("a sync after the data writes");
+    assert!(
+        commit_barrier < last_log,
+        "data pages must be durable before the commit frame: {events:?}"
+    );
+    assert_eq!(
+        events.last(),
+        Some(&Event::Sync),
+        "the commit frame itself is synced"
+    );
+}
+
+#[test]
+fn abort_syncs_restores_before_the_abort_frame() {
+    let recorder = EventVolume::new(fresh_volume());
+    let vol: SharedVolume = recorder.clone();
+    let mut store = create(vol);
+    let mut a = store.create_with(&pattern(4 * PAGE, 1), None).unwrap();
+
+    store.begin_txn();
+    store.replace(&mut a, 0, &pattern(700, 3)).unwrap();
+    recorder.take();
+    store.abort_txn().unwrap();
+    let events = recorder.take();
+
+    // The before-image restores (data writes) must be durable before
+    // the Abort frame — otherwise a crash can persist the Abort and
+    // recovery would skip the undo.
+    let last_data = events.iter().rposition(is_data_write).expect("restores");
+    let abort_frame = events.iter().rposition(is_log_write).expect("Abort frame");
+    assert!(last_data < abort_frame);
+    let barrier = sync_after(&events, last_data).expect("a sync after the restores");
+    assert!(
+        barrier < abort_frame,
+        "restores must be durable before the Abort frame: {events:?}"
+    );
+}
+
 #[test]
 fn log_wraps_under_sustained_load() {
     let vol = fresh_volume();

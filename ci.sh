@@ -7,6 +7,9 @@ cd "$(dirname "$0")"
 echo "== fmt =="
 cargo fmt --all --check
 
+echo "== lint (eos-lint: panic-path ratchet, latch discipline, FORMAT.md drift) =="
+cargo run -q --offline -p eos-lint -- .
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

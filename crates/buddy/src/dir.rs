@@ -11,6 +11,12 @@ use crate::amap::{AMap, SegDesc, SegState};
 use crate::error::{Error, Result};
 use crate::geometry::Geometry;
 
+/// Each count-array entry is a little-endian u16 (paper §3: "two bytes
+/// per count").
+pub const COUNT_ENTRY_BYTES: usize = 2; // format-anchor: DIR_COUNT_ENTRY_BYTES
+/// Allocation-map density: 2 bits per page, 4 pages per byte.
+pub const AMAP_PAGES_PER_BYTE: u64 = 4; // format-anchor: AMAP_PAGES_PER_BYTE
+
 /// Decoded directory of one buddy space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpaceDir {
@@ -336,13 +342,12 @@ impl SpaceDir {
     /// Serialize to directory-page bytes: the count array (2-byte
     /// entries) followed by the allocation map (Fig 1).
     pub fn to_page(&self) -> Vec<u8> {
-        let mut page = vec![0u8; self.geometry.page_size];
-        for (i, &c) in self.counts.iter().enumerate() {
-            page[2 * i..2 * i + 2].copy_from_slice(&c.to_le_bytes());
+        let mut page = Vec::with_capacity(self.geometry.page_size);
+        for &c in &self.counts {
+            page.extend_from_slice(&c.to_le_bytes());
         }
-        let off = 2 * self.counts.len();
-        let map = self.amap.as_bytes();
-        page[off..off + map.len()].copy_from_slice(map);
+        page.extend_from_slice(self.amap.as_bytes());
+        page.resize(self.geometry.page_size, 0);
         page
     }
 
@@ -356,10 +361,11 @@ impl SpaceDir {
         let entries = geometry.count_entries();
         let mut counts = Vec::with_capacity(entries);
         for i in 0..entries {
-            counts.push(u16::from_le_bytes([page[2 * i], page[2 * i + 1]]));
+            let at = COUNT_ENTRY_BYTES * i;
+            counts.push(u16::from_le_bytes([page[at], page[at + 1]]));
         }
-        let off = 2 * entries;
-        let nbytes = data_pages.div_ceil(4) as usize;
+        let off = COUNT_ENTRY_BYTES * entries;
+        let nbytes = data_pages.div_ceil(AMAP_PAGES_PER_BYTE) as usize;
         if off + nbytes > geometry.page_size {
             return Err(Error::CorruptDirectory {
                 reason: "map does not fit the directory page".into(),
@@ -395,10 +401,11 @@ impl SpaceDir {
         let entries = geometry.count_entries();
         let mut counts = Vec::with_capacity(entries);
         for i in 0..entries {
-            counts.push(u16::from_le_bytes([page[2 * i], page[2 * i + 1]]));
+            let at = COUNT_ENTRY_BYTES * i;
+            counts.push(u16::from_le_bytes([page[at], page[at + 1]]));
         }
-        let off = 2 * entries;
-        let nbytes = data_pages.div_ceil(4) as usize;
+        let off = COUNT_ENTRY_BYTES * entries;
+        let nbytes = data_pages.div_ceil(AMAP_PAGES_PER_BYTE) as usize;
         if off + nbytes > geometry.page_size {
             return Err(Error::CorruptDirectory {
                 reason: "map does not fit the directory page".into(),

@@ -412,6 +412,39 @@ pub fn run(args: &[String]) -> Result<String> {
                     return Err(CliError(rendered));
                 }
             }
+            ("lint", opts) => {
+                let mut json = false;
+                let mut root = None;
+                let mut lint_opts = eos_lint::Options::default();
+                for o in opts {
+                    match o.as_str() {
+                        "--json" => json = true,
+                        "--verbose" => lint_opts.verbose = true,
+                        "--update-ratchet" => lint_opts.update_ratchet = true,
+                        other if !other.starts_with('-') && root.is_none() => {
+                            root = Some(other.to_string());
+                        }
+                        other => bail!("unknown option {other}"),
+                    }
+                }
+                let root = root.unwrap_or_else(|| ".".to_string());
+                let report = eos_lint::lint_workspace(Path::new(&root), &lint_opts)
+                    .map_err(|e| CliError(format!("lint {root}: {e}")))?;
+                let rendered = if json {
+                    let mut j = report.to_json();
+                    j.push('\n');
+                    j
+                } else {
+                    report.render_table()
+                };
+                // Same gate semantics as `check`: anything worse than
+                // informational fails the command but still prints.
+                if report.is_clean() {
+                    out.push_str(&rendered);
+                } else {
+                    return Err(CliError(rendered));
+                }
+            }
             ("recover", [file]) => {
                 let path = Path::new(file);
                 let (mut store, report) = open_store_recover(path)?;
@@ -553,7 +586,11 @@ usage: eos <command> ...
                                   found, reconcile the catalog
   check <file> [--json]           full static analysis: audit every
                                   buddy directory, census every page,
-                                  report all findings (fsck)";
+                                  report all findings (fsck)
+  lint [root] [--json] [--verbose] [--update-ratchet]
+                                  source-level invariant linter:
+                                  panic-path ratchet, latch discipline,
+                                  FORMAT.md drift (default root: .)";
 
 #[cfg(test)]
 mod tests {
@@ -568,6 +605,19 @@ mod tests {
     fn call(args: &[&str]) -> Result<String> {
         let v: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
         run(&v)
+    }
+
+    #[test]
+    fn lint_subcommand_runs_clean_on_the_workspace() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap();
+        let text = call(&["lint", root.to_str().unwrap()]).unwrap();
+        assert!(text.contains("linted"), "{text}");
+        let json = call(&["lint", root.to_str().unwrap(), "--json"]).unwrap();
+        assert!(json.contains("\"clean\":true"), "{json}");
+        assert!(call(&["lint", "--bogus"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Bounds-checked little-endian field readers for the decode paths.
+//!
+//! Recovery feeds `from_bytes`/`from_page`/the log scan raw disk pages,
+//! so every fixed-width read must surface a truncated or corrupt buffer
+//! as a typed [`Error::CorruptObject`] instead of a slice-index panic.
+//! These helpers are the only sanctioned way to pull a fixed-width
+//! integer out of an untrusted byte buffer (enforced by `eos lint`).
+
+use crate::error::{Error, Result};
+
+fn truncated(what: &'static str, off: usize) -> Error {
+    Error::CorruptObject {
+        reason: format!("truncated {what} at byte {off}"),
+    }
+}
+
+/// `N` bytes at `data[off..]`, or a typed error naming the field.
+pub(crate) fn array_at<const N: usize>(
+    data: &[u8],
+    off: usize,
+    what: &'static str,
+) -> Result<[u8; N]> {
+    match off.checked_add(N).and_then(|end| data.get(off..end)) {
+        Some(s) => {
+            let mut b = [0u8; N];
+            b.copy_from_slice(s);
+            Ok(b)
+        }
+        None => Err(truncated(what, off)),
+    }
+}
+
+/// Little-endian `u16` at `off`.
+pub(crate) fn u16_at(data: &[u8], off: usize, what: &'static str) -> Result<u16> {
+    Ok(u16::from_le_bytes(array_at(data, off, what)?))
+}
+
+/// Little-endian `u32` at `off`.
+pub(crate) fn u32_at(data: &[u8], off: usize, what: &'static str) -> Result<u32> {
+    Ok(u32::from_le_bytes(array_at(data, off, what)?))
+}
+
+/// Little-endian `u64` at `off`.
+pub(crate) fn u64_at(data: &[u8], off: usize, what: &'static str) -> Result<u64> {
+    Ok(u64::from_le_bytes(array_at(data, off, what)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_bounds() {
+        let data = [1u8, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(u16_at(&data, 0, "x").unwrap(), 1);
+        assert_eq!(u32_at(&data, 0, "x").unwrap(), 1);
+        assert_eq!(u64_at(&data, 4, "x").unwrap(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_is_a_typed_error() {
+        let data = [0u8; 4];
+        assert!(matches!(
+            u64_at(&data, 0, "field"),
+            Err(Error::CorruptObject { .. })
+        ));
+        assert!(matches!(
+            u32_at(&data, 2, "field"),
+            Err(Error::CorruptObject { .. })
+        ));
+        // Offset overflow must not wrap around.
+        assert!(u32_at(&data, usize::MAX - 1, "field").is_err());
+    }
+}

@@ -49,19 +49,32 @@ use std::collections::BTreeMap;
 
 use eos_pager::{PageId, SharedVolume};
 
+use crate::codec;
 use crate::error::{Error, Result};
 use crate::wal::{put_bytes, LogRecord, Reader};
 
 /// Magic tag of a log superblock ("EOSW").
-const SB_MAGIC: u32 = 0x454F_5357;
+const SB_MAGIC: u32 = 0x454F_5357; // format-anchor: SB_MAGIC
 /// On-disk format version of the log region (v2 added the epoch stamp
 /// to every frame header).
-const SB_VERSION: u32 = 2;
+const SB_VERSION: u32 = 2; // format-anchor: SB_VERSION
 /// Serialized superblock length: magic 4 + version 4 + epoch 8 +
 /// active 1 + crc 4.
-const SB_LEN: usize = 21;
+const SB_LEN: usize = 21; // format-anchor: SB_LEN
 /// Frame header: length (4) + epoch (4) + CRC-32 (4).
-const FRAME_HEADER: u64 = 12;
+const FRAME_HEADER: u64 = 12; // format-anchor: FRAME_HEADER
+/// Smallest usable log region: 2 superblock pages + 1 page per half.
+const MIN_LOG_PAGES: u64 = 4; // format-anchor: MIN_LOG_PAGES
+/// Entry tag: logged §4 operation.
+const ENTRY_TAG_OP: u8 = 1; // format-anchor: ENTRY_TAG_OP
+/// Entry tag: structural update (no logical payload).
+const ENTRY_TAG_TOUCH: u8 = 2; // format-anchor: ENTRY_TAG_TOUCH
+/// Entry tag: transaction commit point.
+const ENTRY_TAG_COMMIT: u8 = 3; // format-anchor: ENTRY_TAG_COMMIT
+/// Entry tag: explicit rollback.
+const ENTRY_TAG_ABORT: u8 = 4; // format-anchor: ENTRY_TAG_ABORT
+/// Entry tag: checkpoint (complete committed root map).
+const ENTRY_TAG_CHECKPOINT: u8 = 5; // format-anchor: ENTRY_TAG_CHECKPOINT
 
 // ---- CRC-32 (IEEE 802.3) ------------------------------------------------
 
@@ -197,7 +210,7 @@ impl WalEntry {
                 root_after,
                 page_images,
             } => {
-                out.push(1);
+                out.push(ENTRY_TAG_OP);
                 put_bytes(&mut out, &record.to_bytes());
                 put_bytes(&mut out, root_after);
                 out.extend_from_slice(&(page_images.len() as u32).to_le_bytes());
@@ -211,7 +224,7 @@ impl WalEntry {
                 object,
                 root_after,
             } => {
-                out.push(2);
+                out.push(ENTRY_TAG_TOUCH);
                 out.extend_from_slice(&lsn.to_le_bytes());
                 out.extend_from_slice(&object.to_le_bytes());
                 put_bytes(&mut out, root_after);
@@ -221,7 +234,7 @@ impl WalEntry {
                 touched,
                 deleted,
             } => {
-                out.push(3);
+                out.push(ENTRY_TAG_COMMIT);
                 out.extend_from_slice(&lsn.to_le_bytes());
                 put_roots(&mut out, touched);
                 out.extend_from_slice(&(deleted.len() as u32).to_le_bytes());
@@ -230,11 +243,11 @@ impl WalEntry {
                 }
             }
             WalEntry::Abort { lsn } => {
-                out.push(4);
+                out.push(ENTRY_TAG_ABORT);
                 out.extend_from_slice(&lsn.to_le_bytes());
             }
             WalEntry::Checkpoint { max_lsn, roots } => {
-                out.push(5);
+                out.push(ENTRY_TAG_CHECKPOINT);
                 out.extend_from_slice(&max_lsn.to_le_bytes());
                 put_roots(&mut out, roots);
             }
@@ -247,7 +260,7 @@ impl WalEntry {
         let mut r = Reader { data, at: 0 };
         let tag = r.take(1)?[0];
         let entry = match tag {
-            1 => {
+            ENTRY_TAG_OP => {
                 let body = r.bytes()?;
                 let mut rr = Reader { data: &body, at: 0 };
                 let record = LogRecord::read_from(&mut rr)?;
@@ -265,12 +278,12 @@ impl WalEntry {
                     page_images,
                 }
             }
-            2 => WalEntry::Touch {
+            ENTRY_TAG_TOUCH => WalEntry::Touch {
                 lsn: r.u64()?,
                 object: r.u64()?,
                 root_after: r.bytes()?,
             },
-            3 => {
+            ENTRY_TAG_COMMIT => {
                 let lsn = r.u64()?;
                 let touched = read_roots(&mut r)?;
                 let n = r.u32()? as usize;
@@ -284,8 +297,8 @@ impl WalEntry {
                     deleted,
                 }
             }
-            4 => WalEntry::Abort { lsn: r.u64()? },
-            5 => WalEntry::Checkpoint {
+            ENTRY_TAG_ABORT => WalEntry::Abort { lsn: r.u64()? },
+            ENTRY_TAG_CHECKPOINT => WalEntry::Checkpoint {
                 max_lsn: r.u64()?,
                 roots: read_roots(&mut r)?,
             },
@@ -321,13 +334,14 @@ struct Superblock {
 
 impl Superblock {
     fn to_page(self, page_size: usize) -> Vec<u8> {
-        let mut page = vec![0u8; page_size];
-        page[0..4].copy_from_slice(&SB_MAGIC.to_le_bytes());
-        page[4..8].copy_from_slice(&SB_VERSION.to_le_bytes());
-        page[8..16].copy_from_slice(&self.epoch.to_le_bytes());
-        page[16] = self.active;
-        let crc = crc32(&page[0..17]);
-        page[17..SB_LEN].copy_from_slice(&crc.to_le_bytes());
+        let mut page = Vec::with_capacity(page_size);
+        page.extend_from_slice(&SB_MAGIC.to_le_bytes());
+        page.extend_from_slice(&SB_VERSION.to_le_bytes());
+        page.extend_from_slice(&self.epoch.to_le_bytes());
+        page.push(self.active);
+        let crc = crc32(&page); // seals exactly the 17 bytes above
+        page.extend_from_slice(&crc.to_le_bytes());
+        page.resize(page_size, 0);
         page
     }
 
@@ -335,21 +349,22 @@ impl Superblock {
         if page.len() < SB_LEN {
             return None;
         }
-        if u32::from_le_bytes(page[0..4].try_into().unwrap()) != SB_MAGIC {
+        if codec::u32_at(page, 0, "superblock magic").ok()? != SB_MAGIC {
             return None;
         }
-        if u32::from_le_bytes(page[4..8].try_into().unwrap()) != SB_VERSION {
+        if codec::u32_at(page, 4, "superblock version").ok()? != SB_VERSION {
             return None;
         }
-        if crc32(&page[0..17]) != u32::from_le_bytes(page[17..SB_LEN].try_into().unwrap()) {
+        let sealed = page.get(0..SB_LEN - 4)?;
+        if crc32(sealed) != codec::u32_at(page, SB_LEN - 4, "superblock crc").ok()? {
             return None;
         }
-        let active = page[16];
+        let active = *page.get(16)?;
         if active > 1 {
             return None;
         }
         Some(Superblock {
-            epoch: u64::from_le_bytes(page[8..16].try_into().unwrap()),
+            epoch: codec::u64_at(page, 8, "superblock epoch").ok()?,
             active,
         })
     }
@@ -397,12 +412,12 @@ impl DurableWal {
     }
 
     fn check_region(volume: &SharedVolume, base: PageId, pages: u64) -> Result<u64> {
-        if pages < 4 || base + pages > volume.num_pages() {
+        if pages < MIN_LOG_PAGES || base + pages > volume.num_pages() {
             return Err(Error::Unsupported {
                 op: "durable_wal",
                 reason: format!(
-                    "log region [{base}, +{pages}) needs ≥ 4 pages inside the \
-                     {}-page volume",
+                    "log region [{base}, +{pages}) needs ≥ {MIN_LOG_PAGES} pages inside \
+                     the {}-page volume",
                     volume.num_pages()
                 ),
             });
@@ -507,10 +522,10 @@ impl DurableWal {
             if at + FRAME_HEADER > limit {
                 break; // full to the brim; still a clean prefix
             }
-            let h = &half[at as usize..(at + FRAME_HEADER) as usize];
-            let len = u64::from(u32::from_le_bytes(h[0..4].try_into().unwrap()));
-            let epoch = u32::from_le_bytes(h[4..8].try_into().unwrap());
-            let crc = u32::from_le_bytes(h[8..12].try_into().unwrap());
+            let base = at as usize;
+            let len = u64::from(codec::u32_at(&half, base, "frame length")?);
+            let epoch = codec::u32_at(&half, base + 4, "frame epoch")?;
+            let crc = codec::u32_at(&half, base + 8, "frame crc")?;
             if len == 0 {
                 break; // clean tail
             }
@@ -525,7 +540,12 @@ impl DurableWal {
                 self.torn_tail = true;
                 break;
             }
-            let payload = &half[(at + FRAME_HEADER) as usize..(at + FRAME_HEADER + len) as usize];
+            let Some(payload) =
+                half.get((at + FRAME_HEADER) as usize..(at + FRAME_HEADER + len) as usize)
+            else {
+                self.torn_tail = true;
+                break;
+            };
             if frame_crc(epoch, payload) != crc {
                 self.torn_tail = true;
                 break;
@@ -611,28 +631,28 @@ impl DurableWal {
         let first_page = self.head / ps;
         let last_page = (end - 1) / ps;
         let npages = last_page - first_page + 1;
-        let mut buf = vec![0u8; (npages * ps) as usize];
+        // Build the buffer front to back: the committed bytes sharing
+        // the first page, then header, payload, and zeros out to the
+        // page boundary. Truncating the existing page at `head` drops
+        // stale bytes past the old terminator, which must not survive
+        // as a plausible frame; the zeros `resize` appends after the
+        // payload are the new terminator.
         let within = (self.head - first_page * ps) as usize;
-        if within > 0 {
-            // Preserve the committed bytes sharing the first page.
-            let existing = self
+        let mut buf = if within > 0 {
+            let mut existing = self
                 .volume
                 .read_pages(self.half_base(self.active) + first_page, 1)?;
-            buf[..ps as usize].copy_from_slice(&existing);
-            // Everything from `within` on is rewritten below; stale
-            // bytes past the old terminator must not survive as a
-            // plausible frame.
-            for b in &mut buf[within..ps as usize] {
-                *b = 0;
-            }
-        }
+            existing.truncate(within);
+            existing
+        } else {
+            Vec::with_capacity((npages * ps) as usize)
+        };
         let epoch = self.epoch as u32;
-        buf[within..within + 4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        buf[within + 4..within + 8].copy_from_slice(&epoch.to_le_bytes());
-        buf[within + 8..within + 12].copy_from_slice(&frame_crc(epoch, payload).to_le_bytes());
-        buf[within + 12..within + 12 + payload.len()].copy_from_slice(payload);
-        // The zero bytes after the payload are already zero: the
-        // terminator.
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&frame_crc(epoch, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.resize((npages * ps) as usize, 0);
         self.volume
             .write_pages(self.half_base(self.active) + first_page, &buf)?;
         self.head += frame;

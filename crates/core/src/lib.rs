@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod blobstore;
+mod codec;
 mod config;
 mod consolidate;
 pub mod durable;

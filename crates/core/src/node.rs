@@ -7,14 +7,15 @@
 //! as in the paper; in memory each entry carries its own span, which
 //! makes splicing during inserts and deletes straightforward.
 
+use crate::codec;
 use crate::error::{Error, Result};
 
 /// Magic tag identifying an index page ("EOSN").
-pub const NODE_MAGIC: u32 = 0x454F_534E;
+pub const NODE_MAGIC: u32 = 0x454F_534E; // format-anchor: NODE_MAGIC
 /// On-page header: magic (4) + level (2) + entry count (2).
-pub const NODE_HEADER: usize = 8;
+pub const NODE_HEADER: usize = 8; // format-anchor: NODE_HEADER
 /// On-page entry: cumulative count (8) + child pointer (8).
-pub const ENTRY_SIZE: usize = 16;
+pub const ENTRY_SIZE: usize = 16; // format-anchor: NODE_ENTRY_SIZE
 
 /// One `(count, pointer)` pair. `bytes` is the *span* of the child (the
 /// paper's `c[i] − c[i−1]`); `ptr` is the child's page number — an index
@@ -76,12 +77,13 @@ impl Node {
             }
             acc += e.bytes;
         }
+        // lint: allow(panic, reason = "documented contract: b < total_bytes(), callers validate; covered by a should_panic test")
         panic!("byte {b} beyond node total {acc}");
     }
 
     /// Byte offset (within this node) where child `i` starts.
     pub fn child_offset(&self, i: usize) -> u64 {
-        self.entries[..i].iter().map(|e| e.bytes).sum()
+        self.entries.iter().take(i).map(|e| e.bytes).sum()
     }
 
     /// Serialize to a page image with cumulative counts (paper layout).
@@ -92,17 +94,17 @@ impl Node {
             self.entries.len(),
             node_capacity(page_size)
         );
-        let mut page = vec![0u8; page_size];
-        page[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
-        page[4..6].copy_from_slice(&self.level.to_le_bytes());
-        page[6..8].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let mut page = Vec::with_capacity(page_size);
+        page.extend_from_slice(&NODE_MAGIC.to_le_bytes());
+        page.extend_from_slice(&self.level.to_le_bytes());
+        page.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
         let mut acc = 0u64;
-        for (i, e) in self.entries.iter().enumerate() {
+        for e in &self.entries {
             acc += e.bytes;
-            let off = NODE_HEADER + i * ENTRY_SIZE;
-            page[off..off + 8].copy_from_slice(&acc.to_le_bytes());
-            page[off + 8..off + 16].copy_from_slice(&e.ptr.to_le_bytes());
+            page.extend_from_slice(&acc.to_le_bytes());
+            page.extend_from_slice(&e.ptr.to_le_bytes());
         }
+        page.resize(page_size, 0);
         page
     }
 
@@ -114,12 +116,11 @@ impl Node {
         if page.len() < NODE_HEADER {
             return Err(corrupt("index page too small"));
         }
-        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
-        if magic != NODE_MAGIC {
+        if codec::u32_at(page, 0, "index page magic")? != NODE_MAGIC {
             return Err(corrupt("bad index page magic"));
         }
-        let level = u16::from_le_bytes(page[4..6].try_into().unwrap());
-        let n = u16::from_le_bytes(page[6..8].try_into().unwrap()) as usize;
+        let level = codec::u16_at(page, 4, "index level")?;
+        let n = codec::u16_at(page, 6, "index entry count")? as usize;
         if level == 0 {
             return Err(corrupt("index node with level 0"));
         }
@@ -130,8 +131,8 @@ impl Node {
         let mut prev = 0u64;
         for i in 0..n {
             let off = NODE_HEADER + i * ENTRY_SIZE;
-            let c = u64::from_le_bytes(page[off..off + 8].try_into().unwrap());
-            let ptr = u64::from_le_bytes(page[off + 8..off + 16].try_into().unwrap());
+            let c = codec::u64_at(page, off, "index entry count field")?;
+            let ptr = codec::u64_at(page, off + 8, "index entry pointer")?;
             if c <= prev {
                 return Err(corrupt("cumulative counts not strictly increasing"));
             }

@@ -8,12 +8,29 @@
 //! compact, validated serialization with the paper's cumulative-count
 //! layout.
 
+use crate::codec;
 use crate::config::Threshold;
 use crate::error::{Error, Result};
 use crate::node::{Entry, Node};
 
 /// Magic tag identifying a serialized object descriptor ("EOSR").
-const ROOT_MAGIC: u32 = 0x454F_5352;
+const ROOT_MAGIC: u32 = 0x454F_5352; // format-anchor: ROOT_MAGIC
+/// Byte offset of the object id in the descriptor.
+const DESC_ID_OFF: usize = 4; // format-anchor: DESC_ID_OFF
+/// Byte offset of the root LSN.
+const DESC_LSN_OFF: usize = 12; // format-anchor: DESC_LSN_OFF
+/// Byte offset of the threshold tag (0 = fixed, 1 = adaptive).
+const DESC_THRESHOLD_TAG_OFF: usize = 20; // format-anchor: DESC_THRESHOLD_TAG_OFF
+/// Byte offset of the threshold value.
+const DESC_THRESHOLD_VAL_OFF: usize = 21; // format-anchor: DESC_THRESHOLD_VAL_OFF
+/// Byte offset of the root level.
+const DESC_LEVEL_OFF: usize = 25; // format-anchor: DESC_LEVEL_OFF
+/// Byte offset of the root entry count.
+const DESC_COUNT_OFF: usize = 27; // format-anchor: DESC_COUNT_OFF
+/// Fixed descriptor header length; root entries follow.
+const DESC_HEADER: usize = 29; // format-anchor: DESC_HEADER
+/// Each root entry: cumulative count (8) + child pointer (8).
+const DESC_ENTRY_SIZE: usize = 16; // format-anchor: DESC_ENTRY_SIZE
 
 /// A handle to one large object: the root node of its positional tree,
 /// its identity, its segment-size threshold, and the LSN of the last
@@ -91,7 +108,7 @@ impl LargeObject {
 
     /// Serialize the descriptor for client-controlled placement.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(40 + 16 * self.root.entries.len());
+        let mut out = Vec::with_capacity(DESC_HEADER + DESC_ENTRY_SIZE * self.root.entries.len());
         out.extend_from_slice(&ROOT_MAGIC.to_le_bytes());
         out.extend_from_slice(&self.id.to_le_bytes());
         out.extend_from_slice(&self.lsn.to_le_bytes());
@@ -112,39 +129,41 @@ impl LargeObject {
         out
     }
 
-    /// Decode a descriptor written by [`Self::to_bytes`].
+    /// Decode a descriptor written by [`Self::to_bytes`]. Corruption —
+    /// including truncation anywhere — surfaces as a typed error, never
+    /// a panic: recovery hands this raw disk bytes.
     pub fn from_bytes(data: &[u8]) -> Result<LargeObject> {
         let corrupt = |reason: &str| Error::CorruptObject {
             reason: reason.to_string(),
         };
-        if data.len() < 29 {
+        if data.len() < DESC_HEADER {
             return Err(corrupt("descriptor too short"));
         }
-        if u32::from_le_bytes(data[0..4].try_into().unwrap()) != ROOT_MAGIC {
+        if codec::u32_at(data, 0, "descriptor magic")? != ROOT_MAGIC {
             return Err(corrupt("bad descriptor magic"));
         }
-        let id = u64::from_le_bytes(data[4..12].try_into().unwrap());
-        let lsn = u64::from_le_bytes(data[12..20].try_into().unwrap());
-        let tval = u32::from_le_bytes(data[21..25].try_into().unwrap());
-        let threshold = match data[20] {
-            0 => Threshold::Fixed(tval),
-            1 => Threshold::Adaptive { base: tval },
+        let id = codec::u64_at(data, DESC_ID_OFF, "descriptor id")?;
+        let lsn = codec::u64_at(data, DESC_LSN_OFF, "descriptor lsn")?;
+        let tval = codec::u32_at(data, DESC_THRESHOLD_VAL_OFF, "threshold value")?;
+        let threshold = match data.get(DESC_THRESHOLD_TAG_OFF) {
+            Some(0) => Threshold::Fixed(tval),
+            Some(1) => Threshold::Adaptive { base: tval },
             _ => return Err(corrupt("unknown threshold tag")),
         };
-        let level = u16::from_le_bytes(data[25..27].try_into().unwrap());
-        let n = u16::from_le_bytes(data[27..29].try_into().unwrap()) as usize;
+        let level = codec::u16_at(data, DESC_LEVEL_OFF, "root level")?;
+        let n = codec::u16_at(data, DESC_COUNT_OFF, "root entry count")? as usize;
         if level == 0 {
             return Err(corrupt("descriptor root level 0"));
         }
-        if data.len() < 29 + 16 * n {
+        if data.len() < DESC_HEADER + DESC_ENTRY_SIZE * n {
             return Err(corrupt("descriptor truncated"));
         }
         let mut entries = Vec::with_capacity(n);
         let mut prev = 0u64;
         for i in 0..n {
-            let off = 29 + 16 * i;
-            let c = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
-            let ptr = u64::from_le_bytes(data[off + 8..off + 16].try_into().unwrap());
+            let off = DESC_HEADER + DESC_ENTRY_SIZE * i;
+            let c = codec::u64_at(data, off, "entry count")?;
+            let ptr = codec::u64_at(data, off + 8, "entry pointer")?;
             if c <= prev {
                 return Err(corrupt("descriptor counts not increasing"));
             }

@@ -208,7 +208,16 @@ impl Wal {
 
 // ---- serialization (durable logs / log shipping) -----------------------
 
-const WAL_MAGIC: u32 = 0x454F_534C; // "EOSL"
+/// Magic tag of a serialized log ("EOSL").
+const WAL_MAGIC: u32 = 0x454F_534C; // format-anchor: WAL_MAGIC
+/// Record tag: in-place replace with before/after images.
+const TAG_REPLACE: u8 = 0; // format-anchor: WAL_TAG_REPLACE
+/// Record tag: logical insert.
+const TAG_INSERT: u8 = 1; // format-anchor: WAL_TAG_INSERT
+/// Record tag: logical delete (deleted bytes kept for undo).
+const TAG_DELETE: u8 = 2; // format-anchor: WAL_TAG_DELETE
+/// Record tag: logical append.
+const TAG_APPEND: u8 = 3; // format-anchor: WAL_TAG_APPEND
 
 pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
@@ -222,22 +231,31 @@ pub(crate) struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.at + n > self.data.len() {
-            return Err(crate::Error::CorruptObject {
+        let s = self
+            .at
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.at..end))
+            .ok_or(crate::Error::CorruptObject {
                 reason: "truncated log".into(),
-            });
-        }
-        let s = &self.data[self.at..self.at + n];
+            })?;
         self.at += n;
         Ok(s)
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(crate::codec::array_at(
+            self.take(4)?,
+            0,
+            "log u32 field",
+        )?))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(crate::codec::array_at(
+            self.take(8)?,
+            0,
+            "log u64 field",
+        )?))
     }
 
     pub(crate) fn bytes(&mut self) -> Result<Vec<u8>> {
@@ -258,23 +276,23 @@ impl LogRecord {
                 before,
                 after,
             } => {
-                out.push(0);
+                out.push(TAG_REPLACE);
                 out.extend_from_slice(&offset.to_le_bytes());
                 put_bytes(&mut out, before);
                 put_bytes(&mut out, after);
             }
             LogOp::Insert { offset, bytes } => {
-                out.push(1);
+                out.push(TAG_INSERT);
                 out.extend_from_slice(&offset.to_le_bytes());
                 put_bytes(&mut out, bytes);
             }
             LogOp::Delete { offset, bytes } => {
-                out.push(2);
+                out.push(TAG_DELETE);
                 out.extend_from_slice(&offset.to_le_bytes());
                 put_bytes(&mut out, bytes);
             }
             LogOp::Append { bytes } => {
-                out.push(3);
+                out.push(TAG_APPEND);
                 put_bytes(&mut out, bytes);
             }
         }
@@ -286,20 +304,20 @@ impl LogRecord {
         let object = r.u64()?;
         let tag = r.take(1)?[0];
         let op = match tag {
-            0 => LogOp::Replace {
+            TAG_REPLACE => LogOp::Replace {
                 offset: r.u64()?,
                 before: r.bytes()?,
                 after: r.bytes()?,
             },
-            1 => LogOp::Insert {
+            TAG_INSERT => LogOp::Insert {
                 offset: r.u64()?,
                 bytes: r.bytes()?,
             },
-            2 => LogOp::Delete {
+            TAG_DELETE => LogOp::Delete {
                 offset: r.u64()?,
                 bytes: r.bytes()?,
             },
-            3 => LogOp::Append { bytes: r.bytes()? },
+            TAG_APPEND => LogOp::Append { bytes: r.bytes()? },
             _ => {
                 return Err(crate::Error::CorruptObject {
                     reason: format!("unknown log record tag {tag}"),

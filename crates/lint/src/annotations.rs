@@ -1,0 +1,156 @@
+//! Inline suppression annotations.
+//!
+//! The only way to silence a lint finding at a specific site is an
+//! inline comment naming the rule and giving a non-empty reason:
+//!
+//! ```text
+//! // lint: allow(panic, reason = "slice length checked above")
+//! // lint: allow(latch, reason = "guard dropped before the write")
+//! ```
+//!
+//! The annotation covers the line it sits on and the line directly
+//! below it, so it works both trailing a statement and on its own line
+//! above one. Annotations without a reason are deliberately inert —
+//! the reason is the reviewable artifact.
+
+use std::collections::HashSet;
+
+use crate::lexer::{Kind, Tok};
+
+/// Which rule an annotation can suppress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowRule {
+    /// `allow(panic, …)` — panic-path sites.
+    Panic,
+    /// `allow(latch, …)` — latch-discipline sites.
+    Latch,
+}
+
+impl AllowRule {
+    fn keyword(self) -> &'static str {
+        match self {
+            AllowRule::Panic => "panic",
+            AllowRule::Latch => "latch",
+        }
+    }
+}
+
+/// Lines on which findings of `rule` are suppressed. A *trailing*
+/// annotation (code before it on the same line) covers exactly its own
+/// line; a *standalone* annotation covers the line below it.
+pub fn allowed_lines(toks: &[Tok], rule: AllowRule) -> HashSet<u32> {
+    let code_lines: HashSet<u32> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::Comment(_)))
+        .map(|t| t.line)
+        .collect();
+    let mut out = HashSet::new();
+    for t in toks {
+        if let Kind::Comment(text) = &t.kind {
+            if comment_allows(text, rule) {
+                if code_lines.contains(&t.line) {
+                    out.insert(t.line);
+                } else {
+                    out.insert(t.line + 1);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does a single comment body carry a well-formed
+/// `lint: allow(<rule>, reason = "…")` with a non-empty reason?
+fn comment_allows(text: &str, rule: AllowRule) -> bool {
+    // Strip comment markers and leading doc-comment slashes/stars.
+    let body = text
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim()
+        .trim_end_matches("*/")
+        .trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return false;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix(rule.keyword()) else {
+        return false;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix(',') else {
+        return false;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix("reason") else {
+        return false;
+    };
+    let Some(rest) = rest.trim_start().strip_prefix('=') else {
+        return false;
+    };
+    // The reason must be a non-empty quoted string (it may itself
+    // contain parentheses), followed by the closing paren.
+    let Some(rest) = rest.trim_start().strip_prefix('"') else {
+        return false;
+    };
+    let Some(close) = rest.find('"') else {
+        return false;
+    };
+    close > 0 && rest[close + 1..].trim_start().starts_with(')')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn reason_may_contain_parentheses() {
+        let toks =
+            lex("// lint: allow(panic, reason = \"b < total_bytes(), callers validate\")\nf();\n");
+        assert!(allowed_lines(&toks, AllowRule::Panic).contains(&2));
+    }
+
+    #[test]
+    fn standalone_annotation_covers_line_below() {
+        let toks = lex("// lint: allow(panic, reason = \"checked\")\nlet x = 1;\n");
+        let lines = allowed_lines(&toks, AllowRule::Panic);
+        assert!(lines.contains(&2) && !lines.contains(&1));
+        assert!(allowed_lines(&toks, AllowRule::Latch).is_empty());
+    }
+
+    #[test]
+    fn trailing_annotation_covers_only_its_line() {
+        let toks = lex("a(); // lint: allow(panic, reason = \"checked\")\nb();\n");
+        let lines = allowed_lines(&toks, AllowRule::Panic);
+        assert!(lines.contains(&1) && !lines.contains(&2));
+    }
+
+    #[test]
+    fn malformed_annotations_are_inert() {
+        for bad in [
+            "// lint: allow(panic)",
+            "// lint: allow(panic, reason = \"\")",
+            "// lint: allow(panic, reason = )",
+            "// allow(panic, reason = \"x\")",
+            "// lint: allow(latch, reason = \"x\")",
+        ] {
+            let toks = lex(bad);
+            assert!(
+                allowed_lines(&toks, AllowRule::Panic).is_empty(),
+                "{bad:?} should not suppress panic findings"
+            );
+        }
+    }
+
+    #[test]
+    fn latch_annotation_is_separate() {
+        let toks = lex("// lint: allow(latch, reason = \"dropped before I/O\")\n");
+        assert!(!allowed_lines(&toks, AllowRule::Latch).is_empty());
+        assert!(allowed_lines(&toks, AllowRule::Panic).is_empty());
+    }
+}

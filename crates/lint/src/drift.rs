@@ -1,0 +1,284 @@
+//! Rule L4 — FORMAT.md ↔ code drift.
+//!
+//! FORMAT.md is the on-disk contract; the constants in the codecs are
+//! its implementation. PR 2 proved the two can silently diverge (the
+//! WAL format bumped to v2 mid-review with the doc trailing). This
+//! rule makes the pairing machine-checked:
+//!
+//! * FORMAT.md declares values with HTML-comment anchors next to the
+//!   prose they document:
+//!
+//!   ```text
+//!   <!-- anchor: NODE_MAGIC = 0x454F_534E -->
+//!   ```
+//!
+//! * the source marks the matching constant with a trailing comment on
+//!   the same line as its `= <literal>`:
+//!
+//!   ```text
+//!   pub const NODE_MAGIC: u32 = 0x454F_534E; // format-anchor: NODE_MAGIC
+//!   ```
+//!
+//! Every doc anchor must bind to exactly one source anchor with an
+//! equal value, and vice versa. A mismatched value, a doc anchor with
+//! no source twin, a source anchor with no doc twin, or a duplicate
+//! key on either side is an error.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, parse_int, Kind};
+
+/// A drift problem. `location` is `FORMAT.md:line` or `file.rs:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftSite {
+    pub location: String,
+    pub detail: String,
+}
+
+/// One side of an anchor pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anchor {
+    pub key: String,
+    pub value: u128,
+    /// 1-based line in the declaring file.
+    pub line: u32,
+}
+
+/// Parse `<!-- anchor: KEY = VALUE -->` declarations out of FORMAT.md.
+/// Malformed anchor comments are reported as sites so typos cannot
+/// silently disable a check.
+pub fn parse_doc_anchors(markdown: &str) -> (Vec<Anchor>, Vec<DriftSite>) {
+    let mut anchors = Vec::new();
+    let mut problems = Vec::new();
+    for (no, line) in markdown.lines().enumerate() {
+        let line_no = (no + 1) as u32;
+        let Some(start) = line.find("<!-- anchor:") else {
+            // Catch near-misses like `<!--anchor:` or `<!-- anchor ` so
+            // a typo is an error rather than a skipped check.
+            if line.contains("anchor") && line.contains("<!--") {
+                problems.push(DriftSite {
+                    location: format!("FORMAT.md:{line_no}"),
+                    detail: "malformed anchor comment (expected `<!-- anchor: KEY = VALUE -->`)"
+                        .to_string(),
+                });
+            }
+            continue;
+        };
+        let rest = &line[start + "<!-- anchor:".len()..];
+        let Some(end) = rest.find("-->") else {
+            problems.push(DriftSite {
+                location: format!("FORMAT.md:{line_no}"),
+                detail: "unterminated anchor comment".to_string(),
+            });
+            continue;
+        };
+        let body = rest[..end].trim();
+        let mut halves = body.splitn(2, '=');
+        let key = halves.next().unwrap_or("").trim();
+        let value = halves.next().map(str::trim);
+        let parsed = value.and_then(parse_int);
+        match (key.is_empty(), parsed) {
+            (false, Some(v)) => anchors.push(Anchor {
+                key: key.to_string(),
+                value: v,
+                line: line_no,
+            }),
+            _ => problems.push(DriftSite {
+                location: format!("FORMAT.md:{line_no}"),
+                detail: format!("anchor `{body}` is not `KEY = <integer>`"),
+            }),
+        }
+    }
+    (anchors, problems)
+}
+
+/// Extract `// format-anchor: KEY` declarations from one source file.
+/// The anchored value is the first integer literal following an `=` on
+/// the same line (i.e. the constant's initializer).
+pub fn parse_source_anchors(src: &str) -> (Vec<Anchor>, Vec<DriftSite>) {
+    let toks = lex(src);
+    let mut anchors = Vec::new();
+    let mut problems = Vec::new();
+    for t in &toks {
+        let Kind::Comment(text) = &t.kind else {
+            continue;
+        };
+        let body = text.trim_start_matches('/').trim();
+        let Some(key) = body.strip_prefix("format-anchor:").map(str::trim) else {
+            continue;
+        };
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            problems.push(DriftSite {
+                location: format!("{}", t.line),
+                detail: "format-anchor comment needs exactly one KEY".to_string(),
+            });
+            continue;
+        }
+        // Find `= <int>` on the same line, before the comment.
+        let mut value = None;
+        let mut after_eq = false;
+        for s in &toks {
+            if s.line != t.line {
+                continue;
+            }
+            match &s.kind {
+                Kind::Punct('=') => after_eq = true,
+                Kind::Int { value: v, .. } if after_eq => {
+                    value = *v;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match value {
+            Some(v) => anchors.push(Anchor {
+                key: key.to_string(),
+                value: v,
+                line: t.line,
+            }),
+            None => problems.push(DriftSite {
+                location: format!("{}", t.line),
+                detail: format!("format-anchor `{key}` has no `= <integer literal>` on its line"),
+            }),
+        }
+    }
+    (anchors, problems)
+}
+
+/// Cross-check the doc side against the source side. `sources` pairs a
+/// display path with that file's anchors. Returns `(problems,
+/// matched_count)`.
+pub fn cross_check(doc: &[Anchor], sources: &[(String, Vec<Anchor>)]) -> (Vec<DriftSite>, usize) {
+    let mut problems = Vec::new();
+    let mut matched = 0usize;
+
+    // Index the source side; duplicate keys across files are an error.
+    let mut by_key: BTreeMap<&str, (&str, &Anchor)> = BTreeMap::new();
+    for (path, anchors) in sources {
+        for a in anchors {
+            if let Some((first_path, first)) = by_key.insert(a.key.as_str(), (path, a)) {
+                problems.push(DriftSite {
+                    location: format!("{path}:{}", a.line),
+                    detail: format!(
+                        "duplicate format-anchor `{}` (first at {first_path}:{})",
+                        a.key, first.line
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut doc_seen: BTreeMap<&str, &Anchor> = BTreeMap::new();
+    for d in doc {
+        if let Some(first) = doc_seen.insert(d.key.as_str(), d) {
+            problems.push(DriftSite {
+                location: format!("FORMAT.md:{}", d.line),
+                detail: format!(
+                    "duplicate doc anchor `{}` (first at FORMAT.md:{})",
+                    d.key, first.line
+                ),
+            });
+            continue;
+        }
+        match by_key.get(d.key.as_str()) {
+            None => problems.push(DriftSite {
+                location: format!("FORMAT.md:{}", d.line),
+                detail: format!(
+                    "doc anchor `{}` has no `// format-anchor: {}` in the sources",
+                    d.key, d.key
+                ),
+            }),
+            Some((path, s)) if s.value != d.value => problems.push(DriftSite {
+                location: format!("{path}:{}", s.line),
+                detail: format!(
+                    "`{}` drifted: code has {:#x} but FORMAT.md:{} documents {:#x}",
+                    d.key, s.value, d.line, d.value
+                ),
+            }),
+            Some(_) => matched += 1,
+        }
+    }
+
+    for (path, anchors) in sources {
+        for a in anchors {
+            if !doc_seen.contains_key(a.key.as_str()) {
+                problems.push(DriftSite {
+                    location: format!("{path}:{}", a.line),
+                    detail: format!("source anchor `{}` is not documented in FORMAT.md", a.key),
+                });
+            }
+        }
+    }
+
+    (problems, matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_anchor_parsing() {
+        let md = "\
+# Layout
+<!-- anchor: NODE_MAGIC = 0x454F_534E -->
+| magic | 4 bytes |
+<!-- anchor: NODE_HEADER = 8 -->
+<!-- anchor: broken -->
+";
+        let (anchors, problems) = parse_doc_anchors(md);
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[0].key, "NODE_MAGIC");
+        assert_eq!(anchors[0].value, 0x454F_534E);
+        assert_eq!(anchors[1].value, 8);
+        assert_eq!(problems.len(), 1, "malformed anchor must be reported");
+    }
+
+    #[test]
+    fn source_anchor_parsing() {
+        let src = "\
+pub const NODE_MAGIC: u32 = 0x454F_534E; // format-anchor: NODE_MAGIC
+pub const NODE_HEADER: usize = 8; // format-anchor: NODE_HEADER
+pub const NO_VALUE: &str = \"x\"; // format-anchor: NO_VALUE
+";
+        let (anchors, problems) = parse_source_anchors(src);
+        assert_eq!(anchors.len(), 2);
+        assert_eq!(anchors[0].value, 0x454F_534E);
+        assert_eq!(
+            problems.len(),
+            1,
+            "anchor without an int literal is reported"
+        );
+    }
+
+    #[test]
+    fn cross_check_matches_and_drifts() {
+        let (doc, _) = parse_doc_anchors(
+            "<!-- anchor: A = 1 -->\n<!-- anchor: B = 2 -->\n<!-- anchor: GONE = 9 -->\n",
+        );
+        let (src, _) = parse_source_anchors(
+            "const A: u8 = 1; // format-anchor: A\nconst B: u8 = 3; // format-anchor: B\nconst EXTRA: u8 = 7; // format-anchor: EXTRA\n",
+        );
+        let (problems, matched) = cross_check(&doc, &[("x.rs".to_string(), src)]);
+        assert_eq!(matched, 1, "only A matches");
+        assert_eq!(problems.len(), 3);
+        let text: String = problems
+            .iter()
+            .map(|p| p.detail.clone())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("`B` drifted"));
+        assert!(text.contains("`GONE` has no"));
+        assert!(text.contains("`EXTRA` is not documented"));
+    }
+
+    #[test]
+    fn clean_cross_check() {
+        let (doc, p1) = parse_doc_anchors("<!-- anchor: K = 0x10 -->\n");
+        let (src, p2) = parse_source_anchors("const K: u8 = 0x10; // format-anchor: K\n");
+        assert!(p1.is_empty() && p2.is_empty());
+        let (problems, matched) = cross_check(&doc, &[("y.rs".to_string(), src)]);
+        assert!(problems.is_empty());
+        assert_eq!(matched, 1);
+    }
+}

@@ -1,0 +1,310 @@
+//! Rule L3 — §4.5 short-duration-latch discipline.
+//!
+//! The paper requires the superdirectory latch (and every other
+//! in-memory `parking_lot` lock) to be *short duration*: never held
+//! across volume I/O, and never nested with a second latch (the lock
+//! order is "at most one latch at a time, and no `Volume` call under
+//! it"). This rule walks the token stream of each production source
+//! file and tracks lock guards:
+//!
+//! * `let g = …​.lock();` — a named guard, live until its enclosing
+//!   block closes or an explicit `drop(g)`;
+//! * `…​.lock().method(…)` — a temporary guard, live to the end of the
+//!   statement.
+//!
+//! While any guard is live, a call to `write_pages` / `read_pages` /
+//! `sync` (the `Volume` I/O surface) or a further `.lock()` is a
+//! finding. Suppression: `// lint: allow(latch, reason = "…")`.
+//!
+//! `crates/pager` itself is exempt by configuration — its mutex *is*
+//! the I/O lock at the bottom of the order.
+
+use crate::annotations::{allowed_lines, AllowRule};
+use crate::lexer::{lex, Kind, Tok};
+use crate::test_filter::strip_test_code;
+
+/// One latch-discipline violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatchSite {
+    /// 1-based line of the violating call.
+    pub line: u32,
+    /// What happened, naming the guard where known.
+    pub detail: String,
+    /// Suppressed by `// lint: allow(latch, …)`?
+    pub annotated: bool,
+}
+
+/// Methods that constitute volume I/O for the purpose of this rule.
+const IO_METHODS: [&str; 3] = ["write_pages", "read_pages", "sync"];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    /// Brace depth at the `let`; the guard dies when depth drops below.
+    depth: i32,
+    line: u32,
+}
+
+/// Scan one file's source text for latch-discipline violations.
+pub fn scan_source(src: &str) -> Vec<LatchSite> {
+    let toks = lex(src);
+    let allowed = allowed_lines(&toks, AllowRule::Latch);
+    let toks = strip_test_code(toks);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::Comment(_)))
+        .collect();
+
+    let mut sites = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    // Line of a temporary (unbound) guard live until the next `;`.
+    let mut temp_guard: Option<u32> = None;
+    // Inside a `let <name> = …` initializer: candidate binding name.
+    let mut let_binding: Option<String> = None;
+    let mut depth = 0i32;
+
+    let mut push = |line: u32, detail: String| {
+        sites.push(LatchSite {
+            line,
+            detail,
+            annotated: allowed.contains(&line),
+        });
+    };
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match &t.kind {
+            // Braces end statements too: a tail expression like
+            // `self.inner.lock().stats` has no `;`.
+            Kind::Punct('{') => {
+                depth += 1;
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Punct(';') => {
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Ident(id) if id == "let" => {
+                // `let [mut|ref]* name = …` — remember the binding name
+                // so a `.lock()` initializer becomes a named guard.
+                let mut j = i + 1;
+                while code
+                    .get(j)
+                    .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+                {
+                    j += 1;
+                }
+                if let Some(Kind::Ident(name)) = code.get(j).map(|t| &t.kind) {
+                    let_binding = Some(name.clone());
+                }
+            }
+            // `drop(name)` releases a named guard.
+            Kind::Ident(id) if id == "drop" && code.get(i + 1).is_some_and(|t| t.is_punct('(')) => {
+                if let Some(Kind::Ident(name)) = code.get(i + 2).map(|t| &t.kind) {
+                    if code.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        guards.retain(|g| &g.name != name);
+                    }
+                }
+            }
+            // `.lock()` — acquisition.
+            Kind::Ident(id)
+                if id == "lock"
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if let Some(g) = guards.last() {
+                    push(
+                        t.line,
+                        format!(
+                            "second latch acquired while guard `{}` (line {}) is held \
+                             — §4.5 allows at most one short-duration latch",
+                            g.name, g.line
+                        ),
+                    );
+                } else if temp_guard.is_some() {
+                    push(
+                        t.line,
+                        "second latch acquired in a statement already holding a \
+                         temporary lock guard"
+                            .to_string(),
+                    );
+                }
+                // Named guard only when the statement is exactly
+                // `let g = ….lock();` — i.e. the `()` is followed
+                // directly by `;`.
+                let binds = code.get(i + 2).is_some_and(|t| t.is_punct(')'))
+                    && code.get(i + 3).is_some_and(|t| t.is_punct(';'))
+                    && let_binding.is_some();
+                if binds {
+                    guards.push(Guard {
+                        name: let_binding.clone().unwrap_or_default(),
+                        depth,
+                        line: t.line,
+                    });
+                } else {
+                    temp_guard = Some(t.line);
+                }
+            }
+            // Volume I/O.
+            Kind::Ident(id)
+                if IO_METHODS.contains(&id.as_str())
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if let Some(g) = guards.last() {
+                    push(
+                        t.line,
+                        format!(
+                            "volume I/O `{id}` while latch guard `{}` (line {}) is held \
+                             — drop the guard before touching the volume (§4.5)",
+                            g.name, g.line
+                        ),
+                    );
+                } else if temp_guard.is_some() {
+                    push(
+                        t.line,
+                        format!("volume I/O `{id}` in a statement holding a temporary lock guard"),
+                    );
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_across_io_fires() {
+        let src = r#"
+fn bad(&self) {
+    let g = self.latch.lock();
+    self.vol.write_pages(0, &[]);
+    drop(g);
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].detail.contains("write_pages"));
+        assert!(sites[0].detail.contains("`g`"));
+    }
+
+    #[test]
+    fn guard_dropped_before_io_is_clean() {
+        let src = r#"
+fn good(&self) {
+    let g = self.latch.lock();
+    let n = g.len();
+    drop(g);
+    self.vol.write_pages(n, &[]);
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_before_io_is_clean() {
+        let src = r#"
+fn good(&self) {
+    let n = {
+        let g = self.latch.lock();
+        g.len()
+    };
+    self.vol.sync();
+    let _ = n;
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn second_latch_fires() {
+        let src = r#"
+fn bad(&self) {
+    let a = self.first.lock();
+    let b = self.second.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].detail.contains("second latch"));
+    }
+
+    #[test]
+    fn temporary_guard_is_released_at_statement_end() {
+        let src = r#"
+fn good(&self) {
+    self.pending.lock().push(1);
+    self.vol.sync();
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_across_io_in_one_statement_fires() {
+        let src = "fn bad(&self) { self.pending.lock().push(self.vol.sync()); }";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].detail.contains("temporary"));
+    }
+
+    #[test]
+    fn annotation_suppresses() {
+        let src = r#"
+fn tolerated(&self) {
+    let g = self.latch.lock();
+    // lint: allow(latch, reason = "startup path, single-threaded")
+    self.vol.sync();
+    drop(g);
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].annotated);
+    }
+
+    #[test]
+    fn tail_expression_guard_does_not_leak_into_next_fn() {
+        let src = r#"
+fn len(&self) -> usize {
+    self.inner.lock().len()
+}
+fn other(&self) {
+    self.inner.lock().push(1);
+    self.vol.sync();
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn condvar_wait_does_not_fire() {
+        let src = r#"
+fn wait(&self) {
+    let mut g = self.inner.lock();
+    while g.busy {
+        self.cond.wait(&mut g);
+    }
+    drop(g);
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+}

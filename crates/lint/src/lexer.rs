@@ -1,0 +1,404 @@
+//! A small hand-rolled Rust lexer — just enough structure for the lint
+//! rules, none of the weight of a real parser.
+//!
+//! The build is fully offline (no `syn`), and the rules only need to
+//! know four things a plain `grep` gets wrong:
+//!
+//! 1. what is a **comment** (so `unwrap` in prose is not a finding, and
+//!    so `// lint: allow(...)` annotations can be read back out),
+//! 2. what is a **string literal** — including raw strings `r#"…"#` of
+//!    any hash depth and byte strings — so quoted code is not scanned,
+//! 3. what is an **identifier vs. a lifetime vs. a char literal**
+//!    (`'a'` vs `'a`), and
+//! 4. where **brackets open and close**, so rules can track scopes and
+//!    match `[` … `]` pairs.
+//!
+//! Everything else (numbers, punctuation) is tokenized shallowly.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token.
+    pub kind: Kind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds the rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal: raw text plus decoded value when it fits.
+    Int {
+        /// The literal exactly as written (`0x454F_5352`).
+        raw: String,
+        /// Decoded value (suffix and underscores stripped), if valid.
+        value: Option<u128>,
+    },
+    /// Any string-ish literal (string, raw string, byte string, char).
+    /// The contents are deliberately dropped.
+    Str,
+    /// A lifetime (`'a`) — kept distinct so it is never a char literal.
+    Lifetime,
+    /// A `//` or `/* */` comment; text excludes the delimiters.
+    Comment(String),
+    /// Single punctuation character (`.`, `[`, `{`, `!`, …).
+    Punct(char),
+}
+
+impl Tok {
+    /// Is this token the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, Kind::Ident(i) if i == s)
+    }
+
+    /// Is this token the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct(c)
+    }
+}
+
+/// Decode an integer literal: underscores stripped, `0x`/`0o`/`0b`
+/// prefixes honoured, a trailing type suffix (`u32`, `usize`, …)
+/// ignored.
+pub fn parse_int(raw: &str) -> Option<u128> {
+    let s: String = raw.chars().filter(|&c| c != '_').collect();
+    let (digits, radix) = if let Some(rest) = s.strip_prefix("0x").or(s.strip_prefix("0X")) {
+        (rest, 16)
+    } else if let Some(rest) = s.strip_prefix("0o") {
+        (rest, 8)
+    } else if let Some(rest) = s.strip_prefix("0b") {
+        (rest, 2)
+    } else {
+        (s.as_str(), 10)
+    };
+    // Cut a type suffix: the first char that is not a digit of `radix`.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Tokenize `src`. Comments are tokens too — rules that want only code
+/// filter them out; rules that want annotations read them.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Comment(src[start..i].to_string()),
+                    line,
+                });
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                let tok_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                toks.push(Tok {
+                    kind: Kind::Comment(src[start..end].to_string()),
+                    line: tok_line,
+                });
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(b, i, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    line: tok_line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_bytestr(b, i) => {
+                let tok_line = line;
+                i = skip_prefixed_string(b, i, &mut line);
+                toks.push(Tok {
+                    kind: Kind::Str,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // `'` within a few characters; a lifetime never closes.
+                let (kind, next) = lex_quote(b, i, &mut line);
+                toks.push(Tok { kind, line });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `1..2` is a range, not a float: stop before `..`.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let raw = src[start..i].to_string();
+                let value = parse_int(&raw);
+                toks.push(Tok {
+                    kind: Kind::Int { raw, value },
+                    line,
+                });
+            }
+            c => {
+                toks.push(Tok {
+                    kind: Kind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Does position `i` start a raw string (`r"`, `r#`), byte string
+/// (`b"`), or raw byte string (`br"`, `br#`)?
+fn starts_raw_or_bytestr(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(b.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a plain `"…"` string starting at `i` (the opening quote).
+/// Returns the index just past the closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip `r"…"`, `r#"…"#…`, `b"…"`, `b'…'`, `br#"…"#` starting at the
+/// prefix letter.
+fn skip_prefixed_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    let mut raw = false;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+        raw |= b[j] == b'r';
+        j += 1;
+    }
+    if !raw {
+        // b"…" or b'…': ordinary escape rules.
+        if b.get(j) == Some(&b'\'') {
+            let mut k = j + 1;
+            if b.get(k) == Some(&b'\\') {
+                k += 2;
+            } else {
+                k += 1;
+            }
+            if b.get(k) == Some(&b'\'') {
+                k += 1;
+            }
+            return k;
+        }
+        return skip_string(b, j, line);
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return j; // not actually a raw string; resync
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime) at `i` (the
+/// quote).
+fn lex_quote(b: &[u8], i: usize, line: &mut u32) -> (Kind, usize) {
+    // Escape: definitely a char literal.
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (Kind::Str, j + 1);
+    }
+    // `'X'` with any single char X (multi-byte UTF-8 included).
+    if let Some(&n) = b.get(i + 1) {
+        let char_len = utf8_len(n);
+        if b.get(i + 1 + char_len) == Some(&b'\'') {
+            if n == b'\n' {
+                *line += 1;
+            }
+            return (Kind::Str, i + 2 + char_len);
+        }
+    }
+    // Lifetime: consume the identifier.
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (Kind::Lifetime, j)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Kind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // x.unwrap() in a comment
+            /* panic!() in /* a nested */ block */
+            let s = "y.unwrap()";
+            let r = r#"panic!("raw")"#;
+            let b = b"unwrap";
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "unwrap").count(), 1, "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Str).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn int_literals_decode() {
+        assert_eq!(parse_int("0x454F_5352"), Some(0x454F_5352));
+        assert_eq!(parse_int("21"), Some(21));
+        assert_eq!(parse_int("4096usize"), Some(4096));
+        assert_eq!(parse_int("0b1010"), Some(10));
+        assert_eq!(parse_int("zzz"), None);
+        let toks = lex("const X: u32 = 0x10;");
+        assert!(toks.iter().any(|t| matches!(
+            &t.kind,
+            Kind::Int {
+                value: Some(16),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nstr\"\nc";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap()
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 7);
+    }
+
+    #[test]
+    fn range_in_index_is_two_dots_not_a_float() {
+        let toks = lex("x[1..4]");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, Kind::Int { value: Some(1), .. })));
+    }
+}

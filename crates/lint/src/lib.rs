@@ -1,0 +1,349 @@
+//! eos-lint — source-level invariant linter for the EOS workspace.
+//!
+//! `eos-check` (PR 1) audits the *on-disk* invariants; this crate
+//! audits the *source* invariants the paper's design depends on, as a
+//! CI gate in front of clippy:
+//!
+//! * **panic-path** (L1) + **ratchet** (L2): decode paths must return
+//!   typed errors, never panic, on corrupt bytes. Zero tolerance in
+//!   the strict decode modules; a monotonically-decreasing per-crate
+//!   budget (`lint.ratchet`) everywhere else.
+//! * **latch** (L3): §4.5 short-duration-latch discipline — no
+//!   `parking_lot` guard held across volume I/O or a second latch.
+//! * **format-drift** (L4): FORMAT.md anchor values must equal the
+//!   constants in the codecs.
+//!
+//! See DESIGN.md §10 for the rule catalogue and annotation syntax.
+
+pub mod annotations;
+pub mod drift;
+pub mod latch;
+pub mod lexer;
+pub mod panic_path;
+pub mod report;
+pub mod test_filter;
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use panic_path::Ratchet;
+use report::{Finding, Report, Rule, Severity};
+
+/// Crates whose `src/` trees are subject to the panic-path rules:
+/// `(crate name, source dir relative to the workspace root)`.
+pub const PANIC_CRATES: [(&str, &str); 4] = [
+    ("eos-core", "crates/core/src"),
+    ("eos-buddy", "crates/buddy/src"),
+    ("eos-pager", "crates/pager/src"),
+    ("eos-check", "crates/check/src"),
+];
+
+/// Decode modules with *zero tolerance*: recovery feeds these raw disk
+/// pages, so any unannotated panic-capable site is an error outright
+/// (the ratchet never applies here).
+pub const STRICT_FILES: [&str; 4] = [
+    "crates/core/src/object.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/wal.rs",
+    "crates/core/src/durable.rs",
+];
+
+/// Directories subject to the latch-discipline rule. `crates/pager` is
+/// deliberately absent: its mutex guards the file handle and *is* the
+/// bottom of the lock order.
+pub const LATCH_DIRS: [&str; 2] = ["crates/buddy/src", "crates/core/src"];
+
+/// Source files scanned for `// format-anchor:` comments.
+pub const DRIFT_SOURCES: [&str; 6] = [
+    "crates/core/src/object.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/wal.rs",
+    "crates/core/src/durable.rs",
+    "crates/buddy/src/dir.rs",
+    "src/catalog.rs",
+];
+
+/// The checked-in ratchet file, relative to the workspace root.
+pub const RATCHET_FILE: &str = "lint.ratchet";
+
+/// The doc side of the drift rule, relative to the workspace root.
+pub const FORMAT_DOC: &str = "FORMAT.md";
+
+/// Minimum number of cross-checked anchors for the drift rule to count
+/// as wired up at all — guards against the rule being silently defused
+/// by deleting anchors.
+pub const MIN_ANCHORS: usize = 20;
+
+/// Linter options (mirrors the CLI flags).
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Also report unannotated non-strict sites individually (Info).
+    pub verbose: bool,
+    /// Rewrite `lint.ratchet` with the observed counts instead of
+    /// comparing against it.
+    pub update_ratchet: bool,
+}
+
+/// Lint the workspace rooted at `root`. I/O errors (unreadable files)
+/// are returned as `Err`; everything the rules find lands in the
+/// report.
+pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    run_panic_rules(root, opts, &mut report)?;
+    run_latch_rule(root, &mut report)?;
+    run_drift_rule(root, &mut report)?;
+
+    Ok(report)
+}
+
+/// L1 (strict decode modules) + L2 (per-crate ratchet).
+fn run_panic_rules(root: &Path, opts: &Options, report: &mut Report) -> io::Result<()> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for (krate, _) in PANIC_CRATES {
+        counts.insert(krate.to_string(), 0);
+    }
+
+    for (krate, dir) in PANIC_CRATES {
+        for path in rust_files(&root.join(dir))? {
+            let rel = display_path(root, &path);
+            let strict = STRICT_FILES.contains(&rel.as_str());
+            let src = fs::read_to_string(&path)?;
+            report.files_scanned += 1;
+            for site in panic_path::scan_source(&src) {
+                if site.annotated {
+                    report.sites_annotated += 1;
+                    continue;
+                }
+                report.sites_unannotated += 1;
+                if strict {
+                    report.findings.push(Finding {
+                        severity: Severity::Error,
+                        rule: Rule::PanicPath,
+                        location: format!("{rel}:{}", site.line),
+                        detail: format!(
+                            "{} in a decode module — return a typed `Corrupt*` error \
+                             or annotate with `// lint: allow(panic, reason = ...)`",
+                            site.what
+                        ),
+                    });
+                } else {
+                    *counts.entry(krate.to_string()).or_default() += 1;
+                    if opts.verbose {
+                        report.findings.push(Finding {
+                            severity: Severity::Info,
+                            rule: Rule::PanicPath,
+                            location: format!("{rel}:{}", site.line),
+                            detail: format!("{} (counted against the {krate} ratchet)", site.what),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let ratchet_path = root.join(RATCHET_FILE);
+    if opts.update_ratchet {
+        fs::write(&ratchet_path, Ratchet::render(&counts))?;
+        report.findings.push(Finding {
+            severity: Severity::Info,
+            rule: Rule::Ratchet,
+            location: RATCHET_FILE.to_string(),
+            detail: format!(
+                "ratchet rewritten with observed counts: {}",
+                fmt_counts(&counts)
+            ),
+        });
+        return Ok(());
+    }
+
+    let text = match fs::read_to_string(&ratchet_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::Ratchet,
+                location: RATCHET_FILE.to_string(),
+                detail: "ratchet file missing — run `eos lint --update-ratchet` and commit it"
+                    .to_string(),
+            });
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    };
+    let ratchet = match Ratchet::parse(&text) {
+        Ok(r) => r,
+        Err(msg) => {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::Ratchet,
+                location: RATCHET_FILE.to_string(),
+                detail: format!("unparseable ratchet file: {msg}"),
+            });
+            return Ok(());
+        }
+    };
+
+    let mut names: Vec<&String> = counts.keys().collect();
+    names.sort();
+    for name in names {
+        let observed = counts[name];
+        match ratchet.allowed(name) {
+            None => report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::Ratchet,
+                location: name.clone(),
+                detail: format!(
+                    "crate not listed in {RATCHET_FILE} — run `eos lint --update-ratchet`"
+                ),
+            }),
+            Some(allowed) if observed > allowed => report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::Ratchet,
+                location: name.clone(),
+                detail: format!(
+                    "{observed} unannotated panic-path site(s), ratchet allows {allowed} \
+                     — harden or annotate the new site(s); the ratchet never goes up"
+                ),
+            }),
+            Some(allowed) if observed < allowed => report.findings.push(Finding {
+                severity: Severity::Info,
+                rule: Rule::Ratchet,
+                location: name.clone(),
+                detail: format!(
+                    "{observed} unannotated site(s), ratchet allows {allowed} \
+                     — tighten with `eos lint --update-ratchet`"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+/// L3 — latch discipline over the configured directories.
+fn run_latch_rule(root: &Path, report: &mut Report) -> io::Result<()> {
+    for dir in LATCH_DIRS {
+        for path in rust_files(&root.join(dir))? {
+            let rel = display_path(root, &path);
+            let src = fs::read_to_string(&path)?;
+            for site in latch::scan_source(&src) {
+                if site.annotated {
+                    continue;
+                }
+                report.findings.push(Finding {
+                    severity: Severity::Error,
+                    rule: Rule::Latch,
+                    location: format!("{rel}:{}", site.line),
+                    detail: site.detail,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// L4 — FORMAT.md ↔ code drift.
+fn run_drift_rule(root: &Path, report: &mut Report) -> io::Result<()> {
+    let md = fs::read_to_string(root.join(FORMAT_DOC))?;
+    let (doc_anchors, doc_problems) = drift::parse_doc_anchors(&md);
+    for p in doc_problems {
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::FormatDrift,
+            location: p.location,
+            detail: p.detail,
+        });
+    }
+
+    let mut sources = Vec::new();
+    for rel in DRIFT_SOURCES {
+        let path = root.join(rel);
+        if !path.exists() {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::FormatDrift,
+                location: rel.to_string(),
+                detail: "configured drift source is missing".to_string(),
+            });
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        let (anchors, problems) = drift::parse_source_anchors(&src);
+        for p in problems {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::FormatDrift,
+                location: format!("{rel}:{}", p.location),
+                detail: p.detail,
+            });
+        }
+        sources.push((rel.to_string(), anchors));
+    }
+
+    let (problems, matched) = drift::cross_check(&doc_anchors, &sources);
+    for p in problems {
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::FormatDrift,
+            location: p.location,
+            detail: p.detail,
+        });
+    }
+    report.anchors_checked = matched;
+    if matched < MIN_ANCHORS {
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::FormatDrift,
+            location: FORMAT_DOC.to_string(),
+            detail: format!(
+                "only {matched} anchor(s) cross-checked; at least {MIN_ANCHORS} required \
+                 — the drift gate must not be defused by deleting anchors"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// All `.rs` files under `dir`, recursively, in a deterministic order.
+fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative display path with `/` separators.
+fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn fmt_counts(counts: &HashMap<String, usize>) -> String {
+    let mut names: Vec<&String> = counts.keys().collect();
+    names.sort();
+    names
+        .iter()
+        .map(|n| format!("{n}={}", counts[n.as_str()]))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

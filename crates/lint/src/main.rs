@@ -1,0 +1,63 @@
+//! `eos-lint` — standalone binary for the CI gate. The same pass is
+//! reachable as `eos lint` through the main CLI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eos_lint::{lint_workspace, Options};
+
+const USAGE: &str = "usage: eos-lint [ROOT] [--json] [--verbose] [--update-ratchet]
+
+Lints the EOS workspace rooted at ROOT (default: current directory):
+  panic-path    unwrap/expect/panic!/range-index audit of production code
+  ratchet       per-crate unannotated-site budget (lint.ratchet, only decreases)
+  latch         no parking_lot guard across volume I/O or a second latch
+  format-drift  FORMAT.md anchors vs. the constants in the codecs
+
+  --json            machine-readable report (same shape as `eos check --json`)
+  --verbose         list every ratcheted site individually
+  --update-ratchet  rewrite lint.ratchet with the observed counts
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut opts = Options::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--verbose" => opts.verbose = true,
+            "--update-ratchet" => opts.update_ratchet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && root.is_none() => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("eos-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match lint_workspace(&root, &opts) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_table());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("eos-lint: {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Rule L1/L2 — the panic-path audit and its ratchet.
+//!
+//! Recovery feeds the decode paths raw disk pages, so the §4.5
+//! guarantees only hold if corrupt bytes surface as typed `Corrupt*`
+//! errors, never as panics. This rule flags every panic-capable
+//! construct in non-test production code:
+//!
+//! * `.unwrap()` / `.expect(…)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * range indexing `data[a..b]` (slice-index panics)
+//!
+//! A site is suppressed only by an inline annotation on the same line
+//! or the line directly above:
+//!
+//! ```text
+//! // lint: allow(panic, reason = "len checked 3 lines up")
+//! ```
+//!
+//! Unannotated sites are tallied per crate and bounded by the
+//! checked-in ratchet file (`lint.ratchet`): counts may decrease over
+//! time, never increase. Sites in the *decode modules* (the strict
+//! file list in [`crate::config`]) are errors outright — the ratchet
+//! does not apply there.
+
+use std::collections::HashMap;
+
+use crate::annotations::{allowed_lines, AllowRule};
+use crate::lexer::{lex, Kind, Tok};
+use crate::test_filter::strip_test_code;
+
+/// One panic-capable site in production code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found (`unwrap()`, `panic!`, `range index`, …).
+    pub what: &'static str,
+    /// Was the site covered by a `lint: allow(panic, …)` annotation?
+    pub annotated: bool,
+}
+
+/// Scan one file's source text. `name` is only used for messages.
+pub fn scan_source(src: &str) -> Vec<Site> {
+    let toks = lex(src);
+    let allowed = allowed_lines(&toks, AllowRule::Panic);
+    let toks = strip_test_code(toks);
+    let code: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::Comment(_)))
+        .collect();
+    let mut sites = Vec::new();
+    let mut push = |line: u32, what: &'static str| {
+        sites.push(Site {
+            line,
+            what,
+            annotated: allowed.contains(&line),
+        });
+    };
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match &t.kind {
+            // `.unwrap()` / `.expect(` — method calls only, so local
+            // functions named `unwrap` or fields do not fire.
+            Kind::Ident(id)
+                if (id == "unwrap" || id == "expect")
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                push(
+                    t.line,
+                    if id == "unwrap" {
+                        "unwrap()"
+                    } else {
+                        "expect()"
+                    },
+                );
+            }
+            // `panic!`, `unreachable!`, `todo!`, `unimplemented!`.
+            Kind::Ident(id)
+                if matches!(
+                    id.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && code.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                push(
+                    t.line,
+                    match id.as_str() {
+                        "panic" => "panic!",
+                        "unreachable" => "unreachable!",
+                        "todo" => "todo!",
+                        _ => "unimplemented!",
+                    },
+                );
+            }
+            // Range indexing `expr[a..b]`: a `[` in index position (the
+            // previous token ends an expression) whose bracket contents
+            // contain `..` at depth 1.
+            Kind::Punct('[') if i > 0 && ends_expression(code[i - 1]) => {
+                if let Some(close) = matching_bracket(&code, i) {
+                    if has_top_level_range(&code[i + 1..close]) {
+                        push(t.line, "range index");
+                        // Do not skip the contents: nested indexes
+                        // inside still get their own findings.
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// Does `t` end an expression, making a following `[` an index (not an
+/// array literal, attribute, or type)?
+fn ends_expression(t: &Tok) -> bool {
+    match &t.kind {
+        Kind::Ident(id) => !matches!(
+            id.as_str(),
+            // Keywords after which `[` starts an array/type, not an index.
+            "return" | "break" | "in" | "as" | "mut" | "ref" | "else" | "match"
+        ),
+        Kind::Punct(c) => matches!(c, ']' | ')'),
+        Kind::Int { .. } | Kind::Str => true,
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`, if any.
+fn matching_bracket(code: &[&Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        match t.kind {
+            Kind::Punct('[') => depth += 1,
+            Kind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the bracket body contain a `..` at depth 0 (i.e. the index is a
+/// range)? Nested brackets/parens are skipped so `a[f(b..c)]` does not
+/// fire.
+fn has_top_level_range(body: &[&Tok]) -> bool {
+    let mut depth = 0i32;
+    let mut j = 0;
+    while j < body.len() {
+        match body[j].kind {
+            Kind::Punct('[') | Kind::Punct('(') | Kind::Punct('{') => depth += 1,
+            Kind::Punct(']') | Kind::Punct(')') | Kind::Punct('}') => depth -= 1,
+            Kind::Punct('.') if depth == 0 && body.get(j + 1).is_some_and(|t| t.is_punct('.')) => {
+                return true;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Parsed ratchet file: crate name → allowed unannotated site count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ratchet {
+    /// `(crate, allowed)` pairs in file order.
+    pub entries: Vec<(String, usize)>,
+}
+
+impl Ratchet {
+    /// Parse the ratchet file. Lines are `crate-name count`; `#`
+    /// comments and blank lines are ignored. Malformed lines are
+    /// reported as errors by the caller via the `Err` branch.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut entries = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(name), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(format!("line {}: expected `crate count`", no + 1));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("line {}: bad count {count:?}", no + 1))?;
+            entries.push((name.to_string(), count));
+        }
+        Ok(Ratchet { entries })
+    }
+
+    /// Allowed count for `krate`, if listed.
+    pub fn allowed(&self, krate: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == krate)
+            .map(|(_, c)| *c)
+    }
+
+    /// Render back to file form (sorted, commented header).
+    pub fn render(counts: &HashMap<String, usize>) -> String {
+        let mut names: Vec<&String> = counts.keys().collect();
+        names.sort();
+        let mut out = String::from(
+            "# eos-lint panic-path ratchet — unannotated panic-capable sites\n\
+             # per crate. Counts may only go DOWN: harden a site (typed\n\
+             # errors) or annotate it (`// lint: allow(panic, reason = ...)`)\n\
+             # and run `eos lint --update-ratchet` to tighten.\n",
+        );
+        for name in names {
+            out.push_str(&format!("{name} {}\n", counts[name]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_each_construct_once() {
+        let src = r#"
+fn f(data: &[u8]) -> u32 {
+    let x = data.first().unwrap();
+    let y: [u8; 4] = data[0..4].try_into().expect("len");
+    if *x > 9 { panic!("bad") }
+    match y[0] { 0 => unreachable!(), _ => todo!() }
+}
+"#;
+        let sites = scan_source(src);
+        let whats: Vec<&str> = sites.iter().map(|s| s.what).collect();
+        assert_eq!(
+            whats,
+            vec![
+                "unwrap()",
+                "range index",
+                "expect()",
+                "panic!",
+                "unreachable!",
+                "todo!"
+            ]
+        );
+        assert!(sites.iter().all(|s| !s.annotated));
+    }
+
+    #[test]
+    fn annotation_same_line_or_above_suppresses() {
+        let src = r#"
+fn f(v: &[u8]) {
+    // lint: allow(panic, reason = "length checked above")
+    let a = v[0..4].to_vec();
+    let b = v.first().unwrap(); // lint: allow(panic, reason = "non-empty by contract")
+    let c = v.last().unwrap();
+    let _ = (a, b, c);
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 3);
+        assert!(sites[0].annotated, "annotated from line above");
+        assert!(sites[1].annotated, "annotated on same line");
+        assert!(!sites[2].annotated, "no annotation");
+    }
+
+    #[test]
+    fn annotation_without_reason_does_not_suppress() {
+        let src = "fn f(v: &[u8]) {\n    // lint: allow(panic)\n    v.first().unwrap();\n}\n";
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].annotated, "a reason is mandatory");
+    }
+
+    #[test]
+    fn test_code_and_comments_are_ignored() {
+        let src = r#"
+// a.unwrap() in prose
+fn prod() { let s = "x.unwrap()"; let _ = s; }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { prod().unwrap(); panic!("in test"); }
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn plain_indexing_and_array_types_do_not_fire() {
+        let src = r#"
+fn f(v: &[u8], i: usize) -> u8 {
+    let _t: [u8; 4] = [0; 4];
+    let _a = [1, 2, 3];
+    let _r = v[f2(0..2)];
+    v[i]
+}
+"#;
+        // `v[i]`, array literals, array types, and a range *inside a
+        // call* in the index are all fine; only `v[a..b]` fires.
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0).max(v.unwrap_or_default()) }";
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn ratchet_roundtrip_and_lookup() {
+        let r = Ratchet::parse("# header\neos-core 10\neos-buddy 0\n").unwrap();
+        assert_eq!(r.allowed("eos-core"), Some(10));
+        assert_eq!(r.allowed("eos-buddy"), Some(0));
+        assert_eq!(r.allowed("eos-pager"), None);
+        assert!(Ratchet::parse("eos-core ten").is_err());
+        assert!(Ratchet::parse("eos-core 1 2").is_err());
+        let mut counts = HashMap::new();
+        counts.insert("eos-core".to_string(), 7usize);
+        let rendered = Ratchet::render(&counts);
+        assert_eq!(
+            Ratchet::parse(&rendered).unwrap().allowed("eos-core"),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Rendering a lint run — deliberately the same finding shape as
+//! `eos-check::report` (severity / layer / location / detail, a table
+//! and a `--json` object with a `clean` flag), so downstream tooling
+//! parses one format whether the findings came from the on-disk checker
+//! or the source linter.
+
+use std::fmt;
+
+/// How bad a finding is. Identical semantics to `eos_check::Severity`:
+/// a run is clean when nothing worse than [`Severity::Info`] is
+/// present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Noteworthy but not failing (e.g. a ratchet that can tighten).
+    Info,
+    /// Suspicious but tolerated (not currently produced).
+    Warning,
+    /// A source invariant is broken; the gate fails.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which lint rule produced a finding (the "layer" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// L1: `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/range
+    /// indexing in non-test production code.
+    PanicPath,
+    /// L2: per-crate unannotated panic-path count vs. the checked-in
+    /// ratchet file.
+    Ratchet,
+    /// L3: a latch guard held across volume I/O or a second latch
+    /// (§4.5 short-duration-latch discipline).
+    Latch,
+    /// L4: FORMAT.md anchor constants vs. the constants in code.
+    FormatDrift,
+}
+
+impl Rule {
+    /// Stable rule id (used in reports and in DESIGN.md §10).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic-path",
+            Rule::Ratchet => "ratchet",
+            Rule::Latch => "latch",
+            Rule::FormatDrift => "format-drift",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Where: `path/to/file.rs:line` (or a crate name for ratchet
+    /// summaries).
+    pub location: String,
+    /// What is wrong and how to fix it.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.rule, self.location, self.detail
+        )
+    }
+}
+
+/// Everything one `eos lint` run found, plus scan statistics.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, in rule order (panic-path → ratchet → latch →
+    /// format-drift).
+    pub findings: Vec<Finding>,
+    /// Source files lexed.
+    pub files_scanned: usize,
+    /// FORMAT.md anchors successfully cross-checked against code.
+    pub anchors_checked: usize,
+    /// Panic-path sites suppressed by an inline
+    /// `// lint: allow(panic, reason = "…")` annotation.
+    pub sites_annotated: usize,
+    /// Unannotated panic-path sites (the quantity the ratchet bounds).
+    pub sites_unannotated: usize,
+}
+
+impl Report {
+    /// The worst severity present, if any finding exists.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Clean = nothing worse than [`Severity::Info`] (same rule as
+    /// `eos-check`).
+    pub fn is_clean(&self) -> bool {
+        self.max_severity().is_none_or(|s| s <= Severity::Info)
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// Human-readable table: one row per finding plus a summary line —
+    /// the same columns `eos check` prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.findings.is_empty() {
+            let sev_w = self
+                .findings
+                .iter()
+                .map(|f| f.severity.to_string().len())
+                .max()
+                .unwrap_or(0)
+                .max("SEVERITY".len());
+            let rule_w = self
+                .findings
+                .iter()
+                .map(|f| f.rule.id().len())
+                .max()
+                .unwrap_or(0)
+                .max("LAYER".len());
+            let loc_w = self
+                .findings
+                .iter()
+                .map(|f| f.location.len())
+                .max()
+                .unwrap_or(0)
+                .max("LOCATION".len());
+            out.push_str(&format!(
+                "{:sev_w$}  {:rule_w$}  {:loc_w$}  DETAIL\n",
+                "SEVERITY", "LAYER", "LOCATION"
+            ));
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "{:sev_w$}  {:rule_w$}  {:loc_w$}  {}\n",
+                    f.severity.to_string(),
+                    f.rule.id(),
+                    f.location,
+                    f.detail
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "linted {} file(s): {} panic-path site(s) ({} annotated), \
+             {} anchor(s) cross-checked: {} error(s), {} warning(s), {} info\n",
+            self.files_scanned,
+            self.sites_unannotated + self.sites_annotated,
+            self.sites_annotated,
+            self.anchors_checked,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Machine-readable JSON, same finding shape as `eos check --json`:
+    /// `{"clean": bool, "files": n, "anchors": n,
+    ///   "findings": [{"severity", "layer", "location", "detail"}, …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"clean\":{},\"files\":{},\"anchors\":{},\"findings\":[",
+            self.is_clean(),
+            self.files_scanned,
+            self.anchors_checked
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"layer\":\"{}\",\"location\":{},\"detail\":{}}}",
+                f.severity,
+                f.rule,
+                json_string(&f.location),
+                json_string(&f.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (the workspace has no serde).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.render_table().contains("0 error(s)"));
+        assert!(r.to_json().starts_with("{\"clean\":true"));
+    }
+
+    #[test]
+    fn error_findings_fail_and_render() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            severity: Severity::Info,
+            rule: Rule::Ratchet,
+            location: "eos-core".into(),
+            detail: "can tighten".into(),
+        });
+        assert!(r.is_clean());
+        r.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::PanicPath,
+            location: "crates/core/src/object.rs:12".into(),
+            detail: "`unwrap()` without annotation".into(),
+        });
+        assert!(!r.is_clean());
+        let table = r.render_table();
+        assert!(table.contains("panic-path"));
+        assert!(table.contains("object.rs:12"));
+        let json = r.to_json();
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("\"layer\":\"panic-path\""));
+    }
+}

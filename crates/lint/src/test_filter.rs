@@ -1,0 +1,164 @@
+//! Token-level removal of test-only code.
+//!
+//! The panic rules apply to *production* code; tests panic on purpose
+//! (that is what `assert!` is). Working on the token stream — there is
+//! no AST — we drop every item that is directly preceded by a
+//! `#[cfg(test)]`, `#[test]`, or `#[should_panic]`-style attribute:
+//! the attribute tokens themselves, any further stacked attributes,
+//! and the item through its balanced `{ … }` body (or trailing `;`).
+
+use crate::lexer::{Kind, Tok};
+
+/// Remove tokens belonging to test-gated items. Comments are passed
+/// through untouched (annotation scanning happens before this filter).
+pub fn strip_test_code(toks: Vec<Tok>) -> Vec<Tok> {
+    let idx: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, Kind::Comment(_)))
+        .map(|(i, _)| i)
+        .collect();
+    let mut drop = vec![false; toks.len()];
+    let mut k = 0;
+    while k < idx.len() {
+        if is_attr_open(&toks, &idx, k) {
+            let Some(attr_end) = attr_close(&toks, &idx, k) else {
+                break;
+            };
+            if attr_is_test(&toks, &idx, k + 2, attr_end) {
+                // Drop this attribute, any stacked attributes after it,
+                // and the item itself.
+                let mut end = attr_end + 1;
+                while is_attr_open(&toks, &idx, end) {
+                    match attr_close(&toks, &idx, end) {
+                        Some(e) => end = e + 1,
+                        None => break,
+                    }
+                }
+                let end = item_end(&toks, &idx, end);
+                for &ti in &idx[k..end.min(idx.len())] {
+                    drop[ti] = true;
+                }
+                k = end;
+                continue;
+            }
+            k = attr_end + 1;
+            continue;
+        }
+        k += 1;
+    }
+    toks.into_iter()
+        .enumerate()
+        .filter(|(i, _)| !drop[*i])
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// Is code-token `k` the `#` of a `#[` attribute?
+fn is_attr_open(toks: &[Tok], idx: &[usize], k: usize) -> bool {
+    let (Some(&a), Some(&b)) = (idx.get(k), idx.get(k + 1)) else {
+        return false;
+    };
+    toks[a].is_punct('#') && toks[b].is_punct('[')
+}
+
+/// Code-token index of the `]` closing the attribute whose `#` is at
+/// code-token `k`.
+fn attr_close(toks: &[Tok], idx: &[usize], k: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, &ti) in idx.iter().enumerate().skip(k + 1) {
+        match toks[ti].kind {
+            Kind::Punct('[') => depth += 1,
+            Kind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Does the attribute body (code tokens `start..end`) gate test code?
+/// Matches `test`, `cfg(test)`, `cfg(any(test, …))`, `should_panic`,
+/// and `tokio::test`-style paths ending in `test`.
+fn attr_is_test(toks: &[Tok], idx: &[usize], start: usize, end: usize) -> bool {
+    idx[start..end].iter().any(
+        |&ti| matches!(&toks[ti].kind, Kind::Ident(id) if id == "test" || id == "should_panic"),
+    )
+}
+
+/// Code-token index one past the end of the item starting at code-token
+/// `k`: through the matching `}` of its first `{`, or through the first
+/// `;` at depth 0, whichever comes first.
+fn item_end(toks: &[Tok], idx: &[usize], k: usize) -> usize {
+    let mut depth = 0i32;
+    for (off, &ti) in idx.iter().enumerate().skip(k) {
+        match toks[ti].kind {
+            Kind::Punct('{') => depth += 1,
+            Kind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return off + 1;
+                }
+            }
+            Kind::Punct(';') if depth == 0 => return off + 1,
+            _ => {}
+        }
+    }
+    idx.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn idents(toks: &[Tok]) -> Vec<String> {
+        toks.iter()
+            .filter_map(|t| match &t.kind {
+                Kind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_module_is_dropped() {
+        let src = "fn keep() {}\n#[cfg(test)]\nmod tests { fn gone() {} }\nfn also_keep() {}\n";
+        let out = strip_test_code(lex(src));
+        let ids = idents(&out);
+        assert!(ids.contains(&"keep".to_string()));
+        assert!(ids.contains(&"also_keep".to_string()));
+        assert!(!ids.contains(&"gone".to_string()));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs_is_dropped() {
+        let src = "#[test]\n#[should_panic]\nfn t() { inner() }\nfn keep() {}\n";
+        let out = strip_test_code(lex(src));
+        let ids = idents(&out);
+        assert!(!ids.contains(&"t".to_string()));
+        assert!(!ids.contains(&"inner".to_string()));
+        assert!(ids.contains(&"keep".to_string()));
+    }
+
+    #[test]
+    fn non_test_attrs_are_kept() {
+        let src = "#[derive(Debug)]\nstruct Keep { field: u8 }\n#[inline]\nfn f() {}\n";
+        let out = strip_test_code(lex(src));
+        let ids = idents(&out);
+        assert!(ids.contains(&"Keep".to_string()));
+        assert!(ids.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn nested_braces_in_test_body_are_handled() {
+        let src = "#[cfg(test)]\nmod t { fn a() { if x { y() } } fn b() {} }\nfn keep() {}\n";
+        let out = strip_test_code(lex(src));
+        let ids = idents(&out);
+        assert_eq!(ids, vec!["fn".to_string(), "keep".to_string()]);
+    }
+}

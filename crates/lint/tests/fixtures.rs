@@ -1,0 +1,233 @@
+//! Rule-by-rule fixture tests (satellite S6): each lint rule must fire
+//! exactly once on a workspace with exactly one seeded violation, and
+//! not at all on the clean fixture. This pins both directions — a rule
+//! that stops firing is as much a regression as one that over-fires.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use eos_lint::report::{Rule, Severity};
+use eos_lint::{lint_workspace, Options, MIN_ANCHORS};
+
+/// A throwaway workspace under the system temp dir, removed on drop.
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> TempWs {
+        let root =
+            std::env::temp_dir().join(format!("eos-lint-fixture-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        TempWs { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+
+    fn append(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str(content);
+        fs::write(path, text).unwrap();
+    }
+
+    fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Build a workspace the linter reports as clean: every scanned
+/// directory and drift source exists, the ratchet is at zero, and
+/// `MIN_ANCHORS + 1` anchors pair up (the +1 keeps the anchor-count
+/// floor satisfied when a test breaks exactly one pair).
+fn clean_ws(tag: &str) -> TempWs {
+    let ws = TempWs::new(tag);
+    let mut object = String::from("//! fixture codec\n");
+    let mut doc = String::from("# FORMAT fixture\n");
+    for i in 0..=MIN_ANCHORS {
+        object.push_str(&format!(
+            "pub const A{i}: u32 = {i}; // format-anchor: A{i}\n"
+        ));
+        doc.push_str(&format!("<!-- anchor: A{i} = {i} -->\n"));
+    }
+    ws.write("crates/core/src/object.rs", &object);
+    ws.write("FORMAT.md", &doc);
+    ws.write("crates/core/src/node.rs", "pub fn node() {}\n");
+    ws.write("crates/core/src/wal.rs", "pub fn wal() {}\n");
+    ws.write("crates/core/src/durable.rs", "pub fn durable() {}\n");
+    ws.write("crates/core/src/store.rs", "pub fn store() {}\n");
+    ws.write("crates/buddy/src/dir.rs", "pub fn dir() {}\n");
+    ws.write("src/catalog.rs", "pub fn catalog() {}\n");
+    ws.write("crates/pager/src/lib.rs", "pub fn pager() {}\n");
+    ws.write("crates/check/src/lib.rs", "pub fn check() {}\n");
+    ws.write(
+        "lint.ratchet",
+        "eos-buddy 0\neos-check 0\neos-core 0\neos-pager 0\n",
+    );
+    ws
+}
+
+fn lint(ws: &TempWs) -> eos_lint::report::Report {
+    lint_workspace(ws.root(), &Options::default()).unwrap()
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let ws = clean_ws("clean");
+    let report = lint(&ws);
+    assert!(
+        report.is_clean(),
+        "clean fixture produced findings:\n{}",
+        report.render_table()
+    );
+    assert!(report.anchors_checked > MIN_ANCHORS);
+}
+
+#[test]
+fn panic_rule_fires_once_in_a_strict_file() {
+    let ws = clean_ws("panic");
+    ws.append(
+        "crates/core/src/object.rs",
+        "pub fn decode(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::PanicPath);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.location.starts_with("crates/core/src/object.rs:"));
+}
+
+#[test]
+fn annotated_strict_site_is_suppressed() {
+    let ws = clean_ws("panic-allow");
+    ws.append(
+        "crates/core/src/object.rs",
+        "pub fn decode(x: Option<u32>) -> u32 {\n    \
+         // lint: allow(panic, reason = \"fixture: length checked by caller\")\n    \
+         x.unwrap()\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.sites_annotated, 1);
+}
+
+#[test]
+fn ratchet_rule_fires_once_on_a_new_site() {
+    let ws = clean_ws("ratchet");
+    ws.append(
+        "crates/core/src/store.rs",
+        "pub fn lookup(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Ratchet);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.location, "eos-core");
+    assert!(f.detail.contains("ratchet allows 0"));
+}
+
+#[test]
+fn ratchet_loosening_is_rejected_tightening_is_not() {
+    let ws = clean_ws("ratchet-dir");
+    // The budget may sit above the observed count (tighten hint, still
+    // clean) but observed may never exceed it.
+    ws.write(
+        "lint.ratchet",
+        "eos-buddy 3\neos-check 0\neos-core 0\neos-pager 0\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+    let info: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Ratchet)
+        .collect();
+    assert_eq!(info.len(), 1);
+    assert!(info[0].detail.contains("tighten"));
+}
+
+#[test]
+fn latch_rule_fires_once_on_io_under_guard() {
+    let ws = clean_ws("latch");
+    ws.append(
+        "crates/core/src/store.rs",
+        "pub fn flush(&self) {\n    \
+         let g = self.inner.lock();\n    \
+         self.volume.write_pages(0, &g.dirty);\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Latch);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.location.starts_with("crates/core/src/store.rs:"));
+}
+
+#[test]
+fn drift_rule_fires_once_on_a_changed_constant() {
+    let ws = clean_ws("drift");
+    // Flip one constant's value without touching FORMAT.md — the exact
+    // failure mode the rule exists for.
+    let path = "crates/core/src/object.rs";
+    let src = fs::read_to_string(ws.root().join(path)).unwrap();
+    let src = src.replace(
+        "pub const A1: u32 = 1; // format-anchor: A1",
+        "pub const A1: u32 = 999; // format-anchor: A1",
+    );
+    ws.write(path, &src);
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::FormatDrift);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.detail.contains("`A1` drifted"), "{}", f.detail);
+}
+
+#[test]
+fn deleting_anchors_cannot_defuse_the_drift_gate() {
+    let ws = clean_ws("drift-floor");
+    ws.write("FORMAT.md", "# FORMAT fixture with no anchors\n");
+    let mut object = String::from("//! fixture codec, anchors stripped\n");
+    for i in 0..=MIN_ANCHORS {
+        object.push_str(&format!("pub const A{i}: u32 = {i};\n"));
+    }
+    ws.write("crates/core/src/object.rs", &object);
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == Rule::FormatDrift && f.detail.contains("at least")));
+}
+
+#[test]
+fn update_ratchet_writes_observed_counts() {
+    let ws = clean_ws("update");
+    ws.append(
+        "crates/core/src/store.rs",
+        "pub fn lookup(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let opts = Options {
+        update_ratchet: true,
+        ..Options::default()
+    };
+    lint_workspace(ws.root(), &opts).unwrap();
+    let text = fs::read_to_string(ws.root().join("lint.ratchet")).unwrap();
+    assert!(text.contains("eos-core 1"), "{text}");
+    // And the rewritten ratchet makes the same workspace clean again.
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+}

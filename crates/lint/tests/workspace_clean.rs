@@ -1,0 +1,23 @@
+//! The real workspace must lint clean — this is the same gate CI runs
+//! (`eos lint`), expressed as a test so `cargo test` alone catches a
+//! violation before the CI script does.
+
+use std::path::Path;
+
+use eos_lint::{lint_workspace, Options};
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = lint_workspace(root, &Options::default()).unwrap();
+    assert!(
+        report.is_clean(),
+        "workspace lint findings:\n{}",
+        report.render_table()
+    );
+    assert!(report.files_scanned > 0);
+    assert!(report.anchors_checked >= eos_lint::MIN_ANCHORS);
+}

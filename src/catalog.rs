@@ -32,7 +32,7 @@ use std::collections::BTreeMap;
 
 use eos_core::{Error, LargeObject, ObjectStore, Result};
 
-const CATALOG_MAGIC: u32 = 0x454F_5343; // "EOSC"
+const CATALOG_MAGIC: u32 = 0x454F_5343; // format-anchor: CATALOG_MAGIC
 
 /// A persistent name → object-descriptor map.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -19,6 +19,14 @@ cargo build --release --offline
 echo "== test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== bench smoke (compare --quick, BENCH_obs.json) =="
+# One experiment binary end-to-end in quick mode: exercises the store
+# comparison harness and proves the observability snapshot lands in
+# BENCH_obs.json for CI diffing.
+rm -f BENCH_obs.json
+cargo run --release --offline -q -p eos-bench --bin compare -- --quick
+test -s BENCH_obs.json || { echo "BENCH_obs.json missing or empty"; exit 1; }
+
 echo "== crash sweep (release, pinned seed) =="
 # Exhaustive crash-point sweep: every write I/O point of the scripted
 # workload, clean and torn, plus crashes during recovery itself. Release

@@ -23,6 +23,7 @@ fn main() {
     superdirectory();
     freelist_ablation();
     long_run_fragmentation();
+    eos_bench::obs_json::emit_or_warn("alloc_cost", &eos_obs::global().snapshot());
 }
 
 /// E8d — free-space shape under sustained churn. §3 cites \[Selt91\]'s
@@ -35,6 +36,7 @@ fn long_run_fragmentation() {
     println!("== E8d: free-space shape after sustained churn ==");
     let vol = MemVolume::with_profile(4096, 17000, DiskProfile::VINTAGE_1992).shared();
     let mut mgr = BuddyManager::create(vol, 1, 16272).unwrap();
+    mgr.set_metrics(eos_obs::global());
     let mut r = rand::rngs::StdRng::seed_from_u64(0xF4A6);
     let mut held: Vec<eos_buddy::Extent> = Vec::new();
     let mut t = Table::new(vec![
@@ -44,8 +46,10 @@ fn long_run_fragmentation() {
         "largest run",
         "free usable for 64p",
     ]);
-    for round in 1..=5u32 {
-        for _ in 0..10_000 {
+    let rounds = eos_bench::obs_json::scaled(5) as u32;
+    let per_round = eos_bench::obs_json::scaled(10_000);
+    for round in 1..=rounds {
+        for _ in 0..per_round {
             if r.gen_bool(0.55) || held.is_empty() {
                 let want = 1u64 << r.gen_range(0..9); // 1..256 pages
                 if let Ok(e) = mgr.allocate(want) {
@@ -60,7 +64,7 @@ fn long_run_fragmentation() {
         let f = mgr.fragmentation();
         let held_pages: u64 = held.iter().map(|e| e.pages).sum();
         t.row(vec![
-            format!("{}", round * 10_000),
+            format!("{}", u64::from(round) * per_round),
             format!("{held_pages}"),
             format!("{}", f.free_pages),
             format!("{}", f.largest_free_run),
@@ -77,6 +81,7 @@ fn one_access_per_allocation() {
     println!("== E8a: disk accesses per allocation, by segment size ==");
     let vol = MemVolume::with_profile(4096, 17000, DiskProfile::VINTAGE_1992).shared();
     let mut mgr = BuddyManager::create(vol.clone(), 1, 16272).unwrap();
+    mgr.set_metrics(eos_obs::global());
     let mut t = Table::new(vec![
         "request (pages)",
         "alloc page writes",
@@ -121,16 +126,18 @@ fn superdirectory() {
         )
         .shared();
         let mut mgr = BuddyManager::create(vol, spaces, pps).unwrap();
+        mgr.set_metrics(eos_obs::global());
         mgr.set_use_superdirectory(use_sd);
         // Fill all but the last two spaces with immovable allocations.
         for _ in 0..spaces - 2 {
             mgr.allocate(2048).unwrap();
         }
         mgr.reset_superdir_stats();
-        // Now serve 200 mid-size requests; without the superdirectory
+        // Now serve the mid-size requests; without the superdirectory
         // every full space's directory must be inspected each time.
+        let requests = eos_bench::obs_json::scaled(200);
         let mut held = Vec::new();
-        for _ in 0..200 {
+        for _ in 0..requests {
             if let Ok(e) = mgr.allocate(16) {
                 held.push(e);
             }
@@ -142,10 +149,10 @@ fn superdirectory() {
         let s = mgr.superdir_stats();
         t.row(vec![
             name.to_string(),
-            "200".to_string(),
+            format!("{requests}"),
             format!("{}", s.probes_made),
             format!("{}", s.probes_avoided),
-            f2(s.probes_made as f64 / 200.0),
+            f2(s.probes_made as f64 / requests as f64),
         ]);
     }
     t.print();
@@ -228,7 +235,7 @@ fn freelist_ablation() {
     let script: Vec<(bool, u64)> = {
         use rand::{Rng, SeedableRng};
         let mut r = rand::rngs::StdRng::seed_from_u64(0xA110C);
-        (0..2000)
+        (0..eos_bench::obs_json::scaled(2000))
             .map(|_| (r.gen_bool(0.55), r.gen_range(1..64)))
             .collect()
     };
@@ -245,6 +252,7 @@ fn freelist_ablation() {
     {
         let vol = MemVolume::with_profile(4096, pages + 2, profile).shared();
         let mut mgr = BuddyManager::create(vol.clone(), 1, pages).unwrap();
+        mgr.set_metrics(eos_obs::global());
         vol.reset_stats();
         let mut held: Vec<eos_buddy::Extent> = Vec::new();
         for &(is_alloc, n) in &script {

@@ -48,13 +48,14 @@ fn main() {
             },
         )
         .unwrap();
+        store.set_metrics(eos_obs::global());
 
         // Build and fragment the object so the tree has real depth.
         let bytes = 8usize << 20;
         let data = payload(2, bytes);
         let mut obj = store.create_with(&data, Some(bytes as u64)).unwrap();
         let mut r = rng();
-        for _ in 0..400 {
+        for _ in 0..eos_bench::obs_json::scaled(400) {
             let off = r.gen_range(0..obj.size() - 200);
             store.insert(&mut obj, off, b"fragmenting-wedge").unwrap();
         }
@@ -63,7 +64,7 @@ fn main() {
         }
 
         // Measure the read workload.
-        let reads = 500u64;
+        let reads = eos_bench::obs_json::scaled(500);
         volume.reset_stats();
         let before = volume.stats();
         let mut r = rng();
@@ -92,4 +93,5 @@ fn main() {
         "\nthe cache absorbs index-page reads (tree height dominates the cold cost);\n\
          leaf transfers are identical in all rows because segment reads bypass the cache."
     );
+    eos_bench::obs_json::emit_or_warn("cache_effect", &eos_obs::global().snapshot());
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p eos-bench --bin compare            # 4 MiB objects
 //! cargo run --release -p eos-bench --bin compare -- 16      # 16 MiB objects
+//! cargo run --release -p eos-bench --bin compare -- --quick # CI smoke
 //! ```
 //!
 //! Expected shape (paper §2 and §5): Starburst wins or ties creates and
@@ -20,25 +21,29 @@ use eos_bench::workload::{comparison_run, ComparisonRun, Cost};
 use eos_core::Threshold;
 
 fn main() {
+    let quick = eos_bench::obs_json::quick();
     let mb: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+        .skip(1)
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(if quick { 1 } else { 4 });
     let excluded = run_comparison(mb);
-    if excluded {
+    if excluded && !quick {
         println!();
         println!("re-running at 1 MiB so every store participates:");
         println!();
         run_comparison(1);
     }
+    // The EOS stores above ran on the process-global metrics domain;
+    // persist the attributed per-operation I/O for CI diffing.
+    eos_bench::obs_json::emit_or_warn("compare", &eos_obs::global().snapshot());
 }
 
 /// Returns true when some store could not hold the object.
 fn run_comparison(mb: u64) -> bool {
     let object_bytes = mb * 1024 * 1024;
     let sizing = Sizing::mb((4 * mb).max(16));
-    let reads = 200;
-    let updates = 100;
+    let reads = eos_bench::obs_json::scaled(200);
+    let updates = eos_bench::obs_json::scaled(100);
 
     println!("== E7: store comparison — {mb} MiB objects, {reads} reads, {updates} updates ==\n");
 

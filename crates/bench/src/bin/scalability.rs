@@ -24,7 +24,12 @@ fn main() {
         "delete ms/op",
         "append ms/op",
     ]);
-    for mb in [1u64, 4, 16, 64, 128] {
+    let sizes: &[u64] = if eos_bench::obs_json::quick() {
+        &[1, 4]
+    } else {
+        &[1, 4, 16, 64, 128]
+    };
+    for &mb in sizes {
         let sizing = Sizing::mb((mb * 2).max(16));
         let mut store = eos(sizing, Threshold::Fixed(8));
         // Build via 1 MiB appends (unknown size → doubling growth).
@@ -39,14 +44,14 @@ fn main() {
         }
         // Fragment lightly so the tree is realistic.
         let mut r = rng();
-        for _ in 0..50 {
+        for _ in 0..eos_bench::obs_json::scaled(50) {
             let off = r.gen_range(0..obj.size() - 200);
             store.insert(&mut obj, off, &payload(4, 100)).unwrap();
         }
         store.verify_object(&obj).unwrap();
         let stats = store.object_stats(&obj).unwrap();
 
-        let ops = 100u64;
+        let ops = eos_bench::obs_json::scaled(100);
         // Random 4 KiB reads.
         let mut r = rng();
         store.reset_io_stats();
@@ -91,4 +96,5 @@ fn main() {
         "\nthe per-operation cost is flat (± the extra index level) while the\n\
          object grows 128x — the paper's objective 3, measured."
     );
+    eos_bench::obs_json::emit_or_warn("scalability", &eos_obs::global().snapshot());
 }

@@ -13,7 +13,10 @@ use eos_core::{BlobStore, ObjectStore, Threshold};
 use rand::Rng;
 
 fn main() {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let all = which.is_empty();
     let want = |name: &str| all || which.iter().any(|w| w == name);
     if want("utilization") {
@@ -31,6 +34,12 @@ fn main() {
     if want("consolidate") {
         consolidate();
     }
+    eos_bench::obs_json::emit_or_warn("threshold", &eos_obs::global().snapshot());
+}
+
+/// Workload size scaled down under `--quick`.
+fn n(full: u64) -> u64 {
+    eos_bench::obs_json::scaled(full)
 }
 
 /// E6c — group reallocation (\[Bili91a\]) and explicit compaction: a
@@ -43,7 +52,7 @@ fn consolidate() {
     let data = payload(5, bytes);
     let mut obj = store.create_with(&data, Some(bytes as u64)).unwrap();
     let mut r = rng();
-    for _ in 0..400 {
+    for _ in 0..n(400) {
         let off = r.gen_range(0..obj.size() - 100);
         store.insert(&mut obj, off, b"tiny-wedge").unwrap();
     }
@@ -112,7 +121,7 @@ fn shattered_object(threshold: u32, bytes: usize) -> (eos_core::ObjectStats, Obj
     let mut obj = store.create_with(&data, Some(bytes as u64)).unwrap();
     let mut r = rng();
     let wedge = payload(6, 120);
-    for _ in 0..200 {
+    for _ in 0..n(200) {
         let off = r.gen_range(0..obj.size());
         store.insert(&mut obj, off, &wedge).unwrap();
     }
@@ -147,22 +156,22 @@ fn sweep() {
         let insert_cost = {
             store.reset_io_stats();
             let before = store.io_stats();
-            for _ in 0..150 {
+            for _ in 0..n(150) {
                 let off = r.gen_range(0..obj.size());
                 store.insert(&mut obj, off, &wedge).unwrap();
             }
             let io = store.io_stats() - before;
-            eos_bench::workload::Cost { ops: 150, io }
+            eos_bench::workload::Cost { ops: n(150), io }
         };
         let delete_cost = {
             store.reset_io_stats();
             let before = store.io_stats();
-            for _ in 0..150 {
+            for _ in 0..n(150) {
                 let off = r.gen_range(0..obj.size() - 200);
                 store.delete(&mut obj, off, 120).unwrap();
             }
             let io = store.io_stats() - before;
-            eos_bench::workload::Cost { ops: 150, io }
+            eos_bench::workload::Cost { ops: n(150), io }
         };
         store.verify_object(&obj).unwrap();
         let stats = store.object_stats(&obj).unwrap();
@@ -175,7 +184,7 @@ fn sweep() {
         });
         // Random 4 KiB reads.
         let mut r = rng();
-        let reads = measure(&mut store, 200, |s, _| {
+        let reads = measure(&mut store, n(200), |s, _| {
             let off = r.gen_range(0..size - 4096);
             let _ = BlobStore::read(s, &h, off, 4096).unwrap();
         });
@@ -222,7 +231,8 @@ fn adaptive() {
         let wedge = payload(6, 120);
         store.reset_io_stats();
         let before = store.io_stats();
-        for i in 0..300 {
+        let updates = n(300);
+        for i in 0..updates {
             let off = r.gen_range(0..obj.size() - 200);
             if i % 2 == 0 {
                 store.insert(&mut obj, off, &wedge).unwrap();
@@ -244,7 +254,7 @@ fn adaptive() {
             format!("{}", stats.height),
             pct(stats.leaf_utilization(store.page_size())),
             format!("{}", scan.io.seeks),
-            format!("{:.2}", update_io.elapsed_ms() / 300.0),
+            format!("{:.2}", update_io.elapsed_ms() / updates as f64),
         ]);
     }
     t.print();

@@ -8,10 +8,13 @@
 //!   the generic measurement driver over any [`eos_core::BlobStore`].
 //! * [`stores`] — factories building every store on identically sized
 //!   volumes so comparisons are apples to apples.
+//! * [`obs_json`] — the `--quick` flag and the `BENCH_obs.json`
+//!   metrics emitter shared by every experiment binary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs_json;
 pub mod stores;
 pub mod table;
 pub mod workload;

@@ -47,10 +47,12 @@ impl Sizing {
     }
 }
 
-/// An EOS store with the given threshold.
+/// An EOS store with the given threshold, joined to the process-global
+/// metrics domain so the experiment binaries can emit the attributed
+/// per-operation I/O into `BENCH_obs.json` at exit.
 pub fn eos(sizing: Sizing, threshold: Threshold) -> ObjectStore {
     let (spaces, pps) = sizing.layout();
-    ObjectStore::create(
+    let mut store = ObjectStore::create(
         sizing.volume(),
         spaces,
         pps,
@@ -59,7 +61,9 @@ pub fn eos(sizing: Sizing, threshold: Threshold) -> ObjectStore {
             ..StoreConfig::default()
         },
     )
-    .expect("eos store")
+    .expect("eos store");
+    store.set_metrics(eos_obs::global());
+    store
 }
 
 /// An Exodus store with `leaf_pages`-block data pages.

@@ -18,7 +18,7 @@ pub const COUNT_ENTRY_BYTES: usize = 2; // format-anchor: DIR_COUNT_ENTRY_BYTES
 pub const AMAP_PAGES_PER_BYTE: u64 = 4; // format-anchor: AMAP_PAGES_PER_BYTE
 
 /// Decoded directory of one buddy space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SpaceDir {
     geometry: Geometry,
     /// `count[t]` = number of free segments of type `t` (size `2^t`).
@@ -27,7 +27,25 @@ pub struct SpaceDir {
     /// Largest type a segment in this space may have
     /// (`min(geometry.max_type, ⌊log₂ data_pages⌋)`).
     space_max_type: u8,
+    /// Cumulative buddy merges performed by the coalescing path since
+    /// this directory was decoded. Purely an in-memory diagnostic (the
+    /// observability layer reads deltas of it); never persisted to the
+    /// directory page.
+    merges: u64,
 }
+
+/// Equality compares the *persisted* state only — `merges` is an
+/// in-memory diagnostic that a decode/encode roundtrip does not carry.
+impl PartialEq for SpaceDir {
+    fn eq(&self, other: &Self) -> bool {
+        self.geometry == other.geometry
+            && self.counts == other.counts
+            && self.amap == other.amap
+            && self.space_max_type == other.space_max_type
+    }
+}
+
+impl Eq for SpaceDir {}
 
 impl SpaceDir {
     /// Create a directory for a fresh space of `data_pages` pages, all
@@ -51,6 +69,7 @@ impl SpaceDir {
             counts: vec![0; geometry.count_entries()],
             amap: AMap::new_all_allocated(data_pages),
             space_max_type,
+            merges: 0,
         };
         // Free the whole range: erase the individual "allocated" bits and
         // lay down the canonical aligned decomposition.
@@ -107,6 +126,13 @@ impl SpaceDir {
     /// Read-only view of the allocation map.
     pub fn amap(&self) -> &AMap {
         &self.amap
+    }
+
+    /// Cumulative buddy merges performed by the coalescing path (§3.2,
+    /// Fig 4.d) since this directory was decoded. Observability reads
+    /// deltas of this around each free to get the coalesce depth.
+    pub fn coalesce_merges(&self) -> u64 {
+        self.merges
     }
 
     /// Type of the largest free segment, or `None` if the space is full.
@@ -199,6 +225,7 @@ impl SpaceDir {
             self.counts[t as usize] -= 1;
             s = s.min(buddy);
             t += 1;
+            self.merges += 1;
         }
         self.amap.mark(s, t, SegState::Free);
         self.counts[t as usize] += 1;
@@ -378,6 +405,7 @@ impl SpaceDir {
             counts,
             amap,
             space_max_type,
+            merges: 0,
         };
         dir.check_invariants()?;
         Ok(dir)
@@ -418,6 +446,7 @@ impl SpaceDir {
             counts,
             amap,
             space_max_type,
+            merges: 0,
         })
     }
 

@@ -2,6 +2,9 @@
 //! volume, routes allocations through the superdirectory, and provides
 //! the deferred-free ("release lock", §4.5) mechanism.
 
+use std::time::{Duration, Instant};
+
+use eos_obs::Metrics;
 use eos_pager::{PageId, SharedVolume};
 use parking_lot::Mutex;
 
@@ -40,6 +43,22 @@ pub struct BuddyManager {
     geometry: Geometry,
     pages_per_space: u64,
     pending: Mutex<PendingFrees>,
+    obs: Option<ObsHandles>,
+}
+
+/// Pre-resolved observability instruments. Resolving a handle takes the
+/// registry's registration latch, so it happens once in
+/// [`BuddyManager::set_metrics`]; recording afterwards is pure atomics
+/// and therefore safe even around the `pending` latch (§4.5: record
+/// *after* dropping the guard, never under it).
+struct ObsHandles {
+    alloc_pages: eos_obs::Histogram,
+    free_pages: eos_obs::Histogram,
+    nospace: eos_obs::Counter,
+    coalesce_depth: eos_obs::Histogram,
+    latch_wait_us: eos_obs::Histogram,
+    latch_hold_us: eos_obs::Histogram,
+    pending_extents: eos_obs::Gauge,
 }
 
 #[derive(Debug, Default)]
@@ -84,6 +103,7 @@ impl BuddyManager {
             geometry,
             pages_per_space,
             pending: Mutex::new(PendingFrees::default()),
+            obs: None,
         })
     }
 
@@ -114,7 +134,38 @@ impl BuddyManager {
             geometry,
             pages_per_space,
             pending: Mutex::new(PendingFrees::default()),
+            obs: None,
         })
+    }
+
+    /// Attach an observability domain: allocation/free size histograms
+    /// (`buddy.alloc.pages` / `buddy.free.pages`), coalesce depth
+    /// (`buddy.coalesce.depth`), superdirectory-latch wait/hold times
+    /// (`buddy.latch.wait_us` / `buddy.latch.hold_us`, §4.5), the
+    /// pending-free backlog gauge (`buddy.pending.extents`) and the
+    /// exhaustion counter (`buddy.alloc.nospace`).
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.obs = Some(ObsHandles {
+            alloc_pages: metrics.histogram("buddy.alloc.pages"),
+            free_pages: metrics.histogram("buddy.free.pages"),
+            nospace: metrics.counter("buddy.alloc.nospace"),
+            coalesce_depth: metrics.histogram("buddy.coalesce.depth"),
+            latch_wait_us: metrics.histogram("buddy.latch.wait_us"),
+            latch_hold_us: metrics.histogram("buddy.latch.hold_us"),
+            pending_extents: metrics.gauge("buddy.pending.extents"),
+        });
+    }
+
+    /// Record one `pending` latch acquisition: how long the caller
+    /// waited for the latch and how long it then held it. Called after
+    /// the guard is dropped — the recording itself is atomics-only.
+    fn note_latch(&self, waited: Duration, total: Duration) {
+        if let Some(obs) = &self.obs {
+            let wait = duration_us(waited);
+            obs.latch_wait_us.record(wait);
+            obs.latch_hold_us
+                .record(duration_us(total).saturating_sub(wait));
+        }
     }
 
     /// Disable the superdirectory (every allocation probes each space in
@@ -139,6 +190,9 @@ impl BuddyManager {
             return Err(Error::ZeroPages);
         }
         if pages > self.max_extent_pages() {
+            if let Some(obs) = &self.obs {
+                obs.nospace.inc();
+            }
             return Err(Error::NoSpace {
                 requested_pages: pages,
             });
@@ -156,6 +210,9 @@ impl BuddyManager {
             match self.spaces[i].allocate(pages) {
                 Ok(start) => {
                     self.superdir.record(i, self.spaces[i].largest_free_type());
+                    if let Some(obs) = &self.obs {
+                        obs.alloc_pages.record(pages);
+                    }
                     return Ok(Extent { start, pages });
                 }
                 Err(Error::NoSpace { .. }) => {
@@ -163,6 +220,9 @@ impl BuddyManager {
                 }
                 Err(e) => return Err(e),
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.nospace.inc();
         }
         Err(Error::NoSpace {
             requested_pages: pages,
@@ -203,8 +263,14 @@ impl BuddyManager {
         if i >= self.spaces.len() {
             return Err(Error::NoSuchSpace { space: i });
         }
+        let merges_before = self.spaces[i].dir().coalesce_merges();
         self.spaces[i].free(start, pages)?;
         self.superdir.record(i, self.spaces[i].largest_free_type());
+        if let Some(obs) = &self.obs {
+            obs.free_pages.record(pages);
+            obs.coalesce_depth
+                .record(self.spaces[i].dir().coalesce_merges() - merges_before);
+        }
         Ok(())
     }
 
@@ -212,35 +278,53 @@ impl BuddyManager {
     /// stay allocated on disk — the §4.5 "release lock": nobody can
     /// reuse them — until the batch is committed.
     pub fn begin_free_batch(&self) -> FreeBatch {
+        let t0 = Instant::now();
         let mut g = self.pending.lock();
+        let waited = t0.elapsed();
         g.next_batch += 1;
         let id = g.next_batch;
         g.batches.push((id, Vec::new()));
+        drop(g);
+        self.note_latch(waited, t0.elapsed());
         FreeBatch(id)
     }
 
     /// Defer freeing an extent until `batch` commits.
     pub fn defer_free(&self, batch: FreeBatch, extent: Extent) {
+        let t0 = Instant::now();
         let mut g = self.pending.lock();
+        let waited = t0.elapsed();
         let slot = g
             .batches
             .iter_mut()
             .find(|(id, _)| *id == batch.0)
             .expect("unknown free batch");
         slot.1.push(extent);
+        drop(g);
+        self.note_latch(waited, t0.elapsed());
+        if let Some(obs) = &self.obs {
+            obs.pending_extents.add(1);
+        }
     }
 
     /// Apply every deferred free in the batch (transaction commit).
     pub fn commit_frees(&mut self, batch: FreeBatch) -> Result<()> {
-        let extents = {
-            let mut g = self.pending.lock();
-            let idx = g
-                .batches
-                .iter()
-                .position(|(id, _)| *id == batch.0)
-                .expect("unknown free batch");
-            g.batches.remove(idx).1
-        };
+        let t0 = Instant::now();
+        let mut g = self.pending.lock();
+        let waited = t0.elapsed();
+        let idx = g
+            .batches
+            .iter()
+            .position(|(id, _)| *id == batch.0)
+            .expect("unknown free batch");
+        let extents = g.batches.remove(idx).1;
+        // The latch is short-duration by construction: it is released
+        // here, before any of the directory-page I/O the frees incur.
+        drop(g);
+        self.note_latch(waited, t0.elapsed());
+        if let Some(obs) = &self.obs {
+            obs.pending_extents.sub(extents.len() as u64);
+        }
         for e in extents {
             self.free(e.start, e.pages)?;
         }
@@ -250,9 +334,19 @@ impl BuddyManager {
     /// Drop the batch without freeing anything (transaction abort — the
     /// segments remain allocated, which undoes the logical free).
     pub fn abort_frees(&self, batch: FreeBatch) {
+        let t0 = Instant::now();
         let mut g = self.pending.lock();
-        if let Some(idx) = g.batches.iter().position(|(id, _)| *id == batch.0) {
-            g.batches.remove(idx);
+        let waited = t0.elapsed();
+        let dropped = g
+            .batches
+            .iter()
+            .position(|(id, _)| *id == batch.0)
+            .map(|idx| g.batches.remove(idx).1.len())
+            .unwrap_or(0);
+        drop(g);
+        self.note_latch(waited, t0.elapsed());
+        if let Some(obs) = &self.obs {
+            obs.pending_extents.sub(dropped as u64);
         }
     }
 
@@ -348,6 +442,11 @@ impl BuddyManager {
             free_segments_by_type: by_type,
         }
     }
+}
+
+/// Microseconds of a `Duration`, clamped to `u64`.
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Snapshot of free-space shape (see [`BuddyManager::fragmentation`]).
@@ -491,6 +590,33 @@ mod tests {
         assert!(f.usable_for(64) == 0.0);
         assert!(f.usable_for(32) > 0.5);
         assert_eq!(f.usable_for(1), 1.0);
+    }
+
+    #[test]
+    fn metrics_capture_alloc_free_and_latch_activity() {
+        let mut m = manager(1, 64);
+        let metrics = Metrics::new();
+        m.set_metrics(&metrics);
+        let a = m.allocate(8).unwrap();
+        let b = m.allocate(8).unwrap();
+        m.free(a.start, a.pages).unwrap();
+        // Freeing b's 8 pages next to a's free 8 coalesces at least once.
+        m.free(b.start, b.pages).unwrap();
+        let batch = m.begin_free_batch();
+        let c = m.allocate(4).unwrap();
+        m.defer_free(batch, c);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("buddy.pending.extents"), Some(1));
+        m.commit_frees(batch).unwrap();
+        assert!(matches!(m.allocate(1000), Err(Error::NoSpace { .. })));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histogram("buddy.alloc.pages").unwrap().count, 3);
+        assert_eq!(snap.histogram("buddy.alloc.pages").unwrap().sum, 20);
+        assert_eq!(snap.histogram("buddy.free.pages").unwrap().sum, 20);
+        assert_eq!(snap.counter("buddy.alloc.nospace"), Some(1));
+        assert_eq!(snap.gauge("buddy.pending.extents"), Some(0));
+        assert!(snap.histogram("buddy.coalesce.depth").unwrap().sum >= 1);
+        assert!(snap.histogram("buddy.latch.wait_us").unwrap().count >= 3);
     }
 
     #[test]

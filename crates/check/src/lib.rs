@@ -30,6 +30,7 @@
 mod amap_audit;
 mod census;
 mod report;
+pub mod schema;
 
 use eos_buddy::SpaceDir;
 use eos_core::wal::Wal;
@@ -38,6 +39,7 @@ use eos_pager::SharedVolume;
 
 pub use amap_audit::{audit_dir, SpaceAudit};
 pub use report::Report;
+pub use schema::{parse_envelope, Envelope, EnvelopeFinding, Json};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

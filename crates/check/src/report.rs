@@ -118,7 +118,7 @@ impl Report {
 }
 
 /// Minimal JSON string encoder (the workspace has no serde).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -14,6 +14,7 @@
 //! eos get db.eos photo.jpg out.jpg   # read an object into a file
 //! eos rm db.eos photo.jpg            # delete object + catalog entry
 //! eos stat db.eos [name]             # store / object statistics
+//! eos stats db.eos [--json]          # per-operation I/O attribution
 //! eos verify db.eos                  # full invariant check
 //! eos check db.eos [--json]          # static analysis of every structure
 //! eos compact db.eos doc.txt         # rewrite into maximal segments
@@ -104,10 +105,20 @@ fn open_volume(path: &Path) -> Result<(SharedVolume, usize, u64)> {
 
 /// Open a CLI volume, running restart recovery (a no-op on a cleanly
 /// closed volume). Every command goes through here, so a volume left
-/// behind by a crashed command heals on its next use.
+/// behind by a crashed command heals on its next use. The store joins
+/// the process-global metrics domain, so `eos stats` sees the I/O
+/// every command in this process attributed to its operations.
 fn open_store_recover(path: &Path) -> Result<(ObjectStore, RecoveryReport)> {
     let (vol, spaces, pps) = open_volume(path)?;
-    ObjectStore::open_durable(vol, spaces, pps, StoreConfig::default(), WAL_PAGES).map_err(map_err)
+    ObjectStore::open_durable_with(
+        vol,
+        spaces,
+        pps,
+        StoreConfig::default(),
+        WAL_PAGES,
+        eos::obs::global(),
+    )
+    .map_err(map_err)
 }
 
 fn open_store(path: &Path) -> Result<ObjectStore> {
@@ -202,6 +213,7 @@ pub fn run(args: &[String]) -> Result<String> {
                     WAL_PAGES,
                 )
                 .map_err(map_err)?;
+                store.set_metrics(eos::obs::global());
                 Catalog::new().save(&mut store).map_err(map_err)?;
                 writeln!(
                     out,
@@ -369,6 +381,46 @@ pub fn run(args: &[String]) -> Result<String> {
                     100.0 * s.leaf_utilization(PAGE_SIZE)
                 )
                 .unwrap();
+            }
+            ("stats", [file, opts @ ..]) => {
+                let mut json = false;
+                let mut prom = false;
+                let mut trace = false;
+                for o in opts {
+                    match o.as_str() {
+                        "--json" => json = true,
+                        "--prom" => prom = true,
+                        "--trace" => trace = true,
+                        other => bail!("unknown option {other}"),
+                    }
+                }
+                if json && prom {
+                    bail!("--json and --prom are mutually exclusive");
+                }
+                if trace && (json || prom) {
+                    bail!("--trace is a human-readable dump; drop --json/--prom");
+                }
+                let store = open_store(Path::new(file))?;
+                let snap = store.metrics_snapshot();
+                if json {
+                    // The shared report envelope (same shape as
+                    // `eos check --json`): stats never finds problems,
+                    // so `clean` is constant and `findings` empty.
+                    writeln!(
+                        out,
+                        "{{\"clean\":true,\"findings\":[],\"metrics\":{}}}",
+                        snap.to_json_object()
+                    )
+                    .unwrap();
+                } else if prom {
+                    out.push_str(&snap.render_prometheus());
+                } else {
+                    out.push_str(&snap.render_table());
+                    if trace {
+                        out.push('\n');
+                        out.push_str(&eos::obs::render_trace(&store.metrics().trace()));
+                    }
+                }
             }
             ("verify", [file]) => {
                 let store = open_store(Path::new(file))?;
@@ -581,6 +633,11 @@ usage: eos <command> ...
   append <file> <name> <input>    append bytes
   compact <file> <name>           rewrite into maximal segments
   stat <file> [name]              store or object statistics
+  stats <file> [--json|--prom] [--trace]
+                                  per-operation I/O attribution, metric
+                                  registry, and trace-ring summary for
+                                  this process (table, shared JSON
+                                  envelope, or Prometheus text)
   verify <file>                   check every invariant (first failure)
   recover <file>                  run restart recovery, report what it
                                   found, reconcile the catalog
@@ -813,6 +870,84 @@ mod tests {
         call(&["get", dbs, "blob", outp.to_str().unwrap()]).unwrap();
         assert_eq!(std::fs::read(&outp).unwrap(), vec![8u8; 14_000]);
         assert!(call(&["check", dbs]).is_ok());
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn stats_attributes_quickstart_io_to_operations() {
+        let db = tmp("stats.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("stats-in.bin");
+        std::fs::write(&input, vec![9u8; 120_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+        call(&["cat", dbs, "blob", "50000", "64"]).unwrap();
+        let patch = tmp("stats-patch.bin");
+        std::fs::write(&patch, vec![1u8; 5_000]).unwrap();
+        call(&["splice", dbs, "blob", "60000", patch.to_str().unwrap()]).unwrap();
+
+        // The quickstart's I/O lands on the process-global domain,
+        // attributed per operation: put → create, cat → read,
+        // splice → insert.
+        let json = call(&["stats", dbs, "--json"]).unwrap();
+        let env = eos_check::parse_envelope(&json).unwrap();
+        assert!(env.clean && env.findings.is_empty());
+        let ops = env
+            .body
+            .get("metrics")
+            .and_then(|m| m.get("ops"))
+            .and_then(eos_check::Json::as_array)
+            .unwrap();
+        for wanted in ["create", "read", "insert"] {
+            let row = ops
+                .iter()
+                .find(|o| o.get("op").and_then(eos_check::Json::as_str) == Some(wanted))
+                .unwrap_or_else(|| panic!("no `{wanted}` row in {json}"));
+            let field = |k: &str| row.get(k).and_then(eos_check::Json::as_u64).unwrap();
+            assert!(field("count") > 0, "{wanted} never ran: {json}");
+            assert!(field("seeks") > 0, "{wanted} attributed no seeks: {json}");
+            assert!(
+                field("page_reads") + field("page_writes") > 0,
+                "{wanted} attributed no transfers: {json}"
+            );
+        }
+
+        // All three renderings work; bad flag combos do not.
+        let table = call(&["stats", dbs]).unwrap();
+        assert!(
+            table.contains("OPERATION") && table.contains("create"),
+            "{table}"
+        );
+        let traced = call(&["stats", dbs, "--trace"]).unwrap();
+        assert!(traced.contains("SEQ"), "{traced}");
+        let prom = call(&["stats", dbs, "--prom"]).unwrap();
+        assert!(prom.contains("eos_op_seeks{op=\"create\"}"), "{prom}");
+        assert!(call(&["stats", dbs, "--json", "--prom"]).is_err());
+        assert!(call(&["stats", dbs, "--json", "--trace"]).is_err());
+        assert!(call(&["stats", dbs, "--bogus"]).is_err());
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn check_and_stats_share_the_report_envelope() {
+        let db = tmp("envelope.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let input = tmp("envelope-in.bin");
+        std::fs::write(&input, vec![4u8; 10_000]).unwrap();
+        call(&["put", dbs, "blob", input.to_str().unwrap()]).unwrap();
+
+        // One schema helper parses both commands' --json output.
+        for cmd in ["check", "stats"] {
+            let json = call(&[cmd, dbs, "--json"]).unwrap();
+            let env = eos_check::parse_envelope(&json)
+                .unwrap_or_else(|e| panic!("{cmd} --json broke the envelope: {e}\n{json}"));
+            assert!(env.clean, "{cmd}: {json}");
+            assert!(
+                env.findings.iter().all(|f| f.severity == "info"),
+                "{cmd}: {json}"
+            );
+        }
         std::fs::remove_file(&db).ok();
     }
 

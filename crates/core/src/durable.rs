@@ -47,6 +47,7 @@
 
 use std::collections::BTreeMap;
 
+use eos_obs::{Counter, Metrics, OpKind};
 use eos_pager::{PageId, SharedVolume};
 
 use crate::codec;
@@ -372,6 +373,18 @@ impl Superblock {
 
 // ---- the durable log ----------------------------------------------------
 
+/// Pre-resolved observability handles: counters record through pure
+/// atomics, so nothing here can violate the latch discipline no matter
+/// where in the commit path it fires. `metrics` is kept to open the
+/// `wal.checkpoint` span.
+struct WalObs {
+    metrics: Metrics,
+    frames: Counter,
+    bytes: Counter,
+    syncs: Counter,
+    checkpoints: Counter,
+}
+
 /// The persistent write-ahead log of a durable [`crate::ObjectStore`].
 /// See the [module docs](self) for the on-disk layout and protocol.
 pub struct DurableWal {
@@ -400,9 +413,26 @@ pub struct DurableWal {
     records_scanned: u64,
     torn_tail: bool,
     checkpoints_taken: u64,
+    /// Attached by [`Self::set_metrics`]; `None` until the owning store
+    /// wires its metrics domain through.
+    obs: Option<WalObs>,
 }
 
 impl DurableWal {
+    /// Resolve this log's instrument handles against `metrics`:
+    /// `wal.frames` / `wal.bytes` (appended payloads), `wal.syncs`
+    /// (commit barriers), `wal.checkpoints` (half-flips), plus the
+    /// `wal.checkpoint` span around each flip.
+    pub(crate) fn set_metrics(&mut self, metrics: &Metrics) {
+        self.obs = Some(WalObs {
+            metrics: metrics.clone(),
+            frames: metrics.counter("wal.frames"),
+            bytes: metrics.counter("wal.bytes"),
+            syncs: metrics.counter("wal.syncs"),
+            checkpoints: metrics.counter("wal.checkpoints"),
+        });
+    }
+
     fn half_bytes(&self) -> u64 {
         self.half_pages * self.volume.page_size() as u64
     }
@@ -456,6 +486,7 @@ impl DurableWal {
             records_scanned: 0,
             torn_tail: false,
             checkpoints_taken: 0,
+            obs: None,
         })
     }
 
@@ -505,6 +536,7 @@ impl DurableWal {
             records_scanned: 0,
             torn_tail: false,
             checkpoints_taken: 0,
+            obs: None,
         };
         wal.scan()?;
         Ok(wal)
@@ -656,6 +688,10 @@ impl DurableWal {
         self.volume
             .write_pages(self.half_base(self.active) + first_page, &buf)?;
         self.head += frame;
+        if let Some(obs) = &self.obs {
+            obs.frames.inc();
+            obs.bytes.add(payload.len() as u64);
+        }
         Ok(())
     }
 
@@ -666,6 +702,10 @@ impl DurableWal {
     /// crash at any point leaves one complete, consistent half in
     /// force.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let _span = self
+            .obs
+            .as_ref()
+            .map(|o| o.metrics.span(OpKind::WalCheckpoint, &self.volume));
         let roots: Vec<(u64, Vec<u8>)> = self
             .committed
             .iter()
@@ -728,6 +768,9 @@ impl DurableWal {
         self.volume.sync()?;
         self.sb_slot = slot;
         self.checkpoints_taken += 1;
+        if let Some(obs) = &self.obs {
+            obs.checkpoints.inc();
+        }
         Ok(())
     }
 
@@ -735,6 +778,9 @@ impl DurableWal {
     /// barrier.
     pub fn sync(&self) -> Result<()> {
         self.volume.sync()?;
+        if let Some(obs) = &self.obs {
+            obs.syncs.inc();
+        }
         Ok(())
     }
 

@@ -50,6 +50,7 @@ pub mod wal;
 pub use blobstore::BlobStore;
 pub use config::{StoreConfig, Threshold};
 pub use consolidate::ConsolidateStats;
+pub use eos_obs as obs;
 pub use error::{Error, Result};
 pub use node::{node_capacity, node_min, Entry, Node};
 pub use object::LargeObject;

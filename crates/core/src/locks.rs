@@ -18,7 +18,9 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use eos_obs::{Counter, Histogram, Metrics};
 use parking_lot::{Condvar, Mutex};
 
 /// Lock mode.
@@ -55,6 +57,33 @@ struct State {
     held: HashMap<u64, Vec<Held>>,
 }
 
+/// Pre-resolved instrument handles ([`RangeLockManager::set_metrics`]).
+/// Cloned out of the registration mutex *before* the state latch is
+/// taken and recorded through pure atomics after it is released, so
+/// lock bookkeeping never nests latches.
+#[derive(Clone)]
+struct LockObs {
+    /// Acquisition attempts that found an incompatible holder
+    /// (`try_lock` denials and `lock` calls that had to wait).
+    conflicts: Counter,
+    /// `lock` calls that actually blocked.
+    blocks: Counter,
+    /// Microseconds blocked, per blocking `lock` call.
+    wait_us: Histogram,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    obs: Mutex<Option<LockObs>>,
+}
+
+/// `Duration` → whole microseconds, saturating.
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// A shared/exclusive byte-range lock manager with blocking acquisition
 /// and deadlock-avoiding try-acquire.
 ///
@@ -71,7 +100,7 @@ struct State {
 /// ```
 #[derive(Clone, Default)]
 pub struct RangeLockManager {
-    inner: Arc<(Mutex<State>, Condvar)>,
+    inner: Arc<Shared>,
 }
 
 impl RangeLockManager {
@@ -80,33 +109,67 @@ impl RangeLockManager {
         RangeLockManager::default()
     }
 
+    /// Route conflict/block counts and the blocked-time histogram into
+    /// `metrics` (`locks.conflicts`, `locks.blocks`, `locks.wait_us`).
+    pub fn set_metrics(&self, metrics: &Metrics) {
+        *self.inner.obs.lock() = Some(LockObs {
+            conflicts: metrics.counter("locks.conflicts"),
+            blocks: metrics.counter("locks.blocks"),
+            wait_us: metrics.histogram("locks.wait_us"),
+        });
+    }
+
+    fn obs(&self) -> Option<LockObs> {
+        self.inner.obs.lock().clone()
+    }
+
     /// Try to acquire a lock without blocking. Returns `false` on
     /// conflict.
     pub fn try_lock(&self, txn: TxnId, object: u64, lo: u64, hi: u64, mode: LockMode) -> bool {
         assert!(lo < hi, "empty lock range");
-        let (m, _) = &*self.inner;
-        let mut st = m.lock();
-        let held = st.held.entry(object).or_default();
-        if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
-            held.push(Held { txn, lo, hi, mode });
-            true
-        } else {
-            false
+        let obs = self.obs();
+        let granted = {
+            let mut st = self.inner.state.lock();
+            let held = st.held.entry(object).or_default();
+            if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
+                held.push(Held { txn, lo, hi, mode });
+                true
+            } else {
+                false
+            }
+        };
+        if !granted {
+            if let Some(o) = &obs {
+                o.conflicts.inc();
+            }
         }
+        granted
     }
 
     /// Acquire a lock, blocking until it is grantable.
     pub fn lock(&self, txn: TxnId, object: u64, lo: u64, hi: u64, mode: LockMode) {
         assert!(lo < hi, "empty lock range");
-        let (m, cv) = &*self.inner;
-        let mut st = m.lock();
-        loop {
-            let held = st.held.entry(object).or_default();
-            if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
-                held.push(Held { txn, lo, hi, mode });
-                return;
+        let obs = self.obs();
+        let t0 = Instant::now();
+        let mut waited = false;
+        {
+            let mut st = self.inner.state.lock();
+            loop {
+                let held = st.held.entry(object).or_default();
+                if held.iter().all(|h| compatible(h, txn, lo, hi, mode)) {
+                    held.push(Held { txn, lo, hi, mode });
+                    break;
+                }
+                waited = true;
+                self.inner.cv.wait(&mut st);
             }
-            cv.wait(&mut st);
+        }
+        if waited {
+            if let Some(o) = &obs {
+                o.conflicts.inc();
+                o.blocks.inc();
+                o.wait_us.record(duration_us(t0.elapsed()));
+            }
         }
     }
 
@@ -124,19 +187,22 @@ impl RangeLockManager {
     /// Release every lock the transaction holds (commit or abort —
     /// strict 2PL releases at the end).
     pub fn release_all(&self, txn: TxnId) {
-        let (m, cv) = &*self.inner;
-        let mut st = m.lock();
+        let mut st = self.inner.state.lock();
         for held in st.held.values_mut() {
             held.retain(|h| h.txn != txn);
         }
         st.held.retain(|_, v| !v.is_empty());
-        cv.notify_all();
+        self.inner.cv.notify_all();
     }
 
     /// Locks currently held on an object (diagnostics).
     pub fn held_count(&self, object: u64) -> usize {
-        let (m, _) = &*self.inner;
-        m.lock().held.get(&object).map_or(0, Vec::len)
+        self.inner
+            .state
+            .lock()
+            .held
+            .get(&object)
+            .map_or(0, Vec::len)
     }
 }
 
@@ -196,6 +262,29 @@ mod tests {
         lm.release_all(1);
         t.join().unwrap();
         assert_eq!(acquired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn metrics_capture_conflicts_blocks_and_waits() {
+        let m = Metrics::new();
+        let lm = RangeLockManager::new();
+        lm.set_metrics(&m);
+        assert!(lm.try_lock(1, 7, 0, 100, LockMode::Exclusive));
+        assert!(!lm.try_lock(2, 7, 0, 10, LockMode::Shared), "conflict");
+        let lm2 = lm.clone();
+        let t = std::thread::spawn(move || {
+            lm2.lock(2, 7, 0, 10, LockMode::Shared);
+            lm2.release_all(2);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        lm.release_all(1);
+        t.join().unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("locks.conflicts"), Some(2));
+        assert_eq!(snap.counter("locks.blocks"), Some(1));
+        let wait = snap.histogram("locks.wait_us").unwrap();
+        assert_eq!(wait.count, 1);
+        assert!(wait.sum > 0, "blocked for a measurable time");
     }
 
     #[test]

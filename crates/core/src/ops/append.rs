@@ -45,6 +45,12 @@ pub struct AppendSession<'a> {
     /// Pages of the last allocation — the doubling base.
     last_alloc_pages: u64,
     closed: bool,
+    /// The `append` attribution span of a *public* session
+    /// ([`ObjectStore::open_append`](crate::ObjectStore::open_append));
+    /// internal callers (create, the logged variants) run under their
+    /// own span and leave this `None`. Dropped with the session, after
+    /// the closing trim and splice.
+    span: Option<eos_obs::OpSpan>,
 }
 
 struct OpenSeg {
@@ -119,7 +125,16 @@ impl<'a> AppendSession<'a> {
             done: Vec::new(),
             last_alloc_pages,
             closed: false,
+            span: None,
         })
+    }
+
+    /// Attach the attribution span that should live as long as the
+    /// session (set by
+    /// [`ObjectStore::open_append`](crate::ObjectStore::open_append)
+    /// only).
+    pub(crate) fn attach_span(&mut self, span: eos_obs::OpSpan) {
+        self.span = Some(span);
     }
 
     /// Append one chunk at the end of the object.

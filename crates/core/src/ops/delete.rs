@@ -99,6 +99,7 @@ pub(crate) fn run(
     let parent_fill = r_path.last().expect("path").node.entries.len();
     let t = store.effective_threshold(obj, parent_fill);
     let plan = reshuffle(l0, n0, r0, ps, t, store.max_seg_pages());
+    store.note_reshuffle(t, &plan);
 
     // Build and write N. Reads: L's donated tail (one call), then page Q
     // together with R's donated head (one contiguous call) — the paper's

@@ -63,6 +63,7 @@ pub(crate) fn run(
     let parent_fill = path.last().expect("path").node.entries.len();
     let t = store.effective_threshold(obj, parent_fill);
     let plan = reshuffle(l0, n0, r0, ps, t, store.max_seg_pages());
+    store.note_reshuffle(t, &plan);
 
     // Step 4: read the needed pages of S in one contiguous call, build
     // N, and write it.

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 
 use eos_buddy::{BuddyManager, Extent};
+use eos_obs::{Metrics, MetricsSnapshot, OpKind};
 use eos_pager::{IoStats, PageId, SharedVolume};
 
 use crate::config::{StoreConfig, Threshold};
@@ -32,6 +33,12 @@ pub struct ObjectStore {
     /// [`Self::open_durable`]); `None` for the classic in-memory-logged
     /// store, whose mutating ops then skip the logging path entirely.
     wal: Option<DurableWal>,
+    /// The metrics domain I/O is attributed to. Every store starts with
+    /// a fresh private domain (test isolation); [`Self::set_metrics`]
+    /// rewires the whole stack — buddy manager, durable log, and the
+    /// store's own operation spans — onto a shared one (the CLI uses
+    /// [`eos_obs::global()`]).
+    pub(crate) obs: Metrics,
 }
 
 /// Book-keeping for an open transaction scope (§4.5): frees are
@@ -59,6 +66,8 @@ impl ObjectStore {
         // Claim the boot-record page (the very first data page), so
         // reopened stores find it at a deterministic address.
         buddy.allocate_at(buddy.space(0).data_base(), 1)?;
+        let obs = Metrics::new();
+        buddy.set_metrics(&obs);
         Ok(ObjectStore {
             volume,
             buddy,
@@ -66,6 +75,7 @@ impl ObjectStore {
             next_id: 1,
             txn: None,
             wal: None,
+            obs,
         })
     }
 
@@ -80,7 +90,9 @@ impl ObjectStore {
         config: StoreConfig,
         next_object_id: u64,
     ) -> Result<ObjectStore> {
-        let buddy = BuddyManager::open(volume.clone(), num_spaces, pages_per_space)?;
+        let mut buddy = BuddyManager::open(volume.clone(), num_spaces, pages_per_space)?;
+        let obs = Metrics::new();
+        buddy.set_metrics(&obs);
         Ok(ObjectStore {
             volume,
             buddy,
@@ -88,6 +100,7 @@ impl ObjectStore {
             next_id: next_object_id,
             txn: None,
             wal: None,
+            obs,
         })
     }
 
@@ -179,6 +192,34 @@ impl ObjectStore {
     /// Zero the volume I/O counters.
     pub fn reset_io_stats(&self) {
         self.volume.reset_stats();
+    }
+
+    /// The metrics domain this store records into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.obs
+    }
+
+    /// Rewire the whole stack onto `metrics`: the store's operation
+    /// spans, the buddy manager's allocator/latch instruments and, on a
+    /// durable store, the log's frame/sync/checkpoint counters. Numbers
+    /// already recorded into the previous domain stay there.
+    pub fn set_metrics(&mut self, metrics: &Metrics) {
+        self.buddy.set_metrics(metrics);
+        if let Some(wal) = &mut self.wal {
+            wal.set_metrics(metrics);
+        }
+        self.obs = metrics.clone();
+    }
+
+    /// Point-in-time snapshot of the store's metrics domain, with the
+    /// page-cache hit/miss counters (when the volume has a cache layer)
+    /// folded in as gauges.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if let Some(cs) = self.volume.cache_stats() {
+            self.obs.gauge("pager.cache.hits").set(cs.hits);
+            self.obs.gauge("pager.cache.misses").set(cs.misses);
+        }
+        self.obs.snapshot()
     }
 
     // ---- object lifecycle ----------------------------------------------
@@ -286,6 +327,11 @@ impl ObjectStore {
     /// either the pre- or the post-transaction state (but nothing in
     /// between).
     pub fn commit_txn(&mut self) -> Result<()> {
+        // Commit I/O (log frames, the data-before-log syncs, the
+        // deferred frees) is attributed to `wal.commit`, not to the
+        // operation that happened to trigger an autocommit — span
+        // nesting subtracts it from the enclosing op automatically.
+        let _span = self.obs.span(OpKind::WalCommit, &self.volume);
         let txn = self.txn.take().expect("no open transaction");
         if let Some(wal) = &mut self.wal {
             let worth_logging =
@@ -357,12 +403,16 @@ impl ObjectStore {
     /// store the eventual size in advance ("if the size is known a
     /// priori, it is provided as a hint", §4.1).
     pub fn create_with(&mut self, data: &[u8], size_hint: Option<u64>) -> Result<LargeObject> {
+        let _span = self.obs.span(OpKind::Create, &self.volume);
         if self.wal.is_some() {
             return self.logged_create_with(data, size_hint);
         }
         let mut obj = self.create_object();
         if !data.is_empty() || size_hint.is_some() {
-            let mut s = self.open_append(&mut obj, size_hint)?;
+            // The internal session (not `open_append`, which would open
+            // a nested Append span and claim the I/O): creation cost
+            // belongs to `create`.
+            let mut s = ops::append::AppendSession::open(self, &mut obj, size_hint)?;
             s.append(data)?;
             s.close()?;
         }
@@ -373,6 +423,7 @@ impl ObjectStore {
     /// handle becomes an empty object. On a durable store the commit
     /// record carries a tombstone, so the deletion survives restart.
     pub fn delete_object(&mut self, obj: &mut LargeObject) -> Result<()> {
+        let _span = self.obs.span(OpKind::Delete, &self.volume);
         if self.wal.is_some() {
             return self.logged_delete_object(obj);
         }
@@ -387,11 +438,13 @@ impl ObjectStore {
 
     /// Read `len` bytes starting at byte `offset` (§4.2).
     pub fn read(&self, obj: &LargeObject, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let _span = self.obs.span(OpKind::Read, &self.volume);
         ops::read::run(self, obj, offset, len)
     }
 
     /// Read the whole object.
     pub fn read_all(&self, obj: &LargeObject) -> Result<Vec<u8>> {
+        let _span = self.obs.span(OpKind::Read, &self.volume);
         ops::read::run(self, obj, 0, obj.size())
     }
 
@@ -399,6 +452,7 @@ impl ObjectStore {
     /// (§4.2: "the search algorithm can also be used for the byte range
     /// replace operation").
     pub fn replace(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        let _span = self.obs.span(OpKind::Replace, &self.volume);
         if self.wal.is_some() {
             return self.logged_replace(obj, offset, data);
         }
@@ -408,10 +462,11 @@ impl ObjectStore {
 
     /// Append bytes at the end of the object (§4.1).
     pub fn append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
+        let _span = self.obs.span(OpKind::Append, &self.volume);
         if self.wal.is_some() {
             return self.logged_append(obj, data);
         }
-        let mut s = self.open_append(obj, None)?;
+        let mut s = ops::append::AppendSession::open(self, obj, None)?;
         s.append(data)?;
         s.close()
     }
@@ -425,12 +480,19 @@ impl ObjectStore {
         obj: &'a mut LargeObject,
         size_hint: Option<u64>,
     ) -> Result<ops::append::AppendSession<'a>> {
-        ops::append::AppendSession::open(self, obj, size_hint)
+        // The span rides inside the session so the whole multi-append —
+        // open (tail absorption), every chunk, and the closing trim and
+        // tree splice — lands in one `append` attribution.
+        let span = self.obs.span(OpKind::Append, &self.volume);
+        let mut session = ops::append::AppendSession::open(self, obj, size_hint)?;
+        session.attach_span(span);
+        Ok(session)
     }
 
     /// Insert `data` at byte `offset`, shifting the tail of the object
     /// right (§4.3.1, with the §4.4 reshuffling).
     pub fn insert(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        let _span = self.obs.span(OpKind::Insert, &self.volume);
         if self.wal.is_some() {
             return self.logged_insert(obj, offset, data);
         }
@@ -441,6 +503,7 @@ impl ObjectStore {
     /// Delete `len` bytes starting at `offset`, shifting the tail left
     /// (§4.3.2, with the §4.4 reshuffling).
     pub fn delete(&mut self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
+        let _span = self.obs.span(OpKind::Delete, &self.volume);
         if self.wal.is_some() {
             return self.logged_delete(obj, offset, len);
         }
@@ -451,6 +514,7 @@ impl ObjectStore {
     /// Truncate the object to `new_size` bytes — the special case of
     /// delete that never touches a leaf segment.
     pub fn truncate(&mut self, obj: &mut LargeObject, new_size: u64) -> Result<()> {
+        let _span = self.obs.span(OpKind::Delete, &self.volume);
         let size = obj.size();
         if new_size > size {
             return Err(Error::OutOfObjectBounds {
@@ -524,6 +588,22 @@ impl ObjectStore {
     /// via [`StoreConfig`]).
     pub fn default_threshold(&self) -> Threshold {
         self.config.threshold
+    }
+
+    /// Record a §4.4 local reshuffle: the insert/delete planner decided
+    /// to move bytes between L/N/R under threshold `t`. Local
+    /// reshuffles stay attributed to the operation that triggered them
+    /// (no span of their own); these counters answer "how often, and
+    /// how much moved, per threshold" — the §5 experiment axes.
+    pub(crate) fn note_reshuffle(&self, t: u64, plan: &crate::reshuffle::ReshufflePlan) {
+        if plan.from_l == 0 && plan.from_r == 0 {
+            return;
+        }
+        self.obs.counter(&format!("reshuffle.triggers.t{t}")).inc();
+        let moved_pages = (plan.from_l + plan.from_r).div_ceil(self.ps());
+        self.obs
+            .histogram("reshuffle.pages_moved")
+            .record(moved_pages);
     }
 
     /// Allocate a fresh extent of exactly `pages` pages.

@@ -29,6 +29,7 @@
 //! was.
 
 use eos_buddy::BuddyManager;
+use eos_obs::{Metrics, OpKind};
 use eos_pager::SharedVolume;
 
 use crate::config::StoreConfig;
@@ -69,8 +70,9 @@ impl ObjectStore {
         wal_pages: u64,
     ) -> Result<ObjectStore> {
         let base = (pages_per_space + 1) * num_spaces as u64;
-        let wal = DurableWal::format(volume.clone(), base, wal_pages)?;
+        let mut wal = DurableWal::format(volume.clone(), base, wal_pages)?;
         let mut store = Self::create(volume, num_spaces, pages_per_space, config)?;
+        wal.set_metrics(&store.obs);
         store.wal = Some(wal);
         Ok(store)
     }
@@ -93,6 +95,31 @@ impl ObjectStore {
         config: StoreConfig,
         wal_pages: u64,
     ) -> Result<(ObjectStore, RecoveryReport)> {
+        Self::open_durable_with(
+            volume,
+            num_spaces,
+            pages_per_space,
+            config,
+            wal_pages,
+            &Metrics::new(),
+        )
+    }
+
+    /// [`Self::open_durable`] recording into a caller-supplied metrics
+    /// domain instead of a fresh one — the CLI threads
+    /// [`eos_obs::global()`] through here so recovery cost and the
+    /// subsequent operations accumulate in one place.
+    pub fn open_durable_with(
+        volume: SharedVolume,
+        num_spaces: usize,
+        pages_per_space: u64,
+        config: StoreConfig,
+        wal_pages: u64,
+        metrics: &Metrics,
+    ) -> Result<(ObjectStore, RecoveryReport)> {
+        // The whole restart sequence — log scan, undo writes, directory
+        // rebuild, fresh checkpoint — is one `recovery` span.
+        let _span = metrics.span(OpKind::Recovery, &volume);
         let base = (pages_per_space + 1) * num_spaces as u64;
         let mut wal = DurableWal::attach(volume.clone(), base, wal_pages)?;
 
@@ -126,6 +153,7 @@ impl ObjectStore {
         // and every extent a committed root reaches.
         let mut buddy = BuddyManager::create(volume.clone(), num_spaces, pages_per_space)?;
         buddy.allocate_at(buddy.space(0).data_base(), 1)?;
+        buddy.set_metrics(metrics);
         let mut store = ObjectStore {
             volume,
             buddy,
@@ -133,6 +161,7 @@ impl ObjectStore {
             next_id: 1,
             txn: None,
             wal: None,
+            obs: metrics.clone(),
         };
         for obj in &objects {
             for (start, pages) in store.object_page_extents(obj) {
@@ -158,6 +187,7 @@ impl ObjectStore {
             max_lsn: wal.last_lsn(),
         };
         wal.clear_pending();
+        wal.set_metrics(metrics);
         wal.checkpoint()?;
         store.wal = Some(wal);
         Ok((store, report))

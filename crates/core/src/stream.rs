@@ -110,6 +110,9 @@ impl ObjectStore {
     /// shadowed like any structural update and becomes visible at
     /// commit.
     pub fn compact(&mut self, obj: &mut LargeObject) -> Result<CompactStats> {
+        let _span = self
+            .metrics()
+            .span(eos_obs::OpKind::Reshuffle, self.volume());
         if self.durable_wal().is_some() {
             return self.with_autocommit(|s| {
                 let stats = s.compact_inner(obj)?;

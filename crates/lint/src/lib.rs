@@ -33,11 +33,12 @@ use report::{Finding, Report, Rule, Severity};
 
 /// Crates whose `src/` trees are subject to the panic-path rules:
 /// `(crate name, source dir relative to the workspace root)`.
-pub const PANIC_CRATES: [(&str, &str); 4] = [
+pub const PANIC_CRATES: [(&str, &str); 5] = [
     ("eos-core", "crates/core/src"),
     ("eos-buddy", "crates/buddy/src"),
     ("eos-pager", "crates/pager/src"),
     ("eos-check", "crates/check/src"),
+    ("eos-obs", "crates/obs/src"),
 ];
 
 /// Decode modules with *zero tolerance*: recovery feeds these raw disk
@@ -53,7 +54,7 @@ pub const STRICT_FILES: [&str; 4] = [
 /// Directories subject to the latch-discipline rule. `crates/pager` is
 /// deliberately absent: its mutex guards the file handle and *is* the
 /// bottom of the lock order.
-pub const LATCH_DIRS: [&str; 2] = ["crates/buddy/src", "crates/core/src"];
+pub const LATCH_DIRS: [&str; 3] = ["crates/buddy/src", "crates/core/src", "crates/obs/src"];
 
 /// Source files scanned for `// format-anchor:` comments.
 pub const DRIFT_SOURCES: [&str; 6] = [

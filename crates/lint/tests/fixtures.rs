@@ -71,9 +71,10 @@ fn clean_ws(tag: &str) -> TempWs {
     ws.write("src/catalog.rs", "pub fn catalog() {}\n");
     ws.write("crates/pager/src/lib.rs", "pub fn pager() {}\n");
     ws.write("crates/check/src/lib.rs", "pub fn check() {}\n");
+    ws.write("crates/obs/src/lib.rs", "pub fn obs() {}\n");
     ws.write(
         "lint.ratchet",
-        "eos-buddy 0\neos-check 0\neos-core 0\neos-pager 0\n",
+        "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n",
     );
     ws
 }
@@ -146,7 +147,7 @@ fn ratchet_loosening_is_rejected_tightening_is_not() {
     // clean) but observed may never exceed it.
     ws.write(
         "lint.ratchet",
-        "eos-buddy 3\neos-check 0\neos-core 0\neos-pager 0\n",
+        "eos-buddy 3\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n",
     );
     let report = lint(&ws);
     assert!(report.is_clean(), "{}", report.render_table());

@@ -1,0 +1,171 @@
+//! Named instruments: counters, gauges, log2-bucketed histograms.
+//!
+//! Handles are resolved once (a map lookup under a short registration
+//! latch) and then recorded through with pure atomics, so instrumented
+//! code can pre-resolve its handles and record while holding its own
+//! locks without violating the §4.5 latch discipline.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets in a [`Histogram`] (covers the full `u64`
+/// range: bucket `i` holds values in `[2^i, 2^(i+1))`, zero lands in
+/// bucket 0).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing named counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Counter {
+        Counter(cell)
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named gauge: a value that can move both ways (e.g. cache
+/// occupancy, pending-free backlog).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub(crate) fn from_cell(cell: Arc<AtomicU64>) -> Gauge {
+        Gauge(cell)
+    }
+
+    /// Overwrite the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the gauge.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` (saturating at zero under a single writer; under
+    /// racing writers the subtraction is applied blindly).
+    pub fn sub(&self, n: u64) {
+        let current = self.0.load(Ordering::Relaxed);
+        self.0.store(current.saturating_sub(n), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+pub(crate) struct HistogramInner {
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramInner {
+    pub(crate) fn new() -> HistogramInner {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A named histogram with power-of-two buckets, good for size and
+/// latency distributions where relative error beats fixed bounds.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    pub(crate) fn from_cell(cell: Arc<HistogramInner>) -> Histogram {
+        Histogram(cell)
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations so far.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// `floor(log2(value))`, with 0 mapped to bucket 0.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        63 - value.leading_zeros() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_floor_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::from_cell(Arc::default());
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::from_cell(Arc::default());
+        g.set(10);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(g.get(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_bucket() {
+        let h = Histogram(Arc::new(HistogramInner::new()));
+        h.record(0);
+        h.record(7);
+        h.record(8);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 15);
+        assert_eq!(h.0.buckets[0].load(Ordering::Relaxed), 1); // 0
+        assert_eq!(h.0.buckets[2].load(Ordering::Relaxed), 1); // 7
+        assert_eq!(h.0.buckets[3].load(Ordering::Relaxed), 1); // 8
+    }
+}

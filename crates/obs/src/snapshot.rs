@@ -1,0 +1,447 @@
+//! Point-in-time snapshots and their three renderings: human table,
+//! JSON (the `metrics` payload of the shared report envelope), and
+//! Prometheus text exposition.
+
+use crate::registry::{HistogramInner, HISTOGRAM_BUCKETS};
+use crate::trace::TraceEvent;
+use crate::OpAgg;
+use std::sync::atomic::Ordering;
+
+/// One operation row of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Stable operation label (`create`, `wal.commit`, …).
+    pub op: &'static str,
+    /// Completed spans.
+    pub count: u64,
+    /// Seeks attributed exclusively to this operation.
+    pub seeks: u64,
+    /// Pages read, exclusive.
+    pub page_reads: u64,
+    /// Pages written, exclusive.
+    pub page_writes: u64,
+    /// Simulated microseconds, exclusive.
+    pub elapsed_us: u64,
+    /// Injected faults observed, exclusive.
+    pub faults: u64,
+    /// Wall-clock nanoseconds, inclusive of child spans.
+    pub wall_ns: u64,
+}
+
+impl OpSnapshot {
+    pub(crate) fn load(op: &'static str, agg: &OpAgg) -> OpSnapshot {
+        OpSnapshot {
+            op,
+            count: agg.count.load(Ordering::Relaxed),
+            seeks: agg.seeks.load(Ordering::Relaxed),
+            page_reads: agg.page_reads.load(Ordering::Relaxed),
+            page_writes: agg.page_writes.load(Ordering::Relaxed),
+            elapsed_us: agg.elapsed_us.load(Ordering::Relaxed),
+            faults: agg.faults.load(Ordering::Relaxed),
+            wall_ns: agg.wall_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Pages transferred in either direction.
+    pub fn transfers(&self) -> u64 {
+        self.page_reads + self.page_writes
+    }
+}
+
+/// One histogram of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(log2 exponent, count)`, ascending; a
+    /// value `v` lands in the bucket with exponent `floor(log2(v))`
+    /// (zero in exponent 0).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn load(name: &str, inner: &HistogramInner) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in inner.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of every aggregate in one [`crate::Metrics`]
+/// domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All ten operation rows, in [`crate::OpKind::ALL`] order
+    /// (including zero rows, so the schema is stable).
+    pub ops: Vec<OpSnapshot>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Named histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Trace events recorded since creation (may exceed capacity).
+    pub trace_recorded: u64,
+    /// Trace ring capacity.
+    pub trace_capacity: u64,
+}
+
+impl MetricsSnapshot {
+    /// The row for `label`, if it is a known operation.
+    pub fn op(&self, label: &str) -> Option<&OpSnapshot> {
+        self.ops.iter().find(|o| o.op == label)
+    }
+
+    /// Value of a named counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a named gauge.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of counters whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Total page transfers attributed across all operations. On a
+    /// single-threaded workload where every I/O happens under a span,
+    /// this equals the volume-global `IoStats` transfer delta.
+    pub fn attributed_transfers(&self) -> u64 {
+        self.ops.iter().map(OpSnapshot::transfers).sum()
+    }
+
+    /// Total seeks attributed across all operations.
+    pub fn attributed_seeks(&self) -> u64 {
+        self.ops.iter().map(|o| o.seeks).sum()
+    }
+
+    /// Total simulated microseconds attributed across all operations.
+    pub fn attributed_elapsed_us(&self) -> u64 {
+        self.ops.iter().map(|o| o.elapsed_us).sum()
+    }
+
+    /// Human-readable table (the body of `eos stats`).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10} {:>7} {:>10}\n",
+            "OPERATION", "COUNT", "SEEKS", "READS", "WRITES", "SIM-MS", "FAULTS", "WALL-MS"
+        ));
+        let mut any = false;
+        for o in &self.ops {
+            if o.count == 0 && o.transfers() == 0 {
+                continue;
+            }
+            any = true;
+            out.push_str(&format!(
+                "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10.3} {:>7} {:>10.3}\n",
+                o.op,
+                o.count,
+                o.seeks,
+                o.page_reads,
+                o.page_writes,
+                o.elapsed_us as f64 / 1000.0,
+                o.faults,
+                o.wall_ns as f64 / 1.0e6,
+            ));
+        }
+        if !any {
+            out.push_str("(no operations recorded)\n");
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push('\n');
+            out.push_str(&format!("{:<44} {:>12}\n", "COUNTER/GAUGE", "VALUE"));
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<44} {value:>12}\n"));
+            }
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{:<44} {value:>12}\n", format!("{name} (gauge)")));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12}  {}\n",
+                "HISTOGRAM", "COUNT", "SUM", "DISTRIBUTION (2^k: n)"
+            ));
+            for h in &self.histograms {
+                let dist = h
+                    .buckets
+                    .iter()
+                    .map(|&(k, n)| format!("2^{k}:{n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                out.push_str(&format!(
+                    "{:<32} {:>8} {:>12}  {dist}\n",
+                    h.name, h.count, h.sum
+                ));
+            }
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "trace: {} event(s) recorded (ring capacity {})\n",
+            self.trace_recorded, self.trace_capacity
+        ));
+        out
+    }
+
+    /// JSON object carrying the whole snapshot — the `"metrics"` member
+    /// of the shared `eos check` / `eos stats` report envelope.
+    pub fn to_json_object(&self) -> String {
+        let mut out = String::from("{\"ops\":[");
+        for (i, o) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"op\":{},\"count\":{},\"seeks\":{},\"page_reads\":{},\
+                 \"page_writes\":{},\"elapsed_us\":{},\"faults\":{},\"wall_ns\":{}}}",
+                json_string(o.op),
+                o.count,
+                o.seeks,
+                o.page_reads,
+                o.page_writes,
+                o.elapsed_us,
+                o.faults,
+                o.wall_ns
+            ));
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{value}", json_string(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{value}", json_string(name)));
+        }
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|&(k, n)| format!("[{k},{n}]"))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "{{\"name\":{},\"count\":{},\"sum\":{},\"buckets\":[{buckets}]}}",
+                json_string(&h.name),
+                h.count,
+                h.sum
+            ));
+        }
+        out.push_str(&format!(
+            "],\"trace\":{{\"recorded\":{},\"capacity\":{}}}}}",
+            self.trace_recorded, self.trace_capacity
+        ));
+        out
+    }
+
+    /// Prometheus text exposition format (`eos stats --prom`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (metric, get) in OP_FIELDS {
+            out.push_str(&format!("# TYPE eos_op_{metric} counter\n"));
+            for o in &self.ops {
+                out.push_str(&format!("eos_op_{metric}{{op=\"{}\"}} {}\n", o.op, get(o)));
+            }
+        }
+        for (name, value) in &self.counters {
+            let san = sanitize(name);
+            out.push_str(&format!("# TYPE eos_{san} counter\neos_{san} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let san = sanitize(name);
+            out.push_str(&format!("# TYPE eos_{san} gauge\neos_{san} {value}\n"));
+        }
+        for h in &self.histograms {
+            let san = sanitize(&h.name);
+            out.push_str(&format!("# TYPE eos_{san} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(k, n) in &h.buckets {
+                cumulative += n;
+                let le = 1u128 << u32::min(k + 1, HISTOGRAM_BUCKETS as u32);
+                out.push_str(&format!("eos_{san}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("eos_{san}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("eos_{san}_sum {}\n", h.sum));
+            out.push_str(&format!("eos_{san}_count {}\n", h.count));
+        }
+        out.push_str(&format!(
+            "# TYPE eos_trace_recorded counter\neos_trace_recorded {}\n",
+            self.trace_recorded
+        ));
+        out
+    }
+}
+
+/// One per-op numeric column: Prometheus metric suffix and accessor.
+type OpField = (&'static str, fn(&OpSnapshot) -> u64);
+
+/// The per-op numeric columns, for the Prometheus rendering.
+const OP_FIELDS: [OpField; 7] = [
+    ("count", |o| o.count),
+    ("seeks", |o| o.seeks),
+    ("page_reads", |o| o.page_reads),
+    ("page_writes", |o| o.page_writes),
+    ("sim_us", |o| o.elapsed_us),
+    ("faults", |o| o.faults),
+    ("wall_ns", |o| o.wall_ns),
+];
+
+/// Human-readable dump of retained trace events (`eos stats --trace`).
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    if events.is_empty() {
+        return "(no trace events retained)\n".to_string();
+    }
+    let mut out = format!(
+        "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10} {:>10}\n",
+        "SEQ", "OPERATION", "SEEKS", "READS", "WRITES", "SIM-MS", "WALL-MS"
+    );
+    for ev in events {
+        out.push_str(&format!(
+            "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10.3} {:>10.3}\n",
+            ev.seq,
+            ev.op,
+            ev.seeks,
+            ev.page_reads,
+            ev.page_writes,
+            ev.elapsed_us as f64 / 1000.0,
+            ev.wall_ns as f64 / 1.0e6,
+        ));
+    }
+    out
+}
+
+/// Metric-name sanitizer for the Prometheus rendering: anything outside
+/// `[A-Za-z0-9_]` becomes `_` (so `buddy.alloc.pages` →
+/// `buddy_alloc_pages`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Minimal JSON string encoder (same dialect as eos-check's reports).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Metrics, OpKind};
+    use eos_pager::{MemVolume, SharedVolume};
+
+    fn populated() -> Metrics {
+        let m = Metrics::new();
+        let v: SharedVolume = MemVolume::new(128, 64).shared();
+        {
+            let _s = m.span(OpKind::Create, &v);
+            v.write_pages(0, &[1u8; 256]).unwrap();
+        }
+        m.counter("reshuffle.triggers.t8").add(3);
+        m.gauge("cache.size").set(12);
+        m.histogram("buddy.alloc.pages").record(4);
+        m
+    }
+
+    #[test]
+    fn table_lists_active_ops_and_registry() {
+        let text = populated().snapshot().render_table();
+        assert!(text.contains("create"));
+        assert!(
+            !text.contains("wal.commit"),
+            "zero rows are hidden:\n{text}"
+        );
+        assert!(text.contains("reshuffle.triggers.t8"));
+        assert!(text.contains("cache.size (gauge)"));
+        assert!(text.contains("2^2:1"));
+        assert!(text.contains("trace: 1 event(s)"));
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        let text = Metrics::new().snapshot().render_table();
+        assert!(text.contains("(no operations recorded)"));
+    }
+
+    #[test]
+    fn json_object_is_well_formed() {
+        let json = populated().snapshot().to_json_object();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"op\":\"create\""));
+        assert!(json.contains("\"counters\":{\"reshuffle.triggers.t8\":3}"));
+        assert!(json.contains("\"buckets\":[[2,1]]"));
+        assert!(json.contains("\"trace\":{\"recorded\":1"));
+    }
+
+    #[test]
+    fn prometheus_rendering_sanitizes_names() {
+        let prom = populated().snapshot().render_prometheus();
+        assert!(prom.contains("eos_op_page_writes{op=\"create\"} 2"));
+        assert!(prom.contains("eos_reshuffle_triggers_t8 3"));
+        assert!(prom.contains("# TYPE eos_cache_size gauge"));
+        assert!(prom.contains("eos_buddy_alloc_pages_bucket{le=\"8\"} 1"));
+        assert!(prom.contains("eos_buddy_alloc_pages_count 1"));
+    }
+
+    #[test]
+    fn trace_rendering_includes_each_event() {
+        let m = populated();
+        let text = super::render_trace(&m.trace());
+        assert!(text.contains("create"));
+        assert!(super::render_trace(&[]).contains("no trace events"));
+    }
+}

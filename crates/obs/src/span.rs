@@ -1,0 +1,165 @@
+//! The [`OpSpan`] scope guard — delta-of-snapshots attribution.
+
+use std::time::Instant;
+
+use eos_pager::{IoStats, SharedVolume};
+
+use crate::{saturating_io_delta, Metrics, OpKind};
+
+/// The per-span I/O accounting unit: the fields of an [`IoStats`] delta
+/// this crate attributes (calls are folded into seeks/transfers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct IoDelta {
+    pub(crate) seeks: u64,
+    pub(crate) page_reads: u64,
+    pub(crate) page_writes: u64,
+    pub(crate) elapsed_us: u64,
+    pub(crate) faults: u64,
+}
+
+impl IoDelta {
+    pub(crate) fn from_stats(delta: IoStats) -> IoDelta {
+        IoDelta {
+            seeks: delta.seeks,
+            page_reads: delta.page_reads,
+            page_writes: delta.page_writes,
+            elapsed_us: delta.elapsed_us,
+            faults: delta.faults(),
+        }
+    }
+
+    pub(crate) fn add(&mut self, other: &IoDelta) {
+        self.seeks = self.seeks.saturating_add(other.seeks);
+        self.page_reads = self.page_reads.saturating_add(other.page_reads);
+        self.page_writes = self.page_writes.saturating_add(other.page_writes);
+        self.elapsed_us = self.elapsed_us.saturating_add(other.elapsed_us);
+        self.faults = self.faults.saturating_add(other.faults);
+    }
+
+    pub(crate) fn saturating_sub(&self, other: &IoDelta) -> IoDelta {
+        IoDelta {
+            seeks: self.seeks.saturating_sub(other.seeks),
+            page_reads: self.page_reads.saturating_sub(other.page_reads),
+            page_writes: self.page_writes.saturating_sub(other.page_writes),
+            elapsed_us: self.elapsed_us.saturating_sub(other.elapsed_us),
+            faults: self.faults.saturating_sub(other.faults),
+        }
+    }
+}
+
+/// A scope guard attributing one volume's I/O delta to one [`OpKind`].
+///
+/// On open the span snapshots `volume.stats()`; on drop it snapshots
+/// again and takes the saturating difference — its *inclusive* cost.
+/// Spans nest LIFO within a thread: each completed child folds its
+/// inclusive cost into the parent's frame, and the parent records only
+/// its *exclusive* share (inclusive minus children). Wall time stays
+/// inclusive — it answers "how long did this operation take", while
+/// the I/O columns answer "who issued this I/O".
+///
+/// Dropping is atomics-plus-one-short-latch: no volume I/O happens in
+/// the drop path beyond the `stats()` counter read.
+#[must_use = "an OpSpan attributes I/O only for as long as it is held"]
+pub struct OpSpan {
+    metrics: Metrics,
+    volume: SharedVolume,
+    kind: OpKind,
+    entry: IoStats,
+    started: Instant,
+    armed: bool,
+}
+
+impl OpSpan {
+    pub(crate) fn open(metrics: Metrics, kind: OpKind, volume: SharedVolume) -> OpSpan {
+        let armed = metrics.enabled();
+        if armed {
+            metrics.push_frame();
+        }
+        OpSpan {
+            entry: if armed {
+                volume.stats()
+            } else {
+                IoStats::default()
+            },
+            started: Instant::now(),
+            metrics,
+            volume,
+            kind,
+            armed,
+        }
+    }
+
+    /// The operation this span attributes to.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+}
+
+impl Drop for OpSpan {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let wall_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let inclusive = IoDelta::from_stats(saturating_io_delta(self.volume.stats(), self.entry));
+        let children = self.metrics.pop_frame(&inclusive);
+        let exclusive = inclusive.saturating_sub(&children);
+        self.metrics.record_op(self.kind, &exclusive, wall_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_pager::MemVolume;
+
+    #[test]
+    fn delta_arithmetic_saturates() {
+        let a = IoDelta {
+            seeks: 1,
+            page_reads: 2,
+            page_writes: 3,
+            elapsed_us: 4,
+            faults: 5,
+        };
+        let mut b = IoDelta::default();
+        b.add(&a);
+        assert_eq!(b, a);
+        assert_eq!(IoDelta::default().saturating_sub(&a), IoDelta::default());
+    }
+
+    #[test]
+    fn sequential_spans_partition_the_global_delta() {
+        let m = Metrics::new();
+        let v: SharedVolume = MemVolume::new(128, 64).shared();
+        {
+            let _s = m.span(OpKind::Create, &v);
+            v.write_pages(0, &[7u8; 512]).unwrap();
+        }
+        {
+            let _s = m.span(OpKind::Read, &v);
+            v.read_pages(0, 4).unwrap();
+        }
+        let snap = m.snapshot();
+        let global = v.stats();
+        assert_eq!(snap.attributed_transfers(), global.transfers());
+        assert_eq!(snap.attributed_seeks(), global.seeks);
+        assert_eq!(snap.op("create").unwrap().page_writes, 4);
+        assert_eq!(snap.op("read").unwrap().page_reads, 4);
+    }
+
+    #[test]
+    fn wall_time_is_inclusive_io_is_exclusive() {
+        let m = Metrics::new();
+        let v: SharedVolume = MemVolume::new(128, 64).shared();
+        {
+            let _outer = m.span(OpKind::Delete, &v);
+            let _inner = m.span(OpKind::WalCommit, &v);
+            v.write_pages(0, &[1u8; 128]).unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.op("delete").unwrap().page_writes, 0);
+        assert_eq!(snap.op("wal.commit").unwrap().page_writes, 1);
+        assert_eq!(snap.op("delete").unwrap().count, 1);
+    }
+}

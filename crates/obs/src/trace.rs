@@ -1,0 +1,120 @@
+//! Fixed-capacity ring of completed-span trace events.
+//!
+//! The ring is wait-free for writers on the hot path: a single atomic
+//! sequence allocation picks the slot, and each slot has its own tiny
+//! latch so concurrent writers never contend on a shared guard. On
+//! overflow the oldest event is overwritten — post-mortem dumps always
+//! show the *most recent* `capacity` completions, and the snapshot's
+//! `trace_recorded` count says how many were recorded in total (so a
+//! reader can tell that `recorded - capacity` events were dropped).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// One completed span, as retained for post-mortem dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (0-based, monotonically increasing).
+    pub seq: u64,
+    /// The operation label (see [`crate::OpKind::label`]).
+    pub op: &'static str,
+    /// Seeks attributed exclusively to this span.
+    pub seeks: u64,
+    /// Pages read, exclusive.
+    pub page_reads: u64,
+    /// Pages written, exclusive.
+    pub page_writes: u64,
+    /// Simulated microseconds, exclusive.
+    pub elapsed_us: u64,
+    /// Wall-clock nanoseconds, inclusive of child spans.
+    pub wall_ns: u64,
+}
+
+pub(crate) struct TraceRing {
+    next: AtomicU64,
+    slots: Vec<Mutex<Option<TraceEvent>>>,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            next: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (may exceed capacity).
+    pub(crate) fn recorded(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record(&self, mut ev: TraceEvent) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        ev.seq = seq;
+        let idx = (seq % self.slots.len() as u64) as usize;
+        *self.slots[idx].lock() = Some(ev);
+    }
+
+    /// The retained events, oldest first. Under concurrent writers the
+    /// result is a best-effort consistent view (each slot is read
+    /// atomically; ordering is restored by `seq`).
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> = self.slots.iter().filter_map(|slot| *slot.lock()).collect();
+        out.sort_by_key(|ev| ev.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: &'static str) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            op,
+            seeks: 1,
+            page_reads: 2,
+            page_writes: 3,
+            elapsed_us: 4,
+            wall_ns: 5,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_on_overflow() {
+        let ring = TraceRing::new(4);
+        for _ in 0..10 {
+            ring.record(ev("read"));
+        }
+        assert_eq!(ring.recorded(), 10);
+        let events = ring.events();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = TraceRing::new(0);
+        ring.record(ev("append"));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.events().len(), 1);
+    }
+
+    #[test]
+    fn events_come_back_oldest_first() {
+        let ring = TraceRing::new(8);
+        ring.record(ev("create"));
+        ring.record(ev("read"));
+        let events = ring.events();
+        assert_eq!(events[0].op, "create");
+        assert_eq!(events[1].op, "read");
+    }
+}

@@ -178,6 +178,10 @@ impl Volume for CachedVolume {
         // Write-through cache: nothing buffered here, delegate.
         self.inner.sync()
     }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(CachedVolume::cache_stats(self))
+    }
 }
 
 #[cfg(test)]

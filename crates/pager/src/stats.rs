@@ -83,10 +83,13 @@ impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} seeks, {} page reads, {} page writes ({:.3} ms simulated)",
+            "{} seeks, {} page reads, {} page writes, {} read faults, \
+             {} write faults ({:.3} ms simulated)",
             self.seeks,
             self.page_reads,
             self.page_writes,
+            self.read_faults,
+            self.write_faults,
             self.elapsed_ms()
         )
     }
@@ -136,5 +139,24 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("3 seeks"));
         assert!(text.contains("6 page reads"));
+    }
+
+    #[test]
+    fn display_includes_fault_counts() {
+        let s = IoStats {
+            seeks: 1,
+            page_reads: 2,
+            page_writes: 3,
+            read_faults: 4,
+            write_faults: 5,
+            ..IoStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("4 read faults"), "got: {text}");
+        assert!(text.contains("5 write faults"), "got: {text}");
+        // Fault-free stats still render the (zero) counts so the shape
+        // of the line is stable for log scrapers.
+        let clean = IoStats::default().to_string();
+        assert!(clean.contains("0 read faults"), "got: {clean}");
     }
 }

@@ -58,6 +58,14 @@ pub trait Volume: Send + Sync {
         self.read_into(start, pages, &mut buf)?;
         Ok(buf)
     }
+
+    /// Hit/miss counters of a caching layer, if this volume has one.
+    /// Bare volumes report `None`; [`crate::CachedVolume`] overrides.
+    /// This lets upper layers (the observability snapshots) surface
+    /// cache effectiveness without downcasting.
+    fn cache_stats(&self) -> Option<crate::CacheStats> {
+        None
+    }
 }
 
 fn check_access(start: PageId, pages: u64, volume_pages: u64) -> Result<()> {

@@ -7,6 +7,7 @@
 //! * [`pager`] — paged volumes and the simulated disk cost model.
 //! * [`buddy`] — the binary buddy disk space manager (paper §3).
 //! * [`core`] — the large object manager (paper §4).
+//! * [`obs`] — metrics, per-operation I/O attribution, and tracing.
 //! * [`baselines`] — the stores EOS is compared against (Exodus,
 //!   Starburst, WiSS, System R).
 //!
@@ -20,4 +21,5 @@ pub mod catalog;
 pub use eos_baselines as baselines;
 pub use eos_buddy as buddy;
 pub use eos_core as core;
+pub use eos_obs as obs;
 pub use eos_pager as pager;

@@ -1,0 +1,147 @@
+//! The paper's worked cost claims, checked against per-operation I/O
+//! attribution (§4.2, §4.1).
+//!
+//! These tests measure through [`eos::obs`] spans rather than raw
+//! volume counters: each assertion reads the delta of one operation's
+//! row between two [`MetricsSnapshot`]s, so unrelated I/O (tree walks
+//! by diagnostics, other operations) cannot contaminate the numbers —
+//! exactly the bookkeeping `eos stats` exposes.
+
+use eos::core::{ObjectStore, StoreConfig, Threshold};
+use eos::obs::MetricsSnapshot;
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+/// Delta of one op row between two snapshots:
+/// `(count, seeks, page_reads, page_writes)`.
+fn op_delta(before: &MetricsSnapshot, after: &MetricsSnapshot, op: &str) -> (u64, u64, u64, u64) {
+    let b = before.op(op).unwrap();
+    let a = after.op(op).unwrap();
+    (
+        a.count - b.count,
+        a.seeks - b.seeks,
+        a.page_reads - b.page_reads,
+        a.page_writes - b.page_writes,
+    )
+}
+
+/// §4.2: "Thus, retrieving a byte range of this object requires 3 disk
+/// seeks plus the cost to transfer 6 pages" — the worked example reads
+/// a small range from the *middle* of a large object whose positional
+/// tree has grown past its root. The sequential search descends the
+/// client-held root, reads at most two index pages, and transfers the
+/// few segment pages the range overlaps.
+#[test]
+fn section_4_2_mid_object_range_read_costs() {
+    // Small pages and an aggressive threshold shatter the object into
+    // many small segments, forcing the tree to at least height 2 (the
+    // shape of the paper's example: the root alone cannot hold the
+    // leaf entries).
+    let mut store = ObjectStore::in_memory_with(
+        512,
+        16_000,
+        StoreConfig {
+            threshold: Threshold::Fixed(1),
+            ..StoreConfig::default()
+        },
+    );
+    let mut model = pattern(250_000);
+    let mut obj = store.create_with(&model, None).unwrap();
+    for i in 0..120u64 {
+        let off = (i * 4999) % (model.len() as u64);
+        store.insert(&mut obj, off, b"##").unwrap();
+        model.splice(off as usize..off as usize, *b"##");
+    }
+    let stats = store.object_stats(&obj).unwrap();
+    assert!(
+        stats.height >= 2,
+        "worked example needs a non-root index level, got height {}",
+        stats.height
+    );
+
+    let mid = obj.size() / 2;
+    let before = store.metrics_snapshot();
+    let got = store.read(&obj, mid, 400).unwrap();
+    let after = store.metrics_snapshot();
+
+    assert_eq!(got, model[mid as usize..mid as usize + 400]);
+    let (count, seeks, reads, writes) = op_delta(&before, &after, "read");
+    assert_eq!(count, 1);
+    assert_eq!(writes, 0, "a read must write nothing");
+    assert!(seeks <= 3, "paper: 3 seeks; attributed {seeks}");
+    assert!(reads <= 6, "paper: 6 page transfers; attributed {reads}");
+    assert!(seeks >= 2, "must descend the tree, not just hit a segment");
+}
+
+/// §4.1: when the final object size is declared up front, allocation
+/// is exact — one segment of precisely the needed pages, one buddy
+/// allocation (one directory-page write, the §3.3 "one disk access"
+/// claim), and no trailing-pages trim. Without the hint the growth
+/// policy over-allocates in doubling steps and pays an allocation plus
+/// a seek for every intermediate segment, then a trim at close.
+#[test]
+fn hinted_append_allocates_exactly() {
+    let mut store = ObjectStore::in_memory(4096, 4000);
+    let data = pattern(100_000); // 25 pages at 4 KiB
+    let pages = (data.len() as u64).div_ceil(4096);
+
+    let before = store.metrics_snapshot();
+    let obj = store.create_with(&data, Some(data.len() as u64)).unwrap();
+    let after = store.metrics_snapshot();
+    let (count, seeks, reads, writes) = op_delta(&before, &after, "create");
+    assert_eq!(count, 1);
+    assert_eq!(reads, 0, "exact allocation reads nothing back");
+    assert_eq!(
+        writes,
+        pages + 1,
+        "the data pages plus one directory flush — no trim traffic"
+    );
+    assert_eq!(
+        seeks, 2,
+        "one seek to the directory, one to the contiguous segment"
+    );
+    assert_eq!(store.read_all(&obj).unwrap(), data);
+
+    // The same bytes without the hint: the growth policy's doubling
+    // steps cost strictly more seeks and extra directory writes for
+    // the intermediate allocations and the closing trim.
+    let before = store.metrics_snapshot();
+    store.create_with(&data, None).unwrap();
+    let after = store.metrics_snapshot();
+    let (_, unhinted_seeks, _, unhinted_writes) = op_delta(&before, &after, "create");
+    assert!(
+        unhinted_seeks > 2,
+        "growth policy should take multiple extents, got {unhinted_seeks} seek(s)"
+    );
+    assert!(unhinted_writes > pages + 1, "doubling pays for its trims");
+}
+
+/// On a single-threaded workload every page of I/O happens under
+/// exactly one span, so the per-operation attribution must sum to the
+/// volume-global [`IoStats`](eos::pager::IoStats) delta — nothing
+/// double-counted, nothing dropped.
+#[test]
+fn attribution_sums_to_the_global_io_delta() {
+    let mut store = ObjectStore::in_memory(512, 8000);
+    store.reset_io_stats(); // formatting I/O predates instrumentation
+
+    let data = pattern(80_000);
+    let mut obj = store.create_with(&data, None).unwrap();
+    let mut second = store.create_with(&data[..10_000], Some(10_000)).unwrap();
+    let _ = store.read(&obj, 100, 5_000).unwrap();
+    store.insert(&mut obj, 40_000, &data[..3_000]).unwrap();
+    store.append(&mut obj, &data[..7_000]).unwrap();
+    store.replace(&mut obj, 200, &data[..1_000]).unwrap();
+    store.delete(&mut obj, 10, 20_000).unwrap();
+    store.compact(&mut obj).unwrap();
+    let _ = store.read_all(&obj).unwrap();
+    store.delete_object(&mut second).unwrap();
+
+    let snap = store.metrics_snapshot();
+    let io = store.io_stats();
+    assert_eq!(snap.attributed_seeks(), io.seeks);
+    assert_eq!(snap.attributed_transfers(), io.page_reads + io.page_writes);
+    assert_eq!(snap.attributed_elapsed_us(), io.elapsed_us);
+}

@@ -35,4 +35,11 @@ echo "== crash sweep (release, pinned seed) =="
 PROPTEST_SEED=3735928559 \
     cargo test --release --offline --test crash_sweep --test differential -- --nocapture
 
+echo "== concurrent stress (release, pinned seed) =="
+# Multi-writer/multi-reader stress over the group-commit pipeline,
+# checked against a single-threaded replay of the same seeded scripts.
+# Release mode widens the real thread interleaving the test explores.
+EOS_STRESS_SEED=3735928559 \
+    cargo test --release --offline --test concurrent_store -- --nocapture
+
 echo "CI gate passed."

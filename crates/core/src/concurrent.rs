@@ -1,0 +1,440 @@
+//! A concurrent front-end over [`ObjectStore`]: shared handles,
+//! per-transaction scopes, byte-range locking, and a group-commit WAL
+//! pipeline.
+//!
+//! The paper's engine (§4.5) interleaves many client transactions over
+//! one storage manager: each transaction locks the byte ranges it
+//! touches, shadowed operations keep the committed image intact, and a
+//! single commit point makes each transaction durable. This module is
+//! that front-end:
+//!
+//! * [`ConcurrentStore`] is a cheaply cloneable (`Arc`-shared) handle
+//!   around one [`ObjectStore`]. The store itself sits behind a
+//!   `RwLock` — reads of committed objects run concurrently, mutations
+//!   serialize on the write latch (the latch is held only for the
+//!   in-memory/page work of one operation, never across a user stall).
+//! * [`Txn`] is one transaction scope. Every operation first acquires
+//!   byte-range locks from the shared [`RangeLockManager`] (shared
+//!   locks for reads, exclusive for writes, tail locks for
+//!   offset-shifting edits), *then* takes the store latch — so lock
+//!   waits never hold the latch. Locks follow strict two-phase
+//!   locking: they are released only after commit or abort.
+//! * Durable commits funnel through a **group-commit pipeline**: each
+//!   committing thread enqueues its scope; one thread becomes the
+//!   leader, drains the queue, and retires the whole batch with *two*
+//!   volume syncs total (one data barrier, one log force) instead of
+//!   two per transaction. Batch sizes are recorded in the
+//!   `wal.group_commit.batch` histogram.
+//!
+//! Lock acquisition order is the caller's responsibility: `lock`
+//! blocks without deadlock detection, so transactions that touch
+//! multiple objects should touch them in a consistent order (or use
+//! disjoint objects, as ingest workloads naturally do).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eos_obs::{Counter, Histogram, Metrics};
+use eos_pager::SharedVolume;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::error::{Error, Result};
+use crate::locks::{LockMode, RangeLockManager, TxnId};
+use crate::object::LargeObject;
+use crate::store::ObjectStore;
+
+/// A shareable handle to one [`ObjectStore`]. Clone it freely — all
+/// clones see the same store, lock table, and commit pipeline.
+#[derive(Clone)]
+pub struct ConcurrentStore {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    store: RwLock<ObjectStore>,
+    locks: RangeLockManager,
+    /// The store's volume, retained so the group-commit leader can
+    /// issue its barrier/force syncs without holding the store latch.
+    volume: SharedVolume,
+    group_commit: bool,
+    sync_on_commit: bool,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    /// Mirrors `wal.syncs`: the leader calls `Volume::sync` directly
+    /// (bypassing [`crate::durable::DurableWal::sync`]), so it bumps
+    /// the same counter by hand to keep the metric honest.
+    syncs: Counter,
+    group_commits: Counter,
+    batch_hist: Histogram,
+}
+
+#[derive(Default)]
+struct GroupState {
+    /// Scopes waiting to be flushed by the next leader.
+    queue: Vec<TxnId>,
+    /// Finished commits not yet picked up by their owning thread.
+    results: HashMap<TxnId, Result<()>>,
+    /// Whether a leader is currently flushing a batch (with the group
+    /// mutex released); at most one at a time.
+    leader_running: bool,
+}
+
+impl ConcurrentStore {
+    /// Wrap `store` for shared use, with group commit enabled.
+    ///
+    /// If the caller wants operations recorded in a specific metrics
+    /// domain, call [`ObjectStore::set_metrics`] *before* wrapping —
+    /// the lock-manager and group-commit instruments are resolved from
+    /// the store's domain here.
+    pub fn new(store: ObjectStore) -> ConcurrentStore {
+        Self::with_group_commit(store, true)
+    }
+
+    /// Wrap `store`, choosing whether durable commits batch through
+    /// the group-commit pipeline (`true`) or each pay their own pair
+    /// of syncs under the write latch (`false`).
+    pub fn with_group_commit(store: ObjectStore, group_commit: bool) -> ConcurrentStore {
+        let obs: Metrics = store.metrics().clone();
+        let volume = store.volume().clone();
+        let sync_on_commit = store.config().sync_on_commit;
+        let locks = RangeLockManager::new();
+        locks.set_metrics(&obs);
+        ConcurrentStore {
+            inner: Arc::new(Inner {
+                store: RwLock::new(store),
+                locks,
+                volume,
+                group_commit,
+                sync_on_commit,
+                group: Mutex::new(GroupState::default()),
+                group_cv: Condvar::new(),
+                syncs: obs.counter("wal.syncs"),
+                group_commits: obs.counter("wal.group_commits"),
+                batch_hist: obs.histogram("wal.group_commit.batch"),
+            }),
+        }
+    }
+
+    /// Open a new transaction scope. The returned handle owns the
+    /// scope: dropping it without [`Txn::commit`] aborts it.
+    pub fn begin(&self) -> Txn {
+        let id = self.inner.store.write().open_scope();
+        Txn {
+            cs: self.clone(),
+            id,
+            finished: false,
+        }
+    }
+
+    /// Run `f` with shared (read) access to the underlying store.
+    pub fn with_store<R>(&self, f: impl FnOnce(&ObjectStore) -> R) -> R {
+        f(&self.inner.store.read())
+    }
+
+    /// Run `f` with exclusive access to the underlying store — for
+    /// maintenance outside any transaction (autocommit applies).
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut ObjectStore) -> R) -> R {
+        f(&mut self.inner.store.write())
+    }
+
+    /// Unwrap back to the plain store. Fails (returning `self`) if
+    /// other clones of this handle are still alive.
+    pub fn try_into_inner(self) -> std::result::Result<ObjectStore, ConcurrentStore> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner.store.into_inner()),
+            Err(arc) => Err(ConcurrentStore { inner: arc }),
+        }
+    }
+
+    /// The shared byte-range lock table.
+    pub fn locks(&self) -> &RangeLockManager {
+        &self.inner.locks
+    }
+
+    // ---- the commit pipeline ---------------------------------------------
+
+    fn commit_scope(&self, id: TxnId) -> Result<()> {
+        if self.inner.group_commit {
+            self.commit_grouped(id)
+        } else {
+            self.inner.store.write().commit_scope(id)
+        }
+    }
+
+    /// Group commit: enqueue the scope, then either wait for a leader
+    /// to retire it or become the leader and flush the whole queue.
+    fn commit_grouped(&self, id: TxnId) -> Result<()> {
+        let inner = &*self.inner;
+        let mut g = inner.group.lock();
+        g.queue.push(id);
+        loop {
+            if let Some(res) = g.results.remove(&id) {
+                return res;
+            }
+            if !g.leader_running {
+                g.leader_running = true;
+                let batch = std::mem::take(&mut g.queue);
+                drop(g);
+                let results = self.flush_batch(&batch);
+                g = inner.group.lock();
+                g.leader_running = false;
+                for (txn, res) in results {
+                    g.results.insert(txn, res);
+                }
+                inner.group_cv.notify_all();
+                // Loop around: our own result is now in the map. If
+                // more committers queued up meanwhile, one of the
+                // woken threads elects itself the next leader.
+            } else {
+                inner.group_cv.wait(&mut g);
+            }
+        }
+    }
+
+    /// Retire one batch of prepared scopes with two volume syncs
+    /// total. Called with the group mutex *released*; takes the store
+    /// latch only for the in-memory phases.
+    fn flush_batch(&self, batch: &[TxnId]) -> Vec<(TxnId, Result<()>)> {
+        let inner = &*self.inner;
+        inner.group_commits.inc();
+        inner.batch_hist.record(batch.len() as u64);
+
+        // Phase A — one data barrier for the whole batch, outside the
+        // latch: shadowed pages and undo images of *every* scope in
+        // the batch must be on disk before any commit record.
+        if inner.sync_on_commit {
+            let dirty = {
+                let st = inner.store.read();
+                batch.iter().any(|&t| st.scope_dirty(t))
+            };
+            if dirty {
+                if let Err(e) = inner.volume.sync() {
+                    return self.fail_batch(batch, &Error::from(e).to_string());
+                }
+                inner.syncs.inc();
+            }
+        }
+
+        // Phase B — append each scope's commit record under the write
+        // latch, without forcing the log.
+        let mut prepared = Vec::with_capacity(batch.len());
+        let mut appended_any = false;
+        {
+            let mut st = inner.store.write();
+            for &t in batch {
+                let r = st.prepare_commit(t, false);
+                if matches!(r, Ok((_, true))) {
+                    appended_any = true;
+                }
+                prepared.push((t, r));
+            }
+        }
+
+        // Phase C — one log force covers every commit record appended
+        // in phase B. No waiter is released before this returns, so a
+        // reported commit is durable even though its fsync was shared.
+        let mut force_err: Option<String> = None;
+        if appended_any && inner.sync_on_commit {
+            match inner.volume.sync() {
+                Ok(()) => inner.syncs.inc(),
+                Err(e) => force_err = Some(Error::from(e).to_string()),
+            }
+        }
+
+        // Phase D — apply each scope's deferred frees under the latch.
+        let mut out = Vec::with_capacity(prepared.len());
+        let mut st = inner.store.write();
+        for (t, r) in prepared {
+            let res = match r {
+                // `prepare_commit` already rolled the scope back.
+                Err(e) => Err(e),
+                Ok((frees, _)) => match &force_err {
+                    // The force failed after the records were written:
+                    // durability is unknown, so surface an error and
+                    // drop the frees (leaking pages is recoverable by
+                    // restart; corrupting a possibly-durable commit is
+                    // not).
+                    Some(msg) => Err(Error::CommitFailed {
+                        reason: format!("group log force failed: {msg}"),
+                    }),
+                    None => st.apply_commit(frees),
+                },
+            };
+            out.push((t, res));
+        }
+        out
+    }
+
+    /// Data barrier failed before anything was logged: roll every
+    /// scope in the batch back and report the failure to each waiter.
+    fn fail_batch(&self, batch: &[TxnId], msg: &str) -> Vec<(TxnId, Result<()>)> {
+        let mut st = self.inner.store.write();
+        batch
+            .iter()
+            .map(|&t| {
+                let _ = st.abort_scope(t);
+                (
+                    t,
+                    Err(Error::CommitFailed {
+                        reason: format!("group data barrier failed: {msg}"),
+                    }),
+                )
+            })
+            .collect()
+    }
+}
+
+/// One transaction scope on a [`ConcurrentStore`].
+///
+/// All operations follow strict 2PL: range locks accumulate as the
+/// transaction touches bytes and are released only by [`Txn::commit`]
+/// or [`Txn::abort`] (or by `Drop`, which aborts). The handle is `Send`
+/// — move it into the thread that runs the transaction.
+pub struct Txn {
+    cs: ConcurrentStore,
+    id: TxnId,
+    finished: bool,
+}
+
+impl Txn {
+    /// This scope's identifier (also its lock-table owner id).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Run `f` on the store with this scope active, under the write
+    /// latch. All lock acquisition must happen *before* this.
+    fn with_scope<R>(&self, f: impl FnOnce(&mut ObjectStore) -> Result<R>) -> Result<R> {
+        let mut st = self.cs.inner.store.write();
+        st.set_active_scope(Some(self.id));
+        let r = f(&mut st);
+        st.set_active_scope(None);
+        r
+    }
+
+    /// Create an object (optionally with initial bytes). The new
+    /// object is exclusively locked by this transaction — no other
+    /// transaction can see it before commit anyway, but the lock keeps
+    /// the footprint uniform for the lock-table accounting.
+    pub fn create(&self, data: &[u8], size_hint: Option<u64>) -> Result<LargeObject> {
+        let obj = self.with_scope(|st| st.create_with(data, size_hint))?;
+        // Fresh id: guaranteed uncontended, safe to lock after the
+        // fact without holding the latch.
+        self.cs
+            .inner
+            .locks
+            .lock_object(self.id, obj.id, LockMode::Exclusive);
+        Ok(obj)
+    }
+
+    /// Read `len` bytes at `offset` under a shared range lock.
+    pub fn read(&self, obj: &LargeObject, offset: u64, len: u64) -> Result<Vec<u8>> {
+        if len > 0 {
+            self.cs
+                .inner
+                .locks
+                .lock(self.id, obj.id, offset, offset + len, LockMode::Shared);
+        }
+        self.cs.inner.store.read().read(obj, offset, len)
+    }
+
+    /// Read the whole object under a shared whole-object lock.
+    pub fn read_all(&self, obj: &LargeObject) -> Result<Vec<u8>> {
+        self.cs
+            .inner
+            .locks
+            .lock_object(self.id, obj.id, LockMode::Shared);
+        self.cs.inner.store.read().read_all(obj)
+    }
+
+    /// Overwrite bytes in place under an exclusive lock on exactly the
+    /// replaced range (offsets don't shift, §4.5's minimal footprint).
+    pub fn replace(&self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        if !data.is_empty() {
+            self.cs.inner.locks.lock(
+                self.id,
+                obj.id,
+                offset,
+                offset + data.len() as u64,
+                LockMode::Exclusive,
+            );
+        }
+        self.with_scope(|st| st.replace(obj, offset, data))
+    }
+
+    /// Append under an exclusive lock on the tail from the current
+    /// size — readers of existing bytes are not blocked.
+    pub fn append(&self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
+        self.cs
+            .inner
+            .locks
+            .lock_tail(self.id, obj.id, obj.size(), LockMode::Exclusive);
+        self.with_scope(|st| st.append(obj, data))
+    }
+
+    /// Insert at `offset`: everything from `offset` onward shifts, so
+    /// the exclusive lock covers the tail from `offset`.
+    pub fn insert(&self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
+        self.cs
+            .inner
+            .locks
+            .lock_tail(self.id, obj.id, offset, LockMode::Exclusive);
+        self.with_scope(|st| st.insert(obj, offset, data))
+    }
+
+    /// Delete a byte range: offsets shift from `offset` onward.
+    pub fn delete(&self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
+        self.cs
+            .inner
+            .locks
+            .lock_tail(self.id, obj.id, offset, LockMode::Exclusive);
+        self.with_scope(|st| st.delete(obj, offset, len))
+    }
+
+    /// Truncate to `new_size`: locks the discarded tail.
+    pub fn truncate(&self, obj: &mut LargeObject, new_size: u64) -> Result<()> {
+        self.cs
+            .inner
+            .locks
+            .lock_tail(self.id, obj.id, new_size, LockMode::Exclusive);
+        self.with_scope(|st| st.truncate(obj, new_size))
+    }
+
+    /// Delete the whole object under an exclusive whole-object lock.
+    pub fn delete_object(&self, obj: &mut LargeObject) -> Result<()> {
+        self.cs
+            .inner
+            .locks
+            .lock_object(self.id, obj.id, LockMode::Exclusive);
+        self.with_scope(|st| st.delete_object(obj))
+    }
+
+    /// Commit the scope (through the group pipeline when enabled) and
+    /// release all locks.
+    pub fn commit(mut self) -> Result<()> {
+        self.finished = true;
+        let r = self.cs.commit_scope(self.id);
+        self.cs.inner.locks.release_all(self.id);
+        r
+    }
+
+    /// Abort the scope, rolling back its effects, and release all
+    /// locks.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        let r = self.cs.inner.store.write().abort_scope(self.id);
+        self.cs.inner.locks.release_all(self.id);
+        r
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Best effort — a failed rollback is repaired by restart
+            // recovery, exactly like a crash at this point.
+            let _ = self.cs.inner.store.write().abort_scope(self.id);
+            self.cs.inner.locks.release_all(self.id);
+        }
+    }
+}

@@ -52,13 +52,16 @@ use eos_pager::{PageId, SharedVolume};
 
 use crate::codec;
 use crate::error::{Error, Result};
+use crate::locks::TxnId;
 use crate::wal::{put_bytes, LogRecord, Reader};
 
 /// Magic tag of a log superblock ("EOSW").
 const SB_MAGIC: u32 = 0x454F_5357; // format-anchor: SB_MAGIC
 /// On-disk format version of the log region (v2 added the epoch stamp
-/// to every frame header).
-const SB_VERSION: u32 = 2; // format-anchor: SB_VERSION
+/// to every frame header; v3 stamps every Op/Touch/Commit/Abort entry
+/// with its transaction scope so concurrent scopes can commit and roll
+/// back independently).
+const SB_VERSION: u32 = 3; // format-anchor: SB_VERSION
 /// Serialized superblock length: magic 4 + version 4 + epoch 8 +
 /// active 1 + crc 4.
 const SB_LEN: usize = 21; // format-anchor: SB_LEN
@@ -133,6 +136,8 @@ pub enum WalEntry {
     /// so an uncommitted replace can be rolled back byte-exactly no
     /// matter where in the operation the power died.
     Op {
+        /// Transaction scope the operation belongs to.
+        txn: TxnId,
         /// The logical operation record (assigns the LSN).
         record: LogRecord,
         /// Serialized [`crate::LargeObject`] descriptor after the op.
@@ -146,6 +151,8 @@ pub enum WalEntry {
     /// invisible until commit; the entry exists to stamp the LSN and
     /// carry the new root for the commit record.
     Touch {
+        /// Transaction scope the update belongs to.
+        txn: TxnId,
         /// LSN of the update.
         lsn: u64,
         /// Object the update applied to.
@@ -156,8 +163,12 @@ pub enum WalEntry {
     /// The commit point of a transaction scope: the descriptors of
     /// every object the scope touched and tombstones for the ones it
     /// deleted. Once this record is on stable storage the transaction
-    /// is durable; until then it never happened.
+    /// is durable; until then it never happened. Covers only the
+    /// entries stamped with the same `txn` — entries of other open
+    /// scopes remain pending.
     Commit {
+        /// Transaction scope this record commits.
+        txn: TxnId,
         /// Highest LSN the transaction logged.
         lsn: u64,
         /// `(object id, serialized descriptor)` for each touched object.
@@ -165,10 +176,11 @@ pub enum WalEntry {
         /// Ids of objects the transaction deleted.
         deleted: Vec<u64>,
     },
-    /// An explicit rollback: the records since the previous
-    /// commit/abort are void (their effects were already reversed by
-    /// the time this is written).
+    /// An explicit rollback: the records of this scope are void (their
+    /// effects were already reversed by the time this is written).
     Abort {
+        /// Transaction scope this record voids.
+        txn: TxnId,
         /// Highest LSN the aborted scope logged.
         lsn: u64,
     },
@@ -207,11 +219,13 @@ impl WalEntry {
         let mut out = Vec::new();
         match self {
             WalEntry::Op {
+                txn,
                 record,
                 root_after,
                 page_images,
             } => {
                 out.push(ENTRY_TAG_OP);
+                out.extend_from_slice(&txn.to_le_bytes());
                 put_bytes(&mut out, &record.to_bytes());
                 put_bytes(&mut out, root_after);
                 out.extend_from_slice(&(page_images.len() as u32).to_le_bytes());
@@ -221,21 +235,25 @@ impl WalEntry {
                 }
             }
             WalEntry::Touch {
+                txn,
                 lsn,
                 object,
                 root_after,
             } => {
                 out.push(ENTRY_TAG_TOUCH);
+                out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&lsn.to_le_bytes());
                 out.extend_from_slice(&object.to_le_bytes());
                 put_bytes(&mut out, root_after);
             }
             WalEntry::Commit {
+                txn,
                 lsn,
                 touched,
                 deleted,
             } => {
                 out.push(ENTRY_TAG_COMMIT);
+                out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&lsn.to_le_bytes());
                 put_roots(&mut out, touched);
                 out.extend_from_slice(&(deleted.len() as u32).to_le_bytes());
@@ -243,8 +261,9 @@ impl WalEntry {
                     out.extend_from_slice(&id.to_le_bytes());
                 }
             }
-            WalEntry::Abort { lsn } => {
+            WalEntry::Abort { txn, lsn } => {
                 out.push(ENTRY_TAG_ABORT);
+                out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&lsn.to_le_bytes());
             }
             WalEntry::Checkpoint { max_lsn, roots } => {
@@ -262,6 +281,7 @@ impl WalEntry {
         let tag = r.take(1)?[0];
         let entry = match tag {
             ENTRY_TAG_OP => {
+                let txn = r.u64()?;
                 let body = r.bytes()?;
                 let mut rr = Reader { data: &body, at: 0 };
                 let record = LogRecord::read_from(&mut rr)?;
@@ -274,17 +294,20 @@ impl WalEntry {
                     page_images.push((page, bytes));
                 }
                 WalEntry::Op {
+                    txn,
                     record,
                     root_after,
                     page_images,
                 }
             }
             ENTRY_TAG_TOUCH => WalEntry::Touch {
+                txn: r.u64()?,
                 lsn: r.u64()?,
                 object: r.u64()?,
                 root_after: r.bytes()?,
             },
             ENTRY_TAG_COMMIT => {
+                let txn = r.u64()?;
                 let lsn = r.u64()?;
                 let touched = read_roots(&mut r)?;
                 let n = r.u32()? as usize;
@@ -293,12 +316,16 @@ impl WalEntry {
                     deleted.push(r.u64()?);
                 }
                 WalEntry::Commit {
+                    txn,
                     lsn,
                     touched,
                     deleted,
                 }
             }
-            ENTRY_TAG_ABORT => WalEntry::Abort { lsn: r.u64()? },
+            ENTRY_TAG_ABORT => WalEntry::Abort {
+                txn: r.u64()?,
+                lsn: r.u64()?,
+            },
             ENTRY_TAG_CHECKPOINT => WalEntry::Checkpoint {
                 max_lsn: r.u64()?,
                 roots: read_roots(&mut r)?,
@@ -319,8 +346,20 @@ impl WalEntry {
             WalEntry::Op { record, .. } => record.lsn,
             WalEntry::Touch { lsn, .. } => *lsn,
             WalEntry::Commit { lsn, .. } => *lsn,
-            WalEntry::Abort { lsn } => *lsn,
+            WalEntry::Abort { lsn, .. } => *lsn,
             WalEntry::Checkpoint { max_lsn, .. } => *max_lsn,
+        }
+    }
+
+    /// The transaction scope this entry belongs to; `None` for
+    /// checkpoints, which are scope-independent.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            WalEntry::Op { txn, .. }
+            | WalEntry::Touch { txn, .. }
+            | WalEntry::Commit { txn, .. }
+            | WalEntry::Abort { txn, .. } => Some(*txn),
+            WalEntry::Checkpoint { .. } => None,
         }
     }
 }
@@ -611,7 +650,10 @@ impl DurableWal {
                 self.pending.push(entry);
             }
             WalEntry::Commit {
-                touched, deleted, ..
+                txn,
+                touched,
+                deleted,
+                ..
             } => {
                 for (id, desc) in touched {
                     self.max_object_id = self.max_object_id.max(id);
@@ -621,9 +663,11 @@ impl DurableWal {
                     self.max_object_id = self.max_object_id.max(id);
                     self.committed.remove(&id);
                 }
-                self.pending.clear();
+                // Only this scope's entries are resolved; concurrent
+                // scopes stay pending until their own commit/abort.
+                self.pending.retain(|e| e.txn() != Some(txn));
             }
-            WalEntry::Abort { .. } => self.pending.clear(),
+            WalEntry::Abort { txn, .. } => self.pending.retain(|e| e.txn() != Some(txn)),
             WalEntry::Checkpoint { roots, .. } => {
                 self.committed = roots
                     .into_iter()
@@ -801,9 +845,15 @@ impl DurableWal {
         &self.committed
     }
 
-    /// The uncommitted tail: Op/Touch entries not covered by a commit.
+    /// The uncommitted tail: Op/Touch entries not covered by a commit,
+    /// across all open scopes, in log order.
     pub fn pending(&self) -> &[WalEntry] {
         &self.pending
+    }
+
+    /// The uncommitted entries of one scope, in log order.
+    pub fn pending_for(&self, txn: TxnId) -> impl DoubleEndedIterator<Item = &WalEntry> {
+        self.pending.iter().filter(move |e| e.txn() == Some(txn))
     }
 
     /// Drop the uncommitted tail from the in-memory view (recovery
@@ -857,6 +907,7 @@ mod tests {
 
     fn op_entry(lsn: u64, object: u64, bytes: &[u8]) -> WalEntry {
         WalEntry::Op {
+            txn: 1,
             record: LogRecord {
                 lsn,
                 object,
@@ -880,6 +931,7 @@ mod tests {
         let entries = [
             op_entry(7, 3, b"hello"),
             WalEntry::Op {
+                txn: 42,
                 record: LogRecord {
                     lsn: 8,
                     object: 3,
@@ -893,16 +945,18 @@ mod tests {
                 page_images: vec![(12, vec![5; 256]), (19, vec![6; 512])],
             },
             WalEntry::Touch {
+                txn: 42,
                 lsn: 9,
                 object: 4,
                 root_after: vec![1],
             },
             WalEntry::Commit {
+                txn: 42,
                 lsn: 9,
                 touched: vec![(3, vec![9; 40]), (4, vec![1])],
                 deleted: vec![17],
             },
-            WalEntry::Abort { lsn: 11 },
+            WalEntry::Abort { txn: 42, lsn: 11 },
             WalEntry::Checkpoint {
                 max_lsn: 11,
                 roots: vec![(3, vec![9; 40])],
@@ -922,6 +976,7 @@ mod tests {
             wal.append(op_entry(1, 5, b"aaa")).unwrap();
             wal.append(op_entry(2, 5, b"bbb")).unwrap();
             wal.append(WalEntry::Commit {
+                txn: 1,
                 lsn: 2,
                 touched: vec![(5, vec![1, 2, 3])],
                 deleted: vec![],
@@ -940,12 +995,59 @@ mod tests {
         assert_eq!(wal.max_object_id(), 6);
     }
 
+    fn op_entry_for(txn: TxnId, lsn: u64, object: u64, bytes: &[u8]) -> WalEntry {
+        WalEntry::Op {
+            txn,
+            record: LogRecord {
+                lsn,
+                object,
+                op: LogOp::Append {
+                    bytes: bytes.to_vec(),
+                },
+            },
+            root_after: vec![1, 2, 3],
+            page_images: vec![],
+        }
+    }
+
+    #[test]
+    fn commit_absorbs_only_its_own_scope() {
+        let v = vol(64);
+        {
+            let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+            wal.append(op_entry_for(1, 1, 5, b"aaa")).unwrap();
+            wal.append(op_entry_for(2, 2, 6, b"bbb")).unwrap();
+            wal.append(op_entry_for(1, 3, 5, b"ccc")).unwrap();
+            wal.append(WalEntry::Commit {
+                txn: 1,
+                lsn: 3,
+                touched: vec![(5, vec![1])],
+                deleted: vec![],
+            })
+            .unwrap();
+            // Scope 1's entries are absorbed; scope 2's stay pending.
+            assert_eq!(wal.pending_for(1).count(), 0);
+            assert_eq!(wal.pending_for(2).count(), 1);
+            assert_eq!(wal.pending().len(), 1);
+        }
+        // A restart scan preserves the split: scope 2 is still the
+        // uncommitted tail, scope 1 is committed.
+        let mut wal = DurableWal::attach(v, 0, 64).unwrap();
+        assert_eq!(wal.committed()[&5], vec![1]);
+        assert_eq!(wal.pending().len(), 1);
+        assert_eq!(wal.pending_for(2).count(), 1);
+        // An abort for scope 2 drops exactly its entries.
+        wal.append(WalEntry::Abort { txn: 2, lsn: 4 }).unwrap();
+        assert_eq!(wal.pending().len(), 0);
+    }
+
     #[test]
     fn torn_tail_is_cut() {
         let v = vol(64);
         let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
         wal.append(op_entry(1, 5, b"aaa")).unwrap();
         wal.append(WalEntry::Commit {
+            txn: 1,
             lsn: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
@@ -972,6 +1074,7 @@ mod tests {
         let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
         wal.append(op_entry(1, 5, b"committed")).unwrap();
         wal.append(WalEntry::Commit {
+            txn: 1,
             lsn: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
@@ -1000,6 +1103,7 @@ mod tests {
         for i in 0..100u64 {
             wal.append(op_entry(i + 1, 5, &[7u8; 150])).unwrap();
             wal.append(WalEntry::Commit {
+                txn: 1,
                 lsn: i + 1,
                 touched: vec![(5, vec![8u8; 30])],
                 deleted: vec![],
@@ -1027,6 +1131,7 @@ mod tests {
         let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
         wal.append(op_entry(1, 5, b"aaa")).unwrap();
         wal.append(WalEntry::Commit {
+            txn: 1,
             lsn: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
@@ -1085,6 +1190,7 @@ mod tests {
         {
             let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
             wal.append(WalEntry::Commit {
+                txn: 1,
                 lsn: 1,
                 touched: vec![(5, vec![1])],
                 deleted: vec![],

@@ -37,6 +37,13 @@ pub enum Error {
     },
     /// A transaction token was used after commit/abort.
     StaleTransaction,
+    /// A group commit could not make its batch durable. On a data
+    /// barrier failure the transaction was rolled back; on a log force
+    /// failure its durability is unknown (restart recovery decides).
+    CommitFailed {
+        /// Human-readable description.
+        reason: String,
+    },
     /// A durable log record does not fit in the reserved log region,
     /// even after checkpointing (the region is too small for the
     /// transaction's footprint).
@@ -72,6 +79,7 @@ impl fmt::Display for Error {
                 write!(f, "operation `{op}` unsupported: {reason}")
             }
             Error::StaleTransaction => write!(f, "transaction already finished"),
+            Error::CommitFailed { reason } => write!(f, "commit failed: {reason}"),
             Error::LogFull { needed, available } => write!(
                 f,
                 "log record of {needed} bytes exceeds the {available}-byte log half"

@@ -31,6 +31,7 @@
 
 mod blobstore;
 mod codec;
+pub mod concurrent;
 mod config;
 mod consolidate;
 pub mod durable;
@@ -48,6 +49,7 @@ mod verify;
 pub mod wal;
 
 pub use blobstore::BlobStore;
+pub use concurrent::{ConcurrentStore, Txn};
 pub use config::{StoreConfig, Threshold};
 pub use consolidate::ConsolidateStats;
 pub use eos_obs as obs;

@@ -3,13 +3,14 @@
 
 use std::collections::BTreeMap;
 
-use eos_buddy::{BuddyManager, Extent};
+use eos_buddy::{BuddyManager, Extent, FreeBatch};
 use eos_obs::{Metrics, MetricsSnapshot, OpKind};
 use eos_pager::{IoStats, PageId, SharedVolume};
 
 use crate::config::{StoreConfig, Threshold};
 use crate::durable::{DurableWal, WalEntry};
 use crate::error::{Error, Result};
+use crate::locks::TxnId;
 use crate::node::{node_capacity, Node};
 use crate::object::LargeObject;
 use crate::ops;
@@ -28,7 +29,15 @@ pub struct ObjectStore {
     buddy: BuddyManager,
     config: StoreConfig,
     next_id: u64,
-    txn: Option<TxnState>,
+    /// Open transaction scopes, keyed by [`TxnId`]. The single-writer
+    /// API ([`Self::begin_txn`] &c.) drives exactly one; the concurrent
+    /// front-end ([`crate::concurrent::ConcurrentStore`]) keeps one per
+    /// in-flight client transaction.
+    txns: BTreeMap<TxnId, TxnState>,
+    /// The scope the next mutating operation charges its allocations,
+    /// deferred frees and touched roots to.
+    active: Option<TxnId>,
+    next_txn: TxnId,
     /// The on-disk log of a durable store ([`Self::create_durable`] /
     /// [`Self::open_durable`]); `None` for the classic in-memory-logged
     /// store, whose mutating ops then skip the logging path entirely.
@@ -47,7 +56,7 @@ pub struct ObjectStore {
 /// scope also accumulates the commit record: the latest serialized
 /// root of every object it touched and tombstones for deletions.
 struct TxnState {
-    batch: eos_buddy::FreeBatch,
+    batch: FreeBatch,
     allocs: Vec<Extent>,
     touched: BTreeMap<u64, Vec<u8>>,
     deleted: Vec<u64>,
@@ -73,7 +82,9 @@ impl ObjectStore {
             buddy,
             config,
             next_id: 1,
-            txn: None,
+            txns: BTreeMap::new(),
+            active: None,
+            next_txn: 1,
             wal: None,
             obs,
         })
@@ -98,7 +109,9 @@ impl ObjectStore {
             buddy,
             config,
             next_id: next_object_id,
-            txn: None,
+            txns: BTreeMap::new(),
+            active: None,
+            next_txn: 1,
             wal: None,
             obs,
         })
@@ -294,15 +307,67 @@ impl ObjectStore {
     /// must be protected with [`crate::wal::Wal::logged_replace`].
     ///
     /// # Panics
-    /// If a transaction scope is already open (single-writer store).
+    /// If a transaction scope is already open (single-writer facade;
+    /// the concurrent front-end opens scopes directly).
     pub fn begin_txn(&mut self) {
-        assert!(self.txn.is_none(), "nested transactions are not supported");
-        self.txn = Some(TxnState {
-            batch: self.buddy.begin_free_batch(),
-            allocs: Vec::new(),
-            touched: BTreeMap::new(),
-            deleted: Vec::new(),
-        });
+        assert!(
+            self.active.is_none(),
+            "nested transactions are not supported"
+        );
+        let id = self.open_scope();
+        self.active = Some(id);
+    }
+
+    /// Open a new transaction scope and return its id, without making
+    /// it the active one — the concurrent front-end keeps many scopes
+    /// open and selects per operation via [`Self::set_active_scope`].
+    pub fn open_scope(&mut self) -> TxnId {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        self.txns.insert(
+            id,
+            TxnState {
+                batch: self.buddy.begin_free_batch(),
+                allocs: Vec::new(),
+                touched: BTreeMap::new(),
+                deleted: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Select which open scope the next mutating operations charge
+    /// their allocations, deferred frees and touched roots to (`None`
+    /// restores autocommit behaviour for durable stores).
+    pub fn set_active_scope(&mut self, id: Option<TxnId>) {
+        self.active = id;
+    }
+
+    /// The scope mutating operations currently charge to.
+    pub fn active_scope(&self) -> Option<TxnId> {
+        self.active
+    }
+
+    /// Does `id` name an open scope?
+    pub fn scope_is_open(&self, id: TxnId) -> bool {
+        self.txns.contains_key(&id)
+    }
+
+    /// Has the scope done anything a durable commit must sync — touched
+    /// or deleted objects, allocations, or pending log entries?
+    pub fn scope_dirty(&self, id: TxnId) -> bool {
+        self.txns
+            .get(&id)
+            .is_some_and(|t| !t.touched.is_empty() || !t.deleted.is_empty() || !t.allocs.is_empty())
+            || self
+                .wal
+                .as_ref()
+                .is_some_and(|w| w.pending_for(id).next().is_some())
+    }
+
+    fn active_txn_mut(&mut self) -> Option<&mut TxnState> {
+        let id = self.active?;
+        self.txns.get_mut(&id)
     }
 
     /// Commit the open scope: apply every deferred free. On a durable
@@ -321,38 +386,87 @@ impl ObjectStore {
     /// durable (that write is the commit point, since the root is
     /// client-placed).
     ///
-    /// If the commit append itself fails the scope is closed and an
-    /// error returned — the transaction is then *in limbo*: depending on
-    /// how much of the record reached the disk, recovery will land on
-    /// either the pre- or the post-transaction state (but nothing in
-    /// between).
+    /// If the commit append itself fails the scope is rolled back
+    /// cleanly — before-images restored, allocations returned, deferred
+    /// frees dropped, an Abort record closing the scope in the log —
+    /// and the error returned; the volume stays structurally clean (the
+    /// log-full-during-commit tests drive this path).
     pub fn commit_txn(&mut self) -> Result<()> {
         // Commit I/O (log frames, the data-before-log syncs, the
         // deferred frees) is attributed to `wal.commit`, not to the
         // operation that happened to trigger an autocommit — span
         // nesting subtracts it from the enclosing op automatically.
         let _span = self.obs.span(OpKind::WalCommit, &self.volume);
-        let txn = self.txn.take().expect("no open transaction");
-        if let Some(wal) = &mut self.wal {
-            let worth_logging =
-                !txn.touched.is_empty() || !txn.deleted.is_empty() || !wal.pending().is_empty();
-            if worth_logging {
-                let entry = WalEntry::Commit {
-                    lsn: wal.last_lsn(),
-                    touched: txn.touched.into_iter().collect(),
-                    deleted: txn.deleted,
-                };
-                let sync = self.config.sync_on_commit;
-                let committed = (if sync { wal.sync() } else { Ok(()) })
-                    .and_then(|()| wal.append(entry))
-                    .and_then(|()| if sync { wal.sync() } else { Ok(()) });
-                if let Err(e) = committed {
-                    self.buddy.abort_frees(txn.batch);
-                    return Err(e);
-                }
+        let id = self.active.take().expect("no open transaction");
+        self.commit_scope(id)
+    }
+
+    /// Commit one scope end to end: the data-before-log barrier, the
+    /// commit-record append, the log force, then the deferred frees.
+    /// The group-commit leader instead calls the three phases
+    /// ([`Self::prepare_commit`], its own single log force,
+    /// [`Self::apply_commit`]) so one fsync covers a whole batch.
+    pub fn commit_scope(&mut self, id: TxnId) -> Result<()> {
+        let (batch, appended) = self.prepare_commit(id, true)?;
+        if appended && self.config.sync_on_commit {
+            if let Some(wal) = &self.wal {
+                // The log force: the commit record is durable past here.
+                wal.sync()?;
             }
         }
-        self.buddy.commit_frees(txn.batch)?;
+        self.apply_commit(batch)
+    }
+
+    /// Phase 1 of a commit: close the scope's book-keeping and append
+    /// (without forcing) its [`WalEntry::Commit`] record. Returns the
+    /// deferred-free batch to apply once the record is durable, and
+    /// whether a record was appended at all (read-only scopes skip the
+    /// log entirely). With `data_barrier` the volume is synced before
+    /// the append, so the record never points at shadowed pages the OS
+    /// could still be holding back; the group-commit leader passes
+    /// `false` after issuing one barrier for the whole batch.
+    ///
+    /// On any error (most importantly [`Error::LogFull`]) the scope is
+    /// **fully aborted** — before-images restored, allocations
+    /// returned, deferred frees dropped, an Abort record appended —
+    /// so a failed commit can never leave the store half-applied.
+    pub fn prepare_commit(&mut self, id: TxnId, data_barrier: bool) -> Result<(FreeBatch, bool)> {
+        let txn = self.txns.remove(&id).ok_or(Error::StaleTransaction)?;
+        if self.active == Some(id) {
+            self.active = None;
+        }
+        let batch = txn.batch;
+        let Some(wal) = &mut self.wal else {
+            return Ok((batch, false));
+        };
+        let worth_logging = !txn.touched.is_empty()
+            || !txn.deleted.is_empty()
+            || wal.pending_for(id).next().is_some();
+        if !worth_logging {
+            return Ok((batch, false));
+        }
+        let entry = WalEntry::Commit {
+            txn: id,
+            lsn: wal.last_lsn(),
+            touched: txn.touched.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            deleted: txn.deleted.clone(),
+        };
+        let sync = data_barrier && self.config.sync_on_commit;
+        let appended = (if sync { wal.sync() } else { Ok(()) }).and_then(|()| wal.append(entry));
+        if let Err(e) = appended {
+            // Clean abort: put the scope back so abort_scope finds its
+            // allocations and deferred frees, then roll everything back.
+            self.txns.insert(id, txn);
+            let _ = self.abort_scope(id);
+            return Err(e);
+        }
+        Ok((batch, true))
+    }
+
+    /// Phase 3 of a commit: apply the deferred frees. Only called once
+    /// the commit record is durable (or was never needed).
+    pub fn apply_commit(&mut self, batch: FreeBatch) -> Result<()> {
+        self.buddy.commit_frees(batch)?;
         Ok(())
     }
 
@@ -368,35 +482,47 @@ impl ObjectStore {
     /// interrupted before the record lands, restart recovery simply
     /// rolls the scope back again.
     pub fn abort_txn(&mut self) -> Result<()> {
-        let txn = self.txn.take().expect("no open transaction");
+        let id = self.active.take().expect("no open transaction");
+        self.abort_scope(id)
+    }
+
+    /// Abort one scope: restore the before-images of its uncommitted
+    /// in-place writes, drop its deferred frees, return its
+    /// allocations, and close it in the log with a scope-stamped
+    /// [`WalEntry::Abort`]. Other open scopes are untouched — their
+    /// pending entries stay pending.
+    pub fn abort_scope(&mut self, id: TxnId) -> Result<()> {
+        let txn = self.txns.remove(&id).ok_or(Error::StaleTransaction)?;
+        if self.active == Some(id) {
+            self.active = None;
+        }
         let restored_images = self.wal.as_ref().is_some_and(|w| {
-            w.pending()
-                .iter()
+            w.pending_for(id)
                 .any(|e| matches!(e, WalEntry::Op { page_images, .. } if !page_images.is_empty()))
         });
         if self.wal.is_some() {
-            self.rollback_pending_images()?;
+            self.rollback_scope_images(id)?;
         }
         self.buddy.abort_frees(txn.batch);
         for e in txn.allocs {
             self.buddy.free(e.start, e.pages)?;
         }
         if let Some(wal) = &mut self.wal {
-            if !wal.pending().is_empty() {
+            if wal.pending_for(id).next().is_some() {
                 if restored_images && self.config.sync_on_commit {
                     // Restores-before-Abort barrier.
                     wal.sync()?;
                 }
                 let lsn = wal.last_lsn();
-                wal.append(WalEntry::Abort { lsn })?;
+                wal.append(WalEntry::Abort { txn: id, lsn })?;
             }
         }
         Ok(())
     }
 
-    /// Is a transaction scope open?
+    /// Is a transaction scope open (single-writer facade)?
     pub fn in_txn(&self) -> bool {
-        self.txn.is_some()
+        self.active.is_some()
     }
 
     /// Create an object pre-filled with `data`, optionally telling the
@@ -609,7 +735,7 @@ impl ObjectStore {
     /// Allocate a fresh extent of exactly `pages` pages.
     pub(crate) fn alloc_extent(&mut self, pages: u64) -> Result<Extent> {
         let e = self.buddy.allocate(pages)?;
-        if let Some(txn) = &mut self.txn {
+        if let Some(txn) = self.active_txn_mut() {
             txn.allocs.push(e);
         }
         Ok(e)
@@ -618,7 +744,7 @@ impl ObjectStore {
     /// Allocate at most `pages`, taking what is available.
     pub(crate) fn alloc_up_to(&mut self, pages: u64) -> Result<Extent> {
         let e = self.buddy.allocate_up_to(pages)?;
-        if let Some(txn) = &mut self.txn {
+        if let Some(txn) = self.active_txn_mut() {
             txn.allocs.push(e);
         }
         Ok(e)
@@ -627,9 +753,13 @@ impl ObjectStore {
     /// Free `pages` pages starting at `start` — deferred behind a
     /// release lock while a transaction scope is open.
     pub(crate) fn free_pages(&mut self, start: PageId, pages: u64) -> Result<()> {
-        match &self.txn {
-            Some(txn) => {
-                self.buddy.defer_free(txn.batch, Extent { start, pages });
+        let batch = self
+            .active
+            .and_then(|id| self.txns.get(&id))
+            .map(|t| t.batch);
+        match batch {
+            Some(batch) => {
+                self.buddy.defer_free(batch, Extent { start, pages });
             }
             None => self.buddy.free(start, pages)?,
         }

@@ -23,7 +23,8 @@
 //! durable commit point of the scope.
 
 use crate::durable::WalEntry;
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::locks::TxnId;
 use crate::object::LargeObject;
 use crate::ops;
 use crate::wal::{LogOp, LogRecord};
@@ -32,8 +33,8 @@ use eos_pager::PageId;
 use super::ObjectStore;
 
 impl ObjectStore {
-    /// Run `f` inside the caller's open transaction scope, or — on a
-    /// durable store with no scope open — inside an implicit
+    /// Run `f` inside the caller's active transaction scope, or — on a
+    /// durable store with no scope active — inside an implicit
     /// per-operation scope that commits on success and aborts on error.
     /// Without this, a committed operation's deferred frees would be
     /// applied immediately and a *later* crash could find those pages
@@ -43,7 +44,7 @@ impl ObjectStore {
         &mut self,
         f: impl FnOnce(&mut Self) -> Result<T>,
     ) -> Result<T> {
-        if self.txn.is_some() || self.wal.is_none() {
+        if self.active.is_some() || self.wal.is_none() {
             return f(self);
         }
         self.begin_txn();
@@ -55,17 +56,25 @@ impl ObjectStore {
             Err(e) => {
                 // Best effort: the abort itself can fail (e.g. the
                 // volume died); recovery handles that case on restart.
-                let _ = self.abort_txn();
+                if self.in_txn() {
+                    let _ = self.abort_txn();
+                }
                 Err(e)
             }
         }
     }
 
-    /// Record `obj`'s current root in the open scope's commit set.
+    /// The scope every logged operation stamps its entries with.
+    fn active_scope_id(&self) -> Result<TxnId> {
+        self.active.ok_or(Error::StaleTransaction)
+    }
+
+    /// Record `obj`'s current root in the active scope's commit set.
     pub(crate) fn note_touched(&mut self, obj: &LargeObject) {
-        if let Some(txn) = &mut self.txn {
-            txn.touched.insert(obj.id, obj.to_bytes());
-            txn.deleted.retain(|&d| d != obj.id);
+        let (id, bytes) = (obj.id, obj.to_bytes());
+        if let Some(txn) = self.active_txn_mut() {
+            txn.touched.insert(id, bytes);
+            txn.deleted.retain(|&d| d != id);
         }
     }
 
@@ -73,10 +82,12 @@ impl ObjectStore {
     /// and add it to the scope's commit set — the post-hoc trail of
     /// every shadowed operation.
     pub(crate) fn log_touch(&mut self, obj: &mut LargeObject) -> Result<()> {
+        let scope = self.active_scope_id()?;
         let wal = self.wal.as_mut().expect("log_touch on a non-durable store");
         let lsn = wal.allocate_lsn();
         obj.lsn = lsn;
         let entry = WalEntry::Touch {
+            txn: scope,
             lsn,
             object: obj.id,
             root_after: obj.to_bytes(),
@@ -118,15 +129,16 @@ impl ObjectStore {
         }
     }
 
-    /// Reverse the in-place writes of the scope's uncommitted `replace`
+    /// Reverse the in-place writes of one scope's uncommitted `replace`
     /// operations, newest first, from the before-images in the log.
-    pub(crate) fn rollback_pending_images(&mut self) -> Result<()> {
+    /// Images of other open scopes are left alone — they are rolled
+    /// back by their own abort (or by restart recovery).
+    pub(crate) fn rollback_scope_images(&mut self, id: TxnId) -> Result<()> {
         let images: Vec<(PageId, Vec<u8>)> = self
             .wal
             .as_ref()
             .map(|w| {
-                w.pending()
-                    .iter()
+                w.pending_for(id)
                     .rev()
                     .flat_map(|e| match e {
                         WalEntry::Op { page_images, .. } => {
@@ -157,10 +169,12 @@ impl ObjectStore {
             // field stays empty — the physical page images *are* the
             // undo, and duplicating the bytes would double the record.
             let images = s.range_page_images(obj, offset, data.len() as u64)?;
+            let scope = s.active_scope_id()?;
             let wal = s.wal.as_mut().expect("durable store");
             let lsn = wal.allocate_lsn();
             obj.lsn = lsn;
             let entry = WalEntry::Op {
+                txn: scope,
                 record: LogRecord {
                     lsn,
                     object: obj.id,
@@ -253,10 +267,11 @@ impl ObjectStore {
             // No log entry: deletion is fully shadowed (frees are
             // deferred), and the commit record's tombstone is what makes
             // it durable.
-            if let Some(txn) = &mut s.txn {
-                txn.touched.remove(&obj.id);
-                if !txn.deleted.contains(&obj.id) {
-                    txn.deleted.push(obj.id);
+            let id = obj.id;
+            if let Some(txn) = s.active_txn_mut() {
+                txn.touched.remove(&id);
+                if !txn.deleted.contains(&id) {
+                    txn.deleted.push(id);
                 }
             }
             s.paranoid_check(obj)

@@ -159,7 +159,9 @@ impl ObjectStore {
             buddy,
             config,
             next_id: 1,
-            txn: None,
+            txns: std::collections::BTreeMap::new(),
+            active: None,
+            next_txn: 1,
             wal: None,
             obs: metrics.clone(),
         };

@@ -203,6 +203,26 @@ fn bad(&self) {
         assert!(sites[0].detail.contains("`g`"));
     }
 
+    /// Ratchet at zero for the concurrency front-end: the module most
+    /// exposed to latch-across-I/O mistakes (the group-commit leader
+    /// syncs the volume between latched phases) must stay free of
+    /// unannotated findings. `crates/core/src` is in `LATCH_DIRS`, so
+    /// the workspace run covers it too; this pins the file by name.
+    #[test]
+    fn concurrent_module_has_no_latch_findings() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .unwrap()
+            .join("crates/core/src/concurrent.rs");
+        let src = std::fs::read_to_string(&path).unwrap();
+        let findings: Vec<_> = scan_source(&src)
+            .into_iter()
+            .filter(|s| !s.annotated)
+            .collect();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
     #[test]
     fn guard_dropped_before_io_is_clean() {
         let src = r#"

@@ -12,8 +12,16 @@
 //! traffic, while multi-page calls are leaf-segment streams that would
 //! otherwise flush the cache with bytes read once (classic scan
 //! pollution).
+//!
+//! Coherence under sharing: a read miss performs the inner read
+//! **outside** the state latch (so concurrent hits are not serialized
+//! behind disk I/O), which opens a window where a concurrent
+//! `write_pages` can land between the miss and the fill. Every write
+//! bumps a global version tick; the miss path re-validates the tick
+//! before inserting and discards the (possibly stale) fill if any
+//! write intervened.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 
@@ -45,8 +53,55 @@ impl CacheStats {
 struct CacheState {
     /// page → (data, last-use tick)
     pages: HashMap<PageId, (Vec<u8>, u64)>,
+    /// last-use tick → page, kept in step with `pages`: the LRU order.
+    /// Eviction pops the smallest tick in O(log n) instead of scanning
+    /// the whole map per miss.
+    order: BTreeMap<u64, PageId>,
     tick: u64,
+    /// Bumped by every `write_pages`; the read-miss fill path compares
+    /// against the value it saw at miss time and discards the fill if
+    /// any write intervened while the state latch was dropped.
+    version: u64,
     stats: CacheStats,
+}
+
+impl CacheState {
+    /// Record an access to a resident page, keeping `order` in step.
+    fn touch(&mut self, page: PageId) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, t)) = self.pages.get_mut(&page) {
+            self.order.remove(t);
+            *t = tick;
+            self.order.insert(tick, page);
+        }
+    }
+
+    /// Insert (or refresh) a page, keeping `order` in step.
+    fn insert(&mut self, page: PageId, data: Vec<u8>) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((old, t)) = self.pages.insert(page, (data, tick)) {
+            drop(old);
+            self.order.remove(&t);
+        }
+        self.order.insert(tick, page);
+    }
+
+    /// Drop a page, keeping `order` in step.
+    fn remove(&mut self, page: PageId) {
+        if let Some((_, t)) = self.pages.remove(&page) {
+            self.order.remove(&t);
+        }
+    }
+
+    /// Evict least-recently-used pages until at most `capacity` remain.
+    fn evict_if_full(&mut self, capacity: usize) {
+        while self.pages.len() > capacity {
+            let (_, lru) = self.order.pop_first().expect("order tracks pages");
+            self.pages.remove(&lru);
+        }
+    }
 }
 
 /// A write-through LRU cache of single-page accesses.
@@ -77,7 +132,9 @@ impl CachedVolume {
             capacity,
             state: Mutex::new(CacheState {
                 pages: HashMap::new(),
+                order: BTreeMap::new(),
                 tick: 0,
+                version: 0,
                 stats: CacheStats::default(),
             }),
         }
@@ -97,19 +154,14 @@ impl CachedVolume {
     pub fn clear(&self) {
         let mut st = self.state.lock();
         st.pages.clear();
+        st.order.clear();
         st.stats = CacheStats::default();
     }
 
-    fn evict_if_full(st: &mut CacheState, capacity: usize) {
-        while st.pages.len() > capacity {
-            let lru = st
-                .pages
-                .iter()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(&p, _)| p)
-                .expect("non-empty");
-            st.pages.remove(&lru);
-        }
+    /// Resident pages in eviction (least- to most-recently-used) order.
+    /// Diagnostics/testing only.
+    pub fn lru_order(&self) -> Vec<PageId> {
+        self.state.lock().order.values().copied().collect()
     }
 }
 
@@ -127,22 +179,29 @@ impl Volume for CachedVolume {
             // Multi-page (leaf-segment) traffic bypasses the cache.
             return self.inner.read_into(start, pages, buf);
         }
-        let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
-        if let Some((data, t)) = st.pages.get_mut(&start) {
-            buf.copy_from_slice(data);
-            *t = tick;
-            st.stats.hits += 1;
-            return Ok(());
-        }
-        drop(st);
+        let version = {
+            let mut st = self.state.lock();
+            if let Some((data, _)) = st.pages.get(&start) {
+                buf.copy_from_slice(data);
+                st.touch(start);
+                st.stats.hits += 1;
+                return Ok(());
+            }
+            st.version
+        };
+        // Miss: read outside the latch so concurrent hits are not
+        // serialized behind the inner volume's I/O.
         self.inner.read_into(start, 1, buf)?;
         let mut st = self.state.lock();
         st.stats.misses += 1;
-        let tick = st.tick;
-        st.pages.insert(start, (buf.to_vec(), tick));
-        Self::evict_if_full(&mut st, self.capacity);
+        if st.version == version {
+            st.insert(start, buf.to_vec());
+            st.evict_if_full(self.capacity);
+        }
+        // else: a write landed while the latch was dropped; `buf` may
+        // predate it. The caller still gets a consistent point-in-time
+        // read, but the fill must not clobber the newer cached copy
+        // (or re-instate a page a multi-page write invalidated).
         Ok(())
     }
 
@@ -152,15 +211,14 @@ impl Volume for CachedVolume {
         let ps = self.page_size();
         let pages = (data.len() / ps) as u64;
         let mut st = self.state.lock();
-        st.tick += 1;
-        let tick = st.tick;
+        st.version += 1;
         if pages == 1 {
-            st.pages.insert(start, (data.to_vec(), tick));
-            Self::evict_if_full(&mut st, self.capacity);
+            st.insert(start, data.to_vec());
+            st.evict_if_full(self.capacity);
         } else {
             // Invalidate any cached page the multi-page write covers.
             for p in start..start + pages {
-                st.pages.remove(&p);
+                st.remove(p);
             }
         }
         Ok(())
@@ -189,10 +247,12 @@ mod tests {
     use super::*;
     use crate::volume::MemVolume;
     use crate::DiskProfile;
+    use parking_lot::Condvar;
+    use std::sync::Arc;
 
-    fn cached(cap: usize) -> (std::sync::Arc<CachedVolume>, SharedVolume) {
+    fn cached(cap: usize) -> (Arc<CachedVolume>, SharedVolume) {
         let inner = MemVolume::with_profile(128, 64, DiskProfile::VINTAGE_1992).shared();
-        let c = std::sync::Arc::new(CachedVolume::new(inner.clone(), cap));
+        let c = Arc::new(CachedVolume::new(inner.clone(), cap));
         (c, inner)
     }
 
@@ -241,9 +301,162 @@ mod tests {
     }
 
     #[test]
+    fn lru_order_tracks_touches_and_evicts_in_order() {
+        let (c, _) = cached(3);
+        for p in 0..3u64 {
+            let _ = c.read_pages(p, 1).unwrap();
+        }
+        assert_eq!(c.lru_order(), vec![0, 1, 2]);
+        // Touching 0 moves it to the hot end; 1 becomes the victim.
+        let _ = c.read_pages(0, 1).unwrap();
+        assert_eq!(c.lru_order(), vec![1, 2, 0]);
+        let _ = c.read_pages(3, 1).unwrap(); // evicts 1
+        assert_eq!(c.lru_order(), vec![2, 0, 3]);
+        // A single-page write refreshes recency too.
+        c.write_pages(2, &[5u8; 128]).unwrap();
+        assert_eq!(c.lru_order(), vec![0, 3, 2]);
+        let _ = c.read_pages(4, 1).unwrap(); // evicts 0
+        assert_eq!(c.lru_order(), vec![3, 2, 4]);
+        // Invalidation keeps the order map in step with the page map.
+        c.write_pages(2, &[6u8; 128 * 2]).unwrap(); // multi-page: drops 2,3
+        assert_eq!(c.lru_order(), vec![4]);
+    }
+
+    #[test]
     fn hit_ratio_math() {
         let s = CacheStats { hits: 3, misses: 1 };
         assert_eq!(s.hit_ratio(), 0.75);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    /// A volume whose next single-page read parks after completing the
+    /// inner read — deterministically holding a reader inside the
+    /// miss-fill window (state latch dropped, stale bytes in hand).
+    struct GateVolume {
+        inner: SharedVolume,
+        st: Mutex<GateState>,
+        cv: Condvar,
+    }
+
+    #[derive(Default)]
+    struct GateState {
+        armed: bool,
+        parked: bool,
+        released: bool,
+    }
+
+    impl GateVolume {
+        fn new(inner: SharedVolume) -> Arc<GateVolume> {
+            Arc::new(GateVolume {
+                inner,
+                st: Mutex::new(GateState::default()),
+                cv: Condvar::new(),
+            })
+        }
+
+        /// Arm the gate: the next single-page read parks after reading.
+        fn arm(&self) {
+            let mut st = self.st.lock();
+            st.armed = true;
+            st.parked = false;
+            st.released = false;
+        }
+
+        /// Block until a reader is parked inside the window.
+        fn wait_parked(&self) {
+            let mut st = self.st.lock();
+            while !st.parked {
+                self.cv.wait(&mut st);
+            }
+        }
+
+        /// Let the parked reader continue.
+        fn release(&self) {
+            let mut st = self.st.lock();
+            st.released = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl Volume for GateVolume {
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn num_pages(&self) -> u64 {
+            self.inner.num_pages()
+        }
+        fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
+            self.inner.read_into(start, pages, buf)?;
+            if pages == 1 {
+                let mut st = self.st.lock();
+                if st.armed {
+                    st.armed = false;
+                    st.parked = true;
+                    self.cv.notify_all();
+                    while !st.released {
+                        self.cv.wait(&mut st);
+                    }
+                }
+            }
+            Ok(())
+        }
+        fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
+            self.inner.write_pages(start, data)
+        }
+        fn stats(&self) -> IoStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&self) {
+            self.inner.reset_stats();
+        }
+    }
+
+    /// Regression for the miss-window race: a write that lands while a
+    /// miss-fill holds stale bytes outside the latch must not be
+    /// clobbered by the stale insert.
+    #[test]
+    fn concurrent_write_in_miss_window_is_not_clobbered() {
+        let mem = MemVolume::with_profile(128, 16, DiskProfile::FREE).shared();
+        mem.write_pages(0, &[1u8; 128]).unwrap(); // pre-write contents
+        let gate = GateVolume::new(mem);
+        let c = Arc::new(CachedVolume::new(gate.clone(), 8));
+
+        gate.arm();
+        let c2 = c.clone();
+        let reader = std::thread::spawn(move || c2.read_pages(0, 1).unwrap());
+
+        // The reader is now parked inside the miss window holding the
+        // stale pre-write page; land a write in that window.
+        gate.wait_parked();
+        c.write_pages(0, &[2u8; 128]).unwrap();
+        gate.release();
+
+        let stale = reader.join().unwrap();
+        // The in-flight read itself may legitimately observe either
+        // version (it raced the write) — here the gate ordered it
+        // before the write deterministically.
+        assert_eq!(stale[0], 1);
+        // But the cache must now serve the *post-write* contents: the
+        // stale fill may not overwrite the newer copy.
+        assert_eq!(
+            c.read_pages(0, 1).unwrap()[0],
+            2,
+            "stale fill clobbered the write"
+        );
+
+        // Same window, but the write is multi-page (invalidation): the
+        // stale fill must not re-instate the dropped page either.
+        gate.arm();
+        let c2 = c.clone();
+        let reader = std::thread::spawn(move || c2.read_pages(4, 1).unwrap());
+        gate.wait_parked();
+        c.write_pages(4, &[3u8; 128 * 2]).unwrap();
+        gate.release();
+        reader.join().unwrap();
+        assert_eq!(
+            c.read_pages(4, 1).unwrap()[0],
+            3,
+            "stale fill resurrected an invalidated page"
+        );
     }
 }

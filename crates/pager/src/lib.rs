@@ -46,6 +46,7 @@ mod disk;
 mod error;
 mod faulty;
 mod stats;
+mod throttle;
 mod volume;
 
 pub use cache::{CacheStats, CachedVolume};
@@ -54,6 +55,7 @@ pub use disk::{DiskModel, DiskProfile};
 pub use error::{Error, Result};
 pub use faulty::FaultyVolume;
 pub use stats::IoStats;
+pub use throttle::ThrottledVolume;
 pub use volume::{FileVolume, MemVolume, SharedVolume, Volume};
 
 /// Identifier of a page within a volume (zero-based).

@@ -1,0 +1,105 @@
+//! A volume wrapper that charges real wall-clock time for `sync()`.
+//!
+//! [`MemVolume`](crate::MemVolume) is trivially stable, so its `sync`
+//! is free — which makes any commit protocol that amortizes fsyncs
+//! (group commit) look like a no-op in benchmarks. [`ThrottledVolume`]
+//! sleeps for a configurable duration on every `sync()`, modeling the
+//! rotational/flush latency a durable commit actually pays. Reads and
+//! writes pass straight through (the [`DiskModel`](crate::DiskModel)
+//! of the inner volume already accounts for them in simulated time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::error::Result;
+use crate::stats::IoStats;
+use crate::volume::{SharedVolume, Volume};
+use crate::{CacheStats, PageId};
+
+/// Delegates everything to an inner volume but sleeps on `sync()`.
+pub struct ThrottledVolume {
+    inner: SharedVolume,
+    sync_delay: Duration,
+    syncs: AtomicU64,
+}
+
+impl ThrottledVolume {
+    /// Wrap `inner`, charging `sync_delay` of wall-clock time per sync.
+    pub fn new(inner: SharedVolume, sync_delay: Duration) -> ThrottledVolume {
+        ThrottledVolume {
+            inner,
+            sync_delay,
+            syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Wrap in an [`std::sync::Arc`].
+    pub fn shared(self) -> SharedVolume {
+        std::sync::Arc::new(self)
+    }
+
+    /// Number of syncs charged so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+}
+
+impl Volume for ThrottledVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_into(start, pages, buf)
+    }
+
+    fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
+        self.inner.write_pages(start, data)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        if !self.sync_delay.is_zero() {
+            std::thread::sleep(self.sync_delay);
+        }
+        Ok(())
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.inner.cache_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+    use crate::DiskProfile;
+    use std::time::Instant;
+
+    #[test]
+    fn passes_io_through_and_charges_syncs() {
+        let inner = MemVolume::with_profile(64, 8, DiskProfile::FREE).shared();
+        let t = ThrottledVolume::new(inner, Duration::from_millis(5));
+        t.write_pages(1, &[7u8; 64]).unwrap();
+        assert_eq!(t.read_pages(1, 1).unwrap()[0], 7);
+        let t0 = Instant::now();
+        t.sync().unwrap();
+        t.sync().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(t.syncs(), 2);
+    }
+}

@@ -127,6 +127,13 @@ impl<T> RwLock<T> {
             inner: sync::RwLock::new(value),
         }
     }
+
+    /// Consume the lock, returning the value (poison discarded).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {

@@ -7,7 +7,7 @@ cd "$(dirname "$0")"
 echo "== fmt =="
 cargo fmt --all --check
 
-echo "== lint (eos-lint: panic-path ratchet, latch discipline, FORMAT.md drift) =="
+echo "== lint (eos-lint: panic-path ratchet, latch discipline, FORMAT.md drift, lock order) =="
 cargo run -q --offline -p eos-lint -- .
 
 echo "== clippy (deny warnings) =="
@@ -41,5 +41,16 @@ echo "== concurrent stress (release, pinned seed) =="
 # Release mode widens the real thread interleaving the test explores.
 EOS_STRESS_SEED=3735928559 \
     cargo test --release --offline --test concurrent_store -- --nocapture
+
+echo "== lockdep (runtime lock-order witness, pinned seed) =="
+# The dynamic half of eos-lockdep: rebuild with the Tracked* wrappers
+# armed and re-run the concurrency surface. The witness panics with
+# both acquisition stacks on the first observed inversion or volume
+# I/O under a forbids_io class — silence is the assertion. The
+# lockdep_runtime test also proves the witness itself still fires.
+EOS_STRESS_SEED=3735928559 \
+    cargo test --release --offline --features lockdep \
+    --test lockdep_runtime --test concurrent_store --test concurrent -- --nocapture
+cargo clippy --workspace --all-targets --offline --features lockdep -- -D warnings
 
 echo "CI gate passed."

@@ -42,6 +42,7 @@ pub struct BuddyManager {
     use_superdir: bool,
     geometry: Geometry,
     pages_per_space: u64,
+    // lock-class: pending = buddy.pending rank = 45 io = forbidden
     pending: Mutex<PendingFrees>,
     obs: Option<ObsHandles>,
 }

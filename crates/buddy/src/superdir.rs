@@ -30,6 +30,7 @@ struct Inner {
 /// Latch-protected cache of the largest free segment type per space.
 #[derive(Debug)]
 pub struct SuperDirectory {
+    // lock-class: inner = buddy.superdir rank = 40 io = forbidden
     inner: Mutex<Inner>,
 }
 

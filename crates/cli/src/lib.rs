@@ -525,11 +525,13 @@ pub fn run(args: &[String]) -> Result<String> {
             }
             ("lint", opts) => {
                 let mut json = false;
+                let mut locks_dot = false;
                 let mut root = None;
                 let mut lint_opts = eos_lint::Options::default();
                 for o in opts {
                     match o.as_str() {
                         "--json" => json = true,
+                        "--locks-dot" => locks_dot = true,
                         "--verbose" => lint_opts.verbose = true,
                         "--update-ratchet" => lint_opts.update_ratchet = true,
                         other if !other.starts_with('-') && root.is_none() => {
@@ -541,7 +543,9 @@ pub fn run(args: &[String]) -> Result<String> {
                 let root = root.unwrap_or_else(|| ".".to_string());
                 let report = eos_lint::lint_workspace(Path::new(&root), &lint_opts)
                     .map_err(|e| CliError(format!("lint {root}: {e}")))?;
-                let rendered = if json {
+                let rendered = if locks_dot {
+                    report.to_dot()
+                } else if json {
                     let mut j = report.to_json();
                     j.push('\n');
                     j
@@ -707,10 +711,12 @@ usage: eos <command> ...
   check <file> [--json]           full static analysis: audit every
                                   buddy directory, census every page,
                                   report all findings (fsck)
-  lint [root] [--json] [--verbose] [--update-ratchet]
+  lint [root] [--json] [--locks-dot] [--verbose] [--update-ratchet]
                                   source-level invariant linter:
                                   panic-path ratchet, latch discipline,
-                                  FORMAT.md drift (default root: .)";
+                                  FORMAT.md drift, lock-order analysis
+                                  (default root: .); --locks-dot emits
+                                  the lock hierarchy as Graphviz DOT";
 
 #[cfg(test)]
 mod tests {

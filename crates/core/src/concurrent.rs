@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use eos_obs::{Counter, Histogram, Metrics};
 use eos_pager::SharedVolume;
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 
 use crate::error::{Error, Result};
 use crate::locks::{LockMode, RangeLockManager, TxnId};
@@ -51,15 +51,24 @@ pub struct ConcurrentStore {
 }
 
 struct Inner {
-    store: RwLock<ObjectStore>,
+    // The store latch legitimately covers page I/O: §4.5 latched
+    // commit phases write shadow pages and WAL records under it
+    // (`io = allowed`), which is why it ranks *above* the volume
+    // mutex and below nothing that forbids I/O. See DESIGN.md §13.
+    // lock-class: store = store.latch rank = 30 io = allowed
+    store: TrackedRwLock<ObjectStore>,
     locks: RangeLockManager,
     /// The store's volume, retained so the group-commit leader can
     /// issue its barrier/force syncs without holding the store latch.
     volume: SharedVolume,
     group_commit: bool,
     sync_on_commit: bool,
-    group: Mutex<GroupState>,
-    group_cv: Condvar,
+    // Outermost latch in the hierarchy: a committer takes it before
+    // anything else and the leader *drops* it across `flush_batch`
+    // (release-then-reacquire), so it never covers I/O or the latch.
+    // lock-class: group = commit.group rank = 10 io = forbidden
+    group: TrackedMutex<GroupState>,
+    group_cv: TrackedCondvar,
     /// Mirrors `wal.syncs`: the leader calls `Volume::sync` directly
     /// (bypassing [`crate::durable::DurableWal::sync`]), so it bumps
     /// the same counter by hand to keep the metric honest.
@@ -101,13 +110,16 @@ impl ConcurrentStore {
         locks.set_metrics(&obs);
         ConcurrentStore {
             inner: Arc::new(Inner {
-                store: RwLock::new(store),
+                store: TrackedRwLock::new(LockClass::allows_io("store.latch"), store),
                 locks,
                 volume,
                 group_commit,
                 sync_on_commit,
-                group: Mutex::new(GroupState::default()),
-                group_cv: Condvar::new(),
+                group: TrackedMutex::new(
+                    LockClass::forbids_io("commit.group"),
+                    GroupState::default(),
+                ),
+                group_cv: TrackedCondvar::new(),
                 syncs: obs.counter("wal.syncs"),
                 group_commits: obs.counter("wal.group_commits"),
                 batch_hist: obs.histogram("wal.group_commit.batch"),

@@ -821,6 +821,10 @@ impl DurableWal {
     /// Force everything appended so far to stable storage — the commit
     /// barrier.
     pub fn sync(&self) -> Result<()> {
+        // Lockdep tripwire at the WAL's own barrier: catches a latch
+        // held across the force even when the test volume is a custom
+        // `Volume` impl that never reaches the Mem/File bottom hooks.
+        parking_lot::on_volume_io("wal.sync");
         self.volume.sync()?;
         if let Some(obs) = &self.obs {
             obs.syncs.inc();

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eos_obs::{Counter, Histogram, Metrics};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// Lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,11 +72,22 @@ struct LockObs {
     wait_us: Histogram,
 }
 
-#[derive(Default)]
 struct Shared {
-    state: Mutex<State>,
-    cv: Condvar,
-    obs: Mutex<Option<LockObs>>,
+    // lock-class: state = locks.state rank = 20 io = forbidden
+    state: TrackedMutex<State>,
+    cv: TrackedCondvar,
+    // lock-class: obs = locks.obs rank = 25 io = forbidden
+    obs: TrackedMutex<Option<LockObs>>,
+}
+
+impl Default for Shared {
+    fn default() -> Shared {
+        Shared {
+            state: TrackedMutex::new(LockClass::forbids_io("locks.state"), State::default()),
+            cv: TrackedCondvar::new(),
+            obs: TrackedMutex::new(LockClass::forbids_io("locks.obs"), None),
+        }
+    }
 }
 
 /// `Duration` → whole microseconds, saturating.

@@ -24,6 +24,8 @@ pub enum AllowRule {
     Panic,
     /// `allow(latch, …)` — latch-discipline sites.
     Latch,
+    /// `allow(lockorder, …)` — interprocedural lock-order sites.
+    LockOrder,
 }
 
 impl AllowRule {
@@ -31,6 +33,7 @@ impl AllowRule {
         match self {
             AllowRule::Panic => "panic",
             AllowRule::Latch => "latch",
+            AllowRule::LockOrder => "lockorder",
         }
     }
 }
@@ -151,6 +154,14 @@ mod tests {
     fn latch_annotation_is_separate() {
         let toks = lex("// lint: allow(latch, reason = \"dropped before I/O\")\n");
         assert!(!allowed_lines(&toks, AllowRule::Latch).is_empty());
+        assert!(allowed_lines(&toks, AllowRule::Panic).is_empty());
+    }
+
+    #[test]
+    fn lockorder_annotation_is_separate() {
+        let toks = lex("// lint: allow(lockorder, reason = \"single-threaded bootstrap\")\n");
+        assert!(!allowed_lines(&toks, AllowRule::LockOrder).is_empty());
+        assert!(allowed_lines(&toks, AllowRule::Latch).is_empty());
         assert!(allowed_lines(&toks, AllowRule::Panic).is_empty());
     }
 }

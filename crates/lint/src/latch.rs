@@ -9,6 +9,11 @@
 //!
 //! * `let g = …​.lock();` — a named guard, live until its enclosing
 //!   block closes or an explicit `drop(g)`;
+//! * `g = …​.lock();` where `g` was previously bound to a guard —
+//!   release-then-reacquire (the group-commit leader drops the latch,
+//!   flushes, and reacquires in a loop): the old guard is dead by
+//!   assignment time, so this is *not* a nested latch, and the revived
+//!   guard lives to the end of the block that bound `g`;
 //! * `…​.lock().method(…)` — a temporary guard, live to the end of the
 //!   statement.
 //!
@@ -57,6 +62,10 @@ pub fn scan_source(src: &str) -> Vec<LatchSite> {
 
     let mut sites = Vec::new();
     let mut guards: Vec<Guard> = Vec::new();
+    // Every name ever bound to a guard by `let`, with its binding
+    // depth, kept until that scope closes (even across `drop`) so a
+    // later `name = ….lock();` is recognised as a reacquire.
+    let mut known: Vec<(String, i32)> = Vec::new();
     // Line of a temporary (unbound) guard live until the next `;`.
     let mut temp_guard: Option<u32> = None;
     // Inside a `let <name> = …` initializer: candidate binding name.
@@ -85,6 +94,7 @@ pub fn scan_source(src: &str) -> Vec<LatchSite> {
             Kind::Punct('}') => {
                 depth -= 1;
                 guards.retain(|g| g.depth <= depth);
+                known.retain(|(_, d)| *d <= depth);
                 temp_guard = None;
                 let_binding = None;
             }
@@ -121,6 +131,36 @@ pub fn scan_source(src: &str) -> Vec<LatchSite> {
                     && code[i - 1].is_punct('.')
                     && code.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
             {
+                let closes = code.get(i + 2).is_some_and(|t| t.is_punct(')'))
+                    && code.get(i + 3).is_some_and(|t| t.is_punct(';'));
+                // `name = ….lock();` where `name` was bound to a guard
+                // earlier in this scope: release-then-reacquire, not a
+                // nested latch — the old guard is dead by assignment
+                // time. The revived guard keeps the original binding
+                // depth (it outlives the block doing the reassignment).
+                let reacquire = if closes && let_binding.is_none() {
+                    let mut j = i;
+                    while j > 0 && !matches!(code[j - 1].kind, Kind::Punct(';' | '{' | '}')) {
+                        j -= 1;
+                    }
+                    match (
+                        code.get(j).map(|t| &t.kind),
+                        code.get(j + 1),
+                        code.get(j + 2),
+                    ) {
+                        (Some(Kind::Ident(name)), Some(eq), Some(after))
+                            if eq.is_punct('=') && !after.is_punct('=') =>
+                        {
+                            known.iter().rev().find(|(n, _)| n == name).cloned()
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some((name, _)) = &reacquire {
+                    guards.retain(|g| &g.name != name);
+                }
                 if let Some(g) = guards.last() {
                     push(
                         t.line,
@@ -138,15 +178,20 @@ pub fn scan_source(src: &str) -> Vec<LatchSite> {
                             .to_string(),
                     );
                 }
-                // Named guard only when the statement is exactly
-                // `let g = ….lock();` — i.e. the `()` is followed
-                // directly by `;`.
-                let binds = code.get(i + 2).is_some_and(|t| t.is_punct(')'))
-                    && code.get(i + 3).is_some_and(|t| t.is_punct(';'))
-                    && let_binding.is_some();
-                if binds {
+                if let Some((name, bind_depth)) = reacquire {
                     guards.push(Guard {
-                        name: let_binding.clone().unwrap_or_default(),
+                        name,
+                        depth: bind_depth,
+                        line: t.line,
+                    });
+                } else if closes && let_binding.is_some() {
+                    // Named guard only when the statement is exactly
+                    // `let g = ….lock();` — i.e. the `()` is followed
+                    // directly by `;`.
+                    let name = let_binding.clone().unwrap_or_default();
+                    known.push((name.clone(), depth));
+                    guards.push(Guard {
+                        name,
                         depth,
                         line: t.line,
                     });
@@ -308,6 +353,84 @@ fn len(&self) -> usize {
 }
 fn other(&self) {
     self.inner.lock().push(1);
+    self.vol.sync();
+}
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    /// The group-commit leader pattern (`concurrent.rs`): drop the
+    /// latch, flush, reacquire by assignment inside the loop. The
+    /// reassignment must read as release-then-reacquire, not as a
+    /// second latch.
+    #[test]
+    fn loop_reacquire_is_not_a_second_latch() {
+        let src = r#"
+fn leader(&self) {
+    let mut g = self.group.lock();
+    loop {
+        if g.ready {
+            drop(g);
+            self.flush();
+            g = self.group.lock();
+            g.done = true;
+        } else {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+"#;
+        assert!(scan_source(src).is_empty(), "{:?}", scan_source(src));
+    }
+
+    /// After the reacquire the guard is held again: volume I/O behind
+    /// it must still fire, even when the reassignment happened in an
+    /// inner block (the guard's lifetime is the original binding's).
+    #[test]
+    fn reacquired_guard_across_io_fires() {
+        let src = r#"
+fn bad(&self) {
+    let mut g = self.group.lock();
+    if g.ready {
+        drop(g);
+        g = self.group.lock();
+    }
+    self.vol.sync();
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert!(sites[0].detail.contains("sync"));
+        assert!(sites[0].detail.contains("`g`"));
+    }
+
+    /// Reacquiring one guard while a *different* guard is held is
+    /// still a nested latch.
+    #[test]
+    fn reacquire_under_another_guard_still_fires() {
+        let src = r#"
+fn bad(&self) {
+    let mut g = self.group.lock();
+    drop(g);
+    let h = self.other.lock();
+    g = self.group.lock();
+    drop(g);
+    drop(h);
+}
+"#;
+        let sites = scan_source(src);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert!(sites[0].detail.contains("second latch"));
+        assert!(sites[0].detail.contains("`h`"));
+    }
+
+    /// Assignment to a name never bound to a guard stays a temporary
+    /// guard (we know nothing about its lifetime).
+    #[test]
+    fn assignment_to_unknown_name_is_temporary() {
+        let src = r#"
+fn odd(&self) {
+    self.slot = self.cell.lock();
     self.vol.sync();
 }
 "#;

@@ -12,6 +12,11 @@
 //!   `parking_lot` guard held across volume I/O or a second latch.
 //! * **format-drift** (L4): FORMAT.md anchor values must equal the
 //!   constants in the codecs.
+//! * **lockorder** (L5): interprocedural lock-order analysis
+//!   (eos-lockdep) — declared lock classes must be acquired in strictly
+//!   increasing rank order, volume I/O must not be reachable while an
+//!   `io = forbidden` class is held, and the class table must match the
+//!   DESIGN.md §13 hierarchy anchors.
 //!
 //! See DESIGN.md §10 for the rule catalogue and annotation syntax.
 
@@ -19,6 +24,7 @@ pub mod annotations;
 pub mod drift;
 pub mod latch;
 pub mod lexer;
+pub mod lockdep;
 pub mod panic_path;
 pub mod report;
 pub mod test_filter;
@@ -66,6 +72,27 @@ pub const DRIFT_SOURCES: [&str; 6] = [
     "src/catalog.rs",
 ];
 
+/// Crates whose sources feed the L5 lock-order analysis — one call
+/// graph per crate. `crates/pager` is included here even though L3
+/// exempts it: its two locks (cache, volume) are exactly where the
+/// bottom of the order lives.
+pub const LOCKDEP_CRATES: [(&str, &str); 4] = [
+    ("eos-core", "crates/core/src"),
+    ("eos-buddy", "crates/buddy/src"),
+    ("eos-pager", "crates/pager/src"),
+    ("eos-obs", "crates/obs/src"),
+];
+
+/// Crates that must declare at least one lock class *and* carry a
+/// `lockorder:<crate>` pin in `lint.ratchet` — the concurrency
+/// front-end and the I/O bottom. Deleting their declarations or pins
+/// is an error, not a silent pass.
+pub const LOCKDEP_PINNED: [&str; 2] = ["eos-core", "eos-pager"];
+
+/// The doc side of the L5 hierarchy cross-check, relative to the
+/// workspace root.
+pub const DESIGN_DOC: &str = "DESIGN.md";
+
 /// The checked-in ratchet file, relative to the workspace root.
 pub const RATCHET_FILE: &str = "lint.ratchet";
 
@@ -96,6 +123,7 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
     run_panic_rules(root, opts, &mut report)?;
     run_latch_rule(root, &mut report)?;
     run_drift_rule(root, &mut report)?;
+    run_lockdep_rule(root, opts, &mut report)?;
 
     Ok(report)
 }
@@ -147,7 +175,37 @@ fn run_panic_rules(root: &Path, opts: &Options, report: &mut Report) -> io::Resu
 
     let ratchet_path = root.join(RATCHET_FILE);
     if opts.update_ratchet {
-        fs::write(&ratchet_path, Ratchet::render(&counts))?;
+        // The panic counts are observed; the L5 `lockorder:` pins are a
+        // hand-managed contract. Carry existing pins through the
+        // rewrite (defaulting the required crates to zero) so
+        // `--update-ratchet` can never loosen or drop them.
+        let existing = fs::read_to_string(&ratchet_path).ok();
+        let mut text = Ratchet::render(&counts);
+        text.push_str(
+            "# eos-lockdep (L5) pins — unannotated lock-order findings\n\
+             # allowed per crate. Hand-managed; zero means zero.\n",
+        );
+        let mut pins: Vec<(String, usize)> = existing
+            .as_deref()
+            .and_then(|t| Ratchet::parse(t).ok())
+            .map(|r| {
+                r.entries
+                    .into_iter()
+                    .filter(|(n, _)| n.starts_with("lockorder:"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for krate in LOCKDEP_PINNED {
+            let name = format!("lockorder:{krate}");
+            if !pins.iter().any(|(n, _)| *n == name) {
+                pins.push((name, 0));
+            }
+        }
+        pins.sort();
+        for (name, count) in pins {
+            text.push_str(&format!("{name} {count}\n"));
+        }
+        fs::write(&ratchet_path, text)?;
         report.findings.push(Finding {
             severity: Severity::Info,
             rule: Rule::Ratchet,
@@ -305,6 +363,127 @@ fn run_drift_rule(root: &Path, report: &mut Report) -> io::Result<()> {
             ),
         });
     }
+    Ok(())
+}
+
+/// L5 — interprocedural lock-order analysis (eos-lockdep, static half).
+fn run_lockdep_rule(root: &Path, opts: &Options, report: &mut Report) -> io::Result<()> {
+    let mut crates = Vec::new();
+    for (krate, dir) in LOCKDEP_CRATES {
+        let mut files = Vec::new();
+        for path in rust_files(&root.join(dir))? {
+            files.push(lockdep::SourceFile {
+                path: display_path(root, &path),
+                src: fs::read_to_string(&path)?,
+            });
+        }
+        crates.push(lockdep::CrateInput {
+            name: krate.to_string(),
+            files,
+        });
+    }
+
+    let design = match fs::read_to_string(root.join(DESIGN_DOC)) {
+        Ok(t) => Some(t),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::LockOrder,
+                location: DESIGN_DOC.to_string(),
+                detail: "DESIGN.md missing — the lock hierarchy (§13) cannot be cross-checked"
+                    .to_string(),
+            });
+            None
+        }
+        Err(e) => return Err(e),
+    };
+
+    let analysis = lockdep::analyze(&crates, design.as_deref());
+    for site in &analysis.sites {
+        if site.annotated {
+            continue;
+        }
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::LockOrder,
+            location: site.location.clone(),
+            detail: site.detail.clone(),
+        });
+    }
+
+    // Anti-defusal: the pinned crates must actually declare classes —
+    // deleting the `// lock-class:` comments must not read as clean.
+    for krate in LOCKDEP_PINNED {
+        if analysis.classes_in(krate) == 0 {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::LockOrder,
+                location: krate.to_string(),
+                detail: format!(
+                    "no `// lock-class:` declarations found in {krate} — the lock-order \
+                     rule must not be defused by deleting declarations (see DESIGN.md §13)"
+                ),
+            });
+        }
+    }
+
+    // Ratchet pins: `lockorder:<crate> N` rows bound the unannotated
+    // finding count per pinned crate (zero in this repo). A fresh
+    // `--update-ratchet` rewrite re-emits the pins itself, so the
+    // comparison is skipped on that run, like L2.
+    if !opts.update_ratchet {
+        if let Ok(text) = fs::read_to_string(root.join(RATCHET_FILE)) {
+            if let Ok(ratchet) = Ratchet::parse(&text) {
+                for krate in LOCKDEP_PINNED {
+                    let name = format!("lockorder:{krate}");
+                    match ratchet.allowed(&name) {
+                        None => report.findings.push(Finding {
+                            severity: Severity::Error,
+                            rule: Rule::LockOrder,
+                            location: RATCHET_FILE.to_string(),
+                            detail: format!(
+                                "missing `{name}` pin — add `{name} 0` (the lock-order \
+                                 budget is hand-managed and never goes up)"
+                            ),
+                        }),
+                        Some(allowed) => {
+                            let observed = analysis.unannotated_in(krate);
+                            if observed > allowed {
+                                report.findings.push(Finding {
+                                    severity: Severity::Error,
+                                    rule: Rule::LockOrder,
+                                    location: name,
+                                    detail: format!(
+                                        "{observed} unannotated lock-order finding(s) in \
+                                         {krate}, pin allows {allowed}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report.lock_classes = analysis
+        .classes
+        .iter()
+        .map(|c| report::LockClassRow {
+            name: c.name.clone(),
+            rank: c.rank,
+            io_allowed: c.io_allowed,
+        })
+        .collect();
+    report.lock_edges = analysis
+        .edges
+        .iter()
+        .map(|e| report::LockEdgeRow {
+            from: e.from.clone(),
+            to: e.to.clone(),
+            location: e.location.clone(),
+        })
+        .collect();
     Ok(())
 }
 

@@ -1,0 +1,1350 @@
+//! Rule L5 — interprocedural lock-order analysis (`eos-lockdep`).
+//!
+//! L3 keeps any *single* function honest: no guard across volume I/O
+//! or a second latch inside one body. L5 closes the gap L3 cannot see:
+//! lock-order inversions and I/O that happen *across* calls. It is the
+//! static half of eos-lockdep; the `lockdep` cargo feature (the
+//! `Tracked*` wrappers in `vendor/parking_lot`) is the runtime half,
+//! catching whatever slips through this pass's name-resolution blind
+//! spots.
+//!
+//! The moving parts:
+//!
+//! * **Lock classes.** Every long-lived `parking_lot` field is labelled
+//!   at its declaration:
+//!
+//!   ```text
+//!   // lock-class: group = commit.group rank = 10 io = forbidden
+//!   group: TrackedMutex<GroupState>,
+//!   ```
+//!
+//!   The binding `field → class` is **per file** (two files may both
+//!   call their lock `state` without colliding); the class table
+//!   (`name`, `rank`, `io`) is global and must agree across files and
+//!   with the `<!-- lock-class: … -->` anchors in DESIGN.md §13.
+//!
+//! * **Acquisitions.** A zero-argument `.lock()` / `.read()` /
+//!   `.write()` whose receiver field is declared in the file is a
+//!   classed acquisition. Guard lifetimes mirror L3: `let g = …;`
+//!   lives to the end of its block or an explicit `drop(g)`;
+//!   `g = ….lock();` is release-then-reacquire; anything else is a
+//!   temporary dying at the statement end.
+//!
+//! * **Call graph.** Within one crate, a bare `name(…)` or `self.name(…)`
+//!   call resolves to `fn name` iff exactly one function of that name
+//!   exists in the crate. `recv.name(…)` with any other receiver and
+//!   `path::name(…)` stay unresolved — receiver types are unknown to a
+//!   lexer, and resolving them by name would confuse `map.remove(…)`
+//!   with a crate function. A fixed point then propagates each
+//!   function's transitively-acquired classes and whether it can reach
+//!   volume I/O (`write_pages` / `read_pages` / `read_into` / `sync`).
+//!
+//! * **Findings.** With classes held at an event:
+//!   - acquiring (directly or via a resolved call) a class of rank ≤
+//!     any held class's rank — an order inversion (ranks must strictly
+//!     increase along the acquisition chain);
+//!   - volume I/O (direct or via a resolved call) while a class with
+//!     `io = forbidden` is held — §4.5 short-duration-latch violation;
+//!   - as a safety net, any cycle in the accumulated acquisition-order
+//!     graph whose edges all escaped the rank check.
+//!
+//! Suppression: `// lint: allow(lockorder, reason = "…")` on or above
+//! the offending line. Known blind spots (documented, covered by the
+//! runtime witness): cross-crate calls, method calls on non-`self`
+//! receivers, trait dispatch.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::annotations::{allowed_lines, AllowRule};
+use crate::lexer::{lex, Kind, Tok};
+use crate::test_filter::strip_test_code;
+
+/// Methods that constitute volume I/O for this rule. `read_into` is the
+/// trait's primitive (L3 predates it and tracks the derived surface).
+pub const IO_METHODS: [&str; 4] = ["write_pages", "read_pages", "read_into", "sync"];
+
+/// One source file handed to the analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative display path (`crates/core/src/….rs`).
+    pub path: String,
+    /// Full source text.
+    pub src: String,
+}
+
+/// One crate's worth of sources: the call-graph resolution boundary.
+#[derive(Debug, Clone)]
+pub struct CrateInput {
+    /// Crate name as it appears in ratchet pins (`eos-core`).
+    pub name: String,
+    /// Production sources (tests are stripped token-wise anyway).
+    pub files: Vec<SourceFile>,
+}
+
+/// A declared lock class, aggregated over every declaration site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassRow {
+    /// Global class name (`commit.group`).
+    pub name: String,
+    /// Acquisition rank: ranks must strictly increase along any chain.
+    pub rank: u32,
+    /// May volume I/O happen while this class is held?
+    pub io_allowed: bool,
+    /// First declaration site, `path:line`.
+    pub decl: String,
+    /// Crate the first declaration lives in.
+    pub krate: String,
+}
+
+/// One observed acquisition-order edge (`from` held while `to` taken).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeRow {
+    /// Class held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+    /// First witness, `path:line` (with `via …` for call-derived edges).
+    pub location: String,
+}
+
+/// One L5 finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// `path:line` of the acquisition / I/O / call.
+    pub location: String,
+    /// What is wrong and how to fix it.
+    pub detail: String,
+    /// Suppressed by `// lint: allow(lockorder, …)`?
+    pub annotated: bool,
+    /// Crate the site lives in (for the per-crate ratchet pins).
+    pub krate: String,
+}
+
+/// Everything the analysis produced.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Global class table, sorted by rank then name.
+    pub classes: Vec<ClassRow>,
+    /// Acquisition-order edges, first witness each, sorted by rank.
+    pub edges: Vec<EdgeRow>,
+    /// Findings (rank inversions, I/O under forbidden class, declaration
+    /// and DESIGN.md-anchor problems, cycles).
+    pub sites: Vec<LockSite>,
+}
+
+impl Analysis {
+    /// Unannotated findings attributed to `krate` (the pin quantity).
+    pub fn unannotated_in(&self, krate: &str) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| !s.annotated && s.krate == krate)
+            .count()
+    }
+
+    /// Classes first declared in `krate` (the anti-defusal quantity).
+    pub fn classes_in(&self, krate: &str) -> usize {
+        self.classes.iter().filter(|c| c.krate == krate).count()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Declaration parsing
+// ---------------------------------------------------------------------
+
+/// A parsed `// lock-class:` declaration comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Decl {
+    field: String,
+    class: String,
+    rank: u32,
+    io_allowed: bool,
+    line: u32,
+}
+
+/// Parse every `lock-class:` comment in a token stream. Malformed
+/// declarations are findings, not silent skips — a typo must not
+/// quietly unclass a lock.
+fn parse_decls(toks: &[Tok]) -> (Vec<Decl>, Vec<(u32, String)>) {
+    let mut decls = Vec::new();
+    let mut problems = Vec::new();
+    for t in toks {
+        let Kind::Comment(text) = &t.kind else {
+            continue;
+        };
+        let body = text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim()
+            .trim_end_matches("*/")
+            .trim();
+        let Some(rest) = body.strip_prefix("lock-class:") else {
+            continue;
+        };
+        match parse_decl_body(rest) {
+            Ok((field, class, rank, io_allowed)) => decls.push(Decl {
+                field,
+                class,
+                rank,
+                io_allowed,
+                line: t.line,
+            }),
+            Err(msg) => problems.push((t.line, msg)),
+        }
+    }
+    (decls, problems)
+}
+
+/// `<field> = <class> rank = <N> io = forbidden|allowed`.
+fn parse_decl_body(rest: &str) -> Result<(String, String, u32, bool), String> {
+    let err = || {
+        "malformed lock-class declaration — expected \
+         `lock-class: <field> = <class> rank = <N> io = forbidden|allowed`"
+            .to_string()
+    };
+    let mut parts = rest.split_whitespace();
+    let field = parts.next().ok_or_else(err)?;
+    if parts.next() != Some("=") {
+        return Err(err());
+    }
+    let class = parts.next().ok_or_else(err)?;
+    if parts.next() != Some("rank") || parts.next() != Some("=") {
+        return Err(err());
+    }
+    let rank: u32 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "lock-class rank must be an unsigned integer".to_string())?;
+    if parts.next() != Some("io") || parts.next() != Some("=") {
+        return Err(err());
+    }
+    let io_allowed = match parts.next() {
+        Some("allowed") => true,
+        Some("forbidden") => false,
+        _ => return Err("lock-class io must be `forbidden` or `allowed`".to_string()),
+    };
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    Ok((field.to_string(), class.to_string(), rank, io_allowed))
+}
+
+/// A `<!-- lock-class: <class> rank = <N> io = … -->` anchor from
+/// DESIGN.md §13.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocAnchor {
+    /// Class name the doc row documents.
+    pub class: String,
+    /// Documented rank.
+    pub rank: u32,
+    /// Documented I/O policy.
+    pub io_allowed: bool,
+    /// 1-based line in the doc.
+    pub line: u32,
+}
+
+/// Parse the doc side of the hierarchy. Malformed anchors are problems.
+pub fn parse_doc_anchors(md: &str) -> (Vec<DocAnchor>, Vec<(u32, String)>) {
+    let mut anchors = Vec::new();
+    let mut problems = Vec::new();
+    for (idx, line) in md.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let Some(start) = line.find("<!-- lock-class:") else {
+            continue;
+        };
+        let rest = &line[start + "<!-- lock-class:".len()..];
+        let Some(end) = rest.find("-->") else {
+            problems.push((lineno, "unterminated lock-class anchor".to_string()));
+            continue;
+        };
+        match parse_doc_body(rest[..end].trim()) {
+            Ok((class, rank, io_allowed)) => anchors.push(DocAnchor {
+                class,
+                rank,
+                io_allowed,
+                line: lineno,
+            }),
+            Err(msg) => problems.push((lineno, msg)),
+        }
+    }
+    (anchors, problems)
+}
+
+/// `<class> rank = <N> io = forbidden|allowed` (no field on the doc side).
+fn parse_doc_body(rest: &str) -> Result<(String, u32, bool), String> {
+    let err = || {
+        "malformed doc anchor — expected \
+         `<!-- lock-class: <class> rank = <N> io = forbidden|allowed -->`"
+            .to_string()
+    };
+    let mut parts = rest.split_whitespace();
+    let class = parts.next().ok_or_else(err)?;
+    if parts.next() != Some("rank") || parts.next() != Some("=") {
+        return Err(err());
+    }
+    let rank: u32 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "lock-class anchor rank must be an unsigned integer".to_string())?;
+    if parts.next() != Some("io") || parts.next() != Some("=") {
+        return Err(err());
+    }
+    let io_allowed = match parts.next() {
+        Some("allowed") => true,
+        Some("forbidden") => false,
+        _ => return Err("lock-class anchor io must be `forbidden` or `allowed`".to_string()),
+    };
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    Ok((class.to_string(), rank, io_allowed))
+}
+
+// ---------------------------------------------------------------------
+// Per-function event extraction
+// ---------------------------------------------------------------------
+
+/// A class held at an event: which, and where its guard was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeldAt {
+    class: usize,
+    line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EvKind {
+    /// A classed acquisition.
+    Acquire(usize),
+    /// A direct volume-I/O method call (`.write_pages(…)`, …).
+    Io(String),
+    /// A possibly-resolvable call (bare or on `self`).
+    Call(String),
+}
+
+#[derive(Debug, Clone)]
+struct Event {
+    kind: EvKind,
+    line: u32,
+    held: Vec<HeldAt>,
+}
+
+#[derive(Debug)]
+struct FnBody {
+    name: String,
+    file: usize,
+    events: Vec<Event>,
+}
+
+/// A live guard during replay. `class: None` = an undeclared lock —
+/// tracked so binding names behave, but it generates no events.
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    depth: i32,
+    line: u32,
+    class: Option<usize>,
+}
+
+const KEYWORDS: [&str; 26] = [
+    "if", "else", "while", "match", "for", "return", "loop", "fn", "in", "as", "move", "unsafe",
+    "let", "mut", "ref", "impl", "where", "pub", "use", "type", "struct", "enum", "trait", "const",
+    "static", "break",
+];
+
+/// Extract every function body in `code` (comments stripped) and replay
+/// it, producing the event list with held-class snapshots.
+fn extract_functions(
+    code: &[&Tok],
+    file: usize,
+    fields: &HashMap<String, usize>,
+    out: &mut Vec<FnBody>,
+) {
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(Kind::Ident(name)) = code.get(i + 1).map(|t| &t.kind) else {
+            i += 1;
+            continue;
+        };
+        // Find the body's `{` — or a `;` first (trait signature).
+        let mut j = i + 2;
+        let open = loop {
+            match code.get(j).map(|t| &t.kind) {
+                None => break None,
+                Some(Kind::Punct('{')) => break Some(j),
+                Some(Kind::Punct(';')) => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        // Matching close brace.
+        let mut depth = 0i32;
+        let mut k = open;
+        let close = loop {
+            match code.get(k).map(|t| &t.kind) {
+                None => break code.len(),
+                Some(Kind::Punct('{')) => depth += 1,
+                Some(Kind::Punct('}')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break k;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        };
+        let events = replay_body(&code[open + 1..close], fields);
+        out.push(FnBody {
+            name: name.clone(),
+            file,
+            events,
+        });
+        i = close + 1;
+    }
+}
+
+/// The receiver *field* of a `.lock()`-style call ending at `dot` (the
+/// index of the `.`): the identifier directly before it, looking
+/// through one `[…]` index (`slots[i].lock()` → `slots`).
+fn receiver_field<'t>(code: &[&'t Tok], dot: usize) -> Option<&'t String> {
+    let mut r = dot.checked_sub(1)?;
+    if code[r].is_punct(']') {
+        let mut depth = 0i32;
+        loop {
+            match &code[r].kind {
+                Kind::Punct(']') => depth += 1,
+                Kind::Punct('[') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            r = r.checked_sub(1)?;
+        }
+        r = r.checked_sub(1)?;
+    }
+    match &code[r].kind {
+        Kind::Ident(name) => Some(name),
+        _ => None,
+    }
+}
+
+/// Replay one function body, mirroring the L3 guard machine but with
+/// class attribution, and record acquisition / I/O / call events with
+/// the classes held at each.
+fn replay_body(code: &[&Tok], fields: &HashMap<String, usize>) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut known: Vec<(String, i32)> = Vec::new();
+    let mut temp_guard: Option<(u32, Option<usize>)> = None;
+    let mut let_binding: Option<String> = None;
+    let mut depth = 0i32;
+
+    let held_now = |guards: &[Guard], temp: &Option<(u32, Option<usize>)>| -> Vec<HeldAt> {
+        let mut held: Vec<HeldAt> = guards
+            .iter()
+            .filter_map(|g| {
+                g.class.map(|class| HeldAt {
+                    class,
+                    line: g.line,
+                })
+            })
+            .collect();
+        if let Some((line, Some(class))) = temp {
+            held.push(HeldAt {
+                class: *class,
+                line: *line,
+            });
+        }
+        held
+    };
+
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        match &t.kind {
+            Kind::Punct('{') => {
+                depth += 1;
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                known.retain(|(_, d)| *d <= depth);
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Punct(';') => {
+                temp_guard = None;
+                let_binding = None;
+            }
+            Kind::Ident(id) if id == "let" => {
+                let mut j = i + 1;
+                while code
+                    .get(j)
+                    .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+                {
+                    j += 1;
+                }
+                if let Some(Kind::Ident(name)) = code.get(j).map(|t| &t.kind) {
+                    let_binding = Some(name.clone());
+                }
+            }
+            Kind::Ident(id) if id == "drop" && code.get(i + 1).is_some_and(|t| t.is_punct('(')) => {
+                if let Some(Kind::Ident(name)) = code.get(i + 2).map(|t| &t.kind) {
+                    if code.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                        guards.retain(|g| &g.name != name);
+                    }
+                }
+            }
+            // Zero-argument `.lock()` / `.read()` / `.write()` — an
+            // acquisition when the receiver field is declared.
+            Kind::Ident(id)
+                if (id == "lock" || id == "read" || id == "write")
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(')')) =>
+            {
+                let class = receiver_field(code, i - 1)
+                    .and_then(|f| fields.get(f))
+                    .copied();
+                let closes = code.get(i + 3).is_some_and(|t| t.is_punct(';'));
+                let reacquire = if closes && let_binding.is_none() {
+                    let mut j = i;
+                    while j > 0 && !matches!(code[j - 1].kind, Kind::Punct(';' | '{' | '}')) {
+                        j -= 1;
+                    }
+                    match (
+                        code.get(j).map(|t| &t.kind),
+                        code.get(j + 1),
+                        code.get(j + 2),
+                    ) {
+                        (Some(Kind::Ident(name)), Some(eq), Some(after))
+                            if eq.is_punct('=') && !after.is_punct('=') =>
+                        {
+                            known.iter().rev().find(|(n, _)| n == name).cloned()
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some((name, _)) = &reacquire {
+                    guards.retain(|g| &g.name != name);
+                }
+                if let Some(class) = class {
+                    events.push(Event {
+                        kind: EvKind::Acquire(class),
+                        line: t.line,
+                        held: held_now(&guards, &temp_guard),
+                    });
+                }
+                if let Some((name, bind_depth)) = reacquire {
+                    guards.push(Guard {
+                        name,
+                        depth: bind_depth,
+                        line: t.line,
+                        class,
+                    });
+                } else if closes && let_binding.is_some() {
+                    let name = let_binding.clone().unwrap_or_default();
+                    known.push((name.clone(), depth));
+                    guards.push(Guard {
+                        name,
+                        depth,
+                        line: t.line,
+                        class,
+                    });
+                } else {
+                    temp_guard = Some((t.line, class));
+                }
+            }
+            // Volume I/O (any receiver).
+            Kind::Ident(id)
+                if IO_METHODS.contains(&id.as_str())
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                events.push(Event {
+                    kind: EvKind::Io(id.clone()),
+                    line: t.line,
+                    held: held_now(&guards, &temp_guard),
+                });
+            }
+            // A call that may resolve within the crate: `name(…)` bare
+            // or `self.name(…)`. Method calls on other receivers and
+            // `path::name(…)` are deliberately unresolved.
+            Kind::Ident(id)
+                if code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && !KEYWORDS.contains(&id.as_str())
+                    && id != "drop" =>
+            {
+                let qualified_ok = match i.checked_sub(1).map(|p| &code[p].kind) {
+                    Some(Kind::Punct('.')) => {
+                        i >= 2
+                            && code[i - 2].is_ident("self")
+                            && !matches!(
+                                i.checked_sub(3).map(|p| &code[p].kind),
+                                Some(Kind::Punct('.'))
+                            )
+                    }
+                    Some(Kind::Punct(':')) => false,
+                    _ => true,
+                };
+                if qualified_ok {
+                    events.push(Event {
+                        kind: EvKind::Call(id.clone()),
+                        line: t.line,
+                        held: held_now(&guards, &temp_guard),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    events
+}
+
+// ---------------------------------------------------------------------
+// The analysis proper
+// ---------------------------------------------------------------------
+
+/// Run the full L5 analysis over `crates`, cross-checking the class
+/// table against `design` (the DESIGN.md text) when given.
+pub fn analyze(crates: &[CrateInput], design: Option<&str>) -> Analysis {
+    struct CrateBodies {
+        ci: usize,
+        bodies: Vec<FnBody>,
+        allowed_per_file: Vec<std::collections::HashSet<u32>>,
+        paths: Vec<String>,
+    }
+    let mut analysis = Analysis::default();
+    // Global class table: name → (rank, io_allowed, decl, krate).
+    let mut class_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut classes: Vec<ClassRow> = Vec::new();
+    let mut per_crate: Vec<CrateBodies> = Vec::new();
+
+    for (ci, krate) in crates.iter().enumerate() {
+        let mut bodies: Vec<FnBody> = Vec::new();
+        let mut allowed_per_file = Vec::new();
+        let mut paths = Vec::new();
+        for (fi, file) in krate.files.iter().enumerate() {
+            let toks = lex(&file.src);
+            let allowed = allowed_lines(&toks, AllowRule::LockOrder);
+            let (decls, problems) = parse_decls(&toks);
+            for (line, msg) in problems {
+                analysis.sites.push(LockSite {
+                    location: format!("{}:{line}", file.path),
+                    detail: msg,
+                    annotated: allowed.contains(&line),
+                    krate: krate.name.clone(),
+                });
+            }
+            // Register classes and build the per-file field map.
+            let mut fields: HashMap<String, usize> = HashMap::new();
+            for d in &decls {
+                let id = match class_ids.get(&d.class) {
+                    Some(&id) => {
+                        let row = &classes[id];
+                        if row.rank != d.rank || row.io_allowed != d.io_allowed {
+                            analysis.sites.push(LockSite {
+                                location: format!("{}:{}", file.path, d.line),
+                                detail: format!(
+                                    "lock class `{}` redeclared as rank {} io {} but {} \
+                                     declares rank {} io {} — one class, one contract",
+                                    d.class,
+                                    d.rank,
+                                    io_word(d.io_allowed),
+                                    row.decl,
+                                    row.rank,
+                                    io_word(row.io_allowed),
+                                ),
+                                annotated: allowed.contains(&d.line),
+                                krate: krate.name.clone(),
+                            });
+                        }
+                        id
+                    }
+                    None => {
+                        let id = classes.len();
+                        class_ids.insert(d.class.clone(), id);
+                        classes.push(ClassRow {
+                            name: d.class.clone(),
+                            rank: d.rank,
+                            io_allowed: d.io_allowed,
+                            decl: format!("{}:{}", file.path, d.line),
+                            krate: krate.name.clone(),
+                        });
+                        id
+                    }
+                };
+                fields.insert(d.field.clone(), id);
+            }
+            let toks = strip_test_code(toks);
+            let code: Vec<&Tok> = toks
+                .iter()
+                .filter(|t| !matches!(t.kind, Kind::Comment(_)))
+                .collect();
+            extract_functions(&code, fi, &fields, &mut bodies);
+            allowed_per_file.push(allowed);
+            paths.push(file.path.clone());
+        }
+        per_crate.push(CrateBodies {
+            ci,
+            bodies,
+            allowed_per_file,
+            paths,
+        });
+    }
+
+    // Doc cross-check (both directions), before the propagation so the
+    // table the findings refer to is already validated.
+    if let Some(md) = design {
+        let (anchors, problems) = parse_doc_anchors(md);
+        for (line, msg) in problems {
+            analysis.sites.push(LockSite {
+                location: format!("DESIGN.md:{line}"),
+                detail: msg,
+                annotated: false,
+                krate: String::new(),
+            });
+        }
+        let mut doc: BTreeMap<&str, &DocAnchor> = BTreeMap::new();
+        for a in &anchors {
+            doc.insert(a.class.as_str(), a);
+        }
+        for row in &classes {
+            match doc.remove(row.name.as_str()) {
+                None => analysis.sites.push(LockSite {
+                    location: row.decl.clone(),
+                    detail: format!(
+                        "lock class `{}` has no `<!-- lock-class: … -->` anchor in \
+                         DESIGN.md §13 — document it in the hierarchy table",
+                        row.name
+                    ),
+                    annotated: false,
+                    krate: row.krate.clone(),
+                }),
+                Some(a) if a.rank != row.rank || a.io_allowed != row.io_allowed => {
+                    analysis.sites.push(LockSite {
+                        location: format!("DESIGN.md:{}", a.line),
+                        detail: format!(
+                            "lock class `{}` drifted: DESIGN.md says rank {} io {}, \
+                             {} declares rank {} io {}",
+                            row.name,
+                            a.rank,
+                            io_word(a.io_allowed),
+                            row.decl,
+                            row.rank,
+                            io_word(row.io_allowed),
+                        ),
+                        annotated: false,
+                        krate: row.krate.clone(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        for (name, a) in doc {
+            analysis.sites.push(LockSite {
+                location: format!("DESIGN.md:{}", a.line),
+                detail: format!(
+                    "DESIGN.md documents lock class `{name}` but no source file declares it \
+                     — remove the row or restore the declaration"
+                ),
+                annotated: false,
+                krate: String::new(),
+            });
+        }
+    }
+
+    // Per-crate fixed point + finding emission.
+    let mut edges: BTreeMap<(usize, usize), String> = BTreeMap::new();
+    let mut edge_violation: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    for CrateBodies {
+        ci,
+        bodies,
+        allowed_per_file,
+        paths,
+    } in &per_crate
+    {
+        let krate = &crates[*ci];
+        // Unique-name resolution.
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (bi, b) in bodies.iter().enumerate() {
+            by_name.entry(b.name.as_str()).or_default().push(bi);
+        }
+        let resolve: HashMap<&str, usize> = by_name
+            .iter()
+            .filter(|(_, v)| v.len() == 1)
+            .map(|(&n, v)| (n, v[0]))
+            .collect();
+
+        // Fixed point: transitively-acquired classes and I/O reach.
+        let mut trans_acq: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); bodies.len()];
+        let mut trans_io: Vec<bool> = vec![false; bodies.len()];
+        for (bi, b) in bodies.iter().enumerate() {
+            for ev in &b.events {
+                match &ev.kind {
+                    EvKind::Acquire(c) => {
+                        trans_acq[bi].insert(*c);
+                    }
+                    EvKind::Io(_) => trans_io[bi] = true,
+                    EvKind::Call(_) => {}
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (bi, b) in bodies.iter().enumerate() {
+                for ev in &b.events {
+                    let EvKind::Call(name) = &ev.kind else {
+                        continue;
+                    };
+                    let Some(&callee) = resolve.get(name.as_str()) else {
+                        continue;
+                    };
+                    if callee == bi {
+                        continue;
+                    }
+                    if trans_io[callee] && !trans_io[bi] {
+                        trans_io[bi] = true;
+                        changed = true;
+                    }
+                    let add: Vec<usize> = trans_acq[callee]
+                        .difference(&trans_acq[bi])
+                        .copied()
+                        .collect();
+                    if !add.is_empty() {
+                        trans_acq[bi].extend(add);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Emit findings per event.
+        for b in bodies {
+            let path = &paths[b.file];
+            let allowed = &allowed_per_file[b.file];
+            let push = |line: u32, detail: String, analysis: &mut Analysis| {
+                analysis.sites.push(LockSite {
+                    location: format!("{path}:{line}"),
+                    detail,
+                    annotated: allowed.contains(&line),
+                    krate: krate.name.clone(),
+                });
+            };
+            for ev in &b.events {
+                match &ev.kind {
+                    EvKind::Acquire(c) => {
+                        for h in &ev.held {
+                            record_edge(
+                                &mut edges,
+                                &mut edge_violation,
+                                h.class,
+                                *c,
+                                format!("{path}:{}", ev.line),
+                                &classes,
+                            );
+                            if let Some(detail) = rank_violation(&classes, h, *c, None, &b.name) {
+                                push(ev.line, detail, &mut analysis);
+                            }
+                        }
+                    }
+                    EvKind::Io(method) => {
+                        for h in &ev.held {
+                            if !classes[h.class].io_allowed {
+                                push(
+                                    ev.line,
+                                    format!(
+                                        "volume I/O `{method}` while `{}` (io = forbidden, \
+                                         taken line {}) is held in `{}` — drop the guard \
+                                         first (§4.5), or move the class to io = allowed \
+                                         with a DESIGN.md §13 justification",
+                                        classes[h.class].name, h.line, b.name
+                                    ),
+                                    &mut analysis,
+                                );
+                            }
+                        }
+                    }
+                    EvKind::Call(name) => {
+                        let Some(&callee) = resolve.get(name.as_str()) else {
+                            continue;
+                        };
+                        if ev.held.is_empty() {
+                            continue;
+                        }
+                        for h in &ev.held {
+                            for &c in &trans_acq[callee] {
+                                record_edge(
+                                    &mut edges,
+                                    &mut edge_violation,
+                                    h.class,
+                                    c,
+                                    format!("{path}:{} via `{name}`", ev.line),
+                                    &classes,
+                                );
+                                if let Some(detail) =
+                                    rank_violation(&classes, h, c, Some(name), &b.name)
+                                {
+                                    push(ev.line, detail, &mut analysis);
+                                }
+                            }
+                            if trans_io[callee] && !classes[h.class].io_allowed {
+                                push(
+                                    ev.line,
+                                    format!(
+                                        "volume I/O reachable via `{name}` while `{}` \
+                                         (io = forbidden, taken line {}) is held in `{}` \
+                                         — drop the guard before the call (§4.5)",
+                                        classes[h.class].name, h.line, b.name
+                                    ),
+                                    &mut analysis,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle safety net: with strictly-increasing ranks every cycle
+    // already contains a rank-violation edge, so if any edge of the
+    // cycle carries a rank finding the deadlock is already reported
+    // and this stays quiet. It only fires when the rank check was
+    // somehow evaded on every edge.
+    if let Some(cycle) = find_cycle(classes.len(), &edges) {
+        let explained = cycle
+            .windows(2)
+            .any(|w| edge_violation.get(&(w[0], w[1])).copied().unwrap_or(false));
+        if !explained {
+            let names: Vec<&str> = cycle.iter().map(|&c| classes[c].name.as_str()).collect();
+            let witness = edges
+                .get(&(cycle[0], cycle[1]))
+                .cloned()
+                .unwrap_or_default();
+            analysis.sites.push(LockSite {
+                location: witness,
+                detail: format!(
+                    "acquisition-order cycle: {} — a deadlock is reachable; break one edge",
+                    names.join(" -> ")
+                ),
+                annotated: false,
+                krate: String::new(),
+            });
+        }
+    }
+
+    analysis.edges = edges
+        .into_iter()
+        .map(|((f, t), location)| EdgeRow {
+            from: classes[f].name.clone(),
+            to: classes[t].name.clone(),
+            location,
+        })
+        .collect();
+    analysis
+        .edges
+        .sort_by_key(|e| (class_rank(&classes, &e.from), class_rank(&classes, &e.to)));
+    classes.sort_by(|a, b| (a.rank, &a.name).cmp(&(b.rank, &b.name)));
+    analysis.classes = classes;
+    analysis
+}
+
+fn io_word(allowed: bool) -> &'static str {
+    if allowed {
+        "allowed"
+    } else {
+        "forbidden"
+    }
+}
+
+fn class_rank(classes: &[ClassRow], name: &str) -> u32 {
+    classes
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(u32::MAX, |c| c.rank)
+}
+
+/// Rank check for acquiring `acq` while `held` is held: ranks must
+/// strictly increase, so `held.rank >= acq.rank` is an inversion (and
+/// `==` on the same class is a self-deadlock).
+fn rank_violation(
+    classes: &[ClassRow],
+    held: &HeldAt,
+    acq: usize,
+    via: Option<&str>,
+    in_fn: &str,
+) -> Option<String> {
+    let h = &classes[held.class];
+    let a = &classes[acq];
+    if h.rank < a.rank {
+        return None;
+    }
+    let via = via.map_or(String::new(), |f| format!(" via `{f}`"));
+    Some(if held.class == acq {
+        format!(
+            "`{}` (rank {}) acquired{via} while already held (taken line {}) in `{in_fn}` \
+             — self-deadlock",
+            a.name, a.rank, held.line
+        )
+    } else {
+        format!(
+            "`{}` (rank {}) acquired{via} while `{}` (rank {}, taken line {}) is held \
+             in `{in_fn}` — ranks must strictly increase along the acquisition order \
+             (DESIGN.md §13)",
+            a.name, a.rank, h.name, h.rank, held.line
+        )
+    })
+}
+
+fn record_edge(
+    edges: &mut BTreeMap<(usize, usize), String>,
+    violations: &mut BTreeMap<(usize, usize), bool>,
+    from: usize,
+    to: usize,
+    location: String,
+    classes: &[ClassRow],
+) {
+    edges.entry((from, to)).or_insert(location);
+    let bad = classes[from].rank >= classes[to].rank;
+    let e = violations.entry((from, to)).or_insert(false);
+    *e = *e || bad;
+}
+
+/// First cycle in the edge graph as a class-index path `a -> … -> a`,
+/// if any.
+fn find_cycle(n: usize, edges: &BTreeMap<(usize, usize), String>) -> Option<Vec<usize>> {
+    fn dfs(
+        v: usize,
+        adj: &[Vec<usize>],
+        state: &mut [u8],
+        stack: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state[v] = 1;
+        stack.push(v);
+        for &w in &adj[v] {
+            if state[w] == 1 {
+                let start = stack.iter().position(|&x| x == w).unwrap_or(0);
+                let mut cycle: Vec<usize> = stack[start..].to_vec();
+                cycle.push(w);
+                return Some(cycle);
+            }
+            if state[w] == 0 {
+                if let Some(c) = dfs(w, adj, state, stack) {
+                    return Some(c);
+                }
+            }
+        }
+        stack.pop();
+        state[v] = 2;
+        None
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(f, t) in edges.keys() {
+        adj[f].push(t);
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for v in 0..n {
+        if state[v] == 0 {
+            if let Some(c) = dfs(v, &adj, &mut state, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_crate(files: Vec<(&str, &str)>) -> Vec<CrateInput> {
+        vec![CrateInput {
+            name: "fixture".to_string(),
+            files: files
+                .into_iter()
+                .map(|(path, src)| SourceFile {
+                    path: path.to_string(),
+                    src: src.to_string(),
+                })
+                .collect(),
+        }]
+    }
+
+    #[test]
+    fn decl_comment_parses_and_registers() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: inner = fx.a rank = 10 io = forbidden\n\
+             pub struct S { inner: Mutex<u32> }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.classes.len(), 1);
+        assert_eq!(a.classes[0].name, "fx.a");
+        assert_eq!(a.classes[0].rank, 10);
+        assert!(!a.classes[0].io_allowed);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+    }
+
+    #[test]
+    fn malformed_decl_is_a_finding() {
+        let crates = one_crate(vec![("a.rs", "// lock-class: inner = fx.a rank = ten\n")]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1);
+        assert!(
+            a.sites[0].detail.contains("unsigned integer")
+                || a.sites[0].detail.contains("malformed")
+        );
+    }
+
+    #[test]
+    fn in_order_acquisition_is_clean_and_edges_recorded() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: low = fx.low rank = 1 io = forbidden\n\
+             // lock-class: high = fx.high rank = 2 io = forbidden\n\
+             impl S {\n\
+                 fn ok(&self) { let a = self.low.lock(); let b = self.high.lock(); drop(b); drop(a); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+        assert_eq!(a.edges.len(), 1);
+        assert_eq!(
+            (a.edges[0].from.as_str(), a.edges[0].to.as_str()),
+            ("fx.low", "fx.high")
+        );
+    }
+
+    #[test]
+    fn rank_inversion_fires() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: low = fx.low rank = 1 io = forbidden\n\
+             // lock-class: high = fx.high rank = 2 io = forbidden\n\
+             impl S {\n\
+                 fn bad(&self) { let b = self.high.lock(); let a = self.low.lock(); drop(a); drop(b); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+        assert!(
+            a.sites[0].detail.contains("strictly increase"),
+            "{}",
+            a.sites[0].detail
+        );
+    }
+
+    #[test]
+    fn interprocedural_acquisition_makes_an_edge() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: low = fx.low rank = 1 io = forbidden\n\
+             // lock-class: high = fx.high rank = 2 io = forbidden\n\
+             impl S {\n\
+                 fn outer(&self) { let b = self.high.lock(); self.taker(); drop(b); }\n\
+                 fn taker(&self) { let a = self.low.lock(); drop(a); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+        assert!(
+            a.sites[0].detail.contains("via `taker`"),
+            "{}",
+            a.sites[0].detail
+        );
+    }
+
+    #[test]
+    fn io_under_forbidden_class_fires_through_two_calls() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: latch = fx.latch rank = 1 io = forbidden\n\
+             impl S {\n\
+                 fn top(&self) { let g = self.latch.lock(); self.mid(); drop(g); }\n\
+                 fn mid(&self) { self.bottom(); }\n\
+                 fn bottom(&self) { self.vol.write_pages(0, &[]); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+        assert!(
+            a.sites[0].detail.contains("via `mid`"),
+            "{}",
+            a.sites[0].detail
+        );
+    }
+
+    #[test]
+    fn io_allowed_class_tolerates_io() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: latch = fx.latch rank = 1 io = allowed\n\
+             impl S {\n\
+                 fn top(&self) { let g = self.latch.lock(); self.vol.write_pages(0, &[]); drop(g); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+    }
+
+    #[test]
+    fn annotation_suppresses_but_site_remains() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: latch = fx.latch rank = 1 io = forbidden\n\
+             impl S {\n\
+                 fn top(&self) {\n\
+                     let g = self.latch.lock();\n\
+                     // lint: allow(lockorder, reason = \"fixture: startup path\")\n\
+                     self.vol.sync();\n\
+                     drop(g);\n\
+                 }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1);
+        assert!(a.sites[0].annotated);
+    }
+
+    #[test]
+    fn unresolved_receiver_calls_are_ignored() {
+        // `map.remove(…)` must not resolve to a crate fn named `remove`.
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: latch = fx.latch rank = 1 io = forbidden\n\
+             impl S {\n\
+                 fn top(&self) { let g = self.latch.lock(); g.map.remove(1); drop(g); }\n\
+                 fn remove(&self) { self.vol.sync(); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+    }
+
+    #[test]
+    fn release_then_reacquire_is_not_held_across_call() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: group = fx.group rank = 1 io = forbidden\n\
+             impl S {\n\
+                 fn leader(&self) {\n\
+                     let mut g = self.group.lock();\n\
+                     loop { drop(g); self.flush(); g = self.group.lock(); }\n\
+                 }\n\
+                 fn flush(&self) { self.vol.sync(); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+    }
+
+    #[test]
+    fn doc_anchor_drift_fires_both_directions() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: inner = fx.a rank = 10 io = forbidden\n",
+        )]);
+        // Wrong rank on the documented class + a phantom class.
+        let md = "<!-- lock-class: fx.a rank = 11 io = forbidden -->\n\
+                  <!-- lock-class: fx.ghost rank = 5 io = allowed -->\n";
+        let a = analyze(&crates, Some(md));
+        assert_eq!(a.sites.len(), 2, "{:?}", a.sites);
+        assert!(a.sites.iter().any(|s| s.detail.contains("drifted")));
+        assert!(a
+            .sites
+            .iter()
+            .any(|s| s.detail.contains("no source file declares")));
+        // Matching doc is clean.
+        let md = "<!-- lock-class: fx.a rank = 10 io = forbidden -->\n";
+        assert!(analyze(&crates, Some(md)).sites.is_empty());
+    }
+
+    #[test]
+    fn conflicting_redeclaration_fires() {
+        let crates = one_crate(vec![
+            ("a.rs", "// lock-class: x = fx.a rank = 10 io = forbidden\n"),
+            ("b.rs", "// lock-class: y = fx.a rank = 11 io = forbidden\n"),
+        ]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1);
+        assert!(a.sites[0].detail.contains("redeclared"));
+    }
+
+    #[test]
+    fn per_file_field_maps_do_not_collide() {
+        // Both files call their lock `state`; each resolves to its own
+        // class, so the cross-file rank check still works per class.
+        let crates = one_crate(vec![
+            (
+                "a.rs",
+                "// lock-class: state = fx.a rank = 1 io = forbidden\n\
+                 impl A { fn f(&self) { let g = self.state.lock(); drop(g); } }\n",
+            ),
+            (
+                "b.rs",
+                "// lock-class: state = fx.b rank = 2 io = allowed\n\
+                 impl B { fn f(&self) { let g = self.state.lock(); self.vol.sync(); drop(g); } }\n",
+            ),
+        ]);
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+        assert_eq!(a.classes.len(), 2);
+    }
+
+    #[test]
+    fn indexed_receiver_resolves_through_brackets() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: slots = fx.slots rank = 1 io = forbidden\n\
+             impl S { fn f(&self) { self.slots[i].lock().replace(v); self.vol.sync(); } }\n",
+        )]);
+        // Temporary guard dies at the first `;` — the sync is clean.
+        let a = analyze(&crates, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
+        // But I/O in the same statement fires.
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: slots = fx.slots rank = 1 io = forbidden\n\
+             impl S { fn f(&self) { self.slots[i].lock().replace(self.vol.read_pages(0, 1)); } }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+    }
+
+    #[test]
+    fn rwlock_read_and_write_are_acquisitions() {
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: store = fx.store rank = 2 io = forbidden\n\
+             // lock-class: group = fx.group rank = 1 io = forbidden\n\
+             impl S {\n\
+                 fn bad(&self) { let s = self.store.write(); let g = self.group.lock(); drop(g); drop(s); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+        assert!(a.sites[0].detail.contains("fx.group"));
+    }
+}

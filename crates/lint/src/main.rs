@@ -6,15 +6,19 @@ use std::process::ExitCode;
 
 use eos_lint::{lint_workspace, Options};
 
-const USAGE: &str = "usage: eos-lint [ROOT] [--json] [--verbose] [--update-ratchet]
+const USAGE: &str = "usage: eos-lint [ROOT] [--json] [--locks-dot] [--verbose] [--update-ratchet]
 
 Lints the EOS workspace rooted at ROOT (default: current directory):
   panic-path    unwrap/expect/panic!/range-index audit of production code
   ratchet       per-crate unannotated-site budget (lint.ratchet, only decreases)
   latch         no parking_lot guard across volume I/O or a second latch
   format-drift  FORMAT.md anchors vs. the constants in the codecs
+  lockorder     interprocedural lock-order analysis (eos-lockdep): declared
+                lock classes in rank order, no volume I/O under io=forbidden
+                classes, DESIGN.md \u{a7}13 hierarchy drift
 
   --json            machine-readable report (same shape as `eos check --json`)
+  --locks-dot       emit the lock hierarchy + observed order edges as Graphviz DOT
   --verbose         list every ratcheted site individually
   --update-ratchet  rewrite lint.ratchet with the observed counts
 ";
@@ -22,10 +26,12 @@ Lints the EOS workspace rooted at ROOT (default: current directory):
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut locks_dot = false;
     let mut opts = Options::default();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--locks-dot" => locks_dot = true,
             "--verbose" => opts.verbose = true,
             "--update-ratchet" => opts.update_ratchet = true,
             "--help" | "-h" => {
@@ -44,7 +50,9 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(|| PathBuf::from("."));
     match lint_workspace(&root, &opts) {
         Ok(report) => {
-            if json {
+            if locks_dot {
+                print!("{}", report.to_dot());
+            } else if json {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_table());

@@ -43,6 +43,10 @@ pub enum Rule {
     Latch,
     /// L4: FORMAT.md anchor constants vs. the constants in code.
     FormatDrift,
+    /// L5: interprocedural lock-order analysis (eos-lockdep) — rank
+    /// inversions, I/O under an `io = forbidden` class, DESIGN.md §13
+    /// hierarchy drift.
+    LockOrder,
 }
 
 impl Rule {
@@ -53,6 +57,7 @@ impl Rule {
             Rule::Ratchet => "ratchet",
             Rule::Latch => "latch",
             Rule::FormatDrift => "format-drift",
+            Rule::LockOrder => "lockorder",
         }
     }
 }
@@ -87,11 +92,33 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One declared lock class, as rendered into `--json` / `--locks-dot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockClassRow {
+    /// Global class name (`commit.group`).
+    pub name: String,
+    /// Acquisition rank (strictly increasing along any chain).
+    pub rank: u32,
+    /// May volume I/O happen under this class?
+    pub io_allowed: bool,
+}
+
+/// One observed acquisition-order edge (held → acquired).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdgeRow {
+    /// Class held.
+    pub from: String,
+    /// Class acquired under it.
+    pub to: String,
+    /// First witness site (`path:line`, possibly `via …`).
+    pub location: String,
+}
+
 /// Everything one `eos lint` run found, plus scan statistics.
 #[derive(Debug, Default)]
 pub struct Report {
     /// Every finding, in rule order (panic-path → ratchet → latch →
-    /// format-drift).
+    /// format-drift → lockorder).
     pub findings: Vec<Finding>,
     /// Source files lexed.
     pub files_scanned: usize,
@@ -102,6 +129,10 @@ pub struct Report {
     pub sites_annotated: usize,
     /// Unannotated panic-path sites (the quantity the ratchet bounds).
     pub sites_unannotated: usize,
+    /// The L5 lock-class table (sorted by rank).
+    pub lock_classes: Vec<LockClassRow>,
+    /// The L5 acquisition-order edges (first witness each).
+    pub lock_edges: Vec<LockEdgeRow>,
 }
 
 impl Report {
@@ -166,11 +197,14 @@ impl Report {
         }
         out.push_str(&format!(
             "linted {} file(s): {} panic-path site(s) ({} annotated), \
-             {} anchor(s) cross-checked: {} error(s), {} warning(s), {} info\n",
+             {} anchor(s) cross-checked, {} lock class(es) / {} order edge(s): \
+             {} error(s), {} warning(s), {} info\n",
             self.files_scanned,
             self.sites_unannotated + self.sites_annotated,
             self.sites_annotated,
             self.anchors_checked,
+            self.lock_classes.len(),
+            self.lock_edges.len(),
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Info),
@@ -180,7 +214,9 @@ impl Report {
 
     /// Machine-readable JSON, same finding shape as `eos check --json`:
     /// `{"clean": bool, "files": n, "anchors": n,
-    ///   "findings": [{"severity", "layer", "location", "detail"}, …]}`.
+    ///   "findings": [{"severity", "layer", "location", "detail"}, …],
+    ///   "lock_classes": [{"class", "rank", "io"}, …],
+    ///   "lock_edges": [{"from", "to", "at"}, …]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
@@ -201,7 +237,63 @@ impl Report {
                 json_string(&f.detail)
             ));
         }
+        out.push_str("],\"lock_classes\":[");
+        for (i, c) in self.lock_classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":{},\"rank\":{},\"io\":\"{}\"}}",
+                json_string(&c.name),
+                c.rank,
+                if c.io_allowed { "allowed" } else { "forbidden" }
+            ));
+        }
+        out.push_str("],\"lock_edges\":[");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"from\":{},\"to\":{},\"at\":{}}}",
+                json_string(&e.from),
+                json_string(&e.to),
+                json_string(&e.location)
+            ));
+        }
         out.push_str("]}");
+        out
+    }
+
+    /// Graphviz DOT rendering of the L5 lock hierarchy and the observed
+    /// acquisition-order edges (`eos lint --locks-dot`).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from(
+            "digraph eos_locks {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        for c in &self.lock_classes {
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{}\\nrank {} io {}\"{}];\n",
+                c.name,
+                c.name,
+                c.rank,
+                if c.io_allowed { "allowed" } else { "forbidden" },
+                if c.io_allowed {
+                    ", style=filled, fillcolor=lightgrey"
+                } else {
+                    ""
+                },
+            ));
+        }
+        for e in &self.lock_edges {
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                e.from,
+                e.to,
+                e.location.replace('"', "'")
+            ));
+        }
+        out.push_str("}\n");
         out
     }
 }
@@ -235,6 +327,33 @@ mod tests {
         assert!(r.is_clean());
         assert!(r.render_table().contains("0 error(s)"));
         assert!(r.to_json().starts_with("{\"clean\":true"));
+    }
+
+    #[test]
+    fn lock_tables_render_into_json() {
+        let mut r = Report::default();
+        r.lock_classes.push(LockClassRow {
+            name: "commit.group".into(),
+            rank: 10,
+            io_allowed: false,
+        });
+        r.lock_edges.push(LockEdgeRow {
+            from: "commit.group".into(),
+            to: "store.latch".into(),
+            location: "crates/core/src/concurrent.rs:1".into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains(
+            "\"lock_classes\":[{\"class\":\"commit.group\",\"rank\":10,\"io\":\"forbidden\"}]"
+        ));
+        assert!(json.contains("\"lock_edges\":[{\"from\":\"commit.group\""));
+        assert!(r
+            .render_table()
+            .contains("1 lock class(es) / 1 order edge(s)"));
+        let dot = r.to_dot();
+        assert!(dot.contains("digraph eos_locks"));
+        assert!(dot.contains("\"commit.group\" -> \"store.latch\""));
+        assert!(dot.contains("rank 10 io forbidden"));
     }
 
     #[test]

@@ -64,19 +64,58 @@ fn clean_ws(tag: &str) -> TempWs {
     ws.write("crates/core/src/object.rs", &object);
     ws.write("FORMAT.md", &doc);
     ws.write("crates/core/src/node.rs", "pub fn node() {}\n");
-    ws.write("crates/core/src/wal.rs", "pub fn wal() {}\n");
+    // The pinned lockdep crates (eos-core, eos-pager) must declare at
+    // least one lock class each, with a matching DESIGN.md §13 anchor.
+    ws.write(
+        "crates/core/src/wal.rs",
+        "pub struct Wal {\n    \
+         // lock-class: log = core.wal rank = 10 io = forbidden\n    \
+         log: Mutex<Vec<u8>>,\n}\n",
+    );
     ws.write("crates/core/src/durable.rs", "pub fn durable() {}\n");
     ws.write("crates/core/src/store.rs", "pub fn store() {}\n");
     ws.write("crates/buddy/src/dir.rs", "pub fn dir() {}\n");
     ws.write("src/catalog.rs", "pub fn catalog() {}\n");
-    ws.write("crates/pager/src/lib.rs", "pub fn pager() {}\n");
+    ws.write(
+        "crates/pager/src/lib.rs",
+        "pub struct Vol {\n    \
+         // lock-class: state = pager.volume rank = 80 io = allowed\n    \
+         state: Mutex<u8>,\n}\n",
+    );
     ws.write("crates/check/src/lib.rs", "pub fn check() {}\n");
     ws.write("crates/obs/src/lib.rs", "pub fn obs() {}\n");
     ws.write(
+        "DESIGN.md",
+        "# DESIGN fixture\n\n## 13. Lock hierarchy\n\n\
+         <!-- lock-class: core.wal rank = 10 io = forbidden -->\n\
+         <!-- lock-class: pager.volume rank = 80 io = allowed -->\n",
+    );
+    ws.write(
         "lint.ratchet",
-        "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n",
+        "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n\
+         lockorder:eos-core 0\nlockorder:eos-pager 0\n",
     );
     ws
+}
+
+/// Seed two lock classes in the (unpinned) buddy fixture crate, with
+/// matching DESIGN.md anchors, so L5 tests can exercise orderings
+/// without tripping the eos-core/eos-pager ratchet pins as a second
+/// finding.
+fn seed_buddy_classes(ws: &TempWs) {
+    ws.write(
+        "crates/buddy/src/dir.rs",
+        "pub struct Pair {\n    \
+         // lock-class: lo = buddy.lo rank = 40 io = forbidden\n    \
+         lo: Mutex<u8>,\n    \
+         // lock-class: hi = buddy.hi rank = 50 io = forbidden\n    \
+         hi: Mutex<u8>,\n}\n",
+    );
+    ws.append(
+        "DESIGN.md",
+        "<!-- lock-class: buddy.lo rank = 40 io = forbidden -->\n\
+         <!-- lock-class: buddy.hi rank = 50 io = forbidden -->\n",
+    );
 }
 
 fn lint(ws: &TempWs) -> eos_lint::report::Report {
@@ -147,7 +186,8 @@ fn ratchet_loosening_is_rejected_tightening_is_not() {
     // clean) but observed may never exceed it.
     ws.write(
         "lint.ratchet",
-        "eos-buddy 3\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n",
+        "eos-buddy 3\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n\
+         lockorder:eos-core 0\nlockorder:eos-pager 0\n",
     );
     let report = lint(&ws);
     assert!(report.is_clean(), "{}", report.render_table());
@@ -212,6 +252,163 @@ fn deleting_anchors_cannot_defuse_the_drift_gate() {
         .findings
         .iter()
         .any(|f| f.rule == Rule::FormatDrift && f.detail.contains("at least")));
+}
+
+#[test]
+fn lockorder_two_lock_cycle_fires_once() {
+    let ws = clean_ws("lock-cycle");
+    seed_buddy_classes(&ws);
+    // AB in rank order is fine; BA is the inversion — one finding, on
+    // the out-of-rank acquisition, and the cycle safety net stays
+    // quiet because the offending edge is already flagged.
+    ws.append(
+        "crates/buddy/src/dir.rs",
+        "impl Pair {\n    \
+         pub fn ab(&self) {\n        let a = self.lo.lock();\n        \
+         let b = self.hi.lock(); // lint: allow(latch, reason = \"fixture\")\n        \
+         drop(b);\n        drop(a);\n    }\n    \
+         pub fn ba(&self) {\n        let b = self.hi.lock();\n        \
+         let a = self.lo.lock(); // lint: allow(latch, reason = \"fixture\")\n        \
+         drop(a);\n        drop(b);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::LockOrder);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.location.starts_with("crates/buddy/src/dir.rs:"));
+    assert!(
+        f.detail.contains("ranks must strictly increase"),
+        "{}",
+        f.detail
+    );
+    assert!(f.detail.contains("in `ba`"), "{}", f.detail);
+}
+
+#[test]
+fn lockorder_interprocedural_inversion_fires_once() {
+    let ws = clean_ws("lock-inter");
+    seed_buddy_classes(&ws);
+    // `outer` never touches `lo` itself — the inversion only exists
+    // through the call graph.
+    ws.append(
+        "crates/buddy/src/dir.rs",
+        "impl Pair {\n    \
+         pub fn helper(&self) {\n        let g = self.lo.lock();\n        \
+         drop(g);\n    }\n    \
+         pub fn outer(&self) {\n        let a = self.hi.lock();\n        \
+         self.helper();\n        drop(a);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::LockOrder);
+    assert!(f.detail.contains("via `helper`"), "{}", f.detail);
+    assert!(f.detail.contains("in `outer`"), "{}", f.detail);
+}
+
+#[test]
+fn lockorder_io_under_latch_fires_once_through_two_calls() {
+    let ws = clean_ws("lock-io");
+    seed_buddy_classes(&ws);
+    // top → mid → leaf: only leaf does the volume I/O, only top holds
+    // a latch. The transitive-I/O bit has to flow two hops up.
+    ws.append(
+        "crates/buddy/src/dir.rs",
+        "impl Pair {\n    \
+         pub fn leaf(&self) {\n        self.volume.write_pages(0, &[]);\n    }\n    \
+         pub fn mid(&self) {\n        self.leaf();\n    }\n    \
+         pub fn top(&self) {\n        let g = self.lo.lock();\n        \
+         self.mid();\n        drop(g);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::LockOrder);
+    assert!(
+        f.detail.contains("volume I/O reachable via `mid`"),
+        "{}",
+        f.detail
+    );
+    assert!(f.detail.contains("`buddy.lo`"), "{}", f.detail);
+}
+
+#[test]
+fn lockorder_clean_hierarchy_records_edges_and_classes() {
+    let ws = clean_ws("lock-edges");
+    seed_buddy_classes(&ws);
+    ws.append(
+        "crates/buddy/src/dir.rs",
+        "impl Pair {\n    \
+         pub fn nest(&self) {\n        let a = self.lo.lock();\n        \
+         let b = self.hi.lock(); // lint: allow(latch, reason = \"fixture\")\n        \
+         drop(b);\n        drop(a);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.lock_classes.len(), 4);
+    assert!(report
+        .lock_edges
+        .iter()
+        .any(|e| e.from == "buddy.lo" && e.to == "buddy.hi"));
+    // The lock tables survive into the machine-readable surfaces.
+    assert!(report.to_json().contains("\"lock_edges\""));
+    assert!(report.to_dot().contains("\"buddy.lo\" -> \"buddy.hi\""));
+}
+
+#[test]
+fn lockorder_annotation_suppresses_a_finding() {
+    let ws = clean_ws("lock-allow");
+    seed_buddy_classes(&ws);
+    ws.append(
+        "crates/buddy/src/dir.rs",
+        "impl Pair {\n    \
+         pub fn ba(&self) {\n        let b = self.hi.lock();\n        \
+         // lint: allow(latch, reason = \"fixture: startup is single-threaded\")\n        \
+         let a = self.lo.lock(); // lint: allow(lockorder, reason = \"fixture: startup is single-threaded\")\n        \
+         drop(a);\n        drop(b);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn deleting_lock_decls_cannot_defuse_the_lockorder_gate() {
+    let ws = clean_ws("lock-defuse");
+    ws.write(
+        "crates/core/src/wal.rs",
+        "pub struct Wal {\n    log: Mutex<Vec<u8>>,\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LockOrder && f.detail.contains("must not be defused")),
+        "{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn deleting_lockorder_pins_cannot_defuse_the_gate() {
+    let ws = clean_ws("lock-pins");
+    ws.write(
+        "lint.ratchet",
+        "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n",
+    );
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::LockOrder
+                && f.detail.contains("missing `lockorder:eos-core` pin")),
+        "{}",
+        report.render_table()
+    );
 }
 
 #[test]

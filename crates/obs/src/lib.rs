@@ -153,12 +153,16 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 struct Inner {
     enabled: AtomicBool,
     ops: OpTable,
+    // lock-class: counters = obs.counters rank = 60 io = forbidden
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    // lock-class: gauges = obs.gauges rank = 61 io = forbidden
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    // lock-class: histograms = obs.histograms rank = 62 io = forbidden
     histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
     /// One frame per live span (LIFO); each frame accumulates the
     /// *inclusive* I/O of completed child spans so the parent can
     /// report its own exclusive share.
+    // lock-class: stack = obs.stack rank = 63 io = forbidden
     stack: Mutex<Vec<IoDelta>>,
     ring: TraceRing,
 }

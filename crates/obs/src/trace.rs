@@ -33,6 +33,7 @@ pub struct TraceEvent {
 
 pub(crate) struct TraceRing {
     next: AtomicU64,
+    // lock-class: slots = obs.trace rank = 64 io = forbidden
     slots: Vec<Mutex<Option<TraceEvent>>>,
 }
 

@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use parking_lot::Mutex;
+use parking_lot::{LockClass, TrackedMutex};
 
 use crate::error::Result;
 use crate::stats::IoStats;
@@ -120,7 +120,10 @@ impl CacheState {
 pub struct CachedVolume {
     inner: SharedVolume,
     capacity: usize,
-    state: Mutex<CacheState>,
+    // Never held across `inner` I/O: the miss path drops it, reads,
+    // then re-validates under a fresh acquisition (see module docs).
+    // lock-class: state = pager.cache rank = 70 io = forbidden
+    state: TrackedMutex<CacheState>,
 }
 
 impl CachedVolume {
@@ -130,13 +133,16 @@ impl CachedVolume {
         CachedVolume {
             inner,
             capacity,
-            state: Mutex::new(CacheState {
-                pages: HashMap::new(),
-                order: BTreeMap::new(),
-                tick: 0,
-                version: 0,
-                stats: CacheStats::default(),
-            }),
+            state: TrackedMutex::new(
+                LockClass::forbids_io("pager.cache"),
+                CacheState {
+                    pages: HashMap::new(),
+                    order: BTreeMap::new(),
+                    tick: 0,
+                    version: 0,
+                    stats: CacheStats::default(),
+                },
+            ),
         }
     }
 
@@ -247,7 +253,7 @@ mod tests {
     use super::*;
     use crate::volume::MemVolume;
     use crate::DiskProfile;
-    use parking_lot::Condvar;
+    use parking_lot::{Condvar, Mutex};
     use std::sync::Arc;
 
     fn cached(cap: usize) -> (Arc<CachedVolume>, SharedVolume) {

@@ -54,6 +54,10 @@ struct CrashState {
 /// calls. See the [module docs](self).
 pub struct CrashPointVolume {
     inner: SharedVolume,
+    // The torn-write injector reads and rewrites the victim page under
+    // this mutex by design, so I/O is allowed; it sits between the
+    // cache (70) and the volume bottom (80).
+    // lock-class: state = pager.crash rank = 75 io = allowed
     state: Mutex<CrashState>,
 }
 

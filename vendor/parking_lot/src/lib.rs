@@ -9,6 +9,13 @@
 
 #![forbid(unsafe_code)]
 
+mod tracked;
+
+pub use tracked::{
+    on_volume_io, LockClass, TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedReadGuard,
+    TrackedRwLock, TrackedWriteGuard,
+};
+
 use std::ops::{Deref, DerefMut};
 use std::sync;
 

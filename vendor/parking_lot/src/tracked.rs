@@ -1,0 +1,691 @@
+//! Lock-order witness (`eos-lockdep`, dynamic side).
+//!
+//! [`TrackedMutex`] / [`TrackedRwLock`] / [`TrackedCondvar`] wrap this
+//! crate's lock types and tag each lock with a [`LockClass`]. With the
+//! `lockdep` cargo feature **off** (the default) they are transparent
+//! zero-cost wrappers. With the feature **on**, every acquisition is
+//! checked against a process-global acquisition-order graph:
+//!
+//! * each thread keeps a stack of the lock classes it currently holds;
+//! * the first time class `B` is acquired while `A` is held, the edge
+//!   `A → B` is recorded together with a witness (thread, held stack,
+//!   acquire locations);
+//! * acquiring `A` while `B` is held after that — an order inversion,
+//!   i.e. a potential deadlock — panics with **both** witness stacks;
+//! * recursive acquisition of one class panics (the paper's §4.5
+//!   short-duration latches are never re-entrant);
+//! * [`on_volume_io`] panics if any held class was declared
+//!   [`LockClass::forbids_io`] — a latch held across `Volume` I/O.
+//!
+//! The check runs *before* blocking on the underlying lock, so a true
+//! deadlock is reported instead of hanging the test. The static twin
+//! of this witness is eos-lint rule L5, which reads the same class
+//! names from `// lock-class:` declarations; `DESIGN.md` §13 holds the
+//! hierarchy table.
+
+use crate::{Condvar, Mutex, MutexGuard, RwLock};
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A declared lock class: the unit the order graph is built over.
+///
+/// Equality is by `name`; every lock constructed with the same class
+/// name shares one node in the acquisition-order graph. `io_allowed`
+/// marks the classes that legitimately cover `Volume` I/O (the store
+/// latch during a latched commit phase, the volume mutex itself).
+#[derive(Debug, Clone, Copy)]
+pub struct LockClass {
+    name: &'static str,
+    io_allowed: bool,
+}
+
+impl LockClass {
+    /// A class that must never be held across `Volume` I/O.
+    pub const fn forbids_io(name: &'static str) -> LockClass {
+        LockClass {
+            name,
+            io_allowed: false,
+        }
+    }
+
+    /// A class that may cover `Volume` I/O (the bottom of the order).
+    pub const fn allows_io(name: &'static str) -> LockClass {
+        LockClass {
+            name,
+            io_allowed: true,
+        }
+    }
+
+    /// The class name, as used in `// lock-class:` declarations.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether this class may be held across `Volume` I/O.
+    pub const fn io_allowed(&self) -> bool {
+        self.io_allowed
+    }
+}
+
+/// Hook called by `Volume` implementations on entry to every I/O
+/// primitive. Panics (feature `lockdep` only) if the calling thread
+/// holds a lock class declared `forbids_io`.
+#[cfg(feature = "lockdep")]
+#[track_caller]
+pub fn on_volume_io(op: &str) {
+    imp::check_io(op);
+}
+
+/// Hook called by `Volume` implementations on entry to every I/O
+/// primitive. No-op without the `lockdep` feature.
+#[cfg(not(feature = "lockdep"))]
+#[inline(always)]
+pub fn on_volume_io(_op: &str) {}
+
+/// A [`Mutex`] tagged with a [`LockClass`] for the lockdep witness.
+#[derive(Debug)]
+pub struct TrackedMutex<T: ?Sized> {
+    class: LockClass,
+    inner: Mutex<T>,
+}
+
+/// RAII guard returned by [`TrackedMutex::lock`].
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    token: imp::HeldToken,
+    inner: MutexGuard<'a, T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Create a new mutex of class `class` holding `value`.
+    pub const fn new(class: LockClass, value: T) -> TrackedMutex<T> {
+        TrackedMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    /// The lock class this mutex was registered under.
+    pub fn class(&self) -> &'static str {
+        self.class.name
+    }
+
+    /// Acquire the mutex. With `lockdep` on, records the acquisition
+    /// in the order graph first and panics on an order inversion.
+    #[track_caller]
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        let token = imp::acquire(&self.class);
+        TrackedMutexGuard {
+            #[cfg(feature = "lockdep")]
+            token,
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for TrackedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        imp::release(self.token);
+    }
+}
+
+/// A [`Condvar`] that keeps the lockdep held-stack truthful across
+/// [`wait`](TrackedCondvar::wait): the guard's class is popped while
+/// the thread is blocked and re-checked on wakeup.
+#[derive(Debug, Default)]
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// Create a new condition variable.
+    pub const fn new() -> TrackedCondvar {
+        TrackedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Block until notified, releasing `guard` (and its lockdep
+    /// tracking) while waiting.
+    #[track_caller]
+    pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
+        #[cfg(feature = "lockdep")]
+        imp::release(guard.token);
+        self.inner.wait(&mut guard.inner);
+        #[cfg(feature = "lockdep")]
+        {
+            guard.token = imp::reacquire(guard.token);
+        }
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A [`RwLock`] tagged with a [`LockClass`] for the lockdep witness.
+/// Read and write acquisitions share the class node: the order
+/// discipline does not distinguish lock modes.
+#[derive(Debug)]
+pub struct TrackedRwLock<T: ?Sized> {
+    class: LockClass,
+    inner: RwLock<T>,
+}
+
+/// RAII shared-read guard returned by [`TrackedRwLock::read`].
+pub struct TrackedReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    token: imp::HeldToken,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive-write guard returned by [`TrackedRwLock::write`].
+pub struct TrackedWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lockdep")]
+    token: imp::HeldToken,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Create a new lock of class `class` holding `value`.
+    pub const fn new(class: LockClass, value: T) -> TrackedRwLock<T> {
+        TrackedRwLock {
+            class,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// The lock class this lock was registered under.
+    pub fn class(&self) -> &'static str {
+        self.class.name
+    }
+
+    /// Acquire shared read access (checked like any acquisition).
+    #[track_caller]
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        let token = imp::acquire(&self.class);
+        TrackedReadGuard {
+            #[cfg(feature = "lockdep")]
+            token,
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Acquire exclusive write access (checked like any acquisition).
+    #[track_caller]
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        #[cfg(feature = "lockdep")]
+        let token = imp::acquire(&self.class);
+        TrackedWriteGuard {
+            #[cfg(feature = "lockdep")]
+            token,
+            inner: self.inner.write(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for TrackedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        imp::release(self.token);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+impl<T: ?Sized> Drop for TrackedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        imp::release(self.token);
+    }
+}
+
+#[cfg(feature = "lockdep")]
+mod imp {
+    //! The witness proper: class registry, per-thread held stacks, and
+    //! the global first-observed-edge graph.
+
+    use super::LockClass;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::panic::Location;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    /// Index into [`Registry::classes`].
+    type ClassId = u32;
+
+    /// One frame of a thread's held stack.
+    #[derive(Clone, Copy)]
+    struct HeldFrame {
+        id: ClassId,
+        location: &'static Location<'static>,
+    }
+
+    /// Returned by [`acquire`]; identifies the frame to pop on drop.
+    #[derive(Clone, Copy)]
+    pub struct HeldToken {
+        id: ClassId,
+    }
+
+    /// Witness for the first observation of an order edge.
+    struct EdgeWitness {
+        thread: String,
+        /// Rendered held stack at observation time, innermost last.
+        held: String,
+        acquired: String,
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        by_name: HashMap<&'static str, ClassId>,
+        /// `(name, io_allowed)` per class, indexed by `ClassId`.
+        classes: Vec<(&'static str, bool)>,
+        /// First witness per directed edge `held → acquired`.
+        edges: HashMap<(ClassId, ClassId), EdgeWitness>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<HeldFrame>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn thread_name() -> String {
+        let current = std::thread::current();
+        match current.name() {
+            Some(name) => name.to_string(),
+            None => format!("{:?}", current.id()),
+        }
+    }
+
+    fn render_stack(reg: &Registry, held: &[HeldFrame]) -> String {
+        let mut out = String::new();
+        for frame in held {
+            let (name, _) = reg.classes[frame.id as usize];
+            out.push_str(&format!(
+                "\n      holds `{}` acquired at {}",
+                name, frame.location
+            ));
+        }
+        out
+    }
+
+    /// Register (or look up) a class and check the acquisition against
+    /// the order graph. Panics on recursion or inversion. Called
+    /// *before* blocking on the lock so deadlocks report, not hang.
+    #[track_caller]
+    pub fn acquire(class: &LockClass) -> HeldToken {
+        let location = Location::caller();
+        let held: Vec<HeldFrame> = HELD.with(|h| h.borrow().clone());
+        let mut failure: Option<String> = None;
+        let id = {
+            let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            let id = match reg.by_name.get(class.name) {
+                Some(&id) => {
+                    let (_, io) = reg.classes[id as usize];
+                    assert!(
+                        io == class.io_allowed,
+                        "lockdep: class `{}` registered with conflicting io policy",
+                        class.name
+                    );
+                    id
+                }
+                None => {
+                    let id = reg.classes.len() as ClassId;
+                    reg.classes.push((class.name, class.io_allowed));
+                    reg.by_name.insert(class.name, id);
+                    id
+                }
+            };
+            for frame in &held {
+                if frame.id == id {
+                    failure = Some(format!(
+                        "lockdep: recursive acquisition of lock class `{}`\n  \
+                         first acquired at {}\n  acquired again at {} on thread '{}'",
+                        class.name,
+                        frame.location,
+                        location,
+                        thread_name()
+                    ));
+                    break;
+                }
+                // An edge `acquiring → held` already in the graph means
+                // some thread took these classes in the opposite order.
+                if let Some(witness) = reg.edges.get(&(id, frame.id)) {
+                    let (held_name, _) = reg.classes[frame.id as usize];
+                    failure = Some(format!(
+                        "lockdep: lock-order inversion acquiring `{}` while holding `{}`\n  \
+                         edge `{}` -> `{}` first observed on thread '{}':{}\n      \
+                         then acquired {}\n  \
+                         conflicting acquisition on thread '{}':{}\n      \
+                         now acquiring `{}` at {}",
+                        class.name,
+                        held_name,
+                        class.name,
+                        held_name,
+                        witness.thread,
+                        witness.held,
+                        witness.acquired,
+                        thread_name(),
+                        render_stack(&reg, &held),
+                        class.name,
+                        location
+                    ));
+                    break;
+                }
+            }
+            if failure.is_none() {
+                for frame in &held {
+                    let key = (frame.id, id);
+                    if !reg.edges.contains_key(&key) {
+                        let rendered = render_stack(&reg, &held);
+                        reg.edges.insert(
+                            key,
+                            EdgeWitness {
+                                thread: thread_name(),
+                                held: rendered,
+                                acquired: format!("`{}` at {}", class.name, location),
+                            },
+                        );
+                    }
+                }
+            }
+            // Drop the registry lock before panicking.
+            id
+        };
+        if let Some(message) = failure {
+            panic!("{message}");
+        }
+        HELD.with(|h| h.borrow_mut().push(HeldFrame { id, location }));
+        HeldToken { id }
+    }
+
+    /// Re-check and re-push a class after a condvar wait.
+    #[track_caller]
+    pub fn reacquire(token: HeldToken) -> HeldToken {
+        let (name, io_allowed) = {
+            let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            reg.classes[token.id as usize]
+        };
+        let class = if io_allowed {
+            LockClass::allows_io(name)
+        } else {
+            LockClass::forbids_io(name)
+        };
+        acquire(&class)
+    }
+
+    /// Pop the most recent frame of `token`'s class from the held
+    /// stack (guards release LIFO in practice; popping the latest
+    /// matching frame keeps out-of-order drops correct too).
+    pub fn release(token: HeldToken) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|f| f.id == token.id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Panic if the current thread holds any `forbids_io` class.
+    #[track_caller]
+    pub fn check_io(op: &str) {
+        let location = Location::caller();
+        let held: Vec<HeldFrame> = HELD.with(|h| h.borrow().clone());
+        if held.is_empty() {
+            return;
+        }
+        let failure = {
+            let reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+            held.iter().find_map(|frame| {
+                let (name, io_allowed) = reg.classes[frame.id as usize];
+                if io_allowed {
+                    None
+                } else {
+                    Some(format!(
+                        "lockdep: volume I/O `{}` at {} while lock class `{}` is held\n  \
+                         class `{}` forbids I/O (declared io = forbidden); \
+                         acquired at {} on thread '{}'{}",
+                        op,
+                        location,
+                        name,
+                        name,
+                        frame.location,
+                        thread_name(),
+                        render_stack(&reg, &held)
+                    ))
+                }
+            })
+        };
+        if let Some(message) = failure {
+            panic!("{message}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_mutex_roundtrip() {
+        const CLASS: LockClass = LockClass::forbids_io("test.roundtrip");
+        let m = TrackedMutex::new(CLASS, 5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.class(), "test.roundtrip");
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn tracked_rwlock_shared_and_exclusive() {
+        const CLASS: LockClass = LockClass::forbids_io("test.rw");
+        let l = TrackedRwLock::new(CLASS, 1);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 2;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn tracked_condvar_wakes_waiter() {
+        use std::sync::Arc;
+        const CLASS: LockClass = LockClass::forbids_io("test.cv");
+        let pair = Arc::new((TrackedMutex::new(CLASS, false), TrackedCondvar::new()));
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+
+    #[cfg(feature = "lockdep")]
+    mod lockdep {
+        use super::super::*;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        fn panic_message(result: std::thread::Result<()>) -> String {
+            match result {
+                Ok(()) => panic!("expected a lockdep panic"),
+                Err(payload) => payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .expect("panic payload should be a string"),
+            }
+        }
+
+        #[test]
+        fn ab_ba_inversion_panics_with_both_witnesses() {
+            const A: LockClass = LockClass::forbids_io("inv.a");
+            const B: LockClass = LockClass::forbids_io("inv.b");
+            let a = TrackedMutex::new(A, ());
+            let b = TrackedMutex::new(B, ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // establishes a -> b
+            }
+            let _gb = b.lock();
+            let message = panic_message(catch_unwind(AssertUnwindSafe(|| {
+                let _ga = a.lock(); // b -> a: inversion
+            })));
+            assert!(message.contains("lock-order inversion"), "{message}");
+            assert!(message.contains("`inv.a`"), "{message}");
+            assert!(message.contains("`inv.b`"), "{message}");
+            assert!(message.contains("first observed"), "{message}");
+            // Both witnesses carry source locations in this file.
+            assert!(
+                message.match_indices("tracked.rs").count() >= 2,
+                "{message}"
+            );
+        }
+
+        #[test]
+        fn recursive_acquisition_panics() {
+            const C: LockClass = LockClass::forbids_io("rec.c");
+            let m = TrackedMutex::new(C, ());
+            let _g = m.lock();
+            let message = panic_message(catch_unwind(AssertUnwindSafe(|| {
+                let _g2 = m.lock();
+            })));
+            assert!(message.contains("recursive acquisition"), "{message}");
+        }
+
+        #[test]
+        fn io_under_forbidden_class_panics() {
+            const C: LockClass = LockClass::forbids_io("io.forbid");
+            let m = TrackedMutex::new(C, ());
+            let _g = m.lock();
+            let message = panic_message(catch_unwind(AssertUnwindSafe(|| {
+                on_volume_io("read");
+            })));
+            assert!(message.contains("volume I/O `read`"), "{message}");
+            assert!(message.contains("`io.forbid`"), "{message}");
+        }
+
+        #[test]
+        fn io_under_allowed_class_is_silent() {
+            const C: LockClass = LockClass::allows_io("io.allow");
+            let m = TrackedMutex::new(C, ());
+            let _g = m.lock();
+            on_volume_io("write");
+        }
+
+        #[test]
+        fn consistent_order_is_silent() {
+            const A: LockClass = LockClass::forbids_io("ord.a");
+            const B: LockClass = LockClass::forbids_io("ord.b");
+            let a = TrackedMutex::new(A, ());
+            let b = TrackedRwLock::new(B, ());
+            for _ in 0..3 {
+                let _ga = a.lock();
+                let _gb = b.write();
+            }
+            let _ga = a.lock();
+            let _gb = b.read();
+        }
+
+        #[test]
+        fn condvar_wait_retracks_guard() {
+            use std::sync::Arc;
+            const C: LockClass = LockClass::forbids_io("cv.retrack");
+            let pair = Arc::new((TrackedMutex::new(C, false), TrackedCondvar::new()));
+            let p2 = pair.clone();
+            let t = std::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut g = m.lock();
+                while !*g {
+                    cv.wait(&mut g);
+                }
+                // The guard is tracked again after the wait: a second
+                // acquisition of the same class must be caught.
+                let message = panic_message(std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(|| {
+                        let _g2 = m.lock();
+                    }),
+                ));
+                assert!(message.contains("recursive acquisition"), "{message}");
+            });
+            {
+                let (m, cv) = &*pair;
+                *m.lock() = true;
+                cv.notify_all();
+            }
+            t.join().unwrap();
+        }
+    }
+}

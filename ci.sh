@@ -27,6 +27,14 @@ rm -f BENCH_obs.json
 cargo run --release --offline -q -p eos-bench --bin compare -- --quick
 test -s BENCH_obs.json || { echo "BENCH_obs.json missing or empty"; exit 1; }
 
+echo "== bench smoke (concurrency --quick: group commit + MVCC readers/writers) =="
+# The readers+writers table exercises the whole MVCC surface end to
+# end (publication, pins, parked frees, reclaim) under real threads;
+# --quick shrinks both tables to a CI-sized run.
+cargo run --release --offline -q -p eos-bench --bin concurrency -- --quick
+grep -q "bench.concurrency.rw" BENCH_obs.json \
+    || { echo "rw bench gauges missing from BENCH_obs.json"; exit 1; }
+
 echo "== crash sweep (release, pinned seed) =="
 # Exhaustive crash-point sweep: every write I/O point of the scripted
 # workload, clean and torn, plus crashes during recovery itself. Release
@@ -48,9 +56,12 @@ echo "== lockdep (runtime lock-order witness, pinned seed) =="
 # both acquisition stacks on the first observed inversion or volume
 # I/O under a forbids_io class — silence is the assertion. The
 # lockdep_runtime test also proves the witness itself still fires.
+# The mvcc battery rides along so the witness also watches the
+# lock-free read path: pins, parked frees, and reclaim ordering.
 EOS_STRESS_SEED=3735928559 \
     cargo test --release --offline --features lockdep \
-    --test lockdep_runtime --test concurrent_store --test concurrent -- --nocapture
+    --test lockdep_runtime --test concurrent_store --test concurrent \
+    --test mvcc -- --nocapture
 cargo clippy --workspace --all-targets --offline --features lockdep -- -D warnings
 
 echo "CI gate passed."

@@ -376,6 +376,18 @@ impl BuddyManager {
         self.superdir.belief(i)
     }
 
+    /// Total pages deferred into one open batch — what an MVCC
+    /// reclaimer reports as "held back for readers" before deciding
+    /// whether committing the batch is worth parking. Zero for a batch
+    /// that was already committed or aborted.
+    pub fn batch_page_count(&self, batch: FreeBatch) -> u64 {
+        let g = self.pending.lock();
+        g.batches
+            .iter()
+            .find(|(id, _)| *id == batch.0)
+            .map_or(0, |(_, v)| v.iter().map(|e| e.pages).sum())
+    }
+
     /// Every extent sitting in an open (uncommitted) free batch. These
     /// are logically free but still allocated on disk (§4.5 release
     /// locks), so a consistency census must not count them as leaked.

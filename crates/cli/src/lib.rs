@@ -19,6 +19,8 @@
 //! eos verify db.eos                  # full invariant check
 //! eos check db.eos [--json]          # static analysis of every structure
 //! eos compact db.eos doc.txt         # rewrite into maximal segments
+//! eos snapshot create db.eos nightly # pin every named root, cheaply
+//! eos snapshot read db.eos nightly doc.txt old.txt  # read as-of
 //! eos recover db.eos                 # restart recovery + catalog GC
 //! ```
 //!
@@ -92,6 +94,69 @@ pub fn layout_for(total_pages: u64) -> (usize, u64) {
         g.max_space_pages
     };
     (spaces, pps)
+}
+
+/// Catalog namespace reserved for snapshot manifests: a snapshot named
+/// `nightly` is cataloged as `.snap/nightly`, so it survives every
+/// command (including `eos recover`'s catalog GC) like any other named
+/// object while staying visually separate in `eos ls`.
+const SNAP_PREFIX: &str = ".snap/";
+
+const SNAP_MAGIC: u32 = 0x454F_5350; // format-anchor: SNAP_MAGIC
+
+/// Serialize a snapshot manifest: the root descriptor of every named
+/// object at creation time. Descriptor-sized per entry — a snapshot of
+/// a multi-gigabyte store is a few hundred bytes.
+fn encode_manifest(entries: &[(String, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, desc) in entries {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(desc.len() as u32).to_le_bytes());
+        out.extend_from_slice(desc);
+    }
+    out
+}
+
+fn decode_manifest(data: &[u8]) -> Result<Vec<(String, Vec<u8>)>> {
+    let mut at = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        if at + n > data.len() {
+            return err("snapshot manifest truncated");
+        }
+        let s = &data[at..at + n];
+        at += n;
+        Ok(s)
+    };
+    let u32_at = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap());
+    if u32_at(take(4)?) != SNAP_MAGIC {
+        return err("not a snapshot manifest (bad magic)");
+    }
+    let n = u32_at(take(4)?);
+    let mut entries = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let nl = u32_at(take(4)?) as usize;
+        let name = String::from_utf8(take(nl)?.to_vec())
+            .map_err(|_| CliError("snapshot manifest: name not UTF-8".into()))?;
+        let dl = u32_at(take(4)?) as usize;
+        entries.push((name, take(dl)?.to_vec()));
+    }
+    Ok(entries)
+}
+
+/// Is the pinned root still the live root of some cataloged object?
+/// Descriptor equality (same id, root page, size, LSN) means the root —
+/// and, by the shadow rule, every page beneath it — is exactly the
+/// committed tree the snapshot saw. Anything else means the object was
+/// modified or deleted since, its superseded pages were freed at commit,
+/// and the pinned descriptor may point at reclaimed (reused) pages.
+fn snap_entry_intact(cat: &Catalog, desc: &[u8]) -> bool {
+    cat.names()
+        .filter(|n| !n.starts_with(SNAP_PREFIX))
+        .filter_map(|n| cat.get(n).ok())
+        .any(|live| live.to_bytes() == desc)
 }
 
 fn open_volume(path: &Path) -> Result<(SharedVolume, usize, u64)> {
@@ -675,6 +740,114 @@ pub fn run(args: &[String]) -> Result<String> {
                 )
                 .unwrap();
             }
+            ("snapshot", [sub, rest @ ..]) => match (sub.as_str(), rest) {
+                ("create", [file, snap]) => {
+                    if snap.contains('/') {
+                        bail!("snapshot names must not contain `/`");
+                    }
+                    let mut store = open_store(Path::new(file))?;
+                    let mut cat = Catalog::load(&store).map_err(map_err)?;
+                    let key = format!("{SNAP_PREFIX}{snap}");
+                    if cat.get(&key).is_ok() {
+                        bail!("snapshot `{snap}` already exists");
+                    }
+                    let mut entries: Vec<(String, Vec<u8>)> = Vec::new();
+                    let mut max_lsn = 0u64;
+                    for name in cat.names().filter(|n| !n.starts_with(SNAP_PREFIX)) {
+                        let obj = cat.get(name).map_err(map_err)?;
+                        max_lsn = max_lsn.max(obj.lsn());
+                        entries.push((name.to_string(), obj.to_bytes()));
+                    }
+                    let bytes = encode_manifest(&entries);
+                    let obj = store
+                        .create_with(&bytes, Some(bytes.len() as u64))
+                        .map_err(map_err)?;
+                    cat.put(&key, &obj);
+                    cat.save(&mut store).map_err(map_err)?;
+                    writeln!(
+                        out,
+                        "snapshot {snap}: pinned {} object(s) at lsn {max_lsn} ({} manifest bytes)",
+                        entries.len(),
+                        bytes.len()
+                    )
+                    .unwrap();
+                }
+                ("list", [file]) => {
+                    let store = open_store(Path::new(file))?;
+                    let cat = Catalog::load(&store).map_err(map_err)?;
+                    let snaps: Vec<String> = cat
+                        .names()
+                        .filter_map(|n| n.strip_prefix(SNAP_PREFIX))
+                        .map(str::to_string)
+                        .collect();
+                    if snaps.is_empty() {
+                        writeln!(out, "(no snapshots)").unwrap();
+                    }
+                    for snap in snaps {
+                        let mobj = cat.get(&format!("{SNAP_PREFIX}{snap}")).map_err(map_err)?;
+                        let entries = decode_manifest(&store.read_all(&mobj).map_err(map_err)?)?;
+                        let max_lsn = entries
+                            .iter()
+                            .filter_map(|(_, d)| LargeObject::from_bytes(d).ok())
+                            .map(|o| o.lsn())
+                            .max()
+                            .unwrap_or(0);
+                        let intact = entries
+                            .iter()
+                            .filter(|(_, d)| snap_entry_intact(&cat, d))
+                            .count();
+                        writeln!(
+                            out,
+                            "{snap}\t{} object(s)\tlsn {max_lsn}\t{intact} still readable",
+                            entries.len()
+                        )
+                        .unwrap();
+                    }
+                }
+                ("read", [file, snap, name, output]) => {
+                    let store = open_store(Path::new(file))?;
+                    let cat = Catalog::load(&store).map_err(map_err)?;
+                    let mobj = cat
+                        .get(&format!("{SNAP_PREFIX}{snap}"))
+                        .map_err(|_| CliError(format!("no snapshot named `{snap}`")))?;
+                    let entries = decode_manifest(&store.read_all(&mobj).map_err(map_err)?)?;
+                    let desc = entries
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, d)| d)
+                        .ok_or_else(|| {
+                            CliError(format!("snapshot `{snap}` has no object `{name}`"))
+                        })?;
+                    if !snap_entry_intact(&cat, desc) {
+                        bail!(
+                            "`{name}` diverged since snapshot `{snap}`: its pinned root is no \
+                             longer live and the pages may have been reclaimed"
+                        );
+                    }
+                    let obj = LargeObject::from_bytes(desc).map_err(map_err)?;
+                    let data = store.read_all(&obj).map_err(map_err)?;
+                    std::fs::write(output, &data).map_err(map_err)?;
+                    writeln!(
+                        out,
+                        "wrote {} bytes to {output} (as of snapshot {snap})",
+                        data.len()
+                    )
+                    .unwrap();
+                }
+                ("drop", [file, snap]) => {
+                    let mut store = open_store(Path::new(file))?;
+                    let mut cat = Catalog::load(&store).map_err(map_err)?;
+                    let key = format!("{SNAP_PREFIX}{snap}");
+                    let mut mobj = cat
+                        .get(&key)
+                        .map_err(|_| CliError(format!("no snapshot named `{snap}`")))?;
+                    store.delete_object(&mut mobj).map_err(map_err)?;
+                    cat.remove(&key);
+                    cat.save(&mut store).map_err(map_err)?;
+                    writeln!(out, "dropped snapshot {snap}").unwrap();
+                }
+                _ => bail!("usage: eos snapshot create|list|read|drop ...\n{USAGE}"),
+            },
             ("help", _) => return err(USAGE),
             (other, _) => bail!("unknown or malformed command `{other}`\n{USAGE}"),
         },
@@ -705,6 +878,16 @@ usage: eos <command> ...
                                   registry, and trace-ring summary for
                                   this process (table, shared JSON
                                   envelope, or Prometheus text)
+  snapshot create <file> <name>   pin every cataloged object's current
+                                  root in a named, descriptor-sized
+                                  manifest (itself stored as an object)
+  snapshot list <file>            list snapshots: objects pinned, lsn,
+                                  how many roots are still readable
+  snapshot read <file> <snap> <obj> <output>
+                                  read an object as of a snapshot;
+                                  refuses if the object diverged (its
+                                  pinned pages may have been reclaimed)
+  snapshot drop <file> <name>     delete a snapshot manifest
   verify <file>                   check every invariant (first failure)
   recover <file>                  run restart recovery, report what it
                                   found, reconcile the catalog
@@ -1051,6 +1234,60 @@ mod tests {
                 "{cmd}: {json}"
             );
         }
+        std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn named_snapshots_pin_and_refuse_after_divergence() {
+        let db = tmp("snap.eos");
+        let dbs = db.to_str().unwrap();
+        call(&["init", dbs, "--mb", "16"]).unwrap();
+        let a_in = tmp("snap-a.bin");
+        let b_in = tmp("snap-b.bin");
+        let a_data: Vec<u8> = (0..30_000u32).map(|i| (i % 241) as u8).collect();
+        std::fs::write(&a_in, &a_data).unwrap();
+        std::fs::write(&b_in, vec![6u8; 12_000]).unwrap();
+        call(&["put", dbs, "a", a_in.to_str().unwrap()]).unwrap();
+        call(&["put", dbs, "b", b_in.to_str().unwrap()]).unwrap();
+
+        let text = call(&["snapshot", "create", dbs, "s1"]).unwrap();
+        assert!(text.contains("pinned 2 object(s)"), "{text}");
+        // A snapshot is cheap: descriptor-sized entries, not a copy.
+        assert!(text.contains("manifest bytes"), "{text}");
+        assert!(call(&["snapshot", "create", dbs, "s1"]).is_err());
+        assert!(call(&["snapshot", "create", dbs, "s/1"]).is_err());
+
+        let ls = call(&["snapshot", "list", dbs]).unwrap();
+        assert!(ls.contains("s1") && ls.contains("2 still readable"), "{ls}");
+
+        // Both objects read back as-of the snapshot.
+        let a_out = tmp("snap-a-out.bin");
+        call(&["snapshot", "read", dbs, "s1", "a", a_out.to_str().unwrap()]).unwrap();
+        assert_eq!(std::fs::read(&a_out).unwrap(), a_data);
+
+        // Diverge `a`: append frees nothing but replaces its root; the
+        // snapshot must now refuse `a` (pages no longer pinned) while
+        // `b` stays readable.
+        call(&["append", dbs, "a", b_in.to_str().unwrap()]).unwrap();
+        let e = call(&["snapshot", "read", dbs, "s1", "a", a_out.to_str().unwrap()])
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("diverged"), "{e}");
+        let b_out = tmp("snap-b-out.bin");
+        call(&["snapshot", "read", dbs, "s1", "b", b_out.to_str().unwrap()]).unwrap();
+        assert_eq!(std::fs::read(&b_out).unwrap(), vec![6u8; 12_000]);
+        let ls = call(&["snapshot", "list", dbs]).unwrap();
+        assert!(ls.contains("1 still readable"), "{ls}");
+
+        // Unknown names and missing snapshots are reported, drop works,
+        // and the store stays structurally clean throughout.
+        assert!(call(&["snapshot", "read", dbs, "s1", "zz", "/tmp/x"]).is_err());
+        assert!(call(&["snapshot", "read", dbs, "nope", "a", "/tmp/x"]).is_err());
+        assert!(call(&["snapshot", "drop", dbs, "nope"]).is_err());
+        call(&["snapshot", "drop", dbs, "s1"]).unwrap();
+        let ls = call(&["snapshot", "list", dbs]).unwrap();
+        assert!(ls.contains("(no snapshots)"), "{ls}");
+        assert!(call(&["check", dbs]).is_ok());
         std::fs::remove_file(&db).ok();
     }
 

@@ -13,12 +13,16 @@
 //!   `RwLock` — reads of committed objects run concurrently, mutations
 //!   serialize on the write latch (the latch is held only for the
 //!   in-memory/page work of one operation, never across a user stall).
-//! * [`Txn`] is one transaction scope. Every operation first acquires
-//!   byte-range locks from the shared [`RangeLockManager`] (shared
-//!   locks for reads, exclusive for writes, tail locks for
-//!   offset-shifting edits), *then* takes the store latch — so lock
-//!   waits never hold the latch. Locks follow strict two-phase
-//!   locking: they are released only after commit or abort.
+//! * [`Txn`] is one transaction scope. Every **write** first acquires
+//!   exclusive byte-range locks from the shared [`RangeLockManager`]
+//!   (tail locks for offset-shifting edits), *then* takes the store
+//!   latch — so lock waits never hold the latch. Locks follow strict
+//!   two-phase locking: they are released only after commit or abort.
+//!   **Reads take no range locks at all**: they pin the committed
+//!   root set the last commit published (MVCC snapshot isolation,
+//!   DESIGN.md §14) and traverse it while the pin parks any
+//!   concurrent reclaim; [`Snapshot`] is the explicit, multi-read
+//!   form of the same pin.
 //! * Durable commits funnel through a **group-commit pipeline**: each
 //!   committing thread enqueues its scope; one thread becomes the
 //!   leader, drains the queue, and retires the whole batch with *two*
@@ -31,17 +35,19 @@
 //! multiple objects should touch them in a consistent order (or use
 //! disjoint objects, as ingest workloads naturally do).
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
-use eos_obs::{Counter, Histogram, Metrics};
+use eos_buddy::FreeBatch;
+use eos_obs::{Counter, Gauge, Histogram, Metrics};
 use eos_pager::SharedVolume;
 use parking_lot::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 
 use crate::error::{Error, Result};
 use crate::locks::{LockMode, RangeLockManager, TxnId};
 use crate::object::LargeObject;
-use crate::store::ObjectStore;
+use crate::store::{ObjectStore, PreparedCommit};
 
 /// A shareable handle to one [`ObjectStore`]. Clone it freely — all
 /// clones see the same store, lock table, and commit pipeline.
@@ -69,12 +75,87 @@ struct Inner {
     // lock-class: group = commit.group rank = 10 io = forbidden
     group: TrackedMutex<GroupState>,
     group_cv: TrackedCondvar,
+    // MVCC bookkeeping: the committed root set, reader epoch pins and
+    // the parked deferred-free batches. Taken *under* the store latch
+    // on the publication path (rank above `store.latch`), and alone on
+    // the pin/unpin path; never held while acquiring anything else,
+    // and never across volume I/O (reclaims apply after it drops).
+    // lock-class: mvcc = mvcc.state rank = 35 io = forbidden
+    mvcc: TrackedMutex<MvccState>,
+    mvcc_obs: MvccObs,
     /// Mirrors `wal.syncs`: the leader calls `Volume::sync` directly
     /// (bypassing [`crate::durable::DurableWal::sync`]), so it bumps
     /// the same counter by hand to keep the metric honest.
     syncs: Counter,
     group_commits: Counter,
     batch_hist: Histogram,
+}
+
+/// The committed-version state readers pin (DESIGN.md §14): writers
+/// publish a new root set per commit under a fresh epoch; readers pin
+/// the epoch they started at, and superseded pages (deferred-free
+/// batches of commits that happened while any older epoch was pinned)
+/// are parked until the oldest pin passes them.
+struct MvccState {
+    /// The current publication epoch — bumped once per committed scope.
+    epoch: u64,
+    /// Object id → committed root descriptor, as of `epoch`. Shared
+    /// out to snapshots by `Arc`; publication clones-and-replaces, so
+    /// a pinned snapshot's view is immutable.
+    roots: Arc<BTreeMap<u64, Arc<LargeObject>>>,
+    /// Live reader pins: epoch → number of pins at that epoch.
+    pinned: BTreeMap<u64, usize>,
+    /// Deferred-free batches parked behind older reader pins, in
+    /// publication order (epochs strictly increase back to front).
+    deferred: VecDeque<DeferredFrees>,
+}
+
+/// One parked deferred-free batch: the frees of a commit published at
+/// `epoch`, reclaimable once no reader pin is older than that epoch.
+struct DeferredFrees {
+    epoch: u64,
+    batch: FreeBatch,
+    pages: u64,
+}
+
+impl MvccState {
+    /// The oldest pinned epoch, if any reader is live.
+    fn oldest_pin(&self) -> Option<u64> {
+        self.pinned.keys().next().copied()
+    }
+
+    /// Pop every parked batch the oldest live pin has passed. A batch
+    /// parked at publication epoch `e` superseded pages that were live
+    /// at epochs `< e`, so it is reclaimable exactly when no pin is
+    /// older than `e`.
+    fn drain_reclaimable(&mut self) -> Vec<DeferredFrees> {
+        let oldest = self.oldest_pin();
+        let mut out = Vec::new();
+        while let Some(front) = self.deferred.front() {
+            if oldest.is_some_and(|p| p < front.epoch) {
+                break;
+            }
+            if let Some(d) = self.deferred.pop_front() {
+                out.push(d);
+            }
+        }
+        out
+    }
+}
+
+/// Pre-resolved `mvcc.*` instruments ([`ObjectStore::metrics`] domain).
+#[derive(Clone)]
+struct MvccObs {
+    /// Snapshots pinned (named snapshots and per-read implicit pins).
+    snapshots: Counter,
+    /// Deferred-free batches reclaimed after their parking epoch passed.
+    reclaim_batches: Counter,
+    /// Pages those reclaimed batches returned to the allocator.
+    reclaimed_pages: Counter,
+    /// Pages currently parked behind reader pins.
+    deferred_pages: Gauge,
+    /// Current epoch minus the oldest pinned epoch (0 with no readers).
+    oldest_epoch_lag: Gauge,
 }
 
 #[derive(Default)]
@@ -108,6 +189,23 @@ impl ConcurrentStore {
         let sync_on_commit = store.config().sync_on_commit;
         let locks = RangeLockManager::new();
         locks.set_metrics(&obs);
+        // Seed the committed root set from the durable log's committed
+        // map, so readers can resolve any object that was committed
+        // before this front-end was wrapped around the store. Volatile
+        // stores start empty (reads fall back to caller descriptors).
+        let seed: BTreeMap<u64, Arc<LargeObject>> = store
+            .durable_wal()
+            .map(|w| {
+                w.committed()
+                    .iter()
+                    .filter_map(|(id, bytes)| {
+                        LargeObject::from_bytes(bytes)
+                            .ok()
+                            .map(|o| (*id, Arc::new(o)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         ConcurrentStore {
             inner: Arc::new(Inner {
                 store: TrackedRwLock::new(LockClass::allows_io("store.latch"), store),
@@ -120,6 +218,22 @@ impl ConcurrentStore {
                     GroupState::default(),
                 ),
                 group_cv: TrackedCondvar::new(),
+                mvcc: TrackedMutex::new(
+                    LockClass::forbids_io("mvcc.state"),
+                    MvccState {
+                        epoch: 1,
+                        roots: Arc::new(seed),
+                        pinned: BTreeMap::new(),
+                        deferred: VecDeque::new(),
+                    },
+                ),
+                mvcc_obs: MvccObs {
+                    snapshots: obs.counter("mvcc.snapshots"),
+                    reclaim_batches: obs.counter("mvcc.reclaim_batches"),
+                    reclaimed_pages: obs.counter("mvcc.reclaimed_pages"),
+                    deferred_pages: obs.gauge("mvcc.deferred_pages"),
+                    oldest_epoch_lag: obs.gauge("mvcc.oldest_epoch_lag"),
+                },
                 syncs: obs.counter("wal.syncs"),
                 group_commits: obs.counter("wal.group_commits"),
                 batch_hist: obs.histogram("wal.group_commit.batch"),
@@ -135,6 +249,7 @@ impl ConcurrentStore {
             cs: self.clone(),
             id,
             finished: false,
+            wrote: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -163,14 +278,138 @@ impl ConcurrentStore {
         &self.inner.locks
     }
 
+    // ---- MVCC: pins, publication, reclaim (DESIGN.md §14) ----------------
+
+    /// Pin the current epoch and hand back the committed root set as
+    /// of that epoch. Every pin MUST be paired with one
+    /// [`Self::unpin_and_reclaim`].
+    fn pin(&self) -> (u64, Arc<BTreeMap<u64, Arc<LargeObject>>>) {
+        let inner = &*self.inner;
+        let mut mv = inner.mvcc.lock();
+        let epoch = mv.epoch;
+        *mv.pinned.entry(epoch).or_insert(0) += 1;
+        inner.mvcc_obs.snapshots.inc();
+        let lag = epoch - mv.oldest_pin().unwrap_or(epoch);
+        inner.mvcc_obs.oldest_epoch_lag.set(lag);
+        (epoch, Arc::clone(&mv.roots))
+    }
+
+    /// Release one pin at `epoch` and apply every deferred-free batch
+    /// the oldest remaining pin has now passed. The reclaim itself
+    /// (directory-page I/O) runs under the store write latch, with the
+    /// MVCC latch already released.
+    fn unpin_and_reclaim(&self, epoch: u64) -> Result<()> {
+        let inner = &*self.inner;
+        let reclaim = {
+            let mut mv = inner.mvcc.lock();
+            if let Some(n) = mv.pinned.get_mut(&epoch) {
+                *n -= 1;
+                if *n == 0 {
+                    mv.pinned.remove(&epoch);
+                }
+            }
+            let out = mv.drain_reclaimable();
+            let lag = mv.epoch - mv.oldest_pin().unwrap_or(mv.epoch);
+            inner.mvcc_obs.oldest_epoch_lag.set(lag);
+            out
+        };
+        if reclaim.is_empty() {
+            return Ok(());
+        }
+        let mut st = inner.store.write();
+        for d in reclaim {
+            st.apply_commit(d.batch)?;
+            inner.mvcc_obs.reclaim_batches.inc();
+            inner.mvcc_obs.reclaimed_pages.add(d.pages);
+            inner.mvcc_obs.deferred_pages.sub(d.pages);
+        }
+        Ok(())
+    }
+
+    /// Publish one prepared commit to readers and retire its deferred
+    /// frees: bump the epoch, swap in a new committed root set with the
+    /// scope's touched roots and tombstones applied, then either apply
+    /// the free batch immediately (no reader pinned an older epoch) or
+    /// park it on the epoch-tagged deferred list. Called with the store
+    /// write latch held; the MVCC latch nests inside it and is released
+    /// before the frees' directory I/O.
+    fn publish_commit(&self, st: &mut ObjectStore, prep: &PreparedCommit) -> Result<()> {
+        let inner = &*self.inner;
+        let pages = st.buddy().batch_page_count(prep.batch);
+        let mut decoded = Vec::with_capacity(prep.touched.len());
+        for (id, bytes) in &prep.touched {
+            decoded.push((*id, Arc::new(LargeObject::from_bytes(bytes)?)));
+        }
+        let apply_now = {
+            let mut mv = inner.mvcc.lock();
+            mv.epoch += 1;
+            if !decoded.is_empty() || !prep.deleted.is_empty() {
+                let mut roots = (*mv.roots).clone();
+                for (id, obj) in decoded {
+                    roots.insert(id, obj);
+                }
+                for id in &prep.deleted {
+                    roots.remove(id);
+                }
+                mv.roots = Arc::new(roots);
+            }
+            let lag = mv.epoch - mv.oldest_pin().unwrap_or(mv.epoch);
+            inner.mvcc_obs.oldest_epoch_lag.set(lag);
+            if pages > 0 && !mv.pinned.is_empty() {
+                let epoch = mv.epoch;
+                mv.deferred.push_back(DeferredFrees {
+                    epoch,
+                    batch: prep.batch,
+                    pages,
+                });
+                inner.mvcc_obs.deferred_pages.add(pages);
+                false
+            } else {
+                true
+            }
+        };
+        if apply_now {
+            st.apply_commit(prep.batch)?;
+        }
+        Ok(())
+    }
+
+    /// Pin a consistent, immutable view of every committed object. The
+    /// snapshot reads entirely without range locks; pages it can see
+    /// are protected from reclaim until it drops.
+    pub fn snapshot(&self) -> Snapshot {
+        let (epoch, roots) = self.pin();
+        Snapshot {
+            cs: self.clone(),
+            epoch,
+            roots,
+        }
+    }
+
     // ---- the commit pipeline ---------------------------------------------
 
     fn commit_scope(&self, id: TxnId) -> Result<()> {
         if self.inner.group_commit {
             self.commit_grouped(id)
         } else {
-            self.inner.store.write().commit_scope(id)
+            self.commit_solo(id)
         }
+    }
+
+    /// The non-grouped durable commit, with MVCC publication: the same
+    /// barrier/append/force sequence as [`ObjectStore::commit_scope`],
+    /// then root publication and the deferred frees (parked if a
+    /// reader epoch is pinned).
+    fn commit_solo(&self, id: TxnId) -> Result<()> {
+        let mut st = self.inner.store.write();
+        let prep = st.prepare_commit(id, true)?;
+        if prep.appended && self.inner.sync_on_commit {
+            if let Some(wal) = st.durable_wal() {
+                // The log force: the commit record is durable past here.
+                wal.sync()?;
+            }
+        }
+        self.publish_commit(&mut st, &prep)
     }
 
     /// Group commit: enqueue the scope, then either wait for a leader
@@ -235,7 +474,7 @@ impl ConcurrentStore {
             let mut st = inner.store.write();
             for &t in batch {
                 let r = st.prepare_commit(t, false);
-                if matches!(r, Ok((_, true))) {
+                if matches!(&r, Ok(p) if p.appended) {
                     appended_any = true;
                 }
                 prepared.push((t, r));
@@ -253,14 +492,16 @@ impl ConcurrentStore {
             }
         }
 
-        // Phase D — apply each scope's deferred frees under the latch.
+        // Phase D — publish each scope's new roots to readers and
+        // apply (or park, behind pinned reader epochs) its deferred
+        // frees, under the latch.
         let mut out = Vec::with_capacity(prepared.len());
         let mut st = inner.store.write();
         for (t, r) in prepared {
             let res = match r {
                 // `prepare_commit` already rolled the scope back.
                 Err(e) => Err(e),
-                Ok((frees, _)) => match &force_err {
+                Ok(prep) => match &force_err {
                     // The force failed after the records were written:
                     // durability is unknown, so surface an error and
                     // drop the frees (leaking pages is recoverable by
@@ -269,7 +510,7 @@ impl ConcurrentStore {
                     Some(msg) => Err(Error::CommitFailed {
                         reason: format!("group log force failed: {msg}"),
                     }),
-                    None => st.apply_commit(frees),
+                    None => self.publish_commit(&mut st, &prep),
                 },
             };
             out.push((t, res));
@@ -298,14 +539,23 @@ impl ConcurrentStore {
 
 /// One transaction scope on a [`ConcurrentStore`].
 ///
-/// All operations follow strict 2PL: range locks accumulate as the
+/// Writes follow strict 2PL: exclusive range locks accumulate as the
 /// transaction touches bytes and are released only by [`Txn::commit`]
-/// or [`Txn::abort`] (or by `Drop`, which aborts). The handle is `Send`
-/// — move it into the thread that runs the transaction.
+/// or [`Txn::abort`] (or by `Drop`, which aborts). Reads take **no
+/// locks at all**: they pin the committed root set published by the
+/// last commit (snapshot isolation — see DESIGN.md §14) and read the
+/// version the pin protects, falling back to the transaction's own
+/// uncommitted view for objects it has written (read-your-writes).
+/// The handle is `Send` — move it into the thread that runs the
+/// transaction.
 pub struct Txn {
     cs: ConcurrentStore,
     id: TxnId,
     finished: bool,
+    /// Ids of objects this scope has written — reads of these resolve
+    /// to the caller's descriptor (the uncommitted view) instead of
+    /// the committed root set.
+    wrote: RefCell<BTreeSet<u64>>,
 }
 
 impl Txn {
@@ -324,6 +574,11 @@ impl Txn {
         r
     }
 
+    /// Note a write to `id` for read-your-writes resolution.
+    fn note_write(&self, id: u64) {
+        self.wrote.borrow_mut().insert(id);
+    }
+
     /// Create an object (optionally with initial bytes). The new
     /// object is exclusively locked by this transaction — no other
     /// transaction can see it before commit anyway, but the lock keeps
@@ -336,31 +591,61 @@ impl Txn {
             .inner
             .locks
             .lock_object(self.id, obj.id, LockMode::Exclusive);
+        self.note_write(obj.id);
         Ok(obj)
     }
 
-    /// Read `len` bytes at `offset` under a shared range lock.
+    /// Read `len` bytes at `offset` — **lock-free**. If this scope has
+    /// written the object, the caller's descriptor (its uncommitted
+    /// view) is read directly; otherwise an implicit snapshot pins the
+    /// current epoch and the read traverses the committed root for the
+    /// object id, immune to concurrent commits and page reclaim.
     pub fn read(&self, obj: &LargeObject, offset: u64, len: u64) -> Result<Vec<u8>> {
-        if len > 0 {
-            self.cs
-                .inner
-                .locks
-                .lock(self.id, obj.id, offset, offset + len, LockMode::Shared);
+        if self.wrote.borrow().contains(&obj.id) {
+            return self.cs.inner.store.read().read(obj, offset, len);
         }
-        self.cs.inner.store.read().read(obj, offset, len)
+        let (epoch, roots) = self.cs.pin();
+        let r = {
+            let st = self.cs.inner.store.read();
+            match roots.get(&obj.id) {
+                Some(committed) => st.read(committed, offset, len),
+                None => st.read(obj, offset, len),
+            }
+        };
+        self.cs.unpin_and_reclaim(epoch)?;
+        r
     }
 
-    /// Read the whole object under a shared whole-object lock.
+    /// Read the whole object — lock-free, same resolution as
+    /// [`Txn::read`].
     pub fn read_all(&self, obj: &LargeObject) -> Result<Vec<u8>> {
-        self.cs
-            .inner
-            .locks
-            .lock_object(self.id, obj.id, LockMode::Shared);
-        self.cs.inner.store.read().read_all(obj)
+        if self.wrote.borrow().contains(&obj.id) {
+            return self.cs.inner.store.read().read_all(obj);
+        }
+        let (epoch, roots) = self.cs.pin();
+        let r = {
+            let st = self.cs.inner.store.read();
+            match roots.get(&obj.id) {
+                Some(committed) => st.read_all(committed),
+                None => st.read_all(obj),
+            }
+        };
+        self.cs.unpin_and_reclaim(epoch)?;
+        r
     }
 
-    /// Overwrite bytes in place under an exclusive lock on exactly the
-    /// replaced range (offsets don't shift, §4.5's minimal footprint).
+    /// Pin an explicit named snapshot of the committed state (every
+    /// object, not just one) — independent of this transaction's
+    /// lifetime and of its uncommitted writes.
+    pub fn snapshot(&self) -> Snapshot {
+        self.cs.snapshot()
+    }
+
+    /// Overwrite bytes under an exclusive lock on exactly the replaced
+    /// range (offsets don't shift, §4.5's minimal footprint). The
+    /// rewrite is copy-on-write ([`ObjectStore::replace_shadow`]):
+    /// committed pages a reader snapshot may be traversing are never
+    /// overwritten, their frees are deferred behind the reader epochs.
     pub fn replace(&self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
         if !data.is_empty() {
             self.cs.inner.locks.lock(
@@ -371,7 +656,8 @@ impl Txn {
                 LockMode::Exclusive,
             );
         }
-        self.with_scope(|st| st.replace(obj, offset, data))
+        self.note_write(obj.id);
+        self.with_scope(|st| st.replace_shadow(obj, offset, data))
     }
 
     /// Append under an exclusive lock on the tail from the current
@@ -381,6 +667,7 @@ impl Txn {
             .inner
             .locks
             .lock_tail(self.id, obj.id, obj.size(), LockMode::Exclusive);
+        self.note_write(obj.id);
         self.with_scope(|st| st.append(obj, data))
     }
 
@@ -391,6 +678,7 @@ impl Txn {
             .inner
             .locks
             .lock_tail(self.id, obj.id, offset, LockMode::Exclusive);
+        self.note_write(obj.id);
         self.with_scope(|st| st.insert(obj, offset, data))
     }
 
@@ -400,6 +688,7 @@ impl Txn {
             .inner
             .locks
             .lock_tail(self.id, obj.id, offset, LockMode::Exclusive);
+        self.note_write(obj.id);
         self.with_scope(|st| st.delete(obj, offset, len))
     }
 
@@ -409,6 +698,7 @@ impl Txn {
             .inner
             .locks
             .lock_tail(self.id, obj.id, new_size, LockMode::Exclusive);
+        self.note_write(obj.id);
         self.with_scope(|st| st.truncate(obj, new_size))
     }
 
@@ -418,6 +708,7 @@ impl Txn {
             .inner
             .locks
             .lock_object(self.id, obj.id, LockMode::Exclusive);
+        self.note_write(obj.id);
         self.with_scope(|st| st.delete_object(obj))
     }
 
@@ -448,5 +739,68 @@ impl Drop for Txn {
             let _ = self.cs.inner.store.write().abort_scope(self.id);
             self.cs.inner.locks.release_all(self.id);
         }
+    }
+}
+
+/// A pinned, immutable view of the committed state (DESIGN.md §14).
+///
+/// Pinning is O(1): the snapshot holds an `Arc` of the committed root
+/// set published by the last commit, plus an epoch pin that keeps
+/// every page those roots reference from being reclaimed. Reads
+/// traverse the trees without any range locks and are byte-stable no
+/// matter how many writers commit concurrently. Dropping the snapshot
+/// releases the pin; deferred frees parked behind it are applied as
+/// soon as no older pin remains.
+pub struct Snapshot {
+    cs: ConcurrentStore,
+    epoch: u64,
+    roots: Arc<BTreeMap<u64, Arc<LargeObject>>>,
+}
+
+impl Snapshot {
+    /// The publication epoch this snapshot is pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ids of every object committed as of the pin, ascending.
+    pub fn object_ids(&self) -> Vec<u64> {
+        self.roots.keys().copied().collect()
+    }
+
+    /// The pinned root descriptor of `id`, if the object was committed
+    /// as of the pin. The clone stays readable through [`Self::read`]
+    /// for this snapshot's lifetime.
+    pub fn object(&self, id: u64) -> Option<LargeObject> {
+        self.roots.get(&id).map(|o| (**o).clone())
+    }
+
+    /// Size in bytes of object `id` as of the pin.
+    pub fn size_of(&self, id: u64) -> Result<u64> {
+        self.roots
+            .get(&id)
+            .map(|o| o.size())
+            .ok_or(Error::UnknownObject { id })
+    }
+
+    /// Read `len` bytes at `offset` of object `id`, as of the pin —
+    /// no locks, unaffected by commits after the pin.
+    pub fn read(&self, id: u64, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let obj = self.roots.get(&id).ok_or(Error::UnknownObject { id })?;
+        self.cs.inner.store.read().read(obj, offset, len)
+    }
+
+    /// Read the whole object `id` as of the pin.
+    pub fn read_all(&self, id: u64) -> Result<Vec<u8>> {
+        let obj = self.roots.get(&id).ok_or(Error::UnknownObject { id })?;
+        self.cs.inner.store.read().read_all(obj)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // Best effort: a failed reclaim leaks pages until the next
+        // unpin or restart recovery, never corrupts.
+        let _ = self.cs.unpin_and_reclaim(self.epoch);
     }
 }

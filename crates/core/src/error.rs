@@ -37,6 +37,13 @@ pub enum Error {
     },
     /// A transaction token was used after commit/abort.
     StaleTransaction,
+    /// A snapshot read named an object id the pinned committed root
+    /// set does not contain (never created, or deleted before the
+    /// snapshot was pinned).
+    UnknownObject {
+        /// The object id that was looked up.
+        id: u64,
+    },
     /// A group commit could not make its batch durable. On a data
     /// barrier failure the transaction was rolled back; on a log force
     /// failure its durability is unknown (restart recovery decides).
@@ -79,6 +86,9 @@ impl fmt::Display for Error {
                 write!(f, "operation `{op}` unsupported: {reason}")
             }
             Error::StaleTransaction => write!(f, "transaction already finished"),
+            Error::UnknownObject { id } => {
+                write!(f, "object {id} not in the snapshot's committed root set")
+            }
             Error::CommitFailed { reason } => write!(f, "commit failed: {reason}"),
             Error::LogFull { needed, available } => write!(
                 f,

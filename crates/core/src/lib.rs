@@ -49,7 +49,7 @@ mod verify;
 pub mod wal;
 
 pub use blobstore::BlobStore;
-pub use concurrent::{ConcurrentStore, Txn};
+pub use concurrent::{ConcurrentStore, Snapshot, Txn};
 pub use config::{StoreConfig, Threshold};
 pub use consolidate::ConsolidateStats;
 pub use eos_obs as obs;
@@ -58,6 +58,6 @@ pub use node::{node_capacity, node_min, Entry, Node};
 pub use object::LargeObject;
 pub use ops::append::AppendSession;
 pub use reshuffle::{pages, reshuffle, ReshufflePlan};
-pub use store::{ObjectStore, RecoveryReport};
+pub use store::{ObjectStore, PreparedCommit, RecoveryReport};
 pub use stream::{CompactStats, ObjectReader};
 pub use verify::{ObjectStats, Violation};

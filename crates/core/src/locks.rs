@@ -63,6 +63,9 @@ struct State {
 /// lock bookkeeping never nests latches.
 #[derive(Clone)]
 struct LockObs {
+    /// Locks granted (both `try_lock` successes and blocking `lock`
+    /// grants) — the counter the MVCC tests pin at zero for readers.
+    acquired: Counter,
     /// Acquisition attempts that found an incompatible holder
     /// (`try_lock` denials and `lock` calls that had to wait).
     conflicts: Counter,
@@ -120,10 +123,12 @@ impl RangeLockManager {
         RangeLockManager::default()
     }
 
-    /// Route conflict/block counts and the blocked-time histogram into
-    /// `metrics` (`locks.conflicts`, `locks.blocks`, `locks.wait_us`).
+    /// Route grant/conflict/block counts and the blocked-time histogram
+    /// into `metrics` (`locks.acquired`, `locks.conflicts`,
+    /// `locks.blocks`, `locks.wait_us`).
     pub fn set_metrics(&self, metrics: &Metrics) {
         *self.inner.obs.lock() = Some(LockObs {
+            acquired: metrics.counter("locks.acquired"),
             conflicts: metrics.counter("locks.conflicts"),
             blocks: metrics.counter("locks.blocks"),
             wait_us: metrics.histogram("locks.wait_us"),
@@ -149,8 +154,10 @@ impl RangeLockManager {
                 false
             }
         };
-        if !granted {
-            if let Some(o) = &obs {
+        if let Some(o) = &obs {
+            if granted {
+                o.acquired.inc();
+            } else {
                 o.conflicts.inc();
             }
         }
@@ -175,8 +182,9 @@ impl RangeLockManager {
                 self.inner.cv.wait(&mut st);
             }
         }
-        if waited {
-            if let Some(o) = &obs {
+        if let Some(o) = &obs {
+            o.acquired.inc();
+            if waited {
                 o.conflicts.inc();
                 o.blocks.inc();
                 o.wait_us.record(duration_us(t0.elapsed()));

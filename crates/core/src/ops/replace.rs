@@ -5,11 +5,17 @@
 //! pages and leaves the index untouched, so it is protected by logging
 //! rather than shadowing (§4.5). Only partially overwritten boundary
 //! pages need to be read first.
+//!
+//! [`run_shadow`] is the MVCC variant: it rewrites every touched
+//! segment copy-on-write onto a fresh extent and defers the free of
+//! the old one, so a committed image a reader snapshot has pinned is
+//! never overwritten (the concurrent front-end's lock-free read path
+//! depends on exactly this).
 
 use crate::error::{Error, Result};
 use crate::object::LargeObject;
 use crate::store::ObjectStore;
-use crate::tree::{descend, leaf_entry};
+use crate::tree::{descend, leaf_entry, propagate};
 
 pub(crate) fn run(
     store: &mut ObjectStore,
@@ -62,4 +68,61 @@ pub(crate) fn run(
         super::read::advance(store, &mut path)?;
         rel = 0;
     }
+}
+
+/// Copy-on-write replace (§4.5 applied to leaf pages): every segment
+/// the range touches is re-materialized — old segment read, replaced
+/// bytes overlaid, result written to a **freshly allocated** extent of
+/// the same size — and the old extent is freed *deferred* into the
+/// active transaction's release-lock batch. The index path above each
+/// touched segment is rewritten through the normal shadowing
+/// `propagate`, so the committed tree (root descriptor, index pages,
+/// leaf segments) stays byte-identical on disk until the deferral is
+/// reclaimed. No before-images and no mid-operation log force are
+/// needed: like insert/delete/append, nothing committed is overwritten.
+pub(crate) fn run_shadow(
+    store: &mut ObjectStore,
+    obj: &mut LargeObject,
+    offset: u64,
+    data: &[u8],
+) -> Result<()> {
+    let size = obj.size();
+    let len = data.len() as u64;
+    if offset.checked_add(len).is_none_or(|end| end > size) {
+        return Err(Error::OutOfObjectBounds {
+            offset,
+            len,
+            object_size: size,
+        });
+    }
+    if data.is_empty() {
+        return Ok(());
+    }
+    let ps = store.ps();
+    let mut off = offset;
+    let mut src = data;
+    while !src.is_empty() {
+        // Re-descend for every segment: `propagate` below rewrites the
+        // whole index path (shadowed), so a saved path goes stale the
+        // moment one segment is swapped.
+        let (mut path, rel) = descend(store, obj, off)?;
+        let e = leaf_entry(&path);
+        let take = (e.bytes - rel).min(src.len() as u64);
+        let seg_pages = e.bytes.div_ceil(ps);
+        let mut buf = store.volume().read_pages(e.ptr, seg_pages)?;
+        let lo = rel as usize;
+        // lint: allow(panic, reason = "rel + take <= e.bytes <= buf len by leaf geometry; take <= src len by min")
+        buf[lo..lo + take as usize].copy_from_slice(&src[..take as usize]);
+        let ext = store.alloc_extent(seg_pages)?;
+        store.volume().write_pages(ext.start, &buf)?;
+        store.free_pages(e.ptr, seg_pages)?;
+        if let Some(step) = path.last_mut() {
+            step.node.entries[step.child].ptr = ext.start;
+        }
+        propagate(store, obj, path)?;
+        off += take;
+        // lint: allow(panic, reason = "take <= src len by the min above")
+        src = &src[take as usize..];
+    }
+    Ok(())
 }

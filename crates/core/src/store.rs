@@ -62,6 +62,22 @@ struct TxnState {
     deleted: Vec<u64>,
 }
 
+/// The outcome of [`ObjectStore::prepare_commit`]: everything the
+/// caller needs to finish the commit after its log force — and, for
+/// the MVCC front-end, to publish the scope's new roots to readers.
+pub struct PreparedCommit {
+    /// The scope's deferred-free batch, to apply once the commit
+    /// record is durable (or to park behind pinned reader epochs).
+    pub batch: FreeBatch,
+    /// Whether a commit record was appended at all (read-only scopes
+    /// skip the log entirely).
+    pub appended: bool,
+    /// Serialized root descriptor of every object the scope touched.
+    pub touched: BTreeMap<u64, Vec<u8>>,
+    /// Objects the scope deleted (tombstones in the commit record).
+    pub deleted: Vec<u64>,
+}
+
 impl ObjectStore {
     /// Format `num_spaces` buddy spaces of `pages_per_space` data pages
     /// on the volume and return an empty store.
@@ -407,43 +423,55 @@ impl ObjectStore {
     /// ([`Self::prepare_commit`], its own single log force,
     /// [`Self::apply_commit`]) so one fsync covers a whole batch.
     pub fn commit_scope(&mut self, id: TxnId) -> Result<()> {
-        let (batch, appended) = self.prepare_commit(id, true)?;
-        if appended && self.config.sync_on_commit {
+        let prep = self.prepare_commit(id, true)?;
+        if prep.appended && self.config.sync_on_commit {
             if let Some(wal) = &self.wal {
                 // The log force: the commit record is durable past here.
                 wal.sync()?;
             }
         }
-        self.apply_commit(batch)
+        self.apply_commit(prep.batch)
     }
 
     /// Phase 1 of a commit: close the scope's book-keeping and append
     /// (without forcing) its [`WalEntry::Commit`] record. Returns the
-    /// deferred-free batch to apply once the record is durable, and
-    /// whether a record was appended at all (read-only scopes skip the
-    /// log entirely). With `data_barrier` the volume is synced before
-    /// the append, so the record never points at shadowed pages the OS
-    /// could still be holding back; the group-commit leader passes
-    /// `false` after issuing one barrier for the whole batch.
+    /// [`PreparedCommit`] the caller finishes with: the deferred-free
+    /// batch to apply once the record is durable, whether a record was
+    /// appended at all (read-only scopes skip the log entirely), and
+    /// the touched-root/tombstone sets the MVCC front-end publishes to
+    /// lock-free readers. With `data_barrier` the volume is synced
+    /// before the append, so the record never points at shadowed pages
+    /// the OS could still be holding back; the group-commit leader
+    /// passes `false` after issuing one barrier for the whole batch.
     ///
     /// On any error (most importantly [`Error::LogFull`]) the scope is
     /// **fully aborted** — before-images restored, allocations
     /// returned, deferred frees dropped, an Abort record appended —
     /// so a failed commit can never leave the store half-applied.
-    pub fn prepare_commit(&mut self, id: TxnId, data_barrier: bool) -> Result<(FreeBatch, bool)> {
+    pub fn prepare_commit(&mut self, id: TxnId, data_barrier: bool) -> Result<PreparedCommit> {
         let txn = self.txns.remove(&id).ok_or(Error::StaleTransaction)?;
         if self.active == Some(id) {
             self.active = None;
         }
         let batch = txn.batch;
         let Some(wal) = &mut self.wal else {
-            return Ok((batch, false));
+            return Ok(PreparedCommit {
+                batch,
+                appended: false,
+                touched: txn.touched,
+                deleted: txn.deleted,
+            });
         };
         let worth_logging = !txn.touched.is_empty()
             || !txn.deleted.is_empty()
             || wal.pending_for(id).next().is_some();
         if !worth_logging {
-            return Ok((batch, false));
+            return Ok(PreparedCommit {
+                batch,
+                appended: false,
+                touched: txn.touched,
+                deleted: txn.deleted,
+            });
         }
         let entry = WalEntry::Commit {
             txn: id,
@@ -460,7 +488,12 @@ impl ObjectStore {
             let _ = self.abort_scope(id);
             return Err(e);
         }
-        Ok((batch, true))
+        Ok(PreparedCommit {
+            batch,
+            appended: true,
+            touched: txn.touched,
+            deleted: txn.deleted,
+        })
     }
 
     /// Phase 3 of a commit: apply the deferred frees. Only called once
@@ -583,6 +616,28 @@ impl ObjectStore {
             return self.logged_replace(obj, offset, data);
         }
         ops::replace::run(self, obj, offset, data)?;
+        self.paranoid_check(obj)
+    }
+
+    /// Overwrite bytes at `offset` **copy-on-write**: every touched
+    /// segment is rewritten onto a fresh extent and the old extent's
+    /// free is deferred behind the scope's release lock, so the
+    /// committed image — and any MVCC reader snapshot pinned on it —
+    /// stays intact on disk until the scope commits and the deferral
+    /// is reclaimed. Functionally identical to [`Self::replace`]; the
+    /// concurrent front-end uses this variant so its lock-free readers
+    /// never observe a half-applied overwrite.
+    pub fn replace_shadow(
+        &mut self,
+        obj: &mut LargeObject,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        let _span = self.obs.span(OpKind::Replace, &self.volume);
+        if self.wal.is_some() {
+            return self.logged_replace_shadow(obj, offset, data);
+        }
+        ops::replace::run_shadow(self, obj, offset, data)?;
         self.paranoid_check(obj)
     }
 

@@ -202,6 +202,25 @@ impl ObjectStore {
         })
     }
 
+    /// The durable side of [`ObjectStore::replace_shadow`]: because the
+    /// copy-on-write rewrite never overwrites committed pages, it needs
+    /// no before-images and no mid-operation log force — exactly like
+    /// insert/delete/append, a [`WalEntry::Touch`] stamping the new
+    /// root is the whole trail, and the commit record is the single
+    /// durable point.
+    pub(crate) fn logged_replace_shadow(
+        &mut self,
+        obj: &mut LargeObject,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
+        self.with_autocommit(|s| {
+            ops::replace::run_shadow(s, obj, offset, data)?;
+            s.log_touch(obj)?;
+            s.paranoid_check(obj)
+        })
+    }
+
     pub(crate) fn logged_append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
         self.with_autocommit(|s| {
             {

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use eos::core::{LargeObject, ObjectStore, StoreConfig};
+use eos::core::{ConcurrentStore, LargeObject, ObjectStore, StoreConfig};
 use eos::pager::{CrashPointVolume, DiskProfile, MemVolume, SharedVolume};
 
 const PAGE: usize = 512;
@@ -310,6 +310,164 @@ fn crash_sweep_every_io_point() {
                 states[committed].keys().collect::<Vec<_>>(),
             );
             assert_checker_clean(&rstore, &objects, &format!("k={k} torn={torn}"));
+        }
+    }
+}
+
+// ---- MVCC publication/reclaim crash sweep (DESIGN.md §14) ------------------
+
+/// The MVCC workload, replayed transaction by transaction through the
+/// concurrent front-end: commits publish roots while snapshots pin
+/// epochs (parking the deferred frees), and snapshot drops run the
+/// reclaim I/O. Returns how many transactions committed and whether
+/// the failure surfaced inside a commit (the limbo window).
+fn run_mvcc_workload(cs: &ConcurrentStore) -> Outcome {
+    let mut committed = 0usize;
+
+    // txn 1: two objects are born.
+    let txn = cs.begin();
+    let mut a = match txn.create(&pattern(3 * PAGE + 50, 31), None) {
+        Ok(o) => o,
+        Err(_) => return Outcome::CrashedInTxn(committed),
+    };
+    let mut b = match txn.create(&pattern(PAGE + 30, 32), None) {
+        Ok(o) => o,
+        Err(_) => return Outcome::CrashedInTxn(committed),
+    };
+    if txn.commit().is_err() {
+        return Outcome::CrashedInCommit(committed);
+    }
+    committed += 1;
+
+    // A stalled reader pins the two-object epoch: every free below
+    // parks behind it until the drop.
+    let pin = cs.snapshot();
+
+    // txn 2: copy-on-write replace + growth — all frees parked.
+    let txn = cs.begin();
+    if txn.replace(&mut a, 100, &pattern(400, 33)).is_err()
+        || txn.append(&mut b, &pattern(600, 34)).is_err()
+    {
+        return Outcome::CrashedInTxn(committed);
+    }
+    if txn.commit().is_err() {
+        return Outcome::CrashedInCommit(committed);
+    }
+    committed += 1;
+
+    // txn 3: shrink + splice, still pinned.
+    let txn = cs.begin();
+    if txn.delete(&mut a, 300, 700).is_err() || txn.insert(&mut b, 64, &pattern(200, 35)).is_err() {
+        return Outcome::CrashedInTxn(committed);
+    }
+    if txn.commit().is_err() {
+        return Outcome::CrashedInCommit(committed);
+    }
+    committed += 1;
+
+    // Reclaim I/O point: dropping the pin applies every parked batch
+    // (directory-page writes). A crash in here is swallowed by the
+    // drop — the next transaction surfaces it.
+    drop(pin);
+
+    // txn 4 under a second pin: one object dies (tombstone publish).
+    let pin = cs.snapshot();
+    let txn = cs.begin();
+    if txn.replace(&mut a, 0, &pattern(128, 36)).is_err() || txn.delete_object(&mut b).is_err() {
+        return Outcome::CrashedInTxn(committed);
+    }
+    if txn.commit().is_err() {
+        return Outcome::CrashedInCommit(committed);
+    }
+    committed += 1;
+    drop(pin);
+
+    // txn 5: final touch with no reader pinned — frees apply inline.
+    let txn = cs.begin();
+    if txn.truncate(&mut a, 800).is_err() {
+        return Outcome::CrashedInTxn(committed);
+    }
+    if txn.commit().is_err() {
+        return Outcome::CrashedInCommit(committed);
+    }
+
+    Outcome::Completed
+}
+
+/// `states[j]` = object id → bytes after `j` committed MVCC txns.
+fn mvcc_model_states() -> Vec<BTreeMap<u64, Vec<u8>>> {
+    let mut states = vec![BTreeMap::new()];
+    let mut a = pattern(3 * PAGE + 50, 31);
+    let mut b = pattern(PAGE + 30, 32);
+    states.push(BTreeMap::from([(1, a.clone()), (2, b.clone())]));
+    a[100..500].copy_from_slice(&pattern(400, 33));
+    b.extend(pattern(600, 34));
+    states.push(BTreeMap::from([(1, a.clone()), (2, b.clone())]));
+    a.drain(300..1000);
+    b.splice(64..64, pattern(200, 35));
+    states.push(BTreeMap::from([(1, a.clone()), (2, b.clone())]));
+    a[..128].copy_from_slice(&pattern(128, 36));
+    states.push(BTreeMap::from([(1, a.clone())]));
+    a.truncate(800);
+    states.push(BTreeMap::from([(1, a.clone())]));
+    states
+}
+
+/// Satellite: crash at every write I/O point of the MVCC commit path —
+/// root publication, deferred-free parking, and the reclaim that runs
+/// when the last pin drops. Every image must recover to a committed
+/// prefix (or the §4.5 limbo successor) with `eos-check` clean: a
+/// parked batch lost in the crash must come back as *free* pages, not
+/// as leaks.
+#[test]
+fn crash_sweep_mvcc_publish_and_reclaim() {
+    let states = mvcc_model_states();
+
+    // Unarmed counting run.
+    let (store, gate) = fresh_store();
+    gate.arm(u64::MAX, false);
+    let cs = ConcurrentStore::new(store);
+    assert_eq!(run_mvcc_workload(&cs), Outcome::Completed);
+    drop(cs);
+    let total_writes = gate.writes_seen();
+    println!("mvcc crash sweep: {total_writes} I/O points, clean + torn");
+    assert!(
+        total_writes >= 40,
+        "MVCC workload too small for a meaningful sweep: {total_writes} writes"
+    );
+    let (_, final_bytes, _) = recover(gate.image().unwrap());
+    assert_eq!(&final_bytes, states.last().unwrap(), "unarmed end state");
+
+    for torn in [false, true] {
+        for k in 0..total_writes {
+            let (store, gate) = fresh_store();
+            gate.arm(k, torn);
+            let cs = ConcurrentStore::new(store);
+            let outcome = run_mvcc_workload(&cs);
+            drop(cs);
+            assert!(
+                gate.has_crashed(),
+                "mvcc k={k} torn={torn}: the armed crash never fired"
+            );
+            let (rstore, recovered, objects) = recover(gate.image().unwrap());
+
+            let committed = match outcome {
+                Outcome::Completed => {
+                    panic!("mvcc k={k} torn={torn}: workload completed despite the crash")
+                }
+                Outcome::CrashedInTxn(n) | Outcome::CrashedInCommit(n) => n,
+            };
+            let limbo_ok = matches!(outcome, Outcome::CrashedInCommit(_))
+                && recovered == states[committed + 1];
+            assert!(
+                recovered == states[committed] || limbo_ok,
+                "mvcc k={k} torn={torn}: recovered state matches neither the \
+                 {committed}-txn prefix nor (in commit limbo) the next one.\n\
+                 recovered ids: {:?}\nexpected ids: {:?}",
+                recovered.keys().collect::<Vec<_>>(),
+                states[committed].keys().collect::<Vec<_>>(),
+            );
+            assert_checker_clean(&rstore, &objects, &format!("mvcc k={k} torn={torn}"));
         }
     }
 }

@@ -18,7 +18,7 @@
 //!   byte, and the contents must survive a reopen-with-recovery.
 
 use eos::baselines::{ExodusStore, StarburstStore, SystemRStore, WissStore};
-use eos::core::{BlobStore, LargeObject, ObjectStore, StoreConfig};
+use eos::core::{BlobStore, ConcurrentStore, LargeObject, ObjectStore, Snapshot, StoreConfig, Txn};
 use eos::pager::{DiskProfile, MemVolume, SharedVolume};
 use proptest::prelude::*;
 
@@ -349,5 +349,191 @@ proptest! {
             .find(|o| o.id() == id)
             .expect("object survived reopen");
         prop_assert_eq!(reopened.read_all(desc).unwrap(), model);
+    }
+}
+
+// ---- snapshot isolation (MVCC, DESIGN.md §14) ------------------------------
+
+/// One step of the snapshot-isolation script.
+#[derive(Debug, Clone)]
+enum SnapAct {
+    /// Run a writer transaction over object `obj % 2` (committed or
+    /// aborted), checking mid-transaction that no snapshot can see the
+    /// uncommitted writes.
+    Txn {
+        obj: usize,
+        ops: Vec<Op>,
+        commit: bool,
+    },
+    /// Pin a reader snapshot, remembering the model at the pin point.
+    Pin,
+    /// Replay every object through pinned reader `r` (mod live pins):
+    /// the view must be byte-equal to the model *at its pin point*.
+    ReadPinned { r: usize },
+    /// Drop pinned reader `r` (mod live pins), releasing its epoch.
+    DropPin { r: usize },
+}
+
+fn snap_acts() -> impl Strategy<Value = Vec<SnapAct>> {
+    let writer_ops = proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..900).prop_map(|len| Op::Append { len }),
+            3 => (any::<u64>(), 0usize..700).prop_map(|(at, len)| Op::Insert { at, len }),
+            3 => (any::<u64>(), any::<u64>())
+                .prop_map(|(at, len)| Op::Delete { at, len: len % 1_500 }),
+            2 => (any::<u64>(), 0usize..600).prop_map(|(at, len)| Op::Replace { at, len }),
+            1 => any::<u64>().prop_map(|to| Op::Truncate { to }),
+        ],
+        1..6,
+    );
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (any::<usize>(), writer_ops, any::<u8>())
+                .prop_map(|(obj, ops, b)| SnapAct::Txn { obj, ops, commit: b % 5 != 0 }),
+            2 => Just(SnapAct::Pin),
+            3 => any::<usize>().prop_map(|r| SnapAct::ReadPinned { r }),
+            2 => any::<usize>().prop_map(|r| SnapAct::DropPin { r }),
+        ],
+        1..30,
+    )
+}
+
+/// Replay one concrete op through a transaction handle.
+fn txn_apply(txn: &Txn, obj: &mut LargeObject, c: &Cop) {
+    match c {
+        Cop::Append(data) => txn.append(obj, data).unwrap(),
+        Cop::Insert(at, data) => txn.insert(obj, *at, data).unwrap(),
+        Cop::Delete(at, len) => txn.delete(obj, *at, *len).unwrap(),
+        Cop::Replace(at, data) => txn.replace(obj, *at, data).unwrap(),
+        Cop::Truncate(to) => txn.truncate(obj, *to).unwrap(),
+        Cop::Read(..) | Cop::Compact | Cop::Consolidate => {
+            unreachable!("not in the writer op set")
+        }
+    }
+}
+
+/// A pinned reader and what the world looked like when it pinned.
+fn assert_pinned_view(snap: &Snapshot, objs: &[LargeObject], models: &[Vec<u8>]) {
+    for (obj, model) in objs.iter().zip(models) {
+        assert_eq!(
+            &snap.read_all(obj.id()).unwrap(),
+            model,
+            "pinned view of object {} diverged from its pin-point model",
+            obj.id()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: prop_cases(), ..ProptestConfig::default() })]
+
+    /// Model-based snapshot isolation: interleaved writer transactions
+    /// and pinned readers over a shared durable store. Every pinned
+    /// reader's view stays byte-equal to the model at its pin point —
+    /// across later commits, aborts, and mid-transaction states — and
+    /// the volume comes out of the run structurally clean (no pages
+    /// leaked by the deferred-free parking).
+    #[test]
+    fn pinned_readers_see_their_pin_point(acts in snap_acts()) {
+        const SPACES: usize = 2;
+        const PPS: u64 = 1024;
+        const WAL_PAGES: u64 = 62;
+        let volume = MemVolume::with_profile(
+            1024,
+            (PPS + 1) * SPACES as u64 + WAL_PAGES,
+            DiskProfile::FREE,
+        )
+        .shared();
+        let mut store = ObjectStore::create_durable(
+            volume,
+            SPACES,
+            PPS,
+            StoreConfig::default(),
+            WAL_PAGES,
+        )
+        .unwrap();
+        let mut objs = vec![
+            store.create_with(&fill(1, 700), None).unwrap(),
+            store.create_with(&fill(2, 1_300), None).unwrap(),
+        ];
+        let mut models: Vec<Vec<u8>> = vec![fill(1, 700), fill(2, 1_300)];
+        let cs = ConcurrentStore::new(store);
+        let mut pins: Vec<(Snapshot, Vec<Vec<u8>>)> = Vec::new();
+
+        for (i, act) in acts.iter().enumerate() {
+            match act {
+                SnapAct::Txn { obj, ops, commit } => {
+                    let o = obj % objs.len();
+                    let txn = cs.begin();
+                    let mut work = objs[o].clone();
+                    let mut m = models[o].clone();
+                    for (j, op) in ops.iter().enumerate() {
+                        let seed = (i * 7 + j) as u8;
+                        let Some(c) = concretize(op, m.len() as u64, seed, 8_000) else {
+                            continue;
+                        };
+                        model_apply(&mut m, &c);
+                        txn_apply(&txn, &mut work, &c);
+                    }
+                    // Read-your-writes: the writing scope sees its own
+                    // uncommitted bytes...
+                    prop_assert_eq!(&txn.read_all(&work).unwrap(), &m);
+                    // ...while a snapshot pinned mid-transaction sees
+                    // only the last *committed* state.
+                    let mid = cs.snapshot();
+                    prop_assert_eq!(&mid.read_all(objs[o].id()).unwrap(), &models[o]);
+                    drop(mid);
+                    if *commit {
+                        txn.commit().unwrap();
+                        objs[o] = work;
+                        models[o] = m;
+                    } else {
+                        txn.abort().unwrap();
+                    }
+                    // Uncommitted (or aborted) writes never leak into a
+                    // fresh post-transaction snapshot either.
+                    let now = cs.snapshot();
+                    assert_pinned_view(&now, &objs, &models);
+                    drop(now);
+                }
+                SnapAct::Pin => {
+                    let snap = cs.snapshot();
+                    assert_pinned_view(&snap, &objs, &models);
+                    pins.push((snap, models.clone()));
+                }
+                SnapAct::ReadPinned { r } => {
+                    if !pins.is_empty() {
+                        let (snap, at_pin) = &pins[r % pins.len()];
+                        assert_pinned_view(snap, &objs, at_pin);
+                    }
+                }
+                SnapAct::DropPin { r } => {
+                    if !pins.is_empty() {
+                        let idx = r % pins.len();
+                        pins.remove(idx);
+                    }
+                }
+            }
+        }
+        // Every surviving pin still reads its pin point at the end.
+        for (snap, at_pin) in &pins {
+            assert_pinned_view(snap, &objs, at_pin);
+        }
+        drop(pins);
+
+        let store = match cs.try_into_inner() {
+            Ok(s) => s,
+            Err(_) => panic!("a handle outlived the script"),
+        };
+        let named: Vec<(String, LargeObject)> = objs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (format!("obj-{i}"), o.clone()))
+            .collect();
+        let report = eos_check::check_store(&store, &named, None);
+        prop_assert!(report.is_clean(), "{}", report.render_table());
+        for (obj, model) in objs.iter().zip(&models) {
+            prop_assert_eq!(&store.read_all(obj).unwrap(), model);
+        }
     }
 }

@@ -1,0 +1,299 @@
+//! MVCC snapshot reads (DESIGN.md §14): epoch pins, root publication,
+//! deferred-free parking and reclaim, and the lock-free read path.
+//!
+//! Three properties are pinned here, each against the `mvcc.*` and
+//! `locks.*` instruments so regressions surface as counter drift, not
+//! just as corrupted bytes:
+//!
+//! 1. A stalled reader parks every superseded page: writers churn, the
+//!    reader's view stays byte-identical, nothing is reclaimed until it
+//!    drops — and then everything is.
+//! 2. Readers acquire **zero** range locks: the `locks.acquired`
+//!    counter is flat across a read-only phase.
+//! 3. A snapshot is one frozen epoch: later commits (including objects
+//!    created after the pin) are invisible to it, while fresh reads see
+//!    them immediately.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use eos::core::{ConcurrentStore, Error, LargeObject, ObjectStore, StoreConfig};
+use eos::obs::Metrics;
+use eos::pager::{DiskProfile, MemVolume, SharedVolume, ThrottledVolume};
+
+fn pattern(seed: u8, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| seed.wrapping_add((i % 249) as u8))
+        .collect()
+}
+
+/// A durable store on a throttled in-memory volume, with its own
+/// metrics domain so the `mvcc.*` / `locks.*` assertions are not
+/// polluted by other tests in the process.
+fn durable_store(metrics: &Metrics) -> ObjectStore {
+    // Four buddy spaces: parked deferred-free batches keep superseded
+    // pages *allocated* until the stalled reader drops, so the churn
+    // tests need roughly double the live working set.
+    let inner: SharedVolume =
+        MemVolume::with_profile(1024, (1024 + 1) * 4 + 62, DiskProfile::FREE).shared();
+    let volume: SharedVolume = Arc::new(ThrottledVolume::new(inner, Duration::from_micros(50)));
+    let mut store = ObjectStore::create_durable(
+        volume,
+        4,
+        1024,
+        StoreConfig {
+            sync_on_commit: true,
+            ..StoreConfig::default()
+        },
+        62,
+    )
+    .unwrap();
+    store.set_metrics(metrics);
+    store
+}
+
+fn check_clean(cs: ConcurrentStore, named: &[(String, LargeObject)]) {
+    let store = match cs.try_into_inner() {
+        Ok(s) => s,
+        Err(_) => panic!("a ConcurrentStore handle outlived the test"),
+    };
+    let report = eos_check::check_store(&store, named, None);
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+/// Satellite: the reclaim-safety stress. A deliberately stalled reader
+/// pins the first epoch while writer threads churn replace/append
+/// transactions; superseded pages must park (deferred_pages > 0), the
+/// stalled view must stay byte-identical throughout, and dropping the
+/// reader must reclaim every parked batch (deferred_pages back to 0).
+#[test]
+fn stalled_reader_parks_superseded_pages_until_it_drops() {
+    const WRITERS: u64 = 4;
+    const TXNS: u64 = 12;
+    let metrics = Metrics::new();
+    let mut store = durable_store(&metrics);
+
+    let before = pattern(3, 60_000);
+    let target = store.create_with(&before, None).unwrap();
+    let cs = ConcurrentStore::new(store);
+
+    // The stalled reader: pins the epoch *before* any churn.
+    let stalled = cs.snapshot();
+    assert_eq!(stalled.read_all(target.id()).unwrap(), before);
+
+    // Churn: every writer owns one object and replaces ranges of it,
+    // freeing its superseded segments at each commit — all of which
+    // must park behind the stalled pin.
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let cs = cs.clone();
+        handles.push(std::thread::spawn(move || {
+            let txn = cs.begin();
+            let mut obj = txn.create(&pattern(w as u8, 20_000), None).unwrap();
+            txn.commit().unwrap();
+            for i in 0..TXNS {
+                let txn = cs.begin();
+                let off = (i * 1_337) % 10_000;
+                txn.replace(&mut obj, off, &pattern((w + i) as u8, 4_000))
+                    .unwrap();
+                txn.commit().unwrap();
+            }
+            obj
+        }));
+    }
+    let churned: Vec<LargeObject> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let snap = metrics.snapshot();
+    let parked = snap.gauge("mvcc.deferred_pages").unwrap_or(0);
+    assert!(
+        parked > 0,
+        "writer churn under a stalled reader parked nothing"
+    );
+    assert!(snap.gauge("mvcc.oldest_epoch_lag").unwrap_or(0) > 0);
+
+    // The stalled view is still byte-identical — the pages its roots
+    // reference were superseded but not reclaimed.
+    assert_eq!(stalled.read_all(target.id()).unwrap(), before);
+
+    // Drop the pin: everything parked is reclaimable now (no other
+    // reader is live), so the deferred list must drain to zero.
+    drop(stalled);
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.gauge("mvcc.deferred_pages").unwrap_or(0),
+        0,
+        "parked batches survived the last reader"
+    );
+    assert!(snap.counter("mvcc.reclaim_batches").unwrap_or(0) > 0);
+    assert!(snap.counter("mvcc.reclaimed_pages").unwrap_or(0) > 0);
+    assert_eq!(snap.gauge("mvcc.oldest_epoch_lag").unwrap_or(0), 0);
+
+    let mut named = vec![("target".to_string(), target)];
+    for (w, obj) in churned.into_iter().enumerate() {
+        named.push((format!("churn-{w}"), obj));
+    }
+    check_clean(cs, &named);
+}
+
+/// Satellite: the read path takes no range locks. After a write phase
+/// (which does lock), a read-only phase of `Txn::read` and snapshot
+/// reads must leave `locks.acquired` exactly where it was.
+#[test]
+fn readers_acquire_zero_range_locks() {
+    let metrics = Metrics::new();
+    let mut store = durable_store(&metrics);
+    let bytes = pattern(9, 50_000);
+    let shared = store.create_with(&bytes, None).unwrap();
+    let cs = ConcurrentStore::new(store);
+
+    // Write phase: locks are taken (sanity for the instrument itself).
+    let txn = cs.begin();
+    let mut obj = txn.create(&pattern(1, 8_000), None).unwrap();
+    txn.commit().unwrap();
+    let txn = cs.begin();
+    txn.replace(&mut obj, 100, &pattern(2, 2_000)).unwrap();
+    txn.commit().unwrap();
+    let locks_after_writes = metrics.snapshot().counter("locks.acquired").unwrap_or(0);
+    assert!(locks_after_writes > 0, "writers never touched the table");
+
+    // Read-only phase: four reader threads, a mix of per-read implicit
+    // pins and block reads under one snapshot, all content-checked.
+    let mut readers = Vec::new();
+    for r in 0..4u64 {
+        let cs = cs.clone();
+        let expect = bytes.clone();
+        let obj = shared.clone();
+        readers.push(std::thread::spawn(move || {
+            for i in 0..30u64 {
+                let off = (r * 997 + i * 4_099) % 45_000;
+                let txn = cs.begin();
+                let got = txn.read(&obj, off, 4_000).unwrap();
+                assert_eq!(got, &expect[off as usize..off as usize + 4_000]);
+                txn.commit().unwrap();
+            }
+            let snap = cs.snapshot();
+            for i in 0..30u64 {
+                let off = (r * 31 + i * 2_003) % 45_000;
+                let got = snap.read(obj.id(), off, 4_000).unwrap();
+                assert_eq!(got, &expect[off as usize..off as usize + 4_000]);
+            }
+        }));
+    }
+    for h in readers {
+        h.join().unwrap();
+    }
+
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter("locks.acquired").unwrap_or(0),
+        locks_after_writes,
+        "the read-only phase moved the lock-grant counter"
+    );
+    assert_eq!(snap.counter("locks.conflicts").unwrap_or(0), 0);
+    assert_eq!(cs.locks().held_count(shared.id()), 0);
+    // Every read (implicit or snapshot) pinned an epoch.
+    assert!(snap.counter("mvcc.snapshots").unwrap_or(0) >= 4 * 31);
+
+    check_clean(
+        cs,
+        &[("shared".to_string(), shared), ("w".to_string(), obj)],
+    );
+}
+
+/// A snapshot is one frozen epoch: commits after the pin — replaces,
+/// appends, deletes, and whole new objects — are invisible through it,
+/// while fresh transactions and fresh snapshots see every one of them.
+#[test]
+fn snapshot_is_a_frozen_epoch() {
+    let metrics = Metrics::new();
+    let mut store = durable_store(&metrics);
+    let v1 = pattern(5, 30_000);
+    let a = store.create_with(&v1, None).unwrap();
+    let cs = ConcurrentStore::new(store);
+
+    let old = cs.snapshot();
+    assert_eq!(old.object_ids(), vec![a.id()]);
+    assert_eq!(old.size_of(a.id()).unwrap(), v1.len() as u64);
+
+    // Advance the store: mutate `a` and create `b`.
+    let mut a2 = a.clone();
+    let txn = cs.begin();
+    txn.replace(&mut a2, 1_000, &pattern(77, 5_000)).unwrap();
+    txn.append(&mut a2, &pattern(78, 2_000)).unwrap();
+    let b = txn.create(&pattern(79, 9_000), None).unwrap();
+    txn.commit().unwrap();
+
+    // The frozen view: pre-commit bytes, no `b`.
+    assert_eq!(old.read_all(a.id()).unwrap(), v1);
+    assert!(matches!(
+        old.read_all(b.id()),
+        Err(Error::UnknownObject { .. })
+    ));
+    assert!(old.object(b.id()).is_none());
+
+    // A *fresh* snapshot and a fresh transaction both see the commit.
+    let new = cs.snapshot();
+    assert!(new.epoch() > old.epoch());
+    let mut want = v1.clone();
+    want[1_000..6_000].copy_from_slice(&pattern(77, 5_000));
+    want.extend(pattern(78, 2_000));
+    assert_eq!(new.read_all(a.id()).unwrap(), want);
+    assert_eq!(new.read_all(b.id()).unwrap(), pattern(79, 9_000));
+    let txn = cs.begin();
+    assert_eq!(txn.read_all(&a2).unwrap(), want);
+    txn.commit().unwrap();
+
+    // Read-your-writes: inside a writing transaction, reads of the
+    // written object resolve to the uncommitted view, not the pin.
+    let txn = cs.begin();
+    let mut a3 = a2.clone();
+    txn.replace(&mut a3, 0, b"XYZZY").unwrap();
+    assert_eq!(&txn.read(&a3, 0, 5).unwrap(), b"XYZZY");
+    txn.abort().unwrap();
+    // ... and the abort keeps the committed view intact.
+    let txn = cs.begin();
+    assert_eq!(txn.read(&a2, 0, 5).unwrap(), &want[..5]);
+    txn.commit().unwrap();
+
+    drop(old);
+    drop(new);
+    check_clean(cs, &[("a".to_string(), a2), ("b".to_string(), b)]);
+}
+
+/// The solo (non-grouped) commit path publishes roots the same way the
+/// grouped path does: without publication, a snapshot after a solo
+/// commit would still resolve the old root.
+#[test]
+fn solo_commits_publish_to_readers_too() {
+    let metrics = Metrics::new();
+    let mut store = durable_store(&metrics);
+    let v1 = pattern(11, 12_000);
+    let a = store.create_with(&v1, None).unwrap();
+    let cs = ConcurrentStore::with_group_commit(store, false);
+
+    let mut a2 = a.clone();
+    let txn = cs.begin();
+    txn.replace(&mut a2, 0, &pattern(12, 3_000)).unwrap();
+    txn.commit().unwrap();
+
+    let snap = cs.snapshot();
+    let mut want = v1.clone();
+    want[..3_000].copy_from_slice(&pattern(12, 3_000));
+    assert_eq!(snap.read_all(a.id()).unwrap(), want);
+    drop(snap);
+
+    // A stalled reader parks solo-commit frees just the same.
+    let pin = cs.snapshot();
+    let txn = cs.begin();
+    txn.replace(&mut a2, 4_000, &pattern(13, 3_000)).unwrap();
+    txn.commit().unwrap();
+    assert!(metrics.snapshot().gauge("mvcc.deferred_pages").unwrap_or(0) > 0);
+    assert_eq!(pin.read_all(a.id()).unwrap(), want);
+    drop(pin);
+    assert_eq!(
+        metrics.snapshot().gauge("mvcc.deferred_pages").unwrap_or(0),
+        0
+    );
+
+    check_clean(cs, &[("a".to_string(), a2)]);
+}

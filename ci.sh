@@ -7,7 +7,7 @@ cd "$(dirname "$0")"
 echo "== fmt =="
 cargo fmt --all --check
 
-echo "== lint (eos-lint: panic-path ratchet, latch discipline, FORMAT.md drift, lock order) =="
+echo "== lint (eos-lint: panic-path ratchet, latch discipline, FORMAT.md drift, lock order, durability order) =="
 cargo run -q --offline -p eos-lint -- .
 
 echo "== clippy (deny warnings) =="
@@ -42,6 +42,14 @@ echo "== crash sweep (release, pinned seed) =="
 # companion reproducible. --nocapture surfaces the I/O-point count.
 PROPTEST_SEED=3735928559 \
     cargo test --release --offline --test crash_sweep --test differential -- --nocapture
+
+echo "== crashdep (L6 static + barrier-mutation smoke) =="
+# The durability-ordering gate end to end: the static rule re-runs as
+# part of the lint step above; here the runtime half elides the three
+# pinned sync sites (undo force, data barrier, frame force) and the
+# census test cross-checks the static seal-site list. The full
+# every-sync sweep rides in the workspace test step.
+cargo test --release --offline --test barrier_mutation quick_ -- --nocapture
 
 echo "== concurrent stress (release, pinned seed) =="
 # Multi-writer/multi-reader stress over the group-commit pipeline,

@@ -591,12 +591,14 @@ pub fn run(args: &[String]) -> Result<String> {
             ("lint", opts) => {
                 let mut json = false;
                 let mut locks_dot = false;
+                let mut durability_dot = false;
                 let mut root = None;
                 let mut lint_opts = eos_lint::Options::default();
                 for o in opts {
                     match o.as_str() {
                         "--json" => json = true,
                         "--locks-dot" => locks_dot = true,
+                        "--durability-dot" => durability_dot = true,
                         "--verbose" => lint_opts.verbose = true,
                         "--update-ratchet" => lint_opts.update_ratchet = true,
                         other if !other.starts_with('-') && root.is_none() => {
@@ -610,6 +612,8 @@ pub fn run(args: &[String]) -> Result<String> {
                     .map_err(|e| CliError(format!("lint {root}: {e}")))?;
                 let rendered = if locks_dot {
                     report.to_dot()
+                } else if durability_dot {
+                    report.to_durability_dot()
                 } else if json {
                     let mut j = report.to_json();
                     j.push('\n');
@@ -894,12 +898,14 @@ usage: eos <command> ...
   check <file> [--json]           full static analysis: audit every
                                   buddy directory, census every page,
                                   report all findings (fsck)
-  lint [root] [--json] [--locks-dot] [--verbose] [--update-ratchet]
+  lint [root] [--json] [--locks-dot] [--durability-dot] [--verbose]
+       [--update-ratchet]
                                   source-level invariant linter:
                                   panic-path ratchet, latch discipline,
-                                  FORMAT.md drift, lock-order analysis
-                                  (default root: .); --locks-dot emits
-                                  the lock hierarchy as Graphviz DOT";
+                                  FORMAT.md drift, lock-order analysis,
+                                  durability-ordering analysis (default
+                                  root: .); --locks-dot / --durability-dot
+                                  emit the hierarchies as Graphviz DOT";
 
 #[cfg(test)]
 mod tests {

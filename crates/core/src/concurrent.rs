@@ -279,6 +279,12 @@ impl ConcurrentStore {
     }
 
     // ---- MVCC: pins, publication, reclaim (DESIGN.md §14) ----------------
+    //
+    // The reclaim path's write-ordering contract (rule L6, DESIGN.md
+    // §15): deferred-freed pages must not become reusable before the
+    // commit frame that supersedes them is durable.
+    //
+    // durability-class: mvcc-publish requires = commit-frame
 
     /// Pin the current epoch and hand back the committed root set as
     /// of that epoch. Every pin MUST be paired with one
@@ -297,7 +303,10 @@ impl ConcurrentStore {
     /// Release one pin at `epoch` and apply every deferred-free batch
     /// the oldest remaining pin has now passed. The reclaim itself
     /// (directory-page I/O) runs under the store write latch, with the
-    /// MVCC latch already released.
+    /// MVCC latch already released. Batches are parked only by
+    /// [`Self::publish_commit`], *after* their commit's log force, so
+    /// every drained batch's commit frame is already durable.
+    // durability: requires(commit-frame)
     fn unpin_and_reclaim(&self, epoch: u64) -> Result<()> {
         let inner = &*self.inner;
         let reclaim = {
@@ -318,6 +327,7 @@ impl ConcurrentStore {
         }
         let mut st = inner.store.write();
         for d in reclaim {
+            // durability: mutates(mvcc-publish)
             st.apply_commit(d.batch)?;
             inner.mvcc_obs.reclaim_batches.inc();
             inner.mvcc_obs.reclaimed_pages.add(d.pages);
@@ -333,6 +343,7 @@ impl ConcurrentStore {
     /// park it on the epoch-tagged deferred list. Called with the store
     /// write latch held; the MVCC latch nests inside it and is released
     /// before the frees' directory I/O.
+    // durability: requires(commit-frame)
     fn publish_commit(&self, st: &mut ObjectStore, prep: &PreparedCommit) -> Result<()> {
         let inner = &*self.inner;
         let pages = st.buddy().batch_page_count(prep.batch);
@@ -369,6 +380,7 @@ impl ConcurrentStore {
             }
         };
         if apply_now {
+            // durability: mutates(mvcc-publish)
             st.apply_commit(prep.batch)?;
         }
         Ok(())
@@ -402,10 +414,12 @@ impl ConcurrentStore {
     /// reader epoch is pinned).
     fn commit_solo(&self, id: TxnId) -> Result<()> {
         let mut st = self.inner.store.write();
+        // durability: seals(shadow-data) mutates(commit-frame)
         let prep = st.prepare_commit(id, true)?;
         if prep.appended && self.inner.sync_on_commit {
             if let Some(wal) = st.durable_wal() {
                 // The log force: the commit record is durable past here.
+                // durability: seals(commit-frame)
                 wal.sync()?;
             }
         }
@@ -459,6 +473,7 @@ impl ConcurrentStore {
                 batch.iter().any(|&t| st.scope_dirty(t))
             };
             if dirty {
+                // durability: seals(shadow-data)
                 if let Err(e) = inner.volume.sync() {
                     return self.fail_batch(batch, &Error::from(e).to_string());
                 }
@@ -473,6 +488,7 @@ impl ConcurrentStore {
         {
             let mut st = inner.store.write();
             for &t in batch {
+                // durability: mutates(commit-frame)
                 let r = st.prepare_commit(t, false);
                 if matches!(&r, Ok(p) if p.appended) {
                     appended_any = true;
@@ -486,6 +502,7 @@ impl ConcurrentStore {
         // reported commit is durable even though its fsync was shared.
         let mut force_err: Option<String> = None;
         if appended_any && inner.sync_on_commit {
+            // durability: seals(commit-frame)
             match inner.volume.sync() {
                 Ok(()) => inner.syncs.inc(),
                 Err(e) => force_err = Some(Error::from(e).to_string()),

@@ -45,6 +45,14 @@
 //! between leaves the old superblock — and therefore the old, complete
 //! half — in force.
 
+// The write-ordering contract this module anchors (rule L6, DESIGN.md
+// §15). Roots first, then the classes whose safety hangs on them:
+//
+// durability-class: undo-image requires = none
+// durability-class: shadow-data requires = none
+// durability-class: commit-frame requires = shadow-data
+// durability-class: superblock requires = shadow-data
+
 use std::collections::BTreeMap;
 
 use eos_obs::{Counter, Metrics, OpKind};
@@ -501,13 +509,17 @@ impl DurableWal {
         let ps = volume.page_size();
         // Terminate half 0 (a zero length word) before pointing the
         // superblock at it.
+        // durability: mutates(shadow-data)
         volume.write_pages(base + 2, &vec![0u8; ps])?;
         let sb = Superblock {
             epoch: 1,
             active: 0,
         };
-        volume.write_pages(base, &sb.to_page(ps))?;
+        // lint: allow(durability, reason = "formatting a virgin region: no live slot or committed state to preserve, and the caller cannot observe the store before the sync below")
+        volume.write_pages(base, &sb.to_page(ps))?; // durability: mutates(superblock)
+                                                    // durability: mutates(shadow-data)
         volume.write_pages(base + 1, &vec![0u8; ps])?;
+        // durability: seals(shadow-data, superblock)
         volume.sync()?;
         Ok(DurableWal {
             volume,
@@ -782,8 +794,12 @@ impl DurableWal {
                     available: self.half_bytes() - FRAME_HEADER,
                 });
             }
+            // Checkpoint + carried frames land on the *inactive* half —
+            // fresh-extent writes in the shadow paradigm.
+            // durability: mutates(shadow-data)
             self.write_frame(&cp_bytes)?;
             for c in &carry {
+                // durability: mutates(shadow-data)
                 self.write_frame(c)?;
             }
             Ok(())
@@ -796,6 +812,7 @@ impl DurableWal {
             return Err(e);
         }
         // Barrier: the new half must be stable before it is published.
+        // durability: seals(shadow-data)
         self.volume.sync()?;
         let sb = Superblock {
             epoch: self.epoch,
@@ -805,10 +822,12 @@ impl DurableWal {
         // force, so a torn superblock write loses at most this
         // checkpoint, never the log it supersedes.
         let slot = 1 - self.sb_slot;
+        // durability: mutates(superblock)
         self.volume.write_pages(
             self.base + u64::from(slot),
             &sb.to_page(self.volume.page_size()),
         )?;
+        // durability: seals(superblock)
         self.volume.sync()?;
         self.sb_slot = slot;
         self.checkpoints_taken += 1;

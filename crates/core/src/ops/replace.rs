@@ -12,11 +12,17 @@
 //! never overwritten (the concurrent front-end's lock-free read path
 //! depends on exactly this).
 
+// The one in-place overwrite of committed state in the system (rule
+// L6, DESIGN.md §15): safe only once the undo images are forced.
+//
+// durability-class: committed-page requires = undo-image
+
 use crate::error::{Error, Result};
 use crate::object::LargeObject;
 use crate::store::ObjectStore;
 use crate::tree::{descend, leaf_entry, propagate};
 
+// durability: requires(undo-image)
 pub(crate) fn run(
     store: &mut ObjectStore,
     obj: &mut LargeObject,
@@ -60,6 +66,7 @@ pub(crate) fn run(
             buf[off..].copy_from_slice(&page);
         }
         buf[head..head + take as usize].copy_from_slice(&src[..take as usize]);
+        // durability: mutates(committed-page)
         store.volume().write_pages(e.ptr + p0, &buf)?;
         src = &src[take as usize..];
         if src.is_empty() {

@@ -427,6 +427,7 @@ impl ObjectStore {
         if prep.appended && self.config.sync_on_commit {
             if let Some(wal) = &self.wal {
                 // The log force: the commit record is durable past here.
+                // durability: seals(commit-frame)
                 wal.sync()?;
             }
         }
@@ -480,7 +481,12 @@ impl ObjectStore {
             deleted: txn.deleted.clone(),
         };
         let sync = data_barrier && self.config.sync_on_commit;
-        let appended = (if sync { wal.sync() } else { Ok(()) }).and_then(|()| wal.append(entry));
+        // Data-before-log: shadowed pages must be on disk before the
+        // commit record that publishes them.
+        // durability: seals(shadow-data)
+        let barrier = if sync { wal.sync() } else { Ok(()) };
+        // durability: mutates(commit-frame)
+        let appended = barrier.and_then(|()| wal.append(entry));
         if let Err(e) = appended {
             // Clean abort: put the scope back so abort_scope finds its
             // allocations and deferred frees, then roll everything back.
@@ -498,7 +504,12 @@ impl ObjectStore {
 
     /// Phase 3 of a commit: apply the deferred frees. Only called once
     /// the commit record is durable (or was never needed).
+    // durability: requires(commit-frame)
     pub fn apply_commit(&mut self, batch: FreeBatch) -> Result<()> {
+        // Freed pages become allocatable (and under MVCC, reusable by
+        // writers) from here on — the superseding commit frame must
+        // already be durable.
+        // durability: mutates(mvcc-publish)
         self.buddy.commit_frees(batch)?;
         Ok(())
     }
@@ -544,9 +555,11 @@ impl ObjectStore {
             if wal.pending_for(id).next().is_some() {
                 if restored_images && self.config.sync_on_commit {
                     // Restores-before-Abort barrier.
+                    // durability: seals(shadow-data)
                     wal.sync()?;
                 }
                 let lsn = wal.last_lsn();
+                // durability: mutates(commit-frame)
                 wal.append(WalEntry::Abort { txn: id, lsn })?;
             }
         }

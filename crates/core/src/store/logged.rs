@@ -150,6 +150,10 @@ impl ObjectStore {
             })
             .unwrap_or_default();
         for (page, bytes) in images {
+            // Restoring before-images re-creates pre-transaction state;
+            // like shadow writes, nothing committed depends on them
+            // until the Abort frame publishes the rollback.
+            // durability: mutates(shadow-data)
             self.volume.write_pages(page, &bytes)?;
         }
         Ok(())
@@ -187,6 +191,7 @@ impl ObjectStore {
                 root_after: obj.to_bytes(),
                 page_images: images,
             };
+            // durability: mutates(undo-image)
             s.wal.as_mut().unwrap().append(entry)?;
             if s.config.sync_on_commit {
                 // The append only hands the frame to the OS; the sync
@@ -194,8 +199,10 @@ impl ObjectStore {
                 // page cache could persist the in-place overwrites
                 // below ahead of the log frame, and a power loss would
                 // leave committed bytes with no durable undo.
+                // durability: seals(undo-image)
                 s.wal.as_ref().unwrap().sync()?;
             }
+            // durability: mutates(committed-page)
             ops::replace::run(s, obj, offset, data)?;
             s.note_touched(obj);
             s.paranoid_check(obj)

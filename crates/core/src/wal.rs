@@ -219,6 +219,12 @@ const TAG_DELETE: u8 = 2; // format-anchor: WAL_TAG_DELETE
 /// Record tag: logical append.
 const TAG_APPEND: u8 = 3; // format-anchor: WAL_TAG_APPEND
 
+/// Number of durability classes in the L6 write-ordering contract
+/// (DESIGN.md §15). The lint cross-checks this against both the
+/// FORMAT.md anchor and the declared `// durability-class:` table, so
+/// adding a class forces all three to move together.
+pub const DURABILITY_CLASSES: usize = 6; // format-anchor: DURABILITY_CLASSES
+
 pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
     out.extend_from_slice(b);

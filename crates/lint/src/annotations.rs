@@ -26,6 +26,8 @@ pub enum AllowRule {
     Latch,
     /// `allow(lockorder, …)` — interprocedural lock-order sites.
     LockOrder,
+    /// `allow(durability, …)` — durability-ordering sites.
+    Durability,
 }
 
 impl AllowRule {
@@ -34,6 +36,7 @@ impl AllowRule {
             AllowRule::Panic => "panic",
             AllowRule::Latch => "latch",
             AllowRule::LockOrder => "lockorder",
+            AllowRule::Durability => "durability",
         }
     }
 }
@@ -162,6 +165,14 @@ mod tests {
         let toks = lex("// lint: allow(lockorder, reason = \"single-threaded bootstrap\")\n");
         assert!(!allowed_lines(&toks, AllowRule::LockOrder).is_empty());
         assert!(allowed_lines(&toks, AllowRule::Latch).is_empty());
+        assert!(allowed_lines(&toks, AllowRule::Panic).is_empty());
+    }
+
+    #[test]
+    fn durability_annotation_is_separate() {
+        let toks = lex("// lint: allow(durability, reason = \"virgin region, nothing live\")\n");
+        assert!(!allowed_lines(&toks, AllowRule::Durability).is_empty());
+        assert!(allowed_lines(&toks, AllowRule::LockOrder).is_empty());
         assert!(allowed_lines(&toks, AllowRule::Panic).is_empty());
     }
 }

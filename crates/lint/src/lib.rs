@@ -17,10 +17,16 @@
 //!   increasing rank order, volume I/O must not be reachable while an
 //!   `io = forbidden` class is held, and the class table must match the
 //!   DESIGN.md §13 hierarchy anchors.
+//! * **durability** (L6): interprocedural durability-ordering analysis
+//!   (eos-crashdep) — annotated volume writes must not be reachable
+//!   before the sync that seals their prerequisite class (undo before
+//!   overwrite, data before log, inactive-slot superblock publish), and
+//!   the class table must match the DESIGN.md §15 contract catalogue.
 //!
 //! See DESIGN.md §10 for the rule catalogue and annotation syntax.
 
 pub mod annotations;
+pub mod crashdep;
 pub mod drift;
 pub mod latch;
 pub mod lexer;
@@ -89,6 +95,25 @@ pub const LOCKDEP_CRATES: [(&str, &str); 4] = [
 /// is an error, not a silent pass.
 pub const LOCKDEP_PINNED: [&str; 2] = ["eos-core", "eos-pager"];
 
+/// Crates whose sources feed the L6 durability-ordering analysis.
+/// `eos-core` owns the commit path; `eos-pager` is scanned so any
+/// future barrier logic pushed down into the volume layer is covered
+/// by the same contracts.
+pub const CRASHDEP_CRATES: [(&str, &str); 2] = [
+    ("eos-core", "crates/core/src"),
+    ("eos-pager", "crates/pager/src"),
+];
+
+/// Crates that must declare at least one durability class *and* carry
+/// a `durability:<crate>` pin in `lint.ratchet`. Only `eos-core` — the
+/// commit path lives there; eos-pager currently has no barrier logic
+/// of its own.
+pub const DURABILITY_PINNED: [&str; 1] = ["eos-core"];
+
+/// FORMAT.md anchor key that must equal the number of declared
+/// durability classes — the L6 analogue of the §13 hierarchy count.
+pub const DURABILITY_CLASSES_ANCHOR: &str = "DURABILITY_CLASSES";
+
 /// The doc side of the L5 hierarchy cross-check, relative to the
 /// workspace root.
 pub const DESIGN_DOC: &str = "DESIGN.md";
@@ -124,6 +149,7 @@ pub fn lint_workspace(root: &Path, opts: &Options) -> io::Result<Report> {
     run_latch_rule(root, &mut report)?;
     run_drift_rule(root, &mut report)?;
     run_lockdep_rule(root, opts, &mut report)?;
+    run_crashdep_rule(root, opts, &mut report)?;
 
     Ok(report)
 }
@@ -175,15 +201,16 @@ fn run_panic_rules(root: &Path, opts: &Options, report: &mut Report) -> io::Resu
 
     let ratchet_path = root.join(RATCHET_FILE);
     if opts.update_ratchet {
-        // The panic counts are observed; the L5 `lockorder:` pins are a
-        // hand-managed contract. Carry existing pins through the
-        // rewrite (defaulting the required crates to zero) so
-        // `--update-ratchet` can never loosen or drop them.
+        // The panic counts are observed; the L5 `lockorder:` and L6
+        // `durability:` pins are a hand-managed contract. Carry
+        // existing pins through the rewrite (defaulting the required
+        // crates to zero) so `--update-ratchet` can never loosen or
+        // drop them.
         let existing = fs::read_to_string(&ratchet_path).ok();
         let mut text = Ratchet::render(&counts);
         text.push_str(
-            "# eos-lockdep (L5) pins — unannotated lock-order findings\n\
-             # allowed per crate. Hand-managed; zero means zero.\n",
+            "# eos-lockdep (L5) / eos-crashdep (L6) pins — unannotated\n\
+             # findings allowed per crate. Hand-managed; zero means zero.\n",
         );
         let mut pins: Vec<(String, usize)> = existing
             .as_deref()
@@ -191,12 +218,18 @@ fn run_panic_rules(root: &Path, opts: &Options, report: &mut Report) -> io::Resu
             .map(|r| {
                 r.entries
                     .into_iter()
-                    .filter(|(n, _)| n.starts_with("lockorder:"))
+                    .filter(|(n, _)| n.starts_with("lockorder:") || n.starts_with("durability:"))
                     .collect()
             })
             .unwrap_or_default();
         for krate in LOCKDEP_PINNED {
             let name = format!("lockorder:{krate}");
+            if !pins.iter().any(|(n, _)| *n == name) {
+                pins.push((name, 0));
+            }
+        }
+        for krate in DURABILITY_PINNED {
+            let name = format!("durability:{krate}");
             if !pins.iter().any(|(n, _)| *n == name) {
                 pins.push((name, 0));
             }
@@ -482,6 +515,158 @@ fn run_lockdep_rule(root: &Path, opts: &Options, report: &mut Report) -> io::Res
             from: e.from.clone(),
             to: e.to.clone(),
             location: e.location.clone(),
+        })
+        .collect();
+    Ok(())
+}
+
+/// Run just the L6 analysis over the workspace at `root` — the static
+/// half of the barrier census, consumed by `tests/barrier_mutation.rs`
+/// to cross-check the runtime sync enumeration against the annotated
+/// contracts.
+pub fn crashdep_analysis(root: &Path) -> io::Result<crashdep::Analysis> {
+    let mut crates = Vec::new();
+    for (krate, dir) in CRASHDEP_CRATES {
+        let mut files = Vec::new();
+        for path in rust_files(&root.join(dir))? {
+            files.push(lockdep::SourceFile {
+                path: display_path(root, &path),
+                src: fs::read_to_string(&path)?,
+            });
+        }
+        crates.push(lockdep::CrateInput {
+            name: krate.to_string(),
+            files,
+        });
+    }
+    let design = fs::read_to_string(root.join(DESIGN_DOC)).ok();
+    Ok(crashdep::analyze(&crates, design.as_deref()))
+}
+
+/// L6 — interprocedural durability-ordering analysis (eos-crashdep,
+/// static half).
+fn run_crashdep_rule(root: &Path, opts: &Options, report: &mut Report) -> io::Result<()> {
+    let analysis = crashdep_analysis(root)?;
+    for site in &analysis.sites {
+        if site.annotated {
+            continue;
+        }
+        report.findings.push(Finding {
+            severity: Severity::Error,
+            rule: Rule::Durability,
+            location: site.location.clone(),
+            detail: site.detail.clone(),
+        });
+    }
+
+    // Anti-defusal: the pinned crates must actually declare durability
+    // classes — deleting the `// durability-class:` comments must not
+    // read as clean.
+    for krate in DURABILITY_PINNED {
+        if analysis.classes_in(krate) == 0 {
+            report.findings.push(Finding {
+                severity: Severity::Error,
+                rule: Rule::Durability,
+                location: krate.to_string(),
+                detail: format!(
+                    "no `// durability-class:` declarations found in {krate} — the \
+                     durability rule must not be defused by deleting declarations \
+                     (see DESIGN.md §15)"
+                ),
+            });
+        }
+    }
+
+    // The class count is a FORMAT.md anchor (`DURABILITY_CLASSES`),
+    // paired with the `wal.rs` constant by L4; this check closes the
+    // third side of the triangle: declared classes ↔ documented count.
+    match fs::read_to_string(root.join(FORMAT_DOC)) {
+        Ok(md) => {
+            let (anchors, _) = drift::parse_doc_anchors(&md);
+            match anchors.iter().find(|a| a.key == DURABILITY_CLASSES_ANCHOR) {
+                None => report.findings.push(Finding {
+                    severity: Severity::Error,
+                    rule: Rule::Durability,
+                    location: FORMAT_DOC.to_string(),
+                    detail: format!(
+                        "missing `{DURABILITY_CLASSES_ANCHOR}` anchor — the durability-class \
+                         count must be documented in FORMAT.md"
+                    ),
+                }),
+                Some(a) if a.value as usize != analysis.classes.len() => {
+                    report.findings.push(Finding {
+                        severity: Severity::Error,
+                        rule: Rule::Durability,
+                        location: FORMAT_DOC.to_string(),
+                        detail: format!(
+                            "{} durability class(es) declared but the \
+                             `{DURABILITY_CLASSES_ANCHOR}` anchor says {} — update both \
+                             FORMAT.md and the paired constant together",
+                            analysis.classes.len(),
+                            a.value
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    // Ratchet pins: `durability:<crate> N` rows bound the unannotated
+    // finding count per pinned crate (zero in this repo), same shape
+    // as the L5 `lockorder:` pins.
+    if !opts.update_ratchet {
+        if let Ok(text) = fs::read_to_string(root.join(RATCHET_FILE)) {
+            if let Ok(ratchet) = Ratchet::parse(&text) {
+                for krate in DURABILITY_PINNED {
+                    let name = format!("durability:{krate}");
+                    match ratchet.allowed(&name) {
+                        None => report.findings.push(Finding {
+                            severity: Severity::Error,
+                            rule: Rule::Durability,
+                            location: RATCHET_FILE.to_string(),
+                            detail: format!(
+                                "missing `{name}` pin — add `{name} 0` (the durability \
+                                 budget is hand-managed and never goes up)"
+                            ),
+                        }),
+                        Some(allowed) => {
+                            let observed = analysis.unannotated_in(krate);
+                            if observed > allowed {
+                                report.findings.push(Finding {
+                                    severity: Severity::Error,
+                                    rule: Rule::Durability,
+                                    location: name,
+                                    detail: format!(
+                                        "{observed} unannotated durability finding(s) in \
+                                         {krate}, pin allows {allowed}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report.durability_classes = analysis
+        .classes
+        .iter()
+        .map(|c| report::DurabilityClassRow {
+            name: c.name.clone(),
+            requires: c.requires.clone(),
+        })
+        .collect();
+    report.durability_contracts = analysis
+        .contracts
+        .iter()
+        .map(|c| report::DurabilityContractRow {
+            location: c.location.clone(),
+            seals: c.seals.clone(),
+            mutates: c.mutates.clone(),
         })
         .collect();
     Ok(())

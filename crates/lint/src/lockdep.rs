@@ -344,7 +344,7 @@ struct Guard {
     class: Option<usize>,
 }
 
-const KEYWORDS: [&str; 26] = [
+pub(crate) const KEYWORDS: [&str; 26] = [
     "if", "else", "while", "match", "for", "return", "loop", "fn", "in", "as", "move", "unsafe",
     "let", "mut", "ref", "impl", "where", "pub", "use", "type", "struct", "enum", "trait", "const",
     "static", "break",
@@ -434,6 +434,27 @@ fn receiver_field<'t>(code: &[&'t Tok], dot: usize) -> Option<&'t String> {
     match &code[r].kind {
         Kind::Ident(name) => Some(name),
         _ => None,
+    }
+}
+
+/// May the call token at `code[i]` (an identifier directly before `(`)
+/// resolve within its crate? Bare `name(…)`, `self.name(…)` and
+/// `Self::name(…)` may; method calls on any other receiver and any
+/// other `path::name(…)` stay unresolved. Shared by L5 and L6.
+pub(crate) fn call_resolvable(code: &[&Tok], i: usize) -> bool {
+    match i.checked_sub(1).map(|p| &code[p].kind) {
+        Some(Kind::Punct('.')) => {
+            i >= 2
+                && code[i - 2].is_ident("self")
+                && !matches!(
+                    i.checked_sub(3).map(|p| &code[p].kind),
+                    Some(Kind::Punct('.'))
+                )
+        }
+        Some(Kind::Punct(':')) => {
+            i >= 3 && code[i - 2].is_punct(':') && code[i - 3].is_ident("Self")
+        }
+        _ => true,
     }
 }
 
@@ -582,33 +603,20 @@ fn replay_body(code: &[&Tok], fields: &HashMap<String, usize>) -> Vec<Event> {
                     held: held_now(&guards, &temp_guard),
                 });
             }
-            // A call that may resolve within the crate: `name(…)` bare
-            // or `self.name(…)`. Method calls on other receivers and
-            // `path::name(…)` are deliberately unresolved.
+            // A call that may resolve within the crate: `name(…)` bare,
+            // `self.name(…)`, or `Self::name(…)`. Method calls on other
+            // receivers and `path::name(…)` are deliberately unresolved.
             Kind::Ident(id)
                 if code.get(i + 1).is_some_and(|t| t.is_punct('('))
                     && !KEYWORDS.contains(&id.as_str())
-                    && id != "drop" =>
+                    && id != "drop"
+                    && call_resolvable(code, i) =>
             {
-                let qualified_ok = match i.checked_sub(1).map(|p| &code[p].kind) {
-                    Some(Kind::Punct('.')) => {
-                        i >= 2
-                            && code[i - 2].is_ident("self")
-                            && !matches!(
-                                i.checked_sub(3).map(|p| &code[p].kind),
-                                Some(Kind::Punct('.'))
-                            )
-                    }
-                    Some(Kind::Punct(':')) => false,
-                    _ => true,
-                };
-                if qualified_ok {
-                    events.push(Event {
-                        kind: EvKind::Call(id.clone()),
-                        line: t.line,
-                        held: held_now(&guards, &temp_guard),
-                    });
-                }
+                events.push(Event {
+                    kind: EvKind::Call(id.clone()),
+                    line: t.line,
+                    held: held_now(&guards, &temp_guard),
+                });
             }
             _ => {}
         }
@@ -1174,6 +1182,40 @@ mod tests {
             "{}",
             a.sites[0].detail
         );
+    }
+
+    #[test]
+    fn self_qualified_associated_call_resolves() {
+        // `Self::taker(self)` must propagate like `self.taker()`; a
+        // different path qualifier (`other::taker`) must stay opaque.
+        let crates = one_crate(vec![(
+            "a.rs",
+            "// lock-class: low = fx.low rank = 1 io = forbidden\n\
+             // lock-class: high = fx.high rank = 2 io = forbidden\n\
+             impl S {\n\
+                 fn outer(&self) { let b = self.high.lock(); Self::taker(self); drop(b); }\n\
+                 fn taker(&self) { let a = self.low.lock(); drop(a); }\n\
+             }\n",
+        )]);
+        let a = analyze(&crates, None);
+        assert_eq!(a.sites.len(), 1, "{:?}", a.sites);
+        assert!(
+            a.sites[0].detail.contains("via `taker`"),
+            "{}",
+            a.sites[0].detail
+        );
+
+        let opaque = one_crate(vec![(
+            "a.rs",
+            "// lock-class: low = fx.low rank = 1 io = forbidden\n\
+             // lock-class: high = fx.high rank = 2 io = forbidden\n\
+             impl S {\n\
+                 fn outer(&self) { let b = self.high.lock(); other::taker(self); drop(b); }\n\
+                 fn taker(&self) { let a = self.low.lock(); drop(a); }\n\
+             }\n",
+        )]);
+        let a = analyze(&opaque, None);
+        assert!(a.sites.is_empty(), "{:?}", a.sites);
     }
 
     #[test]

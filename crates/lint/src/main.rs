@@ -6,7 +6,7 @@ use std::process::ExitCode;
 
 use eos_lint::{lint_workspace, Options};
 
-const USAGE: &str = "usage: eos-lint [ROOT] [--json] [--locks-dot] [--verbose] [--update-ratchet]
+const USAGE: &str = "usage: eos-lint [ROOT] [--json] [--locks-dot] [--durability-dot] [--verbose] [--update-ratchet]
 
 Lints the EOS workspace rooted at ROOT (default: current directory):
   panic-path    unwrap/expect/panic!/range-index audit of production code
@@ -16,9 +16,13 @@ Lints the EOS workspace rooted at ROOT (default: current directory):
   lockorder     interprocedural lock-order analysis (eos-lockdep): declared
                 lock classes in rank order, no volume I/O under io=forbidden
                 classes, DESIGN.md \u{a7}13 hierarchy drift
+  durability    interprocedural durability-ordering analysis (eos-crashdep):
+                annotated writes only after the sync sealing their prerequisite
+                class, inactive-slot superblock publish, DESIGN.md \u{a7}15 drift
 
   --json            machine-readable report (same shape as `eos check --json`)
   --locks-dot       emit the lock hierarchy + observed order edges as Graphviz DOT
+  --durability-dot  emit the durability classes + contract sites as Graphviz DOT
   --verbose         list every ratcheted site individually
   --update-ratchet  rewrite lint.ratchet with the observed counts
 ";
@@ -27,11 +31,13 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut locks_dot = false;
+    let mut durability_dot = false;
     let mut opts = Options::default();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
             "--locks-dot" => locks_dot = true,
+            "--durability-dot" => durability_dot = true,
             "--verbose" => opts.verbose = true,
             "--update-ratchet" => opts.update_ratchet = true,
             "--help" | "-h" => {
@@ -52,6 +58,8 @@ fn main() -> ExitCode {
         Ok(report) => {
             if locks_dot {
                 print!("{}", report.to_dot());
+            } else if durability_dot {
+                print!("{}", report.to_durability_dot());
             } else if json {
                 println!("{}", report.to_json());
             } else {

@@ -47,6 +47,11 @@ pub enum Rule {
     /// inversions, I/O under an `io = forbidden` class, DESIGN.md §13
     /// hierarchy drift.
     LockOrder,
+    /// L6: interprocedural durability-ordering analysis (eos-crashdep)
+    /// — writes reachable before the sync that makes them safe,
+    /// superblock publishes into the live slot, DESIGN.md §15 contract
+    /// drift.
+    Durability,
 }
 
 impl Rule {
@@ -58,6 +63,7 @@ impl Rule {
             Rule::Latch => "latch",
             Rule::FormatDrift => "format-drift",
             Rule::LockOrder => "lockorder",
+            Rule::Durability => "durability",
         }
     }
 }
@@ -114,6 +120,29 @@ pub struct LockEdgeRow {
     pub location: String,
 }
 
+/// One declared durability class, as rendered into `--json` /
+/// `--durability-dot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityClassRow {
+    /// Global class name (`commit-frame`).
+    pub name: String,
+    /// The class whose seal must precede any mutation of this one
+    /// (`None` for root classes like `undo-image`).
+    pub requires: Option<String>,
+}
+
+/// One annotated durability contract site (a volume write or sync in
+/// the commit path), as rendered into `--json` / `--durability-dot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityContractRow {
+    /// Where the annotated site lives (`path:line`).
+    pub location: String,
+    /// Classes this site's sync seals (empty for pure writes).
+    pub seals: Vec<String>,
+    /// Classes this site's write mutates (empty for pure syncs).
+    pub mutates: Vec<String>,
+}
+
 /// Everything one `eos lint` run found, plus scan statistics.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -133,6 +162,10 @@ pub struct Report {
     pub lock_classes: Vec<LockClassRow>,
     /// The L5 acquisition-order edges (first witness each).
     pub lock_edges: Vec<LockEdgeRow>,
+    /// The L6 durability-class table (sorted by name).
+    pub durability_classes: Vec<DurabilityClassRow>,
+    /// The L6 annotated write/sync contract sites (sorted by location).
+    pub durability_contracts: Vec<DurabilityContractRow>,
 }
 
 impl Report {
@@ -197,7 +230,8 @@ impl Report {
         }
         out.push_str(&format!(
             "linted {} file(s): {} panic-path site(s) ({} annotated), \
-             {} anchor(s) cross-checked, {} lock class(es) / {} order edge(s): \
+             {} anchor(s) cross-checked, {} lock class(es) / {} order edge(s), \
+             {} durability class(es) / {} contract site(s): \
              {} error(s), {} warning(s), {} info\n",
             self.files_scanned,
             self.sites_unannotated + self.sites_annotated,
@@ -205,6 +239,8 @@ impl Report {
             self.anchors_checked,
             self.lock_classes.len(),
             self.lock_edges.len(),
+            self.durability_classes.len(),
+            self.durability_contracts.len(),
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Info),
@@ -261,6 +297,43 @@ impl Report {
                 json_string(&e.location)
             ));
         }
+        out.push_str("],\"durability_classes\":[");
+        for (i, c) in self.durability_classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"class\":{},\"requires\":{}}}",
+                json_string(&c.name),
+                match &c.requires {
+                    Some(r) => json_string(r),
+                    None => "null".into(),
+                }
+            ));
+        }
+        out.push_str("],\"durability_contracts\":[");
+        for (i, s) in self.durability_contracts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let list = |v: &[String]| {
+                let mut inner = String::from("[");
+                for (j, c) in v.iter().enumerate() {
+                    if j > 0 {
+                        inner.push(',');
+                    }
+                    inner.push_str(&json_string(c));
+                }
+                inner.push(']');
+                inner
+            };
+            out.push_str(&format!(
+                "{{\"at\":{},\"seals\":{},\"mutates\":{}}}",
+                json_string(&s.location),
+                list(&s.seals),
+                list(&s.mutates)
+            ));
+        }
         out.push_str("]}");
         out
     }
@@ -292,6 +365,41 @@ impl Report {
                 e.to,
                 e.location.replace('"', "'")
             ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Graphviz DOT rendering of the L6 durability contract
+    /// (`eos lint --durability-dot`): one node per class, a `requires`
+    /// edge from each class to the class whose seal must precede it,
+    /// and one record node per annotated write/sync site.
+    pub fn to_durability_dot(&self) -> String {
+        let mut out = String::from(
+            "digraph eos_durability {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        for c in &self.durability_classes {
+            out.push_str(&format!("  \"{}\" [label=\"{}\"];\n", c.name, c.name));
+            if let Some(req) = &c.requires {
+                out.push_str(&format!(
+                    "  \"{}\" -> \"{}\" [label=\"requires seal of\"];\n",
+                    c.name, req
+                ));
+            }
+        }
+        for s in &self.durability_contracts {
+            let site = format!("site: {}", s.location.replace('"', "'"));
+            out.push_str(&format!("  \"{site}\" [shape=note, fontsize=9];\n"));
+            for c in &s.mutates {
+                out.push_str(&format!(
+                    "  \"{site}\" -> \"{c}\" [label=\"mutates\", style=dashed];\n"
+                ));
+            }
+            for c in &s.seals {
+                out.push_str(&format!(
+                    "  \"{site}\" -> \"{c}\" [label=\"seals\", style=dotted];\n"
+                ));
+            }
         }
         out.push_str("}\n");
         out
@@ -354,6 +462,35 @@ mod tests {
         assert!(dot.contains("digraph eos_locks"));
         assert!(dot.contains("\"commit.group\" -> \"store.latch\""));
         assert!(dot.contains("rank 10 io forbidden"));
+    }
+
+    #[test]
+    fn durability_tables_render_into_json_and_dot() {
+        let mut r = Report::default();
+        r.durability_classes.push(DurabilityClassRow {
+            name: "undo-image".into(),
+            requires: None,
+        });
+        r.durability_classes.push(DurabilityClassRow {
+            name: "committed-page".into(),
+            requires: Some("undo-image".into()),
+        });
+        r.durability_contracts.push(DurabilityContractRow {
+            location: "crates/core/src/store/logged.rs:1".into(),
+            seals: vec!["undo-image".into()],
+            mutates: vec![],
+        });
+        let json = r.to_json();
+        assert!(json.contains("{\"class\":\"undo-image\",\"requires\":null}"));
+        assert!(json.contains("{\"class\":\"committed-page\",\"requires\":\"undo-image\"}"));
+        assert!(json.contains("\"seals\":[\"undo-image\"],\"mutates\":[]"));
+        let dot = r.to_durability_dot();
+        assert!(dot.contains("digraph eos_durability"));
+        assert!(dot.contains("\"committed-page\" -> \"undo-image\""));
+        assert!(dot.contains("seals"));
+        assert!(r
+            .render_table()
+            .contains("2 durability class(es) / 1 contract site(s)"));
     }
 
     #[test]

@@ -65,12 +65,16 @@ fn clean_ws(tag: &str) -> TempWs {
     ws.write("FORMAT.md", &doc);
     ws.write("crates/core/src/node.rs", "pub fn node() {}\n");
     // The pinned lockdep crates (eos-core, eos-pager) must declare at
-    // least one lock class each, with a matching DESIGN.md §13 anchor.
+    // least one lock class each, with a matching DESIGN.md §13 anchor,
+    // and eos-core must declare at least one durability class with its
+    // §15 anchor, FORMAT.md count anchor, and paired constant.
     ws.write(
         "crates/core/src/wal.rs",
         "pub struct Wal {\n    \
          // lock-class: log = core.wal rank = 10 io = forbidden\n    \
-         log: Mutex<Vec<u8>>,\n}\n",
+         log: Mutex<Vec<u8>>,\n}\n\
+         // durability-class: undo-image requires = none\n\
+         pub const DURABILITY_CLASSES: u32 = 1; // format-anchor: DURABILITY_CLASSES\n",
     );
     ws.write("crates/core/src/durable.rs", "pub fn durable() {}\n");
     ws.write("crates/core/src/store.rs", "pub fn store() {}\n");
@@ -88,14 +92,51 @@ fn clean_ws(tag: &str) -> TempWs {
         "DESIGN.md",
         "# DESIGN fixture\n\n## 13. Lock hierarchy\n\n\
          <!-- lock-class: core.wal rank = 10 io = forbidden -->\n\
-         <!-- lock-class: pager.volume rank = 80 io = allowed -->\n",
+         <!-- lock-class: pager.volume rank = 80 io = allowed -->\n\n\
+         ## 15. Durability\n\n\
+         <!-- durability-class: undo-image requires = none -->\n",
     );
+    ws.append("FORMAT.md", "<!-- anchor: DURABILITY_CLASSES = 1 -->\n");
     ws.write(
         "lint.ratchet",
         "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n\
-         lockorder:eos-core 0\nlockorder:eos-pager 0\n",
+         lockorder:eos-core 0\nlockorder:eos-pager 0\n\
+         durability:eos-core 0\n",
     );
     ws
+}
+
+/// Declare a second durability class (`committed-page`, ordered after
+/// `undo-image`) in the unpinned pager fixture crate, keeping the §15
+/// anchors and the FORMAT.md class count in step. L6 tests seed their
+/// violations in eos-pager so the `durability:eos-core` pin does not
+/// double-fire, mirroring what `seed_buddy_classes` does for L5.
+fn seed_committed_page_class(ws: &TempWs) {
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "// durability-class: committed-page requires = undo-image\n",
+    );
+    ws.append(
+        "DESIGN.md",
+        "<!-- durability-class: committed-page requires = undo-image -->\n",
+    );
+    for (rel, from, to) in [
+        (
+            "FORMAT.md",
+            "DURABILITY_CLASSES = 1",
+            "DURABILITY_CLASSES = 2",
+        ),
+        (
+            "crates/core/src/wal.rs",
+            "DURABILITY_CLASSES: u32 = 1",
+            "DURABILITY_CLASSES: u32 = 2",
+        ),
+    ] {
+        let path = ws.root().join(rel);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains(from), "{rel} lost its class-count marker");
+        fs::write(path, text.replace(from, to)).unwrap();
+    }
 }
 
 /// Seed two lock classes in the (unpinned) buddy fixture crate, with
@@ -187,7 +228,8 @@ fn ratchet_loosening_is_rejected_tightening_is_not() {
     ws.write(
         "lint.ratchet",
         "eos-buddy 3\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n\
-         lockorder:eos-core 0\nlockorder:eos-pager 0\n",
+         lockorder:eos-core 0\nlockorder:eos-pager 0\n\
+         durability:eos-core 0\n",
     );
     let report = lint(&ws);
     assert!(report.is_clean(), "{}", report.render_table());
@@ -426,6 +468,246 @@ fn update_ratchet_writes_observed_counts() {
     let text = fs::read_to_string(ws.root().join("lint.ratchet")).unwrap();
     assert!(text.contains("eos-core 1"), "{text}");
     // And the rewritten ratchet makes the same workspace clean again.
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+// ---- L6: durability ordering (eos-crashdep) -----------------------------
+
+#[test]
+fn durability_unsealed_write_fires_once() {
+    let ws = clean_ws("dura-unsealed");
+    seed_committed_page_class(&ws);
+    // A committed-page overwrite with no undo-image seal anywhere
+    // earlier in the function — the flagship L6 finding.
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "impl Vol {\n    pub fn publish(&self) {\n        \
+         // durability: mutates(committed-page)\n        \
+         self.disk.write_pages(0, &[]);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Durability);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.location.starts_with("crates/pager/src/lib.rs:"));
+    assert!(
+        f.detail
+            .contains("`committed-page` write reachable before its `undo-image` seal"),
+        "{}",
+        f.detail
+    );
+    assert!(f.detail.contains("in `publish`"), "{}", f.detail);
+}
+
+#[test]
+fn durability_seal_before_write_is_clean() {
+    let ws = clean_ws("dura-sealed");
+    seed_committed_page_class(&ws);
+    // Same overwrite, but the undo image is forced first: clean, and
+    // both contract sites land in the report's machine surfaces.
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "impl Vol {\n    pub fn publish(&self) {\n        \
+         // durability: seals(undo-image)\n        \
+         self.disk.sync();\n        \
+         // durability: mutates(committed-page)\n        \
+         self.disk.write_pages(0, &[]);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+    assert_eq!(report.durability_classes.len(), 2);
+    assert_eq!(report.durability_contracts.len(), 2);
+    assert!(report.to_json().contains("\"durability_contracts\""));
+    assert!(report.to_durability_dot().contains("committed-page"));
+}
+
+#[test]
+fn durability_allow_suppresses_a_finding() {
+    let ws = clean_ws("dura-allow");
+    seed_committed_page_class(&ws);
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "impl Vol {\n    pub fn publish(&self) {\n        \
+         // lint: allow(durability, reason = \"fixture: virgin region, recovery rewrites it\")\n        \
+         self.disk.write_pages(0, &[]); // durability: mutates(committed-page)\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn durability_dangling_annotation_fires_once() {
+    let ws = clean_ws("dura-dangling");
+    // The annotation's own line and the next bind to no call site.
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "impl Vol {\n    pub fn noop(&self) {\n        \
+         // durability: mutates(undo-image)\n        \
+         let _x = 1;\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Durability);
+    assert!(f.detail.contains("binds to no call site"), "{}", f.detail);
+}
+
+#[test]
+fn durability_undeclared_class_fires_once() {
+    let ws = clean_ws("dura-undeclared");
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "impl Vol {\n    pub fn publish(&self) {\n        \
+         // durability: mutates(flux-capacitor)\n        \
+         self.disk.write_pages(0, &[]);\n    }\n}\n",
+    );
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Durability);
+    assert!(f.detail.contains("names undeclared class"), "{}", f.detail);
+}
+
+#[test]
+fn durability_superblock_write_needs_a_slot_witness() {
+    let ws = clean_ws("dura-slot");
+    // The alternating-slot class: a publish without a `1 - live` slot
+    // computation in the same function may clobber the live superblock.
+    ws.append(
+        "crates/pager/src/lib.rs",
+        "// durability-class: superblock requires = none\n\
+         impl Vol {\n    pub fn publish_sb(&self) {\n        \
+         // durability: mutates(superblock)\n        \
+         self.disk.write_pages(0, &[]);\n    }\n}\n",
+    );
+    ws.append(
+        "DESIGN.md",
+        "<!-- durability-class: superblock requires = none -->\n",
+    );
+    for (rel, from, to) in [
+        (
+            "FORMAT.md",
+            "DURABILITY_CLASSES = 1",
+            "DURABILITY_CLASSES = 2",
+        ),
+        (
+            "crates/core/src/wal.rs",
+            "DURABILITY_CLASSES: u32 = 1",
+            "DURABILITY_CLASSES: u32 = 2",
+        ),
+    ] {
+        let path = ws.root().join(rel);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(path, text.replace(from, to)).unwrap();
+    }
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Durability);
+    assert!(f.detail.contains("live slot"), "{}", f.detail);
+
+    // Deriving the target from the live slot satisfies the witness.
+    let path = ws.root().join("crates/pager/src/lib.rs");
+    let text = fs::read_to_string(&path).unwrap();
+    let text = text.replace(
+        "pub fn publish_sb(&self) {",
+        "pub fn publish_sb(&self) {\n        let _slot = 1 - self.live;",
+    );
+    fs::write(path, text).unwrap();
+    let report = lint(&ws);
+    assert!(report.is_clean(), "{}", report.render_table());
+}
+
+#[test]
+fn durability_class_doc_drift_fires_once() {
+    let ws = clean_ws("dura-drift");
+    seed_committed_page_class(&ws);
+    // DESIGN.md §15 claims a different ordering than the source decl
+    // (drifting the pager-declared class keeps the eos-core pin out of
+    // the picture, so the drift is the only finding).
+    let path = ws.root().join("DESIGN.md");
+    let text = fs::read_to_string(&path).unwrap();
+    let text = text.replace(
+        "<!-- durability-class: committed-page requires = undo-image -->",
+        "<!-- durability-class: committed-page requires = none -->",
+    );
+    fs::write(path, text).unwrap();
+    let report = lint(&ws);
+    assert_eq!(report.findings.len(), 1, "{}", report.render_table());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::Durability);
+    assert!(f.detail.contains("drifted"), "{}", f.detail);
+}
+
+#[test]
+fn deleting_durability_decls_cannot_defuse_the_gate() {
+    let ws = clean_ws("dura-defuse");
+    let path = ws.root().join("crates/core/src/wal.rs");
+    let text = fs::read_to_string(&path).unwrap();
+    let text = text.replace("// durability-class: undo-image requires = none\n", "");
+    fs::write(path, text).unwrap();
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::Durability && f.detail.contains("must not be defused")),
+        "{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn deleting_durability_pins_cannot_defuse_the_gate() {
+    let ws = clean_ws("dura-pins");
+    ws.write(
+        "lint.ratchet",
+        "eos-buddy 0\neos-check 0\neos-core 0\neos-obs 0\neos-pager 0\n\
+         lockorder:eos-core 0\nlockorder:eos-pager 0\n",
+    );
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| f.rule == Rule::Durability
+            && f.detail.contains("missing `durability:eos-core` pin")),
+        "{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn missing_class_count_anchor_fires_once() {
+    let ws = clean_ws("dura-anchor");
+    // Drop only the FORMAT.md count anchor (the paired constant keeps
+    // its own `format-anchor:` tag, so L4 fires too — both sides must
+    // point at the gap).
+    let path = ws.root().join("FORMAT.md");
+    let text = fs::read_to_string(&path).unwrap();
+    let text = text.replace("<!-- anchor: DURABILITY_CLASSES = 1 -->\n", "");
+    fs::write(path, text).unwrap();
+    let report = lint(&ws);
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().any(|f| f.rule == Rule::Durability
+            && f.detail.contains("missing `DURABILITY_CLASSES` anchor")),
+        "{}",
+        report.render_table()
+    );
+}
+
+#[test]
+fn update_ratchet_carries_durability_pins_forward() {
+    let ws = clean_ws("dura-update");
+    let opts = Options {
+        update_ratchet: true,
+        ..Options::default()
+    };
+    lint_workspace(ws.root(), &opts).unwrap();
+    let text = fs::read_to_string(ws.root().join("lint.ratchet")).unwrap();
+    assert!(text.contains("durability:eos-core 0"), "{text}");
     let report = lint(&ws);
     assert!(report.is_clean(), "{}", report.render_table());
 }

@@ -45,6 +45,7 @@ mod crashpoint;
 mod disk;
 mod error;
 mod faulty;
+mod mutate;
 mod stats;
 mod throttle;
 mod volume;
@@ -54,6 +55,7 @@ pub use crashpoint::{CrashPointVolume, WriteRecord};
 pub use disk::{DiskModel, DiskProfile};
 pub use error::{Error, Result};
 pub use faulty::FaultyVolume;
+pub use mutate::MutatingVolume;
 pub use stats::IoStats;
 pub use throttle::ThrottledVolume;
 pub use volume::{FileVolume, MemVolume, SharedVolume, Volume};

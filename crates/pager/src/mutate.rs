@@ -1,0 +1,297 @@
+//! Barrier-mutation injection — the runtime half of eos-crashdep.
+//!
+//! [`CrashPointVolume`] proves recovery holds at every *I/O point*;
+//! [`MutatingVolume`] proves every *sync* is load-bearing. It journals
+//! each write into per-sync-epoch **groups** (group *i* holds the
+//! writes issued between sync *i−1* and sync *i*), optionally elides
+//! exactly the *k*-th sync (the call is swallowed, not forwarded), and
+//! can afterwards reconstruct the worst-case crash image for that
+//! elision: every group sealed by a real sync is on disk, the elided
+//! group is not — the OS was free to reorder across the missing
+//! barrier, and the machine died before its writes landed.
+//!
+//! The barrier-mutation sweep (`tests/barrier_mutation.rs`) runs the
+//! canonical crash workload once per enumerated sync site with that
+//! site elided and asserts at least one crash image fails recovery or
+//! the committed-prefix check — a machine-checked proof that each
+//! declared barrier in the L6 contract (DESIGN.md §15) is actually
+//! guarding something.
+//!
+//! All I/O passes through to the inner volume (an elided sync still
+//! returns `Ok`), so the workload itself always runs to completion;
+//! the mutation only shows up in the reconstructed images.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::stats::IoStats;
+use crate::volume::{SharedVolume, Volume};
+use crate::PageId;
+
+/// One journaled write call.
+#[derive(Debug, Clone)]
+struct JournaledWrite {
+    start: PageId,
+    data: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct MutState {
+    /// Disk image at construction time.
+    initial: Vec<u8>,
+    /// `groups[i]` = writes issued after sync `i-1` and before sync
+    /// `i`. The last entry is the open group (not yet sealed).
+    groups: Vec<Vec<JournaledWrite>>,
+    /// Sync indices that were swallowed instead of forwarded.
+    elided: BTreeSet<usize>,
+    /// Sync index to elide next (0-based, counted from the last
+    /// [`MutatingVolume::reset`]).
+    elide: Option<usize>,
+    syncs_seen: usize,
+}
+
+/// A pass-through volume wrapper that journals write groups per sync
+/// epoch and can elide exactly one sync. See the [module docs](self).
+pub struct MutatingVolume {
+    inner: SharedVolume,
+    // Journal maintenance only; sits with the other injection wrappers
+    // between the cache (70) and the volume bottom (80).
+    // lock-class: state = pager.mutate rank = 76 io = allowed
+    state: Mutex<MutState>,
+}
+
+impl MutatingVolume {
+    /// Wrap `inner`, snapshotting its current image as the base every
+    /// crash reconstruction starts from.
+    pub fn new(inner: SharedVolume) -> Result<Arc<MutatingVolume>> {
+        let initial = inner.read_pages(0, inner.num_pages())?;
+        Ok(Arc::new(MutatingVolume {
+            inner,
+            state: Mutex::new(MutState {
+                initial,
+                groups: vec![Vec::new()],
+                elided: BTreeSet::new(),
+                elide: None,
+                syncs_seen: 0,
+            }),
+        }))
+    }
+
+    /// Clear the journal and re-snapshot the inner volume; the next
+    /// sync is index 0 again. Use between workload runs.
+    pub fn reset(&self) -> Result<()> {
+        let initial = self.inner.read_pages(0, self.inner.num_pages())?;
+        let mut st = self.state.lock();
+        st.initial = initial;
+        st.groups = vec![Vec::new()];
+        st.elided.clear();
+        st.elide = None;
+        st.syncs_seen = 0;
+        Ok(())
+    }
+
+    /// Arm the mutation: the `k`-th sync (0-based) after the last
+    /// [`Self::reset`] is swallowed — recorded as elided, not
+    /// forwarded to the inner volume.
+    pub fn elide(&self, k: usize) {
+        self.state.lock().elide = Some(k);
+    }
+
+    /// Syncs observed (forwarded or elided) since the last reset.
+    pub fn sync_count(&self) -> usize {
+        self.state.lock().syncs_seen
+    }
+
+    /// Number of sealed write groups (= syncs observed).
+    pub fn sealed_groups(&self) -> usize {
+        let st = self.state.lock();
+        st.groups.len() - 1
+    }
+
+    /// Write calls journaled in each sealed group, in sync order.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        // lint: allow(panic, reason = "groups always holds at least the open tail group")
+        st.groups[..st.groups.len() - 1]
+            .iter()
+            .map(Vec::len)
+            .collect()
+    }
+
+    /// The crash image "power died after sync `after` fired": the
+    /// initial snapshot plus every group `0..=after`, minus the groups
+    /// whose sync was elided — their writes were still queued behind
+    /// the missing barrier when the machine died. The open (unsealed)
+    /// tail group is never applied.
+    pub fn crash_image(&self, after: usize) -> Vec<u8> {
+        self.rebuild(after, |_| false)
+    }
+
+    /// Like [`Self::crash_image`], but each elided group contributes
+    /// its *last* write only — the OS reordered the queue and the most
+    /// recent write jumped the dead barrier while the rest never
+    /// landed. A second, adversarial ordering for sweeps where the
+    /// all-or-nothing image happens to recover.
+    pub fn crash_image_reordered(&self, after: usize) -> Vec<u8> {
+        self.rebuild(after, |group| !group.is_empty())
+    }
+
+    fn rebuild(&self, after: usize, keep_last: impl Fn(&[JournaledWrite]) -> bool) -> Vec<u8> {
+        let st = self.state.lock();
+        let ps = self.inner.page_size();
+        let mut image = st.initial.clone();
+        let sealed = st.groups.len() - 1;
+        // lint: allow(panic, reason = "slice end is min-clamped to the sealed group count")
+        for (i, group) in st.groups[..sealed.min(after + 1)].iter().enumerate() {
+            if st.elided.contains(&i) {
+                if keep_last(group) {
+                    if let Some(w) = group.last() {
+                        apply(&mut image, ps, w);
+                    }
+                }
+                continue;
+            }
+            for w in group {
+                apply(&mut image, ps, w);
+            }
+        }
+        image
+    }
+}
+
+fn apply(image: &mut [u8], ps: usize, w: &JournaledWrite) {
+    let at = w.start as usize * ps;
+    // lint: allow(panic, reason = "journaled writes were accepted by the inner volume, so they fit its image")
+    image[at..at + w.data.len()].copy_from_slice(&w.data);
+}
+
+impl Volume for MutatingVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_into(&self, start: PageId, pages: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_into(start, pages, buf)
+    }
+
+    fn write_pages(&self, start: PageId, data: &[u8]) -> Result<()> {
+        self.inner.write_pages(start, data)?;
+        let mut st = self.state.lock();
+        let open = st.groups.len() - 1;
+        st.groups[open].push(JournaledWrite {
+            start,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        let forward = {
+            let mut st = self.state.lock();
+            let k = st.syncs_seen;
+            st.syncs_seen += 1;
+            st.groups.push(Vec::new());
+            if st.elide == Some(k) {
+                st.elided.insert(k);
+                false
+            } else {
+                true
+            }
+        };
+        if forward {
+            self.inner.sync()?;
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+    use crate::DiskProfile;
+
+    fn setup() -> (Arc<MutatingVolume>, SharedVolume) {
+        let mem = MemVolume::new(16, 8).shared();
+        let mv = MutatingVolume::new(Arc::clone(&mem)).unwrap();
+        (mv, mem)
+    }
+
+    fn page(b: u8) -> Vec<u8> {
+        vec![b; 16]
+    }
+
+    #[test]
+    fn journals_groups_and_passes_writes_through() {
+        let (mv, mem) = setup();
+        mv.write_pages(0, &page(1)).unwrap();
+        mv.sync().unwrap();
+        mv.write_pages(1, &page(2)).unwrap();
+        mv.write_pages(2, &page(3)).unwrap();
+        mv.sync().unwrap();
+        mv.write_pages(3, &page(4)).unwrap(); // open tail, unsealed
+        assert_eq!(mv.sync_count(), 2);
+        assert_eq!(mv.group_sizes(), vec![1, 2]);
+        // Pass-through: the inner volume has everything.
+        assert_eq!(mem.read_pages(3, 1).unwrap(), page(4));
+        // Crash after sync 1: groups 0 and 1, not the open tail.
+        let img = mv.crash_image(1);
+        assert_eq!(&img[16..32], &page(2)[..]);
+        assert_eq!(&img[48..64], &[0u8; 16][..]);
+    }
+
+    #[test]
+    fn elided_sync_drops_its_group_from_the_image() {
+        let (mv, mem) = setup();
+        mv.elide(0);
+        mv.write_pages(0, &page(9)).unwrap();
+        mv.sync().unwrap(); // elided
+        mv.write_pages(1, &page(7)).unwrap();
+        mv.sync().unwrap(); // real
+                            // The live run is unaffected …
+        assert_eq!(mem.read_pages(0, 1).unwrap(), page(9));
+        // … but the crash image lost exactly the elided group.
+        let img = mv.crash_image(1);
+        assert_eq!(&img[0..16], &[0u8; 16][..]);
+        assert_eq!(&img[16..32], &page(7)[..]);
+        // Reordered variant: the elided group's last write landed.
+        let img = mv.crash_image_reordered(1);
+        assert_eq!(&img[0..16], &page(9)[..]);
+    }
+
+    #[test]
+    fn reset_clears_journal_and_resnapshots() {
+        let (mv, _mem) = setup();
+        mv.write_pages(0, &page(5)).unwrap();
+        mv.sync().unwrap();
+        mv.reset().unwrap();
+        assert_eq!(mv.sync_count(), 0);
+        assert_eq!(mv.sealed_groups(), 0);
+        // The new baseline includes the pre-reset write.
+        assert_eq!(&mv.crash_image(0)[0..16], &page(5)[..]);
+    }
+
+    #[test]
+    fn works_under_a_disk_profile() {
+        let mem = MemVolume::with_profile(16, 4, DiskProfile::FREE).shared();
+        let mv = MutatingVolume::new(mem).unwrap();
+        mv.write_pages(0, &page(1)).unwrap();
+        mv.sync().unwrap();
+        assert_eq!(mv.group_sizes(), vec![1]);
+    }
+}

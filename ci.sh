@@ -35,6 +35,28 @@ cargo run --release --offline -q -p eos-bench --bin concurrency -- --quick
 grep -q "bench.concurrency.rw" BENCH_obs.json \
     || { echo "rw bench gauges missing from BENCH_obs.json"; exit 1; }
 
+echo "== trace (pipeline events: bench --trace, Chrome export, flight recorder) =="
+# The eos-trace surface end to end: a traced 4-writer bench round must
+# export a raw event dump, the CLI must reconstruct batches from it and
+# convert it to Chrome trace_event JSON (validated by re-parsing with
+# the in-tree parser), per-phase p50/p99 gauges must land in
+# BENCH_obs.json, and a flight-recorder dump must round-trip.
+rm -f TRACE_events.json TRACE_chrome.json FLIGHT.json
+cargo run --release --offline -q -p eos-bench --bin concurrency -- --quick --trace
+test -s TRACE_events.json || { echo "TRACE_events.json missing or empty"; exit 1; }
+grep -q "bench.concurrency.trace.phase_a.p99_us" BENCH_obs.json \
+    || { echo "trace p99 gauges missing from BENCH_obs.json"; exit 1; }
+cargo run --release --offline -q -p eos-cli -- trace summary TRACE_events.json --top 3 \
+    | grep -q "WALL-US" || { echo "trace summary reconstructed no batches"; exit 1; }
+cargo run --release --offline -q -p eos-cli -- trace export TRACE_events.json --out TRACE_chrome.json
+test -s TRACE_chrome.json || { echo "TRACE_chrome.json missing or empty"; exit 1; }
+# Cross-thread causality (batch linkage, phase contiguity, histogram
+# reconciliation) plus the flight-recorder round-trip through
+# `eos trace dump`.
+cargo test --release --offline --test trace_causality -- --nocapture
+cargo test --release --offline -p eos-cli trace_subcommands -- --nocapture
+rm -f TRACE_events.json TRACE_chrome.json FLIGHT.json
+
 echo "== crash sweep (release, pinned seed) =="
 # Exhaustive crash-point sweep: every write I/O point of the scripted
 # workload, clean and torn, plus crashes during recovery itself. Release

@@ -182,7 +182,87 @@ fn run_rw_config(writers: usize, reads_per_reader: u64) -> (f64, u64) {
     (reads as f64 / elapsed, commits)
 }
 
+/// `--trace` mode (DESIGN.md §16): one traced 4-writer grouped round
+/// on a **private** metrics domain (so the pipeline ring holds only
+/// this round), exported as a raw event dump for `eos trace
+/// summary`/`export`, with per-phase p50/p99 latencies recorded as
+/// gauges on the global domain so they land in `BENCH_obs.json`.
+fn run_traced(per_thread: u64) {
+    const TRACE_WRITERS: usize = 4;
+    let metrics = eos_obs::Metrics::new();
+    let inner: SharedVolume = MemVolume::with_profile(4096, 6144, DiskProfile::FREE).shared();
+    let volume: SharedVolume = Arc::new(ThrottledVolume::new(inner, SYNC_DELAY));
+    let mut store = ObjectStore::create_durable(
+        volume,
+        1,
+        4096,
+        StoreConfig {
+            sync_on_commit: true,
+            ..StoreConfig::default()
+        },
+        1024,
+    )
+    .unwrap();
+    store.set_metrics(&metrics);
+    let cs = ConcurrentStore::with_group_commit(store, true);
+
+    std::thread::scope(|s| {
+        for _ in 0..TRACE_WRITERS {
+            let cs = cs.clone();
+            s.spawn(move || {
+                for _ in 0..per_thread {
+                    let txn = cs.begin();
+                    txn.create(&[0xAB; 512], None).unwrap();
+                    txn.commit().unwrap();
+                }
+            });
+        }
+    });
+
+    let path = std::env::var("EOS_TRACE_PATH").unwrap_or_else(|_| "TRACE_events.json".to_string());
+    match std::fs::write(&path, eos_obs::pipe_doc_json(&metrics)) {
+        Ok(()) => println!(
+            "\n== trace mode: {} pipeline event(s) from {TRACE_WRITERS} writers x \
+             {per_thread} commits -> {path} ==",
+            metrics.pipe_recorded()
+        ),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    let snap = metrics.snapshot();
+    let g = eos_obs::global();
+    let mut t = Table::new(vec!["phase", "samples", "p50 us", "p99 us"]);
+    for (short, name) in [
+        ("queue_wait", "commit.queue_wait_us"),
+        ("phase_a", "commit.phase_a.wall_us"),
+        ("phase_b", "commit.phase_b.wall_us"),
+        ("phase_c", "commit.phase_c.wall_us"),
+        ("phase_d", "commit.phase_d.wall_us"),
+    ] {
+        let Some(h) = snap.histogram(name) else {
+            continue;
+        };
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        g.gauge(&format!("bench.concurrency.trace.{short}.p50_us"))
+            .set(p50);
+        g.gauge(&format!("bench.concurrency.trace.{short}.p99_us"))
+            .set(p99);
+        t.row(vec![
+            short.to_string(),
+            format!("{}", h.count),
+            format!("{p50}"),
+            format!("{p99}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "per-phase log2-bucket latencies from the traced round; the raw event\n\
+         dump replays the same batches: `eos trace summary {path}`."
+    );
+}
+
 fn main() {
+    eos_obs::install_flight_panic_hook();
     println!("== durable commit throughput vs writer threads (sync = {SYNC_DELAY:?}) ==");
     let per_thread = eos_bench::obs_json::scaled(24);
     let mut t = Table::new(vec![
@@ -270,5 +350,8 @@ fn main() {
          (8-writer rate = {:.2}x the zero-writer baseline).",
         at_8 / baseline.max(1e-9)
     );
+    if std::env::args().any(|a| a == "--trace") {
+        run_traced(eos_bench::obs_json::scaled(24));
+    }
     eos_bench::obs_json::emit_or_warn("concurrency", &eos_obs::global().snapshot());
 }

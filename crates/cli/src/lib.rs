@@ -238,6 +238,203 @@ fn run_check(path: &Path) -> Result<eos_check::Report> {
     }
 }
 
+/// One pipeline event parsed back from a raw dump
+/// ([`eos::obs::pipe_doc_json`]) or a flight-recorder file. The phase
+/// label comes back as an owned string — the in-process
+/// [`eos::obs::PipeEvent`] uses `&'static str`, so dumps round-trip
+/// through this mirror instead.
+#[derive(Debug, Clone)]
+struct PipeRow {
+    seq: u64,
+    ts_ns: u64,
+    kind: String,
+    phase: String,
+    trace_id: u64,
+    batch_id: u64,
+    thread: u64,
+}
+
+fn pipe_rows(events: &[eos_check::Json]) -> Vec<PipeRow> {
+    let u = |j: &eos_check::Json, k: &str| j.get(k).and_then(eos_check::Json::as_u64).unwrap_or(0);
+    let s = |j: &eos_check::Json, k: &str| {
+        j.get(k)
+            .and_then(eos_check::Json::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    events
+        .iter()
+        .map(|e| PipeRow {
+            seq: u(e, "seq"),
+            ts_ns: u(e, "ts_ns"),
+            kind: s(e, "kind"),
+            phase: s(e, "phase"),
+            trace_id: u(e, "trace_id"),
+            batch_id: u(e, "batch_id"),
+            thread: u(e, "thread"),
+        })
+        .collect()
+}
+
+/// Parse a raw pipeline-event document; returns the rows plus the ring
+/// accounting (`recorded`, `capacity`, `dropped`).
+fn parse_pipe_doc(text: &str) -> Result<(Vec<PipeRow>, u64, u64, u64)> {
+    let doc =
+        eos_check::schema::parse(text).map_err(|e| CliError(format!("bad trace JSON: {e}")))?;
+    let events = doc
+        .get("events")
+        .and_then(eos_check::Json::as_array)
+        .ok_or(CliError("not a trace dump: no `events` array".into()))?;
+    let u = |k: &str| doc.get(k).and_then(eos_check::Json::as_u64).unwrap_or(0);
+    Ok((
+        pipe_rows(events),
+        u("recorded"),
+        u("capacity"),
+        u("dropped"),
+    ))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Re-emit parsed rows as Chrome `trace_event` JSON — the same format
+/// [`eos::obs::chrome_trace_json`] produces in-process, rebuilt here
+/// because a dump's phase labels are no longer `&'static str`.
+fn chrome_from_rows(rows: &[PipeRow]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (ph, scope) = match r.kind.as_str() {
+            "begin" => ("B", ""),
+            "end" => ("E", ""),
+            _ => ("i", ",\"s\":\"t\""),
+        };
+        out.push_str(&format!(
+            "{{\"name\":{},\"ph\":\"{ph}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{}{scope},\
+             \"args\":{{\"seq\":{},\"kind\":{},\"trace_id\":{},\"batch_id\":{}}}}}",
+            json_str(&r.phase),
+            r.ts_ns / 1000,
+            r.ts_ns % 1000,
+            r.thread,
+            r.seq,
+            json_str(&r.kind),
+            r.trace_id,
+            r.batch_id
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// One reconstructed group-commit batch: the leader's `commit` span
+/// with its Phase A–D breakdown and the follower head-count.
+struct BatchSummary {
+    batch_id: u64,
+    leader: u64,
+    thread: u64,
+    wall_us: u64,
+    phases_us: [u64; 4],
+    members: u64,
+}
+
+/// Pair up `commit` begin/end spans per batch and attach the phase
+/// breakdown; unmatched begins (still in flight when the dump was
+/// taken) are skipped.
+fn summarize_batches(rows: &[PipeRow]) -> Vec<BatchSummary> {
+    use std::collections::HashMap;
+    const PHASES: [&str; 4] = [
+        "commit.phase_a",
+        "commit.phase_b",
+        "commit.phase_c",
+        "commit.phase_d",
+    ];
+    let mut open: HashMap<u64, &PipeRow> = HashMap::new();
+    let mut phase_open: HashMap<(u64, usize), u64> = HashMap::new();
+    let mut phases: HashMap<u64, [u64; 4]> = HashMap::new();
+    let mut members: HashMap<u64, BTreeSet<u64>> = HashMap::new();
+    let mut out = Vec::new();
+    for r in rows {
+        if r.phase == "commit.queue_wait" && r.kind == "end" {
+            members.entry(r.batch_id).or_default().insert(r.trace_id);
+        } else if let Some(i) = PHASES.iter().position(|p| *p == r.phase) {
+            match r.kind.as_str() {
+                "begin" => {
+                    phase_open.insert((r.batch_id, i), r.ts_ns);
+                }
+                "end" => {
+                    if let Some(t0) = phase_open.remove(&(r.batch_id, i)) {
+                        phases.entry(r.batch_id).or_default()[i] =
+                            r.ts_ns.saturating_sub(t0) / 1000;
+                    }
+                }
+                _ => {}
+            }
+        } else if r.phase == "commit" {
+            match r.kind.as_str() {
+                "begin" => {
+                    open.insert(r.batch_id, r);
+                }
+                "end" => {
+                    if let Some(b) = open.remove(&r.batch_id) {
+                        out.push(BatchSummary {
+                            batch_id: r.batch_id,
+                            leader: b.trace_id,
+                            thread: b.thread,
+                            wall_us: r.ts_ns.saturating_sub(b.ts_ns) / 1000,
+                            phases_us: [0; 4],
+                            members: 0,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for b in &mut out {
+        b.phases_us = phases.remove(&b.batch_id).unwrap_or_default();
+        b.members = members.remove(&b.batch_id).map_or(0, |m| m.len() as u64);
+    }
+    out.sort_by_key(|b| std::cmp::Reverse(b.wall_us));
+    out
+}
+
+fn render_pipe_rows(out: &mut String, rows: &[PipeRow]) {
+    writeln!(
+        out,
+        "{:>6} {:>12} {:<7} {:<20} {:>16} {:>6} {:>6}",
+        "SEQ", "TS-US", "KIND", "PHASE", "TRACE", "BATCH", "THR"
+    )
+    .unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "{:>6} {:>12} {:<7} {:<20} {:>16} {:>6} {:>6}",
+            r.seq,
+            r.ts_ns / 1000,
+            r.kind,
+            r.phase,
+            r.trace_id,
+            r.batch_id,
+            r.thread
+        )
+        .unwrap();
+    }
+}
+
 /// Run one CLI invocation; returns the text to print.
 pub fn run(args: &[String]) -> Result<String> {
     let mut out = String::new();
@@ -542,10 +739,155 @@ pub fn run(args: &[String]) -> Result<String> {
                     out.push_str(&snap.render_table());
                     if trace {
                         out.push('\n');
-                        out.push_str(&eos::obs::render_trace(&store.metrics().trace()));
+                        out.push_str(&eos::obs::render_trace(
+                            &store.metrics().trace(),
+                            snap.trace_recorded,
+                            snap.trace_capacity,
+                        ));
                     }
                 }
             }
+            ("trace", [sub, rest @ ..]) => match (sub.as_str(), rest) {
+                ("summary", [file, opts @ ..]) => {
+                    let mut top = 5usize;
+                    let mut it = opts.iter();
+                    while let Some(o) = it.next() {
+                        match o.as_str() {
+                            "--top" => {
+                                top = it
+                                    .next()
+                                    .and_then(|v| v.parse().ok())
+                                    .ok_or(CliError("--top needs a number".into()))?;
+                            }
+                            other => bail!("unknown option {other}"),
+                        }
+                    }
+                    let text = std::fs::read_to_string(file).map_err(map_err)?;
+                    let (rows, recorded, capacity, dropped) = parse_pipe_doc(&text)?;
+                    let stalls = rows.iter().filter(|r| r.kind == "stall").count();
+                    writeln!(
+                        out,
+                        "pipeline: {} event(s) in window ({recorded} recorded, ring \
+                         capacity {capacity}, {dropped} dropped), {stalls} stall(s)",
+                        rows.len()
+                    )
+                    .unwrap();
+                    let batches = summarize_batches(&rows);
+                    if batches.is_empty() {
+                        writeln!(out, "(no completed commit batches in the window)").unwrap();
+                    } else {
+                        writeln!(
+                            out,
+                            "top {} slowest commit batch(es) of {}:",
+                            top.min(batches.len()),
+                            batches.len()
+                        )
+                        .unwrap();
+                        writeln!(
+                            out,
+                            "{:>6} {:>8} {:>4} {:>5} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                            "BATCH",
+                            "LEADER",
+                            "THR",
+                            "TXNS",
+                            "WALL-US",
+                            "A-US",
+                            "B-US",
+                            "C-US",
+                            "D-US"
+                        )
+                        .unwrap();
+                        for b in batches.iter().take(top) {
+                            writeln!(
+                                out,
+                                "{:>6} {:>8} {:>4} {:>5} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                                b.batch_id,
+                                b.leader,
+                                b.thread,
+                                b.members,
+                                b.wall_us,
+                                b.phases_us[0],
+                                b.phases_us[1],
+                                b.phases_us[2],
+                                b.phases_us[3]
+                            )
+                            .unwrap();
+                        }
+                    }
+                }
+                ("export", [file, opts @ ..]) => {
+                    let mut dest: Option<&str> = None;
+                    let mut it = opts.iter();
+                    while let Some(o) = it.next() {
+                        match o.as_str() {
+                            "--out" => {
+                                dest =
+                                    Some(it.next().ok_or(CliError("--out needs a path".into()))?);
+                            }
+                            other => bail!("unknown option {other}"),
+                        }
+                    }
+                    let text = std::fs::read_to_string(file).map_err(map_err)?;
+                    let (rows, ..) = parse_pipe_doc(&text)?;
+                    let chrome = chrome_from_rows(&rows);
+                    // Self-check: the export must round-trip through the
+                    // house parser with every event intact.
+                    let parsed = eos_check::schema::parse(&chrome)
+                        .map_err(|e| CliError(format!("export failed self-check: {e}")))?;
+                    let n = parsed
+                        .get("traceEvents")
+                        .and_then(eos_check::Json::as_array)
+                        .map_or(0, <[eos_check::Json]>::len);
+                    if n != rows.len() {
+                        bail!("export failed self-check: {n} of {} events", rows.len());
+                    }
+                    match dest {
+                        Some(p) => {
+                            std::fs::write(p, &chrome).map_err(map_err)?;
+                            writeln!(out, "wrote {n} trace event(s) to {p}").unwrap();
+                        }
+                        None => out.push_str(&chrome),
+                    }
+                }
+                ("dump", [file]) => {
+                    let text = std::fs::read_to_string(file).map_err(map_err)?;
+                    let doc = eos_check::schema::parse(&text)
+                        .map_err(|e| CliError(format!("bad flight dump: {e}")))?;
+                    let flight = doc
+                        .get("flight")
+                        .ok_or(CliError("not a flight dump: no `flight` object".into()))?;
+                    let reason = flight
+                        .get("reason")
+                        .and_then(eos_check::Json::as_str)
+                        .unwrap_or("unknown");
+                    let pipe = flight
+                        .get("pipe")
+                        .ok_or(CliError("flight dump has no `pipe` document".into()))?;
+                    let rows = pipe
+                        .get("events")
+                        .and_then(eos_check::Json::as_array)
+                        .map(pipe_rows)
+                        .unwrap_or_default();
+                    let u = |k: &str| pipe.get(k).and_then(eos_check::Json::as_u64).unwrap_or(0);
+                    let spans = flight
+                        .get("spans")
+                        .and_then(eos_check::Json::as_array)
+                        .map_or(0, <[eos_check::Json]>::len);
+                    writeln!(out, "flight recorder dump — reason `{reason}`").unwrap();
+                    writeln!(
+                        out,
+                        "pipeline window: {} event(s) ({} recorded, ring capacity {}, \
+                         {} dropped); {spans} completed span(s)",
+                        rows.len(),
+                        u("recorded"),
+                        u("capacity"),
+                        u("dropped")
+                    )
+                    .unwrap();
+                    render_pipe_rows(&mut out, &rows);
+                }
+                _ => bail!("usage: eos trace summary|export|dump ...\n{USAGE}"),
+            },
             ("verify", [file]) => {
                 let store = open_store(Path::new(file))?;
                 store.buddy().check_invariants().map_err(map_err)?;
@@ -882,6 +1224,18 @@ usage: eos <command> ...
                                   registry, and trace-ring summary for
                                   this process (table, shared JSON
                                   envelope, or Prometheus text)
+  trace summary <events.json> [--top N]
+                                  reconstruct group-commit batches from
+                                  a raw pipeline-event dump and list the
+                                  N slowest with their Phase A-D
+                                  breakdown (default 5)
+  trace export <events.json> [--out <path>]
+                                  convert a raw dump to Chrome
+                                  trace_event JSON (open in Perfetto or
+                                  chrome://tracing)
+  trace dump <flight.json>        render a flight-recorder dump (written
+                                  to $EOS_FLIGHT_PATH on commit failure,
+                                  recovery rollback, or panic)
   snapshot create <file> <name>   pin every cataloged object's current
                                   root in a named, descriptor-sized
                                   manifest (itself stored as an object)
@@ -1086,6 +1440,70 @@ mod tests {
         );
 
         std::fs::remove_file(&db).ok();
+    }
+
+    #[test]
+    fn trace_subcommands_summarize_export_and_dump_real_events() {
+        use eos::obs::Metrics;
+        use eos::pager::MemVolume;
+
+        // Generate a genuine event stream: a private domain, a small
+        // concurrent store, a handful of commits.
+        let metrics = Metrics::new();
+        let vol = MemVolume::with_profile(4096, 6144, eos::pager::DiskProfile::FREE).shared();
+        let mut store = eos::core::ObjectStore::create_durable(
+            vol,
+            1,
+            4096,
+            eos::core::StoreConfig::default(),
+            1024,
+        )
+        .unwrap();
+        store.set_metrics(&metrics);
+        let cs = ConcurrentStore::new(store);
+        for i in 0..3u8 {
+            let txn = cs.begin();
+            let mut obj = txn.create(&vec![i; 5_000], None).unwrap();
+            txn.append(&mut obj, &[i; 500]).unwrap();
+            txn.commit().unwrap();
+        }
+
+        let events = tmp("trace-events.json");
+        std::fs::write(&events, eos::obs::pipe_doc_json(&metrics)).unwrap();
+        let flight = tmp("trace-flight.json");
+        std::fs::write(&flight, metrics.flight_json("commit_failed")).unwrap();
+        let ev = events.to_str().unwrap();
+
+        let summary = call(&["trace", "summary", ev]).unwrap();
+        assert!(summary.contains("pipeline: "), "{summary}");
+        assert!(summary.contains("slowest commit batch(es)"), "{summary}");
+        assert!(summary.contains("WALL-US"), "{summary}");
+        let top1 = call(&["trace", "summary", ev, "--top", "1"]).unwrap();
+        assert!(top1.contains("top 1 slowest"), "{top1}");
+
+        // Export: valid Chrome trace_event JSON, to stdout and to a file.
+        let chrome = call(&["trace", "export", ev]).unwrap();
+        let doc = eos_check::schema::parse(&chrome).unwrap();
+        assert!(doc
+            .get("traceEvents")
+            .and_then(eos_check::Json::as_array)
+            .is_some_and(|a| !a.is_empty()));
+        let outp = tmp("trace-chrome.json");
+        let msg = call(&["trace", "export", ev, "--out", outp.to_str().unwrap()]).unwrap();
+        assert!(msg.contains("trace event(s)"), "{msg}");
+        eos_check::schema::parse(&std::fs::read_to_string(&outp).unwrap()).unwrap();
+
+        let dump = call(&["trace", "dump", flight.to_str().unwrap()]).unwrap();
+        assert!(dump.contains("reason `commit_failed`"), "{dump}");
+        assert!(dump.contains("completed span(s)"), "{dump}");
+        assert!(dump.contains("PHASE"), "{dump}");
+
+        // Malformed inputs fail without panicking.
+        let bogus = tmp("trace-bogus.json");
+        std::fs::write(&bogus, "{\"nope\":1}").unwrap();
+        assert!(call(&["trace", "summary", bogus.to_str().unwrap()]).is_err());
+        assert!(call(&["trace", "dump", bogus.to_str().unwrap()]).is_err());
+        assert!(call(&["trace", "frobnicate"]).is_err());
     }
 
     #[test]

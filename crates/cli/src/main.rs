@@ -1,6 +1,10 @@
 //! Thin binary wrapper around [`eos_cli::run`].
 
 fn main() {
+    // Arm the flight recorder: a panic anywhere in a command dumps the
+    // global domain's last events to $EOS_FLIGHT_PATH (no-op when
+    // unset).
+    eos::obs::install_flight_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match eos_cli::run(&args) {
         Ok(out) => print!("{out}"),

@@ -37,10 +37,12 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use eos_buddy::FreeBatch;
-use eos_obs::{Counter, Gauge, Histogram, Metrics};
+use eos_obs::{Counter, Gauge, Histogram, Metrics, PipeKind, PIN_TRACE_BIT};
 use eos_pager::SharedVolume;
 use parking_lot::{LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 
@@ -89,6 +91,29 @@ struct Inner {
     syncs: Counter,
     group_commits: Counter,
     batch_hist: Histogram,
+    /// eos-trace instruments for the commit pipeline (DESIGN.md §16).
+    cobs: CommitObs,
+    /// Monotonic group-commit batch ids (first batch is 1; 0 in an
+    /// event means "batch unknown / not applicable").
+    batch_seq: AtomicU64,
+}
+
+/// Pre-resolved eos-trace instruments: the pipeline-event domain and
+/// the per-phase wall-clock histograms (DESIGN.md §16).
+struct CommitObs {
+    metrics: Metrics,
+    /// Enqueue-to-retirement wait of each committer (leader included:
+    /// its wait ends when it assumes leadership).
+    queue_wait_us: Histogram,
+    /// Wall time of the leader's Phases A–D, one histogram each.
+    phase_wall_us: [Histogram; 4],
+    /// Pin-to-unpin hold time of MVCC reads and snapshots.
+    pin_hold_us: Histogram,
+}
+
+/// Microseconds elapsed since `t0`, saturating.
+fn us_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// The committed-version state readers pin (DESIGN.md §14): writers
@@ -162,8 +187,10 @@ struct MvccObs {
 struct GroupState {
     /// Scopes waiting to be flushed by the next leader.
     queue: Vec<TxnId>,
-    /// Finished commits not yet picked up by their owning thread.
-    results: HashMap<TxnId, Result<()>>,
+    /// Finished commits not yet picked up by their owning thread,
+    /// tagged with the batch id that retired them so the follower's
+    /// trace events link to the leader's phase spans.
+    results: HashMap<TxnId, (u64, Result<()>)>,
     /// Whether a leader is currently flushing a batch (with the group
     /// mutex released); at most one at a time.
     leader_running: bool,
@@ -237,6 +264,18 @@ impl ConcurrentStore {
                 syncs: obs.counter("wal.syncs"),
                 group_commits: obs.counter("wal.group_commits"),
                 batch_hist: obs.histogram("wal.group_commit.batch"),
+                cobs: CommitObs {
+                    queue_wait_us: obs.histogram("commit.queue_wait_us"),
+                    phase_wall_us: [
+                        obs.histogram("commit.phase_a.wall_us"),
+                        obs.histogram("commit.phase_b.wall_us"),
+                        obs.histogram("commit.phase_c.wall_us"),
+                        obs.histogram("commit.phase_d.wall_us"),
+                    ],
+                    pin_hold_us: obs.histogram("mvcc.pin.hold_us"),
+                    metrics: obs,
+                },
+                batch_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -291,13 +330,20 @@ impl ConcurrentStore {
     /// [`Self::unpin_and_reclaim`].
     fn pin(&self) -> (u64, Arc<BTreeMap<u64, Arc<LargeObject>>>) {
         let inner = &*self.inner;
-        let mut mv = inner.mvcc.lock();
-        let epoch = mv.epoch;
-        *mv.pinned.entry(epoch).or_insert(0) += 1;
-        inner.mvcc_obs.snapshots.inc();
-        let lag = epoch - mv.oldest_pin().unwrap_or(epoch);
-        inner.mvcc_obs.oldest_epoch_lag.set(lag);
-        (epoch, Arc::clone(&mv.roots))
+        let (epoch, roots) = {
+            let mut mv = inner.mvcc.lock();
+            let epoch = mv.epoch;
+            *mv.pinned.entry(epoch).or_insert(0) += 1;
+            inner.mvcc_obs.snapshots.inc();
+            let lag = epoch - mv.oldest_pin().unwrap_or(epoch);
+            inner.mvcc_obs.oldest_epoch_lag.set(lag);
+            (epoch, Arc::clone(&mv.roots))
+        };
+        inner
+            .cobs
+            .metrics
+            .pipe_event(PipeKind::Begin, "mvcc.pin", epoch | PIN_TRACE_BIT, 0);
+        (epoch, roots)
     }
 
     /// Release one pin at `epoch` and apply every deferred-free batch
@@ -322,11 +368,21 @@ impl ConcurrentStore {
             inner.mvcc_obs.oldest_epoch_lag.set(lag);
             out
         };
+        inner
+            .cobs
+            .metrics
+            .pipe_event(PipeKind::End, "mvcc.pin", epoch | PIN_TRACE_BIT, 0);
         if reclaim.is_empty() {
             return Ok(());
         }
         let mut st = inner.store.write();
         for d in reclaim {
+            inner.cobs.metrics.pipe_event(
+                PipeKind::Instant,
+                "mvcc.reclaim",
+                d.epoch | PIN_TRACE_BIT,
+                0,
+            );
             // durability: mutates(mvcc-publish)
             st.apply_commit(d.batch)?;
             inner.mvcc_obs.reclaim_batches.inc();
@@ -374,6 +430,12 @@ impl ConcurrentStore {
                     pages,
                 });
                 inner.mvcc_obs.deferred_pages.add(pages);
+                inner.cobs.metrics.pipe_event(
+                    PipeKind::Instant,
+                    "mvcc.park",
+                    epoch | PIN_TRACE_BIT,
+                    0,
+                );
                 false
             } else {
                 true
@@ -395,6 +457,7 @@ impl ConcurrentStore {
             cs: self.clone(),
             epoch,
             roots,
+            pinned: Instant::now(),
         }
     }
 
@@ -430,21 +493,49 @@ impl ConcurrentStore {
     /// to retire it or become the leader and flush the whole queue.
     fn commit_grouped(&self, id: TxnId) -> Result<()> {
         let inner = &*self.inner;
+        let waited = Instant::now();
+        inner
+            .cobs
+            .metrics
+            .pipe_event(PipeKind::Begin, "commit.queue_wait", id, 0);
+        // Set once the queue-wait span has been closed (the leader
+        // closes its own at election, a follower at retirement).
+        let mut wait_closed = false;
+        let mut close_wait = |batch_id: u64| {
+            if wait_closed {
+                return;
+            }
+            wait_closed = true;
+            inner
+                .cobs
+                .metrics
+                .pipe_event(PipeKind::End, "commit.queue_wait", id, batch_id);
+            let wait_ns = u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            inner.cobs.queue_wait_us.record(wait_ns / 1000);
+            inner
+                .cobs
+                .metrics
+                .check_stall("commit.queue_wait", id, batch_id, wait_ns);
+        };
         let mut g = inner.group.lock();
         g.queue.push(id);
         loop {
-            if let Some(res) = g.results.remove(&id) {
+            if let Some((batch_id, res)) = g.results.remove(&id) {
+                drop(g);
+                close_wait(batch_id);
                 return res;
             }
             if !g.leader_running {
                 g.leader_running = true;
                 let batch = std::mem::take(&mut g.queue);
+                let batch_id = inner.batch_seq.fetch_add(1, Ordering::Relaxed) + 1;
                 drop(g);
-                let results = self.flush_batch(&batch);
+                close_wait(batch_id);
+                let results = self.flush_batch(&batch, batch_id, id);
                 g = inner.group.lock();
                 g.leader_running = false;
                 for (txn, res) in results {
-                    g.results.insert(txn, res);
+                    g.results.insert(txn, (batch_id, res));
                 }
                 inner.group_cv.notify_all();
                 // Loop around: our own result is now in the map. If
@@ -459,10 +550,19 @@ impl ConcurrentStore {
     /// Retire one batch of prepared scopes with two volume syncs
     /// total. Called with the group mutex *released*; takes the store
     /// latch only for the in-memory phases.
-    fn flush_batch(&self, batch: &[TxnId]) -> Vec<(TxnId, Result<()>)> {
+    ///
+    /// The leader stamps Phase A–D begin/end events with *shared
+    /// boundary timestamps* (phase N's end instant is phase N+1's
+    /// begin), so the exported timeline is contiguous and the phase
+    /// durations sum exactly to the batch's end-to-end wall time.
+    /// `lead` is the leader's TxnId — the trace id of the batch-level
+    /// spans.
+    fn flush_batch(&self, batch: &[TxnId], batch_id: u64, lead: TxnId) -> Vec<(TxnId, Result<()>)> {
         let inner = &*self.inner;
         inner.group_commits.inc();
         inner.batch_hist.record(batch.len() as u64);
+        let m = &inner.cobs.metrics;
+        let t0 = m.now_ns();
 
         // Phase A — one data barrier for the whole batch, outside the
         // latch: shadowed pages and undo images of *every* scope in
@@ -480,6 +580,7 @@ impl ConcurrentStore {
                 inner.syncs.inc();
             }
         }
+        let t1 = m.now_ns();
 
         // Phase B — append each scope's commit record under the write
         // latch, without forcing the log.
@@ -493,9 +594,11 @@ impl ConcurrentStore {
                 if matches!(&r, Ok(p) if p.appended) {
                     appended_any = true;
                 }
+                m.pipe_event(PipeKind::Instant, "commit.prepare", t, batch_id);
                 prepared.push((t, r));
             }
         }
+        let t2 = m.now_ns();
 
         // Phase C — one log force covers every commit record appended
         // in phase B. No waiter is released before this returns, so a
@@ -508,29 +611,56 @@ impl ConcurrentStore {
                 Err(e) => force_err = Some(Error::from(e).to_string()),
             }
         }
+        let t3 = m.now_ns();
 
         // Phase D — publish each scope's new roots to readers and
         // apply (or park, behind pinned reader epochs) its deferred
         // frees, under the latch.
         let mut out = Vec::with_capacity(prepared.len());
-        let mut st = inner.store.write();
-        for (t, r) in prepared {
-            let res = match r {
-                // `prepare_commit` already rolled the scope back.
-                Err(e) => Err(e),
-                Ok(prep) => match &force_err {
-                    // The force failed after the records were written:
-                    // durability is unknown, so surface an error and
-                    // drop the frees (leaking pages is recoverable by
-                    // restart; corrupting a possibly-durable commit is
-                    // not).
-                    Some(msg) => Err(Error::CommitFailed {
-                        reason: format!("group log force failed: {msg}"),
-                    }),
-                    None => self.publish_commit(&mut st, &prep),
-                },
-            };
-            out.push((t, res));
+        {
+            let mut st = inner.store.write();
+            for (t, r) in prepared {
+                let res = match r {
+                    // `prepare_commit` already rolled the scope back.
+                    Err(e) => Err(e),
+                    Ok(prep) => match &force_err {
+                        // The force failed after the records were written:
+                        // durability is unknown, so surface an error and
+                        // drop the frees (leaking pages is recoverable by
+                        // restart; corrupting a possibly-durable commit is
+                        // not).
+                        Some(msg) => Err(Error::CommitFailed {
+                            reason: format!("group log force failed: {msg}"),
+                        }),
+                        None => self.publish_commit(&mut st, &prep),
+                    },
+                };
+                out.push((t, res));
+            }
+        }
+        let t4 = m.now_ns();
+
+        // Emit the batch timeline: an enclosing `commit` span plus the
+        // four phase spans, back to back on the shared boundaries.
+        m.pipe_event_at(t0, PipeKind::Begin, "commit", lead, batch_id);
+        let phases = [
+            ("commit.phase_a", t0, t1),
+            ("commit.phase_b", t1, t2),
+            ("commit.phase_c", t2, t3),
+            ("commit.phase_d", t3, t4),
+        ];
+        for (i, &(phase, begin, end)) in phases.iter().enumerate() {
+            m.pipe_event_at(begin, PipeKind::Begin, phase, lead, batch_id);
+            m.pipe_event_at(end, PipeKind::End, phase, lead, batch_id);
+            inner.cobs.phase_wall_us[i].record(end.saturating_sub(begin) / 1000);
+            m.check_stall(phase, lead, batch_id, end.saturating_sub(begin));
+        }
+        m.pipe_event_at(t4, PipeKind::End, "commit", lead, batch_id);
+
+        if force_err.is_some() {
+            // The batch is being failed with durability unknown — the
+            // exact situation the flight recorder exists for.
+            let _ = m.flight_dump("commit_failed");
         }
         out
     }
@@ -538,19 +668,23 @@ impl ConcurrentStore {
     /// Data barrier failed before anything was logged: roll every
     /// scope in the batch back and report the failure to each waiter.
     fn fail_batch(&self, batch: &[TxnId], msg: &str) -> Vec<(TxnId, Result<()>)> {
-        let mut st = self.inner.store.write();
-        batch
-            .iter()
-            .map(|&t| {
-                let _ = st.abort_scope(t);
-                (
-                    t,
-                    Err(Error::CommitFailed {
-                        reason: format!("group data barrier failed: {msg}"),
-                    }),
-                )
-            })
-            .collect()
+        let out: Vec<(TxnId, Result<()>)> = {
+            let mut st = self.inner.store.write();
+            batch
+                .iter()
+                .map(|&t| {
+                    let _ = st.abort_scope(t);
+                    (
+                        t,
+                        Err(Error::CommitFailed {
+                            reason: format!("group data barrier failed: {msg}"),
+                        }),
+                    )
+                })
+                .collect()
+        };
+        let _ = self.inner.cobs.metrics.flight_dump("commit_failed");
+        out
     }
 }
 
@@ -621,6 +755,7 @@ impl Txn {
         if self.wrote.borrow().contains(&obj.id) {
             return self.cs.inner.store.read().read(obj, offset, len);
         }
+        let pinned = Instant::now();
         let (epoch, roots) = self.cs.pin();
         let r = {
             let st = self.cs.inner.store.read();
@@ -630,6 +765,7 @@ impl Txn {
             }
         };
         self.cs.unpin_and_reclaim(epoch)?;
+        self.cs.inner.cobs.pin_hold_us.record(us_since(pinned));
         r
     }
 
@@ -639,6 +775,7 @@ impl Txn {
         if self.wrote.borrow().contains(&obj.id) {
             return self.cs.inner.store.read().read_all(obj);
         }
+        let pinned = Instant::now();
         let (epoch, roots) = self.cs.pin();
         let r = {
             let st = self.cs.inner.store.read();
@@ -648,6 +785,7 @@ impl Txn {
             }
         };
         self.cs.unpin_and_reclaim(epoch)?;
+        self.cs.inner.cobs.pin_hold_us.record(us_since(pinned));
         r
     }
 
@@ -772,6 +910,8 @@ pub struct Snapshot {
     cs: ConcurrentStore,
     epoch: u64,
     roots: Arc<BTreeMap<u64, Arc<LargeObject>>>,
+    /// When the pin was taken, for the `mvcc.pin.hold_us` histogram.
+    pinned: Instant,
 }
 
 impl Snapshot {
@@ -819,5 +959,13 @@ impl Drop for Snapshot {
         // Best effort: a failed reclaim leaks pages until the next
         // unpin or restart recovery, never corrupts.
         let _ = self.cs.unpin_and_reclaim(self.epoch);
+        let held_us = us_since(self.pinned);
+        self.cs.inner.cobs.pin_hold_us.record(held_us);
+        self.cs.inner.cobs.metrics.check_stall(
+            "mvcc.pin",
+            self.epoch | PIN_TRACE_BIT,
+            0,
+            held_us * 1000,
+        );
     }
 }

@@ -55,7 +55,7 @@
 
 use std::collections::BTreeMap;
 
-use eos_obs::{Counter, Metrics, OpKind};
+use eos_obs::{Counter, Metrics, OpKind, PipeKind};
 use eos_pager::{PageId, SharedVolume};
 
 use crate::codec;
@@ -706,6 +706,12 @@ impl DurableWal {
             }
         }
         self.write_frame(&payload)?;
+        if let Some(o) = &self.obs {
+            // One instant per appended frame on the pipeline timeline,
+            // stamped with the owning scope (0 for checkpoints).
+            o.metrics
+                .pipe_event(PipeKind::Instant, "wal.frame", entry.txn().unwrap_or(0), 0);
+        }
         self.absorb(entry);
         Ok(())
     }
@@ -762,6 +768,11 @@ impl DurableWal {
             .obs
             .as_ref()
             .map(|o| o.metrics.span(OpKind::WalCheckpoint, &self.volume));
+        // The half-flip on the pipeline timeline (no owning scope).
+        let _pspan = self
+            .obs
+            .as_ref()
+            .map(|o| o.metrics.pipe_span("wal.checkpoint", 0, 0));
         let roots: Vec<(u64, Vec<u8>)> = self
             .committed
             .iter()
@@ -840,6 +851,10 @@ impl DurableWal {
     /// Force everything appended so far to stable storage — the commit
     /// barrier.
     pub fn sync(&self) -> Result<()> {
+        let _force = self
+            .obs
+            .as_ref()
+            .map(|o| o.metrics.pipe_span("wal.force", 0, 0));
         // Lockdep tripwire at the WAL's own barrier: catches a latch
         // held across the force even when the test volume is a custom
         // `Volume` impl that never reaches the Mem/File bottom hooks.

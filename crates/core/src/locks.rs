@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use eos_obs::{Counter, Histogram, Metrics};
+use eos_obs::{Counter, Histogram, Metrics, PipeKind};
 use parking_lot::{LockClass, TrackedCondvar, TrackedMutex};
 
 /// Lock mode.
@@ -73,6 +73,10 @@ struct LockObs {
     blocks: Counter,
     /// Microseconds blocked, per blocking `lock` call.
     wait_us: Histogram,
+    /// The eos-trace domain: blocking waits emit `lock.block`
+    /// begin/end pipeline events (trace id = the waiting txn) and feed
+    /// the stall watchdog.
+    metrics: Metrics,
 }
 
 struct Shared {
@@ -132,6 +136,7 @@ impl RangeLockManager {
             conflicts: metrics.counter("locks.conflicts"),
             blocks: metrics.counter("locks.blocks"),
             wait_us: metrics.histogram("locks.wait_us"),
+            metrics: metrics.clone(),
         });
     }
 
@@ -178,7 +183,15 @@ impl RangeLockManager {
                     held.push(Held { txn, lo, hi, mode });
                     break;
                 }
-                waited = true;
+                if !waited {
+                    waited = true;
+                    // Mark the block on the pipeline timeline as it
+                    // begins (the matching end is emitted after the
+                    // grant, outside the state latch).
+                    if let Some(o) = &obs {
+                        o.metrics.pipe_event(PipeKind::Begin, "lock.block", txn, 0);
+                    }
+                }
                 self.inner.cv.wait(&mut st);
             }
         }
@@ -187,7 +200,15 @@ impl RangeLockManager {
             if waited {
                 o.conflicts.inc();
                 o.blocks.inc();
-                o.wait_us.record(duration_us(t0.elapsed()));
+                let blocked = t0.elapsed();
+                o.wait_us.record(duration_us(blocked));
+                o.metrics.pipe_event(PipeKind::End, "lock.block", txn, 0);
+                o.metrics.check_stall(
+                    "lock.block",
+                    txn,
+                    0,
+                    u64::try_from(blocked.as_nanos()).unwrap_or(u64::MAX),
+                );
             }
         }
     }

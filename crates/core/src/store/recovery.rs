@@ -29,7 +29,7 @@
 //! was.
 
 use eos_buddy::BuddyManager;
-use eos_obs::{Metrics, OpKind};
+use eos_obs::{Metrics, OpKind, PipeKind};
 use eos_pager::SharedVolume;
 
 use crate::config::StoreConfig;
@@ -192,6 +192,13 @@ impl ObjectStore {
         wal.set_metrics(metrics);
         wal.checkpoint()?;
         store.wal = Some(wal);
+        // A restart that actually undid work is a flight-recorder
+        // moment: mark the timeline and, when `EOS_FLIGHT_PATH` is set,
+        // snapshot the ring + metrics for post-mortem inspection.
+        if report.torn_tail || report.rolled_back_ops > 0 {
+            metrics.pipe_event(PipeKind::Instant, "recovery.rollback", 0, 0);
+            let _ = metrics.flight_dump("recovery");
+        }
         Ok((store, report))
     }
 }

@@ -20,36 +20,48 @@
 //!   exactly (see `tests/paper_costs.rs` at the workspace root).
 //! * [`TraceEvent`] ring — a fixed-capacity buffer of the most recent
 //!   span completions for post-mortem dumps (`eos stats --trace`).
+//! * [`PipeEvent`] ring (eos-trace, DESIGN.md §16) — wait-free
+//!   begin/end/instant events carrying a trace id, batch id, thread
+//!   ordinal and phase label, for causal timelines of the concurrent
+//!   commit pipeline (`eos trace summary|export|dump`), plus the
+//!   flight recorder ([`Metrics::flight_dump`]) and a stall watchdog.
 //!
 //! All recording paths are atomics-only; the few `parking_lot` locks
 //! (registry maps, the span stack, ring slots) guard pure in-memory
 //! state and are never held across volume I/O, which `eos-lint`'s L3
 //! rule enforces for this crate. Overhead is documented in DESIGN.md
-//! §11 (<2% on the `compare` bench with metrics on).
+//! §11 (<2% on the `compare` bench with metrics on) and §16 for the
+//! pipeline events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod registry;
 mod snapshot;
 mod span;
 mod trace;
+mod tracer;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use eos_pager::{IoStats, SharedVolume};
 use parking_lot::Mutex;
 
+pub use flight::{chrome_trace_json, install_flight_panic_hook, pipe_doc_json, FLIGHT_PATH_ENV};
 pub use registry::{Counter, Gauge, Histogram};
 pub use snapshot::{render_trace, HistogramSnapshot, MetricsSnapshot, OpSnapshot};
 pub use span::OpSpan;
 pub use trace::TraceEvent;
+pub use tracer::{PipeEvent, PipeKind, PipeSpan, PIN_TRACE_BIT};
 
 use registry::HistogramInner;
 use span::IoDelta;
 use trace::TraceRing;
+use tracer::{thread_ordinal, PipeRing};
 
 /// The logical operations I/O can be attributed to.
 ///
@@ -128,7 +140,8 @@ pub(crate) struct OpAgg {
     pub(crate) page_writes: AtomicU64,
     pub(crate) elapsed_us: AtomicU64,
     pub(crate) faults: AtomicU64,
-    pub(crate) wall_ns: AtomicU64,
+    pub(crate) wall_ns_inclusive: AtomicU64,
+    pub(crate) wall_ns_exclusive: AtomicU64,
 }
 
 pub(crate) struct OpTable {
@@ -150,8 +163,20 @@ impl OpTable {
 /// Default capacity of the trace ring (events retained for a dump).
 pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
 
+/// Default capacity of the pipeline-event ring (eos-trace, §16).
+pub const DEFAULT_PIPE_CAPACITY: usize = 4096;
+
+/// Default stall-watchdog threshold: a phase or lock wait longer than
+/// this many microseconds records a [`PipeKind::Stall`] event and bumps
+/// the `trace.stalls` counter. Override per domain with
+/// [`Metrics::set_stall_threshold_us`], or for [`global`] with the
+/// `EOS_TRACE_STALL_US` environment variable.
+pub const DEFAULT_STALL_THRESHOLD_US: u64 = 100_000;
+
 struct Inner {
     enabled: AtomicBool,
+    /// Domain birth instant — the zero point of [`PipeEvent::ts_ns`].
+    born: Instant,
     ops: OpTable,
     // lock-class: counters = obs.counters rank = 60 io = forbidden
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
@@ -165,6 +190,9 @@ struct Inner {
     // lock-class: stack = obs.stack rank = 63 io = forbidden
     stack: Mutex<Vec<IoDelta>>,
     ring: TraceRing,
+    pipe: PipeRing,
+    /// Stall-watchdog threshold in µs (0 disables the watchdog).
+    stall_threshold_us: AtomicU64,
 }
 
 /// A shareable handle to one metrics domain.
@@ -193,17 +221,27 @@ impl Metrics {
     }
 
     /// A fresh, enabled metrics domain retaining up to `capacity` trace
-    /// events (clamped to at least 1).
+    /// events (clamped to at least 1) and the default pipeline-event
+    /// capacity.
     pub fn with_trace_capacity(capacity: usize) -> Metrics {
+        Metrics::with_capacities(capacity, DEFAULT_PIPE_CAPACITY)
+    }
+
+    /// A fresh, enabled metrics domain with explicit trace-ring and
+    /// pipeline-ring capacities (each clamped to at least 1).
+    pub fn with_capacities(trace_capacity: usize, pipe_capacity: usize) -> Metrics {
         Metrics {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(true),
+                born: Instant::now(),
                 ops: OpTable::new(),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 stack: Mutex::new(Vec::new()),
-                ring: TraceRing::new(capacity),
+                ring: TraceRing::new(trace_capacity),
+                pipe: PipeRing::new(pipe_capacity),
+                stall_threshold_us: AtomicU64::new(DEFAULT_STALL_THRESHOLD_US),
             }),
         }
     }
@@ -287,12 +325,107 @@ impl Metrics {
             histograms,
             trace_recorded: self.inner.ring.recorded(),
             trace_capacity: self.inner.ring.capacity() as u64,
+            pipe_recorded: self.inner.pipe.recorded(),
+            pipe_capacity: self.inner.pipe.capacity() as u64,
         }
     }
 
     /// The retained trace events, oldest first.
     pub fn trace(&self) -> Vec<TraceEvent> {
         self.inner.ring.events()
+    }
+
+    // ---- eos-trace: structured pipeline events (DESIGN.md §16) -----------
+
+    /// Nanoseconds since this domain was created — the timebase of
+    /// every [`PipeEvent::ts_ns`], shared across threads.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.born.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record one pipeline event stamped "now" on the current thread.
+    /// No-op when the domain is disabled.
+    pub fn pipe_event(&self, kind: PipeKind, phase: &'static str, trace_id: u64, batch_id: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.pipe_event_at(self.now_ns(), kind, phase, trace_id, batch_id);
+    }
+
+    /// Record one pipeline event with an explicit timestamp — how the
+    /// group-commit leader emits Phase A–D spans sharing exact
+    /// boundary instants (phase N's end *is* phase N+1's begin, so the
+    /// timeline is contiguous by construction).
+    pub fn pipe_event_at(
+        &self,
+        ts_ns: u64,
+        kind: PipeKind,
+        phase: &'static str,
+        trace_id: u64,
+        batch_id: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.pipe.record(PipeEvent {
+            seq: 0,
+            ts_ns,
+            kind,
+            phase,
+            trace_id,
+            batch_id,
+            thread: thread_ordinal(),
+        });
+    }
+
+    /// Open a begin/end span on the pipeline timeline; the guard's
+    /// drop emits the end event and applies the stall watchdog.
+    pub fn pipe_span(&self, phase: &'static str, trace_id: u64, batch_id: u64) -> PipeSpan {
+        PipeSpan::open(self.clone(), phase, trace_id, batch_id)
+    }
+
+    /// The retained pipeline events, oldest first.
+    pub fn pipe_events(&self) -> Vec<PipeEvent> {
+        self.inner.pipe.events()
+    }
+
+    /// Pipeline events recorded since creation (may exceed capacity).
+    pub fn pipe_recorded(&self) -> u64 {
+        self.inner.pipe.recorded()
+    }
+
+    /// Pipeline ring capacity.
+    pub fn pipe_capacity(&self) -> usize {
+        self.inner.pipe.capacity()
+    }
+
+    /// The stall-watchdog threshold in microseconds (0 = off).
+    pub fn stall_threshold_us(&self) -> u64 {
+        self.inner.stall_threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Set the stall-watchdog threshold in microseconds (0 disables).
+    pub fn set_stall_threshold_us(&self, us: u64) {
+        self.inner.stall_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Apply the stall watchdog to a measured wall time: past the
+    /// threshold, record a [`PipeKind::Stall`] event for `phase` and
+    /// bump the `trace.stalls` counter. Returns whether it fired.
+    pub fn check_stall(
+        &self,
+        phase: &'static str,
+        trace_id: u64,
+        batch_id: u64,
+        wall_ns: u64,
+    ) -> bool {
+        let threshold_us = self.stall_threshold_us();
+        if !self.enabled() || threshold_us == 0 || wall_ns / 1000 < threshold_us {
+            return false;
+        }
+        self.pipe_event(PipeKind::Stall, phase, trace_id, batch_id);
+        self.counter("trace.stalls").inc();
+        true
     }
 
     pub(crate) fn push_frame(&self) {
@@ -322,7 +455,9 @@ impl Metrics {
         agg.elapsed_us
             .fetch_add(exclusive.elapsed_us, Ordering::Relaxed);
         agg.faults.fetch_add(exclusive.faults, Ordering::Relaxed);
-        agg.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        agg.wall_ns_inclusive.fetch_add(wall_ns, Ordering::Relaxed);
+        agg.wall_ns_exclusive
+            .fetch_add(exclusive.wall_ns, Ordering::Relaxed);
         self.inner.ring.record(trace::TraceEvent {
             seq: 0,
             op: kind.label(),
@@ -330,7 +465,8 @@ impl Metrics {
             page_reads: exclusive.page_reads,
             page_writes: exclusive.page_writes,
             elapsed_us: exclusive.elapsed_us,
-            wall_ns,
+            wall_ns_inclusive: wall_ns,
+            wall_ns_exclusive: exclusive.wall_ns,
         });
     }
 }
@@ -347,6 +483,12 @@ pub fn global() -> &'static Metrics {
         let m = Metrics::new();
         if std::env::var_os("EOS_OBS_DISABLED").is_some_and(|v| v == "1") {
             m.set_enabled(false);
+        }
+        if let Some(us) = std::env::var("EOS_TRACE_STALL_US")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            m.set_stall_threshold_us(us);
         }
         m
     })
@@ -461,6 +603,65 @@ mod tests {
     #[test]
     fn global_is_one_domain() {
         assert!(global().same_domain(&global().clone()));
+    }
+
+    #[test]
+    fn pipe_span_emits_matched_events_on_one_timeline() {
+        let m = Metrics::new();
+        {
+            let _s = m.pipe_span("commit.phase_a", 7, 2);
+        }
+        let events = m.pipe_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, PipeKind::Begin);
+        assert_eq!(events[1].kind, PipeKind::End);
+        assert_eq!(events[0].phase, "commit.phase_a");
+        assert_eq!(events[0].trace_id, 7);
+        assert_eq!(events[1].batch_id, 2);
+        assert_eq!(events[0].thread, events[1].thread);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        let snap = m.snapshot();
+        assert_eq!(snap.pipe_recorded, 2);
+        assert_eq!(snap.pipe_capacity, DEFAULT_PIPE_CAPACITY as u64);
+    }
+
+    #[test]
+    fn disabled_domain_records_no_pipe_events() {
+        let m = Metrics::new();
+        m.set_enabled(false);
+        m.pipe_event(PipeKind::Instant, "wal.frame", 1, 0);
+        {
+            let _s = m.pipe_span("commit.phase_b", 1, 1);
+        }
+        assert_eq!(m.pipe_recorded(), 0);
+    }
+
+    #[test]
+    fn stall_watchdog_fires_past_threshold_only() {
+        let m = Metrics::new();
+        assert_eq!(m.stall_threshold_us(), DEFAULT_STALL_THRESHOLD_US);
+        m.set_stall_threshold_us(1000);
+        assert!(!m.check_stall("commit.phase_c", 3, 1, 999_000));
+        assert!(m.check_stall("commit.phase_c", 3, 1, 1_000_000));
+        let events = m.pipe_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, PipeKind::Stall);
+        assert_eq!(m.snapshot().counter("trace.stalls"), Some(1));
+        // Threshold 0 disables the watchdog entirely.
+        m.set_stall_threshold_us(0);
+        assert!(!m.check_stall("commit.phase_c", 3, 1, u64::MAX));
+    }
+
+    #[test]
+    fn explicit_timestamps_make_contiguous_phases() {
+        let m = Metrics::new();
+        let t0 = m.now_ns();
+        let t1 = t0 + 10;
+        m.pipe_event_at(t0, PipeKind::Begin, "commit.phase_a", 1, 1);
+        m.pipe_event_at(t1, PipeKind::End, "commit.phase_a", 1, 1);
+        m.pipe_event_at(t1, PipeKind::Begin, "commit.phase_b", 1, 1);
+        let events = m.pipe_events();
+        assert_eq!(events[1].ts_ns, events[2].ts_ns);
     }
 
     #[test]

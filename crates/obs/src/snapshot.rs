@@ -24,8 +24,14 @@ pub struct OpSnapshot {
     pub elapsed_us: u64,
     /// Injected faults observed, exclusive.
     pub faults: u64,
-    /// Wall-clock nanoseconds, inclusive of child spans.
-    pub wall_ns: u64,
+    /// Wall-clock nanoseconds **inclusive** of child spans — unlike
+    /// the I/O fields above, which are exclusive. Summing this column
+    /// double-counts nested spans; see
+    /// [`OpSnapshot::wall_ns_exclusive`].
+    pub wall_ns_inclusive: u64,
+    /// Wall-clock nanoseconds **exclusive** of child spans — the same
+    /// convention as the I/O fields, safe to sum across rows.
+    pub wall_ns_exclusive: u64,
 }
 
 impl OpSnapshot {
@@ -38,7 +44,8 @@ impl OpSnapshot {
             page_writes: agg.page_writes.load(Ordering::Relaxed),
             elapsed_us: agg.elapsed_us.load(Ordering::Relaxed),
             faults: agg.faults.load(Ordering::Relaxed),
-            wall_ns: agg.wall_ns.load(Ordering::Relaxed),
+            wall_ns_inclusive: agg.wall_ns_inclusive.load(Ordering::Relaxed),
+            wall_ns_exclusive: agg.wall_ns_exclusive.load(Ordering::Relaxed),
         }
     }
 
@@ -79,6 +86,29 @@ impl HistogramSnapshot {
             buckets,
         }
     }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets:
+    /// the upper bound of the bucket the rank-`ceil(q·count)`
+    /// observation falls in (so the answer over-estimates by at most
+    /// 2× — the bucket resolution). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(k, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return if k >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (k + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
 }
 
 /// A point-in-time copy of every aggregate in one [`crate::Metrics`]
@@ -98,6 +128,10 @@ pub struct MetricsSnapshot {
     pub trace_recorded: u64,
     /// Trace ring capacity.
     pub trace_capacity: u64,
+    /// Pipeline events (eos-trace, §16) recorded since creation.
+    pub pipe_recorded: u64,
+    /// Pipeline-event ring capacity.
+    pub pipe_capacity: u64,
 }
 
 impl MetricsSnapshot {
@@ -154,8 +188,16 @@ impl MetricsSnapshot {
     pub fn render_table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10} {:>7} {:>10}\n",
-            "OPERATION", "COUNT", "SEEKS", "READS", "WRITES", "SIM-MS", "FAULTS", "WALL-MS"
+            "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10} {:>7} {:>10} {:>10}\n",
+            "OPERATION",
+            "COUNT",
+            "SEEKS",
+            "READS",
+            "WRITES",
+            "SIM-MS",
+            "FAULTS",
+            "WALL-MS",
+            "XWALL-MS"
         ));
         let mut any = false;
         for o in &self.ops {
@@ -164,7 +206,7 @@ impl MetricsSnapshot {
             }
             any = true;
             out.push_str(&format!(
-                "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10.3} {:>7} {:>10.3}\n",
+                "{:<16} {:>7} {:>8} {:>8} {:>8} {:>10.3} {:>7} {:>10.3} {:>10.3}\n",
                 o.op,
                 o.count,
                 o.seeks,
@@ -172,7 +214,8 @@ impl MetricsSnapshot {
                 o.page_writes,
                 o.elapsed_us as f64 / 1000.0,
                 o.faults,
-                o.wall_ns as f64 / 1.0e6,
+                o.wall_ns_inclusive as f64 / 1.0e6,
+                o.wall_ns_exclusive as f64 / 1.0e6,
             ));
         }
         if !any {
@@ -212,6 +255,10 @@ impl MetricsSnapshot {
             "trace: {} event(s) recorded (ring capacity {})\n",
             self.trace_recorded, self.trace_capacity
         ));
+        out.push_str(&format!(
+            "pipeline: {} event(s) recorded (ring capacity {})\n",
+            self.pipe_recorded, self.pipe_capacity
+        ));
         out
     }
 
@@ -225,7 +272,8 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!(
                 "{{\"op\":{},\"count\":{},\"seeks\":{},\"page_reads\":{},\
-                 \"page_writes\":{},\"elapsed_us\":{},\"faults\":{},\"wall_ns\":{}}}",
+                 \"page_writes\":{},\"elapsed_us\":{},\"faults\":{},\
+                 \"wall_ns_inclusive\":{},\"wall_ns_exclusive\":{}}}",
                 json_string(o.op),
                 o.count,
                 o.seeks,
@@ -233,7 +281,8 @@ impl MetricsSnapshot {
                 o.page_writes,
                 o.elapsed_us,
                 o.faults,
-                o.wall_ns
+                o.wall_ns_inclusive,
+                o.wall_ns_exclusive
             ));
         }
         out.push_str("],\"counters\":{");
@@ -269,8 +318,9 @@ impl MetricsSnapshot {
             ));
         }
         out.push_str(&format!(
-            "],\"trace\":{{\"recorded\":{},\"capacity\":{}}}}}",
-            self.trace_recorded, self.trace_capacity
+            "],\"trace\":{{\"recorded\":{},\"capacity\":{},\
+             \"pipe_recorded\":{},\"pipe_capacity\":{}}}}}",
+            self.trace_recorded, self.trace_capacity, self.pipe_recorded, self.pipe_capacity
         ));
         out
     }
@@ -309,6 +359,10 @@ impl MetricsSnapshot {
             "# TYPE eos_trace_recorded counter\neos_trace_recorded {}\n",
             self.trace_recorded
         ));
+        out.push_str(&format!(
+            "# TYPE eos_pipe_recorded counter\neos_pipe_recorded {}\n",
+            self.pipe_recorded
+        ));
         out
     }
 }
@@ -317,36 +371,65 @@ impl MetricsSnapshot {
 type OpField = (&'static str, fn(&OpSnapshot) -> u64);
 
 /// The per-op numeric columns, for the Prometheus rendering.
-const OP_FIELDS: [OpField; 7] = [
+const OP_FIELDS: [OpField; 8] = [
     ("count", |o| o.count),
     ("seeks", |o| o.seeks),
     ("page_reads", |o| o.page_reads),
     ("page_writes", |o| o.page_writes),
     ("sim_us", |o| o.elapsed_us),
     ("faults", |o| o.faults),
-    ("wall_ns", |o| o.wall_ns),
+    ("wall_ns_inclusive", |o| o.wall_ns_inclusive),
+    ("wall_ns_exclusive", |o| o.wall_ns_exclusive),
 ];
 
-/// Human-readable dump of retained trace events (`eos stats --trace`).
-pub fn render_trace(events: &[TraceEvent]) -> String {
+/// Human-readable dump of retained trace events (`eos stats --trace`),
+/// with the ring accounting the window needs to be read honestly:
+/// `recorded - capacity` events were dropped by overwrite, and any
+/// sequence gap *inside* the retained window means a torn view (a slot
+/// was overwritten between the reader's two passes).
+pub fn render_trace(events: &[TraceEvent], recorded: u64, capacity: u64) -> String {
+    let mut out = String::new();
     if events.is_empty() {
-        return "(no trace events retained)\n".to_string();
-    }
-    let mut out = format!(
-        "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10} {:>10}\n",
-        "SEQ", "OPERATION", "SEEKS", "READS", "WRITES", "SIM-MS", "WALL-MS"
-    );
-    for ev in events {
+        out.push_str("(no trace events retained)\n");
+    } else {
         out.push_str(&format!(
-            "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10.3} {:>10.3}\n",
-            ev.seq,
-            ev.op,
-            ev.seeks,
-            ev.page_reads,
-            ev.page_writes,
-            ev.elapsed_us as f64 / 1000.0,
-            ev.wall_ns as f64 / 1.0e6,
+            "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}\n",
+            "SEQ", "OPERATION", "SEEKS", "READS", "WRITES", "SIM-MS", "WALL-MS", "XWALL-MS"
         ));
+        for ev in events {
+            out.push_str(&format!(
+                "{:>8} {:<16} {:>8} {:>8} {:>8} {:>10.3} {:>10.3} {:>10.3}\n",
+                ev.seq,
+                ev.op,
+                ev.seeks,
+                ev.page_reads,
+                ev.page_writes,
+                ev.elapsed_us as f64 / 1000.0,
+                ev.wall_ns_inclusive as f64 / 1.0e6,
+                ev.wall_ns_exclusive as f64 / 1.0e6,
+            ));
+        }
+    }
+    let dropped = recorded.saturating_sub(capacity);
+    out.push_str(&format!(
+        "dropped: {dropped} event(s) overwritten ({recorded} recorded, ring capacity {capacity})\n"
+    ));
+    let mut gaps = 0u64;
+    let mut largest = 0u64;
+    for pair in events.windows(2) {
+        let gap = pair[1].seq.saturating_sub(pair[0].seq + 1);
+        if gap > 0 {
+            gaps += 1;
+            largest = largest.max(gap);
+        }
+    }
+    if gaps > 0 {
+        out.push_str(&format!(
+            "sequence gaps: {gaps} inside the retained window (largest {largest}) — \
+             events were overwritten while this dump was read\n"
+        ));
+    } else {
+        out.push_str("sequence gaps: none — the retained window is contiguous\n");
     }
     out
 }
@@ -409,6 +492,8 @@ mod tests {
         assert!(text.contains("cache.size (gauge)"));
         assert!(text.contains("2^2:1"));
         assert!(text.contains("trace: 1 event(s)"));
+        assert!(text.contains("pipeline: 0 event(s)"));
+        assert!(text.contains("XWALL-MS"));
     }
 
     #[test]
@@ -425,6 +510,9 @@ mod tests {
         assert!(json.contains("\"counters\":{\"reshuffle.triggers.t8\":3}"));
         assert!(json.contains("\"buckets\":[[2,1]]"));
         assert!(json.contains("\"trace\":{\"recorded\":1"));
+        assert!(json.contains("\"wall_ns_inclusive\""));
+        assert!(json.contains("\"wall_ns_exclusive\""));
+        assert!(json.contains("\"pipe_recorded\":0"));
     }
 
     #[test]
@@ -438,10 +526,56 @@ mod tests {
     }
 
     #[test]
-    fn trace_rendering_includes_each_event() {
+    fn trace_rendering_includes_each_event_and_the_accounting() {
         let m = populated();
-        let text = super::render_trace(&m.trace());
+        let snap = m.snapshot();
+        let text = super::render_trace(&m.trace(), snap.trace_recorded, snap.trace_capacity);
         assert!(text.contains("create"));
-        assert!(super::render_trace(&[]).contains("no trace events"));
+        assert!(text.contains("dropped: 0 event(s)"));
+        assert!(text.contains("sequence gaps: none"));
+        assert!(super::render_trace(&[], 0, 8).contains("no trace events"));
+    }
+
+    #[test]
+    fn trace_rendering_reports_drops_and_gaps() {
+        let m = Metrics::with_capacities(2, 4);
+        let v: SharedVolume = MemVolume::new(128, 64).shared();
+        for _ in 0..5 {
+            let _s = m.span(OpKind::Read, &v);
+        }
+        let snap = m.snapshot();
+        let text = super::render_trace(&m.trace(), snap.trace_recorded, snap.trace_capacity);
+        assert!(text.contains("dropped: 3 event(s) overwritten (5 recorded, ring capacity 2)"));
+        // A synthetic torn window: seqs 3 and 7 with 4, 5, 6 missing.
+        let mut torn = m.trace();
+        torn[0].seq = 3;
+        torn[1].seq = 7;
+        let text = super::render_trace(&torn, 8, 2);
+        assert!(text.contains("sequence gaps: 1 inside the retained window (largest 3)"));
+    }
+
+    #[test]
+    fn quantile_reads_the_log2_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("q");
+        for _ in 0..99 {
+            h.record(3); // bucket 2^1, upper bound 3
+        }
+        h.record(1000); // bucket 2^9, upper bound 1023
+        let snap = m.snapshot();
+        let q = snap.histogram("q").unwrap();
+        assert_eq!(q.quantile(0.5), 3);
+        assert_eq!(q.quantile(0.99), 3);
+        assert_eq!(q.quantile(1.0), 1023);
+        assert_eq!(
+            crate::HistogramSnapshot {
+                name: "empty".into(),
+                count: 0,
+                sum: 0,
+                buckets: vec![]
+            }
+            .quantile(0.5),
+            0
+        );
     }
 }

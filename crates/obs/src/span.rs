@@ -6,8 +6,10 @@ use eos_pager::{IoStats, SharedVolume};
 
 use crate::{saturating_io_delta, Metrics, OpKind};
 
-/// The per-span I/O accounting unit: the fields of an [`IoStats`] delta
-/// this crate attributes (calls are folded into seeks/transfers).
+/// The per-span accounting unit: the fields of an [`IoStats`] delta
+/// this crate attributes (calls are folded into seeks/transfers), plus
+/// the span's wall clock — carried here so a parent frame can subtract
+/// its children's inclusive wall and report an exclusive share.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct IoDelta {
     pub(crate) seeks: u64,
@@ -15,6 +17,7 @@ pub(crate) struct IoDelta {
     pub(crate) page_writes: u64,
     pub(crate) elapsed_us: u64,
     pub(crate) faults: u64,
+    pub(crate) wall_ns: u64,
 }
 
 impl IoDelta {
@@ -25,6 +28,7 @@ impl IoDelta {
             page_writes: delta.page_writes,
             elapsed_us: delta.elapsed_us,
             faults: delta.faults(),
+            wall_ns: 0,
         }
     }
 
@@ -34,6 +38,7 @@ impl IoDelta {
         self.page_writes = self.page_writes.saturating_add(other.page_writes);
         self.elapsed_us = self.elapsed_us.saturating_add(other.elapsed_us);
         self.faults = self.faults.saturating_add(other.faults);
+        self.wall_ns = self.wall_ns.saturating_add(other.wall_ns);
     }
 
     pub(crate) fn saturating_sub(&self, other: &IoDelta) -> IoDelta {
@@ -43,6 +48,7 @@ impl IoDelta {
             page_writes: self.page_writes.saturating_sub(other.page_writes),
             elapsed_us: self.elapsed_us.saturating_sub(other.elapsed_us),
             faults: self.faults.saturating_sub(other.faults),
+            wall_ns: self.wall_ns.saturating_sub(other.wall_ns),
         }
     }
 }
@@ -53,9 +59,11 @@ impl IoDelta {
 /// again and takes the saturating difference — its *inclusive* cost.
 /// Spans nest LIFO within a thread: each completed child folds its
 /// inclusive cost into the parent's frame, and the parent records only
-/// its *exclusive* share (inclusive minus children). Wall time stays
-/// inclusive — it answers "how long did this operation take", while
-/// the I/O columns answer "who issued this I/O".
+/// its *exclusive* share (inclusive minus children). Wall time is
+/// recorded under **both** conventions: `wall_ns_inclusive` answers
+/// "how long did this operation take" (and so double-counts nested
+/// spans when summed), `wall_ns_exclusive` subtracts the children's
+/// inclusive wall and sums cleanly, like the I/O columns.
 ///
 /// Dropping is atomics-plus-one-short-latch: no volume I/O happens in
 /// the drop path beyond the `stats()` counter read.
@@ -101,8 +109,13 @@ impl Drop for OpSpan {
             return;
         }
         let wall_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let inclusive = IoDelta::from_stats(saturating_io_delta(self.volume.stats(), self.entry));
+        let mut inclusive =
+            IoDelta::from_stats(saturating_io_delta(self.volume.stats(), self.entry));
+        inclusive.wall_ns = wall_ns;
         let children = self.metrics.pop_frame(&inclusive);
+        // `exclusive.wall_ns` is this span's own wall share: inclusive
+        // minus the children's inclusive wall (satellite convention —
+        // see `TraceEvent::wall_ns_exclusive`).
         let exclusive = inclusive.saturating_sub(&children);
         self.metrics.record_op(self.kind, &exclusive, wall_ns);
     }
@@ -121,6 +134,7 @@ mod tests {
             page_writes: 3,
             elapsed_us: 4,
             faults: 5,
+            wall_ns: 6,
         };
         let mut b = IoDelta::default();
         b.add(&a);
@@ -149,7 +163,7 @@ mod tests {
     }
 
     #[test]
-    fn wall_time_is_inclusive_io_is_exclusive() {
+    fn wall_time_has_both_conventions_io_is_exclusive() {
         let m = Metrics::new();
         let v: SharedVolume = MemVolume::new(128, 64).shared();
         {
@@ -161,5 +175,17 @@ mod tests {
         assert_eq!(snap.op("delete").unwrap().page_writes, 0);
         assert_eq!(snap.op("wal.commit").unwrap().page_writes, 1);
         assert_eq!(snap.op("delete").unwrap().count, 1);
+        // Single-threaded, perfectly nested: the outer span's exclusive
+        // wall plus the inner span's inclusive wall reconstructs the
+        // outer inclusive wall exactly.
+        let outer = snap.op("delete").unwrap();
+        let inner = snap.op("wal.commit").unwrap();
+        assert!(outer.wall_ns_exclusive <= outer.wall_ns_inclusive);
+        assert_eq!(
+            outer.wall_ns_exclusive + inner.wall_ns_inclusive,
+            outer.wall_ns_inclusive
+        );
+        // A leaf span has no children: both conventions coincide.
+        assert_eq!(inner.wall_ns_exclusive, inner.wall_ns_inclusive);
     }
 }

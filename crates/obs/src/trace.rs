@@ -27,8 +27,16 @@ pub struct TraceEvent {
     pub page_writes: u64,
     /// Simulated microseconds, exclusive.
     pub elapsed_us: u64,
-    /// Wall-clock nanoseconds, inclusive of child spans.
-    pub wall_ns: u64,
+    /// Wall-clock nanoseconds **inclusive** of child spans — "how long
+    /// did the caller wait". Note the convention differs from the I/O
+    /// fields above, which are exclusive; use
+    /// [`TraceEvent::wall_ns_exclusive`] when summing rows so nested
+    /// spans are not double-counted.
+    pub wall_ns_inclusive: u64,
+    /// Wall-clock nanoseconds **exclusive** of child spans (inclusive
+    /// minus the children's inclusive wall) — the same convention as
+    /// the I/O fields, safe to sum across rows.
+    pub wall_ns_exclusive: u64,
 }
 
 pub(crate) struct TraceRing {
@@ -84,7 +92,8 @@ mod tests {
             page_reads: 2,
             page_writes: 3,
             elapsed_us: 4,
-            wall_ns: 5,
+            wall_ns_inclusive: 5,
+            wall_ns_exclusive: 5,
         }
     }
 

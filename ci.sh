@@ -35,6 +35,40 @@ cargo run --release --offline -q -p eos-bench --bin concurrency -- --quick
 grep -q "bench.concurrency.rw" BENCH_obs.json \
     || { echo "rw bench gauges missing from BENCH_obs.json"; exit 1; }
 
+echo "== striped scaling gate (16 writers: latch-shard advantage + buddy latch waits) =="
+# The §17 sharding acceptance, enforced as a regression gate: at 16
+# writers and equal syncs/commit, the 16-stripe solo pipeline must beat
+# the single-stripe baseline by >= 1.6x, and the per-space buddy
+# directory latches must stay uncontended (mean wait <= 50us). Both
+# numbers come from the concurrency bench snapshot written above.
+grep -q "bench.concurrency.striped.s16.t16.commits_per_sec" BENCH_obs.json \
+    || { echo "striped bench gauges missing from BENCH_obs.json"; exit 1; }
+python3 - <<'EOF'
+import json
+
+doc = json.load(open("BENCH_obs.json"))
+metrics = doc["concurrency"]["metrics"]
+gauges = metrics["gauges"]
+
+adv = gauges["bench.concurrency.striped.advantage_t16_x100"]
+assert adv >= 160, (
+    f"striped 16-writer advantage regressed: {adv / 100:.2f}x < 1.60x"
+)
+
+hists = {h["name"]: h for h in metrics["histograms"]}
+latch = hists["buddy.latch.wait_us"]
+mean = latch["sum"] / max(latch["count"], 1)
+assert mean <= 50, (
+    f"buddy.latch.wait_us mean regressed: {mean:.1f}us > 50us "
+    f"over {latch['count']} acquisitions"
+)
+
+print(
+    f"striped advantage {adv / 100:.2f}x at 16 writers; "
+    f"buddy latch mean wait {mean:.2f}us over {latch['count']} acquisitions"
+)
+EOF
+
 echo "== trace (pipeline events: bench --trace, Chrome export, flight recorder) =="
 # The eos-trace surface end to end: a traced 4-writer bench round must
 # export a raw event dump, the CLI must reconstruct batches from it and
@@ -88,6 +122,9 @@ echo "== lockdep (runtime lock-order witness, pinned seed) =="
 # lockdep_runtime test also proves the witness itself still fires.
 # The mvcc battery rides along so the witness also watches the
 # lock-free read path: pins, parked frees, and reclaim ordering.
+# concurrent_store includes the 16-writer / 8-stripe / 4-space stress,
+# so the sharded latches (buddy.space, wal.scopes, wal.stripe) run
+# under the armed witness here.
 EOS_STRESS_SEED=3735928559 \
     cargo test --release --offline --features lockdep \
     --test lockdep_runtime --test concurrent_store --test concurrent \

@@ -1,12 +1,22 @@
 //! Multi-space buddy manager: lays out a sequence of buddy spaces on a
 //! volume, routes allocations through the superdirectory, and provides
 //! the deferred-free ("release lock", §4.5) mechanism.
+//!
+//! Concurrency model: each space sits behind its **own** directory
+//! latch (`buddy.space`, DESIGN.md §13/§17), so allocations and frees
+//! in different spaces proceed in parallel — the superdirectory stays
+//! a lock-free-ish belief cache consulted *before* a space latch is
+//! taken, never while one is held (its class ranks above the space
+//! class, §13). Callers can express **space affinity**: an allocation
+//! hinted at space `i` probes `i` first and spills to the others only
+//! under pressure, which is what keeps disjoint-object workloads on
+//! disjoint latches.
 
 use std::time::{Duration, Instant};
 
 use eos_obs::Metrics;
 use eos_pager::{PageId, SharedVolume};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::{Error, Result};
 use crate::geometry::Geometry;
@@ -35,9 +45,16 @@ impl Extent {
 pub struct FreeBatch(u64);
 
 /// The disk space manager: several buddy spaces on one volume plus the
-/// superdirectory.
+/// superdirectory. All allocation paths take `&self` — the per-space
+/// latches and the pending-free latch carry the synchronization.
 pub struct BuddyManager {
-    spaces: Vec<BuddySpace>,
+    // One directory latch per space (§17): a guard is held across the
+    // space's in-memory directory work *and* its single dir-page write
+    // (io = allowed), and is always dropped before the superdirectory
+    // (rank 40) is updated — the belief is recorded from a value read
+    // under the guard. Never hold two space guards at once.
+    // lock-class: spaces = buddy.space rank = 50 io = allowed
+    spaces: Vec<Mutex<BuddySpace>>,
     superdir: SuperDirectory,
     use_superdir: bool,
     geometry: Geometry,
@@ -59,6 +76,9 @@ struct ObsHandles {
     coalesce_depth: eos_obs::Histogram,
     latch_wait_us: eos_obs::Histogram,
     latch_hold_us: eos_obs::Histogram,
+    /// Per-space directory-latch wait times, indexed by space:
+    /// `buddy.latch.wait_us.space.<i>` (§17 sharding evidence).
+    space_latch_wait_us: Vec<eos_obs::Histogram>,
     pending_extents: eos_obs::Gauge,
 }
 
@@ -98,7 +118,7 @@ impl BuddyManager {
         }
         let optimistic = spaces[0].dir().space_max_type();
         Ok(BuddyManager {
-            spaces,
+            spaces: spaces.into_iter().map(Mutex::new).collect(),
             superdir: SuperDirectory::new(num_spaces, optimistic),
             use_superdir: true,
             geometry,
@@ -129,7 +149,7 @@ impl BuddyManager {
         }
         let optimistic = spaces[0].dir().space_max_type();
         Ok(BuddyManager {
-            spaces,
+            spaces: spaces.into_iter().map(Mutex::new).collect(),
             superdir: SuperDirectory::new(num_spaces, optimistic),
             use_superdir: true,
             geometry,
@@ -141,8 +161,9 @@ impl BuddyManager {
 
     /// Attach an observability domain: allocation/free size histograms
     /// (`buddy.alloc.pages` / `buddy.free.pages`), coalesce depth
-    /// (`buddy.coalesce.depth`), superdirectory-latch wait/hold times
-    /// (`buddy.latch.wait_us` / `buddy.latch.hold_us`, §4.5), the
+    /// (`buddy.coalesce.depth`), directory-latch wait/hold times
+    /// (`buddy.latch.wait_us` / `buddy.latch.hold_us` aggregate plus
+    /// `buddy.latch.wait_us.space.<i>` per space, §4.5/§17), the
     /// pending-free backlog gauge (`buddy.pending.extents`) and the
     /// exhaustion counter (`buddy.alloc.nospace`).
     pub fn set_metrics(&mut self, metrics: &Metrics) {
@@ -153,20 +174,39 @@ impl BuddyManager {
             coalesce_depth: metrics.histogram("buddy.coalesce.depth"),
             latch_wait_us: metrics.histogram("buddy.latch.wait_us"),
             latch_hold_us: metrics.histogram("buddy.latch.hold_us"),
+            space_latch_wait_us: (0..self.spaces.len())
+                .map(|i| metrics.histogram(&format!("buddy.latch.wait_us.space.{i}")))
+                .collect(),
             pending_extents: metrics.gauge("buddy.pending.extents"),
         });
     }
 
-    /// Record one `pending` latch acquisition: how long the caller
-    /// waited for the latch and how long it then held it. Called after
-    /// the guard is dropped — the recording itself is atomics-only.
-    fn note_latch(&self, waited: Duration, total: Duration) {
+    /// Record one latch acquisition (the pending latch, or a space
+    /// latch with `space = Some(i)`): how long the caller waited for
+    /// the latch and how long it then held it. Called after the guard
+    /// is dropped — the recording itself is atomics-only.
+    fn note_latch(&self, space: Option<usize>, waited: Duration, total: Duration) {
         if let Some(obs) = &self.obs {
             let wait = duration_us(waited);
             obs.latch_wait_us.record(wait);
             obs.latch_hold_us
                 .record(duration_us(total).saturating_sub(wait));
+            if let Some(i) = space {
+                if let Some(h) = obs.space_latch_wait_us.get(i) {
+                    h.record(wait);
+                }
+            }
         }
+    }
+
+    /// Lock space `i`'s directory latch, timing the wait. Returns the
+    /// guard plus the acquisition instant and wait, for `note_latch`
+    /// once the guard is dropped.
+    fn lock_space(&self, i: usize) -> (MutexGuard<'_, BuddySpace>, Instant, Duration) {
+        let t0 = Instant::now();
+        let g = self.spaces[i].lock();
+        let waited = t0.elapsed();
+        (g, t0, waited)
     }
 
     /// Disable the superdirectory (every allocation probes each space in
@@ -185,8 +225,19 @@ impl BuddyManager {
         self.geometry.max_seg_pages().min(self.pages_per_space)
     }
 
-    /// Allocate `pages` physically contiguous pages from some space.
-    pub fn allocate(&mut self, pages: u64) -> Result<Extent> {
+    /// Allocate `pages` physically contiguous pages from some space
+    /// (probing from space 0 — use [`Self::allocate_near`] to express
+    /// affinity).
+    pub fn allocate(&self, pages: u64) -> Result<Extent> {
+        self.allocate_near(pages, 0)
+    }
+
+    /// Allocate `pages` physically contiguous pages, probing space
+    /// `preferred` first and wrapping through the others only on
+    /// pressure. This is the §17 affinity path: callers that shard
+    /// their objects across spaces keep disjoint workloads on disjoint
+    /// space latches.
+    pub fn allocate_near(&self, pages: u64, preferred: usize) -> Result<Extent> {
         if pages == 0 {
             return Err(Error::ZeroPages);
         }
@@ -199,7 +250,9 @@ impl BuddyManager {
             });
         }
         let t = self.geometry.type_for(pages);
-        for i in 0..self.spaces.len() {
+        let n = self.spaces.len();
+        for k in 0..n {
+            let i = (preferred + k) % n;
             if self.use_superdir {
                 if !self.superdir.should_probe(i, t) {
                     continue;
@@ -208,17 +261,22 @@ impl BuddyManager {
                 // Count the probe for the E8 baseline.
                 self.superdir.count_probe();
             }
-            match self.spaces[i].allocate(pages) {
+            // The space guard covers the probe and the belief read; it
+            // drops before the superdirectory (rank 40) is touched.
+            let (mut sp, t0, waited) = self.lock_space(i);
+            let r = sp.allocate(pages);
+            let belief = sp.largest_free_type();
+            drop(sp);
+            self.note_latch(Some(i), waited, t0.elapsed());
+            self.superdir.record(i, belief);
+            match r {
                 Ok(start) => {
-                    self.superdir.record(i, self.spaces[i].largest_free_type());
                     if let Some(obs) = &self.obs {
                         obs.alloc_pages.record(pages);
                     }
                     return Ok(Extent { start, pages });
                 }
-                Err(Error::NoSpace { .. }) => {
-                    self.superdir.record(i, self.spaces[i].largest_free_type());
-                }
+                Err(Error::NoSpace { .. }) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -233,10 +291,15 @@ impl BuddyManager {
     /// Allocate at most `pages`, falling back to successively halved
     /// requests (used by the object growth policy when the database is
     /// nearly full). Returns the extent actually obtained.
-    pub fn allocate_up_to(&mut self, pages: u64) -> Result<Extent> {
+    pub fn allocate_up_to(&self, pages: u64) -> Result<Extent> {
+        self.allocate_up_to_near(pages, 0)
+    }
+
+    /// [`Self::allocate_up_to`] with a preferred space (§17 affinity).
+    pub fn allocate_up_to_near(&self, pages: u64, preferred: usize) -> Result<Extent> {
         let mut want = pages.min(self.max_extent_pages());
         loop {
-            match self.allocate(want) {
+            match self.allocate_near(want, preferred) {
                 Ok(e) => return Ok(e),
                 Err(Error::NoSpace { .. }) if want > 1 => want /= 2,
                 Err(e) => return Err(e),
@@ -244,33 +307,46 @@ impl BuddyManager {
         }
     }
 
+    /// The space whose page range contains volume page `start`.
+    pub fn space_of(&self, start: PageId) -> usize {
+        (start / (self.pages_per_space + 1)) as usize
+    }
+
     /// Allocate a specific free range (fixed-location structures such
     /// as a boot page). The range must lie inside one space.
-    pub fn allocate_at(&mut self, start: PageId, pages: u64) -> Result<Extent> {
-        let span = self.pages_per_space + 1;
-        let i = (start / span) as usize;
+    pub fn allocate_at(&self, start: PageId, pages: u64) -> Result<Extent> {
+        let i = self.space_of(start);
         if i >= self.spaces.len() {
             return Err(Error::NoSuchSpace { space: i });
         }
-        self.spaces[i].allocate_at(start, pages)?;
-        self.superdir.record(i, self.spaces[i].largest_free_type());
+        let (mut sp, t0, waited) = self.lock_space(i);
+        let r = sp.allocate_at(start, pages);
+        let belief = sp.largest_free_type();
+        drop(sp);
+        self.note_latch(Some(i), waited, t0.elapsed());
+        self.superdir.record(i, belief);
+        r?;
         Ok(Extent { start, pages })
     }
 
     /// Free part or all of an allocated extent immediately.
-    pub fn free(&mut self, start: PageId, pages: u64) -> Result<()> {
-        let span = self.pages_per_space + 1;
-        let i = (start / span) as usize;
+    pub fn free(&self, start: PageId, pages: u64) -> Result<()> {
+        let i = self.space_of(start);
         if i >= self.spaces.len() {
             return Err(Error::NoSuchSpace { space: i });
         }
-        let merges_before = self.spaces[i].dir().coalesce_merges();
-        self.spaces[i].free(start, pages)?;
-        self.superdir.record(i, self.spaces[i].largest_free_type());
+        let (mut sp, t0, waited) = self.lock_space(i);
+        let merges_before = sp.dir().coalesce_merges();
+        let r = sp.free(start, pages);
+        let belief = sp.largest_free_type();
+        let merges = sp.dir().coalesce_merges() - merges_before;
+        drop(sp);
+        self.note_latch(Some(i), waited, t0.elapsed());
+        self.superdir.record(i, belief);
+        r?;
         if let Some(obs) = &self.obs {
             obs.free_pages.record(pages);
-            obs.coalesce_depth
-                .record(self.spaces[i].dir().coalesce_merges() - merges_before);
+            obs.coalesce_depth.record(merges);
         }
         Ok(())
     }
@@ -286,7 +362,7 @@ impl BuddyManager {
         let id = g.next_batch;
         g.batches.push((id, Vec::new()));
         drop(g);
-        self.note_latch(waited, t0.elapsed());
+        self.note_latch(None, waited, t0.elapsed());
         FreeBatch(id)
     }
 
@@ -302,14 +378,14 @@ impl BuddyManager {
             .expect("unknown free batch");
         slot.1.push(extent);
         drop(g);
-        self.note_latch(waited, t0.elapsed());
+        self.note_latch(None, waited, t0.elapsed());
         if let Some(obs) = &self.obs {
             obs.pending_extents.add(1);
         }
     }
 
     /// Apply every deferred free in the batch (transaction commit).
-    pub fn commit_frees(&mut self, batch: FreeBatch) -> Result<()> {
+    pub fn commit_frees(&self, batch: FreeBatch) -> Result<()> {
         let t0 = Instant::now();
         let mut g = self.pending.lock();
         let waited = t0.elapsed();
@@ -322,7 +398,7 @@ impl BuddyManager {
         // The latch is short-duration by construction: it is released
         // here, before any of the directory-page I/O the frees incur.
         drop(g);
-        self.note_latch(waited, t0.elapsed());
+        self.note_latch(None, waited, t0.elapsed());
         if let Some(obs) = &self.obs {
             obs.pending_extents.sub(extents.len() as u64);
         }
@@ -345,7 +421,7 @@ impl BuddyManager {
             .map(|idx| g.batches.remove(idx).1.len())
             .unwrap_or(0);
         drop(g);
-        self.note_latch(waited, t0.elapsed());
+        self.note_latch(None, waited, t0.elapsed());
         if let Some(obs) = &self.obs {
             obs.pending_extents.sub(dropped as u64);
         }
@@ -353,10 +429,7 @@ impl BuddyManager {
 
     /// Total free pages across all spaces.
     pub fn total_free_pages(&self) -> u64 {
-        self.spaces
-            .iter()
-            .map(super::space::BuddySpace::free_pages)
-            .sum()
+        self.spaces.iter().map(|s| s.lock().free_pages()).sum()
     }
 
     /// Total data pages across all spaces.
@@ -404,17 +477,18 @@ impl BuddyManager {
         self.superdir.reset_stats();
     }
 
-    /// Mutable access to a space, *bypassing* the superdirectory (its
-    /// belief about the space goes stale). A fault-injection hook for
-    /// consistency-check tests; regular allocation must go through the
-    /// manager.
-    pub fn space_mut(&mut self, i: usize) -> &mut BuddySpace {
-        &mut self.spaces[i]
+    /// Lock a space for direct mutation, *bypassing* the superdirectory
+    /// (its belief about the space goes stale). A fault-injection hook
+    /// for consistency-check tests; regular allocation must go through
+    /// the manager. Never hold two space guards at once.
+    pub fn space_mut(&self, i: usize) -> MutexGuard<'_, BuddySpace> {
+        self.spaces[i].lock()
     }
 
-    /// Access a space for inspection.
-    pub fn space(&self, i: usize) -> &BuddySpace {
-        &self.spaces[i]
+    /// Lock a space for inspection. Never hold two space guards at
+    /// once, and drop the guard before calling back into the manager.
+    pub fn space(&self, i: usize) -> MutexGuard<'_, BuddySpace> {
+        self.spaces[i].lock()
     }
 
     /// Number of spaces.
@@ -425,7 +499,7 @@ impl BuddyManager {
     /// Verify every space directory (test/diagnostic hook).
     pub fn check_invariants(&self) -> Result<()> {
         for s in &self.spaces {
-            s.dir().check_invariants()?;
+            s.lock().dir().check_invariants()?;
         }
         Ok(())
     }
@@ -441,7 +515,8 @@ impl BuddyManager {
         let mut by_type = vec![0u64; entries];
         let mut largest = 0u64;
         for s in &self.spaces {
-            for (t, &c) in s.dir().counts().iter().enumerate() {
+            let sp = s.lock();
+            for (t, &c) in sp.dir().counts().iter().enumerate() {
                 by_type[t] += c as u64;
                 if c > 0 {
                     largest = largest.max(1u64 << t);
@@ -504,7 +579,7 @@ mod tests {
 
     #[test]
     fn allocations_spill_to_later_spaces() {
-        let mut m = manager(3, 64);
+        let m = manager(3, 64);
         let a = m.allocate(64).unwrap();
         let b = m.allocate(64).unwrap();
         let c = m.allocate(64).unwrap();
@@ -519,8 +594,22 @@ mod tests {
     }
 
     #[test]
+    fn affinity_hint_routes_to_preferred_space() {
+        let m = manager(3, 64);
+        let a = m.allocate_near(8, 2).unwrap();
+        assert_eq!(m.space_of(a.start), 2, "hinted space honored");
+        let b = m.allocate_near(8, 1).unwrap();
+        assert_eq!(m.space_of(b.start), 1);
+        // Pressure spills past the hint: fill space 0, then hint at it.
+        m.allocate_near(64, 0).unwrap();
+        let c = m.allocate_near(32, 0).unwrap();
+        assert_ne!(m.space_of(c.start), 0, "full space spills to the next");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
     fn superdirectory_learns_and_avoids_probes() {
-        let mut m = manager(4, 64);
+        let m = manager(4, 64);
         // Fill spaces 0 and 1.
         m.allocate(64).unwrap();
         m.allocate(64).unwrap();
@@ -547,7 +636,7 @@ mod tests {
 
     #[test]
     fn allocate_up_to_halves_on_pressure() {
-        let mut m = manager(1, 64);
+        let m = manager(1, 64);
         m.allocate(48).unwrap(); // leaves 16 free
         let e = m.allocate_up_to(64).unwrap();
         assert_eq!(e.pages, 16);
@@ -555,14 +644,14 @@ mod tests {
 
     #[test]
     fn oversized_requests_are_rejected() {
-        let mut m = manager(1, 64);
+        let m = manager(1, 64);
         assert!(matches!(m.allocate(65), Err(Error::NoSpace { .. })));
         assert!(matches!(m.allocate(0), Err(Error::ZeroPages)));
     }
 
     #[test]
     fn deferred_frees_hold_space_until_commit() {
-        let mut m = manager(1, 64);
+        let m = manager(1, 64);
         let e = m.allocate(64).unwrap();
         let batch = m.begin_free_batch();
         m.defer_free(batch, e);
@@ -575,7 +664,7 @@ mod tests {
 
     #[test]
     fn aborted_batch_keeps_segments_allocated() {
-        let mut m = manager(1, 64);
+        let m = manager(1, 64);
         let e = m.allocate(32).unwrap();
         let batch = m.begin_free_batch();
         m.defer_free(batch, e);
@@ -588,7 +677,7 @@ mod tests {
 
     #[test]
     fn fragmentation_reports_free_shape() {
-        let mut m = manager(1, 64);
+        let m = manager(1, 64);
         let f = m.fragmentation();
         assert_eq!(f.free_pages, 64);
         assert_eq!(f.largest_free_run, 64);
@@ -630,11 +719,18 @@ mod tests {
         assert_eq!(snap.gauge("buddy.pending.extents"), Some(0));
         assert!(snap.histogram("buddy.coalesce.depth").unwrap().sum >= 1);
         assert!(snap.histogram("buddy.latch.wait_us").unwrap().count >= 3);
+        // Per-space latch traffic lands on the space-indexed histogram.
+        assert!(
+            snap.histogram("buddy.latch.wait_us.space.0")
+                .map(|h| h.count)
+                .unwrap_or(0)
+                >= 3
+        );
     }
 
     #[test]
     fn free_routes_to_the_right_space() {
-        let mut m = manager(2, 64);
+        let m = manager(2, 64);
         let a = m.allocate(10).unwrap();
         let b = m.allocate(64).unwrap();
         assert!(b.start > 64);

@@ -132,7 +132,8 @@ pub fn check_store(
     let mut pages_scanned = 0u64;
 
     for i in 0..buddy.num_spaces() {
-        let dir = buddy.space(i).dir();
+        let space = buddy.space(i);
+        let dir = space.dir();
         let audit = audit_dir(dir, i);
         pages_scanned += dir.data_pages();
         findings.extend(audit.findings.iter().cloned());
@@ -197,8 +198,8 @@ pub fn check_store(
 
     // WAL / LSN sanity (§4.5) — against the caller-held in-memory log
     // or, on a durable store, its own on-disk log.
-    let lsn_view: Option<(u64, &[eos_core::wal::LogRecord])> = match wal {
-        Some(w) => Some((w.last_lsn(), w.records())),
+    let lsn_view: Option<(u64, Vec<eos_core::wal::LogRecord>)> = match wal {
+        Some(w) => Some((w.last_lsn(), w.records().to_vec())),
         None => store.durable_wal().map(|w| (w.last_lsn(), w.records())),
     };
     if let Some((tail, records)) = lsn_view {

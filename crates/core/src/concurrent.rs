@@ -28,7 +28,12 @@
 //!   leader, drains the queue, and retires the whole batch with *two*
 //!   volume syncs total (one data barrier, one log force) instead of
 //!   two per transaction. Batch sizes are recorded in the
-//!   `wal.group_commit.batch` histogram.
+//!   `wal.group_commit.batch` histogram. On a striped log
+//!   ([`crate::StripedWal`]) the pipeline runs one **lane per stripe**:
+//!   scopes enqueue on their home stripe's lane, each lane elects its
+//!   own leader, and the lanes' Phase C log forces hold only their own
+//!   stripe latches — so commits on disjoint stripes force in
+//!   parallel, which is the whole point of striping.
 //!
 //! Lock acquisition order is the caller's responsibility: `lock`
 //! blocks without deadlock detection, so transactions that touch
@@ -50,6 +55,7 @@ use crate::error::{Error, Result};
 use crate::locks::{LockMode, RangeLockManager, TxnId};
 use crate::object::LargeObject;
 use crate::store::{ObjectStore, PreparedCommit};
+use crate::striped::StripedWal;
 
 /// A shareable handle to one [`ObjectStore`]. Clone it freely — all
 /// clones see the same store, lock table, and commit pipeline.
@@ -69,14 +75,22 @@ struct Inner {
     /// The store's volume, retained so the group-commit leader can
     /// issue its barrier/force syncs without holding the store latch.
     volume: SharedVolume,
+    /// The store's striped log, retained (shared `Arc`) so Phase C and
+    /// the solo commit force stripes without any store latch — the
+    /// write-preferring `RwLock` would otherwise let a waiting writer
+    /// block the read-latched force and serialize the lanes again.
+    wal: Option<Arc<StripedWal>>,
     group_commit: bool,
     sync_on_commit: bool,
     // Outermost latch in the hierarchy: a committer takes it before
     // anything else and the leader *drops* it across `flush_batch`
     // (release-then-reacquire), so it never covers I/O or the latch.
+    // One lane per WAL stripe (a single lane when unstriped or
+    // volatile); a scope enqueues on its home stripe's lane and the
+    // lanes flush independently.
     // lock-class: group = commit.group rank = 10 io = forbidden
-    group: TrackedMutex<GroupState>,
-    group_cv: TrackedCondvar,
+    group: Vec<TrackedMutex<GroupState>>,
+    group_cv: Vec<TrackedCondvar>,
     // MVCC bookkeeping: the committed root set, reader epoch pins and
     // the parked deferred-free batches. Taken *under* the store latch
     // on the publication path (rank above `store.latch`), and alone on
@@ -224,27 +238,34 @@ impl ConcurrentStore {
             .durable_wal()
             .map(|w| {
                 w.committed()
-                    .iter()
+                    .into_iter()
                     .filter_map(|(id, bytes)| {
-                        LargeObject::from_bytes(bytes)
+                        LargeObject::from_bytes(&bytes)
                             .ok()
-                            .map(|o| (*id, Arc::new(o)))
+                            .map(|o| (id, Arc::new(o)))
                     })
                     .collect()
             })
             .unwrap_or_default();
+        let wal = store.wal_handle();
+        let lanes = wal.as_ref().map_or(1, |w| w.num_stripes());
         ConcurrentStore {
             inner: Arc::new(Inner {
                 store: TrackedRwLock::new(LockClass::allows_io("store.latch"), store),
                 locks,
                 volume,
+                wal,
                 group_commit,
                 sync_on_commit,
-                group: TrackedMutex::new(
-                    LockClass::forbids_io("commit.group"),
-                    GroupState::default(),
-                ),
-                group_cv: TrackedCondvar::new(),
+                group: (0..lanes)
+                    .map(|_| {
+                        TrackedMutex::new(
+                            LockClass::forbids_io("commit.group"),
+                            GroupState::default(),
+                        )
+                    })
+                    .collect(),
+                group_cv: (0..lanes).map(|_| TrackedCondvar::new()).collect(),
                 mvcc: TrackedMutex::new(
                     LockClass::forbids_io("mvcc.state"),
                     MvccState {
@@ -376,18 +397,38 @@ impl ConcurrentStore {
             return Ok(());
         }
         let mut st = inner.store.write();
-        for d in reclaim {
+        let mut reclaim = reclaim;
+        for i in 0..reclaim.len() {
+            let (epoch, batch, pages) = {
+                let d = &reclaim[i];
+                (d.epoch, d.batch, d.pages)
+            };
             inner.cobs.metrics.pipe_event(
                 PipeKind::Instant,
                 "mvcc.reclaim",
-                d.epoch | PIN_TRACE_BIT,
+                epoch | PIN_TRACE_BIT,
                 0,
             );
             // durability: mutates(mvcc-publish)
-            st.apply_commit(d.batch)?;
+            if let Err(e) = st.apply_commit(batch) {
+                // `commit_frees` consumed the batch from the registry
+                // before the failing free I/O, so the failed batch
+                // cannot be re-parked (re-applying it would double
+                // free) — its pages leak until restart, and the gauge
+                // must drop them. The *rest* of the drained batches
+                // were never touched: re-park them at the queue front,
+                // in order, so a later unpin retries the frees.
+                inner.mvcc_obs.deferred_pages.sub(pages);
+                drop(st);
+                let mut mv = inner.mvcc.lock();
+                for r in reclaim.drain(i + 1..).rev() {
+                    mv.deferred.push_front(r);
+                }
+                return Err(e);
+            }
             inner.mvcc_obs.reclaim_batches.inc();
-            inner.mvcc_obs.reclaimed_pages.add(d.pages);
-            inner.mvcc_obs.deferred_pages.sub(d.pages);
+            inner.mvcc_obs.reclaimed_pages.add(pages);
+            inner.mvcc_obs.deferred_pages.sub(pages);
         }
         Ok(())
     }
@@ -473,19 +514,52 @@ impl ConcurrentStore {
 
     /// The non-grouped durable commit, with MVCC publication: the same
     /// barrier/append/force sequence as [`ObjectStore::commit_scope`],
-    /// then root publication and the deferred frees (parked if a
-    /// reader epoch is pinned).
+    /// but with both syncs issued **outside the store latch** — the
+    /// data barrier before the append, the log force holding only the
+    /// touched stripes' latches after it — so solo committers on
+    /// disjoint stripes overlap their I/O. Then root publication and
+    /// the deferred frees (parked if a reader epoch is pinned).
     fn commit_solo(&self, id: TxnId) -> Result<()> {
-        let mut st = self.inner.store.write();
-        // durability: seals(shadow-data) mutates(commit-frame)
-        let prep = st.prepare_commit(id, true)?;
-        if prep.appended && self.inner.sync_on_commit {
-            if let Some(wal) = st.durable_wal() {
-                // The log force: the commit record is durable past here.
-                // durability: seals(commit-frame)
-                wal.sync()?;
+        let inner = &*self.inner;
+        // Data barrier: shadowed pages and undo images must be on disk
+        // before the commit record that publishes them.
+        if inner.sync_on_commit && inner.wal.is_some() {
+            let dirty = inner.store.read().scope_dirty(id);
+            if dirty {
+                // durability: seals(shadow-data)
+                if let Err(e) = inner.volume.sync() {
+                    let _ = inner.store.write().abort_scope(id);
+                    return Err(Error::CommitFailed {
+                        reason: format!("data barrier failed: {}", Error::from(e)),
+                    });
+                }
+                inner.syncs.inc();
             }
         }
+        // Append the commit record under the write latch, no force.
+        let prep = {
+            let mut st = inner.store.write();
+            // durability: mutates(commit-frame)
+            st.prepare_commit(id, false)?
+        };
+        // The log force: the commit record is durable past here.
+        if prep.appended && inner.sync_on_commit {
+            if let Some(wal) = &inner.wal {
+                // durability: seals(commit-frame)
+                if let Err(e) = wal.sync_stripes(&prep.stripes) {
+                    // Durability unknown: drop the scope's deferred
+                    // frees from the buddy registry *without* freeing
+                    // (leaked pages are recoverable by restart;
+                    // freeing pages a possibly-durable commit still
+                    // references is not), then fail the commit.
+                    inner.store.write().buddy().abort_frees(prep.batch);
+                    return Err(Error::CommitFailed {
+                        reason: format!("log force failed: {e}"),
+                    });
+                }
+            }
+        }
+        let mut st = inner.store.write();
         self.publish_commit(&mut st, &prep)
     }
 
@@ -517,7 +591,16 @@ impl ConcurrentStore {
                 .metrics
                 .check_stall("commit.queue_wait", id, batch_id, wait_ns);
         };
-        let mut g = inner.group.lock();
+        // Home lane: the scope's lowest touched stripe. The store read
+        // latch must drop *before* the lane mutex is taken —
+        // store.latch (rank 30) can never be held while acquiring
+        // commit.group (rank 10).
+        let lane = {
+            let st = inner.store.read();
+            st.scope_group_stripe(id)
+        }
+        .min(inner.group.len() - 1);
+        let mut g = inner.group[lane].lock();
         g.queue.push(id);
         loop {
             if let Some((batch_id, res)) = g.results.remove(&id) {
@@ -532,17 +615,17 @@ impl ConcurrentStore {
                 drop(g);
                 close_wait(batch_id);
                 let results = self.flush_batch(&batch, batch_id, id);
-                g = inner.group.lock();
+                g = inner.group[lane].lock();
                 g.leader_running = false;
                 for (txn, res) in results {
                     g.results.insert(txn, (batch_id, res));
                 }
-                inner.group_cv.notify_all();
+                inner.group_cv[lane].notify_all();
                 // Loop around: our own result is now in the map. If
                 // more committers queued up meanwhile, one of the
                 // woken threads elects itself the next leader.
             } else {
-                inner.group_cv.wait(&mut g);
+                inner.group_cv[lane].wait(&mut g);
             }
         }
     }
@@ -603,12 +686,36 @@ impl ConcurrentStore {
         // Phase C — one log force covers every commit record appended
         // in phase B. No waiter is released before this returns, so a
         // reported commit is durable even though its fsync was shared.
+        // On a striped log the force holds only the latches of the
+        // stripes this batch actually landed on — and *no store latch*
+        // — so lanes flushing disjoint stripes force in parallel.
         let mut force_err: Option<String> = None;
         if appended_any && inner.sync_on_commit {
-            // durability: seals(commit-frame)
-            match inner.volume.sync() {
-                Ok(()) => inner.syncs.inc(),
-                Err(e) => force_err = Some(Error::from(e).to_string()),
+            let force: Result<()> = match &inner.wal {
+                Some(w) => {
+                    let mut stripes: Vec<usize> = prepared
+                        .iter()
+                        .filter_map(|(_, r)| r.as_ref().ok())
+                        .flat_map(|p| p.stripes.iter().copied())
+                        .collect();
+                    stripes.sort_unstable();
+                    stripes.dedup();
+                    // durability: seals(commit-frame)
+                    w.sync_stripes(&stripes)
+                }
+                None => {
+                    // durability: seals(commit-frame)
+                    match inner.volume.sync() {
+                        Ok(()) => {
+                            inner.syncs.inc();
+                            Ok(())
+                        }
+                        Err(e) => Err(Error::from(e)),
+                    }
+                }
+            };
+            if let Err(e) = force {
+                force_err = Some(e.to_string());
             }
         }
         let t3 = m.now_ns();
@@ -626,12 +733,17 @@ impl ConcurrentStore {
                     Ok(prep) => match &force_err {
                         // The force failed after the records were written:
                         // durability is unknown, so surface an error and
-                        // drop the frees (leaking pages is recoverable by
-                        // restart; corrupting a possibly-durable commit is
-                        // not).
-                        Some(msg) => Err(Error::CommitFailed {
-                            reason: format!("group log force failed: {msg}"),
-                        }),
+                        // drop the frees — out of the buddy registry too,
+                        // or the batch entry would pin `pending_extents`
+                        // forever (leaking the *pages* is recoverable by
+                        // restart; freeing pages a possibly-durable
+                        // commit still references is not).
+                        Some(msg) => {
+                            st.buddy().abort_frees(prep.batch);
+                            Err(Error::CommitFailed {
+                                reason: format!("group log force failed: {msg}"),
+                            })
+                        }
                         None => self.publish_commit(&mut st, &prep),
                     },
                 };

@@ -80,6 +80,12 @@ pub struct StoreConfig {
     /// cost real time; in-memory volumes ignore it (they are trivially
     /// stable).
     pub sync_on_commit: bool,
+    /// WAL stripes on a durable store: the log region is split into
+    /// this many independently forced slices, objects hash onto them by
+    /// id, and commit forces for disjoint stripes overlap
+    /// ([`crate::StripedWal`]). `1` (the default) keeps the classic
+    /// single-log layout byte-identical to earlier versions.
+    pub wal_stripes: usize,
 }
 
 impl Default for StoreConfig {
@@ -90,6 +96,7 @@ impl Default for StoreConfig {
             shadow_index_pages: true,
             paranoid_checks: false,
             sync_on_commit: true,
+            wal_stripes: 1,
         }
     }
 }

@@ -68,8 +68,10 @@ const SB_MAGIC: u32 = 0x454F_5357; // format-anchor: SB_MAGIC
 /// On-disk format version of the log region (v2 added the epoch stamp
 /// to every frame header; v3 stamps every Op/Touch/Commit/Abort entry
 /// with its transaction scope so concurrent scopes can commit and roll
-/// back independently).
-const SB_VERSION: u32 = 3; // format-anchor: SB_VERSION
+/// back independently; v4 adds the `participants` count to commit
+/// records so a commit split across WAL stripes resolves atomically —
+/// a restart honors it only when every sibling part survived).
+const SB_VERSION: u32 = 4; // format-anchor: SB_VERSION
 /// Serialized superblock length: magic 4 + version 4 + epoch 8 +
 /// active 1 + crc 4.
 const SB_LEN: usize = 21; // format-anchor: SB_LEN
@@ -177,8 +179,16 @@ pub enum WalEntry {
     Commit {
         /// Transaction scope this record commits.
         txn: TxnId,
-        /// Highest LSN the transaction logged.
+        /// LSN of the commit point itself (freshly allocated, strictly
+        /// ordered across scopes — the tiebreak when recovery merges
+        /// WAL stripes).
         lsn: u64,
+        /// How many WAL stripes carry a part of this commit. `1` is
+        /// the common self-contained case; for a cross-stripe commit
+        /// each stripe holds one part and a restart honors the commit
+        /// only when all `participants` parts survived — otherwise the
+        /// scope is presumed aborted.
+        participants: u32,
         /// `(object id, serialized descriptor)` for each touched object.
         touched: Vec<(u64, Vec<u8>)>,
         /// Ids of objects the transaction deleted.
@@ -257,12 +267,14 @@ impl WalEntry {
             WalEntry::Commit {
                 txn,
                 lsn,
+                participants,
                 touched,
                 deleted,
             } => {
                 out.push(ENTRY_TAG_COMMIT);
                 out.extend_from_slice(&txn.to_le_bytes());
                 out.extend_from_slice(&lsn.to_le_bytes());
+                out.extend_from_slice(&participants.to_le_bytes());
                 put_roots(&mut out, touched);
                 out.extend_from_slice(&(deleted.len() as u32).to_le_bytes());
                 for id in deleted {
@@ -317,6 +329,7 @@ impl WalEntry {
             ENTRY_TAG_COMMIT => {
                 let txn = r.u64()?;
                 let lsn = r.u64()?;
+                let participants = r.u32()?;
                 let touched = read_roots(&mut r)?;
                 let n = r.u32()? as usize;
                 let mut deleted = Vec::with_capacity(n);
@@ -326,6 +339,7 @@ impl WalEntry {
                 WalEntry::Commit {
                     txn,
                     lsn,
+                    participants,
                     touched,
                     deleted,
                 }
@@ -449,6 +463,10 @@ pub struct DurableWal {
     next_lsn: u64,
     /// Committed object id → serialized root descriptor.
     committed: BTreeMap<u64, Vec<u8>>,
+    /// Object id → LSN of the commit that last set (or tombstoned) its
+    /// root. Guards the fold: a held-out part of an older cross-stripe
+    /// commit resolved late must not clobber a newer committed root.
+    committed_lsn: BTreeMap<u64, u64>,
     /// Op/Touch entries since the last commit/abort — the uncommitted
     /// tail a restart must roll back.
     pending: Vec<WalEntry>,
@@ -460,6 +478,9 @@ pub struct DurableWal {
     records_scanned: u64,
     torn_tail: bool,
     checkpoints_taken: u64,
+    /// Which WAL stripe this log serves (0 for an unstriped log) —
+    /// stamped onto trace spans so per-stripe forces are attributable.
+    stripe: u64,
     /// Attached by [`Self::set_metrics`]; `None` until the owning store
     /// wires its metrics domain through.
     obs: Option<WalObs>,
@@ -531,12 +552,14 @@ impl DurableWal {
             head: 0,
             next_lsn: 1,
             committed: BTreeMap::new(),
+            committed_lsn: BTreeMap::new(),
             pending: Vec::new(),
             ops: Vec::new(),
             max_object_id: 0,
             records_scanned: 0,
             torn_tail: false,
             checkpoints_taken: 0,
+            stripe: 0,
             obs: None,
         })
     }
@@ -581,12 +604,14 @@ impl DurableWal {
             head: 0,
             next_lsn: 1,
             committed: BTreeMap::new(),
+            committed_lsn: BTreeMap::new(),
             pending: Vec::new(),
             ops: Vec::new(),
             max_object_id: 0,
             records_scanned: 0,
             torn_tail: false,
             checkpoints_taken: 0,
+            stripe: 0,
             obs: None,
         };
         wal.scan()?;
@@ -661,33 +686,107 @@ impl DurableWal {
                 }
                 self.pending.push(entry);
             }
+            WalEntry::Commit { participants, .. } if participants > 1 => {
+                // One part of a cross-stripe commit: its roots become
+                // true only once every sibling part is on its stripe,
+                // so the part is *held* pending until
+                // [`Self::resolve_txn`] (all parts durable) or
+                // [`Self::drop_txn`] / an Abort voids it.
+                self.pending.push(entry);
+            }
             WalEntry::Commit {
                 txn,
+                lsn,
                 touched,
                 deleted,
                 ..
-            } => {
-                for (id, desc) in touched {
-                    self.max_object_id = self.max_object_id.max(id);
-                    self.committed.insert(id, desc);
-                }
-                for id in deleted {
-                    self.max_object_id = self.max_object_id.max(id);
-                    self.committed.remove(&id);
-                }
-                // Only this scope's entries are resolved; concurrent
-                // scopes stay pending until their own commit/abort.
-                self.pending.retain(|e| e.txn() != Some(txn));
-            }
+            } => self.apply_commit(txn, lsn, touched, deleted),
             WalEntry::Abort { txn, .. } => self.pending.retain(|e| e.txn() != Some(txn)),
-            WalEntry::Checkpoint { roots, .. } => {
+            WalEntry::Checkpoint { max_lsn, roots } => {
                 self.committed = roots
                     .into_iter()
                     .inspect(|(id, _)| self.max_object_id = self.max_object_id.max(*id))
                     .collect();
+                self.committed_lsn = self.committed.keys().map(|&id| (id, max_lsn)).collect();
                 self.pending.clear();
             }
         }
+    }
+
+    /// Fold one commit's root updates into the committed map, guarded
+    /// by commit LSN: an older cross-stripe commit resolved after a
+    /// newer commit of the same object must not clobber the newer
+    /// root. Live appends are monotonic, so the guard only bites
+    /// during the attach-time stripe merge. Resolves every pending
+    /// entry of the scope.
+    fn apply_commit(
+        &mut self,
+        txn: TxnId,
+        lsn: u64,
+        touched: Vec<(u64, Vec<u8>)>,
+        deleted: Vec<u64>,
+    ) {
+        for (id, desc) in touched {
+            self.max_object_id = self.max_object_id.max(id);
+            if self.committed_lsn.get(&id).is_none_or(|&l| lsn >= l) {
+                self.committed.insert(id, desc);
+                self.committed_lsn.insert(id, lsn);
+            }
+        }
+        for id in deleted {
+            self.max_object_id = self.max_object_id.max(id);
+            if self.committed_lsn.get(&id).is_none_or(|&l| lsn >= l) {
+                self.committed.remove(&id);
+                self.committed_lsn.insert(id, lsn);
+            }
+        }
+        // Only this scope's entries are resolved; concurrent scopes
+        // stay pending until their own commit/abort.
+        self.pending.retain(|e| e.txn() != Some(txn));
+    }
+
+    /// Resolve a held cross-stripe commit part: fold its roots into
+    /// the committed map and drop every pending entry of the scope.
+    /// Called once every sibling part is durable on its own stripe.
+    pub(crate) fn resolve_txn(&mut self, txn: TxnId) {
+        let at = self
+            .pending
+            .iter()
+            .position(|e| matches!(e, WalEntry::Commit { txn: t, .. } if *t == txn));
+        if let Some(at) = at {
+            if let WalEntry::Commit {
+                lsn,
+                touched,
+                deleted,
+                ..
+            } = self.pending.remove(at)
+            {
+                self.apply_commit(txn, lsn, touched, deleted);
+            }
+        }
+    }
+
+    /// Void the held commit part of `txn` without touching its Op or
+    /// Touch entries — presumed abort for a cross-stripe commit that
+    /// never completed on every stripe; the surviving Ops keep their
+    /// before-images for the recovery rollback pass.
+    pub(crate) fn drop_txn(&mut self, txn: TxnId) {
+        self.pending
+            .retain(|e| !matches!(e, WalEntry::Commit { txn: t, .. } if *t == txn));
+    }
+
+    /// The held cross-stripe commit parts, as `(txn, participants)`,
+    /// for the attach-time all-parts-present check.
+    pub(crate) fn unresolved_commits(&self) -> Vec<(TxnId, u32)> {
+        self.pending
+            .iter()
+            .filter_map(|e| match e {
+                WalEntry::Commit {
+                    txn, participants, ..
+                } => Some((*txn, *participants)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Append one entry durably: the frame (and a fresh terminator
@@ -854,7 +953,7 @@ impl DurableWal {
         let _force = self
             .obs
             .as_ref()
-            .map(|o| o.metrics.pipe_span("wal.force", 0, 0));
+            .map(|o| o.metrics.pipe_span("wal.force", self.stripe, 0));
         // Lockdep tripwire at the WAL's own barrier: catches a latch
         // held across the force even when the test volume is a custom
         // `Volume` impl that never reaches the Mem/File bottom hooks.
@@ -864,6 +963,12 @@ impl DurableWal {
             obs.syncs.inc();
         }
         Ok(())
+    }
+
+    /// Tag this log with the stripe index it serves, so trace spans
+    /// distinguish concurrent per-stripe forces.
+    pub(crate) fn set_stripe(&mut self, stripe: u64) {
+        self.stripe = stripe;
     }
 
     /// Hand out the next LSN (monotonically increasing, starting at 1).
@@ -991,6 +1096,7 @@ mod tests {
             WalEntry::Commit {
                 txn: 42,
                 lsn: 9,
+                participants: 2,
                 touched: vec![(3, vec![9; 40]), (4, vec![1])],
                 deleted: vec![17],
             },
@@ -1016,6 +1122,7 @@ mod tests {
             wal.append(WalEntry::Commit {
                 txn: 1,
                 lsn: 2,
+                participants: 1,
                 touched: vec![(5, vec![1, 2, 3])],
                 deleted: vec![],
             })
@@ -1059,6 +1166,7 @@ mod tests {
             wal.append(WalEntry::Commit {
                 txn: 1,
                 lsn: 3,
+                participants: 1,
                 touched: vec![(5, vec![1])],
                 deleted: vec![],
             })
@@ -1087,6 +1195,7 @@ mod tests {
         wal.append(WalEntry::Commit {
             txn: 1,
             lsn: 1,
+            participants: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
         })
@@ -1114,6 +1223,7 @@ mod tests {
         wal.append(WalEntry::Commit {
             txn: 1,
             lsn: 1,
+            participants: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
         })
@@ -1143,6 +1253,7 @@ mod tests {
             wal.append(WalEntry::Commit {
                 txn: 1,
                 lsn: i + 1,
+                participants: 1,
                 touched: vec![(5, vec![8u8; 30])],
                 deleted: vec![],
             })
@@ -1171,6 +1282,7 @@ mod tests {
         wal.append(WalEntry::Commit {
             txn: 1,
             lsn: 1,
+            participants: 1,
             touched: vec![(5, vec![1])],
             deleted: vec![],
         })
@@ -1230,6 +1342,7 @@ mod tests {
             wal.append(WalEntry::Commit {
                 txn: 1,
                 lsn: 1,
+                participants: 1,
                 touched: vec![(5, vec![1])],
                 deleted: vec![],
             })
@@ -1241,6 +1354,65 @@ mod tests {
         v.write_pages(1, &vec![0x55u8; 256]).unwrap();
         let err = DurableWal::attach(v, 0, 64).map(|_| ()).unwrap_err();
         assert!(matches!(err, Error::CorruptObject { .. }), "got {err}");
+    }
+
+    #[test]
+    fn cross_stripe_commit_parts_are_held_until_resolved() {
+        let v = vol(64);
+        let mut wal = DurableWal::format(v.clone(), 0, 64).unwrap();
+        wal.append(op_entry(1, 5, b"aaa")).unwrap();
+        wal.append(WalEntry::Commit {
+            txn: 1,
+            lsn: 2,
+            participants: 2,
+            touched: vec![(5, vec![1])],
+            deleted: vec![],
+        })
+        .unwrap();
+        // The part is held: nothing committed yet, the op still pends.
+        assert!(wal.committed().is_empty());
+        assert_eq!(wal.pending().len(), 2);
+        assert_eq!(wal.unresolved_commits(), vec![(1, 2)]);
+
+        wal.resolve_txn(1);
+        assert_eq!(wal.committed()[&5], vec![1]);
+        assert!(wal.pending().is_empty());
+
+        // A restart scan sees the part again — still held — and a
+        // drop (presumed abort) keeps the Op for the rollback pass.
+        let mut wal2 = DurableWal::attach(v, 0, 64).unwrap();
+        assert!(wal2.committed().is_empty());
+        assert_eq!(wal2.unresolved_commits(), vec![(1, 2)]);
+        wal2.drop_txn(1);
+        assert!(wal2.unresolved_commits().is_empty());
+        assert_eq!(wal2.pending_for(1).count(), 1, "the Op survives for undo");
+    }
+
+    #[test]
+    fn late_resolved_part_cannot_clobber_newer_commit() {
+        let v = vol(64);
+        let mut wal = DurableWal::format(v, 0, 64).unwrap();
+        // Part of an old cross-stripe commit of object 5 at LSN 2.
+        wal.append(WalEntry::Commit {
+            txn: 1,
+            lsn: 2,
+            participants: 2,
+            touched: vec![(5, vec![0xAA])],
+            deleted: vec![],
+        })
+        .unwrap();
+        // A newer self-contained commit of the same object at LSN 5.
+        wal.append(WalEntry::Commit {
+            txn: 2,
+            lsn: 5,
+            participants: 1,
+            touched: vec![(5, vec![0xBB])],
+            deleted: vec![],
+        })
+        .unwrap();
+        // Resolving the stale part late must not roll the root back.
+        wal.resolve_txn(1);
+        assert_eq!(wal.committed()[&5], vec![0xBB]);
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod ops;
 mod reshuffle;
 mod store;
 mod stream;
+pub mod striped;
 mod tree;
 mod verify;
 pub mod wal;
@@ -60,4 +61,5 @@ pub use ops::append::AppendSession;
 pub use reshuffle::{pages, reshuffle, ReshufflePlan};
 pub use store::{ObjectStore, PreparedCommit, RecoveryReport};
 pub use stream::{CompactStats, ObjectReader};
+pub use striped::StripedWal;
 pub use verify::{ObjectStats, Violation};

@@ -2,18 +2,20 @@
 //! large-object operations of §4.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use eos_buddy::{BuddyManager, Extent, FreeBatch};
 use eos_obs::{Metrics, MetricsSnapshot, OpKind};
 use eos_pager::{IoStats, PageId, SharedVolume};
 
 use crate::config::{StoreConfig, Threshold};
-use crate::durable::{DurableWal, WalEntry};
+use crate::durable::WalEntry;
 use crate::error::{Error, Result};
 use crate::locks::TxnId;
 use crate::node::{node_capacity, Node};
 use crate::object::LargeObject;
 use crate::ops;
+use crate::striped::StripedWal;
 use crate::verify::{ObjectStats, Violation};
 
 mod logged;
@@ -41,7 +43,15 @@ pub struct ObjectStore {
     /// The on-disk log of a durable store ([`Self::create_durable`] /
     /// [`Self::open_durable`]); `None` for the classic in-memory-logged
     /// store, whose mutating ops then skip the logging path entirely.
-    wal: Option<DurableWal>,
+    /// Shared (`Arc`) so the concurrent front-end can force stripes
+    /// without holding the store latch — the log's own state lives
+    /// behind its per-stripe latches.
+    wal: Option<Arc<StripedWal>>,
+    /// The buddy space the next allocation should prefer — set to the
+    /// touched object's home space (`id % num_spaces`) by every §4
+    /// operation, so concurrent writers on different objects contend on
+    /// different space latches and an object's segments cluster.
+    affinity: usize,
     /// The metrics domain I/O is attributed to. Every store starts with
     /// a fresh private domain (test isolation); [`Self::set_metrics`]
     /// rewires the whole stack — buddy manager, durable log, and the
@@ -76,6 +86,10 @@ pub struct PreparedCommit {
     pub touched: BTreeMap<u64, Vec<u8>>,
     /// Objects the scope deleted (tombstones in the commit record).
     pub deleted: Vec<u64>,
+    /// The WAL stripes carrying a part of the commit record — the set
+    /// whose force ([`StripedWal::sync_stripes`]) makes it durable.
+    /// Empty when nothing was appended.
+    pub stripes: Vec<usize>,
 }
 
 impl ObjectStore {
@@ -89,8 +103,11 @@ impl ObjectStore {
     ) -> Result<ObjectStore> {
         let mut buddy = BuddyManager::create(volume.clone(), num_spaces, pages_per_space)?;
         // Claim the boot-record page (the very first data page), so
-        // reopened stores find it at a deterministic address.
-        buddy.allocate_at(buddy.space(0).data_base(), 1)?;
+        // reopened stores find it at a deterministic address. The
+        // data-base read must drop its space guard before allocate_at
+        // re-locks the same space.
+        let boot = buddy.space(0).data_base();
+        buddy.allocate_at(boot, 1)?;
         let obs = Metrics::new();
         buddy.set_metrics(&obs);
         Ok(ObjectStore {
@@ -102,6 +119,7 @@ impl ObjectStore {
             active: None,
             next_txn: 1,
             wal: None,
+            affinity: 0,
             obs,
         })
     }
@@ -129,6 +147,7 @@ impl ObjectStore {
             active: None,
             next_txn: 1,
             wal: None,
+            affinity: 0,
             obs,
         })
     }
@@ -209,8 +228,15 @@ impl ObjectStore {
     }
 
     /// The on-disk log of a durable store, if this store has one.
-    pub fn durable_wal(&self) -> Option<&DurableWal> {
-        self.wal.as_ref()
+    pub fn durable_wal(&self) -> Option<&StripedWal> {
+        self.wal.as_deref()
+    }
+
+    /// A shareable handle on the on-disk log: the concurrent front-end
+    /// caches it so commit forces ([`StripedWal::sync_stripes`]) run
+    /// without any store latch held.
+    pub(crate) fn wal_handle(&self) -> Option<Arc<StripedWal>> {
+        self.wal.clone()
     }
 
     /// Cumulative volume I/O counters.
@@ -234,7 +260,7 @@ impl ObjectStore {
     /// already recorded into the previous domain stay there.
     pub fn set_metrics(&mut self, metrics: &Metrics) {
         self.buddy.set_metrics(metrics);
-        if let Some(wal) = &mut self.wal {
+        if let Some(wal) = &self.wal {
             wal.set_metrics(metrics);
         }
         self.obs = metrics.clone();
@@ -257,6 +283,7 @@ impl ObjectStore {
     pub fn create_object(&mut self) -> LargeObject {
         let id = self.next_id;
         self.next_id += 1;
+        self.set_affinity_for(id);
         LargeObject::new(id, self.config.threshold)
     }
 
@@ -264,7 +291,16 @@ impl ObjectStore {
     /// replaying a log onto a replica (see [`crate::wal`]).
     pub fn create_object_with_id(&mut self, id: u64) -> LargeObject {
         self.next_id = self.next_id.max(id + 1);
+        self.set_affinity_for(id);
         LargeObject::new(id, self.config.threshold)
+    }
+
+    /// Steer subsequent allocations toward `id`'s home buddy space —
+    /// the placement half of the sharding story: writers on different
+    /// objects allocate from (and latch) different spaces, and one
+    /// object's segments cluster in one space.
+    pub(crate) fn set_affinity_for(&mut self, id: u64) {
+        self.affinity = (id % self.buddy.num_spaces() as u64) as usize;
     }
 
     // ---- boot record -------------------------------------------------------
@@ -305,7 +341,8 @@ impl ObjectStore {
     /// The fixed volume page of the boot record: data page 0 of buddy
     /// space 0 (volume page 1, right after the first directory).
     fn boot_page(&self) -> PageId {
-        self.buddy.space(0).data_base()
+        let space = self.buddy.space(0);
+        space.data_base()
     }
 
     // ---- transaction scope (§4.5) ----------------------------------------
@@ -375,10 +412,24 @@ impl ObjectStore {
         self.txns
             .get(&id)
             .is_some_and(|t| !t.touched.is_empty() || !t.deleted.is_empty() || !t.allocs.is_empty())
-            || self
-                .wal
-                .as_ref()
-                .is_some_and(|w| w.pending_for(id).next().is_some())
+            || self.wal.as_ref().is_some_and(|w| w.has_pending_for(id))
+    }
+
+    /// The group-commit lane a scope's force belongs on: the home
+    /// stripe of the lowest-id object it touched or deleted (0 for a
+    /// scope with nothing to publish). Scopes on different lanes
+    /// batch — and force — independently.
+    pub fn scope_group_stripe(&self, id: TxnId) -> usize {
+        let Some(wal) = &self.wal else { return 0 };
+        self.txns.get(&id).map_or(0, |t| {
+            t.touched
+                .keys()
+                .copied()
+                .chain(t.deleted.iter().copied())
+                .map(|o| wal.stripe_of(o))
+                .min()
+                .unwrap_or(0)
+        })
     }
 
     fn active_txn_mut(&mut self) -> Option<&mut TxnState> {
@@ -426,9 +477,10 @@ impl ObjectStore {
         let prep = self.prepare_commit(id, true)?;
         if prep.appended && self.config.sync_on_commit {
             if let Some(wal) = &self.wal {
-                // The log force: the commit record is durable past here.
+                // The log force — only the stripes carrying a part of
+                // this commit record: the record is durable past here.
                 // durability: seals(commit-frame)
-                wal.sync()?;
+                wal.sync_stripes(&prep.stripes)?;
             }
         }
         self.apply_commit(prep.batch)
@@ -455,51 +507,58 @@ impl ObjectStore {
             self.active = None;
         }
         let batch = txn.batch;
-        let Some(wal) = &mut self.wal else {
+        let Some(wal) = self.wal.clone() else {
             return Ok(PreparedCommit {
                 batch,
                 appended: false,
                 touched: txn.touched,
                 deleted: txn.deleted,
+                stripes: Vec::new(),
             });
         };
-        let worth_logging = !txn.touched.is_empty()
-            || !txn.deleted.is_empty()
-            || wal.pending_for(id).next().is_some();
+        let worth_logging =
+            !txn.touched.is_empty() || !txn.deleted.is_empty() || wal.has_pending_for(id);
         if !worth_logging {
             return Ok(PreparedCommit {
                 batch,
                 appended: false,
                 touched: txn.touched,
                 deleted: txn.deleted,
+                stripes: Vec::new(),
             });
         }
-        let entry = WalEntry::Commit {
-            txn: id,
-            lsn: wal.last_lsn(),
-            touched: txn.touched.iter().map(|(k, v)| (*k, v.clone())).collect(),
-            deleted: txn.deleted.clone(),
-        };
+        // A fresh LSN for the commit point itself: strictly ordered
+        // across scopes, so recovery's cross-stripe merge has a global
+        // tiebreak.
+        let lsn = wal.allocate_lsn();
+        let touched: Vec<(u64, Vec<u8>)> =
+            txn.touched.iter().map(|(k, v)| (*k, v.clone())).collect();
         let sync = data_barrier && self.config.sync_on_commit;
         // Data-before-log: shadowed pages must be on disk before the
         // commit record that publishes them.
         // durability: seals(shadow-data)
         let barrier = if sync { wal.sync() } else { Ok(()) };
-        // durability: mutates(commit-frame)
-        let appended = barrier.and_then(|()| wal.append(entry));
-        if let Err(e) = appended {
-            // Clean abort: put the scope back so abort_scope finds its
-            // allocations and deferred frees, then roll everything back.
-            self.txns.insert(id, txn);
-            let _ = self.abort_scope(id);
-            return Err(e);
+        let appended = barrier.and_then(|()| {
+            // durability: mutates(commit-frame)
+            wal.append_commit(id, lsn, touched, txn.deleted.clone())
+        });
+        match appended {
+            Err(e) => {
+                // Clean abort: put the scope back so abort_scope finds
+                // its allocations and deferred frees, then roll
+                // everything back.
+                self.txns.insert(id, txn);
+                let _ = self.abort_scope(id);
+                Err(e)
+            }
+            Ok(stripes) => Ok(PreparedCommit {
+                batch,
+                appended: true,
+                touched: txn.touched,
+                deleted: txn.deleted,
+                stripes,
+            }),
         }
-        Ok(PreparedCommit {
-            batch,
-            appended: true,
-            touched: txn.touched,
-            deleted: txn.deleted,
-        })
     }
 
     /// Phase 3 of a commit: apply the deferred frees. Only called once
@@ -542,6 +601,7 @@ impl ObjectStore {
         }
         let restored_images = self.wal.as_ref().is_some_and(|w| {
             w.pending_for(id)
+                .iter()
                 .any(|e| matches!(e, WalEntry::Op { page_images, .. } if !page_images.is_empty()))
         });
         if self.wal.is_some() {
@@ -551,8 +611,8 @@ impl ObjectStore {
         for e in txn.allocs {
             self.buddy.free(e.start, e.pages)?;
         }
-        if let Some(wal) = &mut self.wal {
-            if wal.pending_for(id).next().is_some() {
+        if let Some(wal) = &self.wal {
+            if wal.has_pending_for(id) {
                 if restored_images && self.config.sync_on_commit {
                     // Restores-before-Abort barrier.
                     // durability: seals(shadow-data)
@@ -596,6 +656,7 @@ impl ObjectStore {
     /// record carries a tombstone, so the deletion survives restart.
     pub fn delete_object(&mut self, obj: &mut LargeObject) -> Result<()> {
         let _span = self.obs.span(OpKind::Delete, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_delete_object(obj);
         }
@@ -625,6 +686,7 @@ impl ObjectStore {
     /// replace operation").
     pub fn replace(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
         let _span = self.obs.span(OpKind::Replace, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_replace(obj, offset, data);
         }
@@ -647,6 +709,7 @@ impl ObjectStore {
         data: &[u8],
     ) -> Result<()> {
         let _span = self.obs.span(OpKind::Replace, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_replace_shadow(obj, offset, data);
         }
@@ -657,6 +720,7 @@ impl ObjectStore {
     /// Append bytes at the end of the object (§4.1).
     pub fn append(&mut self, obj: &mut LargeObject, data: &[u8]) -> Result<()> {
         let _span = self.obs.span(OpKind::Append, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_append(obj, data);
         }
@@ -678,6 +742,7 @@ impl ObjectStore {
         // open (tail absorption), every chunk, and the closing trim and
         // tree splice — lands in one `append` attribution.
         let span = self.obs.span(OpKind::Append, &self.volume);
+        self.set_affinity_for(obj.id());
         let mut session = ops::append::AppendSession::open(self, obj, size_hint)?;
         session.attach_span(span);
         Ok(session)
@@ -687,6 +752,7 @@ impl ObjectStore {
     /// right (§4.3.1, with the §4.4 reshuffling).
     pub fn insert(&mut self, obj: &mut LargeObject, offset: u64, data: &[u8]) -> Result<()> {
         let _span = self.obs.span(OpKind::Insert, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_insert(obj, offset, data);
         }
@@ -698,6 +764,7 @@ impl ObjectStore {
     /// (§4.3.2, with the §4.4 reshuffling).
     pub fn delete(&mut self, obj: &mut LargeObject, offset: u64, len: u64) -> Result<()> {
         let _span = self.obs.span(OpKind::Delete, &self.volume);
+        self.set_affinity_for(obj.id());
         if self.wal.is_some() {
             return self.logged_delete(obj, offset, len);
         }
@@ -709,6 +776,7 @@ impl ObjectStore {
     /// delete that never touches a leaf segment.
     pub fn truncate(&mut self, obj: &mut LargeObject, new_size: u64) -> Result<()> {
         let _span = self.obs.span(OpKind::Delete, &self.volume);
+        self.set_affinity_for(obj.id());
         let size = obj.size();
         if new_size > size {
             return Err(Error::OutOfObjectBounds {
@@ -802,7 +870,7 @@ impl ObjectStore {
 
     /// Allocate a fresh extent of exactly `pages` pages.
     pub(crate) fn alloc_extent(&mut self, pages: u64) -> Result<Extent> {
-        let e = self.buddy.allocate(pages)?;
+        let e = self.buddy.allocate_near(pages, self.affinity)?;
         if let Some(txn) = self.active_txn_mut() {
             txn.allocs.push(e);
         }
@@ -811,7 +879,7 @@ impl ObjectStore {
 
     /// Allocate at most `pages`, taking what is available.
     pub(crate) fn alloc_up_to(&mut self, pages: u64) -> Result<Extent> {
-        let e = self.buddy.allocate_up_to(pages)?;
+        let e = self.buddy.allocate_up_to_near(pages, self.affinity)?;
         if let Some(txn) = self.active_txn_mut() {
             txn.allocs.push(e);
         }

@@ -1,6 +1,6 @@
 //! The logged (durable-store) variants of the §4 operations.
 //!
-//! On a store with an attached [`DurableWal`] every mutating operation
+//! On a store with an attached [`crate::StripedWal`] every mutating operation
 //! runs inside a transaction scope — the caller's own, or an implicit
 //! per-operation scope ([`ObjectStore::with_autocommit`]) — and leaves
 //! a trail in the on-disk log:
@@ -83,7 +83,7 @@ impl ObjectStore {
     /// every shadowed operation.
     pub(crate) fn log_touch(&mut self, obj: &mut LargeObject) -> Result<()> {
         let scope = self.active_scope_id()?;
-        let wal = self.wal.as_mut().expect("log_touch on a non-durable store");
+        let wal = self.wal.as_ref().expect("log_touch on a non-durable store");
         let lsn = wal.allocate_lsn();
         obj.lsn = lsn;
         let entry = WalEntry::Touch {
@@ -92,7 +92,7 @@ impl ObjectStore {
             object: obj.id,
             root_after: obj.to_bytes(),
         };
-        self.wal.as_mut().unwrap().append(entry)?;
+        wal.append(entry)?;
         self.note_touched(obj);
         Ok(())
     }
@@ -139,10 +139,11 @@ impl ObjectStore {
             .as_ref()
             .map(|w| {
                 w.pending_for(id)
+                    .into_iter()
                     .rev()
                     .flat_map(|e| match e {
                         WalEntry::Op { page_images, .. } => {
-                            page_images.iter().rev().cloned().collect::<Vec<_>>()
+                            page_images.into_iter().rev().collect::<Vec<_>>()
                         }
                         _ => Vec::new(),
                     })
@@ -174,7 +175,7 @@ impl ObjectStore {
             // undo, and duplicating the bytes would double the record.
             let images = s.range_page_images(obj, offset, data.len() as u64)?;
             let scope = s.active_scope_id()?;
-            let wal = s.wal.as_mut().expect("durable store");
+            let wal = s.wal.as_ref().expect("durable store");
             let lsn = wal.allocate_lsn();
             obj.lsn = lsn;
             let entry = WalEntry::Op {
@@ -192,7 +193,7 @@ impl ObjectStore {
                 page_images: images,
             };
             // durability: mutates(undo-image)
-            s.wal.as_mut().unwrap().append(entry)?;
+            s.wal.as_ref().unwrap().append(entry)?;
             if s.config.sync_on_commit {
                 // The append only hands the frame to the OS; the sync
                 // is what makes the undo images durable. Without it the

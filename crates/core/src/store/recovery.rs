@@ -4,8 +4,10 @@
 //! of the objects, the buddy directories, and the log region. After a
 //! power loss only the log is trusted:
 //!
-//! 1. **Scan** — [`DurableWal::attach`] replays the active log half up
-//!    to the torn tail, yielding the committed root map and the
+//! 1. **Scan** — [`StripedWal::attach`] replays each stripe's active
+//!    log half up to its torn tail, merges the stripes by LSN, settles
+//!    cross-stripe commits (all parts durable → committed, else
+//!    presumed aborted), and yields the committed root map and the
 //!    uncommitted pending tail.
 //! 2. **Undo** — the before-images of any uncommitted `replace` are
 //!    written back, newest first. Every other operation was shadowed,
@@ -32,10 +34,13 @@ use eos_buddy::BuddyManager;
 use eos_obs::{Metrics, OpKind, PipeKind};
 use eos_pager::SharedVolume;
 
+use std::sync::Arc;
+
 use crate::config::StoreConfig;
-use crate::durable::{DurableWal, WalEntry};
+use crate::durable::WalEntry;
 use crate::error::{Error, Result};
 use crate::object::LargeObject;
+use crate::striped::StripedWal;
 
 use super::ObjectStore;
 
@@ -70,10 +75,10 @@ impl ObjectStore {
         wal_pages: u64,
     ) -> Result<ObjectStore> {
         let base = (pages_per_space + 1) * num_spaces as u64;
-        let mut wal = DurableWal::format(volume.clone(), base, wal_pages)?;
+        let wal = StripedWal::format(&volume, base, wal_pages, config.wal_stripes)?;
         let mut store = Self::create(volume, num_spaces, pages_per_space, config)?;
         wal.set_metrics(&store.obs);
-        store.wal = Some(wal);
+        store.wal = Some(Arc::new(wal));
         Ok(store)
     }
 
@@ -121,12 +126,14 @@ impl ObjectStore {
         // rebuild, fresh checkpoint — is one `recovery` span.
         let _span = metrics.span(OpKind::Recovery, &volume);
         let base = (pages_per_space + 1) * num_spaces as u64;
-        let mut wal = DurableWal::attach(volume.clone(), base, wal_pages)?;
+        let wal = StripedWal::attach(&volume, base, wal_pages, config.wal_stripes)?;
 
-        // 2. Undo: reverse uncommitted in-place writes, newest first.
+        // 2. Undo: reverse uncommitted in-place writes, newest first
+        // across all stripes (the merge is by global LSN).
         let mut restored_pages = 0u64;
         let ps = volume.page_size() as u64;
-        for entry in wal.pending().iter().rev() {
+        let pending = wal.pending();
+        for entry in pending.iter().rev() {
             if let WalEntry::Op { page_images, .. } = entry {
                 for (page, bytes) in page_images.iter().rev() {
                     volume.write_pages(*page, bytes)?;
@@ -134,11 +141,12 @@ impl ObjectStore {
                 }
             }
         }
-        let rolled_back_ops = wal.pending().len() as u64;
+        let rolled_back_ops = pending.len() as u64;
 
         // Rehydrate the committed objects from their serialized roots.
-        let mut objects = Vec::with_capacity(wal.committed().len());
-        for (id, desc) in wal.committed() {
+        let committed = wal.committed();
+        let mut objects = Vec::with_capacity(committed.len());
+        for (id, desc) in &committed {
             let obj = LargeObject::from_bytes(desc)?;
             if obj.id != *id {
                 return Err(Error::CorruptObject {
@@ -152,7 +160,8 @@ impl ObjectStore {
         // directories (data pages untouched), then mark the boot page
         // and every extent a committed root reaches.
         let mut buddy = BuddyManager::create(volume.clone(), num_spaces, pages_per_space)?;
-        buddy.allocate_at(buddy.space(0).data_base(), 1)?;
+        let boot = buddy.space(0).data_base();
+        buddy.allocate_at(boot, 1)?;
         buddy.set_metrics(metrics);
         let mut store = ObjectStore {
             volume,
@@ -163,6 +172,7 @@ impl ObjectStore {
             active: None,
             next_txn: 1,
             wal: None,
+            affinity: 0,
             obs: metrics.clone(),
         };
         for obj in &objects {
@@ -191,7 +201,7 @@ impl ObjectStore {
         wal.clear_pending();
         wal.set_metrics(metrics);
         wal.checkpoint()?;
-        store.wal = Some(wal);
+        store.wal = Some(Arc::new(wal));
         // A restart that actually undid work is a flight-recorder
         // moment: mark the timeline and, when `EOS_FLIGHT_PATH` is set,
         // snapshot the ring + metrics for post-mortem inspection.

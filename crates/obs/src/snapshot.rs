@@ -326,8 +326,18 @@ impl MetricsSnapshot {
     }
 
     /// Prometheus text exposition format (`eos stats --prom`).
+    ///
+    /// Every registry name is mapped to a legal metric name
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`) by one rule — non-alphanumerics
+    /// become `_` under an `eos_` prefix — and dynamic per-instance
+    /// tails (`….space.<i>`, `….stripe.<i>`) are lifted into a
+    /// `space`/`stripe` **label** on the base family instead of
+    /// minting one family per index, so a 16-space store exports one
+    /// `eos_buddy_latch_wait_us` family, not seventeen. Each family
+    /// gets exactly one `# TYPE` line.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
         for (metric, get) in OP_FIELDS {
             out.push_str(&format!("# TYPE eos_op_{metric} counter\n"));
             for o in &self.ops {
@@ -335,25 +345,59 @@ impl MetricsSnapshot {
             }
         }
         for (name, value) in &self.counters {
-            let san = sanitize(name);
-            out.push_str(&format!("# TYPE eos_{san} counter\neos_{san} {value}\n"));
+            let (fam, label) = prom_family(name);
+            if typed.insert(fam.clone()) {
+                out.push_str(&format!("# TYPE eos_{fam} counter\n"));
+            }
+            match label {
+                Some((key, idx)) => {
+                    out.push_str(&format!("eos_{fam}{{{key}=\"{idx}\"}} {value}\n"));
+                }
+                None => out.push_str(&format!("eos_{fam} {value}\n")),
+            }
         }
         for (name, value) in &self.gauges {
-            let san = sanitize(name);
-            out.push_str(&format!("# TYPE eos_{san} gauge\neos_{san} {value}\n"));
+            let (fam, label) = prom_family(name);
+            if typed.insert(fam.clone()) {
+                out.push_str(&format!("# TYPE eos_{fam} gauge\n"));
+            }
+            match label {
+                Some((key, idx)) => {
+                    out.push_str(&format!("eos_{fam}{{{key}=\"{idx}\"}} {value}\n"));
+                }
+                None => out.push_str(&format!("eos_{fam} {value}\n")),
+            }
         }
         for h in &self.histograms {
-            let san = sanitize(&h.name);
-            out.push_str(&format!("# TYPE eos_{san} histogram\n"));
+            let (fam, label) = prom_family(&h.name);
+            if typed.insert(fam.clone()) {
+                out.push_str(&format!("# TYPE eos_{fam} histogram\n"));
+            }
+            // A lifted label is prepended to every sample's label set
+            // (`{space="3",le="8"}`); the plain family has none.
+            let (sep, tag) = match label {
+                Some((key, idx)) => (",".to_string(), format!("{key}=\"{idx}\"")),
+                None => (String::new(), String::new()),
+            };
             let mut cumulative = 0u64;
             for &(k, n) in &h.buckets {
                 cumulative += n;
                 let le = 1u128 << u32::min(k + 1, HISTOGRAM_BUCKETS as u32);
-                out.push_str(&format!("eos_{san}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "eos_{fam}_bucket{{{tag}{sep}le=\"{le}\"}} {cumulative}\n"
+                ));
             }
-            out.push_str(&format!("eos_{san}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("eos_{san}_sum {}\n", h.sum));
-            out.push_str(&format!("eos_{san}_count {}\n", h.count));
+            out.push_str(&format!(
+                "eos_{fam}_bucket{{{tag}{sep}le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            let braces = if tag.is_empty() {
+                String::new()
+            } else {
+                format!("{{{tag}}}")
+            };
+            out.push_str(&format!("eos_{fam}_sum{braces} {}\n", h.sum));
+            out.push_str(&format!("eos_{fam}_count{braces} {}\n", h.count));
         }
         out.push_str(&format!(
             "# TYPE eos_trace_recorded counter\neos_trace_recorded {}\n",
@@ -365,6 +409,25 @@ impl MetricsSnapshot {
         ));
         out
     }
+}
+
+/// Map one registry name to its Prometheus family plus an optional
+/// lifted `(label, index)` pair: `buddy.latch.wait_us.space.3` →
+/// (`buddy_latch_wait_us`, `Some(("space", "3"))`); anything without a
+/// recognised dynamic tail maps to its sanitized self.
+fn prom_family(name: &str) -> (String, Option<(&'static str, String)>) {
+    for key in ["space", "stripe"] {
+        if let Some((head, idx)) = name.rsplit_once('.') {
+            if !idx.is_empty() && idx.bytes().all(|b| b.is_ascii_digit()) {
+                if let Some((base, tail)) = head.rsplit_once('.') {
+                    if tail == key {
+                        return (sanitize(base), Some((key, idx.to_string())));
+                    }
+                }
+            }
+        }
+    }
+    (sanitize(name), None)
 }
 
 /// One per-op numeric column: Prometheus metric suffix and accessor.
@@ -523,6 +586,65 @@ mod tests {
         assert!(prom.contains("# TYPE eos_cache_size gauge"));
         assert!(prom.contains("eos_buddy_alloc_pages_bucket{le=\"8\"} 1"));
         assert!(prom.contains("eos_buddy_alloc_pages_count 1"));
+    }
+
+    /// Is `name` a legal Prometheus metric name
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+    fn prom_legal(name: &str) -> bool {
+        let ok = |c: char, first: bool| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (!first && c.is_ascii_digit())
+        };
+        let mut chars = name.chars();
+        match chars.next() {
+            Some(c) if ok(c, true) => chars.all(|c| ok(c, false)),
+            _ => false,
+        }
+    }
+
+    /// Round-trip: every metric name the exposition emits — dotted
+    /// registry names, dynamic per-space / per-stripe series, the op
+    /// table — must parse back as a legal Prometheus name, each family
+    /// must carry exactly one `# TYPE` line, and the dynamic tails
+    /// must come back as `space="i"` / `stripe="i"` labels on the base
+    /// family rather than one family per index.
+    #[test]
+    fn prometheus_round_trip_is_legal_and_label_lifted() {
+        let m = populated();
+        // The dynamic shapes the sharded paths register (§17).
+        m.histogram("buddy.latch.wait_us").record(7);
+        for i in 0..3 {
+            m.histogram(&format!("buddy.latch.wait_us.space.{i}"))
+                .record(i);
+            m.counter(&format!("wal.force.stripe.{i}")).inc();
+        }
+        m.gauge("mvcc.deferred_pages").set(5);
+        // Not a dynamic tail (index is not numeric): stays a family.
+        m.counter("odd.space.name").inc();
+        let prom = m.snapshot().render_prometheus();
+
+        let mut families = std::collections::HashSet::new();
+        for line in prom.lines().filter(|l| !l.is_empty()) {
+            let name = if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    families.insert(fam.to_string()),
+                    "duplicate # TYPE for {fam}:\n{prom}"
+                );
+                fam
+            } else {
+                line.split(['{', ' ']).next().unwrap()
+            };
+            assert!(prom_legal(name), "illegal metric name {name:?} in:\n{line}");
+        }
+        // One family, indexed by label — not three families.
+        assert!(prom.contains("eos_buddy_latch_wait_us_bucket{space=\"2\",le=\"4\"} 1"));
+        assert!(prom.contains("eos_buddy_latch_wait_us_count{space=\"1\"} 1"));
+        assert!(prom.contains("eos_wal_force{stripe=\"0\"} 1"));
+        assert!(!prom.contains("eos_buddy_latch_wait_us_space_2"));
+        assert!(!prom.contains("eos_wal_force_stripe_0 "));
+        // The aggregate (unlabelled) series coexists in the family.
+        assert!(prom.contains("eos_buddy_latch_wait_us_count 1"));
+        assert!(prom.contains("eos_odd_space_name 1"));
     }
 
     #[test]

@@ -452,9 +452,13 @@ fn quick_static_seal_census_matches_runtime() {
     assert_eq!(
         seal_sites,
         vec![
+            // commit_solo: data barrier + per-stripe log force.
             expect("concurrent.rs", &["shadow-data"]),
             expect("concurrent.rs", &["commit-frame"]),
+            // flush_batch: phase A barrier + phase C force (striped
+            // and unstriped arms).
             expect("concurrent.rs", &["shadow-data"]),
+            expect("concurrent.rs", &["commit-frame"]),
             expect("concurrent.rs", &["commit-frame"]),
             expect("durable.rs", &["shadow-data", "superblock"]),
             expect("durable.rs", &["shadow-data"]),
@@ -463,6 +467,8 @@ fn quick_static_seal_census_matches_runtime() {
             expect("store.rs", &["shadow-data"]),
             expect("store.rs", &["shadow-data"]),
             expect("store/logged.rs", &["undo-image"]),
+            // StripedWal::sync_stripes — the per-stripe commit seal.
+            expect("striped.rs", &["commit-frame"]),
         ],
         "eos-core seal-site census drifted: update the L6 annotations, this \
          pin, and re-run the barrier-mutation sweep"

@@ -262,6 +262,107 @@ fn seeded_multiwriter_stress_matches_serial_replay() {
     assert_eq!(threaded, serial, "threaded run diverged from serial replay");
 }
 
+/// Sixteen writers on a sharded store (8 WAL stripes, 4 buddy
+/// spaces), run through both commit pipelines — solo (per-stripe
+/// forces overlap) and grouped (one leader lane per stripe) — and
+/// checked against a single-threaded replay of the same scripts.
+/// Under `--features lockdep` the runtime witness watches the whole
+/// sharded lock order: `wal.scopes` → `wal.stripe`, `buddy.space`,
+/// and the store latch never wrapping a lane mutex.
+#[test]
+fn sixteen_writer_striped_stress_matches_serial_replay() {
+    const WRITERS: u64 = 16;
+    const TXNS: u64 = 6;
+    let seed = stress_seed();
+
+    for group in [false, true] {
+        let run = |concurrent: bool| -> Vec<Vec<u8>> {
+            let inner: SharedVolume =
+                MemVolume::with_profile(1024, (1024 + 1) * 4 + 8 * 62, DiskProfile::FREE).shared();
+            let throttled = Arc::new(ThrottledVolume::new(inner, Duration::from_micros(100)));
+            let volume: SharedVolume = throttled.clone();
+            let store = ObjectStore::create_durable(
+                volume,
+                4,
+                1024,
+                StoreConfig {
+                    sync_on_commit: true,
+                    wal_stripes: 8,
+                    ..StoreConfig::default()
+                },
+                8 * 62,
+            )
+            .unwrap();
+            let cs = ConcurrentStore::with_group_commit(store, group);
+
+            let worker = |w: u64, cs: &ConcurrentStore| -> (eos::core::LargeObject, Vec<u8>) {
+                let script = writer_script(TXNS, seed.wrapping_add(w));
+                let txn = cs.begin();
+                let mut obj = txn.create(&pattern(w, 600), None).unwrap();
+                txn.commit().unwrap();
+                let mut model = pattern(w, 600);
+                for step in script {
+                    let txn = cs.begin();
+                    apply_step(step, &txn, &mut obj, &mut model);
+                    txn.commit().unwrap();
+                }
+                (obj, model)
+            };
+
+            let mut finals: Vec<Vec<u8>> = Vec::new();
+            let mut objs: Vec<eos::core::LargeObject> = Vec::new();
+            if concurrent {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..WRITERS)
+                        .map(|w| {
+                            let cs = cs.clone();
+                            s.spawn(move || worker(w, &cs))
+                        })
+                        .collect();
+                    for h in handles {
+                        let (obj, model) = h.join().unwrap();
+                        objs.push(obj);
+                        finals.push(model);
+                    }
+                });
+            } else {
+                for w in 0..WRITERS {
+                    let (obj, model) = worker(w, &cs);
+                    objs.push(obj);
+                    finals.push(model);
+                }
+            }
+
+            let store = match cs.try_into_inner() {
+                Ok(s) => s,
+                Err(_) => panic!("a handle outlived the threads"),
+            };
+            for (obj, model) in objs.iter().zip(&finals) {
+                assert_eq!(&store.read_all(obj).unwrap(), model);
+            }
+            let named: Vec<(String, eos::core::LargeObject)> = objs
+                .iter()
+                .enumerate()
+                .map(|(i, o)| (format!("writer-{i}"), o.clone()))
+                .collect();
+            let report = eos_check::check_store(&store, &named, None);
+            assert!(
+                report.is_clean(),
+                "group={group}: {}",
+                report.render_table()
+            );
+            finals
+        };
+
+        let threaded = run(true);
+        let serial = run(false);
+        assert_eq!(
+            threaded, serial,
+            "group={group}: threaded run diverged from serial replay"
+        );
+    }
+}
+
 /// A commit whose record cannot fit in the log (even after a
 /// checkpoint flip) must fail with `LogFull` and leave the store
 /// exactly as an abort would: transaction gone, objects intact,
@@ -296,6 +397,7 @@ fn log_full_during_commit_aborts_cleanly() {
         let commit = WalEntry::Commit {
             txn: 0,
             lsn: 0,
+            participants: 1,
             touched: Vec::new(),
             deleted: objs.iter().map(|(o, _)| o.id()).collect(),
         };

@@ -24,6 +24,18 @@ const PPS: u64 = 126;
 const WAL_PAGES: u64 = 66;
 const VOLUME_PAGES: u64 = (PPS + 1) * SPACES as u64 + WAL_PAGES;
 
+// The striped variant runs two WAL stripes; each slice gets the full
+// single-log capacity so checkpoint pressure stays comparable.
+const STRIPED_WAL_PAGES: u64 = 2 * WAL_PAGES;
+const STRIPED_VOLUME_PAGES: u64 = (PPS + 1) * SPACES as u64 + STRIPED_WAL_PAGES;
+
+fn striped_config() -> StoreConfig {
+    StoreConfig {
+        wal_stripes: 2,
+        ..StoreConfig::default()
+    }
+}
+
 /// One mutating operation; objects are named by creation order (the
 /// durable store assigns ids 1, 2, … deterministically).
 #[derive(Debug, Clone)]
@@ -186,10 +198,10 @@ enum Outcome {
     CrashedInCommit(usize),
 }
 
-/// Run the scripted workload transaction by transaction.
-fn run_workload(store: &mut ObjectStore) -> Outcome {
+/// Run a scripted workload transaction by transaction.
+fn run_ops(store: &mut ObjectStore, txns: &[Vec<Op>]) -> Outcome {
     let mut handles = BTreeMap::new();
-    for (t, txn) in workload().iter().enumerate() {
+    for (t, txn) in txns.iter().enumerate() {
         store.begin_txn();
         for op in txn {
             if store_apply(store, &mut handles, op).is_err() {
@@ -203,14 +215,18 @@ fn run_workload(store: &mut ObjectStore) -> Outcome {
     Outcome::Completed
 }
 
+fn run_workload(store: &mut ObjectStore) -> Outcome {
+    run_ops(store, &workload())
+}
+
 /// Model snapshots: `states[j]` = object id → bytes after `j` committed
 /// transactions.
-fn model_states() -> Vec<BTreeMap<u64, Vec<u8>>> {
+fn model_states_for(txns: &[Vec<Op>]) -> Vec<BTreeMap<u64, Vec<u8>>> {
     let mut states = vec![BTreeMap::new()];
     let mut model = BTreeMap::new();
     let mut next_id = 1u64;
-    for txn in workload() {
-        for op in &txn {
+    for txn in txns {
+        for op in txn {
             model_apply(&mut model, &mut next_id, op);
         }
         states.push(model.clone());
@@ -218,28 +234,46 @@ fn model_states() -> Vec<BTreeMap<u64, Vec<u8>>> {
     states
 }
 
+fn model_states() -> Vec<BTreeMap<u64, Vec<u8>>> {
+    model_states_for(&workload())
+}
+
 /// A fresh durable store on a crash-point gate over an in-memory
 /// volume.
-fn fresh_store() -> (ObjectStore, Arc<CrashPointVolume>) {
-    let mem = MemVolume::with_profile(PAGE, VOLUME_PAGES, DiskProfile::FREE).shared();
+fn fresh_store_with(
+    config: StoreConfig,
+    wal_pages: u64,
+    volume_pages: u64,
+) -> (ObjectStore, Arc<CrashPointVolume>) {
+    let mem = MemVolume::with_profile(PAGE, volume_pages, DiskProfile::FREE).shared();
     let gate = CrashPointVolume::new(mem);
     let vol: SharedVolume = gate.clone();
-    let store =
-        ObjectStore::create_durable(vol, SPACES, PPS, StoreConfig::default(), WAL_PAGES).unwrap();
+    let store = ObjectStore::create_durable(vol, SPACES, PPS, config, wal_pages).unwrap();
     (store, gate)
 }
 
+fn fresh_store() -> (ObjectStore, Arc<CrashPointVolume>) {
+    fresh_store_with(StoreConfig::default(), WAL_PAGES, VOLUME_PAGES)
+}
+
 /// Recover the post-crash disk image and return (store, id → bytes).
-fn recover(image: Vec<u8>) -> (ObjectStore, BTreeMap<u64, Vec<u8>>, Vec<LargeObject>) {
+fn recover_with(
+    image: Vec<u8>,
+    config: StoreConfig,
+    wal_pages: u64,
+) -> (ObjectStore, BTreeMap<u64, Vec<u8>>, Vec<LargeObject>) {
     let vol = MemVolume::from_bytes(PAGE, image, DiskProfile::FREE).shared();
-    let (store, report) =
-        ObjectStore::open_durable(vol, SPACES, PPS, StoreConfig::default(), WAL_PAGES)
-            .expect("recovery must succeed on any crash image");
+    let (store, report) = ObjectStore::open_durable(vol, SPACES, PPS, config, wal_pages)
+        .expect("recovery must succeed on any crash image");
     let mut bytes = BTreeMap::new();
     for obj in &report.objects {
         bytes.insert(obj.id(), store.read_all(obj).unwrap());
     }
     (store, bytes, report.objects)
+}
+
+fn recover(image: Vec<u8>) -> (ObjectStore, BTreeMap<u64, Vec<u8>>, Vec<LargeObject>) {
+    recover_with(image, StoreConfig::default(), WAL_PAGES)
 }
 
 fn assert_checker_clean(store: &ObjectStore, objects: &[LargeObject], ctx: &str) {
@@ -310,6 +344,133 @@ fn crash_sweep_every_io_point() {
                 states[committed].keys().collect::<Vec<_>>(),
             );
             assert_checker_clean(&rstore, &objects, &format!("k={k} torn={torn}"));
+        }
+    }
+}
+
+// ---- Striped-WAL crash sweep (DESIGN.md §17, FORMAT.md §Striped WAL) -------
+
+/// The striped workload: objects hash onto stripes by id (`id % 2`), so
+/// object 1 and 3 log on stripe 1, object 2 on stripe 0. The scopes are
+/// chosen to cover every cross-stripe shape the commit pipeline has:
+///
+/// * single-stripe commits landing on each stripe *alternately*, so both
+///   stripes carry non-contiguous global LSNs and recovery must merge
+///   them by LSN, not by position;
+/// * cross-stripe commits (two `participants` parts, one per stripe)
+///   whose crash window between the part appends must presume abort;
+/// * a cross-stripe delete-object + create, the tombstone part and the
+///   birth part on different stripes.
+fn striped_workload() -> Vec<Vec<Op>> {
+    vec![
+        // txn 1: objects 1 (stripe 1) and 2 (stripe 0) born together —
+        // a two-participant commit from the very first scope.
+        vec![
+            Op::Create(pattern(2 * PAGE + 100, 41)),
+            Op::Create(pattern(PAGE + 40, 42)),
+        ],
+        // txn 2: stripe-1 solo commit.
+        vec![
+            Op::Append(1, pattern(PAGE + 33, 43)),
+            Op::Insert(1, 300, pattern(150, 44)),
+        ],
+        // txn 3: stripe-0 solo commit — stripe 0's log now skips the
+        // LSNs txn 2 burned on stripe 1.
+        vec![
+            Op::Replace(2, 64, pattern(200, 45)),
+            Op::Append(2, pattern(PAGE, 46)),
+        ],
+        // txn 4: back to both stripes, shrink + splice in one scope.
+        vec![Op::Delete(1, 200, 500), Op::Truncate(2, 700)],
+        // txn 5: object 2 dies on stripe 0 while object 3 is born on
+        // stripe 1 — the tombstone and the birth are separate parts of
+        // one commit.
+        vec![Op::DeleteObj(2), Op::Create(pattern(PAGE + 77, 47))],
+        // txn 6: growth spurt on the newcomer — multi-page appends keep
+        // stripe 1's log busy while stripe 0 sits idle.
+        vec![
+            Op::Append(3, pattern(3 * PAGE, 48)),
+            Op::Replace(1, 10, pattern(90, 49)),
+        ],
+        // txn 7: a fourth object (stripe 0) revives cross-stripe
+        // traffic after the stripe had gone quiet.
+        vec![
+            Op::Create(pattern(2 * PAGE + 31, 50)),
+            Op::Insert(3, PAGE as u64, pattern(250, 51)),
+        ],
+        // txn 8: stripe-0 solo, then a final cross-stripe shrink.
+        vec![
+            Op::Replace(4, 0, pattern(300, 52)),
+            Op::Append(4, pattern(PAGE / 2, 53)),
+        ],
+        vec![Op::Truncate(3, 600), Op::Delete(4, 100, 350)],
+    ]
+}
+
+/// Tentpole satellite: crash at every write I/O point of a two-stripe
+/// log whose commits force the stripes together — part appends, the
+/// per-stripe commit barriers, and the data-page traffic in between —
+/// for clean and torn final writes. Recovery must merge the stripes by
+/// global LSN, presume abort on any incomplete cross-stripe part set,
+/// and land every image on a committed prefix (or the §4.5 limbo
+/// successor) with `eos-check` clean.
+#[test]
+fn crash_sweep_striped_wal_two_stripes() {
+    let txns = striped_workload();
+    let states = model_states_for(&txns);
+
+    // Unarmed counting run.
+    let (mut store, gate) =
+        fresh_store_with(striped_config(), STRIPED_WAL_PAGES, STRIPED_VOLUME_PAGES);
+    gate.arm(u64::MAX, false);
+    assert_eq!(run_ops(&mut store, &txns), Outcome::Completed);
+    let total_writes = gate.writes_seen();
+    drop(store);
+    println!("striped crash sweep: {total_writes} I/O points across 2 stripes, clean + torn");
+    assert!(
+        total_writes >= 60,
+        "striped workload too small for a meaningful sweep: {total_writes} writes"
+    );
+    let (_, final_bytes, _) =
+        recover_with(gate.image().unwrap(), striped_config(), STRIPED_WAL_PAGES);
+    assert_eq!(&final_bytes, states.last().unwrap(), "unarmed end state");
+
+    for torn in [false, true] {
+        for k in 0..total_writes {
+            let (mut store, gate) =
+                fresh_store_with(striped_config(), STRIPED_WAL_PAGES, STRIPED_VOLUME_PAGES);
+            gate.arm(k, torn);
+            let outcome = run_ops(&mut store, &txns);
+            drop(store);
+            assert!(
+                gate.has_crashed(),
+                "striped k={k} torn={torn}: the armed crash never fired"
+            );
+            let (rstore, recovered, objects) =
+                recover_with(gate.image().unwrap(), striped_config(), STRIPED_WAL_PAGES);
+
+            let committed = match outcome {
+                Outcome::Completed => {
+                    panic!("striped k={k} torn={torn}: workload completed despite the crash")
+                }
+                Outcome::CrashedInTxn(n) | Outcome::CrashedInCommit(n) => n,
+            };
+            // In commit limbo a cross-stripe scope has one extra legal
+            // outcome the single-log sweep never sees: all parts durable
+            // → present (states[committed + 1]); any part missing →
+            // presumed abort → absent (states[committed]). Both reduce
+            // to the same prefix-or-successor assertion.
+            let limbo_ok = matches!(outcome, Outcome::CrashedInCommit(_))
+                && recovered == states[committed + 1];
+            assert!(
+                recovered == states[committed] || limbo_ok,
+                "striped k={k} torn={torn}: recovered state matches neither the \
+                 {committed}-txn prefix nor (in commit limbo) the next one.\n\
+                 recovered ids: {:?}\nexpected ids: {:?}",
+                recovered.keys().collect::<Vec<_>>(),
+                states[committed].keys().collect::<Vec<_>>(),
+            );
+            assert_checker_clean(&rstore, &objects, &format!("striped k={k} torn={torn}"));
         }
     }
 }

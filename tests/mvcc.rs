@@ -481,3 +481,203 @@ fn immediate_free_application_follows_the_frame_force() {
 
     check_clean(cs, &[("a".to_string(), a)]);
 }
+
+/// Satellite (PR 10): out-of-order reader unpin. Three readers pin
+/// three distinct epochs with a parked deferred-free batch between
+/// each. Dropping the *youngest* pin first must reclaim nothing;
+/// dropping the *oldest* while the middle one is still live must
+/// recompute the oldest pinned epoch and drain exactly the batch the
+/// surviving pin has passed — not everything, not nothing — while the
+/// survivor's view stays byte-identical.
+#[test]
+fn out_of_order_unpin_recomputes_the_oldest_pin() {
+    let metrics = Metrics::new();
+    let mut store = durable_store(&metrics);
+    let v1 = pattern(1, 30_000);
+    let mut obj = store.create_with(&v1, None).unwrap();
+    let cs = ConcurrentStore::new(store);
+
+    let r1 = cs.snapshot();
+
+    // Commit #1 (supersedes pages under r1's pin — parks one batch).
+    let seg = pattern(2, 8_000);
+    let txn = cs.begin();
+    txn.replace(&mut obj, 0, &seg).unwrap();
+    txn.commit().unwrap();
+    let mut v2 = v1.clone();
+    v2[..8_000].copy_from_slice(&seg);
+    let r2 = cs.snapshot();
+
+    // Commit #2 (parks a second batch, now behind r1 *and* r2).
+    let txn = cs.begin();
+    txn.replace(&mut obj, 10_000, &pattern(3, 8_000)).unwrap();
+    txn.commit().unwrap();
+    let r3 = cs.snapshot();
+
+    let snap = metrics.snapshot();
+    let parked = snap.gauge("mvcc.deferred_pages").unwrap_or(0);
+    assert!(parked > 0, "commits under pinned readers parked nothing");
+
+    // Youngest drops first: the oldest pin (r1) still protects both
+    // batches, so nothing may be reclaimed.
+    drop(r3);
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.gauge("mvcc.deferred_pages").unwrap_or(0),
+        parked,
+        "dropping a younger pin reclaimed pages an older pin protects"
+    );
+    assert_eq!(snap.counter("mvcc.reclaim_batches").unwrap_or(0), 0);
+
+    // Oldest drops while the middle pin lives: the oldest pinned epoch
+    // is recomputed to r2's, draining exactly commit #1's batch.
+    drop(r1);
+    let snap = metrics.snapshot();
+    let left = snap.gauge("mvcc.deferred_pages").unwrap_or(0);
+    assert!(left < parked, "dropping the oldest pin reclaimed nothing");
+    assert!(
+        left > 0,
+        "a batch parked past the surviving pin was reclaimed early"
+    );
+    assert_eq!(snap.counter("mvcc.reclaim_batches").unwrap_or(0), 1);
+
+    // The survivor still reads its pinned version, byte-exact.
+    assert_eq!(r2.read_all(obj.id()).unwrap(), v2);
+
+    drop(r2);
+    let snap = metrics.snapshot();
+    assert_eq!(snap.gauge("mvcc.deferred_pages").unwrap_or(0), 0);
+
+    check_clean(cs, &[("obj".to_string(), obj)]);
+}
+
+/// A volume whose `sync` fails on demand: `fail_after(n)` lets the
+/// next `n` syncs through and fails the one after (re-arm or disarm
+/// freely; `u64::MAX` = never fail).
+struct FailSyncVolume {
+    inner: SharedVolume,
+    fuse: std::sync::atomic::AtomicU64,
+}
+
+impl FailSyncVolume {
+    fn new(inner: SharedVolume) -> Arc<FailSyncVolume> {
+        Arc::new(FailSyncVolume {
+            inner,
+            fuse: std::sync::atomic::AtomicU64::new(u64::MAX),
+        })
+    }
+
+    fn fail_after(&self, n: u64) {
+        self.fuse.store(n, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl eos::pager::Volume for FailSyncVolume {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+    fn read_into(&self, start: u64, pages: u64, buf: &mut [u8]) -> eos::pager::Result<()> {
+        self.inner.read_into(start, pages, buf)
+    }
+    fn write_pages(&self, start: u64, data: &[u8]) -> eos::pager::Result<()> {
+        self.inner.write_pages(start, data)
+    }
+    fn stats(&self) -> eos::pager::IoStats {
+        self.inner.stats()
+    }
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+    fn sync(&self) -> eos::pager::Result<()> {
+        use std::sync::atomic::Ordering;
+        let left = self.fuse.load(Ordering::SeqCst);
+        if left == u64::MAX {
+            return self.inner.sync();
+        }
+        if left == 0 {
+            self.fuse.store(u64::MAX, Ordering::SeqCst);
+            return Err(eos::pager::Error::Io(std::io::Error::other(
+                "injected sync failure",
+            )));
+        }
+        self.fuse.store(left - 1, Ordering::SeqCst);
+        self.inner.sync()
+    }
+}
+
+/// Satellite (PR 10) regression: the group-commit force-failure path.
+/// A commit whose log force fails must surface `CommitFailed` *and*
+/// leave nothing stuck behind it: its deferred-free batch leaves the
+/// buddy registry (`buddy.pending.extents` back to 0 once readers
+/// drain), previously parked batches still drain to
+/// `mvcc.deferred_pages = 0`, and the failed scope's byte ranges are
+/// immediately re-lockable by a new transaction.
+#[test]
+fn failed_force_releases_locks_and_drains_parked_batches() {
+    let metrics = Metrics::new();
+    let inner: SharedVolume =
+        MemVolume::with_profile(1024, (1024 + 1) * 4 + 62, DiskProfile::FREE).shared();
+    let failer = FailSyncVolume::new(inner);
+    let volume: SharedVolume = failer.clone();
+    let mut store = ObjectStore::create_durable(
+        volume,
+        4,
+        1024,
+        StoreConfig {
+            sync_on_commit: true,
+            ..StoreConfig::default()
+        },
+        62,
+    )
+    .unwrap();
+    store.set_metrics(&metrics);
+    let mut obj = store.create_with(&pattern(7, 30_000), None).unwrap();
+    let cs = ConcurrentStore::new(store);
+
+    // A pinned reader, and a successful commit that parks its frees
+    // behind it.
+    let reader = cs.snapshot();
+    let txn = cs.begin();
+    txn.replace(&mut obj, 0, &pattern(8, 6_000)).unwrap();
+    txn.commit().unwrap();
+    assert!(metrics.snapshot().gauge("mvcc.deferred_pages").unwrap_or(0) > 0);
+
+    // The failing commit: let the data barrier (sync #1) through and
+    // fail the log force (sync #2).
+    let txn = cs.begin();
+    let mut failed_view = obj.clone();
+    txn.replace(&mut failed_view, 10_000, &pattern(9, 6_000))
+        .unwrap();
+    failer.fail_after(1);
+    let err = txn.commit().unwrap_err();
+    failer.fail_after(u64::MAX);
+    assert!(
+        matches!(err, Error::CommitFailed { .. }),
+        "force failure surfaced as {err:?}"
+    );
+
+    // Its ranges are immediately re-lockable: a fresh transaction
+    // writes the same bytes without deadlocking on leaked locks.
+    let txn = cs.begin();
+    txn.replace(&mut obj, 10_000, &pattern(10, 6_000)).unwrap();
+    txn.commit().unwrap();
+
+    // Dropping the reader drains every *parked* batch, and the failed
+    // commit's batch is out of the buddy registry too — nothing holds
+    // `pending.extents` up once the deferred list is empty.
+    drop(reader);
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.gauge("mvcc.deferred_pages").unwrap_or(0),
+        0,
+        "parked batches survived the last reader after a failed force"
+    );
+    assert_eq!(
+        snap.gauge("buddy.pending.extents").unwrap_or(0),
+        0,
+        "the failed commit's free batch leaked in the buddy registry"
+    );
+}
